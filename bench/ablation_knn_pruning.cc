@@ -1,0 +1,97 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Ablation: kNN pruning-mode semantics (DESIGN.md Section 3b).
+// The paper's Section-6 pseudocode discards case-2 entries against the
+// *interim* Sk (kEager); Definition 2 filters by the *final* Sk. This bench
+// quantifies the recall the verbatim pseudocode loses and the cost of the
+// deferred re-check that restores exactness.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/generator.h"
+#include "dominance/hyperbola.h"
+#include "eval/workload.h"
+#include "query/knn.h"
+
+int main() {
+  using namespace hyperdom;
+  bench::PrintHeader("Ablation: kNN pruning mode (deferred vs eager)",
+                     "N = 50k, d = 4, mu = 10, Hyperbola criterion");
+
+  SyntheticSpec spec;
+  spec.n = 50'000;
+  spec.dim = 4;
+  spec.radius_mean = 10.0;
+  spec.seed = 0xAB99;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(spec.dim);
+  if (Status st = tree.BulkLoad(data); !st.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto queries = MakeKnnQueries(data, 10, 0xABAA);
+  const HyperbolaCriterion hyperbola;
+
+  TablePrinter table({"strategy", "k", "mode", "query time", "recall",
+                      "precision", "dominance checks"});
+  for (SearchStrategy strategy :
+       {SearchStrategy::kBestFirst, SearchStrategy::kDepthFirst}) {
+    for (size_t k : {1, 10, 30}) {
+      // Exact ground truth (Definition 2).
+      std::vector<std::unordered_set<uint64_t>> truth;
+      for (const auto& sq : queries) {
+        std::unordered_set<uint64_t> ids;
+        for (const auto& e : KnnLinearScan(data, sq, k, hyperbola).answers) {
+          ids.insert(e.id);
+        }
+        truth.push_back(std::move(ids));
+      }
+      for (KnnPruningMode mode :
+           {KnnPruningMode::kDeferred, KnnPruningMode::kEager}) {
+        KnnOptions options;
+        options.k = k;
+        options.strategy = strategy;
+        options.pruning_mode = mode;
+        KnnSearcher searcher(&hyperbola, options);
+
+        uint64_t returned = 0, correct = 0, expected = 0, checks = 0;
+        Stopwatch watch;
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          const KnnResult result = searcher.Search(tree, queries[qi]);
+          returned += result.answers.size();
+          expected += truth[qi].size();
+          checks += result.stats.dominance_checks;
+          for (const auto& e : result.answers) {
+            if (truth[qi].count(e.id) > 0) ++correct;
+          }
+        }
+        const double ms = static_cast<double>(watch.ElapsedNanos()) * 1e-6 /
+                          static_cast<double>(queries.size());
+        char time_s[32], recall_s[32], precision_s[32];
+        std::snprintf(time_s, sizeof(time_s), "%.3f ms", ms);
+        std::snprintf(recall_s, sizeof(recall_s), "%.2f%%",
+                      100.0 * static_cast<double>(correct) /
+                          static_cast<double>(expected));
+        std::snprintf(precision_s, sizeof(precision_s), "%.2f%%",
+                      returned == 0 ? 100.0
+                                    : 100.0 * static_cast<double>(correct) /
+                                          static_cast<double>(returned));
+        table.AddRow({strategy == SearchStrategy::kBestFirst ? "HS" : "DF",
+                      std::to_string(k),
+                      mode == KnnPruningMode::kDeferred ? "deferred" : "eager",
+                      time_s, recall_s, precision_s,
+                      std::to_string(checks / queries.size())});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: eager mode (the paper's pseudocode verbatim) loses recall\n"
+      "because interim-Sk dominance does not imply final-Sk dominance;\n"
+      "deferred mode restores the exact Definition-2 answer for a modest\n"
+      "number of extra dominance checks.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Shared output helpers for the per-figure benchmark binaries. Each binary
+// regenerates one table/figure of the paper's Section 7 and prints the same
+// rows/series the paper plots.
+
+#ifndef HYPERDOM_BENCH_BENCH_UTIL_H_
+#define HYPERDOM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+namespace hyperdom {
+namespace bench {
+
+/// Prints a figure banner.
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+/// Prints dominance-experiment rows for one sweep point (one x-axis value
+/// of a Section 7.1 figure).
+inline void PrintDominanceTable(
+    const std::string& sweep_label,
+    const std::vector<DominanceExperimentRow>& rows) {
+  std::printf("\n-- %s --\n", sweep_label.c_str());
+  TablePrinter table({"criterion", "time/query", "precision", "recall"});
+  for (const auto& row : rows) {
+    char precision[32], recall[32];
+    std::snprintf(precision, sizeof(precision), "%.2f%%", row.precision_pct);
+    std::snprintf(recall, sizeof(recall), "%.2f%%", row.recall_pct);
+    table.AddRow({row.criterion, FormatDuration(row.nanos_per_query),
+                  precision, recall});
+  }
+  table.Print();
+}
+
+/// Prints kNN-experiment rows for one sweep point (one x-axis value of a
+/// Section 7.2 figure).
+inline void PrintKnnTable(const std::string& sweep_label,
+                          const std::vector<KnnExperimentRow>& rows) {
+  std::printf("\n-- %s --\n", sweep_label.c_str());
+  TablePrinter table({"algorithm", "query time", "precision", "recall"});
+  for (const auto& row : rows) {
+    char time_ms[32], precision[32], recall[32];
+    std::snprintf(time_ms, sizeof(time_ms), "%.3f ms", row.millis_per_query);
+    std::snprintf(precision, sizeof(precision), "%.2f%%", row.precision_pct);
+    std::snprintf(recall, sizeof(recall), "%.2f%%", row.recall_pct);
+    table.AddRow({row.algorithm, time_ms, precision, recall});
+  }
+  table.Print();
+}
+
+}  // namespace bench
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_BENCH_BENCH_UTIL_H_

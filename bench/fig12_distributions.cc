@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Regenerates **Figure 12**: execution time under the four center/radius
+// distribution combinations G-G, G-U, U-G, U-U (paper Section 7.1,
+// "Additional Experiments"): first letter = coordinate distribution,
+// second = radius distribution; Gaussian(100, 25) vs Uniform[0, 200].
+
+#include "bench_util.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace hyperdom;
+  bench::PrintHeader("Figure 12: center/radius distribution combinations",
+                     "N = 100k, d = 4, mu = 10 (Gaussian radii)");
+
+  const struct {
+    const char* label;
+    Distribution centers;
+    Distribution radii;
+  } combos[] = {
+      {"G-G", Distribution::kGaussian, Distribution::kGaussian},
+      {"G-U", Distribution::kGaussian, Distribution::kUniform},
+      {"U-G", Distribution::kUniform, Distribution::kGaussian},
+      {"U-U", Distribution::kUniform, Distribution::kUniform},
+  };
+
+  for (const auto& combo : combos) {
+    SyntheticSpec spec;
+    spec.n = 100'000;
+    spec.dim = 4;
+    spec.radius_mean = 10.0;
+    spec.center_distribution = combo.centers;
+    spec.radius_distribution = combo.radii;
+    spec.seed = 12'000;
+    const auto data = GenerateSynthetic(spec);
+    DominanceExperimentConfig config;
+    config.seed = 12'100;
+    const auto rows = RunDominanceExperiment(data, config);
+    bench::PrintDominanceTable(combo.label, rows);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 12): the distribution mix barely moves\n"
+      "any criterion; Hyperbola and Trigonometric mildly favor Gaussian\n"
+      "data, the rest are flat.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Regenerates **Figure 13** (a: query time, b: precision): effect of the
+// average radius mu in {5, 10, 50, 100} for kNN queries over an SS-tree on
+// synthetic data (N = 100k, d = 4, k = 10). Eight algorithms: {HS, DF} x
+// {Hyper, MinMax, MBR, GP} (Trigonometric is excluded, as in the paper: an
+// incorrect criterion may drop true answers).
+
+#include "bench_util.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace hyperdom;
+  bench::PrintHeader("Figure 13: kNN — effect of average radius mu",
+                     "N = 100k, d = 4, k = 10, SS-tree");
+
+  for (double mu : {5.0, 10.0, 50.0, 100.0}) {
+    SyntheticSpec spec;
+    spec.n = 100'000;
+    spec.dim = 4;
+    spec.radius_mean = mu;
+    // Wider coordinate scale than the dominance benches: in the paper's
+    // Gaussian(100, 25) space every sphere pair overlaps once mu >= 50, no
+    // dominance exists and all algorithms degenerate to returning the whole
+    // dataset. The tenfold scale keeps the sweep inside the partially-
+    // prunable regime the paper's kNN figures display (see EXPERIMENTS.md).
+    spec.center_mean = 1000.0;
+    spec.center_stddev = 250.0;
+    spec.seed = 13'000;
+    const auto data = GenerateSynthetic(spec);
+    KnnExperimentConfig config;
+    config.k = 10;
+    config.num_queries = 5;
+    config.seed = 13'100;
+    const auto rows = RunKnnExperiment(data, config);
+    char label[64];
+    std::snprintf(label, sizeof(label), "mu = %.0f", mu);
+    bench::PrintKnnTable(label, rows);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 13): MinMax-based algorithms have the\n"
+      "smallest query time, the rest are comparable; Hyperbola-based\n"
+      "algorithms keep precision at 100%% while the others fall with mu\n"
+      "(down to ~40%%).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// google-benchmark microbenchmarks: per-call cost of each dominance
+// criterion as a function of the dimensionality, plus the geometric
+// kernels (distance, quartic, frame reduction) that Hyperbola is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "dominance/criterion.h"
+#include "dominance/hyperbola.h"
+#include "eval/workload.h"
+#include "geometry/focal_frame.h"
+#include "geometry/polynomial.h"
+
+namespace hyperdom {
+namespace {
+
+std::vector<DominanceQuery> WorkloadForDim(size_t dim) {
+  SyntheticSpec spec;
+  spec.n = 2048;
+  spec.dim = dim;
+  spec.radius_mean = 10.0;
+  spec.seed = 0xBE7C4 + dim;
+  return MakeDominanceWorkload(GenerateSynthetic(spec), 1024, 0xF00D + dim);
+}
+
+void BM_Criterion(benchmark::State& state, CriterionKind kind) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = WorkloadForDim(dim);
+  const auto criterion = MakeCriterion(kind);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ & 1023];
+    benchmark::DoNotOptimize(criterion->Dominates(q.sa, q.sb, q.sq));
+  }
+  state.SetLabel("d=" + std::to_string(dim));
+}
+
+void BM_Dist(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = WorkloadForDim(dim);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ & 1023];
+    benchmark::DoNotOptimize(Dist(q.sa.center(), q.sb.center()));
+  }
+}
+
+void BM_FocalFrame(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = WorkloadForDim(dim);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ & 1023];
+    benchmark::DoNotOptimize(
+        BuildFocalFrame(q.sa.center(), q.sb.center(), q.sq.center()));
+  }
+}
+
+void BM_SolveQuartic(benchmark::State& state) {
+  // A representative dominance quartic (from a real Figure-9 query).
+  size_t i = 0;
+  for (auto _ : state) {
+    const double jitter = static_cast<double>(i++ & 15);
+    benchmark::DoNotOptimize(SolveQuartic(
+        -3.1e9, -8.2e8, 2.4e8 + jitter, 9.1e6, -4.2e4));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Criterion, MinMax, CriterionKind::kMinMax)
+    ->Arg(2)->Arg(4)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK_CAPTURE(BM_Criterion, MBR, CriterionKind::kMbr)
+    ->Arg(2)->Arg(4)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK_CAPTURE(BM_Criterion, GP, CriterionKind::kGp)
+    ->Arg(2)->Arg(4)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK_CAPTURE(BM_Criterion, Trigonometric, CriterionKind::kTrigonometric)
+    ->Arg(2)->Arg(4)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK_CAPTURE(BM_Criterion, Hyperbola, CriterionKind::kHyperbola)
+    ->Arg(2)->Arg(4)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_Dist)->Arg(4)->Arg(100);
+BENCHMARK(BM_FocalFrame)->Arg(4)->Arg(100);
+BENCHMARK(BM_SolveQuartic);
+
+}  // namespace
+}  // namespace hyperdom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Regenerates **Table 1** of the paper: the correct / sound / efficient
+// matrix of the five decision criteria, verified *empirically*:
+//   * correctness is refuted by any false positive against the numeric
+//     oracle over a large randomized + adversarial workload;
+//   * soundness is refuted by any false negative;
+//   * efficiency is checked by confirming near-linear growth of the
+//     measured time with the dimensionality.
+// Borderline queries (|MDD margin| < 1e-6) are skipped so floating-point
+// ties cannot masquerade as semantic violations.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "dominance/numeric_oracle.h"
+#include "eval/measures.h"
+#include "eval/workload.h"
+
+namespace hyperdom {
+namespace {
+
+// Random triples plus adversarial families that historically break weak
+// criteria: the Lemma-3 family (big query sphere on the ca side of the
+// bisector), the Lemma-5 diagonal family (MBR corners touch), and the
+// Lemma-11 counterexample neighborhood (Trigonometric false positives).
+std::vector<DominanceQuery> BuildWorkload() {
+  std::vector<DominanceQuery> workload;
+  for (size_t dim : {2u, 4u, 8u}) {
+    SyntheticSpec spec;
+    spec.n = 4000;
+    spec.dim = dim;
+    spec.seed = 77 + dim;
+    for (double mu : {5.0, 10.0, 50.0}) {
+      spec.radius_mean = mu;
+      const auto data = GenerateSynthetic(spec);
+      auto part = MakeDominanceWorkload(data, 4000, 1000 + dim);
+      workload.insert(workload.end(), part.begin(), part.end());
+    }
+  }
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    // Lemma-3 family: point objects, fat query sphere near the bisector.
+    const double offset = rng.Uniform(1.0, 10.0);
+    Point ca = {0.0, offset};
+    Point cb = {0.0, -offset};
+    Point cq = {rng.Uniform(-40.0, 40.0), rng.Uniform(0.5, 30.0)};
+    workload.push_back(DominanceQuery{Hypersphere(ca, 0.0),
+                                      Hypersphere(cb, 0.0),
+                                      Hypersphere(cq, rng.Uniform(0.0, 20.0))});
+  }
+  for (int i = 0; i < 3000; ++i) {
+    // Lemma-5 family: equal radii along a diagonal, MBRs touching.
+    const double r = rng.Uniform(0.5, 5.0);
+    const double delta = rng.Uniform(0.001, 0.5);
+    Point cq = {0.0, 0.0};
+    Point ca = {4.0 * r / std::sqrt(2.0), 4.0 * r / std::sqrt(2.0)};
+    Point cb = {(6.0 * r + delta) / std::sqrt(2.0),
+                (6.0 * r + delta) / std::sqrt(2.0)};
+    workload.push_back(DominanceQuery{Hypersphere(ca, r), Hypersphere(cb, r),
+                                      Hypersphere(cq, r)});
+  }
+  for (int i = 0; i < 3000; ++i) {
+    // Lemma-11 neighborhood.
+    auto jit = [&](double v) { return v + rng.Uniform(-1.0, 1.0); };
+    Point ca = {jit(20.0), jit(8.0)};
+    Point cb = {jit(8.0), jit(10.0)};
+    Point cq = {jit(16.0), jit(16.0)};
+    workload.push_back(DominanceQuery{Hypersphere(ca, 0.4),
+                                      Hypersphere(cb, 0.3),
+                                      Hypersphere(cq, 0.3)});
+  }
+  return workload;
+}
+
+}  // namespace
+}  // namespace hyperdom
+
+int main() {
+  using namespace hyperdom;
+  bench::PrintHeader("Table 1: summary of decision criteria",
+                     "empirical correct/sound verdicts vs the numeric "
+                     "oracle; efficiency vs dimensionality scaling");
+
+  const std::vector<DominanceQuery> workload = BuildWorkload();
+  std::vector<bool> truth(workload.size());
+  std::vector<double> margins(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const auto& q = workload[i];
+    const double rab = q.sa.radius() + q.sb.radius();
+    margins[i] = MinDistanceDifference(q.sa, q.sb, q.sq) - rab;
+    truth[i] = !Overlaps(q.sa, q.sb) && margins[i] > 0.0;
+  }
+
+  TablePrinter table(
+      {"criterion", "correct?", "sound?", "efficient?", "fp", "fn",
+       "time d=4", "time d=64"});
+
+  // Efficiency probe: time per query at d=4 vs d=64 (an O(d) criterion
+  // should grow ~linearly, i.e. well under the 2^d blowup of corner-based
+  // methods).
+  SyntheticSpec spec4;
+  spec4.n = 4000;
+  spec4.dim = 4;
+  spec4.seed = 11;
+  SyntheticSpec spec64 = spec4;
+  spec64.dim = 64;
+  spec64.seed = 12;
+  const auto data4 = GenerateSynthetic(spec4);
+  const auto data64 = GenerateSynthetic(spec64);
+  const auto wl4 = MakeDominanceWorkload(data4, 4000, 21);
+  const auto wl64 = MakeDominanceWorkload(data64, 4000, 22);
+
+  for (CriterionKind kind : PaperCriteria()) {
+    const auto criterion = MakeCriterion(kind);
+    uint64_t fp = 0, fn = 0;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (std::fabs(margins[i]) < 1e-6) continue;  // borderline: skip
+      const bool predicted = criterion->Dominates(
+          workload[i].sa, workload[i].sb, workload[i].sq);
+      if (predicted && !truth[i]) ++fp;
+      if (!predicted && truth[i]) ++fn;
+    }
+    const double t4 = TimeCriterionNanos(*criterion, wl4, 3);
+    const double t64 = TimeCriterionNanos(*criterion, wl64, 3);
+    // O(d) check: 16x the dimensions should cost well under 100x the time.
+    const bool efficient = t64 < 100.0 * t4;
+    table.AddRow({std::string(criterion->name()), fp == 0 ? "Yes" : "No",
+                  fn == 0 ? "Yes" : "No", efficient ? "Yes" : "No",
+                  std::to_string(fp), std::to_string(fn),
+                  FormatDuration(t4), FormatDuration(t64)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected (paper Table 1): MinMax/MBR/GP correct but not sound;\n"
+      "Trigonometric sound but not correct; Hyperbola correct AND sound;\n"
+      "all five efficient.\n");
+  return 0;
+}

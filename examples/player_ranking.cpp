@@ -1,0 +1,61 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Domain example: inverse ranking over uncertain season statistics (the
+// paper's Section 6 names inverse ranking queries among the dominance
+// operator's applications; Lian & Chen [23] studied the rectangle case).
+//
+// Scenario: a scouting department models each player's next-season stat
+// line as a hypersphere around last season's 17-d stat vector — the radius
+// reflects projection uncertainty (injuries, age, role changes). Given a
+// "benchmark player" profile (the query), the question "where could player
+// X rank against the league?" is an inverse ranking query: dominance
+// proves which players are certainly closer to the benchmark and which
+// are certainly farther, pinning X's possible rank to an interval.
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "data/generator.h"
+#include "dominance/criterion.h"
+#include "query/inverse_ranking.h"
+
+int main() {
+  using namespace hyperdom;
+
+  // League: the NBA stand-in (17,265 players x 17 stats), capped for a
+  // snappy example, with projection uncertainty radius ~ 40 stat units.
+  const auto stats = LoadRealStandIn(RealDataset::kNba, 4000);
+  const auto league = MakeUncertain(stats, /*radius_mean=*/40.0,
+                                    /*sigma_ratio=*/0.25, /*seed=*/2027);
+  // Benchmark profile: a star-season stat line (player #100's center,
+  // tight uncertainty — it is a fixed reference, not a projection).
+  const Hypersphere benchmark(league[100].center(), 5.0);
+
+  const auto exact = MakeCriterion(CriterionKind::kHyperbola);
+  const auto loose = MakeCriterion(CriterionKind::kMinMax);
+
+  std::printf("league size: %zu players (17-d stat lines)\n\n",
+              league.size());
+  std::printf("%-8s %-22s %-22s\n", "player", "rank interval (exact)",
+              "rank interval (MinMax)");
+  for (size_t player : {100u, 7u, 42u, 1234u, 3999u}) {
+    const RankInterval tight =
+        InverseRanking(league, player, benchmark, *exact);
+    const RankInterval rough =
+        InverseRanking(league, player, benchmark, *loose);
+    char tight_s[48], rough_s[48];
+    std::snprintf(tight_s, sizeof(tight_s), "[%llu, %llu]",
+                  static_cast<unsigned long long>(tight.best_rank),
+                  static_cast<unsigned long long>(tight.worst_rank));
+    std::snprintf(rough_s, sizeof(rough_s), "[%llu, %llu]",
+                  static_cast<unsigned long long>(rough.best_rank),
+                  static_cast<unsigned long long>(rough.worst_rank));
+    std::printf("#%-7zu %-22s %-22s\n", player, tight_s, rough_s);
+  }
+
+  std::printf(
+      "\nThe exact (Hyperbola) intervals are nested inside the MinMax ones:\n"
+      "a sharper dominance test proves more certainly-closer/farther pairs\n"
+      "and narrows every player's possible rank band.\n");
+  return 0;
+}

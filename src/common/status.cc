@@ -1,0 +1,43 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/status.h"
+
+namespace hyperdom {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "Not supported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hyperdom

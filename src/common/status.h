@@ -1,0 +1,135 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// A small Status/Result pair in the RocksDB/Arrow idiom: the library does not
+// throw; fallible operations (I/O, parsing, configuration) report through
+// Status, pure geometric predicates return values directly.
+
+#ifndef HYPERDOM_COMMON_STATUS_H_
+#define HYPERDOM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace hyperdom {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// Cheap to copy in the OK case (no allocation); carries a code and a
+/// human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factory constructors, one per category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Category>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error holder, used by APIs that produce a value.
+///
+/// Call ok() before ValueOrDie()/operator*.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueOrDie() const {
+    assert(ok());
+    return value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return value_;
+  }
+  /// Moves the contained value out; must only be called when ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller (RocksDB-style early return).
+#define HYPERDOM_RETURN_NOT_OK(expr)          \
+  do {                                        \
+    ::hyperdom::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_COMMON_STATUS_H_

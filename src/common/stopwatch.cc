@@ -1,0 +1,5 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Stopwatch is header-only; this translation unit anchors the target.
+
+#include "common/stopwatch.h"

@@ -1,0 +1,47 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Wall-clock timing utilities for the experiment harness.
+
+#ifndef HYPERDOM_COMMON_STOPWATCH_H_
+#define HYPERDOM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hyperdom {
+
+/// \brief Monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Prevents the compiler from optimizing away a computed value
+/// (google-benchmark's DoNotOptimize, usable outside benchmark binaries).
+template <typename T>
+inline void DoNotOptimizeAway(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_COMMON_STOPWATCH_H_

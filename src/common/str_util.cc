@@ -1,0 +1,83 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/str_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyperdom {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return false;
+  // std::from_chars<double> is not universally available; use strtod on a
+  // NUL-terminated copy.
+  std::string buf(s);
+  char* endp = nullptr;
+  double v = std::strtod(buf.c_str(), &endp);
+  if (endp != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string FormatDuration(double nanos) {
+  char buf[64];
+  if (nanos < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", nanos);
+  } else if (nanos < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", nanos * 1e-3);
+  } else if (nanos < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", nanos * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", nanos * 1e-9);
+  }
+  return buf;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace hyperdom

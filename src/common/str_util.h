@@ -1,0 +1,37 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Small string helpers shared by the CSV reader and the table printer.
+
+#ifndef HYPERDOM_COMMON_STR_UTIL_H_
+#define HYPERDOM_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyperdom {
+
+/// Splits `s` on `delim`; keeps empty fields. "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Parses a double; returns false on trailing garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer; returns false on trailing garbage.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Formats a double with `precision` significant digits (shortest form).
+std::string FormatDouble(double v, int precision = 6);
+
+/// Formats nanoseconds as a human-scaled duration ("1.23 us", "45 ms").
+std::string FormatDuration(double nanos);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_COMMON_STR_UTIL_H_

@@ -1,0 +1,81 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace hyperdom {
+
+Status SaveSpheresCsv(const std::string& path,
+                      const std::vector<Hypersphere>& spheres) {
+  size_t dim = spheres.empty() ? 0 : spheres.front().dim();
+  for (const auto& s : spheres) {
+    if (s.dim() != dim) {
+      return Status::InvalidArgument(
+          "all spheres in a CSV file must share one dimensionality");
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# hyperdom spheres: c_1,...,c_d,radius\n";
+  char buf[64];
+  for (const auto& s : spheres) {
+    std::string line;
+    for (double c : s.center()) {
+      std::snprintf(buf, sizeof(buf), "%.17g,", c);
+      line += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g\n", s.radius());
+    line += buf;
+    out << line;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<Hypersphere> spheres;
+  std::string line;
+  size_t dim = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::vector<std::string> fields = Split(stripped, ',');
+    if (fields.size() < 2) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": need at least one coordinate and a radius");
+    }
+    std::vector<double> values(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (!ParseDouble(fields[i], &values[i])) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad number '" + fields[i] + "'");
+      }
+    }
+    const double radius = values.back();
+    values.pop_back();
+    if (radius < 0.0) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": negative radius");
+    }
+    if (dim == 0) {
+      dim = values.size();
+    } else if (values.size() != dim) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": inconsistent dimensionality");
+    }
+    spheres.emplace_back(std::move(values), radius);
+  }
+  return spheres;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,30 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// CSV persistence for hypersphere datasets. Format: one sphere per line,
+// `c_1,c_2,...,c_d,radius`, with an optional `# comment` header. All
+// spheres in a file must share one dimensionality.
+
+#ifndef HYPERDOM_DATA_CSV_H_
+#define HYPERDOM_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// Writes `spheres` to `path`, overwriting. Fails with IOError if the file
+/// cannot be created or InvalidArgument on mixed dimensionalities.
+Status SaveSpheresCsv(const std::string& path,
+                      const std::vector<Hypersphere>& spheres);
+
+/// Reads spheres from `path`. Fails with IOError on a missing file,
+/// Corruption on malformed rows (bad number, inconsistent dimensionality,
+/// negative radius).
+Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DATA_CSV_H_

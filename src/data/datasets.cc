@@ -1,0 +1,143 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+
+namespace {
+
+// A per-dimension value range for a stand-in dataset.
+struct DimRange {
+  double lo;
+  double hi;
+};
+
+// NBA season statistics: games (0..82), minutes, points, rebounds, assists,
+// steals, blocks, turnovers, fouls, FG made/attempted, FT made/attempted,
+// 3P made/attempted, offensive rebounds, defensive rebounds. Scales span
+// two orders of magnitude, which is the property that matters.
+const DimRange kNbaRanges[17] = {
+    {0, 82},   {0, 3400}, {0, 2800}, {0, 1500}, {0, 1100}, {0, 250},
+    {0, 300},  {0, 350},  {0, 330},  {0, 1100}, {0, 2300}, {0, 800},
+    {0, 1000}, {0, 250},  {0, 700},  {0, 450},  {0, 1050},
+};
+
+// Corel color histogram features, rescaled to [0, 200] so the paper's
+// radius sweep (mu in 5..100) exercises the same overlap regimes as on the
+// synthetic data (see DESIGN.md).
+const DimRange kColorRanges[9] = {
+    {0, 200}, {0, 200}, {0, 200}, {0, 200}, {0, 200},
+    {0, 200}, {0, 200}, {0, 200}, {0, 200},
+};
+
+// Corel texture (co-occurrence) features, same rescaling.
+const DimRange kTextureRanges[16] = {
+    {0, 200}, {0, 200}, {0, 200}, {0, 200}, {0, 200}, {0, 200},
+    {0, 200}, {0, 200}, {0, 200}, {0, 200}, {0, 200}, {0, 200},
+    {0, 200}, {0, 200}, {0, 200}, {0, 200},
+};
+
+// USFS RIS / covertype-style attributes: elevation, aspect, slope,
+// horizontal/vertical distances to hydrology, distance to roadways,
+// hillshade 9am/noon/3pm, distance to fire points.
+const DimRange kForestRanges[10] = {
+    {1800, 3900}, {0, 360},  {0, 66},   {0, 1400}, {-170, 600},
+    {0, 7100},    {0, 254},  {0, 254},  {0, 254},  {0, 7200},
+};
+
+struct StandInSpec {
+  RealDatasetInfo info;
+  const DimRange* ranges;
+  size_t num_clusters;
+  uint64_t seed;
+};
+
+StandInSpec GetSpec(RealDataset dataset) {
+  switch (dataset) {
+    case RealDataset::kNba:
+      return {{"NBA", 17'265, 17}, kNbaRanges, 24, 1};
+    case RealDataset::kColor:
+      return {{"Color", 68'040, 9}, kColorRanges, 40, 2};
+    case RealDataset::kTexture:
+      return {{"Texture", 68'040, 16}, kTextureRanges, 40, 3};
+    case RealDataset::kForest:
+      return {{"Forest", 82'012, 10}, kForestRanges, 32, 4};
+  }
+  assert(false && "unknown dataset");
+  return {{"NBA", 17'265, 17}, kNbaRanges, 24, 1};
+}
+
+}  // namespace
+
+RealDatasetInfo GetRealDatasetInfo(RealDataset dataset) {
+  return GetSpec(dataset).info;
+}
+
+const std::vector<RealDataset>& AllRealDatasets() {
+  static const std::vector<RealDataset> kAll = {
+      RealDataset::kNba, RealDataset::kForest, RealDataset::kColor,
+      RealDataset::kTexture};
+  return kAll;
+}
+
+std::vector<Point> LoadRealStandIn(RealDataset dataset, size_t sample_n) {
+  const StandInSpec spec = GetSpec(dataset);
+  const size_t n =
+      sample_n > 0 ? std::min(sample_n, spec.info.n) : spec.info.n;
+  const size_t d = spec.info.dim;
+
+  Rng base(spec.seed * 0x9E3779B97F4A7C15ULL + 17);
+  Rng cluster_rng = base.Fork(1);
+  Rng point_rng = base.Fork(2);
+
+  // Cluster means uniform inside the per-dimension ranges; per-cluster,
+  // per-dimension stddevs between 2% and 15% of the range width (real
+  // feature data is tightly clustered on some axes and diffuse on others).
+  struct Cluster {
+    Point mean;
+    Point stddev;
+    double weight;
+  };
+  std::vector<Cluster> clusters(spec.num_clusters);
+  double weight_sum = 0.0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].mean.resize(d);
+    clusters[c].stddev.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double width = spec.ranges[i].hi - spec.ranges[i].lo;
+      clusters[c].mean[i] =
+          cluster_rng.Uniform(spec.ranges[i].lo, spec.ranges[i].hi);
+      clusters[c].stddev[i] = cluster_rng.Uniform(0.02, 0.15) * width;
+    }
+    // Zipf-ish weights: a few big clusters, a long tail.
+    clusters[c].weight = 1.0 / static_cast<double>(c + 1);
+    weight_sum += clusters[c].weight;
+  }
+
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    // Pick a cluster by weight.
+    double pick = point_rng.NextDouble() * weight_sum;
+    size_t c = 0;
+    while (c + 1 < clusters.size() && pick > clusters[c].weight) {
+      pick -= clusters[c].weight;
+      ++c;
+    }
+    Point p(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double v =
+          point_rng.Gaussian(clusters[c].mean[i], clusters[c].stddev[i]);
+      p[i] = std::clamp(v, spec.ranges[i].lo, spec.ranges[i].hi);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hyperdom

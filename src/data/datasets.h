@@ -1,0 +1,51 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Deterministic stand-ins for the four real datasets of the paper's
+// Section 7. The originals (NBA season statistics, the two Corel image
+// feature sets, and the USFS Forest/RIS data) are not redistributable here,
+// so each is replaced by a same-size, same-dimensionality synthetic dataset
+// with the structure that matters to the experiments: clustered,
+// anisotropic point clouds with heterogeneous per-dimension scales. See
+// DESIGN.md ("Substitutions") for the full rationale. Every stand-in is a
+// fixed-seed mixture of Gaussians, so all runs see identical data.
+
+#ifndef HYPERDOM_DATA_DATASETS_H_
+#define HYPERDOM_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace hyperdom {
+
+/// The paper's four real datasets.
+enum class RealDataset {
+  kNba,      ///< 17,265 x 17 — player season statistics
+  kColor,    ///< 68,040 x  9 — Corel color features
+  kTexture,  ///< 68,040 x 16 — Corel texture features
+  kForest,   ///< 82,012 x 10 — USFS RIS / covertype-style attributes
+};
+
+/// Static facts about a dataset.
+struct RealDatasetInfo {
+  std::string name;
+  size_t n = 0;
+  size_t dim = 0;
+};
+
+/// Name/cardinality/dimensionality (matches the paper's description).
+RealDatasetInfo GetRealDatasetInfo(RealDataset dataset);
+
+/// All four datasets in the paper's Figure 10 order.
+const std::vector<RealDataset>& AllRealDatasets();
+
+/// \brief Materializes the stand-in point cloud for `dataset`.
+///
+/// Pass `sample_n` > 0 to cap the number of points (keeps unit tests fast);
+/// 0 means the full paper-size cloud.
+std::vector<Point> LoadRealStandIn(RealDataset dataset, size_t sample_n = 0);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DATA_DATASETS_H_

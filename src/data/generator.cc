@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/generator.h"
+
+#include <algorithm>
+
+namespace hyperdom {
+
+std::vector<Hypersphere> GenerateSynthetic(const SyntheticSpec& spec) {
+  Rng base(spec.seed);
+  Rng center_rng = base.Fork(1);
+  Rng radius_rng = base.Fork(2);
+
+  std::vector<Hypersphere> out;
+  out.reserve(spec.n);
+  for (size_t i = 0; i < spec.n; ++i) {
+    Point c(spec.dim);
+    for (auto& coord : c) {
+      coord = spec.center_distribution == Distribution::kGaussian
+                  ? center_rng.Gaussian(spec.center_mean, spec.center_stddev)
+                  : center_rng.Uniform(spec.uniform_lo, spec.uniform_hi);
+    }
+    double r = spec.radius_distribution == Distribution::kGaussian
+                   ? radius_rng.Gaussian(
+                         spec.radius_mean,
+                         spec.radius_mean * spec.radius_sigma_ratio)
+                   : radius_rng.Uniform(spec.uniform_lo, spec.uniform_hi);
+    out.emplace_back(std::move(c), std::max(0.0, r));
+  }
+  return out;
+}
+
+std::vector<Hypersphere> MakeUncertain(const std::vector<Point>& points,
+                                       double radius_mean, double sigma_ratio,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Hypersphere> out;
+  out.reserve(points.size());
+  for (const Point& p : points) {
+    const double r = rng.Gaussian(radius_mean, radius_mean * sigma_ratio);
+    out.emplace_back(p, std::max(0.0, r));
+  }
+  return out;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,58 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Synthetic dataset generation following the paper's Section 7 protocol:
+// centers drawn per-coordinate from Gaussian(100, 25) or Uniform[0, 200],
+// radii drawn from Gaussian(mu, mu/4) or Uniform[0, 200] (clamped at zero —
+// radii are non-negative by definition). Everything is seeded and
+// deterministic.
+
+#ifndef HYPERDOM_DATA_GENERATOR_H_
+#define HYPERDOM_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// Sampling families used in the paper's Figure 12 ("G" / "U").
+enum class Distribution {
+  kGaussian,
+  kUniform,
+};
+
+/// Parameters of a synthetic dataset (paper Table 2 defaults in bold there:
+/// mu = 10, N = 100k, d = 4).
+struct SyntheticSpec {
+  size_t n = 100'000;
+  size_t dim = 4;
+  Distribution center_distribution = Distribution::kGaussian;
+  Distribution radius_distribution = Distribution::kGaussian;
+  /// Gaussian centers: per-coordinate mean/stddev.
+  double center_mean = 100.0;
+  double center_stddev = 25.0;
+  /// Average radius mu; Gaussian radii use sigma = mu * radius_sigma_ratio.
+  double radius_mean = 10.0;
+  double radius_sigma_ratio = 0.25;
+  /// Uniform sampling range for both coordinates and radii.
+  double uniform_lo = 0.0;
+  double uniform_hi = 200.0;
+  uint64_t seed = 0x5EEDD00DULL;
+};
+
+/// Generates `spec.n` hyperspheres in `spec.dim` dimensions.
+std::vector<Hypersphere> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// \brief Wraps existing points into uncertain objects: each point becomes
+/// the center of a hypersphere with radius ~ Gaussian(radius_mean,
+/// radius_mean * sigma_ratio), clamped at zero — the paper's recipe for the
+/// real datasets.
+std::vector<Hypersphere> MakeUncertain(const std::vector<Point>& points,
+                                       double radius_mean, double sigma_ratio,
+                                       uint64_t seed);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DATA_GENERATOR_H_

@@ -1,0 +1,60 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/criterion.h"
+
+#include <cassert>
+
+#include "dominance/gp.h"
+#include "dominance/hyperbola.h"
+#include "dominance/mbr_criterion.h"
+#include "dominance/minmax.h"
+#include "dominance/numeric_oracle.h"
+#include "dominance/trigonometric.h"
+
+namespace hyperdom {
+
+std::unique_ptr<DominanceCriterion> MakeCriterion(CriterionKind kind) {
+  switch (kind) {
+    case CriterionKind::kMinMax:
+      return std::make_unique<MinMaxCriterion>();
+    case CriterionKind::kMbr:
+      return std::make_unique<MbrCriterion>();
+    case CriterionKind::kGp:
+      return std::make_unique<GpCriterion>();
+    case CriterionKind::kTrigonometric:
+      return std::make_unique<TrigonometricCriterion>();
+    case CriterionKind::kHyperbola:
+      return std::make_unique<HyperbolaCriterion>();
+    case CriterionKind::kNumericOracle:
+      return std::make_unique<NumericOracleCriterion>();
+  }
+  assert(false && "unknown criterion kind");
+  return std::make_unique<HyperbolaCriterion>();
+}
+
+std::string_view CriterionKindName(CriterionKind kind) {
+  switch (kind) {
+    case CriterionKind::kMinMax:
+      return "MinMax";
+    case CriterionKind::kMbr:
+      return "MBR";
+    case CriterionKind::kGp:
+      return "GP";
+    case CriterionKind::kTrigonometric:
+      return "Trigonometric";
+    case CriterionKind::kHyperbola:
+      return "Hyperbola";
+    case CriterionKind::kNumericOracle:
+      return "NumericOracle";
+  }
+  return "Unknown";
+}
+
+const std::vector<CriterionKind>& PaperCriteria() {
+  static const std::vector<CriterionKind> kAll = {
+      CriterionKind::kMinMax, CriterionKind::kMbr, CriterionKind::kGp,
+      CriterionKind::kTrigonometric, CriterionKind::kHyperbola};
+  return kAll;
+}
+
+}  // namespace hyperdom

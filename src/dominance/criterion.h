@@ -1,0 +1,69 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The dominance decision-criterion interface (paper Problem 1) plus a
+// factory. A criterion decides Dom(Sa, Sb, Sq): does every point of Sa lie
+// strictly closer to every point of Sq than every point of Sb does?
+//
+// Criteria are evaluated on three axes (paper Section 1):
+//   * correct  — returns true  => dominance really holds (no false positives)
+//   * sound    — returns false => dominance really fails (no false negatives)
+//   * efficient — O(d) in the dimensionality
+// Hyperbola is the only criterion satisfying all three (paper Table 1).
+
+#ifndef HYPERDOM_DOMINANCE_CRITERION_H_
+#define HYPERDOM_DOMINANCE_CRITERION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// \brief Abstract dominance decision criterion.
+///
+/// Implementations are stateless and thread-compatible: a single instance
+/// may be shared by concurrent readers.
+class DominanceCriterion {
+ public:
+  virtual ~DominanceCriterion() = default;
+
+  /// Decides Dom(sa, sb, sq). The three spheres must share a dimensionality.
+  virtual bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                         const Hypersphere& sq) const = 0;
+
+  /// Short display name ("Hyperbola", "MinMax", ...).
+  virtual std::string_view name() const = 0;
+
+  /// True iff the criterion guarantees no false positives.
+  virtual bool is_correct() const = 0;
+
+  /// True iff the criterion guarantees no false negatives.
+  virtual bool is_sound() const = 0;
+};
+
+/// The criteria studied in the paper (Table 1) plus the test oracle.
+enum class CriterionKind {
+  kMinMax,         ///< MaxDist/MinDist comparison [26, 15]; correct, not sound
+  kMbr,            ///< adapted MBR criterion [14]; correct, not sound
+  kGp,             ///< adapted GP criterion [22]; correct, not sound
+  kTrigonometric,  ///< adapted trigonometric criterion [12]; sound, not correct
+  kHyperbola,      ///< the paper's contribution; correct, sound, O(d)
+  kNumericOracle,  ///< reference 2-plane minimizer; exact but not O(d)-cheap
+};
+
+/// Instantiates a criterion. Never returns null.
+std::unique_ptr<DominanceCriterion> MakeCriterion(CriterionKind kind);
+
+/// Display name for a kind without instantiating it.
+std::string_view CriterionKindName(CriterionKind kind);
+
+/// The five paper criteria (excludes the oracle), in the paper's Table 1
+/// order: MinMax, MBR, GP, Trigonometric, Hyperbola.
+const std::vector<CriterionKind>& PaperCriteria();
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_CRITERION_H_

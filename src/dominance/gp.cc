@@ -1,0 +1,48 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/gp.h"
+
+#include <cmath>
+
+namespace hyperdom {
+
+namespace {
+
+// Folds x, taken relative to the origin point `origin`, onto the 2-plane
+// ( sign * ||rel[0..d-2]||, rel[d-1] ). The fold preserves ||x - origin||
+// exactly and can only shrink (sign = +1) or grow (sign = -1 vs a +1 image)
+// pairwise distances, by the triangle inequality on the collapsed block.
+Point FoldAround(const Point& x, const Point& origin, double sign) {
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    const double rel = x[i] - origin[i];
+    acc += rel * rel;
+  }
+  return {sign * std::sqrt(acc), x.back() - origin.back()};
+}
+
+}  // namespace
+
+bool GpCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                            const Hypersphere& sq) const {
+  if (sa.dim() <= 2) {
+    // The fold would lose the sign of the first coordinate for no benefit;
+    // the 2D decision is already exact (and [22] is optimal for d == 2).
+    return exact_2d_.Dominates(sa, sb, sq);
+  }
+  // Fold relative to cq: every point of Sq keeps its exact distance to the
+  // (now origin-centered) folded query ball, the plain image of cb
+  // lower-bounds Dist(cb, q), and the reflected image of ca upper-bounds
+  // Dist(ca, q) — reflection anti-aligns the collapsed components, i.e. the
+  // fold keeps both radial distances from cq and only pessimizes the angle
+  // between the two foci. A positive 2D decision therefore implies true
+  // dominance; the collapsed angle loses information, so soundness is lost
+  // for d > 2 (paper Section 3.1).
+  const Point& cq = sq.center();
+  const Hypersphere sa2(FoldAround(sa.center(), cq, -1.0), sa.radius());
+  const Hypersphere sb2(FoldAround(sb.center(), cq, +1.0), sb.radius());
+  const Hypersphere sq2(Point{0.0, 0.0}, sq.radius());
+  return exact_2d_.Dominates(sa2, sb2, sq2);
+}
+
+}  // namespace hyperdom

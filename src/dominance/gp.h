@@ -1,0 +1,42 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The adapted GP decision criterion (paper appendix; Lian & Chen [22]).
+//
+// GP folds a d-dimensional point x onto the 2-plane
+//   u(x) = ( ||x[0..d-2]||, x[d-1] ),
+// under which pairwise distances can only shrink (reverse triangle
+// inequality), and then runs the exact 2-dimensional decision on the
+// transformed data. To keep the criterion *correct* the two sides are
+// bounded in opposite directions: the b-side focus keeps its plain image
+// (2D distance lower-bounds the true distance to cb) while the a-side focus
+// is reflected to (-||ca[0..d-2]||, ca[d-1]) so that, by the forward
+// triangle inequality, its 2D distance upper-bounds the true distance to ca.
+// Information is lost by the fold, so the criterion is not sound for d > 2;
+// for d == 2 it degenerates to the exact decision ("GP is optimal for
+// 2-dimensional datasets only" — paper Section 3.1). O(d) overall.
+
+#ifndef HYPERDOM_DOMINANCE_GP_H_
+#define HYPERDOM_DOMINANCE_GP_H_
+
+#include "dominance/criterion.h"
+#include "dominance/hyperbola.h"
+
+namespace hyperdom {
+
+/// \brief GP criterion: fold to 2D with correctness-preserving bounds, then
+/// decide exactly in the plane.
+class GpCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override;
+  std::string_view name() const override { return "GP"; }
+  bool is_correct() const override { return true; }
+  bool is_sound() const override { return false; }
+
+ private:
+  HyperbolaCriterion exact_2d_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_GP_H_

@@ -1,0 +1,39 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/growing.h"
+
+#include <cassert>
+
+#include "dominance/hyperbola.h"
+
+namespace hyperdom {
+
+bool DominatesAtTime(const GrowingSphere& sa, const GrowingSphere& sb,
+                     const GrowingSphere& sq, double t) {
+  assert(t >= 0.0);
+  static const HyperbolaCriterion kHyperbola;
+  return kHyperbola.Dominates(sa.AtTime(t), sb.AtTime(t), sq.AtTime(t));
+}
+
+double DominanceExpiry(const GrowingSphere& sa, const GrowingSphere& sb,
+                       const GrowingSphere& sq, double horizon) {
+  assert(horizon >= 0.0);
+  assert(sa.growth_rate >= 0.0 && sb.growth_rate >= 0.0 &&
+         sq.growth_rate >= 0.0);
+  if (!DominatesAtTime(sa, sb, sq, 0.0)) return 0.0;
+  if (DominatesAtTime(sa, sb, sq, horizon)) return horizon;
+  // Monotone predicate: dominance holds on a prefix of [0, horizon].
+  double lo = 0.0;   // dominance holds
+  double hi = horizon;  // dominance fails
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (DominatesAtTime(sa, sb, sq, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hyperdom

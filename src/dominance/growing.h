@@ -1,0 +1,48 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Extension (paper Section 8, future work): dominance when the radii of the
+// hyperspheres change over time.
+//
+// Model: centers are fixed, each radius grows linearly,
+// r_x(t) = r_x(0) + v_x * t with growth rate v_x >= 0 — the standard
+// uncertainty model for objects whose position error grows since the last
+// measurement. Because the query ball only grows and the dominance margin
+// ra + rb only grows, the set of times at which Sa dominates Sb w.r.t. Sq is
+// a (possibly empty) prefix [0, T*) of the timeline; DominanceExpiry finds
+// T* by bisecting the monotone predicate.
+
+#ifndef HYPERDOM_DOMINANCE_GROWING_H_
+#define HYPERDOM_DOMINANCE_GROWING_H_
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// \brief A hypersphere whose radius grows linearly in time.
+struct GrowingSphere {
+  Hypersphere at_t0;       ///< the sphere at time 0
+  double growth_rate = 0;  ///< radius units per time unit, >= 0
+
+  /// The sphere at time `t` >= 0.
+  Hypersphere AtTime(double t) const {
+    return Hypersphere(at_t0.center(), at_t0.radius() + growth_rate * t);
+  }
+};
+
+/// Decides dominance at a single time instant using Hyperbola.
+bool DominatesAtTime(const GrowingSphere& sa, const GrowingSphere& sb,
+                     const GrowingSphere& sq, double t);
+
+/// \brief The supremum T* of times t in [0, horizon] at which sa dominates
+/// sb w.r.t. sq, assuming all growth rates are >= 0 (asserted).
+///
+/// Returns 0 when dominance already fails at t = 0, `horizon` when it holds
+/// through the whole horizon, and the boundary time otherwise (bisection to
+/// ~1e-9 * horizon resolution). The result is a conservative lower bound on
+/// the true expiry within the bisection tolerance.
+double DominanceExpiry(const GrowingSphere& sa, const GrowingSphere& sb,
+                       const GrowingSphere& sq, double horizon);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_GROWING_H_

@@ -1,0 +1,20 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/mbr_criterion.h"
+
+#include "geometry/mbr.h"
+
+namespace hyperdom {
+
+bool MbrCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                             const Hypersphere& sq) const {
+  // Rectangle dominance of the bounding boxes implies sphere dominance
+  // because Sa ⊆ Ra, Sb ⊆ Rb, Sq ⊆ Rq and the rectangle decision quantifies
+  // over every point of the boxes (paper Lemma 4).
+  const Mbr ra = Mbr::FromSphere(sa);
+  const Mbr rb = Mbr::FromSphere(sb);
+  const Mbr rq = Mbr::FromSphere(sq);
+  return RectDominates(ra, rb, rq);
+}
+
+}  // namespace hyperdom

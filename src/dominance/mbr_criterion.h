@@ -1,0 +1,28 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The adapted MBR decision criterion (paper Section 2.2; [14]):
+// bound each hypersphere by its minimum bounding hyperrectangle and apply
+// Emrich et al.'s optimal rectangle decision DDC_optimal. Correct (Lemma 4)
+// because the boxes enclose the spheres; not sound (Lemma 5) because the
+// boxes are strictly larger than the spheres (a factor growing with d); O(d).
+
+#ifndef HYPERDOM_DOMINANCE_MBR_CRITERION_H_
+#define HYPERDOM_DOMINANCE_MBR_CRITERION_H_
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// \brief MBR criterion: rectangle dominance on the spheres' bounding boxes.
+class MbrCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override;
+  std::string_view name() const override { return "MBR"; }
+  bool is_correct() const override { return true; }
+  bool is_sound() const override { return false; }
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_MBR_CRITERION_H_

@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/metric.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hyperdom {
+
+WeightedEuclideanDominance::WeightedEuclideanDominance(
+    std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  sqrt_weights_.reserve(weights_.size());
+  for (double w : weights_) {
+    assert(w > 0.0 && "metric weights must be positive");
+    sqrt_weights_.push_back(std::sqrt(w));
+  }
+}
+
+Hypersphere WeightedEuclideanDominance::TransformSphere(
+    const Hypersphere& s) const {
+  assert(s.dim() == weights_.size());
+  Point c(s.dim());
+  for (size_t i = 0; i < s.dim(); ++i) c[i] = sqrt_weights_[i] * s.center()[i];
+  return Hypersphere(std::move(c), s.radius());
+}
+
+bool WeightedEuclideanDominance::Dominates(const Hypersphere& sa,
+                                           const Hypersphere& sb,
+                                           const Hypersphere& sq) const {
+  return hyperbola_.Dominates(TransformSphere(sa), TransformSphere(sb),
+                              TransformSphere(sq));
+}
+
+double WeightedEuclideanDominance::Distance(const Point& x,
+                                            const Point& y) const {
+  assert(x.size() == weights_.size() && y.size() == weights_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    acc += weights_[i] * diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace hyperdom

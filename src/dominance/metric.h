@@ -1,0 +1,49 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Extension (paper Section 8, future work): dominance under distance
+// metrics other than plain Euclidean.
+//
+// For a weighted Euclidean metric dist_w(x, y) = sqrt(sum_i w_i (x_i-y_i)^2)
+// with positive weights, the axis scaling T(x)_i = sqrt(w_i) * x_i is an
+// isometry onto plain Euclidean space that maps metric balls of radius r to
+// Euclidean balls of the same radius. Dominance under dist_w therefore
+// reduces exactly to Euclidean dominance of the transformed spheres, decided
+// by Hyperbola in O(d).
+
+#ifndef HYPERDOM_DOMINANCE_METRIC_H_
+#define HYPERDOM_DOMINANCE_METRIC_H_
+
+#include <vector>
+
+#include "dominance/criterion.h"
+#include "dominance/hyperbola.h"
+
+namespace hyperdom {
+
+/// \brief Dominance under a weighted Euclidean metric.
+class WeightedEuclideanDominance {
+ public:
+  /// `weights` must be positive, one per dimension (asserted).
+  explicit WeightedEuclideanDominance(std::vector<double> weights);
+
+  /// Decides Dom(sa, sb, sq) where every ball is a dist_w ball.
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const;
+
+  /// dist_w between two points (exposed for tests).
+  double Distance(const Point& x, const Point& y) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  /// Maps a dist_w ball to the equivalent Euclidean ball.
+  Hypersphere TransformSphere(const Hypersphere& s) const;
+
+  std::vector<double> weights_;
+  std::vector<double> sqrt_weights_;
+  HyperbolaCriterion hyperbola_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_METRIC_H_

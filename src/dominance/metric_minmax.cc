@@ -1,0 +1,76 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/metric_minmax.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace hyperdom {
+
+double L1Metric::Distance(const Point& a, const Point& b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double L2Metric::Distance(const Point& a, const Point& b) const {
+  return Dist(a, b);
+}
+
+double LInfMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::abs(a[i] - b[i]));
+  }
+  return acc;
+}
+
+LpMetric::LpMetric(double p) : p_(p) {
+  assert(p >= 1.0 && "Lp is a norm only for p >= 1");
+  // snprintf instead of string concatenation: GCC 12's -Wrestrict misfires
+  // on concatenating into the member string at -O3.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "L%g", p);
+  name_ = buf;
+}
+
+double LpMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += std::pow(std::abs(a[i] - b[i]), p_);
+  }
+  return std::pow(acc, 1.0 / p_);
+}
+
+MetricMinMaxDominance::MetricMinMaxDominance(const PointMetric* metric)
+    : metric_(metric) {
+  assert(metric_ != nullptr);
+}
+
+double MetricMinMaxDominance::MaxDist(const Hypersphere& a,
+                                      const Hypersphere& b) const {
+  return metric_->Distance(a.center(), b.center()) +
+         (a.radius() + b.radius());
+}
+
+double MetricMinMaxDominance::MinDist(const Hypersphere& a,
+                                      const Hypersphere& b) const {
+  const double d = metric_->Distance(a.center(), b.center()) -
+                   (a.radius() + b.radius());
+  return d > 0.0 ? d : 0.0;
+}
+
+bool MetricMinMaxDominance::Dominates(const Hypersphere& sa,
+                                      const Hypersphere& sb,
+                                      const Hypersphere& sq) const {
+  return MaxDist(sa, sq) < MinDist(sb, sq);
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,96 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Extension (paper Section 8, future work): dominance under distance
+// metrics other than Euclidean, completing dominance/metric.h.
+//
+// For a weighted L2 metric the problem reduces *exactly* to Euclidean
+// dominance (metric.h). For other norms (L1, Linf, general Lp) the
+// Hyperbola construction does not carry over — the boundary is no longer a
+// quadric and the focal-axis symmetry is lost — but the MinMax criterion
+// does: if objects are balls of the SAME norm-induced metric, then
+//   MaxDist_m(Sa, Sq) = d_m(ca, cq) + ra + rq   and
+//   MinDist_m(Sb, Sq) = max(0, d_m(cb, cq) - rb - rq)
+// hold in any normed space, so comparing them is a correct (never a false
+// positive), not sound, O(d) criterion — the general-metric fallback.
+
+#ifndef HYPERDOM_DOMINANCE_METRIC_MINMAX_H_
+#define HYPERDOM_DOMINANCE_METRIC_MINMAX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// \brief A norm-induced point metric.
+class PointMetric {
+ public:
+  virtual ~PointMetric() = default;
+  /// Distance between two points; must satisfy the norm axioms.
+  virtual double Distance(const Point& a, const Point& b) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Manhattan distance.
+class L1Metric final : public PointMetric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string_view name() const override { return "L1"; }
+};
+
+/// Euclidean distance (for cross-checking against the exact machinery).
+class L2Metric final : public PointMetric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string_view name() const override { return "L2"; }
+};
+
+/// Chebyshev distance.
+class LInfMetric final : public PointMetric {
+ public:
+  double Distance(const Point& a, const Point& b) const override;
+  std::string_view name() const override { return "Linf"; }
+};
+
+/// General Lp distance, p >= 1.
+class LpMetric final : public PointMetric {
+ public:
+  explicit LpMetric(double p);
+  double Distance(const Point& a, const Point& b) const override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  double p_;
+  std::string name_;
+};
+
+/// \brief The generalized MinMax criterion: correct (never a false
+/// positive) for ball-shaped objects of any norm-induced metric; not
+/// sound; O(d) per decision given an O(d) metric.
+class MetricMinMaxDominance {
+ public:
+  /// Borrows the metric; it must outlive this object.
+  explicit MetricMinMaxDominance(const PointMetric* metric);
+
+  /// Decides dominance of metric balls (sa, sb, sq interpreted as balls of
+  /// `metric`).
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const;
+
+  /// MaxDist_m between two metric balls.
+  double MaxDist(const Hypersphere& a, const Hypersphere& b) const;
+  /// MinDist_m between two metric balls.
+  double MinDist(const Hypersphere& a, const Hypersphere& b) const;
+
+  const PointMetric& metric() const { return *metric_; }
+
+ private:
+  const PointMetric* metric_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_METRIC_MINMAX_H_

@@ -1,0 +1,12 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/minmax.h"
+
+namespace hyperdom {
+
+bool MinMaxCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                                const Hypersphere& sq) const {
+  return MaxDist(sa, sq) < MinDist(sb, sq);
+}
+
+}  // namespace hyperdom

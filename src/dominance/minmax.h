@@ -1,0 +1,27 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The MinMax decision criterion (paper Section 2.2; [26, 15]):
+//   DC_MinMax(Sa, Sb, Sq) := MaxDist(Sa, Sq) < MinDist(Sb, Sq).
+// Correct (Lemma 2), not sound (Lemma 3 — when Sq has positive radius the
+// worst-case query points for the two distances differ), O(d).
+
+#ifndef HYPERDOM_DOMINANCE_MINMAX_H_
+#define HYPERDOM_DOMINANCE_MINMAX_H_
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// \brief MinMax criterion: compare the two extreme distances.
+class MinMaxCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override;
+  std::string_view name() const override { return "MinMax"; }
+  bool is_correct() const override { return true; }
+  bool is_sound() const override { return false; }
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_MINMAX_H_

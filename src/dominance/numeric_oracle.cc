@@ -1,0 +1,120 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/numeric_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/focal_frame.h"
+
+namespace hyperdom {
+
+namespace {
+
+// f(t1, rho) = Dist(cb', .) - Dist(ca', .) in the focal 2-plane, with
+// ca' = (-alpha, 0) and cb' = (+alpha, 0). Even in rho.
+inline double DistDiff(double alpha, double t1, double rho) {
+  const double to_b = std::sqrt((t1 - alpha) * (t1 - alpha) + rho * rho);
+  const double to_a = std::sqrt((t1 + alpha) * (t1 + alpha) + rho * rho);
+  return to_b - to_a;
+}
+
+}  // namespace
+
+double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
+                             const Hypersphere& sq) {
+  const double focal = Dist(sa.center(), sb.center());
+  if (focal == 0.0) return 0.0;  // f is identically zero
+
+  if (sq.radius() == 0.0) {
+    return Dist(sq.center(), sb.center()) - Dist(sq.center(), sa.center());
+  }
+
+  if (sa.dim() == 1) {
+    // 1-d query region is a segment; f is piecewise linear with breakpoints
+    // at the foci (the planar reduction below would allow displacements off
+    // the line).
+    const double ca = sa.center()[0];
+    const double cb = sb.center()[0];
+    const double lo = sq.center()[0] - sq.radius();
+    const double hi = sq.center()[0] + sq.radius();
+    auto f = [&](double t) { return std::abs(t - cb) - std::abs(t - ca); };
+    double fmin = std::min(f(lo), f(hi));
+    if (ca > lo && ca < hi) fmin = std::min(fmin, f(ca));
+    if (cb > lo && cb < hi) fmin = std::min(fmin, f(cb));
+    return fmin;
+  }
+
+  const FocalFrame frame =
+      BuildFocalFrame(sa.center(), sb.center(), sq.center());
+  const double alpha = frame.alpha;
+  const double y1 = frame.y1;
+  const double y2 = frame.y2;
+  const double rq = sq.radius();
+
+  auto f_at_angle = [&](double theta) {
+    return DistDiff(alpha, y1 + rq * std::cos(theta),
+                    y2 + rq * std::sin(theta));
+  };
+
+  // Dense scan of the boundary circle.
+  constexpr int kSamples = 2048;
+  double best = f_at_angle(0.0);
+  double best_theta = 0.0;
+  for (int i = 1; i < kSamples; ++i) {
+    const double theta = 2.0 * M_PI * i / kSamples;
+    const double v = f_at_angle(theta);
+    if (v < best) {
+      best = v;
+      best_theta = theta;
+    }
+  }
+
+  // Golden-section refinement around the best sample.
+  const double step = 2.0 * M_PI / kSamples;
+  double lo = best_theta - step;
+  double hi = best_theta + step;
+  constexpr double kGolden = 0.6180339887498949;
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double f1 = f_at_angle(x1);
+  double f2 = f_at_angle(x2);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kGolden * (hi - lo);
+      f1 = f_at_angle(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kGolden * (hi - lo);
+      f2 = f_at_angle(x2);
+    }
+  }
+  best = std::min({best, f1, f2});
+
+  // Interior critical values: f is constant -2*alpha on the axis ray beyond
+  // cb and +2*alpha beyond ca; only the former can lower the minimum. The
+  // disk (center (y1, y2), radius rq, rho signed) reaches that ray iff it
+  // crosses rho = 0 at some t1 >= alpha.
+  if (y2 <= rq) {
+    const double reach = std::sqrt(rq * rq - y2 * y2);
+    if (y1 + reach >= alpha) best = std::min(best, -2.0 * alpha);
+  }
+  // The disk center itself is a valid query point; including it guards the
+  // (non-critical) interior against scan granularity in razor-thin cases.
+  best = std::min(best, DistDiff(alpha, y1, y2));
+  return best;
+}
+
+bool NumericOracleCriterion::Dominates(const Hypersphere& sa,
+                                       const Hypersphere& sb,
+                                       const Hypersphere& sq) const {
+  if (Overlaps(sa, sb)) return false;
+  return MinDistanceDifference(sa, sb, sq) > sa.radius() + sb.radius();
+}
+
+}  // namespace hyperdom

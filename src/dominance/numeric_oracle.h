@@ -1,0 +1,42 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// An independent, quartic-free evaluation of the MDD condition (paper
+// Eq. (7)) used as ground truth in tests and as the value engine for the
+// time-varying-radius extension.
+//
+// The objective f(q) = Dist(cb, q) - Dist(ca, q) is rotationally symmetric
+// about the focal axis, so its minimum over the ball Sq is attained in the
+// 2-plane spanned by the axis and cq. In that plane f has no interior
+// critical points except on the axis rays beyond the foci (where it is
+// constant ±2*alpha), so the minimum over the disk is the minimum over the
+// boundary circle, possibly improved to -2*alpha when the disk reaches the
+// ray beyond cb. The circle is scanned densely and refined by golden
+// section. Exact up to tolerance; deliberately not O(d)-cheap.
+
+#ifndef HYPERDOM_DOMINANCE_NUMERIC_ORACLE_H_
+#define HYPERDOM_DOMINANCE_NUMERIC_ORACLE_H_
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// \brief min_{q in Sq} ( Dist(cb, q) - Dist(ca, q) ).
+///
+/// The MDD condition (and hence dominance of non-overlapping spheres) holds
+/// iff this value strictly exceeds ra + rb. Returns 0 when ca == cb.
+double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
+                             const Hypersphere& sq);
+
+/// \brief Reference criterion: overlap check + numeric MDD minimization.
+class NumericOracleCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override;
+  std::string_view name() const override { return "NumericOracle"; }
+  bool is_correct() const override { return true; }
+  bool is_sound() const override { return true; }
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_NUMERIC_ORACLE_H_

@@ -1,0 +1,42 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/probability.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+
+namespace hyperdom {
+
+DominanceProbability EstimateDominanceProbability(const Hypersphere& sa,
+                                                  const Hypersphere& sb,
+                                                  const Hypersphere& sq,
+                                                  uint64_t samples,
+                                                  uint64_t seed) {
+  assert(samples >= 1);
+  Rng base(seed);
+  Rng rng_a = base.Fork(1);
+  Rng rng_b = base.Fork(2);
+  Rng rng_q = base.Fork(3);
+
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    const Point a = SampleInBall(&rng_a, sa);
+    const Point b = SampleInBall(&rng_b, sb);
+    const Point q = SampleInBall(&rng_q, sq);
+    if (SquaredDist(a, q) < SquaredDist(b, q)) ++hits;
+  }
+
+  DominanceProbability out;
+  out.samples = samples;
+  out.probability =
+      static_cast<double>(hits) / static_cast<double>(samples);
+  out.standard_error =
+      std::sqrt(out.probability * (1.0 - out.probability) /
+                static_cast<double>(samples));
+  return out;
+}
+
+}  // namespace hyperdom

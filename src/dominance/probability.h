@@ -1,0 +1,43 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Dominance probability for uncertain objects. The dominance predicate is
+// the "probability exactly 1" case: Dom(Sa, Sb, Sq) holds iff EVERY
+// realization (a, b, q) of the three uncertain objects has a closer to q
+// than b. When the predicate fails, applications in probabilistic
+// databases (the paper's references [2, 7, 19, 25]) still want the
+// PROBABILITY that a random realization does — this module estimates it by
+// Monte Carlo under the standard uniform-in-ball independence model.
+
+#ifndef HYPERDOM_DOMINANCE_PROBABILITY_H_
+#define HYPERDOM_DOMINANCE_PROBABILITY_H_
+
+#include <cstdint>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// Result of a Monte-Carlo dominance-probability estimation.
+struct DominanceProbability {
+  /// Fraction of sampled realizations with Dist(a, q) < Dist(b, q).
+  double probability = 0.0;
+  /// Standard error of the estimate: sqrt(p * (1 - p) / samples).
+  double standard_error = 0.0;
+  uint64_t samples = 0;
+};
+
+/// \brief Estimates P[ Dist(a, q) < Dist(b, q) ] for independent uniform
+/// a in Sa, b in Sb, q in Sq, from `samples` realizations (>= 1).
+/// Deterministic in `seed`.
+///
+/// Consistency with the predicate: Dom true implies probability 1 (every
+/// realization qualifies); Dom(Sb, Sa, Sq) true implies probability 0.
+DominanceProbability EstimateDominanceProbability(const Hypersphere& sa,
+                                                  const Hypersphere& sb,
+                                                  const Hypersphere& sq,
+                                                  uint64_t samples,
+                                                  uint64_t seed = 0xD1CE);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_PROBABILITY_H_

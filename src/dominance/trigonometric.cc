@@ -1,0 +1,48 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/trigonometric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperdom {
+
+bool TrigonometricCriterion::Dominates(const Hypersphere& sa,
+                                       const Hypersphere& sb,
+                                       const Hypersphere& sq) const {
+  const Point& ca = sa.center();
+  const Point& cb = sb.center();
+  const Point& cq = sq.center();
+  const double rab = sa.radius() + sb.radius();
+
+  const double focal = Dist(ca, cb);
+  if (focal == 0.0) {
+    // g(q) = -rab <= 0 everywhere: reject (sound — coincident centers can
+    // never dominate).
+    return false;
+  }
+
+  // Extreme points of the affine surrogate g over Sq: cq ± rq * u with
+  // u = (ca - cb) / ||ca - cb||. Per the original method the direction is
+  // reconstructed through its direction angles, cos(acos(.)) per dimension.
+  const size_t d = ca.size();
+  double g_plus = -rab;
+  double g_minus = -rab;
+  for (size_t i = 0; i < d; ++i) {
+    const double cosang = std::clamp((ca[i] - cb[i]) / focal, -1.0, 1.0);
+    const double ui = std::cos(std::acos(cosang));
+    const double qp = cq[i] + sq.radius() * ui;
+    const double qm = cq[i] - sq.radius() * ui;
+    const double dbp = cb[i] - qp;
+    const double dap = ca[i] - qp;
+    const double dbm = cb[i] - qm;
+    const double dam = ca[i] - qm;
+    g_plus += dbp * dbp - dap * dap;
+    g_minus += dbm * dbm - dam * dam;
+  }
+  // Accept only when the surrogate is strictly positive at both extremes
+  // (mixed signs or a zero mean the surrogate's optimum is not positive).
+  return g_plus > 0.0 && g_minus > 0.0;
+}
+
+}  // namespace hyperdom

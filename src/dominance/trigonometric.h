@@ -1,0 +1,42 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The adapted Trigonometric decision criterion (paper appendix; Emrich et
+// al. [12]).
+//
+// Instead of minimizing the true objective
+//   f(q) = Dist(cb, q) - Dist(ca, q) - (ra + rb)
+// over Sq (hard to differentiate), the method minimizes the tractable
+// surrogate of the paper's appendix
+//   g(q) = Dist(cb, q)^2 - Dist(ca, q)^2 - (ra + rb),
+// which is affine in q, so its extrema over the ball Sq sit at the two
+// axis-aligned extreme points cq ± rq * unit(ca - cb); the criterion accepts
+// iff g is strictly positive at both. Optimizing g is not equivalent to
+// optimizing f, so the criterion is NOT correct (paper Lemma 11 — its
+// counterexample is pinned in the tests) but it IS sound whenever the scene
+// scale keeps Dist(ca,q) + Dist(cb,q) >= 1 (paper Lemma 12; always true for
+// the paper's workloads). Following the original, the extreme-point
+// direction is evaluated through explicit direction-angle trigonometry
+// (acos/cos per dimension) — identity-preserving but costly, which is why
+// this criterion is the slowest in Section 7's measurements.
+
+#ifndef HYPERDOM_DOMINANCE_TRIGONOMETRIC_H_
+#define HYPERDOM_DOMINANCE_TRIGONOMETRIC_H_
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// \brief Trigonometric criterion: sign test of the affine surrogate g at
+/// the two extreme query points.
+class TrigonometricCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override;
+  std::string_view name() const override { return "Trigonometric"; }
+  bool is_correct() const override { return false; }
+  bool is_sound() const override { return true; }
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_TRIGONOMETRIC_H_

@@ -1,0 +1,72 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/measures.h"
+
+#include "common/stopwatch.h"
+
+namespace hyperdom {
+
+double ConfusionCounts::PrecisionPercent() const {
+  const uint64_t denom = tp + fp;
+  if (denom == 0) return 100.0;
+  return 100.0 * static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::RecallPercent() const {
+  const uint64_t denom = tp + fn;
+  if (denom == 0) return 100.0;
+  return 100.0 * static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+ConfusionCounts EvaluateCriterion(const DominanceCriterion& criterion,
+                                  const std::vector<DominanceQuery>& workload,
+                                  const std::vector<bool>& ground_truth) {
+  ConfusionCounts counts;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const bool predicted =
+        criterion.Dominates(workload[i].sa, workload[i].sb, workload[i].sq);
+    const bool actual = ground_truth[i];
+    if (predicted && actual) {
+      ++counts.tp;
+    } else if (predicted && !actual) {
+      ++counts.fp;
+    } else if (!predicted && actual) {
+      ++counts.fn;
+    } else {
+      ++counts.tn;
+    }
+  }
+  return counts;
+}
+
+std::vector<bool> RunCriterion(const DominanceCriterion& criterion,
+                               const std::vector<DominanceQuery>& workload) {
+  std::vector<bool> out(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    out[i] =
+        criterion.Dominates(workload[i].sa, workload[i].sb, workload[i].sq);
+  }
+  return out;
+}
+
+double TimeCriterionNanos(const DominanceCriterion& criterion,
+                          const std::vector<DominanceQuery>& workload,
+                          int repeats) {
+  // One untimed warm-up pass to fault in the data.
+  uint64_t sink = 0;
+  for (const auto& q : workload) {
+    sink += criterion.Dominates(q.sa, q.sb, q.sq) ? 1 : 0;
+  }
+  Stopwatch watch;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (const auto& q : workload) {
+      sink += criterion.Dominates(q.sa, q.sb, q.sq) ? 1 : 0;
+    }
+  }
+  const double elapsed = static_cast<double>(watch.ElapsedNanos());
+  DoNotOptimizeAway(sink);
+  return elapsed /
+         (static_cast<double>(repeats) * static_cast<double>(workload.size()));
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,51 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The paper's three measures (Section 7.1): execution time, precision
+// TP/(TP+FP) and recall TP/(TP+FN), with Hyperbola's answers as ground
+// truth ("the only algorithm which is both correct and sound").
+
+#ifndef HYPERDOM_EVAL_MEASURES_H_
+#define HYPERDOM_EVAL_MEASURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dominance/criterion.h"
+#include "eval/workload.h"
+
+namespace hyperdom {
+
+/// Confusion counts of a criterion against ground truth over a workload.
+struct ConfusionCounts {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t tn = 0;
+  uint64_t fn = 0;
+
+  /// TP/(TP+FP), as a percentage; 100 when nothing was returned positive.
+  double PrecisionPercent() const;
+  /// TP/(TP+FN), as a percentage; 100 when nothing should be positive.
+  double RecallPercent() const;
+};
+
+/// Evaluates `criterion` on every query; `ground_truth[i]` is the exact
+/// answer for `workload[i]`.
+ConfusionCounts EvaluateCriterion(const DominanceCriterion& criterion,
+                                  const std::vector<DominanceQuery>& workload,
+                                  const std::vector<bool>& ground_truth);
+
+/// Runs `criterion` over every workload query once and returns the exact
+/// answers (used to produce ground truth with Hyperbola).
+std::vector<bool> RunCriterion(const DominanceCriterion& criterion,
+                               const std::vector<DominanceQuery>& workload);
+
+/// \brief Average wall-clock nanoseconds per query: the whole workload is
+/// executed `repeats` times (the paper runs each workload 10 times) and the
+/// total time is divided by repeats * workload size.
+double TimeCriterionNanos(const DominanceCriterion& criterion,
+                          const std::vector<DominanceQuery>& workload,
+                          int repeats);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_EVAL_MEASURES_H_

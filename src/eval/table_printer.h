@@ -1,0 +1,36 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Fixed-width table output for the benchmark binaries, so each bench prints
+// rows shaped like the paper's figures/tables.
+
+#ifndef HYPERDOM_EVAL_TABLE_PRINTER_H_
+#define HYPERDOM_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace hyperdom {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// `headers` define the column count; rows must match it (asserted).
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table: header, separator, rows.
+  std::string Render() const;
+
+  /// Convenience: Render() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,41 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/workload.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+
+std::vector<DominanceQuery> MakeDominanceWorkload(
+    const std::vector<Hypersphere>& data, size_t count, uint64_t seed) {
+  assert(data.size() >= 3);
+  Rng rng(seed);
+  std::vector<DominanceQuery> out;
+  out.reserve(count);
+  const uint64_t n = data.size();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t ia = rng.UniformU64(n);
+    uint64_t ib = rng.UniformU64(n);
+    while (ib == ia) ib = rng.UniformU64(n);
+    uint64_t iq = rng.UniformU64(n);
+    while (iq == ia || iq == ib) iq = rng.UniformU64(n);
+    out.push_back(DominanceQuery{data[ia], data[ib], data[iq]});
+  }
+  return out;
+}
+
+std::vector<Hypersphere> MakeKnnQueries(const std::vector<Hypersphere>& data,
+                                        size_t count, uint64_t seed) {
+  assert(!data.empty());
+  Rng rng(seed ^ 0xABCDEF12345ULL);
+  std::vector<Hypersphere> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(data[rng.UniformU64(data.size())]);
+  }
+  return out;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,38 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Workload construction following the paper's Section 7 protocol: "a
+// workload containing 10,000 random queries each involving three
+// hyperspheres Sa, Sb and Sq selected from the dataset randomly".
+
+#ifndef HYPERDOM_EVAL_WORKLOAD_H_
+#define HYPERDOM_EVAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// One dominance query instance.
+struct DominanceQuery {
+  Hypersphere sa;
+  Hypersphere sb;
+  Hypersphere sq;
+};
+
+/// Draws `count` random (Sa, Sb, Sq) triples from `data` (with replacement
+/// across queries; the three members of one triple are distinct objects).
+/// Deterministic in `seed`. Requires data.size() >= 3.
+std::vector<DominanceQuery> MakeDominanceWorkload(
+    const std::vector<Hypersphere>& data, size_t count, uint64_t seed);
+
+/// Draws `count` random query hyperspheres for the kNN experiments: each is
+/// a randomly chosen dataset object (the paper queries the dataset's own
+/// distribution). Deterministic in `seed`.
+std::vector<Hypersphere> MakeKnnQueries(const std::vector<Hypersphere>& data,
+                                        size_t count, uint64_t seed);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_EVAL_WORKLOAD_H_

@@ -1,0 +1,58 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/focal_frame.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hyperdom {
+
+FocalFrame BuildFocalFrame(const Point& ca, const Point& cb, const Point& cq) {
+  assert(ca.size() == cb.size() && ca.size() == cq.size());
+  FocalFrame frame;
+  frame.mid = Midpoint(ca, cb);
+  Point diff = Sub(cb, ca);
+  const double focal_dist = Norm(diff);
+  assert(focal_dist > 0.0 && "foci must be distinct");
+  frame.alpha = 0.5 * focal_dist;
+  frame.axis = Scale(diff, 1.0 / focal_dist);
+
+  Point rel = Sub(cq, frame.mid);
+  frame.y1 = Dot(rel, frame.axis);
+  const double perp_sq = SquaredNorm(rel) - frame.y1 * frame.y1;
+  // Rounding can push perp_sq a hair below zero when cq is on the axis.
+  frame.y2 = perp_sq > 0.0 ? std::sqrt(perp_sq) : 0.0;
+  return frame;
+}
+
+Point LiftFromFrame(const FocalFrame& frame, const Point& cq, double t1,
+                    double t2) {
+  Point rel = Sub(cq, frame.mid);
+  // In-plane orthogonal component of cq relative to the axis.
+  Point perp = AddScaled(rel, -frame.y1, frame.axis);
+  const double perp_norm = Norm(perp);
+  Point w;
+  if (perp_norm > 1e-12 * (1.0 + Norm(cq))) {
+    w = Scale(perp, 1.0 / perp_norm);
+  } else {
+    // cq on the axis: synthesize any unit vector orthogonal to the axis.
+    // Take the coordinate direction least aligned with the axis and
+    // Gram-Schmidt it.
+    size_t best = 0;
+    double best_abs = std::abs(frame.axis[0]);
+    for (size_t i = 1; i < frame.axis.size(); ++i) {
+      if (std::abs(frame.axis[i]) < best_abs) {
+        best = i;
+        best_abs = std::abs(frame.axis[i]);
+      }
+    }
+    w = Point(frame.axis.size(), 0.0);
+    w[best] = 1.0;
+    w = AddScaled(w, -frame.axis[best], frame.axis);
+    w = Normalized(w);
+  }
+  Point out = AddScaled(frame.mid, t1, frame.axis);
+  return AddScaled(out, t2, w);
+}
+
+}  // namespace hyperdom

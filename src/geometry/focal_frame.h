@@ -1,0 +1,54 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The coordinate transform of paper Section 4.3.1, reduced to its essence.
+//
+// The paper rotates space so the hyperbola's foci ca, cb land at
+// (-alpha, 0, ..., 0) and (+alpha, 0, ..., 0). Every quantity the Hyperbola
+// algorithm then needs from the query center cq is
+//   * its first transformed coordinate  y1 = <cq - m, u>,
+//   * the norm of the remaining d-1 coordinates
+//     y2 = sqrt(||cq - m||^2 - y1^2),
+// where m is the focus midpoint and u the unit focal axis: the problem is
+// rotationally symmetric about that axis. Computing (y1, y2) takes O(d) and
+// avoids materializing a d x d rotation, matching the paper's O(d) bound.
+
+#ifndef HYPERDOM_GEOMETRY_FOCAL_FRAME_H_
+#define HYPERDOM_GEOMETRY_FOCAL_FRAME_H_
+
+#include "geometry/point.h"
+
+namespace hyperdom {
+
+/// \brief The 2-plane frame spanned by the focal axis and the query center.
+struct FocalFrame {
+  /// Half the focal distance: alpha = Dist(ca, cb) / 2 > 0.
+  double alpha = 0.0;
+  /// Transformed axial coordinate of cq (negative side is the ca side).
+  double y1 = 0.0;
+  /// Distance of cq from the focal axis (always >= 0).
+  double y2 = 0.0;
+  /// Focus midpoint in original coordinates.
+  Point mid;
+  /// Unit vector from ca toward cb in original coordinates.
+  Point axis;
+};
+
+/// \brief Builds the frame for foci `ca`, `cb` and query center `cq`.
+///
+/// Requires ca != cb. The frame satisfies
+///   Dist(cq, ca) = sqrt((y1 + alpha)^2 + y2^2),
+///   Dist(cq, cb) = sqrt((y1 - alpha)^2 + y2^2).
+FocalFrame BuildFocalFrame(const Point& ca, const Point& cb, const Point& cq);
+
+/// \brief Maps 2-plane coordinates (t1, t2) back to original space:
+/// mid + t1 * axis + t2 * w, where w is the in-plane unit vector orthogonal
+/// to the axis pointing toward cq (t2 >= 0 reaches cq's side).
+///
+/// When cq lies on the axis (y2 == 0) an arbitrary orthogonal direction is
+/// synthesized; by rotational symmetry any choice is equivalent.
+Point LiftFromFrame(const FocalFrame& frame, const Point& cq, double t1,
+                    double t2);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_FOCAL_FRAME_H_

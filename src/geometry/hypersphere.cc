@@ -1,0 +1,54 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/hypersphere.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace hyperdom {
+
+Hypersphere::Hypersphere(Point center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  assert(radius_ >= 0.0 && "hypersphere radius must be non-negative");
+}
+
+bool Hypersphere::Contains(const Point& p) const {
+  return SquaredDist(center_, p) <= radius_ * radius_;
+}
+
+bool Hypersphere::ContainsSphere(const Hypersphere& other) const {
+  return Dist(center_, other.center_) + other.radius_ <= radius_;
+}
+
+std::string Hypersphere::ToString() const {
+  return "S(center=" + hyperdom::ToString(center_) +
+         ", r=" + FormatDouble(radius_) + ")";
+}
+
+double MaxDist(const Hypersphere& a, const Hypersphere& b) {
+  // Group the radii so the result is bit-symmetric in (a, b).
+  return Dist(a.center(), b.center()) + (a.radius() + b.radius());
+}
+
+double MinDist(const Hypersphere& a, const Hypersphere& b) {
+  const double d = Dist(a.center(), b.center()) - (a.radius() + b.radius());
+  return d > 0.0 ? d : 0.0;
+}
+
+double MaxDist(const Hypersphere& a, const Point& p) {
+  return Dist(a.center(), p) + a.radius();
+}
+
+double MinDist(const Hypersphere& a, const Point& p) {
+  const double d = Dist(a.center(), p) - a.radius();
+  return d > 0.0 ? d : 0.0;
+}
+
+bool Overlaps(const Hypersphere& a, const Hypersphere& b) {
+  const double sum = a.radius() + b.radius();
+  return SquaredDist(a.center(), b.center()) <= sum * sum;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,73 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The Hypersphere object of the paper (Section 2.1): a center point and a
+// non-negative radius. A point is a hypersphere of radius zero.
+
+#ifndef HYPERDOM_GEOMETRY_HYPERSPHERE_H_
+#define HYPERDOM_GEOMETRY_HYPERSPHERE_H_
+
+#include <string>
+#include <utility>
+
+#include "geometry/point.h"
+
+namespace hyperdom {
+
+/// \brief A closed d-dimensional ball: { x : Dist(x, center) <= radius }.
+///
+/// Used both as an uncertain-object region (uncertain databases) and as an
+/// index bounding region (SS-tree nodes).
+class Hypersphere {
+ public:
+  Hypersphere() = default;
+
+  /// Constructs a hypersphere. `radius` must be >= 0 (asserted).
+  Hypersphere(Point center, double radius);
+
+  /// A point treated as a radius-zero hypersphere.
+  static Hypersphere FromPoint(Point p) { return Hypersphere(std::move(p), 0.0); }
+
+  /// The center c.
+  const Point& center() const { return center_; }
+  /// The radius r >= 0.
+  double radius() const { return radius_; }
+  /// The dimensionality d.
+  size_t dim() const { return center_.size(); }
+
+  /// True iff `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const;
+
+  /// True iff every point of `other` lies inside this ball.
+  bool ContainsSphere(const Hypersphere& other) const;
+
+  /// "S(center=(..), r=..)" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Hypersphere& other) const {
+    return radius_ == other.radius_ && center_ == other.center_;
+  }
+
+ private:
+  Point center_;
+  double radius_ = 0.0;
+};
+
+/// MaxDist(Sa, Sb) = Dist(ca, cb) + ra + rb  (paper Eq. (3)).
+double MaxDist(const Hypersphere& a, const Hypersphere& b);
+
+/// MinDist(Sa, Sb) = max(0, Dist(ca, cb) - ra - rb)  (paper Eq. (4)).
+double MinDist(const Hypersphere& a, const Hypersphere& b);
+
+/// MaxDist between a sphere and a point: Dist(c, p) + r.
+double MaxDist(const Hypersphere& a, const Point& p);
+
+/// MinDist between a sphere and a point: max(0, Dist(c, p) - r).
+double MinDist(const Hypersphere& a, const Point& p);
+
+/// Overlap test: Dist(ca, cb) <= ra + rb (paper Section 2.1). When two
+/// spheres overlap, no dominance is possible (Lemma 1).
+bool Overlaps(const Hypersphere& a, const Hypersphere& b);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_HYPERSPHERE_H_

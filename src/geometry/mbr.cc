@@ -1,0 +1,180 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/mbr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace hyperdom {
+
+Mbr::Mbr(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  assert(lo_.size() == hi_.size());
+#ifndef NDEBUG
+  for (size_t i = 0; i < lo_.size(); ++i) assert(lo_[i] <= hi_[i]);
+#endif
+}
+
+Mbr Mbr::FromSphere(const Hypersphere& s) {
+  Point lo(s.dim());
+  Point hi(s.dim());
+  for (size_t i = 0; i < s.dim(); ++i) {
+    lo[i] = s.center()[i] - s.radius();
+    hi[i] = s.center()[i] + s.radius();
+  }
+  return Mbr(std::move(lo), std::move(hi));
+}
+
+bool Mbr::Contains(const Point& p) const {
+  assert(p.size() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  assert(other.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (hi_[i] < other.lo_[i] || other.hi_[i] < lo_[i]) return false;
+  }
+  return true;
+}
+
+void Mbr::ExtendToCover(const Mbr& other) {
+  assert(other.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+std::string Mbr::ToString() const {
+  return "Mbr(lo=" + hyperdom::ToString(lo_) +
+         ", hi=" + hyperdom::ToString(hi_) + ")";
+}
+
+double MaxDistComponent(double lo, double hi, double t) {
+  return std::max(std::abs(t - lo), std::abs(t - hi));
+}
+
+double MinDistComponent(double lo, double hi, double t) {
+  if (t < lo) return lo - t;
+  if (t > hi) return t - hi;
+  return 0.0;
+}
+
+double MinDist(const Mbr& a, const Mbr& b) {
+  assert(a.dim() == b.dim());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double gap = std::max({0.0, b.lo()[i] - a.hi()[i], a.lo()[i] - b.hi()[i]});
+    acc += gap * gap;
+  }
+  return std::sqrt(acc);
+}
+
+double MaxDist(const Mbr& a, const Mbr& b) {
+  assert(a.dim() == b.dim());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double span = std::max(std::abs(b.hi()[i] - a.lo()[i]),
+                           std::abs(a.hi()[i] - b.lo()[i]));
+    acc += span * span;
+  }
+  return std::sqrt(acc);
+}
+
+double MinDist(const Mbr& a, const Point& p) {
+  assert(a.dim() == p.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double gap = MinDistComponent(a.lo()[i], a.hi()[i], p[i]);
+    acc += gap * gap;
+  }
+  return std::sqrt(acc);
+}
+
+double MinDist(const Mbr& a, const Hypersphere& s) {
+  const double d = MinDist(a, s.center()) - s.radius();
+  return d > 0.0 ? d : 0.0;
+}
+
+double MaxDist(const Mbr& a, const Point& p) {
+  assert(a.dim() == p.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double span = MaxDistComponent(a.lo()[i], a.hi()[i], p[i]);
+    acc += span * span;
+  }
+  return std::sqrt(acc);
+}
+
+double Volume(const Mbr& a) {
+  double v = 1.0;
+  for (size_t i = 0; i < a.dim(); ++i) v *= a.hi()[i] - a.lo()[i];
+  return v;
+}
+
+double Margin(const Mbr& a) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) m += a.hi()[i] - a.lo()[i];
+  return m;
+}
+
+double OverlapVolume(const Mbr& a, const Mbr& b) {
+  assert(a.dim() == b.dim());
+  double v = 1.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double lo = std::max(a.lo()[i], b.lo()[i]);
+    const double hi = std::min(a.hi()[i], b.hi()[i]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+Mbr Union(const Mbr& a, const Mbr& b) {
+  Mbr out = a;
+  out.ExtendToCover(b);
+  return out;
+}
+
+namespace {
+
+// max over t in [qlo, qhi] of maxd_a(t)^2 - mind_b(t)^2, where maxd_a is the
+// 1-d MaxDist component to [alo, ahi] and mind_b the 1-d MinDist component
+// to [blo, bhi]. The function is piecewise quadratic with convex or linear
+// pieces whose breakpoints are the midpoint of [alo, ahi] and the two ends
+// of [blo, bhi], so the maximum is attained at a candidate point.
+double MaxDimTerm(double alo, double ahi, double blo, double bhi, double qlo,
+                  double qhi) {
+  auto eval = [&](double t) {
+    const double md = MaxDistComponent(alo, ahi, t);
+    const double nd = MinDistComponent(blo, bhi, t);
+    return md * md - nd * nd;
+  };
+  double best = std::max(eval(qlo), eval(qhi));
+  const double breakpoints[3] = {0.5 * (alo + ahi), blo, bhi};
+  for (double t : breakpoints) {
+    if (t > qlo && t < qhi) best = std::max(best, eval(t));
+  }
+  return best;
+}
+
+}  // namespace
+
+bool RectDominates(const Mbr& a, const Mbr& b, const Mbr& q) {
+  assert(a.dim() == b.dim() && a.dim() == q.dim());
+  double total = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    total += MaxDimTerm(a.lo()[i], a.hi()[i], b.lo()[i], b.hi()[i], q.lo()[i],
+                        q.hi()[i]);
+  }
+  // Strict: ties (a point of `q` equidistant) mean no dominance.
+  return total < 0.0;
+}
+
+}  // namespace hyperdom

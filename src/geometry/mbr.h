@@ -1,0 +1,107 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Minimum bounding hyperrectangles and the optimal rectangle dominance
+// decision of Emrich et al., "Boosting spatial pruning: on optimal pruning
+// of MBRs" (SIGMOD 2010) — reference [14] of the paper. The hypersphere MBR
+// criterion (Section 2.2) bounds each sphere by its MBR and delegates here.
+
+#ifndef HYPERDOM_GEOMETRY_MBR_H_
+#define HYPERDOM_GEOMETRY_MBR_H_
+
+#include <string>
+
+#include "geometry/hypersphere.h"
+#include "geometry/point.h"
+
+namespace hyperdom {
+
+/// \brief An axis-aligned box [lo[i], hi[i]] per dimension.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// Constructs a box; requires lo[i] <= hi[i] for all i (asserted).
+  Mbr(Point lo, Point hi);
+
+  /// The tightest box around a hypersphere: [c - r, c + r] per dimension.
+  static Mbr FromSphere(const Hypersphere& s);
+
+  /// The degenerate box around a single point.
+  static Mbr FromPoint(const Point& p) { return Mbr(p, p); }
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  size_t dim() const { return lo_.size(); }
+
+  /// Box midpoint on dimension `i`.
+  double Mid(size_t i) const { return 0.5 * (lo_[i] + hi_[i]); }
+  /// Box half-extent on dimension `i`.
+  double HalfExtent(size_t i) const { return 0.5 * (hi_[i] - lo_[i]); }
+
+  /// True iff `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const;
+
+  /// True iff the two boxes share at least one point.
+  bool Intersects(const Mbr& other) const;
+
+  /// Grows this box to cover `other`.
+  void ExtendToCover(const Mbr& other);
+
+  std::string ToString() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// Minimum distance between two boxes (0 when they intersect).
+double MinDist(const Mbr& a, const Mbr& b);
+
+/// Minimum distance from a box to a point (0 when inside).
+double MinDist(const Mbr& a, const Point& p);
+
+/// Minimum distance from a box to a hypersphere (0 when they intersect).
+double MinDist(const Mbr& a, const Hypersphere& s);
+
+/// Maximum distance from a box to a point.
+double MaxDist(const Mbr& a, const Point& p);
+
+/// The box volume (product of side lengths).
+double Volume(const Mbr& a);
+
+/// The box margin (sum of side lengths; the R*-tree split heuristic).
+double Margin(const Mbr& a);
+
+/// The volume of the intersection of two boxes (0 when disjoint).
+double OverlapVolume(const Mbr& a, const Mbr& b);
+
+/// The smallest box covering both inputs.
+Mbr Union(const Mbr& a, const Mbr& b);
+
+/// Maximum distance between two boxes.
+double MaxDist(const Mbr& a, const Mbr& b);
+
+/// \brief Largest |a - t| over a in [lo, hi]: the one-dimensional MaxDist
+/// component. Exposed for tests.
+double MaxDistComponent(double lo, double hi, double t);
+
+/// \brief Smallest |b - t| over b in [lo, hi]: the one-dimensional MinDist
+/// component (0 when t is inside the interval). Exposed for tests.
+double MinDistComponent(double lo, double hi, double t);
+
+/// \brief Emrich et al.'s DDC_optimal: does box `a` dominate box `b` w.r.t.
+/// query box `q`?
+///
+/// Decides `forall p in q: MaxDist(a, p) < MinDist(b, p)` exactly in O(d):
+/// both squared distances are separable sums over dimensions, and the query
+/// coordinates vary independently inside a box, so
+///   max_{p in q} (MaxDist(a,p)^2 - MinDist(b,p)^2)
+///     = sum_i max_{t in [q.lo_i, q.hi_i]} (maxd_i(t)^2 - mind_i(t)^2).
+/// Each per-dimension term is piecewise quadratic with convex-or-linear
+/// pieces, so its maximum is attained at the interval endpoints or one of at
+/// most three breakpoints. Correct and sound for hyperrectangles.
+bool RectDominates(const Mbr& a, const Mbr& b, const Mbr& q);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_MBR_H_

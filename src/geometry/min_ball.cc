@@ -1,0 +1,146 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/min_ball.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+
+namespace {
+
+// Containment slack: Welzl's recursion is driven by "is p inside the
+// current ball", and a hair of slack keeps floating-point boundary points
+// from recursing forever.
+bool InsideWithSlack(const Hypersphere& ball, const Point& p) {
+  const double slack = 1e-9 * (1.0 + ball.radius());
+  const double limit = ball.radius() + slack;
+  return SquaredDist(ball.center(), p) <= limit * limit;
+}
+
+// Solves the k x k system M x = b in place by Gaussian elimination with
+// partial pivoting; returns false on (near-)singularity.
+bool SolveDense(std::vector<std::vector<double>>* m, std::vector<double>* b) {
+  const size_t k = b->size();
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < k; ++row) {
+      if (std::abs((*m)[row][col]) > std::abs((*m)[pivot][col])) pivot = row;
+    }
+    if (std::abs((*m)[pivot][col]) < 1e-12) return false;
+    std::swap((*m)[col], (*m)[pivot]);
+    std::swap((*b)[col], (*b)[pivot]);
+    for (size_t row = col + 1; row < k; ++row) {
+      const double factor = (*m)[row][col] / (*m)[col][col];
+      for (size_t c = col; c < k; ++c) (*m)[row][c] -= factor * (*m)[col][c];
+      (*b)[row] -= factor * (*b)[col];
+    }
+  }
+  for (size_t col = k; col-- > 0;) {
+    double acc = (*b)[col];
+    for (size_t c = col + 1; c < k; ++c) acc -= (*m)[col][c] * (*b)[c];
+    (*b)[col] = acc / (*m)[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+Hypersphere BallFromSupport(const std::vector<Point>& support) {
+  assert(!support.empty());
+  if (support.size() == 1) return Hypersphere(support[0], 0.0);
+
+  // Center x = p0 + sum_j lambda_j (pj - p0); boundary conditions give the
+  // Gram system G lambda = b with G_ji = (pj-p0).(pi-p0),
+  // b_j = |pj-p0|^2 / 2.
+  const Point& p0 = support[0];
+  const size_t k = support.size() - 1;
+  std::vector<Point> diffs;
+  diffs.reserve(k);
+  for (size_t j = 1; j < support.size(); ++j) {
+    diffs.push_back(Sub(support[j], p0));
+  }
+  std::vector<std::vector<double>> gram(k, std::vector<double>(k));
+  std::vector<double> rhs(k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < k; ++i) gram[j][i] = Dot(diffs[j], diffs[i]);
+    rhs[j] = 0.5 * SquaredNorm(diffs[j]);
+  }
+  if (!SolveDense(&gram, &rhs)) {
+    // Affinely dependent support (e.g. duplicated points): drop the last
+    // point and retry — the dropped point is covered by the smaller ball.
+    std::vector<Point> reduced(support.begin(), support.end() - 1);
+    return BallFromSupport(reduced);
+  }
+  Point center = p0;
+  for (size_t j = 0; j < k; ++j) {
+    center = AddScaled(center, rhs[j], diffs[j]);
+  }
+  const double radius = Dist(center, p0);
+  return Hypersphere(std::move(center), radius);
+}
+
+namespace {
+
+// "No ball yet" sentinel: radius -1 contains nothing.
+struct MaybeBall {
+  Hypersphere ball;
+  bool valid = false;
+};
+
+// Welzl's move-to-front recursion: the smallest ball of points[0..n) with
+// every point of `support` on the boundary.
+MaybeBall WelzlMtf(std::vector<const Point*>* points, size_t n,
+                   std::vector<Point>* support, size_t dim) {
+  if (n == 0 || support->size() == dim + 1) {
+    if (support->empty()) return MaybeBall{};
+    return MaybeBall{BallFromSupport(*support), true};
+  }
+  const Point* p = (*points)[n - 1];
+  MaybeBall result = WelzlMtf(points, n - 1, support, dim);
+  if (result.valid && InsideWithSlack(result.ball, *p)) return result;
+  support->push_back(*p);
+  result = WelzlMtf(points, n - 1, support, dim);
+  support->pop_back();
+  // Move-to-front: keep hard points early for subsequent calls.
+  for (size_t i = n - 1; i > 0; --i) (*points)[i] = (*points)[i - 1];
+  (*points)[0] = p;
+  return result;
+}
+
+}  // namespace
+
+Hypersphere MinBallOfPoints(const std::vector<Point>& points) {
+  assert(!points.empty());
+  const size_t dim = points.front().size();
+  std::vector<const Point*> ptrs(points.size());
+  for (size_t i = 0; i < points.size(); ++i) ptrs[i] = &points[i];
+  // Deterministic shuffle for the expected-linear-time guarantee.
+  Rng rng(0xBA11);
+  for (size_t i = ptrs.size(); i > 1; --i) {
+    std::swap(ptrs[i - 1], ptrs[rng.UniformU64(i)]);
+  }
+  std::vector<Point> support;
+  const MaybeBall result = WelzlMtf(&ptrs, ptrs.size(), &support, dim);
+  assert(result.valid);
+  return result.ball;
+}
+
+Hypersphere MinBallOfSpheres(const std::vector<Hypersphere>& spheres) {
+  assert(!spheres.empty());
+  std::vector<Point> centers;
+  centers.reserve(spheres.size());
+  for (const auto& s : spheres) centers.push_back(s.center());
+  const Hypersphere center_ball = MinBallOfPoints(centers);
+  double radius = 0.0;
+  for (const auto& s : spheres) {
+    radius = std::max(radius,
+                      Dist(center_ball.center(), s.center()) + s.radius());
+  }
+  return Hypersphere(center_ball.center(), radius);
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,38 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Smallest enclosing balls (Welzl's algorithm with move-to-front, expected
+// linear time for fixed dimension). Used as the optional tight bounding
+// policy of the SS-tree: White & Jain's centroid-centered node spheres are
+// cheap but loose; the minimum enclosing ball of the node's contents is
+// the tightest sphere bound possible.
+
+#ifndef HYPERDOM_GEOMETRY_MIN_BALL_H_
+#define HYPERDOM_GEOMETRY_MIN_BALL_H_
+
+#include <vector>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// \brief The smallest ball enclosing `points` (exact up to floating-point
+/// tolerance). Requires a non-empty input; all points share one dimension.
+/// Deterministic (fixed internal shuffle seed).
+Hypersphere MinBallOfPoints(const std::vector<Point>& points);
+
+/// \brief A near-minimal ball enclosing every sphere in `spheres`:
+/// the exact minimum ball of the centers, inflated just enough to cover
+/// every sphere's far edge. A valid cover, and typically much tighter than
+/// a centroid-centered bound; not guaranteed minimal over all center
+/// choices (the exact min-ball-of-balls problem needs SOCP machinery).
+Hypersphere MinBallOfSpheres(const std::vector<Hypersphere>& spheres);
+
+/// \brief Circumball of an affinely independent support set (|support| in
+/// [1, d+1]): the smallest ball with every support point ON its boundary.
+/// Exposed for tests. Degenerate (affinely dependent) supports fall back
+/// to dropping redundant points.
+Hypersphere BallFromSupport(const std::vector<Point>& support);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_MIN_BALL_H_

@@ -1,0 +1,91 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/point.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace hyperdom {
+
+double Dot(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SquaredNorm(const Point& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v * v;
+  return acc;
+}
+
+double Norm(const Point& a) { return std::sqrt(SquaredNorm(a)); }
+
+double SquaredDist(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double Dist(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDist(a, b));
+}
+
+Point Add(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  Point out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Point Sub(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  Point out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Point Scale(const Point& a, double s) {
+  Point out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Point AddScaled(const Point& a, double s, const Point& b) {
+  assert(a.size() == b.size());
+  Point out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Point Midpoint(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  Point out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = 0.5 * (a[i] + b[i]);
+  return out;
+}
+
+Point Normalized(const Point& a) {
+  const double n = Norm(a);
+  assert(n > 0.0);
+  return Scale(a, 1.0 / n);
+}
+
+std::string ToString(const Point& p) {
+  std::string out = "(";
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(p[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,57 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// d-dimensional point arithmetic. Every kernel here is a single pass over
+// the coordinates (O(d)); the dominance criteria built on top inherit that
+// bound, which is the "efficiency" requirement of the paper (Section 1).
+
+#ifndef HYPERDOM_GEOMETRY_POINT_H_
+#define HYPERDOM_GEOMETRY_POINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hyperdom {
+
+/// A d-dimensional point with Euclidean coordinates.
+using Point = std::vector<double>;
+
+/// Inner product <a, b>. Requires a.size() == b.size().
+double Dot(const Point& a, const Point& b);
+
+/// Squared L2 norm of `a`.
+double SquaredNorm(const Point& a);
+
+/// L2 norm of `a`.
+double Norm(const Point& a);
+
+/// Squared Euclidean distance between `a` and `b` (Eq. (1) squared).
+double SquaredDist(const Point& a, const Point& b);
+
+/// Euclidean distance between `a` and `b` (Eq. (1) of the paper).
+double Dist(const Point& a, const Point& b);
+
+/// a + b, element-wise.
+Point Add(const Point& a, const Point& b);
+
+/// a - b, element-wise.
+Point Sub(const Point& a, const Point& b);
+
+/// s * a.
+Point Scale(const Point& a, double s);
+
+/// a + s * b (fused form used by generators and the oracle).
+Point AddScaled(const Point& a, double s, const Point& b);
+
+/// The midpoint (a + b) / 2.
+Point Midpoint(const Point& a, const Point& b);
+
+/// a / ||a||. Requires ||a|| > 0.
+Point Normalized(const Point& a);
+
+/// "(x, y, ...)" with 6 significant digits, for diagnostics.
+std::string ToString(const Point& p);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_POINT_H_

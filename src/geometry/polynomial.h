@@ -1,0 +1,53 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Closed-form real-root solvers for polynomials up to degree four, with
+// Newton polishing. The Hyperbola algorithm reduces the minimum-distance
+// problem (paper Section 4.3.2) to the quartic of Eq. (14); solving it in
+// O(1) is what makes the whole predicate O(d).
+
+#ifndef HYPERDOM_GEOMETRY_POLYNOMIAL_H_
+#define HYPERDOM_GEOMETRY_POLYNOMIAL_H_
+
+#include <vector>
+
+namespace hyperdom {
+
+/// Real roots (ascending, deduplicated) of a*x + b = 0.
+/// Degenerate a == 0 yields no roots (the constant polynomial).
+std::vector<double> SolveLinear(double a, double b);
+
+/// Real roots (ascending, deduplicated) of a*x^2 + b*x + c = 0.
+/// Falls back to the linear solver when a == 0. Uses the numerically stable
+/// "q" formulation to avoid cancellation.
+std::vector<double> SolveQuadratic(double a, double b, double c);
+
+/// Real roots (ascending, deduplicated) of a*x^3 + b*x^2 + c*x + d = 0.
+/// Falls back to the quadratic solver when a == 0. Three-real-root cases use
+/// the trigonometric method; single-root cases use Cardano.
+std::vector<double> SolveCubic(double a, double b, double c, double d);
+
+/// Real roots (ascending, deduplicated) of
+/// a*x^4 + b*x^3 + c*x^2 + d*x + e = 0.
+/// Falls back to the cubic solver when a == 0. Uses Ferrari's method via the
+/// resolvent cubic, then Newton-polishes every root against the original
+/// coefficients.
+std::vector<double> SolveQuartic(double a, double b, double c, double d,
+                                 double e);
+
+/// Horner evaluation; `coeffs` are descending-degree
+/// (coeffs[0]*x^(n-1) + ... + coeffs[n-1]).
+double EvaluatePolynomial(const std::vector<double>& coeffs, double x);
+
+/// Derivative evaluation under the same descending-degree convention.
+double EvaluatePolynomialDerivative(const std::vector<double>& coeffs,
+                                    double x);
+
+/// \brief Runs a few Newton iterations of `coeffs` starting from `x0`.
+///
+/// Returns the (possibly unimproved) final iterate; never diverges to
+/// NaN/inf — iteration stops if the step is not finite. Exposed for tests.
+double PolishRoot(const std::vector<double>& coeffs, double x0);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_POLYNOMIAL_H_

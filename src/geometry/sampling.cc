@@ -1,0 +1,50 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/sampling.h"
+
+#include <cmath>
+
+namespace hyperdom {
+
+namespace {
+
+// A Gaussian vector, re-drawn in the (measure-zero) all-zeros case so that
+// normalization is always defined.
+Point GaussianDirection(Rng* rng, size_t dim) {
+  for (;;) {
+    Point p(dim);
+    double norm_sq = 0.0;
+    for (auto& v : p) {
+      v = rng->NextGaussian();
+      norm_sq += v * v;
+    }
+    if (norm_sq > 0.0) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (auto& v : p) v *= inv;
+      return p;
+    }
+  }
+}
+
+}  // namespace
+
+Point SampleUnitBall(Rng* rng, size_t dim) {
+  Point direction = GaussianDirection(rng, dim);
+  const double radius =
+      std::pow(rng->NextDouble(), 1.0 / static_cast<double>(dim));
+  return Scale(direction, radius);
+}
+
+Point SampleInBall(Rng* rng, const Hypersphere& ball) {
+  if (ball.radius() == 0.0) return ball.center();
+  return AddScaled(ball.center(), ball.radius(),
+                   SampleUnitBall(rng, ball.dim()));
+}
+
+Point SampleOnSphere(Rng* rng, const Hypersphere& ball) {
+  if (ball.radius() == 0.0) return ball.center();
+  return AddScaled(ball.center(), ball.radius(),
+                   GaussianDirection(rng, ball.dim()));
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,22 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The record every index stores: a data hypersphere plus the caller's id.
+
+#ifndef HYPERDOM_INDEX_ENTRY_H_
+#define HYPERDOM_INDEX_ENTRY_H_
+
+#include <cstdint>
+
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+
+/// A data entry: a hypersphere plus the caller's identifier.
+struct DataEntry {
+  Hypersphere sphere;
+  uint64_t id = 0;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_INDEX_ENTRY_H_

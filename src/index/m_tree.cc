@@ -1,0 +1,267 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/m_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hyperdom {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kCoverageSlack = 1e-7;
+
+// Far-edge distance of a data sphere from a point.
+double FarEdge(const Point& pivot, const DataEntry& entry) {
+  return Dist(pivot, entry.sphere.center()) + entry.sphere.radius();
+}
+
+// Far-edge distance of a child region from a point.
+double FarEdge(const Point& pivot, const MTreeNode& child) {
+  return Dist(pivot, child.pivot()) + child.covering_radius();
+}
+
+}  // namespace
+
+MTree::MTree(size_t dim, MTreeOptions options)
+    : dim_(dim), options_(options) {}
+
+Status MTree::ValidateOptions() const {
+  if (options_.max_entries < 4) {
+    return Status::InvalidArgument("MTreeOptions.max_entries must be >= 4");
+  }
+  return Status::OK();
+}
+
+Status MTree::Insert(const Hypersphere& sphere, uint64_t id) {
+  HYPERDOM_RETURN_NOT_OK(ValidateOptions());
+  if (sphere.dim() != dim_) {
+    return Status::InvalidArgument("dimension mismatch: tree is " +
+                                   std::to_string(dim_) + "-d, sphere is " +
+                                   std::to_string(sphere.dim()) + "-d");
+  }
+  if (root_ == nullptr) {
+    root_ = std::make_unique<MTreeNode>(/*is_leaf=*/true);
+    root_->pivot_ = sphere.center();
+  }
+  std::unique_ptr<MTreeNode> split_off;
+  InsertRecursive(root_.get(), DataEntry{sphere, id}, &split_off);
+  if (split_off != nullptr) {
+    auto new_root = std::make_unique<MTreeNode>(/*is_leaf=*/false);
+    new_root->pivot_ = root_->pivot_;
+    new_root->children_.push_back(std::move(root_));
+    new_root->children_.push_back(std::move(split_off));
+    RefreshCoveringRadius(new_root.get());
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status MTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
+  for (size_t i = 0; i < spheres.size(); ++i) {
+    HYPERDOM_RETURN_NOT_OK(Insert(spheres[i], static_cast<uint64_t>(i)));
+  }
+  return Status::OK();
+}
+
+void MTree::InsertRecursive(MTreeNode* node, const DataEntry& entry,
+                            std::unique_ptr<MTreeNode>* split_off) {
+  if (node->is_leaf_) {
+    node->entries_.push_back(entry);
+  } else {
+    // Prefer a child already covering the new center (nearest pivot among
+    // those); otherwise the child needing the least radius enlargement.
+    MTreeNode* best_covering = nullptr;
+    double best_covering_dist = kInf;
+    MTreeNode* best_enlarging = nullptr;
+    double best_enlargement = kInf;
+    for (const auto& child : node->children_) {
+      const double d = Dist(child->pivot_, entry.sphere.center());
+      const double needed = d + entry.sphere.radius();
+      if (needed <= child->covering_radius_) {
+        if (d < best_covering_dist) {
+          best_covering_dist = d;
+          best_covering = child.get();
+        }
+      } else if (best_covering == nullptr) {
+        const double enlargement = needed - child->covering_radius_;
+        if (enlargement < best_enlargement) {
+          best_enlargement = enlargement;
+          best_enlarging = child.get();
+        }
+      }
+    }
+    MTreeNode* chosen =
+        best_covering != nullptr ? best_covering : best_enlarging;
+    std::unique_ptr<MTreeNode> child_split;
+    InsertRecursive(chosen, entry, &child_split);
+    if (child_split != nullptr) {
+      node->children_.push_back(std::move(child_split));
+    }
+  }
+
+  const size_t occupancy =
+      node->is_leaf_ ? node->entries_.size() : node->children_.size();
+  if (occupancy > options_.max_entries) {
+    *split_off = SplitNode(node);
+  }
+  RefreshCoveringRadius(node);
+}
+
+void MTree::RefreshCoveringRadius(MTreeNode* node) {
+  double radius = 0.0;
+  if (node->is_leaf_) {
+    for (const auto& e : node->entries_) {
+      radius = std::max(radius, FarEdge(node->pivot_, e));
+    }
+  } else {
+    for (const auto& child : node->children_) {
+      radius = std::max(radius, FarEdge(node->pivot_, *child));
+    }
+  }
+  node->covering_radius_ = radius;
+}
+
+std::unique_ptr<MTreeNode> MTree::SplitNode(MTreeNode* node) const {
+  // Promotion: the two item centers farthest apart (exact pairwise scan
+  // over <= max_entries + 1 items).
+  std::vector<Point> keys;
+  const size_t n =
+      node->is_leaf_ ? node->entries_.size() : node->children_.size();
+  keys.reserve(n);
+  if (node->is_leaf_) {
+    for (const auto& e : node->entries_) keys.push_back(e.sphere.center());
+  } else {
+    for (const auto& child : node->children_) keys.push_back(child->pivot_);
+  }
+  size_t pa = 0, pb = 1;
+  double best = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = SquaredDist(keys[i], keys[j]);
+      if (d > best) {
+        best = d;
+        pa = i;
+        pb = j;
+      }
+    }
+  }
+
+  // Generalized-hyperplane partition by the nearer promoted pivot, with a
+  // min-fill backstop: if one side ends underfull, move its nearest
+  // borderline items across (keeps non-root occupancy >= 2).
+  auto sibling = std::make_unique<MTreeNode>(node->is_leaf_);
+  std::vector<size_t> to_node, to_sibling;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = SquaredDist(keys[i], keys[pa]);
+    const double db = SquaredDist(keys[i], keys[pb]);
+    (da <= db ? to_node : to_sibling).push_back(i);
+  }
+  auto rebalance = [&](std::vector<size_t>* small, std::vector<size_t>* big) {
+    while (small->size() < 2 && big->size() > 2) {
+      small->push_back(big->back());
+      big->pop_back();
+    }
+  };
+  rebalance(&to_node, &to_sibling);
+  rebalance(&to_sibling, &to_node);
+
+  node->pivot_ = keys[pa];
+  sibling->pivot_ = keys[pb];
+  if (node->is_leaf_) {
+    std::vector<DataEntry> mine, theirs;
+    for (size_t i : to_node) mine.push_back(std::move(node->entries_[i]));
+    for (size_t i : to_sibling) theirs.push_back(std::move(node->entries_[i]));
+    node->entries_ = std::move(mine);
+    sibling->entries_ = std::move(theirs);
+  } else {
+    std::vector<std::unique_ptr<MTreeNode>> mine, theirs;
+    for (size_t i : to_node) mine.push_back(std::move(node->children_[i]));
+    for (size_t i : to_sibling) {
+      theirs.push_back(std::move(node->children_[i]));
+    }
+    node->children_ = std::move(mine);
+    sibling->children_ = std::move(theirs);
+  }
+  RefreshCoveringRadius(node);
+  RefreshCoveringRadius(sibling.get());
+  return sibling;
+}
+
+size_t MTree::Height() const {
+  size_t h = 0;
+  for (const MTreeNode* node = root_.get(); node != nullptr;
+       node = node->is_leaf() ? nullptr : node->children().front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+namespace {
+
+Status CheckNode(const MTreeNode* node, const MTreeOptions& options,
+                 bool is_root, size_t depth, size_t* leaf_depth,
+                 size_t* entry_total) {
+  const double slack =
+      kCoverageSlack * (1.0 + node->covering_radius() + Norm(node->pivot()));
+  const size_t occupancy =
+      node->is_leaf() ? node->entries().size() : node->children().size();
+  if (occupancy > options.max_entries) {
+    return Status::Corruption("node occupancy exceeds max_entries");
+  }
+  if (!is_root && occupancy < 2) {
+    return Status::Corruption("non-root node with fewer than 2 items");
+  }
+
+  if (node->is_leaf()) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    for (const auto& e : node->entries()) {
+      if (FarEdge(node->pivot(), e) > node->covering_radius() + slack) {
+        return Status::Corruption("leaf entry escapes covering radius");
+      }
+    }
+    *entry_total += node->entries().size();
+    return Status::OK();
+  }
+
+  size_t child_total = 0;
+  for (const auto& child : node->children()) {
+    if (FarEdge(node->pivot(), *child) > node->covering_radius() + slack) {
+      return Status::Corruption("child region escapes covering radius");
+    }
+    size_t child_entries = 0;
+    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), options, /*is_root=*/false,
+                                     depth + 1, leaf_depth, &child_entries));
+    child_total += child_entries;
+  }
+  *entry_total += child_total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Corruption("empty root but nonzero size");
+  }
+  size_t leaf_depth = 0;
+  size_t entry_total = 0;
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), options_, /*is_root=*/true,
+                                   /*depth=*/1, &leaf_depth, &entry_total));
+  if (entry_total != size_) {
+    return Status::Corruption("total entry count mismatch: tree says " +
+                              std::to_string(size_) + ", walk found " +
+                              std::to_string(entry_total));
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,110 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// An M-tree (Ciaccia, Patella & Zezula, VLDB 1997 — reference [9] of the
+// paper) over hypersphere data. Nodes are covering balls around a routing
+// center: each node keeps a pivot point and a covering radius no smaller
+// than the far edge of every data sphere beneath it, so
+//   MinDist(subtree, Sq) >= max(0, Dist(pivot, cq) - covering - rq).
+//
+// Implementation summary:
+//   * Insertion descends into the child whose pivot is nearest the new
+//     center among children that already cover it; if none covers it, the
+//     child needing the least covering-radius enlargement (the classic
+//     M-tree heuristic).
+//   * Splits promote the two items farthest apart (exact scan over the
+//     <= max_entries+1 items, the M_LB_DIST-style promotion) and partition
+//     the rest by the nearer promoted pivot (generalized hyperplane).
+//   * Covering radii are recomputed exactly along the insertion path.
+
+#ifndef HYPERDOM_INDEX_M_TREE_H_
+#define HYPERDOM_INDEX_M_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/entry.h"
+
+namespace hyperdom {
+
+/// Tuning options for MTree.
+struct MTreeOptions {
+  /// Maximum entries (leaf) or children (internal) per node. Must be >= 4.
+  size_t max_entries = 24;
+};
+
+/// \brief M-tree node; public for traversal by searchers and tests.
+class MTreeNode {
+ public:
+  explicit MTreeNode(bool is_leaf) : is_leaf_(is_leaf) {}
+
+  bool is_leaf() const { return is_leaf_; }
+  /// The routing center.
+  const Point& pivot() const { return pivot_; }
+  /// Covering radius: every data sphere beneath lies within this distance
+  /// of the pivot (sphere far edge included).
+  double covering_radius() const { return covering_radius_; }
+  /// The node region as a hypersphere (pivot, covering radius).
+  Hypersphere bounding_sphere() const {
+    return Hypersphere(pivot_, covering_radius_);
+  }
+  /// Leaf payload; valid only when is_leaf().
+  const std::vector<DataEntry>& entries() const { return entries_; }
+  /// Children; valid only when !is_leaf().
+  const std::vector<std::unique_ptr<MTreeNode>>& children() const {
+    return children_;
+  }
+
+ private:
+  friend class MTree;
+
+  bool is_leaf_;
+  Point pivot_;
+  double covering_radius_ = 0.0;
+  std::vector<DataEntry> entries_;
+  std::vector<std::unique_ptr<MTreeNode>> children_;
+};
+
+/// \brief The M-tree index.
+class MTree {
+ public:
+  explicit MTree(size_t dim, MTreeOptions options = {});
+
+  /// Inserts one hypersphere. Fails on dimension mismatch or bad options.
+  Status Insert(const Hypersphere& sphere, uint64_t id);
+
+  /// Bulk-loads by repeated insertion; ids are positions in `spheres`.
+  Status BulkLoad(const std::vector<Hypersphere>& spheres);
+
+  const MTreeNode* root() const { return root_.get(); }
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+  const MTreeOptions& options() const { return options_; }
+
+  /// Height of the tree (0 when empty, 1 for a single leaf).
+  size_t Height() const;
+
+  /// \brief Validates structural invariants for tests: covering radii
+  /// really cover, occupancies respect limits, leaves share one depth, and
+  /// the entry count matches size().
+  Status CheckInvariants() const;
+
+ private:
+  Status ValidateOptions() const;
+  void InsertRecursive(MTreeNode* node, const DataEntry& entry,
+                       std::unique_ptr<MTreeNode>* split_off);
+  /// Recomputes the node's covering radius (pivot unchanged).
+  static void RefreshCoveringRadius(MTreeNode* node);
+  /// Splits an overflowing node; may change the node's pivot. Returns the
+  /// new sibling.
+  std::unique_ptr<MTreeNode> SplitNode(MTreeNode* node) const;
+
+  size_t dim_;
+  MTreeOptions options_;
+  std::unique_ptr<MTreeNode> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_INDEX_M_TREE_H_

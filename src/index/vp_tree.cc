@@ -1,0 +1,165 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hyperdom {
+
+VpTree::VpTree(VpTreeOptions options) : options_(options) {}
+
+Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
+  root_.reset();
+  size_ = 0;
+  dim_ = 0;
+  if (options_.leaf_size < 1) {
+    return Status::InvalidArgument("VpTreeOptions.leaf_size must be >= 1");
+  }
+  if (spheres.empty()) return Status::OK();
+  dim_ = spheres.front().dim();
+  std::vector<DataEntry> items;
+  items.reserve(spheres.size());
+  for (size_t i = 0; i < spheres.size(); ++i) {
+    if (spheres[i].dim() != dim_) {
+      return Status::InvalidArgument(
+          "all spheres must share one dimensionality");
+    }
+    items.push_back(DataEntry{spheres[i], static_cast<uint64_t>(i)});
+  }
+  root_ = BuildRecursive(std::move(items));
+  size_ = spheres.size();
+  return Status::OK();
+}
+
+std::unique_ptr<VpTreeNode> VpTree::BuildRecursive(
+    std::vector<DataEntry> items) {
+  auto node = std::make_unique<VpTreeNode>();
+  node->subtree_size_ = items.size();
+  for (const auto& item : items) {
+    node->max_radius_ = std::max(node->max_radius_, item.sphere.radius());
+  }
+
+  if (items.size() <= options_.leaf_size) {
+    node->is_leaf_ = true;
+    node->bucket_ = std::move(items);
+    return node;
+  }
+
+  // Vantage point: the last item (the vector order is caller-random; a
+  // deterministic choice keeps builds reproducible).
+  node->vantage_ = std::move(items.back());
+  items.pop_back();
+
+  // Distances of the remaining centers to the vantage center.
+  std::vector<std::pair<double, size_t>> dist_order(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    dist_order[i] = {
+        Dist(items[i].sphere.center(), node->vantage_.sphere.center()), i};
+  }
+  std::sort(dist_order.begin(), dist_order.end());
+
+  const size_t half = items.size() / 2;
+  std::vector<DataEntry> inside_items, outside_items;
+  inside_items.reserve(half);
+  outside_items.reserve(items.size() - half);
+  for (size_t i = 0; i < dist_order.size(); ++i) {
+    auto& target = i < half ? inside_items : outside_items;
+    target.push_back(std::move(items[dist_order[i].second]));
+  }
+
+  if (!inside_items.empty()) {
+    node->inside_lo_ = dist_order.front().first;
+    node->inside_hi_ = dist_order[half - 1].first;
+    node->inside_ = BuildRecursive(std::move(inside_items));
+  }
+  if (!outside_items.empty()) {
+    node->outside_lo_ = dist_order[half].first;
+    node->outside_hi_ = dist_order.back().first;
+    node->outside_ = BuildRecursive(std::move(outside_items));
+  }
+  return node;
+}
+
+namespace {
+
+Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
+  if (node->is_leaf()) {
+    for (const auto& e : node->bucket()) {
+      if (e.sphere.radius() > node->max_radius() + 1e-12) {
+        return Status::Corruption("bucket radius exceeds max_radius");
+      }
+    }
+    *entry_total += node->bucket().size();
+    return Status::OK();
+  }
+
+  if (node->vantage().sphere.radius() > node->max_radius() + 1e-12) {
+    return Status::Corruption("vantage radius exceeds max_radius");
+  }
+  size_t children_total = 1;  // the vantage entry itself
+
+  struct Side {
+    const VpTreeNode* child;
+    double lo;
+    double hi;
+  };
+  const Side sides[2] = {
+      {node->inside(), node->inside_lo(), node->inside_hi()},
+      {node->outside(), node->outside_lo(), node->outside_hi()},
+  };
+  for (const Side& side : sides) {
+    if (side.child == nullptr) continue;
+    if (side.child->max_radius() > node->max_radius() + 1e-12) {
+      return Status::Corruption("child max_radius exceeds parent's");
+    }
+    // Every entry in the child subtree must respect the distance band.
+    std::vector<const VpTreeNode*> stack = {side.child};
+    while (!stack.empty()) {
+      const VpTreeNode* cur = stack.back();
+      stack.pop_back();
+      auto check_entry = [&](const DataEntry& e) {
+        const double d =
+            Dist(e.sphere.center(), node->vantage().sphere.center());
+        const double slack = 1e-9 * (1.0 + d);
+        if (d < side.lo - slack || d > side.hi + slack) {
+          return Status::Corruption("entry violates distance band");
+        }
+        return Status::OK();
+      };
+      if (cur->is_leaf()) {
+        for (const auto& e : cur->bucket()) {
+          HYPERDOM_RETURN_NOT_OK(check_entry(e));
+        }
+      } else {
+        HYPERDOM_RETURN_NOT_OK(check_entry(cur->vantage()));
+        if (cur->inside() != nullptr) stack.push_back(cur->inside());
+        if (cur->outside() != nullptr) stack.push_back(cur->outside());
+      }
+    }
+    HYPERDOM_RETURN_NOT_OK(CheckNode(side.child, &children_total));
+  }
+  if (children_total != node->subtree_size()) {
+    return Status::Corruption("subtree count mismatch");
+  }
+  *entry_total += children_total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VpTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Corruption("empty root but nonzero size");
+  }
+  size_t entry_total = 0;
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), &entry_total));
+  if (entry_total != size_) {
+    return Status::Corruption("total entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,103 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/best_known_list.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hyperdom {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BestKnownList::BestKnownList(const DominanceCriterion* criterion,
+                             const Hypersphere* sq, size_t k,
+                             KnnPruningMode mode, KnnStats* stats)
+    : criterion_(criterion), sq_(sq), k_(k), mode_(mode), stats_(stats) {
+  assert(criterion_ != nullptr && sq_ != nullptr && stats_ != nullptr);
+  assert(k_ >= 1);
+}
+
+double BestKnownList::DistK() const {
+  return items_.size() < k_ ? kInf : items_[k_ - 1].maxdist;
+}
+
+void BestKnownList::Access(const DataEntry& entry) {
+  ++stats_->entries_accessed;
+  const double distmax = MaxDist(entry.sphere, *sq_);
+  if (items_.size() < k_) {
+    InsertSorted(entry, distmax);
+    return;
+  }
+  const double distk = items_[k_ - 1].maxdist;
+  const double distmin = MinDist(entry.sphere, *sq_);
+  if (distmin > distk) {  // case 3: cheap distance prune (Lemma 9)
+    ++stats_->pruned_case3;
+    return;
+  }
+  if (distmax <= distk) {  // case 1: the top-k set changes
+    InsertSorted(entry, distmax);
+    EvictDominated(/*park=*/mode_ == KnnPruningMode::kDeferred);
+    return;
+  }
+  // case 2: the dominance operator decides.
+  ++stats_->dominance_checks;
+  if (criterion_->Dominates(items_[k_ - 1].entry.sphere, entry.sphere, *sq_)) {
+    ++stats_->pruned_case2;
+    // The interim Sk may not be the final Sk; park the entry so the final
+    // filter can resurrect it (kDeferred keeps Definition 2 exact).
+    if (mode_ == KnnPruningMode::kDeferred) deferred_.push_back(entry);
+  } else {
+    InsertSorted(entry, distmax);
+  }
+}
+
+std::vector<DataEntry> BestKnownList::TakeAnswers() {
+  if (items_.size() > k_) EvictDominated(/*park=*/false);
+  if (items_.size() >= k_ && !deferred_.empty()) {
+    const Hypersphere& sk = items_[k_ - 1].entry.sphere;
+    std::vector<DataEntry> revived;
+    for (const auto& entry : deferred_) {
+      ++stats_->dominance_checks;
+      if (!criterion_->Dominates(sk, entry.sphere, *sq_)) {
+        revived.push_back(entry);
+      }
+    }
+    for (const auto& entry : revived) {
+      InsertSorted(entry, MaxDist(entry.sphere, *sq_));
+    }
+  }
+  std::vector<DataEntry> out;
+  out.reserve(items_.size());
+  for (auto& item : items_) out.push_back(std::move(item.entry));
+  return out;
+}
+
+void BestKnownList::InsertSorted(const DataEntry& entry, double distmax) {
+  Item item{entry, distmax};
+  auto pos = std::upper_bound(
+      items_.begin(), items_.end(), distmax,
+      [](double v, const Item& it) { return v < it.maxdist; });
+  items_.insert(pos, std::move(item));
+}
+
+void BestKnownList::EvictDominated(bool park) {
+  if (items_.size() <= k_) return;
+  const Hypersphere& sk = items_[k_ - 1].entry.sphere;
+  auto keep = items_.begin() + static_cast<std::ptrdiff_t>(k_);
+  for (auto it = keep; it != items_.end(); ++it) {
+    ++stats_->dominance_checks;
+    if (!criterion_->Dominates(sk, it->entry.sphere, *sq_)) {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    } else {
+      ++stats_->removed_case1;
+      if (park) deferred_.push_back(it->entry);
+    }
+  }
+  items_.erase(keep, items_.end());
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,67 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The paper's best-known list L (Section 6), factored out so that every
+// index (SS-tree, R*-tree, VP-tree, M-tree) and the linear scan share one
+// implementation of the case-1/2/3 maintenance rules and of the final-Sk
+// filter that makes the answer exactly Definition 2 (see DESIGN.md,
+// "kNN answer semantics").
+
+#ifndef HYPERDOM_QUERY_BEST_KNOWN_LIST_H_
+#define HYPERDOM_QUERY_BEST_KNOWN_LIST_H_
+
+#include <vector>
+
+#include "dominance/criterion.h"
+#include "query/knn_types.h"
+
+namespace hyperdom {
+
+/// \brief Entries found so far, kept sorted by ascending MaxDist to the
+/// query, with the paper's maintenance rules:
+///   case 1 (distmax <= distk): insert, evict entries the new Sk dominates;
+///   case 2 (distmin <= distk < distmax): keep only if not dominated by Sk;
+///   case 3 (distmin > distk): drop (Lemma 9).
+/// In deferred mode (the default) dominance-pruned entries are parked and
+/// re-checked against the FINAL Sk by TakeAnswers(), which makes the
+/// surviving set exactly the Definition-2 answer when the criterion is
+/// correct and sound.
+class BestKnownList {
+ public:
+  /// Neither pointer is owned; both must outlive the list.
+  BestKnownList(const DominanceCriterion* criterion, const Hypersphere* sq,
+                size_t k, KnnPruningMode mode, KnnStats* stats);
+
+  /// The current pruning bound distk (+inf until k entries are known).
+  /// Non-increasing over the lifetime of the list.
+  double DistK() const;
+
+  /// Applies the maintenance rules to a newly accessed entry.
+  void Access(const DataEntry& entry);
+
+  /// Final filter against the final Sk; consumes the list. Answers are
+  /// ordered by ascending MaxDist to the query.
+  std::vector<DataEntry> TakeAnswers();
+
+ private:
+  struct Item {
+    DataEntry entry;
+    double maxdist;
+  };
+
+  void InsertSorted(const DataEntry& entry, double distmax);
+  /// Removes every entry beyond position k that the current Sk dominates;
+  /// with `park` they are kept aside for the final re-check.
+  void EvictDominated(bool park);
+
+  const DominanceCriterion* criterion_;
+  const Hypersphere* sq_;
+  size_t k_;
+  KnnPruningMode mode_;
+  KnnStats* stats_;
+  std::vector<Item> items_;
+  std::vector<DataEntry> deferred_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_BEST_KNOWN_LIST_H_

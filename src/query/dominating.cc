@@ -1,0 +1,36 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/dominating.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperdom {
+
+std::vector<DominatingScore> TopKDominating(
+    const std::vector<Hypersphere>& data, const Hypersphere& sq, size_t k,
+    const DominanceCriterion& criterion) {
+  assert(k >= 1);
+  std::vector<DominatingScore> scores(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    scores[i].id = static_cast<uint64_t>(i);
+    const double maxdist_i = MaxDist(data[i], sq);
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (i == j) continue;
+      // Necessary condition for Dom(i, j, sq): even the farthest point of
+      // S_i beats the nearest point of... at minimum S_i's worst case must
+      // not exceed S_j's worst case; cheap reject before the criterion.
+      if (maxdist_i >= MaxDist(data[j], sq)) continue;
+      if (criterion.Dominates(data[i], data[j], sq)) ++scores[i].score;
+    }
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const DominatingScore& a, const DominatingScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (scores.size() > k) scores.resize(k);
+  return scores;
+}
+
+}  // namespace hyperdom

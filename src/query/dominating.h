@@ -1,0 +1,35 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Top-k dominating query — the third dominance-powered application named in
+// the paper's Section 6 intro (Yiu & Mamoulis [33], Lian & Chen [24]).
+//
+// Each object is scored by how many other objects it provably dominates
+// w.r.t. the query sphere; the k highest scorers are returned. With a
+// correct criterion every counted pair is a true domination, so scores are
+// lower bounds; with Hyperbola they are exact.
+
+#ifndef HYPERDOM_QUERY_DOMINATING_H_
+#define HYPERDOM_QUERY_DOMINATING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// One scored object.
+struct DominatingScore {
+  uint64_t id = 0;     ///< index into the dataset
+  uint64_t score = 0;  ///< number of objects it dominates w.r.t. the query
+};
+
+/// \brief Scores every object and returns the k best, ties broken by lower
+/// id. O(N^2) dominance tests, with a MinMax-style cheap reject first.
+std::vector<DominatingScore> TopKDominating(
+    const std::vector<Hypersphere>& data, const Hypersphere& sq, size_t k,
+    const DominanceCriterion& criterion);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_DOMINATING_H_

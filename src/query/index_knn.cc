@@ -1,0 +1,215 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/index_knn.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "query/best_known_list.h"
+
+namespace hyperdom {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic DF / HS drivers over any node type given a bound and an expander.
+// `min_dist(node)` must lower-bound MinDist(S, Sq) for every data sphere S
+// in the node's subtree; `visit(node, emit_entry, emit_child)` must emit
+// the node's own entries and its children.
+// ---------------------------------------------------------------------------
+
+template <typename Node, typename MinDistFn, typename VisitFn>
+void GenericDepthFirst(const Node* node, const MinDistFn& min_dist,
+                       const VisitFn& visit, BestKnownList* list,
+                       KnnStats* stats) {
+  if (min_dist(node) > list->DistK()) {
+    ++stats->nodes_pruned;
+    return;
+  }
+  ++stats->nodes_visited;
+  std::vector<std::pair<double, const Node*>> order;
+  visit(
+      node, [&](const DataEntry& entry) { list->Access(entry); },
+      [&](const Node* child) { order.emplace_back(min_dist(child), child); });
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [bound, child] : order) {
+    if (bound > list->DistK()) {
+      ++stats->nodes_pruned;
+      continue;
+    }
+    GenericDepthFirst(child, min_dist, visit, list, stats);
+  }
+}
+
+template <typename Node, typename MinDistFn, typename VisitFn>
+void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
+                      const VisitFn& visit, BestKnownList* list,
+                      KnnStats* stats) {
+  using QueueItem = std::pair<double, const Node*>;
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.first > b.first;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> heap(
+      cmp);
+  heap.emplace(min_dist(root), root);
+  while (!heap.empty()) {
+    const auto [bound, node] = heap.top();
+    heap.pop();
+    if (bound > list->DistK()) {
+      stats->nodes_pruned += 1 + heap.size();
+      break;
+    }
+    ++stats->nodes_visited;
+    visit(
+        node, [&](const DataEntry& entry) { list->Access(entry); },
+        [&](const Node* child) { heap.emplace(min_dist(child), child); });
+  }
+}
+
+template <typename Root, typename MinDistFn, typename VisitFn>
+KnnResult RunSearch(const Root* root, const Hypersphere& sq,
+                    const DominanceCriterion& criterion,
+                    const KnnOptions& options, const MinDistFn& min_dist,
+                    const VisitFn& visit) {
+  KnnResult result;
+  if (root == nullptr) return result;
+  BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
+                     &result.stats);
+  if (options.strategy == SearchStrategy::kDepthFirst) {
+    GenericDepthFirst(root, min_dist, visit, &list, &result.stats);
+  } else {
+    GenericBestFirst(root, min_dist, visit, &list, &result.stats);
+  }
+  result.answers = list.TakeAnswers();
+  return result;
+}
+
+}  // namespace
+
+KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
+                         const DominanceCriterion& criterion,
+                         const KnnOptions& options) {
+  auto min_dist = [&](const RStarTreeNode* node) {
+    return MinDist(node->mbr(), sq);
+  };
+  auto visit = [](const RStarTreeNode* node, auto&& emit_entry,
+                  auto&& emit_child) {
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) emit_entry(entry);
+    } else {
+      for (const auto& child : node->children()) emit_child(child.get());
+    }
+  };
+  return RunSearch(tree.root(), sq, criterion, options, min_dist, visit);
+}
+
+KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
+                         const DominanceCriterion& criterion,
+                         const KnnOptions& options) {
+  auto min_dist = [&](const MTreeNode* node) {
+    const double d = Dist(node->pivot(), sq.center()) -
+                     node->covering_radius() - sq.radius();
+    return d > 0.0 ? d : 0.0;
+  };
+  auto visit = [](const MTreeNode* node, auto&& emit_entry,
+                  auto&& emit_child) {
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) emit_entry(entry);
+    } else {
+      for (const auto& child : node->children()) emit_child(child.get());
+    }
+  };
+  return RunSearch(tree.root(), sq, criterion, options, min_dist, visit);
+}
+
+KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
+                          const DominanceCriterion& criterion,
+                          const KnnOptions& options) {
+  // A VP-tree child's bound depends on its distance band relative to ITS
+  // PARENT's vantage point, so bounds are computed at emission time and
+  // carried alongside the node.
+  struct BoundedNode {
+    const VpTreeNode* node;
+    double bound;  // lower bound on MinDist(S, Sq) for S in the subtree
+  };
+
+  KnnResult result;
+  if (tree.root() == nullptr) return result;
+  BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
+                     &result.stats);
+  KnnStats* stats = &result.stats;
+
+  auto expand = [&](const VpTreeNode* node, auto&& emit_bounded) {
+    if (node->is_leaf()) {
+      for (const auto& entry : node->bucket()) list.Access(entry);
+      return;
+    }
+    list.Access(node->vantage());
+    const double dvp = Dist(sq.center(), node->vantage().sphere.center());
+    auto child_bound = [&](const VpTreeNode* child, double lo, double hi) {
+      // Triangle inequality: any subtree center c has
+      // Dist(c, cq) >= max(0, dvp - hi, lo - dvp); subtract the subtree's
+      // fattest radius and the query radius for sphere MinDist.
+      const double center_lb = std::max({0.0, dvp - hi, lo - dvp});
+      const double b = center_lb - child->max_radius() - sq.radius();
+      return b > 0.0 ? b : 0.0;
+    };
+    if (node->inside() != nullptr) {
+      emit_bounded(BoundedNode{node->inside(),
+                               child_bound(node->inside(), node->inside_lo(),
+                                           node->inside_hi())});
+    }
+    if (node->outside() != nullptr) {
+      emit_bounded(BoundedNode{
+          node->outside(), child_bound(node->outside(), node->outside_lo(),
+                                       node->outside_hi())});
+    }
+  };
+
+  if (options.strategy == SearchStrategy::kBestFirst) {
+    auto cmp = [](const BoundedNode& a, const BoundedNode& b) {
+      return a.bound > b.bound;
+    };
+    std::priority_queue<BoundedNode, std::vector<BoundedNode>, decltype(cmp)>
+        heap(cmp);
+    heap.push(BoundedNode{tree.root(), 0.0});
+    while (!heap.empty()) {
+      const BoundedNode top = heap.top();
+      heap.pop();
+      if (top.bound > list.DistK()) {
+        stats->nodes_pruned += 1 + heap.size();
+        break;
+      }
+      ++stats->nodes_visited;
+      expand(top.node, [&](const BoundedNode& child) { heap.push(child); });
+    }
+  } else {
+    // Depth-first with nearer-bound-first child ordering.
+    std::vector<BoundedNode> stack;
+    stack.push_back(BoundedNode{tree.root(), 0.0});
+    while (!stack.empty()) {
+      const BoundedNode top = stack.back();
+      stack.pop_back();
+      if (top.bound > list.DistK()) {
+        ++stats->nodes_pruned;
+        continue;
+      }
+      ++stats->nodes_visited;
+      std::vector<BoundedNode> children;
+      expand(top.node,
+             [&](const BoundedNode& child) { children.push_back(child); });
+      // Push the farther child first so the nearer one is expanded next.
+      std::sort(children.begin(), children.end(),
+                [](const BoundedNode& a, const BoundedNode& b) {
+                  return a.bound > b.bound;
+                });
+      for (const auto& child : children) stack.push_back(child);
+    }
+  }
+  result.answers = list.TakeAnswers();
+  return result;
+}
+
+}  // namespace hyperdom

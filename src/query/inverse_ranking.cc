@@ -1,0 +1,37 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/inverse_ranking.h"
+
+#include <cassert>
+
+namespace hyperdom {
+
+RankInterval InverseRanking(const std::vector<Hypersphere>& data,
+                            size_t target, const Hypersphere& sq,
+                            const DominanceCriterion& criterion) {
+  assert(target < data.size());
+  const Hypersphere& st = data[target];
+  const double target_maxdist = MaxDist(st, sq);
+
+  RankInterval interval;
+  for (size_t j = 0; j < data.size(); ++j) {
+    if (j == target) continue;
+    // Dom(S_j, S_t, Sq) requires MaxDist(S_j, Sq) < MaxDist(S_t, Sq)
+    // (cheap necessary condition; see query/dominating.cc).
+    if (MaxDist(data[j], sq) < target_maxdist &&
+        criterion.Dominates(data[j], st, sq)) {
+      ++interval.certainly_closer;
+      continue;  // an object cannot be both closer and farther
+    }
+    if (target_maxdist < MaxDist(data[j], sq) &&
+        criterion.Dominates(st, data[j], sq)) {
+      ++interval.certainly_farther;
+    }
+  }
+  interval.best_rank = 1 + interval.certainly_closer;
+  interval.worst_rank =
+      static_cast<uint64_t>(data.size()) - interval.certainly_farther;
+  return interval;
+}
+
+}  // namespace hyperdom

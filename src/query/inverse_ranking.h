@@ -1,0 +1,45 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Inverse ranking queries on hyperspheres — another dominance-powered
+// application named in the paper (Sections 1 and 6; Lian & Chen [23]
+// studied the hyperrectangle case). Given a query hypersphere Sq and a
+// target object S_t, the query asks which ranks S_t can possibly take when
+// all objects are ordered by distance to the (uncertain) query point.
+//
+// Dominance pins the rank from both sides:
+//   * every object that dominates S_t w.r.t. Sq is CERTAINLY closer, so
+//     best_rank  = 1 + #{ j : Dom(S_j, S_t, Sq) };
+//   * every object that S_t dominates is CERTAINLY farther, so
+//     worst_rank = N - #{ j : Dom(S_t, S_j, Sq) }.
+// With a correct criterion the interval always contains every achievable
+// rank; with Hyperbola it is the tightest interval derivable from pairwise
+// dominance alone.
+
+#ifndef HYPERDOM_QUERY_INVERSE_RANKING_H_
+#define HYPERDOM_QUERY_INVERSE_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// The possible-rank interval of one object (1-based, inclusive).
+struct RankInterval {
+  uint64_t best_rank = 1;
+  uint64_t worst_rank = 1;
+  uint64_t certainly_closer = 0;   ///< objects dominating the target
+  uint64_t certainly_farther = 0;  ///< objects the target dominates
+};
+
+/// \brief Computes the rank interval of `data[target]` w.r.t. `sq`.
+/// O(N) dominance tests with a MinMax-style cheap reject. Requires
+/// target < data.size().
+RankInterval InverseRanking(const std::vector<Hypersphere>& data,
+                            size_t target, const Hypersphere& sq,
+                            const DominanceCriterion& criterion);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_INVERSE_RANKING_H_

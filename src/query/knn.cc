@@ -1,0 +1,129 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "query/best_known_list.h"
+
+namespace hyperdom {
+
+namespace {
+
+void DepthFirstSearch(const SsTreeNode* node, const Hypersphere& sq,
+                      BestKnownList* list, KnnStats* stats) {
+  if (MinDist(node->bounding_sphere(), sq) > list->DistK()) {
+    ++stats->nodes_pruned;
+    return;
+  }
+  ++stats->nodes_visited;
+  if (node->is_leaf()) {
+    for (const auto& entry : node->entries()) list->Access(entry);
+    return;
+  }
+  // Visit children in ascending MinDist order so distk tightens early
+  // (Roussopoulos et al.'s ordering heuristic).
+  std::vector<std::pair<double, const SsTreeNode*>> order;
+  order.reserve(node->children().size());
+  for (const auto& child : node->children()) {
+    order.emplace_back(MinDist(child->bounding_sphere(), sq), child.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [mindist, child] : order) {
+    // distk shrinks while siblings are processed; re-check before descending.
+    if (mindist > list->DistK()) {
+      ++stats->nodes_pruned;
+      continue;
+    }
+    DepthFirstSearch(child, sq, list, stats);
+  }
+}
+
+void BestFirstSearch(const SsTreeNode* root, const Hypersphere& sq,
+                     BestKnownList* list, KnnStats* stats) {
+  using QueueItem = std::pair<double, const SsTreeNode*>;
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.first > b.first;  // min-heap on MinDist
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> heap(
+      cmp);
+  heap.emplace(MinDist(root->bounding_sphere(), sq), root);
+  while (!heap.empty()) {
+    const auto [mindist, node] = heap.top();
+    heap.pop();
+    if (mindist > list->DistK()) {
+      // The heap is ordered by MinDist: everything left is at least as far.
+      stats->nodes_pruned += 1 + heap.size();
+      break;
+    }
+    ++stats->nodes_visited;
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) list->Access(entry);
+    } else {
+      for (const auto& child : node->children()) {
+        heap.emplace(MinDist(child->bounding_sphere(), sq), child.get());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KnnSearcher::KnnSearcher(const DominanceCriterion* criterion,
+                         KnnOptions options)
+    : criterion_(criterion), options_(options) {
+  assert(criterion_ != nullptr);
+  assert(options_.k >= 1);
+}
+
+KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
+  KnnResult result;
+  if (tree.root() == nullptr) return result;
+  BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
+                     &result.stats);
+  if (options_.strategy == SearchStrategy::kDepthFirst) {
+    DepthFirstSearch(tree.root(), sq, &list, &result.stats);
+  } else {
+    BestFirstSearch(tree.root(), sq, &list, &result.stats);
+  }
+  result.answers = list.TakeAnswers();
+  return result;
+}
+
+KnnResult KnnLinearScan(const std::vector<Hypersphere>& data,
+                        const Hypersphere& sq, size_t k,
+                        const DominanceCriterion& criterion) {
+  assert(k >= 1);
+  KnnResult result;
+  std::vector<std::pair<double, uint64_t>> by_maxdist;
+  by_maxdist.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    by_maxdist.emplace_back(MaxDist(data[i], sq), static_cast<uint64_t>(i));
+  }
+  std::sort(by_maxdist.begin(), by_maxdist.end());
+
+  if (data.size() <= k) {
+    for (const auto& [maxdist, id] : by_maxdist) {
+      result.answers.push_back(DataEntry{data[id], id});
+    }
+    result.stats.entries_accessed = data.size();
+    return result;
+  }
+
+  const Hypersphere& sk = data[by_maxdist[k - 1].second];
+  for (const auto& [maxdist, id] : by_maxdist) {
+    ++result.stats.entries_accessed;
+    ++result.stats.dominance_checks;
+    if (!criterion.Dominates(sk, data[id], sq)) {
+      result.answers.push_back(DataEntry{data[id], id});
+    } else {
+      ++result.stats.pruned_case2;
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/nn_iterator.h"
+
+#include <limits>
+
+namespace hyperdom {
+
+NearestNeighborIterator::NearestNeighborIterator(const SsTree* tree,
+                                                 Hypersphere query)
+    : tree_(tree), query_(std::move(query)) {
+  if (tree_ != nullptr && tree_->root() != nullptr) {
+    heap_.push(QueueItem{MinDist(tree_->root()->bounding_sphere(), query_),
+                         tree_->root(), nullptr});
+  }
+}
+
+std::optional<NearestNeighborIterator::Item> NearestNeighborIterator::Next() {
+  while (!heap_.empty()) {
+    const QueueItem top = heap_.top();
+    heap_.pop();
+    if (top.entry != nullptr) {
+      ++produced_;
+      return Item{*top.entry, top.dist};
+    }
+    const SsTreeNode* node = top.node;
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) {
+        heap_.push(QueueItem{MinDist(entry.sphere, query_), nullptr, &entry});
+      }
+    } else {
+      for (const auto& child : node->children()) {
+        heap_.push(QueueItem{MinDist(child->bounding_sphere(), query_),
+                             child.get(), nullptr});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double NearestNeighborIterator::PendingBound() const {
+  return heap_.empty() ? std::numeric_limits<double>::infinity()
+                       : heap_.top().dist;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,69 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Incremental nearest-neighbor iteration over an SS-tree — Hjaltason &
+// Samet's "distance browsing" ([15], the paper's HS strategy) exposed as a
+// public iterator: entries stream out in non-decreasing MinDist order to
+// the query, each produced lazily, so callers that stop after a handful of
+// results pay only for what they consume. This is the primitive the HS
+// kNN search specializes; it is also what applications use when the
+// stopping rule is theirs (e.g. "read neighbors until two certain ones").
+
+#ifndef HYPERDOM_QUERY_NN_ITERATOR_H_
+#define HYPERDOM_QUERY_NN_ITERATOR_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "index/ss_tree.h"
+
+namespace hyperdom {
+
+/// \brief Lazy best-first stream of index entries by ascending MinDist to
+/// the query sphere.
+///
+/// The tree must outlive and not mutate under the iterator.
+class NearestNeighborIterator {
+ public:
+  /// One streamed result.
+  struct Item {
+    DataEntry entry;
+    /// MinDist(entry.sphere, query) — non-decreasing across Next() calls.
+    double min_dist = 0.0;
+  };
+
+  NearestNeighborIterator(const SsTree* tree, Hypersphere query);
+
+  /// The next nearest entry, or nullopt when the tree is exhausted.
+  std::optional<Item> Next();
+
+  /// Lower bound on every future Next() result's min_dist (infinity once
+  /// exhausted). Usable as an external stopping rule.
+  double PendingBound() const;
+
+  /// Entries produced so far.
+  size_t produced() const { return produced_; }
+
+ private:
+  // The classical two-kind priority queue: nodes carry the MinDist of
+  // their region, entries their own MinDist.
+  struct QueueItem {
+    double dist;
+    const SsTreeNode* node;    // null for entry items
+    const DataEntry* entry;    // null for node items
+  };
+  struct Compare {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      return a.dist > b.dist;  // min-heap
+    }
+  };
+
+  const SsTree* tree_;
+  Hypersphere query_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Compare> heap_;
+  size_t produced_ = 0;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_NN_ITERATOR_H_

@@ -1,0 +1,102 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/probabilistic_knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+
+namespace hyperdom {
+
+ProbabilisticKnnResult ProbabilisticKnn(
+    const std::vector<Hypersphere>& data, const Hypersphere& sq,
+    const DominanceCriterion& criterion,
+    const ProbabilisticKnnOptions& options) {
+  assert(options.k >= 1);
+  assert(options.tau >= 0.0 && options.tau <= 1.0);
+  assert(options.samples >= 1);
+  const size_t n = data.size();
+
+  ProbabilisticKnnResult result;
+  if (n == 0) return result;
+
+  // Phase 1 — dominance pruning: an object with >= k dominators is beaten
+  // by k objects in EVERY realization, so its probability is exactly zero.
+  // Probe likely dominators (nearest by MaxDist to the candidate) first
+  // and use the necessary condition MaxDist(T, S-as-query)... the cheap
+  // reject from query/rknn.cc: T can dominate S only if
+  // MaxDist(T, Sq) < MaxDist(S, Sq).
+  std::vector<std::pair<double, size_t>> by_maxdist(n);
+  for (size_t i = 0; i < n; ++i) {
+    by_maxdist[i] = {MaxDist(data[i], sq), i};
+  }
+  std::sort(by_maxdist.begin(), by_maxdist.end());
+
+  std::vector<bool> alive(n, false);
+  std::vector<size_t> candidates;
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t i = by_maxdist[rank].second;
+    if (rank < options.k) {
+      // Fewer than k objects can even potentially dominate it.
+      alive[i] = true;
+      candidates.push_back(i);
+      continue;
+    }
+    size_t dominators = 0;
+    for (size_t prev = 0; prev < rank && dominators < options.k; ++prev) {
+      const size_t j = by_maxdist[prev].second;
+      ++result.dominance_checks;
+      if (criterion.Dominates(data[j], data[i], sq)) ++dominators;
+    }
+    if (dominators < options.k) {
+      alive[i] = true;
+      candidates.push_back(i);
+    } else {
+      ++result.candidates_pruned;
+    }
+  }
+  result.candidates_sampled = candidates.size();
+
+  // Phase 2 — Monte Carlo over whole-world realizations.
+  Rng base(options.seed);
+  Rng rng_q = base.Fork(0);
+  Rng rng_obj = base.Fork(1);
+  std::vector<uint64_t> hits(n, 0);
+  std::vector<double> dists(n);
+  std::vector<size_t> order(n);
+  for (uint64_t round = 0; round < options.samples; ++round) {
+    const Point q = SampleInBall(&rng_q, sq);
+    for (size_t i = 0; i < n; ++i) {
+      dists[i] = SquaredDist(SampleInBall(&rng_obj, data[i]), q);
+    }
+    // Credit the k nearest realizations of this round.
+    std::iota(order.begin(), order.end(), 0);
+    const size_t k = std::min(options.k, n);
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](size_t a, size_t b) { return dists[a] < dists[b]; });
+    for (size_t rank = 0; rank < k; ++rank) ++hits[order[rank]];
+  }
+
+  for (size_t i : candidates) {
+    const double p = static_cast<double>(hits[i]) /
+                     static_cast<double>(options.samples);
+    if (p >= options.tau) {
+      result.answers.push_back(
+          ProbabilisticCandidate{static_cast<uint64_t>(i), p});
+    }
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const ProbabilisticCandidate& a,
+               const ProbabilisticCandidate& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.id < b.id;
+            });
+  return result;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,69 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Probability-threshold kNN over uncertain objects (the query family of
+// the paper's references [2, 3, 7, 19, 25]): return every object whose
+// probability of ranking among the k nearest neighbors of the uncertain
+// query is at least tau, under the uniform-in-ball independence model.
+//
+// Role of the dominance operator: an object S is CERTAINLY outside the
+// top k iff at least k other objects dominate it w.r.t. Sq — in every
+// realization those k objects all beat S. Counting dominators with a
+// correct criterion therefore prunes candidates with provably zero
+// probability, and with Hyperbola the count is exact. The surviving
+// candidates are scored by Monte Carlo over whole-world realizations (one
+// sampled point per object and per query each round, top-k credited).
+//
+// Note this certainly-out set is NOT the complement of the paper's
+// Definition-2 answer: being dominated by Sk alone rules out at most one
+// competitor, while zero probability needs k of them.
+
+#ifndef HYPERDOM_QUERY_PROBABILISTIC_KNN_H_
+#define HYPERDOM_QUERY_PROBABILISTIC_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// One scored candidate of a probabilistic kNN query.
+struct ProbabilisticCandidate {
+  uint64_t id = 0;           ///< index into the dataset
+  double probability = 0.0;  ///< estimated P[object ranks in the top k]
+};
+
+/// Options for ProbabilisticKnn.
+struct ProbabilisticKnnOptions {
+  size_t k = 10;
+  /// Minimum membership probability for the answer set, in [0, 1].
+  double tau = 0.5;
+  /// Monte-Carlo rounds (whole-world realizations).
+  uint64_t samples = 400;
+  uint64_t seed = 0xFACADE;
+};
+
+/// Result of a probabilistic kNN query.
+struct ProbabilisticKnnResult {
+  /// Candidates with probability >= tau, sorted by descending probability
+  /// (ties by ascending id).
+  std::vector<ProbabilisticCandidate> answers;
+  /// Objects that survived the >= k-dominators pruning and were scored.
+  uint64_t candidates_sampled = 0;
+  /// Objects pruned with provably zero probability.
+  uint64_t candidates_pruned = 0;
+  uint64_t dominance_checks = 0;
+};
+
+/// \brief Runs the threshold query: prunes objects with >= k dominators
+/// (provably probability zero under a correct `criterion`), then
+/// Monte-Carlo-scores the survivors. Requires options.k >= 1,
+/// 0 <= tau <= 1, samples >= 1.
+ProbabilisticKnnResult ProbabilisticKnn(const std::vector<Hypersphere>& data,
+                                        const Hypersphere& sq,
+                                        const DominanceCriterion& criterion,
+                                        const ProbabilisticKnnOptions& options);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_PROBABILISTIC_KNN_H_

@@ -1,0 +1,62 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/range.h"
+
+#include <cassert>
+
+namespace hyperdom {
+
+namespace {
+
+void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
+                    double range, RangeResult* result) {
+  if (MinDist(node->bounding_sphere(), sq) > range) {
+    ++result->stats.nodes_pruned;
+    return;
+  }
+  ++result->stats.nodes_visited;
+  if (node->is_leaf()) {
+    for (const auto& entry : node->entries()) {
+      ++result->stats.entries_accessed;
+      if (MinDist(entry.sphere, sq) <= range) {
+        result->possible.push_back(entry);
+        if (MaxDist(entry.sphere, sq) <= range) {
+          result->certain.push_back(entry);
+        }
+      }
+    }
+    return;
+  }
+  for (const auto& child : node->children()) {
+    RangeRecursive(child.get(), sq, range, result);
+  }
+}
+
+}  // namespace
+
+RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
+                        double range) {
+  assert(range >= 0.0);
+  RangeResult result;
+  if (tree.root() == nullptr) return result;
+  RangeRecursive(tree.root(), sq, range, &result);
+  return result;
+}
+
+RangeResult RangeLinearScan(const std::vector<Hypersphere>& data,
+                            const Hypersphere& sq, double range) {
+  assert(range >= 0.0);
+  RangeResult result;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ++result.stats.entries_accessed;
+    if (MinDist(data[i], sq) <= range) {
+      result.possible.push_back(DataEntry{data[i], static_cast<uint64_t>(i)});
+      if (MaxDist(data[i], sq) <= range) {
+        result.certain.push_back(DataEntry{data[i], static_cast<uint64_t>(i)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperdom

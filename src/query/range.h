@@ -1,0 +1,49 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Range queries over uncertain objects: "which objects lie within distance
+// `range` of the (uncertain) query region?" Under object uncertainty the
+// answer splits into two sets,
+//   * certain:  MaxDist(S, Sq) <= range — every realization qualifies;
+//   * possible: MinDist(S, Sq) <= range — some realization qualifies
+// (certain is a subset of possible). This is the range counterpart of the
+// paper's kNN Definition 2 and a staple of the uncertain-database systems
+// the paper cites ([6, 8]); it needs only the Min/MaxDist machinery, no
+// dominance.
+
+#ifndef HYPERDOM_QUERY_RANGE_H_
+#define HYPERDOM_QUERY_RANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/ss_tree.h"
+
+namespace hyperdom {
+
+/// Counters describing one range query.
+struct RangeStats {
+  uint64_t nodes_visited = 0;
+  uint64_t nodes_pruned = 0;
+  uint64_t entries_accessed = 0;
+};
+
+/// Result of a range query.
+struct RangeResult {
+  /// Objects entirely within range (every realization qualifies).
+  std::vector<DataEntry> certain;
+  /// Objects that may be within range, INCLUDING the certain ones.
+  std::vector<DataEntry> possible;
+  RangeStats stats;
+};
+
+/// Runs the range query over an SS-tree. `range` must be >= 0.
+RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
+                        double range);
+
+/// Reference evaluation by linear scan.
+RangeResult RangeLinearScan(const std::vector<Hypersphere>& data,
+                            const Hypersphere& sq, double range);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_RANGE_H_

@@ -1,0 +1,136 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/rknn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "index/ss_tree.h"
+
+namespace hyperdom {
+
+RknnResult RknnFilter(const std::vector<Hypersphere>& data,
+                      const Hypersphere& sq, size_t k,
+                      const DominanceCriterion& criterion) {
+  assert(k >= 1);
+  RknnResult result;
+  for (size_t cand = 0; cand < data.size(); ++cand) {
+    const Hypersphere& s = data[cand];
+    // Probe the other objects nearest to the candidate first: they are the
+    // likeliest dominators, so the k-count saturates early.
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(data.size() - 1);
+    for (size_t other = 0; other < data.size(); ++other) {
+      if (other == cand) continue;
+      order.emplace_back(MaxDist(data[other], s), other);
+    }
+    std::sort(order.begin(), order.end());
+
+    size_t dominators = 0;
+    for (const auto& [maxdist, other] : order) {
+      // Once even the closest possible placement of Sq beats `maxdist`,
+      // no further object can dominate Sq w.r.t. s; stop scanning.
+      if (maxdist >= MaxDist(sq, s)) break;
+      ++result.stats.dominance_checks;
+      if (criterion.Dominates(data[other], sq, s)) {
+        if (++dominators >= k) break;
+      }
+    }
+    if (dominators >= k) {
+      ++result.stats.candidates_pruned;
+    } else {
+      result.answers.push_back(static_cast<uint64_t>(cand));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Lower bound, over entries T inside `region`, of MaxDist(T, s): the
+// closest any T's center can be is MinDist(region-ball, s-center) and its
+// radius can be 0, so  lb = max(0, Dist(c_region, c_s) - r_region) + r_s.
+double CheapestMaxDist(const Hypersphere& region, const Hypersphere& s) {
+  const double center_gap = Dist(region.center(), s.center()) - region.radius();
+  return (center_gap > 0.0 ? center_gap : 0.0) + s.radius();
+}
+
+// Counts dominators of (sq w.r.t. candidate) via a best-first traversal,
+// stopping at k. `self_id` is excluded from the count.
+size_t CountDominators(const SsTree& tree, const Hypersphere& sq,
+                       const Hypersphere& candidate, uint64_t self_id,
+                       size_t k, const DominanceCriterion& criterion,
+                       RknnIndexStats* stats) {
+  const double bound = MaxDist(sq, candidate);
+  using QueueItem = std::pair<double, const SsTreeNode*>;
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.first > b.first;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> heap(
+      cmp);
+  heap.emplace(CheapestMaxDist(tree.root()->bounding_sphere(), candidate),
+               tree.root());
+  size_t dominators = 0;
+  while (!heap.empty() && dominators < k) {
+    const auto [lb, node] = heap.top();
+    heap.pop();
+    // Dominance of sq w.r.t. the candidate requires MaxDist(T, candidate)
+    // < MaxDist(sq, candidate); nothing under this node can qualify.
+    if (lb >= bound) break;
+    ++stats->nodes_visited;
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) {
+        if (entry.id == self_id) continue;
+        if (MaxDist(entry.sphere, candidate) >= bound) continue;
+        ++stats->dominance_checks;
+        if (criterion.Dominates(entry.sphere, sq, candidate)) {
+          if (++dominators >= k) break;
+        }
+      }
+    } else {
+      for (const auto& child : node->children()) {
+        const double child_lb =
+            CheapestMaxDist(child->bounding_sphere(), candidate);
+        if (child_lb < bound) heap.emplace(child_lb, child.get());
+      }
+    }
+  }
+  return dominators;
+}
+
+}  // namespace
+
+RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
+                           size_t k, const DominanceCriterion& criterion) {
+  assert(k >= 1);
+  RknnIndexResult result;
+  if (tree.root() == nullptr) return result;
+
+  // Enumerate every candidate entry once.
+  std::vector<const SsTreeNode*> stack = {tree.root()};
+  std::vector<const DataEntry*> candidates;
+  while (!stack.empty()) {
+    const SsTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries()) candidates.push_back(&entry);
+    } else {
+      for (const auto& child : node->children()) stack.push_back(child.get());
+    }
+  }
+
+  for (const DataEntry* cand : candidates) {
+    const size_t dominators = CountDominators(
+        tree, sq, cand->sphere, cand->id, k, criterion, &result.stats);
+    if (dominators >= k) {
+      ++result.stats.candidates_pruned;
+    } else {
+      result.answers.push_back(cand->id);
+    }
+  }
+  std::sort(result.answers.begin(), result.answers.end());
+  return result;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,71 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Reverse kNN on hyperspheres — one of the dominance-powered applications
+// named in the paper's Sections 1 and 6 ("we can discard Sb if Sa dominates
+// Sq wrt Sb").
+//
+// Semantics under uncertainty: an object S is a *possible* RkNN of the
+// query Sq unless at least k other objects are provably closer to S than Sq
+// is — i.e. unless k distinct objects S' satisfy Dom(S', Sq, S). Note the
+// role reversal: the candidate S acts as the query sphere of the dominance
+// test. With a correct criterion the returned set is a superset of the true
+// possible-RkNN set; with Hyperbola it is exact w.r.t. this filter.
+
+#ifndef HYPERDOM_QUERY_RKNN_H_
+#define HYPERDOM_QUERY_RKNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// Counters describing one RkNN evaluation.
+struct RknnStats {
+  uint64_t dominance_checks = 0;
+  uint64_t candidates_pruned = 0;
+};
+
+/// Result of an RkNN query: indices into the dataset.
+struct RknnResult {
+  std::vector<uint64_t> answers;
+  RknnStats stats;
+};
+
+/// \brief Filter-based reverse-kNN: keep every object for which fewer than
+/// `k` other objects dominate `sq` w.r.t. it.
+///
+/// O(N^2) worst case but each candidate short-circuits after k dominators;
+/// candidates are tested against neighbors in ascending MaxDist order so
+/// the short-circuit triggers early.
+RknnResult RknnFilter(const std::vector<Hypersphere>& data,
+                      const Hypersphere& sq, size_t k,
+                      const DominanceCriterion& criterion);
+
+/// \brief Index-accelerated reverse-kNN over an SS-tree (the filter-refine
+/// shape of Lian & Chen [22]): per candidate S, dominator candidates are
+/// pulled best-first from the tree — a subtree can contain a dominator of
+/// (Sq w.r.t. S) only if its cheapest possible MaxDist to S is below
+/// MaxDist(Sq, S) — and the scan stops at k dominators or at the bound.
+/// Returns exactly RknnFilter's answers; `nodes_visited` counts traversal
+/// work. Entry ids must be the tree's bulk-load positions.
+struct RknnIndexStats {
+  uint64_t dominance_checks = 0;
+  uint64_t candidates_pruned = 0;
+  uint64_t nodes_visited = 0;
+};
+
+struct RknnIndexResult {
+  std::vector<uint64_t> answers;
+  RknnIndexStats stats;
+};
+
+class SsTree;  // from index/ss_tree.h
+
+RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
+                           size_t k, const DominanceCriterion& criterion);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_RKNN_H_

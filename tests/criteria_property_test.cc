@@ -1,0 +1,170 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Cross-criterion property sweeps pinning the paper's Table 1 claims:
+//   * correct criteria never return a false positive,
+//   * sound criteria never return a false negative,
+//   * Lemma 1 (overlap => no dominance) for every correct criterion,
+//   * Hyperbola is at least as complete as every correct criterion and at
+//     least as precise as every sound criterion.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dominance/criterion.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+struct SweepParam {
+  CriterionKind kind;
+  size_t dim;
+  double mu;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) {
+  *os << CriterionKindName(p.kind) << "_d" << p.dim << "_mu" << p.mu;
+}
+
+class CriterionSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  std::unique_ptr<DominanceCriterion> criterion_ =
+      MakeCriterion(GetParam().kind);
+};
+
+TEST_P(CriterionSweepTest, CorrectnessOrSoundnessHolds) {
+  const auto& p = GetParam();
+  Rng rng(6000 + static_cast<uint64_t>(p.kind) * 101 + p.dim * 7 +
+          static_cast<uint64_t>(p.mu));
+  int checked = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, p.dim, p.mu);
+    if (test::IsBorderline(s)) continue;
+    ++checked;
+    const bool truth = test::OracleDominates(s);
+    const bool predicted = criterion_->Dominates(s.sa, s.sb, s.sq);
+    if (criterion_->is_correct() && predicted) {
+      EXPECT_TRUE(truth) << "false positive from "
+                         << std::string(criterion_->name()) << ": "
+                         << test::SceneToString(s);
+    }
+    if (criterion_->is_sound() && !predicted) {
+      EXPECT_FALSE(truth) << "false negative from "
+                          << std::string(criterion_->name()) << ": "
+                          << test::SceneToString(s);
+    }
+  }
+  EXPECT_GT(checked, 4000);
+}
+
+TEST_P(CriterionSweepTest, OverlapNeverDominatesForCorrectCriteria) {
+  const auto& p = GetParam();
+  if (!criterion_->is_correct()) GTEST_SKIP() << "criterion is not correct";
+  Rng rng(6100 + p.dim);
+  for (int iter = 0; iter < 1500; ++iter) {
+    // Construct overlapping Sa, Sb: put cb within ra + rb of ca.
+    const Hypersphere sa = test::RandomSphere(&rng, p.dim, p.mu);
+    const double rb = rng.Uniform(0.0, p.mu);
+    Point dir = test::RandomPoint(&rng, p.dim, 0.0, 1.0);
+    if (Norm(dir) < 1e-12) continue;
+    dir = Normalized(dir);
+    const double dist = rng.NextDouble() * (sa.radius() + rb);
+    const Hypersphere sb(AddScaled(sa.center(), dist, dir), rb);
+    const Hypersphere sq = test::RandomSphere(&rng, p.dim, p.mu);
+    ASSERT_TRUE(Overlaps(sa, sb));
+    EXPECT_FALSE(criterion_->Dominates(sa, sb, sq))
+        << std::string(criterion_->name());
+  }
+}
+
+std::vector<SweepParam> MakeSweepGrid() {
+  std::vector<SweepParam> grid;
+  for (CriterionKind kind : PaperCriteria()) {
+    for (size_t dim : {2u, 4u, 10u}) {
+      for (double mu : {5.0, 50.0}) {
+        grid.push_back(SweepParam{kind, dim, mu});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCriteria, CriterionSweepTest,
+                         ::testing::ValuesIn(MakeSweepGrid()));
+
+// Hyperbola dominates the alternatives on both axes: whenever a correct
+// criterion accepts, Hyperbola accepts too; whenever a sound criterion
+// rejects, Hyperbola rejects too.
+TEST(CriteriaHierarchyTest, HyperbolaIsAtLeastAsGood) {
+  Rng rng(6200);
+  const auto hyperbola = MakeCriterion(CriterionKind::kHyperbola);
+  std::vector<std::unique_ptr<DominanceCriterion>> others;
+  for (CriterionKind kind :
+       {CriterionKind::kMinMax, CriterionKind::kMbr, CriterionKind::kGp,
+        CriterionKind::kTrigonometric}) {
+    others.push_back(MakeCriterion(kind));
+  }
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(9);
+    const test::Scene s = test::RandomScene(&rng, dim, 10.0);
+    if (test::IsBorderline(s)) continue;
+    const bool h = hyperbola->Dominates(s.sa, s.sb, s.sq);
+    for (const auto& other : others) {
+      const bool o = other->Dominates(s.sa, s.sb, s.sq);
+      if (other->is_correct() && o) {
+        EXPECT_TRUE(h) << std::string(other->name()) << " accepted but "
+                       << "Hyperbola rejected: " << test::SceneToString(s);
+      }
+      if (other->is_sound() && !o) {
+        EXPECT_FALSE(h) << std::string(other->name()) << " rejected but "
+                        << "Hyperbola accepted: " << test::SceneToString(s);
+      }
+    }
+  }
+}
+
+TEST(CriteriaFactoryTest, MakesEveryKind) {
+  for (CriterionKind kind :
+       {CriterionKind::kMinMax, CriterionKind::kMbr, CriterionKind::kGp,
+        CriterionKind::kTrigonometric, CriterionKind::kHyperbola,
+        CriterionKind::kNumericOracle}) {
+    const auto criterion = MakeCriterion(kind);
+    ASSERT_NE(criterion, nullptr);
+    EXPECT_EQ(criterion->name(), CriterionKindName(kind));
+  }
+}
+
+TEST(CriteriaFactoryTest, PaperCriteriaMatchesTableOneOrder) {
+  const auto& kinds = PaperCriteria();
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], CriterionKind::kMinMax);
+  EXPECT_EQ(kinds[1], CriterionKind::kMbr);
+  EXPECT_EQ(kinds[2], CriterionKind::kGp);
+  EXPECT_EQ(kinds[3], CriterionKind::kTrigonometric);
+  EXPECT_EQ(kinds[4], CriterionKind::kHyperbola);
+}
+
+TEST(CriteriaFactoryTest, TableOneFlagsMatchThePaper) {
+  struct Expectation {
+    CriterionKind kind;
+    bool correct;
+    bool sound;
+  };
+  const Expectation expected[] = {
+      {CriterionKind::kMinMax, true, false},
+      {CriterionKind::kMbr, true, false},
+      {CriterionKind::kGp, true, false},
+      {CriterionKind::kTrigonometric, false, true},
+      {CriterionKind::kHyperbola, true, true},
+  };
+  for (const auto& e : expected) {
+    const auto criterion = MakeCriterion(e.kind);
+    EXPECT_EQ(criterion->is_correct(), e.correct)
+        << CriterionKindName(e.kind);
+    EXPECT_EQ(criterion->is_sound(), e.sound) << CriterionKindName(e.kind);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,130 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generator.h"
+
+namespace hyperdom {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/hyperdom_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  SyntheticSpec spec;
+  spec.n = 200;
+  spec.dim = 5;
+  spec.seed = 77;
+  const auto original = GenerateSynthetic(spec);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveSpheresCsv(path, original).ok());
+
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, EmptyDatasetRoundTrips) {
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(SaveSpheresCsv(path, {}).ok());
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MixedDimensionalityRejectedOnSave) {
+  const std::vector<Hypersphere> bad = {Hypersphere({1.0, 2.0}, 0.5),
+                                        Hypersphere({1.0, 2.0, 3.0}, 0.5)};
+  const Status st = SaveSpheresCsv(TempPath("mixed.csv"), bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  auto loaded = LoadSpheresCsv("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, CommentsAndBlankLinesSkipped) {
+  const std::string path = TempPath("comments.csv");
+  WriteFile(path, "# header\n\n1,2,0.5\n  \n# more\n3,4,1.5\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0], Hypersphere({1.0, 2.0}, 0.5));
+  EXPECT_EQ((*loaded)[1], Hypersphere({3.0, 4.0}, 1.5));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, BadNumberIsCorruption) {
+  const std::string path = TempPath("badnum.csv");
+  WriteFile(path, "1,2,abc\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, InconsistentDimensionalityIsCorruption) {
+  const std::string path = TempPath("baddim.csv");
+  WriteFile(path, "1,2,0.5\n1,2,3,0.5\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, NegativeRadiusIsCorruption) {
+  const std::string path = TempPath("negr.csv");
+  WriteFile(path, "1,2,-0.5\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, SingleFieldRowIsCorruption) {
+  const std::string path = TempPath("short.csv");
+  WriteFile(path, "42\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, FullPrecisionPreserved) {
+  const std::vector<Hypersphere> original = {
+      Hypersphere({1.0 / 3.0, 2.0 / 7.0}, 1e-17),
+      Hypersphere({-1234567.89012345, 0.1}, 3.14159265358979)};
+  const std::string path = TempPath("precision.csv");
+  ASSERT_TRUE(SaveSpheresCsv(path, original).ok());
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]);  // bit-exact via %.17g
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hyperdom

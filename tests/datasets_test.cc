@@ -1,0 +1,99 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hyperdom {
+namespace {
+
+TEST(DatasetsTest, InfoMatchesThePaper) {
+  const RealDatasetInfo nba = GetRealDatasetInfo(RealDataset::kNba);
+  EXPECT_EQ(nba.name, "NBA");
+  EXPECT_EQ(nba.n, 17'265u);
+  EXPECT_EQ(nba.dim, 17u);
+
+  const RealDatasetInfo color = GetRealDatasetInfo(RealDataset::kColor);
+  EXPECT_EQ(color.name, "Color");
+  EXPECT_EQ(color.n, 68'040u);
+  EXPECT_EQ(color.dim, 9u);
+
+  const RealDatasetInfo texture = GetRealDatasetInfo(RealDataset::kTexture);
+  EXPECT_EQ(texture.name, "Texture");
+  EXPECT_EQ(texture.n, 68'040u);
+  EXPECT_EQ(texture.dim, 16u);
+
+  const RealDatasetInfo forest = GetRealDatasetInfo(RealDataset::kForest);
+  EXPECT_EQ(forest.name, "Forest");
+  EXPECT_EQ(forest.n, 82'012u);
+  EXPECT_EQ(forest.dim, 10u);
+}
+
+TEST(DatasetsTest, AllRealDatasetsHasFourInFigureTenOrder) {
+  const auto& all = AllRealDatasets();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], RealDataset::kNba);
+  EXPECT_EQ(all[1], RealDataset::kForest);
+  EXPECT_EQ(all[2], RealDataset::kColor);
+  EXPECT_EQ(all[3], RealDataset::kTexture);
+}
+
+TEST(DatasetsTest, SampleCapRespected) {
+  const auto points = LoadRealStandIn(RealDataset::kNba, 500);
+  EXPECT_EQ(points.size(), 500u);
+  for (const auto& p : points) EXPECT_EQ(p.size(), 17u);
+}
+
+TEST(DatasetsTest, FullSizeMatchesInfo) {
+  const auto points = LoadRealStandIn(RealDataset::kNba);
+  EXPECT_EQ(points.size(), GetRealDatasetInfo(RealDataset::kNba).n);
+}
+
+TEST(DatasetsTest, Deterministic) {
+  const auto a = LoadRealStandIn(RealDataset::kColor, 300);
+  const auto b = LoadRealStandIn(RealDataset::kColor, 300);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(DatasetsTest, DatasetsDifferFromEachOther) {
+  const auto color = LoadRealStandIn(RealDataset::kColor, 100);
+  const auto nba = LoadRealStandIn(RealDataset::kNba, 100);
+  EXPECT_NE(color[0].size(), nba[0].size());
+}
+
+TEST(DatasetsTest, ForestRangesLookLikeCovertype) {
+  const auto points = LoadRealStandIn(RealDataset::kForest, 5000);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.size(), 10u);
+    EXPECT_GE(p[0], 1800.0);  // elevation
+    EXPECT_LE(p[0], 3900.0);
+    EXPECT_GE(p[1], 0.0);  // aspect (degrees)
+    EXPECT_LE(p[1], 360.0);
+  }
+}
+
+TEST(DatasetsTest, StandInsAreClustered) {
+  // Clustered data has much lower mean nearest-neighbor distance than a
+  // uniform scattering of the same bounding box would give. Cheap proxy:
+  // the variance of pairwise distances is substantial (multiple scales).
+  const auto points = LoadRealStandIn(RealDataset::kTexture, 800);
+  double sum = 0.0, sum_sq = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < points.size(); i += 7) {
+    for (size_t j = i + 1; j < points.size(); j += 13) {
+      const double d = Dist(points[i], points[j]);
+      sum += d;
+      sum_sq += d * d;
+      ++count;
+    }
+  }
+  const double mean = sum / count;
+  const double cv = std::sqrt(sum_sq / count - mean * mean) / mean;
+  EXPECT_GT(cv, 0.2) << "pairwise distances look single-scale (unclustered)";
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,93 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/dominating.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "dominance/hyperbola.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(TopKDominatingTest, ChainSceneScoresByPosition) {
+  // Objects on a line in front of the query: each dominates everything
+  // farther out, so scores are n-1, n-2, ..., 0.
+  std::vector<Hypersphere> data;
+  for (int i = 0; i < 5; ++i) {
+    data.emplace_back(Point{5.0 + 10.0 * i, 0.0}, 0.1);
+  }
+  const Hypersphere sq({0.0, 0.0}, 0.5);
+  HyperbolaCriterion c;
+  const auto top = TopKDominating(data, sq, 5, c);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top[i].id, i);
+    EXPECT_EQ(top[i].score, 4 - i);
+  }
+}
+
+TEST(TopKDominatingTest, TruncatesToK) {
+  std::vector<Hypersphere> data;
+  for (int i = 0; i < 10; ++i) {
+    data.emplace_back(Point{5.0 + 5.0 * i, 0.0}, 0.1);
+  }
+  HyperbolaCriterion c;
+  const auto top = TopKDominating(data, Hypersphere({0.0, 0.0}, 0.5), 3, c);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+TEST(TopKDominatingTest, TiesBrokenByLowerId) {
+  // Two symmetric objects with identical scores.
+  const std::vector<Hypersphere> data = {
+      Hypersphere({5.0, 5.0}, 0.1), Hypersphere({5.0, -5.0}, 0.1),
+      Hypersphere({50.0, 0.0}, 0.1)};
+  HyperbolaCriterion c;
+  const auto top = TopKDominating(data, Hypersphere({0.0, 0.0}, 0.5), 2, c);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);  // score 1 each; id 0 first
+  EXPECT_EQ(top[1].id, 1u);
+  EXPECT_EQ(top[0].score, top[1].score);
+}
+
+TEST(TopKDominatingTest, ScoresMatchPairwiseDominance) {
+  SyntheticSpec spec;
+  spec.n = 120;
+  spec.dim = 3;
+  spec.radius_mean = 5.0;
+  spec.seed = 895;
+  const auto data = GenerateSynthetic(spec);
+  const Hypersphere sq = data[7];
+  HyperbolaCriterion c;
+  const auto top = TopKDominating(data, sq, data.size(), c);
+  ASSERT_EQ(top.size(), data.size());
+  // Recompute scores without the MaxDist short-circuit.
+  for (const auto& entry : top) {
+    uint64_t score = 0;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (j == entry.id) continue;
+      if (c.Dominates(data[entry.id], data[j], sq)) ++score;
+    }
+    EXPECT_EQ(entry.score, score) << "id " << entry.id;
+  }
+  // And the list is sorted by descending score.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(TopKDominatingTest, OverlappingClusterScoresZero) {
+  // All objects mutually overlapping: nobody dominates anybody (Lemma 1).
+  std::vector<Hypersphere> data;
+  for (int i = 0; i < 8; ++i) {
+    data.emplace_back(Point{static_cast<double>(i), 0.0}, 5.0);
+  }
+  HyperbolaCriterion c;
+  const auto top = TopKDominating(data, Hypersphere({0.0, 20.0}, 1.0), 8, c);
+  for (const auto& e : top) EXPECT_EQ(e.score, 0u);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,98 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace hyperdom {
+namespace {
+
+std::vector<Hypersphere> SmallData(double mu = 20.0) {
+  SyntheticSpec spec;
+  spec.n = 3000;
+  spec.dim = 4;
+  spec.radius_mean = mu;
+  spec.seed = 6001;
+  return GenerateSynthetic(spec);
+}
+
+TEST(DominanceExperimentTest, ProducesPaperShapedRows) {
+  DominanceExperimentConfig config;
+  config.workload_size = 2000;
+  config.repeats = 2;
+  const auto rows = RunDominanceExperiment(SmallData(), config);
+  ASSERT_EQ(rows.size(), 5u);
+
+  for (const auto& row : rows) {
+    EXPECT_GT(row.nanos_per_query, 0.0);
+    EXPECT_GE(row.precision_pct, 0.0);
+    EXPECT_LE(row.precision_pct, 100.0);
+    EXPECT_GE(row.recall_pct, 0.0);
+    EXPECT_LE(row.recall_pct, 100.0);
+  }
+
+  // Table 1 semantics, measured: every correct criterion has precision
+  // 100, every sound criterion has recall 100, Hyperbola has both.
+  auto find = [&](const std::string& name) {
+    for (const auto& row : rows) {
+      if (row.criterion == name) return row;
+    }
+    ADD_FAILURE() << "missing row " << name;
+    return rows[0];
+  };
+  EXPECT_DOUBLE_EQ(find("MinMax").precision_pct, 100.0);
+  EXPECT_DOUBLE_EQ(find("MBR").precision_pct, 100.0);
+  EXPECT_DOUBLE_EQ(find("GP").precision_pct, 100.0);
+  EXPECT_DOUBLE_EQ(find("Trigonometric").recall_pct, 100.0);
+  EXPECT_DOUBLE_EQ(find("Hyperbola").precision_pct, 100.0);
+  EXPECT_DOUBLE_EQ(find("Hyperbola").recall_pct, 100.0);
+  EXPECT_LT(find("MinMax").recall_pct, 100.0);
+  EXPECT_LT(find("Trigonometric").precision_pct, 100.0);
+}
+
+TEST(DominanceExperimentTest, CriteriaSubsetRespected) {
+  DominanceExperimentConfig config;
+  config.workload_size = 200;
+  config.repeats = 1;
+  config.criteria = {CriterionKind::kHyperbola};
+  const auto rows = RunDominanceExperiment(SmallData(), config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].criterion, "Hyperbola");
+}
+
+TEST(KnnAlgorithmLabelTest, PaperLabels) {
+  EXPECT_EQ(KnnAlgorithmLabel(SearchStrategy::kBestFirst,
+                              CriterionKind::kHyperbola),
+            "HS(Hyper)");
+  EXPECT_EQ(
+      KnnAlgorithmLabel(SearchStrategy::kDepthFirst, CriterionKind::kMinMax),
+      "DF(MinMax)");
+  EXPECT_EQ(KnnAlgorithmLabel(SearchStrategy::kBestFirst, CriterionKind::kMbr),
+            "HS(MBR)");
+  EXPECT_EQ(KnnAlgorithmLabel(SearchStrategy::kDepthFirst, CriterionKind::kGp),
+            "DF(GP)");
+}
+
+TEST(KnnExperimentTest, ProducesPaperShapedRows) {
+  KnnExperimentConfig config;
+  config.k = 5;
+  config.num_queries = 3;
+  const auto rows = RunKnnExperiment(SmallData(10.0), config);
+  ASSERT_EQ(rows.size(), 8u);  // {HS, DF} x {Hyper, MinMax, MBR, GP}
+
+  for (const auto& row : rows) {
+    EXPECT_GT(row.millis_per_query, 0.0);
+    // Every criterion here is correct: recall pinned at 100.
+    EXPECT_DOUBLE_EQ(row.recall_pct, 100.0) << row.algorithm;
+    if (row.algorithm.find("Hyper") != std::string::npos) {
+      EXPECT_DOUBLE_EQ(row.precision_pct, 100.0) << row.algorithm;
+    } else {
+      EXPECT_LE(row.precision_pct, 100.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

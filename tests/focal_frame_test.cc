@@ -1,0 +1,125 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/focal_frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(FocalFrameTest, AxisAlignedScene) {
+  // Foci on the x-axis; cq straight above the midpoint.
+  const FocalFrame f = BuildFocalFrame({0.0, 0.0}, {10.0, 0.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(f.alpha, 5.0);
+  EXPECT_NEAR(f.y1, 0.0, 1e-12);
+  EXPECT_NEAR(f.y2, 7.0, 1e-12);
+  EXPECT_EQ(f.mid, (Point{5, 0}));
+  EXPECT_EQ(f.axis, (Point{1, 0}));
+}
+
+TEST(FocalFrameTest, QueryOnAxis) {
+  const FocalFrame f = BuildFocalFrame({0.0, 0.0}, {10.0, 0.0}, {-3.0, 0.0});
+  EXPECT_DOUBLE_EQ(f.y1, -8.0);
+  EXPECT_DOUBLE_EQ(f.y2, 0.0);
+}
+
+TEST(FocalFrameTest, SignConvention) {
+  // cq nearer to cb (the +alpha focus) must have positive y1.
+  const FocalFrame f = BuildFocalFrame({0.0, 0.0}, {10.0, 0.0}, {9.0, 1.0});
+  EXPECT_GT(f.y1, 0.0);
+  const FocalFrame g = BuildFocalFrame({0.0, 0.0}, {10.0, 0.0}, {1.0, 1.0});
+  EXPECT_LT(g.y1, 0.0);
+}
+
+// The defining identities: distances to the foci are reproduced exactly by
+// the 2-plane coordinates. This is the property Hyperbola's O(d) bound
+// rests on (DESIGN.md).
+class FocalFrameIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FocalFrameIdentityTest, DistanceIdentitiesHold) {
+  const size_t dim = GetParam();
+  Rng rng(300 + dim);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Point ca(dim), cb(dim), cq(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      ca[i] = rng.Gaussian(0, 50);
+      cb[i] = rng.Gaussian(0, 50);
+      cq[i] = rng.Gaussian(0, 50);
+    }
+    if (Dist(ca, cb) < 1e-9) continue;
+    const FocalFrame f = BuildFocalFrame(ca, cb, cq);
+    const double da = std::sqrt((f.y1 + f.alpha) * (f.y1 + f.alpha) +
+                                f.y2 * f.y2);
+    const double db = std::sqrt((f.y1 - f.alpha) * (f.y1 - f.alpha) +
+                                f.y2 * f.y2);
+    EXPECT_NEAR(da, Dist(cq, ca), 1e-8 * (1.0 + Dist(cq, ca)));
+    EXPECT_NEAR(db, Dist(cq, cb), 1e-8 * (1.0 + Dist(cq, cb)));
+    EXPECT_GE(f.y2, 0.0);
+    EXPECT_GT(f.alpha, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, FocalFrameIdentityTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+TEST(LiftFromFrameTest, RoundTripsTheQueryCenter) {
+  Rng rng(310);
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(8);
+    Point ca(dim), cb(dim), cq(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      ca[i] = rng.Gaussian(0, 50);
+      cb[i] = rng.Gaussian(0, 50);
+      cq[i] = rng.Gaussian(0, 50);
+    }
+    if (Dist(ca, cb) < 1e-9) continue;
+    const FocalFrame f = BuildFocalFrame(ca, cb, cq);
+    // Lifting (y1, y2) must land exactly on cq.
+    const Point lifted = LiftFromFrame(f, cq, f.y1, f.y2);
+    EXPECT_NEAR(Dist(lifted, cq), 0.0, 1e-7 * (1.0 + Norm(cq)));
+  }
+}
+
+TEST(LiftFromFrameTest, LiftPreservesFrameCoordinates) {
+  Rng rng(311);
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(8);
+    Point ca(dim), cb(dim), cq(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      ca[i] = rng.Gaussian(0, 20);
+      cb[i] = rng.Gaussian(0, 20);
+      cq[i] = rng.Gaussian(0, 20);
+    }
+    if (Dist(ca, cb) < 1e-9) continue;
+    const FocalFrame f = BuildFocalFrame(ca, cb, cq);
+    const double t1 = rng.Uniform(-30.0, 30.0);
+    const double t2 = rng.Uniform(0.0, 30.0);
+    const Point lifted = LiftFromFrame(f, cq, t1, t2);
+    // Recompute the lifted point's frame coordinates.
+    const Point rel = Sub(lifted, f.mid);
+    EXPECT_NEAR(Dot(rel, f.axis), t1, 1e-7 * (1.0 + std::fabs(t1)));
+    const double perp_sq = SquaredNorm(rel) - t1 * t1;
+    EXPECT_NEAR(std::sqrt(std::max(0.0, perp_sq)), t2,
+                1e-6 * (1.0 + t2));
+  }
+}
+
+TEST(LiftFromFrameTest, HandlesQueryOnAxis) {
+  // cq exactly on the focal axis: the orthogonal direction is synthesized.
+  const Point ca = {0.0, 0.0, 0.0};
+  const Point cb = {10.0, 0.0, 0.0};
+  const Point cq = {4.0, 0.0, 0.0};
+  const FocalFrame f = BuildFocalFrame(ca, cb, cq);
+  EXPECT_DOUBLE_EQ(f.y2, 0.0);
+  const Point lifted = LiftFromFrame(f, cq, -1.0, 2.0);
+  const Point rel = Sub(lifted, f.mid);
+  EXPECT_NEAR(Dot(rel, f.axis), -1.0, 1e-12);
+  EXPECT_NEAR(std::sqrt(SquaredNorm(rel) - 1.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperdom

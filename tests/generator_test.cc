@@ -1,0 +1,151 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hyperdom {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.dim = 7;
+  const auto data = GenerateSynthetic(spec);
+  ASSERT_EQ(data.size(), 1000u);
+  for (const auto& s : data) {
+    EXPECT_EQ(s.dim(), 7u);
+    EXPECT_GE(s.radius(), 0.0);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.n = 100;
+  spec.dim = 3;
+  spec.seed = 42;
+  const auto a = GenerateSynthetic(spec);
+  const auto b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.n = 100;
+  spec.dim = 3;
+  spec.seed = 1;
+  const auto a = GenerateSynthetic(spec);
+  spec.seed = 2;
+  const auto b = GenerateSynthetic(spec);
+  int identical = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(GeneratorTest, GaussianCenterMoments) {
+  SyntheticSpec spec;
+  spec.n = 50'000;
+  spec.dim = 2;
+  const auto data = GenerateSynthetic(spec);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& s : data) {
+    sum += s.center()[0];
+    sum_sq += s.center()[0] * s.center()[0];
+  }
+  const double n = static_cast<double>(data.size());
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 100.0, 0.5);  // paper: Gaussian(100, 25)
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 25.0, 0.5);
+}
+
+TEST(GeneratorTest, GaussianRadiusMoments) {
+  SyntheticSpec spec;
+  spec.n = 50'000;
+  spec.dim = 2;
+  spec.radius_mean = 50.0;
+  const auto data = GenerateSynthetic(spec);
+  double sum = 0.0;
+  for (const auto& s : data) sum += s.radius();
+  // sigma = mu/4 and clamping at zero barely moves the mean (4 sigma away).
+  EXPECT_NEAR(sum / static_cast<double>(data.size()), 50.0, 0.5);
+}
+
+TEST(GeneratorTest, UniformCentersStayInRange) {
+  SyntheticSpec spec;
+  spec.n = 10'000;
+  spec.dim = 3;
+  spec.center_distribution = Distribution::kUniform;
+  const auto data = GenerateSynthetic(spec);
+  for (const auto& s : data) {
+    for (double v : s.center()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 200.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, UniformRadiiStayInRange) {
+  SyntheticSpec spec;
+  spec.n = 10'000;
+  spec.dim = 2;
+  spec.radius_distribution = Distribution::kUniform;
+  const auto data = GenerateSynthetic(spec);
+  for (const auto& s : data) {
+    EXPECT_GE(s.radius(), 0.0);
+    EXPECT_LT(s.radius(), 200.0);
+  }
+}
+
+TEST(GeneratorTest, RadiiNeverNegativeEvenAtTinyMean) {
+  SyntheticSpec spec;
+  spec.n = 20'000;
+  spec.dim = 2;
+  spec.radius_mean = 0.1;
+  spec.radius_sigma_ratio = 5.0;  // wild sigma forces negatives pre-clamp
+  const auto data = GenerateSynthetic(spec);
+  int zeros = 0;
+  for (const auto& s : data) {
+    ASSERT_GE(s.radius(), 0.0);
+    if (s.radius() == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 0);  // the clamp actually triggered
+}
+
+TEST(MakeUncertainTest, WrapsPointsWithRadii) {
+  const std::vector<Point> points = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto spheres = MakeUncertain(points, 10.0, 0.25, 99);
+  ASSERT_EQ(spheres.size(), 2u);
+  EXPECT_EQ(spheres[0].center(), points[0]);
+  EXPECT_EQ(spheres[1].center(), points[1]);
+  EXPECT_GE(spheres[0].radius(), 0.0);
+}
+
+TEST(MakeUncertainTest, DeterministicInSeed) {
+  const std::vector<Point> points(100, Point{0.0, 0.0});
+  const auto a = MakeUncertain(points, 10.0, 0.25, 5);
+  const auto b = MakeUncertain(points, 10.0, 0.25, 5);
+  const auto c = MakeUncertain(points, 10.0, 0.25, 6);
+  int diff_ab = 0, diff_ac = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (a[i].radius() != b[i].radius()) ++diff_ab;
+    if (a[i].radius() != c[i].radius()) ++diff_ac;
+  }
+  EXPECT_EQ(diff_ab, 0);
+  EXPECT_GT(diff_ac, 90);
+}
+
+TEST(MakeUncertainTest, RadiusMeanTracksMu) {
+  std::vector<Point> points(20'000, Point{0.0});
+  const auto spheres = MakeUncertain(points, 10.0, 0.25, 7);
+  double sum = 0.0;
+  for (const auto& s : spheres) sum += s.radius();
+  EXPECT_NEAR(sum / 20'000.0, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,127 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/gp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(GpTest, Metadata) {
+  GpCriterion c;
+  EXPECT_EQ(c.name(), "GP");
+  EXPECT_TRUE(c.is_correct());
+  EXPECT_FALSE(c.is_sound());
+}
+
+// Paper Section 3.1: GP "is optimal for 2-dimensional datasets only" — in
+// 2D it must agree with the oracle everywhere.
+TEST(GpTest, ExactInTwoDimensions) {
+  Rng rng(940);
+  GpCriterion c;
+  int checked = 0;
+  for (int iter = 0; iter < 6000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 2, 10.0);
+    if (test::IsBorderline(s)) continue;
+    ++checked;
+    EXPECT_EQ(c.Dominates(s.sa, s.sb, s.sq), test::OracleDominates(s))
+        << test::SceneToString(s);
+  }
+  EXPECT_GT(checked, 5000);
+}
+
+// Correctness sweep in higher dimensions: positives must be true.
+class GpCorrectnessTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GpCorrectnessTest, NeverFalsePositive) {
+  const size_t dim = GetParam();
+  Rng rng(950 + dim);
+  GpCriterion c;
+  int positives = 0;
+  for (int iter = 0; iter < 6000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, dim, 8.0);
+    if (!c.Dominates(s.sa, s.sb, s.sq)) continue;
+    ++positives;
+    if (test::IsBorderline(s)) continue;
+    EXPECT_TRUE(test::OracleDominates(s)) << test::SceneToString(s);
+  }
+  EXPECT_GT(positives, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GpCorrectnessTest,
+                         ::testing::Values(3, 4, 8, 16));
+
+// The 2D fold loses information: for d > 2 there must exist true dominances
+// that GP misses (non-soundness witness).
+TEST(GpTest, FalseNegativesExistAboveTwoDimensions) {
+  for (size_t dim : {3u, 6u, 10u}) {
+    Rng rng(960 + dim);
+    GpCriterion c;
+    int false_negatives = 0;
+    for (int iter = 0; iter < 6000 && false_negatives == 0; ++iter) {
+      const test::Scene s = test::RandomScene(&rng, dim, 15.0);
+      if (test::IsBorderline(s)) continue;
+      if (test::OracleDominates(s) && !c.Dominates(s.sa, s.sb, s.sq)) {
+        ++false_negatives;
+      }
+    }
+    EXPECT_GT(false_negatives, 0) << "dim " << dim;
+  }
+}
+
+// A targeted miss: the fold collapses the perpendicular components to
+// norms, anti-aligning the two foci around the query. Scenes whose foci
+// perpendicular components are truly ALIGNED and whose margin is thin must
+// therefore produce at least one conservative miss in this deterministic
+// family.
+TEST(GpTest, DirectionBlindnessProducesMisses) {
+  GpCriterion c;
+  int misses = 0;
+  int true_dominances = 0;
+  for (double height : {2.0, 3.0, 4.0, 6.0, 8.0, 12.0}) {
+    for (double rq : {0.5, 1.0, 2.0}) {
+      for (double rab_half : {0.02, 0.2, 0.6}) {
+        // ca and cb share their perpendicular direction (the +x axis).
+        const test::Scene s{Hypersphere({5.0, 0.0, 0.0}, rab_half),
+                            Hypersphere({5.0, 0.0, height}, rab_half),
+                            Hypersphere({0.0, 0.0, 0.0}, rq)};
+        if (test::IsBorderline(s)) continue;
+        const bool truth = test::OracleDominates(s);
+        const bool gp = c.Dominates(s.sa, s.sb, s.sq);
+        if (gp) {
+          EXPECT_TRUE(truth) << test::SceneToString(s);  // still correct
+        }
+        if (truth) ++true_dominances;
+        if (truth && !gp) ++misses;
+      }
+    }
+  }
+  EXPECT_GT(true_dominances, 0);
+  EXPECT_GT(misses, 0) << "the fold's angle pessimism never bit";
+}
+
+TEST(GpTest, OverlapImpliesFalse) {
+  Rng rng(970);
+  GpCriterion c;
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(6);
+    const Hypersphere sa = test::RandomSphere(&rng, dim, 15.0);
+    const Hypersphere sb(sa.center(), rng.Uniform(0.0, 4.0));
+    const Hypersphere sq = test::RandomSphere(&rng, dim, 10.0);
+    EXPECT_FALSE(c.Dominates(sa, sb, sq)) << "overlapping pair";
+  }
+}
+
+TEST(GpTest, OneDimensionalInputsHandled) {
+  // d == 1 routes through the exact branch as well.
+  GpCriterion c;
+  EXPECT_TRUE(c.Dominates(Hypersphere({1.0}, 0.1), Hypersphere({9.0}, 0.1),
+                          Hypersphere({0.0}, 0.1)));
+  EXPECT_FALSE(c.Dominates(Hypersphere({9.0}, 0.1), Hypersphere({1.0}, 0.1),
+                           Hypersphere({0.0}, 0.1)));
+}
+
+}  // namespace
+}  // namespace hyperdom

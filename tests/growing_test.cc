@@ -1,0 +1,93 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/growing.h"
+
+#include <gtest/gtest.h>
+
+#include "dominance/hyperbola.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+GrowingSphere Grow(Hypersphere s, double rate) {
+  return GrowingSphere{std::move(s), rate};
+}
+
+TEST(GrowingSphereTest, AtTime) {
+  const GrowingSphere g = Grow(Hypersphere({1.0, 2.0}, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(g.AtTime(0.0).radius(), 3.0);
+  EXPECT_DOUBLE_EQ(g.AtTime(4.0).radius(), 5.0);
+  EXPECT_EQ(g.AtTime(4.0).center(), g.at_t0.center());
+}
+
+TEST(DominatesAtTimeTest, MatchesStaticHyperbola) {
+  Rng rng(7100);
+  HyperbolaCriterion c;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 8.0);
+    const GrowingSphere ga = Grow(s.sa, rng.Uniform(0.0, 2.0));
+    const GrowingSphere gb = Grow(s.sb, rng.Uniform(0.0, 2.0));
+    const GrowingSphere gq = Grow(s.sq, rng.Uniform(0.0, 2.0));
+    const double t = rng.Uniform(0.0, 5.0);
+    EXPECT_EQ(DominatesAtTime(ga, gb, gq, t),
+              c.Dominates(ga.AtTime(t), gb.AtTime(t), gq.AtTime(t)));
+  }
+}
+
+TEST(DominanceExpiryTest, NeverDominantGivesZero) {
+  const GrowingSphere ga = Grow(Hypersphere({10.0, 0.0}, 1.0), 0.1);
+  const GrowingSphere gb = Grow(Hypersphere({1.0, 0.0}, 1.0), 0.1);
+  const GrowingSphere gq = Grow(Hypersphere({0.0, 0.0}, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(DominanceExpiry(ga, gb, gq, 100.0), 0.0);
+}
+
+TEST(DominanceExpiryTest, AlwaysDominantGivesHorizon) {
+  const GrowingSphere ga = Grow(Hypersphere({1.0, 0.0}, 0.1), 0.0);
+  const GrowingSphere gb = Grow(Hypersphere({100.0, 0.0}, 0.1), 0.0);
+  const GrowingSphere gq = Grow(Hypersphere({0.0, 0.0}, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(DominanceExpiry(ga, gb, gq, 50.0), 50.0);
+}
+
+TEST(DominanceExpiryTest, ClosedFormPointQueryCase) {
+  // Point query at the origin, Sa at 2, Sb at 20: the margin is
+  // f(cq) = 20 - 2 = 18, and dominance needs 18 > ra(t) + rb(t)
+  // = 1 + 2t, so the expiry is t = 8.5.
+  const GrowingSphere ga = Grow(Hypersphere({2.0, 0.0}, 0.5), 1.0);
+  const GrowingSphere gb = Grow(Hypersphere({20.0, 0.0}, 0.5), 1.0);
+  const GrowingSphere gq = Grow(Hypersphere({0.0, 0.0}, 0.0), 0.0);
+  EXPECT_NEAR(DominanceExpiry(ga, gb, gq, 100.0), 8.5, 1e-6);
+}
+
+TEST(DominanceExpiryTest, PredicateIsMonotoneAroundExpiry) {
+  Rng rng(7101);
+  int found = 0;
+  for (int iter = 0; iter < 300 && found < 60; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 2, 5.0);
+    const GrowingSphere ga = Grow(s.sa, rng.Uniform(0.1, 1.0));
+    const GrowingSphere gb = Grow(s.sb, rng.Uniform(0.1, 1.0));
+    const GrowingSphere gq = Grow(s.sq, rng.Uniform(0.1, 1.0));
+    const double horizon = 200.0;
+    const double expiry = DominanceExpiry(ga, gb, gq, horizon);
+    if (expiry <= 0.0 || expiry >= horizon) continue;
+    ++found;
+    EXPECT_TRUE(DominatesAtTime(ga, gb, gq, expiry * 0.99));
+    EXPECT_FALSE(DominatesAtTime(ga, gb, gq, expiry * 1.01 + 1e-6));
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(DominanceExpiryTest, FasterGrowthExpiresSooner) {
+  const Hypersphere sa({2.0, 0.0}, 0.5);
+  const Hypersphere sb({30.0, 0.0}, 0.5);
+  const Hypersphere sq({0.0, 0.0}, 1.0);
+  const double slow =
+      DominanceExpiry(Grow(sa, 0.5), Grow(sb, 0.5), Grow(sq, 0.0), 1000.0);
+  const double fast =
+      DominanceExpiry(Grow(sa, 2.0), Grow(sb, 2.0), Grow(sq, 0.0), 1000.0);
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(fast, 0.0);
+}
+
+}  // namespace
+}  // namespace hyperdom

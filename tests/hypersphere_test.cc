@@ -1,0 +1,143 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/hypersphere.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(HypersphereTest, Accessors) {
+  const Hypersphere s({1.0, 2.0, 3.0}, 4.0);
+  EXPECT_EQ(s.dim(), 3u);
+  EXPECT_DOUBLE_EQ(s.radius(), 4.0);
+  EXPECT_EQ(s.center(), (Point{1, 2, 3}));
+}
+
+TEST(HypersphereTest, FromPointHasZeroRadius) {
+  const Hypersphere p = Hypersphere::FromPoint({5.0, 6.0});
+  EXPECT_DOUBLE_EQ(p.radius(), 0.0);
+  EXPECT_EQ(p.dim(), 2u);
+}
+
+TEST(HypersphereTest, ContainsIncludesBoundary) {
+  const Hypersphere s({0.0, 0.0}, 5.0);
+  EXPECT_TRUE(s.Contains({3.0, 4.0}));   // exactly on the boundary
+  EXPECT_TRUE(s.Contains({0.0, 0.0}));   // center
+  EXPECT_FALSE(s.Contains({3.1, 4.0}));  // just outside
+}
+
+TEST(HypersphereTest, ContainsSphere) {
+  const Hypersphere outer({0.0, 0.0}, 10.0);
+  EXPECT_TRUE(outer.ContainsSphere(Hypersphere({3.0, 0.0}, 7.0)));  // tangent
+  EXPECT_TRUE(outer.ContainsSphere(Hypersphere({0.0, 0.0}, 10.0)));
+  EXPECT_FALSE(outer.ContainsSphere(Hypersphere({3.0, 0.0}, 7.1)));
+  EXPECT_FALSE(outer.ContainsSphere(Hypersphere({20.0, 0.0}, 1.0)));
+}
+
+// Paper Figure 2: MaxDist = Dist(ca, cb) + ra + rb, also with zero radii.
+TEST(HypersphereTest, MaxDistMatchesEquationThree) {
+  const Hypersphere a({0.0, 0.0}, 2.0);
+  const Hypersphere b({10.0, 0.0}, 3.0);
+  EXPECT_DOUBLE_EQ(MaxDist(a, b), 15.0);
+  const Hypersphere point_b = Hypersphere::FromPoint({10.0, 0.0});
+  EXPECT_DOUBLE_EQ(MaxDist(a, point_b), 12.0);  // Fig. 2(b)
+}
+
+// Paper Figure 3: MinDist clamps to zero when overlapping.
+TEST(HypersphereTest, MinDistMatchesEquationFour) {
+  const Hypersphere a({0.0, 0.0}, 2.0);
+  const Hypersphere b({10.0, 0.0}, 3.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 5.0);  // Fig. 3(a)
+  const Hypersphere overlapping({3.0, 0.0}, 4.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, overlapping), 0.0);  // Fig. 3(b)
+  const Hypersphere point_b = Hypersphere::FromPoint({10.0, 0.0});
+  EXPECT_DOUBLE_EQ(MinDist(a, point_b), 8.0);  // Fig. 3(c)
+}
+
+TEST(HypersphereTest, PointOverloads) {
+  const Hypersphere a({0.0, 0.0}, 2.0);
+  const Point p = {10.0, 0.0};
+  EXPECT_DOUBLE_EQ(MaxDist(a, p), 12.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, p), 8.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, Point{1.0, 0.0}), 0.0);  // inside
+}
+
+TEST(HypersphereTest, OverlapIncludesTangency) {
+  const Hypersphere a({0.0, 0.0}, 2.0);
+  EXPECT_TRUE(Overlaps(a, Hypersphere({5.0, 0.0}, 3.0)));   // tangent
+  EXPECT_TRUE(Overlaps(a, Hypersphere({1.0, 0.0}, 1.0)));   // nested
+  EXPECT_FALSE(Overlaps(a, Hypersphere({5.1, 0.0}, 3.0)));  // separated
+  EXPECT_TRUE(Overlaps(a, a));                              // self
+}
+
+TEST(HypersphereTest, ZeroRadiusPointsOverlapOnlyWhenEqual) {
+  const Hypersphere p = Hypersphere::FromPoint({1.0, 1.0});
+  EXPECT_TRUE(Overlaps(p, Hypersphere::FromPoint({1.0, 1.0})));
+  EXPECT_FALSE(Overlaps(p, Hypersphere::FromPoint({1.0, 1.000001})));
+}
+
+TEST(HypersphereePropertyTest, MinMaxDistConsistency) {
+  Rng rng(55);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t d = 1 + rng.UniformU64(8);
+    Point ca(d), cb(d);
+    for (size_t j = 0; j < d; ++j) {
+      ca[j] = rng.Gaussian(100, 25);
+      cb[j] = rng.Gaussian(100, 25);
+    }
+    const Hypersphere a(ca, rng.Uniform(0.0, 20.0));
+    const Hypersphere b(cb, rng.Uniform(0.0, 20.0));
+    EXPECT_LE(MinDist(a, b), MaxDist(a, b));
+    EXPECT_GE(MinDist(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(MinDist(a, b), MinDist(b, a));
+    EXPECT_DOUBLE_EQ(MaxDist(a, b), MaxDist(b, a));
+    // Overlap <=> MinDist == 0 (by Eq. (4)).
+    EXPECT_EQ(Overlaps(a, b), MinDist(a, b) == 0.0);
+  }
+}
+
+TEST(HypersphereePropertyTest, SampledPointsRespectMinMaxDist) {
+  Rng rng(56);
+  for (int i = 0; i < 500; ++i) {
+    const Hypersphere a({rng.Gaussian(0, 10), rng.Gaussian(0, 10)},
+                        rng.Uniform(0.0, 5.0));
+    const Hypersphere b({rng.Gaussian(0, 10), rng.Gaussian(0, 10)},
+                        rng.Uniform(0.0, 5.0));
+    // Random interior points must have distance within [MinDist, MaxDist].
+    for (int s = 0; s < 10; ++s) {
+      const double theta_a = rng.Uniform(0, 2 * M_PI);
+      const double rad_a = a.radius() * rng.NextDouble();
+      const double theta_b = rng.Uniform(0, 2 * M_PI);
+      const double rad_b = b.radius() * rng.NextDouble();
+      const Point pa = {a.center()[0] + rad_a * std::cos(theta_a),
+                        a.center()[1] + rad_a * std::sin(theta_a)};
+      const Point pb = {b.center()[0] + rad_b * std::cos(theta_b),
+                        b.center()[1] + rad_b * std::sin(theta_b)};
+      const double dist = Dist(pa, pb);
+      EXPECT_GE(dist, MinDist(a, b) - 1e-9);
+      EXPECT_LE(dist, MaxDist(a, b) + 1e-9);
+    }
+  }
+}
+
+TEST(HypersphereTest, ToStringMentionsCenterAndRadius) {
+  const Hypersphere s({1.0, 2.0}, 3.0);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("(1, 2)"), std::string::npos);
+  EXPECT_NE(str.find("r=3"), std::string::npos);
+}
+
+TEST(HypersphereTest, Equality) {
+  const Hypersphere a({1.0, 2.0}, 3.0);
+  EXPECT_TRUE(a == Hypersphere({1.0, 2.0}, 3.0));
+  EXPECT_FALSE(a == Hypersphere({1.0, 2.0}, 3.5));
+  EXPECT_FALSE(a == Hypersphere({1.0, 2.5}, 3.0));
+}
+
+}  // namespace
+}  // namespace hyperdom

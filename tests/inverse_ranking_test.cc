@@ -1,0 +1,129 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/inverse_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generator.h"
+#include "dominance/hyperbola.h"
+#include "dominance/minmax.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(InverseRankingTest, CertainSceneGivesExactRank) {
+  // Point objects, point query: ranks are fully determined.
+  const std::vector<Hypersphere> data = {
+      Hypersphere({1.0, 0.0}, 0.0), Hypersphere({5.0, 0.0}, 0.0),
+      Hypersphere({9.0, 0.0}, 0.0), Hypersphere({13.0, 0.0}, 0.0)};
+  const Hypersphere sq({0.0, 0.0}, 0.0);
+  HyperbolaCriterion exact;
+  for (size_t target = 0; target < data.size(); ++target) {
+    const RankInterval iv = InverseRanking(data, target, sq, exact);
+    EXPECT_EQ(iv.best_rank, target + 1) << "target " << target;
+    EXPECT_EQ(iv.worst_rank, target + 1) << "target " << target;
+  }
+}
+
+TEST(InverseRankingTest, UncertaintyWidensTheInterval) {
+  // Two neighbors so close that a fat query cannot separate them.
+  const std::vector<Hypersphere> data = {
+      Hypersphere({10.0, 0.0}, 1.0), Hypersphere({10.5, 0.0}, 1.0),
+      Hypersphere({60.0, 0.0}, 1.0)};
+  const Hypersphere sq({0.0, 0.0}, 3.0);
+  HyperbolaCriterion exact;
+  const RankInterval iv0 = InverseRanking(data, 0, sq, exact);
+  EXPECT_EQ(iv0.best_rank, 1u);
+  EXPECT_EQ(iv0.worst_rank, 2u);  // could swap with its twin, beats the far one
+  const RankInterval iv2 = InverseRanking(data, 2, sq, exact);
+  EXPECT_EQ(iv2.best_rank, 3u);
+  EXPECT_EQ(iv2.worst_rank, 3u);
+}
+
+TEST(InverseRankingTest, IntervalAlwaysContainsMaxDistRank) {
+  // The rank by MaxDist ordering is an achievable outcome, so any valid
+  // interval contains it.
+  SyntheticSpec spec;
+  spec.n = 200;
+  spec.dim = 3;
+  spec.radius_mean = 6.0;
+  spec.seed = 2200;
+  const auto data = GenerateSynthetic(spec);
+  const Hypersphere sq = data[17];
+  HyperbolaCriterion exact;
+
+  for (size_t target = 0; target < 40; ++target) {
+    const RankInterval iv = InverseRanking(data, target, sq, exact);
+    ASSERT_LE(iv.best_rank, iv.worst_rank);
+    ASSERT_GE(iv.best_rank, 1u);
+    ASSERT_LE(iv.worst_rank, data.size());
+  }
+}
+
+TEST(InverseRankingTest, WeakerCriterionGivesWiderInterval) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.dim = 3;
+  spec.radius_mean = 5.0;
+  spec.seed = 2201;
+  const auto data = GenerateSynthetic(spec);
+  const Hypersphere sq = data[3];
+  HyperbolaCriterion exact;
+  MinMaxCriterion weak;
+  int strictly_wider = 0;
+  for (size_t target = 0; target < 50; ++target) {
+    const RankInterval tight = InverseRanking(data, target, sq, exact);
+    const RankInterval loose = InverseRanking(data, target, sq, weak);
+    EXPECT_LE(loose.best_rank, tight.best_rank);
+    EXPECT_GE(loose.worst_rank, tight.worst_rank);
+    if (loose.worst_rank - loose.best_rank >
+        tight.worst_rank - tight.best_rank) {
+      ++strictly_wider;
+    }
+  }
+  EXPECT_GT(strictly_wider, 0);
+}
+
+TEST(InverseRankingTest, SampledRanksFallInsideTheInterval) {
+  // Monte-Carlo validity: sample concrete placements of every object and
+  // the query, rank the target, and verify it lands in the interval.
+  SyntheticSpec spec;
+  spec.n = 60;
+  spec.dim = 2;
+  spec.radius_mean = 8.0;
+  spec.seed = 2202;
+  const auto data = GenerateSynthetic(spec);
+  const Hypersphere sq = data[5];
+  HyperbolaCriterion exact;
+  Rng rng(2203);
+
+  for (size_t target : {0u, 7u, 20u, 59u}) {
+    const RankInterval iv = InverseRanking(data, target, sq, exact);
+    for (int trial = 0; trial < 200; ++trial) {
+      auto sample = [&](const Hypersphere& h) {
+        const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+        const double rad = h.radius() * std::sqrt(rng.NextDouble());
+        return Point{h.center()[0] + rad * std::cos(theta),
+                     h.center()[1] + rad * std::sin(theta)};
+      };
+      const Point q = sample(sq);
+      std::vector<double> dists(data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        dists[i] = Dist(sample(data[i]), q);
+      }
+      const double target_dist = dists[target];
+      uint64_t rank = 1;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (i != target && dists[i] < target_dist) ++rank;
+      }
+      EXPECT_GE(rank, iv.best_rank) << "target " << target;
+      EXPECT_LE(rank, iv.worst_rank) << "target " << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

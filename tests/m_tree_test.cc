@@ -1,0 +1,135 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/m_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(MTreeTest, EmptyTree) {
+  MTree tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(MTreeTest, SingleInsert) {
+  MTree tree(2);
+  ASSERT_TRUE(tree.Insert(Hypersphere({1.0, 2.0}, 3.0), 9).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_NE(tree.root(), nullptr);
+  // The covering radius covers the sphere's far edge from the pivot.
+  EXPECT_GE(tree.root()->covering_radius(), 3.0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(MTreeTest, DimensionMismatchRejected) {
+  MTree tree(2);
+  EXPECT_EQ(tree.Insert(Hypersphere({1.0}, 0.5), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MTreeTest, BadOptionsRejected) {
+  MTreeOptions options;
+  options.max_entries = 2;
+  MTree tree(2, options);
+  EXPECT_EQ(tree.Insert(Hypersphere({0.0, 0.0}, 1.0), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MTreeTest, SplitsGrowTheTree) {
+  MTreeOptions options;
+  options.max_entries = 4;
+  MTree tree(2, options);
+  Rng rng(2000);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(test::RandomSphere(&rng, 2, 3.0), i).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << "after insert " << i << ": " << tree.CheckInvariants().ToString();
+  }
+  EXPECT_GT(tree.Height(), 2u);
+}
+
+class MTreeInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MTreeInvariantTest, InvariantsHoldAfterBulkLoad) {
+  const auto [dim, max_entries] = GetParam();
+  SyntheticSpec spec;
+  spec.n = 3000;
+  spec.dim = dim;
+  spec.radius_mean = 10.0;
+  spec.seed = 2001 + dim;
+  const auto data = GenerateSynthetic(spec);
+  MTreeOptions options;
+  options.max_entries = max_entries;
+  MTree tree(dim, options);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  // The root ball covers every data sphere.
+  const Hypersphere root_ball = tree.root()->bounding_sphere();
+  for (const auto& s : data) {
+    EXPECT_LE(Dist(root_ball.center(), s.center()) + s.radius(),
+              root_ball.radius() * (1.0 + 1e-9) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MTreeInvariantTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 4, 10),
+                       ::testing::Values<size_t>(4, 8, 24)));
+
+TEST(MTreeTest, AllIdsPresent) {
+  SyntheticSpec spec;
+  spec.n = 700;
+  spec.dim = 3;
+  spec.seed = 2002;
+  MTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(GenerateSynthetic(spec)).ok());
+  std::set<uint64_t> ids;
+  std::vector<const MTreeNode*> stack = {tree.root()};
+  while (!stack.empty()) {
+    const MTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      for (const auto& e : node->entries()) {
+        EXPECT_TRUE(ids.insert(e.id).second);
+      }
+    } else {
+      for (const auto& child : node->children()) stack.push_back(child.get());
+    }
+  }
+  EXPECT_EQ(ids.size(), 700u);
+}
+
+TEST(MTreeTest, DuplicateCentersHandled) {
+  MTree tree(2);
+  for (uint64_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Insert(Hypersphere({1.0, 1.0}, 0.5), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 150u);
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+}
+
+TEST(MTreeTest, HeightStaysLogarithmic) {
+  SyntheticSpec spec;
+  spec.n = 20'000;
+  spec.dim = 4;
+  spec.seed = 2003;
+  MTree tree(4);
+  ASSERT_TRUE(tree.BulkLoad(GenerateSynthetic(spec)).ok());
+  EXPECT_LE(tree.Height(), 9u);
+  EXPECT_GE(tree.Height(), 3u);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,111 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Tests for the box measures backing the R*-tree heuristics
+// (Volume/Margin/OverlapVolume/Union) and the point/sphere MinDist
+// variants used by the searchers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/mbr.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(BoxMeasuresTest, VolumeAndMargin) {
+  const Mbr box({0.0, 0.0, 0.0}, {2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(Volume(box), 24.0);
+  EXPECT_DOUBLE_EQ(Margin(box), 9.0);
+  const Mbr flat({1.0, 1.0}, {1.0, 5.0});  // degenerate slab
+  EXPECT_DOUBLE_EQ(Volume(flat), 0.0);
+  EXPECT_DOUBLE_EQ(Margin(flat), 4.0);
+}
+
+TEST(BoxMeasuresTest, OverlapVolume) {
+  const Mbr a({0.0, 0.0}, {4.0, 4.0});
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, Mbr({2.0, 2.0}, {6.0, 6.0})), 4.0);
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, Mbr({4.0, 0.0}, {5.0, 4.0})), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, Mbr({5.0, 0.0}, {6.0, 4.0})), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, a), 16.0);
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, Mbr({1.0, 1.0}, {2.0, 2.0})), 1.0);
+}
+
+TEST(BoxMeasuresTest, UnionCoversBoth) {
+  const Mbr a({0.0, 0.0}, {1.0, 1.0});
+  const Mbr b({3.0, -2.0}, {4.0, 0.5});
+  const Mbr u = Union(a, b);
+  EXPECT_EQ(u.lo(), (Point{0, -2}));
+  EXPECT_EQ(u.hi(), (Point{4, 1}));
+}
+
+TEST(BoxMeasuresTest, UnionProperties) {
+  Rng rng(5100);
+  for (int iter = 0; iter < 1000; ++iter) {
+    auto random_box = [&]() {
+      Point lo(3), hi(3);
+      for (int i = 0; i < 3; ++i) {
+        lo[i] = rng.Uniform(-10, 10);
+        hi[i] = lo[i] + rng.Uniform(0.0, 5.0);
+      }
+      return Mbr(lo, hi);
+    };
+    const Mbr a = random_box();
+    const Mbr b = random_box();
+    const Mbr u = Union(a, b);
+    EXPECT_GE(Volume(u) + 1e-12, Volume(a));
+    EXPECT_GE(Volume(u) + 1e-12, Volume(b));
+    EXPECT_GE(Margin(u) + 1e-12, Margin(a));
+    // Overlap is symmetric and bounded by the smaller volume.
+    EXPECT_DOUBLE_EQ(OverlapVolume(a, b), OverlapVolume(b, a));
+    EXPECT_LE(OverlapVolume(a, b), std::min(Volume(a), Volume(b)) + 1e-12);
+  }
+}
+
+TEST(BoxPointDistTest, MinDistToPoint) {
+  const Mbr box({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(MinDist(box, Point{1.0, 1.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDist(box, Point{2.0, 2.0}), 0.0);   // corner
+  EXPECT_DOUBLE_EQ(MinDist(box, Point{5.0, 2.0}), 3.0);   // face
+  EXPECT_DOUBLE_EQ(MinDist(box, Point{5.0, 6.0}), 5.0);   // corner 3-4-5
+}
+
+TEST(BoxPointDistTest, MaxDistToPoint) {
+  const Mbr box({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(MaxDist(box, Point{0.0, 0.0}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(MaxDist(box, Point{-1.0, -1.0}), std::sqrt(18.0));
+  EXPECT_DOUBLE_EQ(MaxDist(box, Point{1.0, 1.0}), std::sqrt(2.0));
+}
+
+TEST(BoxSphereDistTest, MinDistToSphere) {
+  const Mbr box({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(MinDist(box, Hypersphere({5.0, 2.0}, 1.0)), 2.0);
+  EXPECT_DOUBLE_EQ(MinDist(box, Hypersphere({5.0, 2.0}, 4.0)), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(box, Hypersphere({1.0, 1.0}, 0.5)), 0.0);
+}
+
+TEST(BoxPointDistTest, SampledPointsRespectBounds) {
+  Rng rng(5101);
+  for (int iter = 0; iter < 500; ++iter) {
+    Point lo(3), hi(3), p(3);
+    for (int i = 0; i < 3; ++i) {
+      lo[i] = rng.Uniform(-10, 10);
+      hi[i] = lo[i] + rng.Uniform(0.1, 5.0);
+      p[i] = rng.Uniform(-20, 20);
+    }
+    const Mbr box(lo, hi);
+    for (int s = 0; s < 20; ++s) {
+      Point inside(3);
+      for (int i = 0; i < 3; ++i) {
+        inside[i] = rng.Uniform(lo[i], hi[i]);
+      }
+      const double d = Dist(inside, p);
+      EXPECT_GE(d, MinDist(box, p) - 1e-9);
+      EXPECT_LE(d, MaxDist(box, p) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,103 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/measures.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "dominance/hyperbola.h"
+#include "dominance/minmax.h"
+#include "dominance/trigonometric.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(ConfusionCountsTest, PrecisionAndRecall) {
+  ConfusionCounts c;
+  c.tp = 30;
+  c.fp = 10;
+  c.fn = 20;
+  c.tn = 40;
+  EXPECT_DOUBLE_EQ(c.PrecisionPercent(), 75.0);
+  EXPECT_DOUBLE_EQ(c.RecallPercent(), 60.0);
+}
+
+TEST(ConfusionCountsTest, DegenerateDenominators) {
+  ConfusionCounts c;  // all zeros
+  EXPECT_DOUBLE_EQ(c.PrecisionPercent(), 100.0);
+  EXPECT_DOUBLE_EQ(c.RecallPercent(), 100.0);
+}
+
+class MeasuresFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.n = 2000;
+    spec.dim = 4;
+    spec.radius_mean = 20.0;
+    spec.seed = 5555;
+    data_ = GenerateSynthetic(spec);
+    workload_ = MakeDominanceWorkload(data_, 2000, 5556);
+    truth_ = RunCriterion(hyperbola_, workload_);
+  }
+
+  HyperbolaCriterion hyperbola_;
+  std::vector<Hypersphere> data_;
+  std::vector<DominanceQuery> workload_;
+  std::vector<bool> truth_;
+};
+
+TEST_F(MeasuresFixture, HyperbolaScoresPerfectlyAgainstItself) {
+  const ConfusionCounts c = EvaluateCriterion(hyperbola_, workload_, truth_);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_EQ(c.fn, 0u);
+  EXPECT_DOUBLE_EQ(c.PrecisionPercent(), 100.0);
+  EXPECT_DOUBLE_EQ(c.RecallPercent(), 100.0);
+  EXPECT_GT(c.tp, 0u);
+}
+
+TEST_F(MeasuresFixture, MinMaxIsPreciseButIncomplete) {
+  MinMaxCriterion minmax;
+  const ConfusionCounts c = EvaluateCriterion(minmax, workload_, truth_);
+  EXPECT_EQ(c.fp, 0u);  // correct
+  EXPECT_GT(c.fn, 0u);  // not sound
+  EXPECT_DOUBLE_EQ(c.PrecisionPercent(), 100.0);
+  EXPECT_LT(c.RecallPercent(), 100.0);
+}
+
+TEST_F(MeasuresFixture, TrigonometricIsCompleteButImprecise) {
+  TrigonometricCriterion trig;
+  const ConfusionCounts c = EvaluateCriterion(trig, workload_, truth_);
+  EXPECT_EQ(c.fn, 0u);  // sound on paper-scale workloads
+  EXPECT_GT(c.fp, 0u);  // not correct
+  EXPECT_DOUBLE_EQ(c.RecallPercent(), 100.0);
+  EXPECT_LT(c.PrecisionPercent(), 100.0);
+}
+
+TEST_F(MeasuresFixture, CountsSumToWorkloadSize) {
+  MinMaxCriterion minmax;
+  const ConfusionCounts c = EvaluateCriterion(minmax, workload_, truth_);
+  EXPECT_EQ(c.tp + c.fp + c.tn + c.fn, workload_.size());
+}
+
+TEST_F(MeasuresFixture, RunCriterionMatchesDirectCalls) {
+  MinMaxCriterion minmax;
+  const auto bits = RunCriterion(minmax, workload_);
+  ASSERT_EQ(bits.size(), workload_.size());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(bits[i], minmax.Dominates(workload_[i].sa, workload_[i].sb,
+                                        workload_[i].sq));
+  }
+}
+
+TEST_F(MeasuresFixture, TimingIsPositiveAndFinite) {
+  MinMaxCriterion minmax;
+  const std::vector<DominanceQuery> small(workload_.begin(),
+                                          workload_.begin() + 200);
+  const double nanos = TimeCriterionNanos(minmax, small, 2);
+  EXPECT_GT(nanos, 0.0);
+  EXPECT_LT(nanos, 1e7);  // under 10ms per op is a very loose sanity bound
+}
+
+}  // namespace
+}  // namespace hyperdom

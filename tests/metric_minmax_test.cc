@@ -1,0 +1,163 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/metric_minmax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dominance/minmax.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(PointMetricTest, Definitions) {
+  const Point a = {0.0, 0.0};
+  const Point b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(L1Metric().Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(L2Metric().Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(LInfMetric().Distance(a, b), 4.0);
+  EXPECT_NEAR(LpMetric(3.0).Distance(a, b),
+              std::pow(27.0 + 64.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(PointMetricTest, LpInterpolatesBetweenL1AndLinf) {
+  Rng rng(2300);
+  const LpMetric p15(1.5);
+  const L1Metric l1;
+  const LInfMetric linf;
+  for (int i = 0; i < 500; ++i) {
+    Point a(3), b(3);
+    for (int j = 0; j < 3; ++j) {
+      a[j] = rng.Uniform(-10, 10);
+      b[j] = rng.Uniform(-10, 10);
+    }
+    EXPECT_LE(p15.Distance(a, b), l1.Distance(a, b) + 1e-9);
+    EXPECT_GE(p15.Distance(a, b), linf.Distance(a, b) - 1e-9);
+  }
+}
+
+TEST(PointMetricTest, NormAxiomsSampled) {
+  Rng rng(2301);
+  const L1Metric l1;
+  const LInfMetric linf;
+  const LpMetric p3(3.0);
+  const PointMetric* metrics[] = {&l1, &linf, &p3};
+  for (const PointMetric* m : metrics) {
+    for (int i = 0; i < 300; ++i) {
+      Point a(4), b(4), c(4);
+      for (int j = 0; j < 4; ++j) {
+        a[j] = rng.Uniform(-5, 5);
+        b[j] = rng.Uniform(-5, 5);
+        c[j] = rng.Uniform(-5, 5);
+      }
+      EXPECT_DOUBLE_EQ(m->Distance(a, a), 0.0);
+      EXPECT_DOUBLE_EQ(m->Distance(a, b), m->Distance(b, a));
+      EXPECT_LE(m->Distance(a, c),
+                m->Distance(a, b) + m->Distance(b, c) + 1e-9);
+    }
+  }
+}
+
+TEST(MetricMinMaxTest, L2MatchesEuclideanMinMax) {
+  const L2Metric l2;
+  const MetricMinMaxDominance metric_minmax(&l2);
+  const MinMaxCriterion euclidean;
+  Rng rng(2302);
+  for (int i = 0; i < 3000; ++i) {
+    const test::Scene s = test::RandomScene(&rng, 4, 10.0);
+    EXPECT_EQ(metric_minmax.Dominates(s.sa, s.sb, s.sq),
+              euclidean.Dominates(s.sa, s.sb, s.sq));
+  }
+}
+
+// Correctness in any metric: if MetricMinMax accepts, then every sampled
+// triple of ball points obeys the strict ordering.
+class MetricCorrectnessTest : public ::testing::TestWithParam<int> {
+ protected:
+  const PointMetric& metric() const {
+    static const L1Metric l1;
+    static const LInfMetric linf;
+    static const LpMetric p3(3.0);
+    switch (GetParam()) {
+      case 0:
+        return l1;
+      case 1:
+        return linf;
+      default:
+        return p3;
+    }
+  }
+
+  // A random point of the metric ball: rejection-sample the bounding box.
+  Point SampleBall(Rng* rng, const Hypersphere& ball) const {
+    for (;;) {
+      Point p(ball.dim());
+      for (size_t i = 0; i < ball.dim(); ++i) {
+        p[i] = ball.center()[i] +
+               rng->Uniform(-ball.radius(), ball.radius());
+      }
+      if (ball.radius() == 0.0 ||
+          metric().Distance(p, ball.center()) <= ball.radius()) {
+        return p;
+      }
+    }
+  }
+};
+
+TEST_P(MetricCorrectnessTest, PositivesHaveNoCounterexample) {
+  Rng rng(2303 + GetParam());
+  const MetricMinMaxDominance criterion(&metric());
+  int positives = 0;
+  for (int iter = 0; iter < 4000 && positives < 300; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 6.0);
+    if (!criterion.Dominates(s.sa, s.sb, s.sq)) continue;
+    ++positives;
+    for (int k = 0; k < 10; ++k) {
+      const Point a = SampleBall(&rng, s.sa);
+      const Point b = SampleBall(&rng, s.sb);
+      const Point q = SampleBall(&rng, s.sq);
+      EXPECT_LT(metric().Distance(a, q), metric().Distance(b, q))
+          << test::SceneToString(s);
+    }
+  }
+  EXPECT_GT(positives, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, MetricCorrectnessTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(MetricMinMaxTest, MinMaxDistDefinitions) {
+  const L1Metric l1;
+  const MetricMinMaxDominance m(&l1);
+  const Hypersphere a({0.0, 0.0}, 1.0);
+  const Hypersphere b({3.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.MaxDist(a, b), 7.0 + 3.0);
+  EXPECT_DOUBLE_EQ(m.MinDist(a, b), 7.0 - 3.0);
+  const Hypersphere overlapping({1.0, 1.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.MinDist(a, overlapping), 0.0);
+}
+
+TEST(MetricMinMaxTest, MetricChangesDecisions) {
+  // Sb diagonal from the query: far in L1, close in Linf.
+  const Hypersphere sa({3.5, 0.0}, 0.1);
+  const Hypersphere sb({2.4, 2.4}, 0.1);
+  const Hypersphere sq({0.0, 0.0}, 0.1);
+  const L1Metric l1;
+  const LInfMetric linf;
+  // L1: d(sa)=3.5, d(sb)=4.8 -> dominance plausible;
+  // Linf: d(sa)=3.5, d(sb)=2.4 -> surely not.
+  EXPECT_TRUE(MetricMinMaxDominance(&l1).Dominates(sa, sb, sq));
+  EXPECT_FALSE(MetricMinMaxDominance(&linf).Dominates(sa, sb, sq));
+}
+
+TEST(MetricMinMaxTest, Names) {
+  EXPECT_EQ(L1Metric().name(), "L1");
+  EXPECT_EQ(L2Metric().name(), "L2");
+  EXPECT_EQ(LInfMetric().name(), "Linf");
+  EXPECT_EQ(LpMetric(2.5).name(), "L2.5");
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,82 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dominance/numeric_oracle.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(WeightedMetricTest, DistanceDefinition) {
+  const WeightedEuclideanDominance m({4.0, 1.0});
+  // sqrt(4*(3-0)^2 + 1*(4-0)^2) = sqrt(36+16)
+  EXPECT_DOUBLE_EQ(m.Distance({0.0, 0.0}, {3.0, 4.0}), std::sqrt(52.0));
+  EXPECT_DOUBLE_EQ(m.Distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(WeightedMetricTest, UnitWeightsMatchEuclidean) {
+  const WeightedEuclideanDominance m({1.0, 1.0, 1.0});
+  Rng rng(7000);
+  HyperbolaCriterion euclidean;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 10.0);
+    EXPECT_EQ(m.Dominates(s.sa, s.sb, s.sq),
+              euclidean.Dominates(s.sa, s.sb, s.sq));
+  }
+}
+
+TEST(WeightedMetricTest, MatchesOracleOnScaledSpace) {
+  // Ground truth: transform the scene by sqrt(w) per axis and ask the
+  // Euclidean oracle.
+  Rng rng(7001);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(5);
+    std::vector<double> weights(dim);
+    for (auto& w : weights) w = rng.Uniform(0.1, 9.0);
+    const WeightedEuclideanDominance m(weights);
+    const test::Scene s = test::RandomScene(&rng, dim, 10.0);
+
+    auto scale_sphere = [&](const Hypersphere& h) {
+      Point c(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        c[i] = std::sqrt(weights[i]) * h.center()[i];
+      }
+      return Hypersphere(std::move(c), h.radius());
+    };
+    const test::Scene scaled{scale_sphere(s.sa), scale_sphere(s.sb),
+                             scale_sphere(s.sq)};
+    if (test::IsBorderline(scaled)) continue;
+    EXPECT_EQ(m.Dominates(s.sa, s.sb, s.sq), test::OracleDominates(scaled))
+        << test::SceneToString(s);
+  }
+}
+
+TEST(WeightedMetricTest, WeightsChangeDecisions) {
+  // Sa is closer laterally, Sb is closer vertically; the vertical weight
+  // decides who dominates.
+  const Hypersphere sa({5.0, 0.0}, 0.1);
+  const Hypersphere sb({0.0, 6.0}, 0.1);
+  const Hypersphere sq({0.0, 0.0}, 0.1);
+  const WeightedEuclideanDominance lateral({1.0, 100.0});
+  const WeightedEuclideanDominance vertical({100.0, 1.0});
+  // Heavy vertical weight pushes Sb far away -> Sa dominates.
+  EXPECT_TRUE(lateral.Dominates(sa, sb, sq));
+  // Heavy lateral weight pushes Sa far away -> Sa cannot dominate.
+  EXPECT_FALSE(vertical.Dominates(sa, sb, sq));
+  EXPECT_TRUE(vertical.Dominates(sb, sa, sq));
+}
+
+TEST(WeightedMetricTest, ExposesWeights) {
+  const WeightedEuclideanDominance m({2.0, 3.0});
+  ASSERT_EQ(m.weights().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.weights()[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.weights()[1], 3.0);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,177 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/min_ball.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+
+namespace hyperdom {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+void ExpectCoversAll(const Hypersphere& ball,
+                     const std::vector<Point>& points) {
+  for (const auto& p : points) {
+    EXPECT_LE(Dist(ball.center(), p), ball.radius() * (1.0 + kTol) + kTol);
+  }
+}
+
+TEST(BallFromSupportTest, OnePoint) {
+  const Hypersphere b = BallFromSupport({{3.0, 4.0}});
+  EXPECT_EQ(b.center(), (Point{3, 4}));
+  EXPECT_DOUBLE_EQ(b.radius(), 0.0);
+}
+
+TEST(BallFromSupportTest, TwoPointsGiveMidpointBall) {
+  const Hypersphere b = BallFromSupport({{0.0, 0.0}, {6.0, 8.0}});
+  EXPECT_NEAR(b.center()[0], 3.0, 1e-12);
+  EXPECT_NEAR(b.center()[1], 4.0, 1e-12);
+  EXPECT_NEAR(b.radius(), 5.0, 1e-12);
+}
+
+TEST(BallFromSupportTest, EquilateralTriangleCircumball) {
+  // Circumradius of an equilateral triangle with side s is s / sqrt(3).
+  const double s = 2.0;
+  const Hypersphere b = BallFromSupport(
+      {{0.0, 0.0}, {s, 0.0}, {s / 2.0, s * std::sqrt(3.0) / 2.0}});
+  EXPECT_NEAR(b.radius(), s / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(b.center()[0], 1.0, 1e-9);
+}
+
+TEST(BallFromSupportTest, RegularSimplexIn3D) {
+  // Circumball of the regular tetrahedron on the canonical basis corners.
+  const std::vector<Point> simplex = {{1.0, 0.0, 0.0},
+                                      {0.0, 1.0, 0.0},
+                                      {0.0, 0.0, 1.0},
+                                      {1.0, 1.0, 1.0}};
+  const Hypersphere b = BallFromSupport(simplex);
+  for (const auto& p : simplex) {
+    EXPECT_NEAR(Dist(b.center(), p), b.radius(), 1e-9);
+  }
+}
+
+TEST(BallFromSupportTest, DegenerateDuplicatesFallBack) {
+  const Hypersphere b =
+      BallFromSupport({{1.0, 2.0}, {5.0, 2.0}, {5.0, 2.0}});
+  EXPECT_NEAR(b.radius(), 2.0, 1e-9);  // the two-point ball
+}
+
+TEST(MinBallTest, SinglePoint) {
+  const Hypersphere b = MinBallOfPoints({{7.0, -3.0}});
+  EXPECT_DOUBLE_EQ(b.radius(), 0.0);
+}
+
+TEST(MinBallTest, KnownConfigurations) {
+  // Square: min ball is the circumcircle.
+  const Hypersphere square = MinBallOfPoints(
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}});
+  EXPECT_NEAR(square.radius(), std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(square.center()[0], 1.0, 1e-9);
+
+  // Interior points never matter.
+  const Hypersphere with_interior = MinBallOfPoints(
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}, {1.0, 1.0},
+       {0.5, 1.5}});
+  EXPECT_NEAR(with_interior.radius(), std::sqrt(2.0), 1e-9);
+
+  // Collinear points: the diameter ball of the extremes.
+  const Hypersphere line = MinBallOfPoints(
+      {{0.0, 0.0}, {1.0, 0.0}, {4.0, 0.0}, {10.0, 0.0}});
+  EXPECT_NEAR(line.radius(), 5.0, 1e-9);
+  EXPECT_NEAR(line.center()[0], 5.0, 1e-9);
+}
+
+class MinBallPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MinBallPropertyTest, CoversAllAndIsMinimalAgainstShrinking) {
+  const size_t dim = GetParam();
+  Rng rng(6100 + dim);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = 2 + rng.UniformU64(40);
+    std::vector<Point> points;
+    for (size_t i = 0; i < n; ++i) {
+      Point p(dim);
+      for (auto& v : p) v = rng.Gaussian(0.0, 10.0);
+      points.push_back(std::move(p));
+    }
+    const Hypersphere ball = MinBallOfPoints(points);
+    ExpectCoversAll(ball, points);
+    // Minimality proxy: a ball with the same center and 0.1% smaller
+    // radius must lose at least one point (the support is on the
+    // boundary).
+    if (ball.radius() > 1e-9) {
+      const double shrunk = ball.radius() * 0.999;
+      bool lost = false;
+      for (const auto& p : points) {
+        if (Dist(ball.center(), p) > shrunk) lost = true;
+      }
+      EXPECT_TRUE(lost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MinBallPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+TEST(MinBallPropertyTest, NeverWorseThanCentroidBound) {
+  Rng rng(6101);
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(6);
+    const size_t n = 3 + rng.UniformU64(30);
+    std::vector<Point> points;
+    Point centroid(dim, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      Point p(dim);
+      for (auto& v : p) v = rng.Gaussian(0.0, 5.0);
+      centroid = Add(centroid, p);
+      points.push_back(std::move(p));
+    }
+    centroid = Scale(centroid, 1.0 / static_cast<double>(n));
+    double centroid_radius = 0.0;
+    for (const auto& p : points) {
+      centroid_radius = std::max(centroid_radius, Dist(centroid, p));
+    }
+    const Hypersphere ball = MinBallOfPoints(points);
+    EXPECT_LE(ball.radius(), centroid_radius * (1.0 + 1e-9));
+  }
+}
+
+TEST(MinBallOfSpheresTest, CoversEverySphere) {
+  Rng rng(6102);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = 2 + rng.UniformU64(20);
+    std::vector<Hypersphere> spheres;
+    for (size_t i = 0; i < n; ++i) {
+      Point c(3);
+      for (auto& v : c) v = rng.Gaussian(0.0, 10.0);
+      spheres.emplace_back(std::move(c), rng.Uniform(0.0, 4.0));
+    }
+    const Hypersphere cover = MinBallOfSpheres(spheres);
+    for (const auto& s : spheres) {
+      EXPECT_LE(Dist(cover.center(), s.center()) + s.radius(),
+                cover.radius() * (1.0 + kTol) + kTol);
+    }
+    // Boundary tightness: some sphere touches the cover.
+    double max_edge = 0.0;
+    for (const auto& s : spheres) {
+      max_edge = std::max(max_edge,
+                          Dist(cover.center(), s.center()) + s.radius());
+    }
+    EXPECT_NEAR(max_edge, cover.radius(), 1e-9);
+  }
+}
+
+TEST(MinBallTest, DuplicatePointsHandled) {
+  const std::vector<Point> points(50, Point{3.0, 3.0, 3.0});
+  const Hypersphere ball = MinBallOfPoints(points);
+  EXPECT_NEAR(ball.radius(), 0.0, 1e-9);
+  EXPECT_NEAR(Dist(ball.center(), points[0]), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,90 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/minmax.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(MinMaxTest, Metadata) {
+  MinMaxCriterion c;
+  EXPECT_EQ(c.name(), "MinMax");
+  EXPECT_TRUE(c.is_correct());
+  EXPECT_FALSE(c.is_sound());
+}
+
+TEST(MinMaxTest, ObviousDominance) {
+  MinMaxCriterion c;
+  // Sa hugs the query, Sb is far: MaxDist(Sa,Sq)=3 < MinDist(Sb,Sq)=17.
+  EXPECT_TRUE(c.Dominates(Hypersphere({2.0, 0.0}, 1.0),
+                          Hypersphere({20.0, 0.0}, 2.0),
+                          Hypersphere({0.0, 0.0}, 0.0)));
+}
+
+TEST(MinMaxTest, ObviousNonDominance) {
+  MinMaxCriterion c;
+  EXPECT_FALSE(c.Dominates(Hypersphere({20.0, 0.0}, 2.0),
+                           Hypersphere({2.0, 0.0}, 1.0),
+                           Hypersphere({0.0, 0.0}, 0.0)));
+}
+
+TEST(MinMaxTest, StrictInequalityAtTie) {
+  MinMaxCriterion c;
+  // MaxDist(Sa,Sq) = 5 = MinDist(Sb,Sq): a point of Sq is equidistant.
+  EXPECT_FALSE(c.Dominates(Hypersphere({5.0, 0.0}, 0.0),
+                           Hypersphere({-5.0, 0.0}, 0.0),
+                           Hypersphere({0.0, 0.0}, 0.0)));
+}
+
+// Paper Lemma 3's construction: point objects on a vertical line, fat query
+// sphere on Sa's side of the bisector. Dominance holds but MinMax says no.
+TEST(MinMaxTest, Lemma3FalseNegativeWitness) {
+  MinMaxCriterion c;
+  const Hypersphere sa({0.0, 2.0}, 0.0);
+  const Hypersphere sb({0.0, -2.0}, 0.0);
+  const Hypersphere sq({0.0, 10.0}, 6.0);  // big radius, fully above bisector
+  const test::Scene scene{sa, sb, sq};
+  ASSERT_TRUE(test::OracleDominates(scene));   // truly dominates
+  EXPECT_FALSE(c.Dominates(sa, sb, sq));       // ...but MinMax cannot see it
+}
+
+// With a point query (rq = 0) MinMax is exact (paper: "sound only when Sq
+// is a point").
+class MinMaxPointQueryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MinMaxPointQueryTest, ExactForPointQueries) {
+  const size_t dim = GetParam();
+  Rng rng(900 + dim);
+  MinMaxCriterion c;
+  int checked = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    test::Scene s = test::RandomScene(&rng, dim, 10.0);
+    s.sq = Hypersphere(s.sq.center(), 0.0);  // collapse query to a point
+    if (test::IsBorderline(s)) continue;
+    ++checked;
+    EXPECT_EQ(c.Dominates(s.sa, s.sb, s.sq), test::OracleDominates(s))
+        << test::SceneToString(s);
+  }
+  EXPECT_GT(checked, 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MinMaxPointQueryTest,
+                         ::testing::Values(2, 3, 6, 10));
+
+TEST(MinMaxTest, OverlappingSpheresNeverDominate) {
+  Rng rng(901);
+  MinMaxCriterion c;
+  for (int iter = 0; iter < 1000; ++iter) {
+    // Force overlap by nesting Sb's center inside Sa.
+    const Hypersphere sa = test::RandomSphere(&rng, 3, 20.0);
+    const Hypersphere sb(sa.center(), rng.Uniform(0.0, 5.0));
+    const Hypersphere sq = test::RandomSphere(&rng, 3, 10.0);
+    EXPECT_FALSE(c.Dominates(sa, sb, sq));
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,108 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/nn_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/generator.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(NnIteratorTest, EmptyTree) {
+  SsTree tree(2);
+  NearestNeighborIterator it(&tree, Hypersphere({0.0, 0.0}, 1.0));
+  EXPECT_FALSE(it.Next().has_value());
+  EXPECT_TRUE(std::isinf(it.PendingBound()));
+}
+
+TEST(NnIteratorTest, StreamsInNonDecreasingOrder) {
+  SyntheticSpec spec;
+  spec.n = 3000;
+  spec.dim = 4;
+  spec.radius_mean = 8.0;
+  spec.seed = 6200;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(4);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Hypersphere sq = data[7];
+
+  NearestNeighborIterator it(&tree, sq);
+  double prev = -1.0;
+  size_t count = 0;
+  std::set<uint64_t> seen;
+  while (auto item = it.Next()) {
+    EXPECT_GE(item->min_dist, prev - 1e-12);
+    EXPECT_NEAR(item->min_dist, MinDist(item->entry.sphere, sq), 1e-12);
+    EXPECT_TRUE(seen.insert(item->entry.id).second) << "duplicate entry";
+    prev = item->min_dist;
+    ++count;
+  }
+  EXPECT_EQ(count, data.size());  // exhaustive
+  EXPECT_EQ(it.produced(), data.size());
+}
+
+TEST(NnIteratorTest, FirstItemIsTheGlobalNearest) {
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.dim = 3;
+  spec.seed = 6201;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Hypersphere sq({10.0, 10.0, 10.0}, 1.0);
+
+  NearestNeighborIterator it(&tree, sq);
+  const auto first = it.Next();
+  ASSERT_TRUE(first.has_value());
+  double best = 1e300;
+  for (const auto& s : data) best = std::min(best, MinDist(s, sq));
+  EXPECT_NEAR(first->min_dist, best, 1e-12);
+}
+
+TEST(NnIteratorTest, PendingBoundIsSound) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 3;
+  spec.seed = 6202;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  NearestNeighborIterator it(&tree, data[0]);
+  for (int i = 0; i < 100; ++i) {
+    const double bound = it.PendingBound();
+    const auto item = it.Next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_GE(item->min_dist, bound - 1e-12);
+  }
+}
+
+TEST(NnIteratorTest, LazyConsumptionMatchesPrefixOfFullSort) {
+  SyntheticSpec spec;
+  spec.n = 2000;
+  spec.dim = 3;
+  spec.radius_mean = 5.0;
+  spec.seed = 6203;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Hypersphere sq = data[13];
+
+  std::vector<double> expected;
+  for (const auto& s : data) expected.push_back(MinDist(s, sq));
+  std::sort(expected.begin(), expected.end());
+
+  NearestNeighborIterator it(&tree, sq);
+  for (int i = 0; i < 50; ++i) {
+    const auto item = it.Next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_NEAR(item->min_dist, expected[i], 1e-9) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,130 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/numeric_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(NumericOracleTest, Metadata) {
+  NumericOracleCriterion c;
+  EXPECT_EQ(c.name(), "NumericOracle");
+  EXPECT_TRUE(c.is_correct());
+  EXPECT_TRUE(c.is_sound());
+}
+
+TEST(MinDistanceDifferenceTest, PointQueryClosedForm) {
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({10.0, 0.0}, 1.0);
+  const Hypersphere sq({2.0, 0.0}, 0.0);
+  // f(cq) = Dist(cq, cb) - Dist(cq, ca) = 8 - 2 = 6.
+  EXPECT_DOUBLE_EQ(MinDistanceDifference(sa, sb, sq), 6.0);
+}
+
+TEST(MinDistanceDifferenceTest, CoincidentCentersAreZero) {
+  const Hypersphere sa({3.0, 3.0}, 1.0);
+  const Hypersphere sb({3.0, 3.0}, 2.0);
+  EXPECT_DOUBLE_EQ(
+      MinDistanceDifference(sa, sb, Hypersphere({0.0, 0.0}, 5.0)), 0.0);
+}
+
+TEST(MinDistanceDifferenceTest, AxialBallClosedForm) {
+  // Everything on the x-axis: ca = 0, cb = 10, query ball [1, 3].
+  // f(t) = (10 - t) - t = 10 - 2t on [1, 3]; min at t = 3 -> 4.
+  const Hypersphere sa({0.0, 0.0}, 0.0);
+  const Hypersphere sb({10.0, 0.0}, 0.0);
+  const Hypersphere sq({2.0, 0.0}, 1.0);
+  EXPECT_NEAR(MinDistanceDifference(sa, sb, sq), 4.0, 1e-9);
+}
+
+TEST(MinDistanceDifferenceTest, BallBeyondFarFocusFindsMinusTwoAlpha) {
+  // Query ball swallowing the ray beyond cb: min is exactly -2*alpha.
+  const Hypersphere sa({0.0, 0.0}, 0.0);
+  const Hypersphere sb({10.0, 0.0}, 0.0);
+  const Hypersphere sq({12.0, 0.0}, 3.0);
+  EXPECT_NEAR(MinDistanceDifference(sa, sb, sq), -10.0, 1e-9);
+}
+
+TEST(MinDistanceDifferenceTest, BoundedByTwoAlpha) {
+  Rng rng(5100);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 10.0);
+    if (Dist(s.sa.center(), s.sb.center()) < 1e-9) continue;
+    const double alpha = Dist(s.sa.center(), s.sb.center()) / 2.0;
+    const double v = MinDistanceDifference(s.sa, s.sb, s.sq);
+    EXPECT_GE(v, -2.0 * alpha - 1e-9);
+    EXPECT_LE(v, 2.0 * alpha + 1e-9);
+  }
+}
+
+TEST(MinDistanceDifferenceTest, MonotoneInQueryRadius) {
+  // Growing the query ball can only lower the minimum.
+  Rng rng(5101);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 4, 10.0);
+    const double v1 = MinDistanceDifference(s.sa, s.sb, s.sq);
+    const Hypersphere bigger(s.sq.center(), s.sq.radius() + 5.0);
+    const double v2 = MinDistanceDifference(s.sa, s.sb, bigger);
+    EXPECT_LE(v2, v1 + 1e-7);
+  }
+}
+
+TEST(MinDistanceDifferenceTest, SampledPointsNeverBeatTheMinimum) {
+  Rng rng(5102);
+  for (int iter = 0; iter < 300; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 2, 10.0);
+    const double vmin = MinDistanceDifference(s.sa, s.sb, s.sq);
+    for (int k = 0; k < 50; ++k) {
+      const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+      const double rad = s.sq.radius() * std::sqrt(rng.NextDouble());
+      const Point q = {s.sq.center()[0] + rad * std::cos(theta),
+                       s.sq.center()[1] + rad * std::sin(theta)};
+      const double f = Dist(q, s.sb.center()) - Dist(q, s.sa.center());
+      EXPECT_GE(f, vmin - 1e-6) << test::SceneToString(s);
+    }
+  }
+}
+
+TEST(MinDistanceDifferenceTest, OneDimensionalSegments) {
+  const Hypersphere sa({0.0}, 0.0);
+  const Hypersphere sb({10.0}, 0.0);
+  // Segment [1, 3]: f = 10 - 2t, min 4 at t = 3.
+  EXPECT_NEAR(MinDistanceDifference(sa, sb, Hypersphere({2.0}, 1.0)), 4.0,
+              1e-12);
+  // Segment [8, 12] contains cb: min is f(10) = -10.
+  EXPECT_NEAR(MinDistanceDifference(sa, sb, Hypersphere({10.0}, 2.0)), -10.0,
+              1e-12);
+  // Segment beyond cb: f constant -10.
+  EXPECT_NEAR(MinDistanceDifference(sa, sb, Hypersphere({20.0}, 2.0)), -10.0,
+              1e-12);
+}
+
+TEST(NumericOracleTest, OverlapShortCircuits) {
+  NumericOracleCriterion c;
+  EXPECT_FALSE(c.Dominates(Hypersphere({0.0, 0.0}, 2.0),
+                           Hypersphere({3.0, 0.0}, 1.0),
+                           Hypersphere({-9.0, 0.0}, 0.1)));
+}
+
+TEST(NumericOracleTest, AgreesWithDefinitionOnAxialScenes) {
+  // Fully axial scenes admit hand-computed answers.
+  NumericOracleCriterion c;
+  // Query ball [−2, 0] on x-axis, Sa at 2 (r=0.5), Sb at 10 (r=0.5):
+  // worst q = 0: f = 10 - 2 = 8 > 1 -> dominated.
+  EXPECT_TRUE(c.Dominates(Hypersphere({2.0, 0.0}, 0.5),
+                          Hypersphere({10.0, 0.0}, 0.5),
+                          Hypersphere({-1.0, 0.0}, 1.0)));
+  // Stretch the query to reach x = 5.6 where f(5.6) = 4.4 - 3.6 = 0.8 < 1.
+  EXPECT_FALSE(c.Dominates(Hypersphere({2.0, 0.0}, 0.5),
+                           Hypersphere({10.0, 0.0}, 0.5),
+                           Hypersphere({-1.0, 0.0}, 6.6)));
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,226 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hyperdom {
+namespace {
+
+void ExpectRootsNear(const std::vector<double>& actual,
+                     std::vector<double> expected, double tol = 1e-8) {
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(actual.size(), expected.size())
+      << "got " << actual.size() << " roots, want " << expected.size();
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i],
+                tol * std::max(1.0, std::fabs(expected[i])));
+  }
+}
+
+TEST(LinearTest, Solves) {
+  ExpectRootsNear(SolveLinear(2.0, -6.0), {3.0});
+  ExpectRootsNear(SolveLinear(-1.0, 5.0), {5.0});
+}
+
+TEST(LinearTest, DegenerateHasNoRoots) {
+  EXPECT_TRUE(SolveLinear(0.0, 3.0).empty());
+  EXPECT_TRUE(SolveLinear(0.0, 0.0).empty());
+}
+
+TEST(QuadraticTest, TwoRoots) {
+  ExpectRootsNear(SolveQuadratic(1.0, -3.0, 2.0), {1.0, 2.0});
+  ExpectRootsNear(SolveQuadratic(2.0, 0.0, -8.0), {-2.0, 2.0});
+}
+
+TEST(QuadraticTest, DoubleRoot) {
+  ExpectRootsNear(SolveQuadratic(1.0, -4.0, 4.0), {2.0});
+}
+
+TEST(QuadraticTest, NoRealRoots) {
+  EXPECT_TRUE(SolveQuadratic(1.0, 0.0, 1.0).empty());
+}
+
+TEST(QuadraticTest, FallsBackToLinear) {
+  ExpectRootsNear(SolveQuadratic(0.0, 2.0, -4.0), {2.0});
+}
+
+TEST(QuadraticTest, CancellationStability) {
+  // x^2 - 1e8 x + 1 = 0: naive formula loses the small root entirely.
+  const auto roots = SolveQuadratic(1.0, -1e8, 1.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 1e-8, 1e-14);
+  EXPECT_NEAR(roots[1], 1e8, 1.0);
+}
+
+TEST(CubicTest, ThreeRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+  ExpectRootsNear(SolveCubic(1.0, -6.0, 11.0, -6.0), {1.0, 2.0, 3.0});
+}
+
+TEST(CubicTest, OneRealRoot) {
+  // (x-2)(x^2+1) = x^3 - 2x^2 + x - 2
+  ExpectRootsNear(SolveCubic(1.0, -2.0, 1.0, -2.0), {2.0});
+}
+
+TEST(CubicTest, TripleRoot) {
+  // (x+1)^3 = x^3 + 3x^2 + 3x + 1
+  ExpectRootsNear(SolveCubic(1.0, 3.0, 3.0, 1.0), {-1.0}, 1e-5);
+}
+
+TEST(CubicTest, DoublePlusSingleRoot) {
+  // (x-1)^2 (x-4) = x^3 - 6x^2 + 9x - 4
+  ExpectRootsNear(SolveCubic(1.0, -6.0, 9.0, -4.0), {1.0, 4.0}, 1e-6);
+}
+
+TEST(CubicTest, FallsBackToQuadratic) {
+  ExpectRootsNear(SolveCubic(0.0, 1.0, -3.0, 2.0), {1.0, 2.0});
+}
+
+TEST(QuarticTest, FourRealRoots) {
+  // (x-1)(x-2)(x-3)(x-4) = x^4 - 10x^3 + 35x^2 - 50x + 24
+  ExpectRootsNear(SolveQuartic(1.0, -10.0, 35.0, -50.0, 24.0),
+                  {1.0, 2.0, 3.0, 4.0});
+}
+
+TEST(QuarticTest, TwoRealRoots) {
+  // (x^2+1)(x-1)(x+2) = x^4 + x^3 - x^2 + x - 2
+  ExpectRootsNear(SolveQuartic(1.0, 1.0, -1.0, 1.0, -2.0), {-2.0, 1.0});
+}
+
+TEST(QuarticTest, NoRealRoots) {
+  // (x^2+1)(x^2+4)
+  EXPECT_TRUE(SolveQuartic(1.0, 0.0, 5.0, 0.0, 4.0).empty());
+}
+
+TEST(QuarticTest, Biquadratic) {
+  // x^4 - 5x^2 + 4 = (x^2-1)(x^2-4)
+  ExpectRootsNear(SolveQuartic(1.0, 0.0, -5.0, 0.0, 4.0),
+                  {-2.0, -1.0, 1.0, 2.0});
+}
+
+TEST(QuarticTest, QuadrupleRoot) {
+  // (x-1)^4 = x^4 - 4x^3 + 6x^2 - 4x + 1
+  const auto roots = SolveQuartic(1.0, -4.0, 6.0, -4.0, 1.0);
+  ASSERT_FALSE(roots.empty());
+  for (double r : roots) EXPECT_NEAR(r, 1.0, 1e-3);
+}
+
+TEST(QuarticTest, FallsBackToCubic) {
+  ExpectRootsNear(SolveQuartic(0.0, 1.0, -6.0, 11.0, -6.0), {1.0, 2.0, 3.0});
+}
+
+TEST(QuarticTest, LargeCoefficientScale) {
+  // 1e9 * (x-1)(x-2)(x-3)(x-4): scaling must not change the roots.
+  ExpectRootsNear(
+      SolveQuartic(1e9, -10e9, 35e9, -50e9, 24e9), {1.0, 2.0, 3.0, 4.0},
+      1e-6);
+}
+
+TEST(EvaluateTest, HornerMatchesDirect) {
+  const std::vector<double> coeffs = {2.0, -3.0, 0.5, 7.0};  // cubic
+  const double x = 1.7;
+  const double direct = 2.0 * x * x * x - 3.0 * x * x + 0.5 * x + 7.0;
+  EXPECT_NEAR(EvaluatePolynomial(coeffs, x), direct, 1e-12);
+}
+
+TEST(EvaluateTest, DerivativeMatchesFiniteDifference) {
+  const std::vector<double> coeffs = {1.0, -2.0, 3.0, -4.0, 5.0};  // quartic
+  const double x = 0.9;
+  const double h = 1e-6;
+  const double fd = (EvaluatePolynomial(coeffs, x + h) -
+                     EvaluatePolynomial(coeffs, x - h)) /
+                    (2.0 * h);
+  EXPECT_NEAR(EvaluatePolynomialDerivative(coeffs, x), fd, 1e-5);
+}
+
+TEST(EvaluateTest, ConstantDerivativeIsZero) {
+  EXPECT_DOUBLE_EQ(EvaluatePolynomialDerivative({5.0}, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluatePolynomialDerivative({}, 3.0), 0.0);
+}
+
+TEST(PolishTest, ImprovesPerturbedRoot) {
+  const std::vector<double> coeffs = {1.0, -10.0, 35.0, -50.0, 24.0};
+  const double polished = PolishRoot(coeffs, 2.9);  // true root at 3
+  EXPECT_NEAR(polished, 3.0, 1e-9);
+}
+
+TEST(PolishTest, NeverWorsens) {
+  const std::vector<double> coeffs = {1.0, 0.0, 1.0};  // no real root
+  const double x = PolishRoot(coeffs, 0.5);
+  EXPECT_TRUE(std::isfinite(x));
+  EXPECT_LE(std::fabs(EvaluatePolynomial(coeffs, x)),
+            std::fabs(EvaluatePolynomial(coeffs, 0.5)) + 1e-15);
+}
+
+// Property sweep: construct quartics from known random roots and verify the
+// solver recovers all of them.
+class QuarticRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuarticRoundTripTest, RecoversConstructedRoots) {
+  Rng rng(1000 + GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    double r[4];
+    for (double& v : r) v = rng.Uniform(-20.0, 20.0);
+    std::sort(r, r + 4);
+    // Reject near-duplicate roots: multiplicity makes exact counting a
+    // floating-point coin flip, which is not what this sweep pins.
+    bool distinct = true;
+    for (int i = 0; i < 3; ++i) {
+      if (r[i + 1] - r[i] < 0.05) distinct = false;
+    }
+    if (!distinct) continue;
+    const double scale = rng.Uniform(0.5, 2.0);
+    // Expand (x-r0)(x-r1)(x-r2)(x-r3) * scale.
+    const double e1 = r[0] + r[1] + r[2] + r[3];
+    const double e2 = r[0] * r[1] + r[0] * r[2] + r[0] * r[3] +
+                      r[1] * r[2] + r[1] * r[3] + r[2] * r[3];
+    const double e3 = r[0] * r[1] * r[2] + r[0] * r[1] * r[3] +
+                      r[0] * r[2] * r[3] + r[1] * r[2] * r[3];
+    const double e4 = r[0] * r[1] * r[2] * r[3];
+    const auto roots =
+        SolveQuartic(scale, -scale * e1, scale * e2, -scale * e3, scale * e4);
+    ASSERT_EQ(roots.size(), 4u) << "iter " << iter;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NEAR(roots[i], r[i], 1e-6 * std::max(1.0, std::fabs(r[i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuarticRoundTripTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+// Property sweep: for random coefficients, every returned root must have a
+// small residual relative to the polynomial's scale at that point.
+class QuarticResidualTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuarticResidualTest, ResidualsAreSmall) {
+  Rng rng(2000 + GetParam());
+  for (int iter = 0; iter < 1000; ++iter) {
+    const double a = rng.Uniform(-100.0, 100.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    const double c = rng.Uniform(-100.0, 100.0);
+    const double d = rng.Uniform(-100.0, 100.0);
+    const double e = rng.Uniform(-100.0, 100.0);
+    for (double x : SolveQuartic(a, b, c, d, e)) {
+      ASSERT_TRUE(std::isfinite(x));
+      const double x2 = x * x;
+      const double scale = std::fabs(a) * x2 * x2 + std::fabs(b) * x2 * std::fabs(x) +
+                           std::fabs(c) * x2 + std::fabs(d) * std::fabs(x) +
+                           std::fabs(e) + 1.0;
+      const double residual = EvaluatePolynomial({a, b, c, d, e}, x);
+      EXPECT_LE(std::fabs(residual), 1e-7 * scale) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuarticResidualTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,148 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/probabilistic_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "dominance/hyperbola.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(ProbabilisticKnnTest, CertainSceneIsDeterministic) {
+  // Well-separated tiny spheres: top-2 is certain.
+  const std::vector<Hypersphere> data = {
+      Hypersphere({1.0, 0.0}, 0.01), Hypersphere({2.0, 0.0}, 0.01),
+      Hypersphere({50.0, 0.0}, 0.01), Hypersphere({60.0, 0.0}, 0.01)};
+  const Hypersphere sq({0.0, 0.0}, 0.01);
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions options;
+  options.k = 2;
+  options.tau = 0.9;
+  options.samples = 100;
+  const auto result = ProbabilisticKnn(data, sq, exact, options);
+  ASSERT_EQ(result.answers.size(), 2u);
+  EXPECT_EQ(result.answers[0].id, 0u);
+  EXPECT_EQ(result.answers[1].id, 1u);
+  EXPECT_DOUBLE_EQ(result.answers[0].probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.answers[1].probability, 1.0);
+  EXPECT_EQ(result.candidates_pruned, 2u);
+}
+
+TEST(ProbabilisticKnnTest, SymmetricTieIsNearHalfForThirdSlot) {
+  // Two certain winners and two symmetric contenders for the 3rd slot.
+  const std::vector<Hypersphere> data = {
+      Hypersphere({1.0, 0.0}, 0.01), Hypersphere({-1.0, 0.0}, 0.01),
+      Hypersphere({0.0, 10.0}, 1.0), Hypersphere({0.0, -10.0}, 1.0)};
+  const Hypersphere sq({0.0, 0.0}, 0.01);
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions options;
+  options.k = 3;
+  options.tau = 0.25;
+  options.samples = 20'000;
+  const auto result = ProbabilisticKnn(data, sq, exact, options);
+  ASSERT_EQ(result.answers.size(), 4u);  // all pass tau = 0.25
+  double p2 = 0.0, p3 = 0.0;
+  for (const auto& c : result.answers) {
+    if (c.id == 2) p2 = c.probability;
+    if (c.id == 3) p3 = c.probability;
+  }
+  EXPECT_NEAR(p2, 0.5, 0.02);
+  EXPECT_NEAR(p3, 0.5, 0.02);
+  EXPECT_NEAR(p2 + p3, 1.0, 1e-12);  // exactly one wins each round
+}
+
+TEST(ProbabilisticKnnTest, PrunedObjectsNeverScore) {
+  // Validity of the >= k-dominators prune: pruned objects must never be
+  // credited by the Monte Carlo either.
+  SyntheticSpec spec;
+  spec.n = 150;
+  spec.dim = 3;
+  spec.radius_mean = 5.0;
+  spec.seed = 3300;
+  const auto data = GenerateSynthetic(spec);
+  const Hypersphere sq = data[9];
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions options;
+  options.k = 5;
+  options.tau = 0.0;  // keep every scored candidate
+  options.samples = 300;
+  const auto result = ProbabilisticKnn(data, sq, exact, options);
+  EXPECT_EQ(result.candidates_sampled + result.candidates_pruned,
+            data.size());
+
+  std::set<uint64_t> answer_ids;
+  double total_probability = 0.0;
+  for (const auto& c : result.answers) {
+    answer_ids.insert(c.id);
+    total_probability += c.probability;
+  }
+  // Expected top-k mass: probabilities over all objects sum to k; since
+  // pruned objects provably have zero probability, the candidates carry
+  // all of it.
+  EXPECT_NEAR(total_probability, 5.0, 1e-9);
+}
+
+TEST(ProbabilisticKnnTest, ThresholdFiltersAnswers) {
+  SyntheticSpec spec;
+  spec.n = 120;
+  spec.dim = 3;
+  spec.radius_mean = 8.0;
+  spec.seed = 3301;
+  const auto data = GenerateSynthetic(spec);
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions lo;
+  lo.k = 4;
+  lo.tau = 0.05;
+  lo.samples = 500;
+  ProbabilisticKnnOptions hi = lo;
+  hi.tau = 0.8;
+  const auto loose = ProbabilisticKnn(data, data[0], exact, lo);
+  const auto strict = ProbabilisticKnn(data, data[0], exact, hi);
+  EXPECT_GE(loose.answers.size(), strict.answers.size());
+  for (const auto& c : strict.answers) EXPECT_GE(c.probability, 0.8);
+}
+
+TEST(ProbabilisticKnnTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.n = 80;
+  spec.dim = 2;
+  spec.seed = 3302;
+  const auto data = GenerateSynthetic(spec);
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions options;
+  options.k = 3;
+  options.tau = 0.1;
+  options.samples = 200;
+  const auto a = ProbabilisticKnn(data, data[1], exact, options);
+  const auto b = ProbabilisticKnn(data, data[1], exact, options);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].id, b.answers[i].id);
+    EXPECT_DOUBLE_EQ(a.answers[i].probability, b.answers[i].probability);
+  }
+}
+
+TEST(ProbabilisticKnnTest, EmptyAndTinyDatasets) {
+  HyperbolaCriterion exact;
+  ProbabilisticKnnOptions options;
+  options.k = 3;
+  options.tau = 0.5;
+  options.samples = 50;
+  const Hypersphere sq({0.0, 0.0}, 1.0);
+  EXPECT_TRUE(ProbabilisticKnn({}, sq, exact, options).answers.empty());
+  // Fewer objects than k: everything is certain.
+  const std::vector<Hypersphere> two = {Hypersphere({5.0, 0.0}, 1.0),
+                                        Hypersphere({9.0, 0.0}, 1.0)};
+  const auto result = ProbabilisticKnn(two, sq, exact, options);
+  ASSERT_EQ(result.answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.answers[0].probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.answers[1].probability, 1.0);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,104 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/probability.h"
+
+#include <gtest/gtest.h>
+
+#include "dominance/hyperbola.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(DominanceProbabilityTest, PredicateTrueImpliesProbabilityOne) {
+  Rng rng(3100);
+  HyperbolaCriterion exact;
+  int found = 0;
+  for (int iter = 0; iter < 2000 && found < 100; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 10.0);
+    if (!exact.Dominates(s.sa, s.sb, s.sq)) continue;
+    ++found;
+    const DominanceProbability p =
+        EstimateDominanceProbability(s.sa, s.sb, s.sq, 500, iter);
+    EXPECT_DOUBLE_EQ(p.probability, 1.0) << test::SceneToString(s);
+  }
+  EXPECT_GT(found, 20);
+}
+
+TEST(DominanceProbabilityTest, ReverseDominanceImpliesZero) {
+  Rng rng(3101);
+  HyperbolaCriterion exact;
+  int found = 0;
+  for (int iter = 0; iter < 2000 && found < 100; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 3, 10.0);
+    if (!exact.Dominates(s.sa, s.sb, s.sq)) continue;
+    ++found;
+    // Swap the roles: b's points are now CERTAINLY farther... i.e. the
+    // swapped probability P[Dist(b,q) < Dist(a,q)] must be 0.
+    const DominanceProbability p =
+        EstimateDominanceProbability(s.sb, s.sa, s.sq, 500, iter);
+    EXPECT_DOUBLE_EQ(p.probability, 0.0) << test::SceneToString(s);
+  }
+  EXPECT_GT(found, 20);
+}
+
+TEST(DominanceProbabilityTest, SymmetricSceneIsNearHalf) {
+  // Sa and Sb mirror images about the query: exactly 1/2 by symmetry.
+  const Hypersphere sa({-5.0, 0.0}, 1.0);
+  const Hypersphere sb({5.0, 0.0}, 1.0);
+  const Hypersphere sq({0.0, 0.0}, 1.0);
+  const DominanceProbability p =
+      EstimateDominanceProbability(sa, sb, sq, 100'000, 7);
+  EXPECT_NEAR(p.probability, 0.5, 0.01);
+  EXPECT_NEAR(p.standard_error, std::sqrt(0.25 / 100'000.0), 1e-4);
+}
+
+TEST(DominanceProbabilityTest, DeterministicInSeed) {
+  const Hypersphere sa({-5.0, 0.0}, 2.0);
+  const Hypersphere sb({4.0, 0.0}, 2.0);
+  const Hypersphere sq({0.0, 0.0}, 2.0);
+  const auto p1 = EstimateDominanceProbability(sa, sb, sq, 5000, 42);
+  const auto p2 = EstimateDominanceProbability(sa, sb, sq, 5000, 42);
+  const auto p3 = EstimateDominanceProbability(sa, sb, sq, 5000, 43);
+  EXPECT_DOUBLE_EQ(p1.probability, p2.probability);
+  EXPECT_NE(p1.probability, p3.probability);  // overwhelmingly likely
+}
+
+TEST(DominanceProbabilityTest, MonotoneInSeparation) {
+  // Pulling Sa closer to the query (everything else fixed) raises the
+  // probability.
+  const Hypersphere sb({10.0, 0.0}, 2.0);
+  const Hypersphere sq({0.0, 0.0}, 2.0);
+  double prev = -1.0;
+  for (double x : {9.0, 7.0, 5.0, 3.0, 1.0}) {
+    const Hypersphere sa({x, 0.0}, 2.0);
+    const double p =
+        EstimateDominanceProbability(sa, sb, sq, 20'000, 9).probability;
+    EXPECT_GE(p, prev - 0.02) << "x=" << x;  // tolerate MC noise
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.95);
+}
+
+TEST(DominanceProbabilityTest, PointRealizationsAreExact) {
+  // All radii zero: the "probability" is the deterministic indicator.
+  const Hypersphere sa({1.0, 0.0}, 0.0);
+  const Hypersphere sb({5.0, 0.0}, 0.0);
+  const Hypersphere sq({0.0, 0.0}, 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateDominanceProbability(sa, sb, sq, 10, 1).probability, 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateDominanceProbability(sb, sa, sq, 10, 1).probability, 0.0);
+}
+
+TEST(DominanceProbabilityTest, StandardErrorShrinksWithSamples) {
+  const Hypersphere sa({-3.0, 0.0}, 2.0);
+  const Hypersphere sb({3.0, 0.0}, 2.0);
+  const Hypersphere sq({0.0, 0.0}, 2.0);
+  const auto small = EstimateDominanceProbability(sa, sb, sq, 1000, 3);
+  const auto large = EstimateDominanceProbability(sa, sb, sq, 100'000, 3);
+  EXPECT_LT(large.standard_error, small.standard_error);
+}
+
+}  // namespace
+}  // namespace hyperdom

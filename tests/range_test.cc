@@ -1,0 +1,123 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/range.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "eval/workload.h"
+
+namespace hyperdom {
+namespace {
+
+std::set<uint64_t> Ids(const std::vector<DataEntry>& entries) {
+  std::set<uint64_t> ids;
+  for (const auto& e : entries) ids.insert(e.id);
+  return ids;
+}
+
+TEST(RangeLinearScanTest, HandComputableScene) {
+  const std::vector<Hypersphere> data = {
+      Hypersphere({2.0, 0.0}, 1.0),   // 0: maxdist 3.5, certain
+      Hypersphere({5.0, 0.0}, 1.0),   // 1: mindist 3.5, maxdist 6.5: possible
+      Hypersphere({20.0, 0.0}, 1.0),  // 2: mindist 18.5: out
+  };
+  const Hypersphere sq({0.0, 0.0}, 0.5);
+  const RangeResult result = RangeLinearScan(data, sq, 5.0);
+  EXPECT_EQ(Ids(result.certain), (std::set<uint64_t>{0}));
+  EXPECT_EQ(Ids(result.possible), (std::set<uint64_t>{0, 1}));
+}
+
+TEST(RangeLinearScanTest, CertainSubsetOfPossible) {
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.dim = 3;
+  spec.seed = 3200;
+  const auto data = GenerateSynthetic(spec);
+  const RangeResult result = RangeLinearScan(data, data[0], 40.0);
+  const auto certain = Ids(result.certain);
+  const auto possible = Ids(result.possible);
+  for (uint64_t id : certain) EXPECT_TRUE(possible.count(id));
+  EXPECT_LE(certain.size(), possible.size());
+}
+
+TEST(RangeSearchTest, MatchesLinearScan) {
+  SyntheticSpec spec;
+  spec.n = 4000;
+  spec.dim = 4;
+  spec.radius_mean = 8.0;
+  spec.seed = 3201;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(4);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  for (double range : {0.0, 10.0, 50.0, 200.0}) {
+    for (const auto& sq : MakeKnnQueries(data, 5, 3202)) {
+      const RangeResult from_tree = RangeSearch(tree, sq, range);
+      const RangeResult from_scan = RangeLinearScan(data, sq, range);
+      EXPECT_EQ(Ids(from_tree.certain), Ids(from_scan.certain))
+          << "range " << range;
+      EXPECT_EQ(Ids(from_tree.possible), Ids(from_scan.possible))
+          << "range " << range;
+    }
+  }
+}
+
+TEST(RangeSearchTest, EmptyTree) {
+  SsTree tree(2);
+  const RangeResult result =
+      RangeSearch(tree, Hypersphere({0.0, 0.0}, 1.0), 10.0);
+  EXPECT_TRUE(result.certain.empty());
+  EXPECT_TRUE(result.possible.empty());
+}
+
+TEST(RangeSearchTest, ZeroRangeStillFindsOverlapping) {
+  // MinDist == 0 for an object overlapping the query region.
+  SsTree tree(2);
+  ASSERT_TRUE(tree.Insert(Hypersphere({1.0, 0.0}, 2.0), 0).ok());
+  ASSERT_TRUE(tree.Insert(Hypersphere({50.0, 0.0}, 2.0), 1).ok());
+  const RangeResult result =
+      RangeSearch(tree, Hypersphere({0.0, 0.0}, 1.0), 0.0);
+  EXPECT_EQ(Ids(result.possible), (std::set<uint64_t>{0}));
+  EXPECT_TRUE(result.certain.empty());
+}
+
+TEST(RangeSearchTest, PrunesFarSubtrees) {
+  SyntheticSpec spec;
+  spec.n = 10'000;
+  spec.dim = 3;
+  spec.radius_mean = 2.0;
+  spec.seed = 3203;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const RangeResult result = RangeSearch(tree, data[0], 10.0);
+  EXPECT_GT(result.stats.nodes_pruned, 0u);
+  EXPECT_LT(result.stats.entries_accessed, data.size());
+}
+
+TEST(RangeSearchTest, GrowingRangeIsMonotone) {
+  SyntheticSpec spec;
+  spec.n = 2000;
+  spec.dim = 3;
+  spec.seed = 3204;
+  const auto data = GenerateSynthetic(spec);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  size_t prev_possible = 0, prev_certain = 0;
+  for (double range : {5.0, 20.0, 60.0, 150.0, 400.0}) {
+    const RangeResult result = RangeSearch(tree, data[42], range);
+    EXPECT_GE(result.possible.size(), prev_possible);
+    EXPECT_GE(result.certain.size(), prev_certain);
+    prev_possible = result.possible.size();
+    prev_certain = result.certain.size();
+  }
+  // A range covering the whole space returns everything, certainly.
+  const RangeResult all = RangeSearch(tree, data[42], 1e7);
+  EXPECT_EQ(all.certain.size(), data.size());
+  EXPECT_EQ(all.possible.size(), data.size());
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,134 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hyperdom {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.Uniform(-5.0, 17.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 17.0);
+  }
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = rng.UniformU64(13);
+    EXPECT_LT(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // every residue hit over 10k draws
+}
+
+TEST(RngTest, UniformU64OfOneIsZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaledMoments) {
+  Rng rng(12);
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.5);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.5, 0.05);
+}
+
+TEST(RngTest, UniformMeanRoughlyCentered) {
+  Rng rng(13);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 200.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  Rng child1_again = parent.Fork(1);
+  // Same stream id -> same stream; different ids -> different streams.
+  EXPECT_EQ(child1.NextU64(), child1_again.NextU64());
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+  (void)child2;
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.Fork(9);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, BitsLookBalanced) {
+  Rng rng(77);
+  int ones = 0;
+  const int draws = 10'000;
+  for (int i = 0; i < draws; ++i) {
+    ones += __builtin_popcountll(rng.NextU64());
+  }
+  const double frac = static_cast<double>(ones) / (64.0 * draws);
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace hyperdom

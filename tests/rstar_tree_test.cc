@@ -1,0 +1,161 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, SingleInsert) {
+  RStarTree tree(2);
+  ASSERT_TRUE(tree.Insert(Hypersphere({1.0, 2.0}, 3.0), 7).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1u);
+  ASSERT_NE(tree.root(), nullptr);
+  EXPECT_TRUE(tree.root()->is_leaf());
+  // The root box is the sphere's box.
+  EXPECT_EQ(tree.root()->mbr().lo(), (Point{-2, -1}));
+  EXPECT_EQ(tree.root()->mbr().hi(), (Point{4, 5}));
+}
+
+TEST(RStarTreeTest, DimensionMismatchRejected) {
+  RStarTree tree(2);
+  EXPECT_EQ(tree.Insert(Hypersphere({1.0, 2.0, 3.0}, 0.5), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RStarTreeTest, BadOptionsRejected) {
+  RStarTreeOptions options;
+  options.max_entries = 3;
+  RStarTree tree(2, options);
+  EXPECT_EQ(tree.Insert(Hypersphere({0.0, 0.0}, 1.0), 0).code(),
+            StatusCode::kInvalidArgument);
+
+  RStarTreeOptions bad_reinsert;
+  bad_reinsert.reinsert_fraction = 0.7;
+  RStarTree tree2(2, bad_reinsert);
+  EXPECT_EQ(tree2.Insert(Hypersphere({0.0, 0.0}, 1.0), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RStarTreeTest, SplitsGrowTheTree) {
+  RStarTreeOptions options;
+  options.max_entries = 4;
+  RStarTree tree(2, options);
+  Rng rng(1800);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(test::RandomSphere(&rng, 2, 2.0), i).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << "after insert " << i << ": " << tree.CheckInvariants().ToString();
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.Height(), 2u);
+}
+
+TEST(RStarTreeTest, ReinsertDisabledStillWorks) {
+  RStarTreeOptions options;
+  options.reinsert_fraction = 0.0;
+  RStarTree tree(3, options);
+  Rng rng(1801);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(test::RandomSphere(&rng, 3, 5.0), i).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, AllIdsPresentAfterBulkLoad) {
+  SyntheticSpec spec;
+  spec.n = 800;
+  spec.dim = 3;
+  spec.seed = 1802;
+  const auto data = GenerateSynthetic(spec);
+  RStarTree tree(3);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  EXPECT_EQ(tree.size(), 800u);
+  std::set<uint64_t> ids;
+  std::vector<const RStarTreeNode*> stack = {tree.root()};
+  while (!stack.empty()) {
+    const RStarTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      for (const auto& e : node->entries()) {
+        EXPECT_TRUE(ids.insert(e.id).second);
+      }
+    } else {
+      for (const auto& child : node->children()) stack.push_back(child.get());
+    }
+  }
+  EXPECT_EQ(ids.size(), 800u);
+}
+
+class RStarTreeInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(RStarTreeInvariantTest, InvariantsHoldAfterBulkLoad) {
+  const auto [dim, max_entries] = GetParam();
+  SyntheticSpec spec;
+  spec.n = 3000;
+  spec.dim = dim;
+  spec.radius_mean = 10.0;
+  spec.seed = 1803 + dim;
+  const auto data = GenerateSynthetic(spec);
+  RStarTreeOptions options;
+  options.max_entries = max_entries;
+  RStarTree tree(dim, options);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  // Every data sphere's box is inside the root box.
+  const Mbr& root_box = tree.root()->mbr();
+  for (const auto& s : data) {
+    const Mbr box = Mbr::FromSphere(s);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_GE(box.lo()[i], root_box.lo()[i] - 1e-9);
+      EXPECT_LE(box.hi()[i], root_box.hi()[i] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RStarTreeInvariantTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 4, 10),
+                       ::testing::Values<size_t>(4, 8, 24)));
+
+TEST(RStarTreeTest, DuplicateEntriesHandled) {
+  RStarTree tree(2);
+  for (uint64_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Insert(Hypersphere({3.0, 3.0}, 1.0), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 150u);
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+}
+
+TEST(RStarTreeTest, HeightStaysLogarithmic) {
+  SyntheticSpec spec;
+  spec.n = 20'000;
+  spec.dim = 4;
+  spec.seed = 1804;
+  const auto data = GenerateSynthetic(spec);
+  RStarTree tree(4);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  EXPECT_LE(tree.Height(), 8u);
+  EXPECT_GE(tree.Height(), 3u);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,97 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "geometry/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hyperdom {
+namespace {
+
+TEST(SampleUnitBallTest, StaysInsideTheBall) {
+  Rng rng(3000);
+  for (size_t dim : {1u, 2u, 3u, 10u}) {
+    for (int i = 0; i < 2000; ++i) {
+      const Point p = SampleUnitBall(&rng, dim);
+      ASSERT_EQ(p.size(), dim);
+      EXPECT_LE(Norm(p), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SampleUnitBallTest, MeanIsTheCenter) {
+  Rng rng(3001);
+  const size_t dim = 3;
+  Point sum(dim, 0.0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum = Add(sum, SampleUnitBall(&rng, dim));
+  for (double v : sum) EXPECT_NEAR(v / n, 0.0, 0.01);
+}
+
+TEST(SampleUnitBallTest, RadialDistributionIsUniformInVolume) {
+  // In d dimensions, P[ ||X|| <= r ] = r^d; check the median.
+  Rng rng(3002);
+  for (size_t dim : {2u, 5u}) {
+    const int n = 50'000;
+    int below_median_radius = 0;
+    const double median_radius = std::pow(0.5, 1.0 / dim);
+    for (int i = 0; i < n; ++i) {
+      if (Norm(SampleUnitBall(&rng, dim)) <= median_radius) {
+        ++below_median_radius;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(below_median_radius) / n, 0.5, 0.01)
+        << "dim " << dim;
+  }
+}
+
+TEST(SampleInBallTest, RespectsCenterAndRadius) {
+  Rng rng(3003);
+  const Hypersphere ball({10.0, -5.0, 2.0}, 7.0);
+  Point sum(3, 0.0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = SampleInBall(&rng, ball);
+    EXPECT_TRUE(ball.Contains(p));
+    sum = Add(sum, p);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sum[i] / n, ball.center()[i], 0.1);
+  }
+}
+
+TEST(SampleInBallTest, ZeroRadiusReturnsCenter) {
+  Rng rng(3004);
+  const Hypersphere point_ball({1.0, 2.0}, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SampleInBall(&rng, point_ball), (Point{1, 2}));
+  }
+}
+
+TEST(SampleOnSphereTest, LandsExactlyOnTheBoundary) {
+  Rng rng(3005);
+  const Hypersphere ball({3.0, 4.0, 5.0, 6.0}, 2.5);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p = SampleOnSphere(&rng, ball);
+    EXPECT_NEAR(Dist(p, ball.center()), 2.5, 1e-9);
+  }
+}
+
+TEST(SampleOnSphereTest, DirectionallyBalanced) {
+  Rng rng(3006);
+  const Hypersphere ball({0.0, 0.0}, 1.0);
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = SampleOnSphere(&rng, ball);
+    const int q = (p[0] >= 0 ? 0 : 1) + (p[1] >= 0 ? 0 : 2);
+    ++quadrant_counts[q];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(static_cast<double>(quadrant_counts[q]) / n, 0.25, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

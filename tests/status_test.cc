@@ -1,0 +1,105 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperdom {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* prefix;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument,
+       "Invalid argument"},
+      {Status::NotFound("missing"), StatusCode::kNotFound, "Not found"},
+      {Status::IOError("disk"), StatusCode::kIOError, "IO error"},
+      {Status::OutOfRange("idx"), StatusCode::kOutOfRange, "Out of range"},
+      {Status::Corruption("bits"), StatusCode::kCorruption, "Corruption"},
+      {Status::NotSupported("nope"), StatusCode::kNotSupported,
+       "Not supported"},
+      {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString().rfind(c.prefix, 0), 0u)
+        << c.status.ToString();
+    EXPECT_NE(c.status.ToString().find(": "), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  EXPECT_EQ(Status::NotFound("thing x").ToString(), "Not found: thing x");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    HYPERDOM_RETURN_NOT_OK(Status::Corruption("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kCorruption);
+
+  auto succeeds = []() -> Status {
+    HYPERDOM_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,98 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperdom {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyInputIsSingleEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  const auto parts = Split("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2.5", &v));
+}
+
+TEST(ParseUint64Test, ParsesValidNumbers) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(ParseUint64("  9  ", &v));
+  EXPECT_EQ(v, 9u);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(123456.789, 4), "1.235e+05");
+}
+
+TEST(FormatDurationTest, ScalesUnits) {
+  EXPECT_EQ(FormatDuration(500.0), "500 ns");
+  EXPECT_EQ(FormatDuration(1500.0), "1.50 us");
+  EXPECT_EQ(FormatDuration(2.5e6), "2.50 ms");
+  EXPECT_EQ(FormatDuration(3.2e9), "3.20 s");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hyperbola", "hyper"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("hy", "hyper"));
+  EXPECT_FALSE(StartsWith("ahyper", "hyper"));
+}
+
+}  // namespace
+}  // namespace hyperdom

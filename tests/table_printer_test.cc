@@ -1,0 +1,56 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperdom {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"long-cell-content", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.Render();
+  // Find the column of 'x' and 'y': both must start at the same offset.
+  const size_t line2 = out.find("long-cell-content");
+  const size_t x_off = out.find('x', line2) - line2;
+  const size_t line3_start = out.find("s", out.find('x'));
+  const size_t y_off = out.find('y', line3_start) - line3_start;
+  EXPECT_EQ(x_off, y_off);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table({"only"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + rule
+}
+
+TEST(TablePrinterTest, NoTrailingSpaces) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"wide-content", "x"});
+  const std::string out = table.Render();
+  size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) {
+      EXPECT_NE(out[pos - 1], ' ');
+    }
+    ++pos;
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

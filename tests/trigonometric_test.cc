@@ -1,0 +1,124 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/trigonometric.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(TrigonometricTest, Metadata) {
+  TrigonometricCriterion c;
+  EXPECT_EQ(c.name(), "Trigonometric");
+  EXPECT_FALSE(c.is_correct());
+  EXPECT_TRUE(c.is_sound());
+}
+
+TEST(TrigonometricTest, ObviousCases) {
+  TrigonometricCriterion c;
+  EXPECT_TRUE(c.Dominates(Hypersphere({2.0, 0.0}, 0.5),
+                          Hypersphere({100.0, 0.0}, 0.5),
+                          Hypersphere({0.0, 0.0}, 0.5)));
+  EXPECT_FALSE(c.Dominates(Hypersphere({100.0, 0.0}, 0.5),
+                           Hypersphere({2.0, 0.0}, 0.5),
+                           Hypersphere({0.0, 0.0}, 0.5)));
+}
+
+// Paper Lemma 11's exact counterexample: the criterion answers true even
+// though dominance does not hold (optimizing g is not optimizing f).
+TEST(TrigonometricTest, Lemma11FalsePositive) {
+  const Hypersphere sa({20.0, 8.0}, 0.4);
+  const Hypersphere sb({8.0, 10.0}, 0.3);
+  const Hypersphere sq({16.0, 16.0}, 0.3);
+  const test::Scene scene{sa, sb, sq};
+  ASSERT_FALSE(test::OracleDominates(scene));  // dominance genuinely fails
+  TrigonometricCriterion c;
+  EXPECT_TRUE(c.Dominates(sa, sb, sq));  // ...but the criterion accepts
+}
+
+// Soundness sweep (paper Lemma 12): a negative answer must match the
+// oracle's negative, across dimensions and radius scales — the paper's
+// workloads keep Dist(ca,q) + Dist(cb,q) >= 1, where the surrogate's
+// soundness argument applies.
+class TrigSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(TrigSoundnessTest, NeverFalseNegative) {
+  const auto [dim, mu] = GetParam();
+  Rng rng(980 + dim * 7 + static_cast<uint64_t>(mu));
+  TrigonometricCriterion c;
+  int negatives = 0;
+  for (int iter = 0; iter < 6000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, dim, mu);
+    if (c.Dominates(s.sa, s.sb, s.sq)) continue;
+    ++negatives;
+    if (test::IsBorderline(s)) continue;
+    EXPECT_FALSE(test::OracleDominates(s)) << test::SceneToString(s);
+  }
+  EXPECT_GT(negatives, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrigSoundnessTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 6, 10),
+                       ::testing::Values(5.0, 10.0, 50.0)));
+
+// Non-correctness is systematic at large radii (the Figure-8 precision
+// collapse). On wide scenes (real-data-like coordinate scales, so overlap
+// stays rare) the acceptance band |Db - Da| in
+// (rab / (Da + Db), rab] widens with mu, producing more false positives.
+TEST(TrigonometricTest, FalsePositivesGrowWithRadius) {
+  Rng rng(991);
+  TrigonometricCriterion c;
+  auto wide_scene = [&](double mu) {
+    auto sphere = [&]() {
+      Point p(4);
+      for (auto& v : p) v = rng.Gaussian(1000.0, 250.0);
+      return Hypersphere(std::move(p),
+                         std::max(0.0, rng.Gaussian(mu, mu / 4.0)));
+    };
+    return test::Scene{sphere(), sphere(), sphere()};
+  };
+  int fp_small = 0, fp_large = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const test::Scene small = wide_scene(5.0);
+    if (!test::IsBorderline(small) &&
+        c.Dominates(small.sa, small.sb, small.sq) &&
+        !test::OracleDominates(small)) {
+      ++fp_small;
+    }
+    const test::Scene large = wide_scene(100.0);
+    if (!test::IsBorderline(large) &&
+        c.Dominates(large.sa, large.sb, large.sq) &&
+        !test::OracleDominates(large)) {
+      ++fp_large;
+    }
+  }
+  EXPECT_GT(fp_large, fp_small);
+  EXPECT_GT(fp_large, 0);
+}
+
+TEST(TrigonometricTest, CoincidentCentersRejected) {
+  TrigonometricCriterion c;
+  const Hypersphere sa({5.0, 5.0}, 1.0);
+  const Hypersphere sb({5.0, 5.0}, 2.0);
+  EXPECT_FALSE(c.Dominates(sa, sb, Hypersphere({0.0, 0.0}, 1.0)));
+}
+
+TEST(TrigonometricTest, PointQueryStillSound) {
+  Rng rng(992);
+  TrigonometricCriterion c;
+  for (int iter = 0; iter < 2000; ++iter) {
+    test::Scene s = test::RandomScene(&rng, 3, 10.0);
+    s.sq = Hypersphere(s.sq.center(), 0.0);
+    if (test::IsBorderline(s)) continue;
+    if (!c.Dominates(s.sa, s.sb, s.sq)) {
+      EXPECT_FALSE(test::OracleDominates(s)) << test::SceneToString(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

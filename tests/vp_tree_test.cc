@@ -1,0 +1,133 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(VpTreeTest, EmptyBuild) {
+  VpTree tree;
+  ASSERT_TRUE(tree.Build({}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(VpTreeTest, SmallBuildIsLeafBucket) {
+  VpTreeOptions options;
+  options.leaf_size = 8;
+  VpTree tree(options);
+  SyntheticSpec spec;
+  spec.n = 5;
+  spec.dim = 3;
+  spec.seed = 1900;
+  ASSERT_TRUE(tree.Build(GenerateSynthetic(spec)).ok());
+  ASSERT_NE(tree.root(), nullptr);
+  EXPECT_TRUE(tree.root()->is_leaf());
+  EXPECT_EQ(tree.root()->bucket().size(), 5u);
+}
+
+TEST(VpTreeTest, BadOptionsRejected) {
+  VpTreeOptions options;
+  options.leaf_size = 0;
+  VpTree tree(options);
+  EXPECT_EQ(tree.Build({Hypersphere({0.0}, 1.0)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VpTreeTest, MixedDimensionsRejected) {
+  VpTree tree;
+  EXPECT_EQ(
+      tree.Build({Hypersphere({0.0, 0.0}, 1.0), Hypersphere({0.0}, 1.0)})
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(VpTreeTest, RebuildReplacesContents) {
+  VpTree tree;
+  SyntheticSpec spec;
+  spec.n = 100;
+  spec.dim = 2;
+  spec.seed = 1901;
+  ASSERT_TRUE(tree.Build(GenerateSynthetic(spec)).ok());
+  EXPECT_EQ(tree.size(), 100u);
+  spec.n = 50;
+  ASSERT_TRUE(tree.Build(GenerateSynthetic(spec)).ok());
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+class VpTreeInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(VpTreeInvariantTest, InvariantsAndCompleteness) {
+  const auto [dim, leaf_size] = GetParam();
+  SyntheticSpec spec;
+  spec.n = 2500;
+  spec.dim = dim;
+  spec.radius_mean = 8.0;
+  spec.seed = 1902 + dim;
+  const auto data = GenerateSynthetic(spec);
+  VpTreeOptions options;
+  options.leaf_size = leaf_size;
+  VpTree tree(options);
+  ASSERT_TRUE(tree.Build(data).ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+
+  // Every id present exactly once.
+  std::set<uint64_t> ids;
+  std::vector<const VpTreeNode*> stack = {tree.root()};
+  while (!stack.empty()) {
+    const VpTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      for (const auto& e : node->bucket()) {
+        EXPECT_TRUE(ids.insert(e.id).second);
+      }
+    } else {
+      EXPECT_TRUE(ids.insert(node->vantage().id).second);
+      if (node->inside() != nullptr) stack.push_back(node->inside());
+      if (node->outside() != nullptr) stack.push_back(node->outside());
+    }
+  }
+  EXPECT_EQ(ids.size(), data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VpTreeInvariantTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 4, 10),
+                       ::testing::Values<size_t>(1, 4, 32)));
+
+TEST(VpTreeTest, DuplicateCentersHandled) {
+  std::vector<Hypersphere> data(300, Hypersphere({5.0, 5.0}, 1.0));
+  VpTree tree;
+  ASSERT_TRUE(tree.Build(data).ok());
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+}
+
+TEST(VpTreeTest, MaxRadiusTracksFattestSphere) {
+  std::vector<Hypersphere> data;
+  Rng rng(1903);
+  double fattest = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.Uniform(0.0, 30.0);
+    fattest = std::max(fattest, r);
+    data.emplace_back(test::RandomPoint(&rng, 3), r);
+  }
+  VpTree tree;
+  ASSERT_TRUE(tree.Build(data).ok());
+  EXPECT_DOUBLE_EQ(tree.root()->max_radius(), fattest);
+}
+
+}  // namespace
+}  // namespace hyperdom

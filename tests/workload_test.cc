@@ -1,0 +1,90 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace hyperdom {
+namespace {
+
+std::vector<Hypersphere> SmallData(size_t n = 100) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 3;
+  spec.seed = 4242;
+  return GenerateSynthetic(spec);
+}
+
+TEST(WorkloadTest, ProducesRequestedCount) {
+  const auto data = SmallData();
+  const auto workload = MakeDominanceWorkload(data, 500, 1);
+  EXPECT_EQ(workload.size(), 500u);
+}
+
+TEST(WorkloadTest, TripleMembersAreDistinctObjects) {
+  const auto data = SmallData(3);  // forces heavy reuse across queries
+  const auto workload = MakeDominanceWorkload(data, 200, 2);
+  for (const auto& q : workload) {
+    EXPECT_FALSE(q.sa == q.sb);
+    EXPECT_FALSE(q.sa == q.sq);
+    EXPECT_FALSE(q.sb == q.sq);
+  }
+}
+
+TEST(WorkloadTest, MembersComeFromTheDataset) {
+  const auto data = SmallData();
+  const auto workload = MakeDominanceWorkload(data, 100, 3);
+  for (const auto& q : workload) {
+    auto in_data = [&](const Hypersphere& s) {
+      for (const auto& d : data) {
+        if (d == s) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(in_data(q.sa));
+    EXPECT_TRUE(in_data(q.sb));
+    EXPECT_TRUE(in_data(q.sq));
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const auto data = SmallData();
+  const auto a = MakeDominanceWorkload(data, 100, 7);
+  const auto b = MakeDominanceWorkload(data, 100, 7);
+  const auto c = MakeDominanceWorkload(data, 100, 8);
+  int diff_ac = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(a[i].sa == b[i].sa && a[i].sb == b[i].sb &&
+                a[i].sq == b[i].sq);
+    if (!(a[i].sa == c[i].sa)) ++diff_ac;
+  }
+  EXPECT_GT(diff_ac, 50);
+}
+
+TEST(KnnQueriesTest, DrawnFromDataset) {
+  const auto data = SmallData();
+  const auto queries = MakeKnnQueries(data, 50, 9);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    bool found = false;
+    for (const auto& d : data) {
+      if (d == q) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(KnnQueriesTest, Deterministic) {
+  const auto data = SmallData();
+  const auto a = MakeKnnQueries(data, 20, 11);
+  const auto b = MakeKnnQueries(data, 20, 11);
+  for (size_t i = 0; i < 20; ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+}  // namespace
+}  // namespace hyperdom

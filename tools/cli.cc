@@ -1,0 +1,534 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "tools/cli.h"
+
+#include <cstdint>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "data/csv.h"
+#include "dominance/numeric_oracle.h"
+#include "data/generator.h"
+#include "dominance/growing.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "index/ss_tree.h"
+#include "query/inverse_ranking.h"
+#include "query/knn.h"
+#include "query/probabilistic_knn.h"
+#include "query/range.h"
+
+namespace hyperdom {
+namespace cli {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: hyperdom_cli COMMAND [--flag=value ...]\n"
+    "commands:\n"
+    "  generate    --out=FILE --n=N --dim=D [--mu=10] [--centers=gaussian|"
+    "uniform]\n"
+    "              [--radii=gaussian|uniform] [--seed=S]\n"
+    "  dominate    --sa=X,..;R --sb=X,..;R --sq=X,..;R [--criterion=NAME|"
+    "all]\n"
+    "  knn         --data=FILE --query=X,..;R [--k=10] [--criterion=NAME]\n"
+    "              [--strategy=hs|df]\n"
+    "  rank        --data=FILE --target=ID --query=X,..;R "
+    "[--criterion=NAME]\n"
+    "  range       --data=FILE --query=X,..;R --range=D\n"
+    "  probknn     --data=FILE --query=X,..;R [--k=10] [--tau=0.5]\n"
+    "              [--samples=400] [--seed=S]\n"
+    "  expiry      --sa=X,..;R --sb=X,..;R --sq=X,..;R --va=V --vb=V "
+    "--vq=V\n"
+    "              [--horizon=100]\n"
+    "  experiment  --data=FILE [--queries=10000] [--repeats=3] [--seed=S]\n"
+    "  selfcheck   [--scenes=20000] [--dim=4] [--mu=10] [--seed=S]\n"
+    "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle\n";
+
+Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
+                             uint64_t fallback, bool required) {
+  const std::string raw = args.GetFlag(key);
+  if (raw.empty()) {
+    if (required) return Status::InvalidArgument("missing --" + key);
+    return fallback;
+  }
+  uint64_t value = 0;
+  if (!ParseUint64(raw, &value)) {
+    return Status::InvalidArgument("bad --" + key + ": '" + raw + "'");
+  }
+  return value;
+}
+
+Result<std::vector<Hypersphere>> LoadData(const ParsedArgs& args) {
+  const std::string path = args.GetFlag("data");
+  if (path.empty()) return Status::InvalidArgument("missing --data");
+  return LoadSpheresCsv(path);
+}
+
+Status CmdGenerate(const ParsedArgs& args, std::ostream& out) {
+  const std::string path = args.GetFlag("out");
+  if (path.empty()) return Status::InvalidArgument("missing --out");
+  SyntheticSpec spec;
+  auto n = RequireUint(args, "n", 0, /*required=*/true);
+  if (!n.ok()) return n.status();
+  auto dim = RequireUint(args, "dim", 0, /*required=*/true);
+  if (!dim.ok()) return dim.status();
+  auto seed = RequireUint(args, "seed", spec.seed, /*required=*/false);
+  if (!seed.ok()) return seed.status();
+  spec.n = *n;
+  spec.dim = *dim;
+  spec.seed = *seed;
+  if (spec.n == 0 || spec.dim == 0) {
+    return Status::InvalidArgument("--n and --dim must be positive");
+  }
+  const std::string mu = args.GetFlag("mu", "10");
+  if (!ParseDouble(mu, &spec.radius_mean) || spec.radius_mean < 0.0) {
+    return Status::InvalidArgument("bad --mu: '" + mu + "'");
+  }
+  auto parse_dist = [](const std::string& v, Distribution* dist) {
+    if (v == "gaussian") {
+      *dist = Distribution::kGaussian;
+    } else if (v == "uniform") {
+      *dist = Distribution::kUniform;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  if (!parse_dist(args.GetFlag("centers", "gaussian"),
+                  &spec.center_distribution)) {
+    return Status::InvalidArgument("bad --centers (gaussian|uniform)");
+  }
+  if (!parse_dist(args.GetFlag("radii", "gaussian"),
+                  &spec.radius_distribution)) {
+    return Status::InvalidArgument("bad --radii (gaussian|uniform)");
+  }
+  const auto data = GenerateSynthetic(spec);
+  HYPERDOM_RETURN_NOT_OK(SaveSpheresCsv(path, data));
+  out << "wrote " << data.size() << " spheres (" << spec.dim << "-d) to "
+      << path << "\n";
+  return Status::OK();
+}
+
+Status CmdDominate(const ParsedArgs& args, std::ostream& out) {
+  auto sa = ParseSphere(args.GetFlag("sa"));
+  if (!sa.ok()) return Status::InvalidArgument("--sa: " + sa.status().message());
+  auto sb = ParseSphere(args.GetFlag("sb"));
+  if (!sb.ok()) return Status::InvalidArgument("--sb: " + sb.status().message());
+  auto sq = ParseSphere(args.GetFlag("sq"));
+  if (!sq.ok()) return Status::InvalidArgument("--sq: " + sq.status().message());
+  if (sa->dim() != sb->dim() || sa->dim() != sq->dim()) {
+    return Status::InvalidArgument("spheres must share one dimensionality");
+  }
+
+  const std::string name = args.GetFlag("criterion", "all");
+  std::vector<CriterionKind> kinds;
+  if (name == "all") {
+    kinds = PaperCriteria();
+  } else {
+    auto kind = ParseCriterion(name);
+    if (!kind.ok()) return kind.status();
+    kinds.push_back(*kind);
+  }
+  TablePrinter table({"criterion", "Dominates(Sa,Sb,Sq)"});
+  for (CriterionKind kind : kinds) {
+    const auto criterion = MakeCriterion(kind);
+    table.AddRow({std::string(criterion->name()),
+                  criterion->Dominates(*sa, *sb, *sq) ? "true" : "false"});
+  }
+  out << table.Render();
+  return Status::OK();
+}
+
+Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  if (data->empty()) return Status::InvalidArgument("dataset is empty");
+  if (query->dim() != data->front().dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  auto k = RequireUint(args, "k", 10, /*required=*/false);
+  if (!k.ok()) return k.status();
+  if (*k == 0) return Status::InvalidArgument("--k must be positive");
+  auto kind = ParseCriterion(args.GetFlag("criterion", "hyperbola"));
+  if (!kind.ok()) return kind.status();
+  const std::string strategy = args.GetFlag("strategy", "hs");
+  if (strategy != "hs" && strategy != "df") {
+    return Status::InvalidArgument("bad --strategy (hs|df)");
+  }
+
+  SsTree tree(data->front().dim());
+  HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
+  const auto criterion = MakeCriterion(*kind);
+  KnnOptions options;
+  options.k = *k;
+  options.strategy = strategy == "hs" ? SearchStrategy::kBestFirst
+                                      : SearchStrategy::kDepthFirst;
+  KnnSearcher searcher(criterion.get(), options);
+  const KnnResult result = searcher.Search(tree, *query);
+
+  out << result.answers.size() << " possible top-" << *k
+      << " objects (criterion " << criterion->name() << ", "
+      << result.stats.dominance_checks << " dominance checks)\n";
+  size_t shown = 0;
+  for (const auto& entry : result.answers) {
+    out << "  #" << entry.id << "  " << entry.sphere.ToString()
+        << "  maxdist=" << FormatDouble(MaxDist(entry.sphere, *query)) << "\n";
+    if (++shown >= 20 && result.answers.size() > 20) {
+      out << "  ... (" << result.answers.size() - shown << " more)\n";
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CmdRank(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  auto target = RequireUint(args, "target", 0, /*required=*/true);
+  if (!target.ok()) return target.status();
+  if (*target >= data->size()) {
+    return Status::OutOfRange("--target beyond dataset size");
+  }
+  if (data->front().dim() != query->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  auto kind = ParseCriterion(args.GetFlag("criterion", "hyperbola"));
+  if (!kind.ok()) return kind.status();
+  const auto criterion = MakeCriterion(*kind);
+  const RankInterval interval =
+      InverseRanking(*data, *target, *query, *criterion);
+  out << "object #" << *target << " can rank between " << interval.best_rank
+      << " and " << interval.worst_rank << " of " << data->size() << " ("
+      << interval.certainly_closer << " certainly closer, "
+      << interval.certainly_farther << " certainly farther)\n";
+  return Status::OK();
+}
+
+Status CmdRange(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  if (data->empty() || data->front().dim() != query->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  double range = -1.0;
+  if (!ParseDouble(args.GetFlag("range"), &range) || range < 0.0) {
+    return Status::InvalidArgument("missing or bad --range");
+  }
+  SsTree tree(data->front().dim());
+  HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
+  const RangeResult result = RangeSearch(tree, *query, range);
+  out << result.certain.size() << " objects certainly within "
+      << FormatDouble(range) << ", " << result.possible.size()
+      << " possibly within (" << result.stats.entries_accessed
+      << " entries accessed, " << result.stats.nodes_pruned
+      << " subtrees pruned)\n";
+  return Status::OK();
+}
+
+Status CmdProbKnn(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  if (data->empty() || data->front().dim() != query->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  ProbabilisticKnnOptions options;
+  auto k = RequireUint(args, "k", options.k, /*required=*/false);
+  if (!k.ok()) return k.status();
+  options.k = *k;
+  auto samples = RequireUint(args, "samples", options.samples,
+                             /*required=*/false);
+  if (!samples.ok()) return samples.status();
+  options.samples = *samples;
+  auto seed = RequireUint(args, "seed", options.seed, /*required=*/false);
+  if (!seed.ok()) return seed.status();
+  options.seed = *seed;
+  const std::string tau = args.GetFlag("tau", "0.5");
+  if (!ParseDouble(tau, &options.tau) || options.tau < 0.0 ||
+      options.tau > 1.0) {
+    return Status::InvalidArgument("bad --tau (in [0, 1])");
+  }
+  if (options.k == 0 || options.samples == 0) {
+    return Status::InvalidArgument("--k and --samples must be positive");
+  }
+  const auto criterion = MakeCriterion(CriterionKind::kHyperbola);
+  const auto result = ProbabilisticKnn(*data, *query, *criterion, options);
+  out << result.answers.size() << " objects with P[top-" << options.k
+      << "] >= " << FormatDouble(options.tau) << " ("
+      << result.candidates_pruned
+      << " pruned with certainty-zero probability)\n";
+  size_t shown = 0;
+  for (const auto& c : result.answers) {
+    out << "  #" << c.id << "  p=" << FormatDouble(c.probability, 4) << "\n";
+    if (++shown >= 20 && result.answers.size() > 20) {
+      out << "  ... (" << result.answers.size() - shown << " more)\n";
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CmdExpiry(const ParsedArgs& args, std::ostream& out) {
+  auto sa = ParseSphere(args.GetFlag("sa"));
+  if (!sa.ok()) return Status::InvalidArgument("--sa: " + sa.status().message());
+  auto sb = ParseSphere(args.GetFlag("sb"));
+  if (!sb.ok()) return Status::InvalidArgument("--sb: " + sb.status().message());
+  auto sq = ParseSphere(args.GetFlag("sq"));
+  if (!sq.ok()) return Status::InvalidArgument("--sq: " + sq.status().message());
+  if (sa->dim() != sb->dim() || sa->dim() != sq->dim()) {
+    return Status::InvalidArgument("spheres must share one dimensionality");
+  }
+  double va = 0.0, vb = 0.0, vq = 0.0, horizon = 100.0;
+  if (!ParseDouble(args.GetFlag("va", "0"), &va) || va < 0.0 ||
+      !ParseDouble(args.GetFlag("vb", "0"), &vb) || vb < 0.0 ||
+      !ParseDouble(args.GetFlag("vq", "0"), &vq) || vq < 0.0) {
+    return Status::InvalidArgument("bad growth rates (must be >= 0)");
+  }
+  if (!ParseDouble(args.GetFlag("horizon", "100"), &horizon) ||
+      horizon < 0.0) {
+    return Status::InvalidArgument("bad --horizon");
+  }
+  const GrowingSphere ga{*sa, va};
+  const GrowingSphere gb{*sb, vb};
+  const GrowingSphere gq{*sq, vq};
+  if (!DominatesAtTime(ga, gb, gq, 0.0)) {
+    out << "Sa does not dominate Sb at t = 0\n";
+    return Status::OK();
+  }
+  const double expiry = DominanceExpiry(ga, gb, gq, horizon);
+  if (expiry >= horizon) {
+    out << "dominance holds through the whole horizon ("
+        << FormatDouble(horizon) << ")\n";
+  } else {
+    out << "dominance expires at t = " << FormatDouble(expiry) << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
+  auto scenes = RequireUint(args, "scenes", 20'000, /*required=*/false);
+  if (!scenes.ok()) return scenes.status();
+  auto dim = RequireUint(args, "dim", 4, /*required=*/false);
+  if (!dim.ok()) return dim.status();
+  auto seed = RequireUint(args, "seed", 0xC8ECull, /*required=*/false);
+  if (!seed.ok()) return seed.status();
+  double mu = 10.0;
+  if (!ParseDouble(args.GetFlag("mu", "10"), &mu) || mu < 0.0) {
+    return Status::InvalidArgument("bad --mu");
+  }
+  if (*dim == 0 || *scenes == 0) {
+    return Status::InvalidArgument("--dim and --scenes must be positive");
+  }
+
+  const auto oracle = MakeCriterion(CriterionKind::kNumericOracle);
+  struct Check {
+    std::unique_ptr<DominanceCriterion> criterion;
+    uint64_t false_positives = 0;
+    uint64_t false_negatives = 0;
+  };
+  std::vector<Check> checks;
+  for (CriterionKind kind : PaperCriteria()) {
+    checks.push_back(Check{MakeCriterion(kind)});
+  }
+
+  Rng rng(*seed);
+  uint64_t borderline = 0;
+  for (uint64_t i = 0; i < *scenes; ++i) {
+    auto sphere = [&]() {
+      Point c(*dim);
+      for (auto& v : c) v = rng.Gaussian(100.0, 25.0);
+      return Hypersphere(std::move(c),
+                         std::max(0.0, rng.Gaussian(mu, mu / 4.0)));
+    };
+    const Hypersphere sa = sphere();
+    const Hypersphere sb = sphere();
+    const Hypersphere sq = sphere();
+    const double margin =
+        MinDistanceDifference(sa, sb, sq) - (sa.radius() + sb.radius());
+    if (std::abs(margin) < 1e-6) {
+      ++borderline;
+      continue;  // too close to the decision boundary to compare exactly
+    }
+    const bool truth = !Overlaps(sa, sb) && margin > 0.0;
+    for (auto& check : checks) {
+      const bool predicted = check.criterion->Dominates(sa, sb, sq);
+      if (predicted && !truth) ++check.false_positives;
+      if (!predicted && truth) ++check.false_negatives;
+    }
+  }
+
+  TablePrinter table({"criterion", "claims", "false pos", "false neg",
+                      "verdict"});
+  bool all_good = true;
+  for (const auto& check : checks) {
+    const bool correct_ok =
+        !check.criterion->is_correct() || check.false_positives == 0;
+    const bool sound_ok =
+        !check.criterion->is_sound() || check.false_negatives == 0;
+    if (!correct_ok || !sound_ok) all_good = false;
+    std::string claims;
+    if (check.criterion->is_correct()) claims += "correct ";
+    if (check.criterion->is_sound()) claims += "sound";
+    table.AddRow({std::string(check.criterion->name()),
+                  claims.empty() ? "-" : claims,
+                  std::to_string(check.false_positives),
+                  std::to_string(check.false_negatives),
+                  correct_ok && sound_ok ? "OK" : "VIOLATED"});
+  }
+  out << table.Render();
+  out << "(" << borderline << " borderline scenes skipped)\n";
+  if (!all_good) {
+    return Status::Internal("criterion contract violated; see table");
+  }
+  out << "all criterion contracts hold on " << *scenes << " scenes\n";
+  return Status::OK();
+}
+
+Status CmdExperiment(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  if (data->size() < 3) {
+    return Status::InvalidArgument("need at least 3 objects");
+  }
+  DominanceExperimentConfig config;
+  auto queries = RequireUint(args, "queries", config.workload_size,
+                             /*required=*/false);
+  if (!queries.ok()) return queries.status();
+  auto repeats = RequireUint(args, "repeats", 3, /*required=*/false);
+  if (!repeats.ok()) return repeats.status();
+  auto seed = RequireUint(args, "seed", config.seed, /*required=*/false);
+  if (!seed.ok()) return seed.status();
+  config.workload_size = *queries;
+  config.repeats = static_cast<int>(*repeats);
+  config.seed = *seed;
+
+  TablePrinter table({"criterion", "time/query", "precision", "recall"});
+  for (const auto& row : RunDominanceExperiment(*data, config)) {
+    table.AddRow({row.criterion, FormatDuration(row.nanos_per_query),
+                  FormatDouble(row.precision_pct, 4) + "%",
+                  FormatDouble(row.recall_pct, 4) + "%"});
+  }
+  out << table.Render();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ParsedArgs::GetFlag(const std::string& key,
+                                const std::string& fallback) const {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  if (args.empty()) return Status::InvalidArgument("missing command");
+  ParsedArgs parsed;
+  parsed.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (!StartsWith(token, "--")) {
+      return Status::InvalidArgument("expected --flag=value, got '" + token +
+                                     "'");
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 2) {
+      return Status::InvalidArgument("malformed flag '" + token + "'");
+    }
+    parsed.flags[token.substr(2, eq - 2)] = token.substr(eq + 1);
+  }
+  return parsed;
+}
+
+Result<Hypersphere> ParseSphere(const std::string& spec) {
+  const size_t semi = spec.find(';');
+  if (semi == std::string::npos) {
+    return Status::InvalidArgument("sphere literal needs 'coords;radius'");
+  }
+  const std::vector<std::string> coords = Split(spec.substr(0, semi), ',');
+  if (coords.empty() || coords.front().empty()) {
+    return Status::InvalidArgument("sphere needs at least one coordinate");
+  }
+  Point center(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!ParseDouble(coords[i], &center[i])) {
+      return Status::InvalidArgument("bad coordinate '" + coords[i] + "'");
+    }
+  }
+  double radius = 0.0;
+  if (!ParseDouble(spec.substr(semi + 1), &radius) || radius < 0.0) {
+    return Status::InvalidArgument("bad radius '" + spec.substr(semi + 1) +
+                                   "'");
+  }
+  return Hypersphere(std::move(center), radius);
+}
+
+Result<CriterionKind> ParseCriterion(const std::string& name) {
+  if (name == "minmax") return CriterionKind::kMinMax;
+  if (name == "mbr") return CriterionKind::kMbr;
+  if (name == "gp") return CriterionKind::kGp;
+  if (name == "trigonometric") return CriterionKind::kTrigonometric;
+  if (name == "hyperbola") return CriterionKind::kHyperbola;
+  if (name == "oracle") return CriterionKind::kNumericOracle;
+  return Status::InvalidArgument("unknown criterion '" + name + "'");
+}
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  auto parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  Status status;
+  if (parsed->command == "generate") {
+    status = CmdGenerate(*parsed, out);
+  } else if (parsed->command == "dominate") {
+    status = CmdDominate(*parsed, out);
+  } else if (parsed->command == "knn") {
+    status = CmdKnn(*parsed, out);
+  } else if (parsed->command == "rank") {
+    status = CmdRank(*parsed, out);
+  } else if (parsed->command == "range") {
+    status = CmdRange(*parsed, out);
+  } else if (parsed->command == "probknn") {
+    status = CmdProbKnn(*parsed, out);
+  } else if (parsed->command == "expiry") {
+    status = CmdExpiry(*parsed, out);
+  } else if (parsed->command == "selfcheck") {
+    status = CmdSelfCheck(*parsed, out);
+  } else if (parsed->command == "experiment") {
+    status = CmdExperiment(*parsed, out);
+  } else if (parsed->command == "help") {
+    out << kUsage;
+    return 0;
+  } else {
+    err << "error: unknown command '" << parsed->command << "'\n" << kUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace hyperdom

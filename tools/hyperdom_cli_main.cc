@@ -1,0 +1,12 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hyperdom::cli::Run(args, std::cout, std::cerr);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hyperbola"
+  "../bench/ablation_hyperbola.pdb"
+  "CMakeFiles/ablation_hyperbola.dir/ablation_hyperbola.cc.o"
+  "CMakeFiles/ablation_hyperbola.dir/ablation_hyperbola.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyperbola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

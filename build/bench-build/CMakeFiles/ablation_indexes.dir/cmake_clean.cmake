@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_indexes"
+  "../bench/ablation_indexes.pdb"
+  "CMakeFiles/ablation_indexes.dir/ablation_indexes.cc.o"
+  "CMakeFiles/ablation_indexes.dir/ablation_indexes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

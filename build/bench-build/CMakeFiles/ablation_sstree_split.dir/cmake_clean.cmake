@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sstree_split"
+  "../bench/ablation_sstree_split.pdb"
+  "CMakeFiles/ablation_sstree_split.dir/ablation_sstree_split.cc.o"
+  "CMakeFiles/ablation_sstree_split.dir/ablation_sstree_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sstree_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

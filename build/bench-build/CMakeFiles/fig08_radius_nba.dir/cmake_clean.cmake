@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_radius_nba"
+  "../bench/fig08_radius_nba.pdb"
+  "CMakeFiles/fig08_radius_nba.dir/fig08_radius_nba.cc.o"
+  "CMakeFiles/fig08_radius_nba.dir/fig08_radius_nba.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_radius_nba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_dimensionality"
+  "../bench/fig09_dimensionality.pdb"
+  "CMakeFiles/fig09_dimensionality.dir/fig09_dimensionality.cc.o"
+  "CMakeFiles/fig09_dimensionality.dir/fig09_dimensionality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

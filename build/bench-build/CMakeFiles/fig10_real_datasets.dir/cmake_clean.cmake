@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_real_datasets"
+  "../bench/fig10_real_datasets.pdb"
+  "CMakeFiles/fig10_real_datasets.dir/fig10_real_datasets.cc.o"
+  "CMakeFiles/fig10_real_datasets.dir/fig10_real_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_real_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_high_dimensional"
+  "../bench/fig11_high_dimensional.pdb"
+  "CMakeFiles/fig11_high_dimensional.dir/fig11_high_dimensional.cc.o"
+  "CMakeFiles/fig11_high_dimensional.dir/fig11_high_dimensional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_high_dimensional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

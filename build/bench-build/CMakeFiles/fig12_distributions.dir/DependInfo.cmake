@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_distributions.cc" "bench-build/CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o" "gcc" "bench-build/CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperdom_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_dominance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_distributions"
+  "../bench/fig12_distributions.pdb"
+  "CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o"
+  "CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

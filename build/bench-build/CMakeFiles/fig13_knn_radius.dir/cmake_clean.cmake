@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_knn_radius"
+  "../bench/fig13_knn_radius.pdb"
+  "CMakeFiles/fig13_knn_radius.dir/fig13_knn_radius.cc.o"
+  "CMakeFiles/fig13_knn_radius.dir/fig13_knn_radius.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_knn_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

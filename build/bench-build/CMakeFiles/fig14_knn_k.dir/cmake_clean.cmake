@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_knn_k"
+  "../bench/fig14_knn_k.pdb"
+  "CMakeFiles/fig14_knn_k.dir/fig14_knn_k.cc.o"
+  "CMakeFiles/fig14_knn_k.dir/fig14_knn_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_knn_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

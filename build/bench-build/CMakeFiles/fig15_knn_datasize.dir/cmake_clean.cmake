@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_knn_datasize"
+  "../bench/fig15_knn_datasize.pdb"
+  "CMakeFiles/fig15_knn_datasize.dir/fig15_knn_datasize.cc.o"
+  "CMakeFiles/fig15_knn_datasize.dir/fig15_knn_datasize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_knn_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_knn_dimensionality"
+  "../bench/fig16_knn_dimensionality.pdb"
+  "CMakeFiles/fig16_knn_dimensionality.dir/fig16_knn_dimensionality.cc.o"
+  "CMakeFiles/fig16_knn_dimensionality.dir/fig16_knn_dimensionality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_knn_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_criteria"
+  "../bench/micro_criteria.pdb"
+  "CMakeFiles/micro_criteria.dir/micro_criteria.cc.o"
+  "CMakeFiles/micro_criteria.dir/micro_criteria.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

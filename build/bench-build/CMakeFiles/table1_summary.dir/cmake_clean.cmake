@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_summary"
+  "../bench/table1_summary.pdb"
+  "CMakeFiles/table1_summary.dir/table1_summary.cc.o"
+  "CMakeFiles/table1_summary.dir/table1_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gps_uncertain_knn"
+  "../examples/gps_uncertain_knn.pdb"
+  "CMakeFiles/gps_uncertain_knn.dir/gps_uncertain_knn.cpp.o"
+  "CMakeFiles/gps_uncertain_knn.dir/gps_uncertain_knn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_uncertain_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

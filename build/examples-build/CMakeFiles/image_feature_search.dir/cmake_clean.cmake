@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/image_feature_search"
+  "../examples/image_feature_search.pdb"
+  "CMakeFiles/image_feature_search.dir/image_feature_search.cpp.o"
+  "CMakeFiles/image_feature_search.dir/image_feature_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_feature_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

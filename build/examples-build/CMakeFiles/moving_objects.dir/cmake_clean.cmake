@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/moving_objects"
+  "../examples/moving_objects.pdb"
+  "CMakeFiles/moving_objects.dir/moving_objects.cpp.o"
+  "CMakeFiles/moving_objects.dir/moving_objects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

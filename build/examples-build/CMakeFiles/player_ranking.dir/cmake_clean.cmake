@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/player_ranking"
+  "../examples/player_ranking.pdb"
+  "CMakeFiles/player_ranking.dir/player_ranking.cpp.o"
+  "CMakeFiles/player_ranking.dir/player_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_common.dir/common/rng.cc.o"
+  "CMakeFiles/hyperdom_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/hyperdom_common.dir/common/status.cc.o"
+  "CMakeFiles/hyperdom_common.dir/common/status.cc.o.d"
+  "CMakeFiles/hyperdom_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/hyperdom_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/hyperdom_common.dir/common/str_util.cc.o"
+  "CMakeFiles/hyperdom_common.dir/common/str_util.cc.o.d"
+  "libhyperdom_common.a"
+  "libhyperdom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

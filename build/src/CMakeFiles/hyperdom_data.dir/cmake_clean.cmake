@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_data.dir/data/csv.cc.o"
+  "CMakeFiles/hyperdom_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/hyperdom_data.dir/data/datasets.cc.o"
+  "CMakeFiles/hyperdom_data.dir/data/datasets.cc.o.d"
+  "CMakeFiles/hyperdom_data.dir/data/generator.cc.o"
+  "CMakeFiles/hyperdom_data.dir/data/generator.cc.o.d"
+  "libhyperdom_data.a"
+  "libhyperdom_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

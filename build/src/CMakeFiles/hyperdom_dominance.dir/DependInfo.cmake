@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dominance/criterion.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/criterion.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/criterion.cc.o.d"
+  "/root/repo/src/dominance/gp.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/gp.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/gp.cc.o.d"
+  "/root/repo/src/dominance/growing.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/growing.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/growing.cc.o.d"
+  "/root/repo/src/dominance/hyperbola.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/hyperbola.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/hyperbola.cc.o.d"
+  "/root/repo/src/dominance/mbr_criterion.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/mbr_criterion.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/mbr_criterion.cc.o.d"
+  "/root/repo/src/dominance/metric.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/metric.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/metric.cc.o.d"
+  "/root/repo/src/dominance/metric_minmax.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/metric_minmax.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/metric_minmax.cc.o.d"
+  "/root/repo/src/dominance/minmax.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/minmax.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/minmax.cc.o.d"
+  "/root/repo/src/dominance/numeric_oracle.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/numeric_oracle.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/numeric_oracle.cc.o.d"
+  "/root/repo/src/dominance/probability.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/probability.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/probability.cc.o.d"
+  "/root/repo/src/dominance/trigonometric.cc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/trigonometric.cc.o" "gcc" "src/CMakeFiles/hyperdom_dominance.dir/dominance/trigonometric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperdom_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_dominance.dir/dominance/criterion.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/criterion.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/gp.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/gp.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/growing.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/growing.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/hyperbola.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/hyperbola.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/mbr_criterion.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/mbr_criterion.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/metric.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/metric.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/metric_minmax.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/metric_minmax.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/minmax.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/minmax.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/numeric_oracle.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/numeric_oracle.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/probability.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/probability.cc.o.d"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/trigonometric.cc.o"
+  "CMakeFiles/hyperdom_dominance.dir/dominance/trigonometric.cc.o.d"
+  "libhyperdom_dominance.a"
+  "libhyperdom_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

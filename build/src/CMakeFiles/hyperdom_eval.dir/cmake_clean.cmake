@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/hyperdom_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/hyperdom_eval.dir/eval/measures.cc.o"
+  "CMakeFiles/hyperdom_eval.dir/eval/measures.cc.o.d"
+  "CMakeFiles/hyperdom_eval.dir/eval/table_printer.cc.o"
+  "CMakeFiles/hyperdom_eval.dir/eval/table_printer.cc.o.d"
+  "CMakeFiles/hyperdom_eval.dir/eval/workload.cc.o"
+  "CMakeFiles/hyperdom_eval.dir/eval/workload.cc.o.d"
+  "libhyperdom_eval.a"
+  "libhyperdom_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyperdom_eval.a"
+)

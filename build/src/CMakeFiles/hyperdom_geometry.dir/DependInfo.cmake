@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/focal_frame.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/focal_frame.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/focal_frame.cc.o.d"
+  "/root/repo/src/geometry/hypersphere.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/hypersphere.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/hypersphere.cc.o.d"
+  "/root/repo/src/geometry/mbr.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/mbr.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/mbr.cc.o.d"
+  "/root/repo/src/geometry/min_ball.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/min_ball.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/min_ball.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/point.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/point.cc.o.d"
+  "/root/repo/src/geometry/polynomial.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/polynomial.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/polynomial.cc.o.d"
+  "/root/repo/src/geometry/sampling.cc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/sampling.cc.o" "gcc" "src/CMakeFiles/hyperdom_geometry.dir/geometry/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperdom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

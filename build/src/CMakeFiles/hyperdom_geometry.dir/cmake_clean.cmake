@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_geometry.dir/geometry/focal_frame.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/focal_frame.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/hypersphere.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/hypersphere.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/mbr.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/mbr.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/min_ball.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/min_ball.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/point.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/point.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/polynomial.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/polynomial.cc.o.d"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/sampling.cc.o"
+  "CMakeFiles/hyperdom_geometry.dir/geometry/sampling.cc.o.d"
+  "libhyperdom_geometry.a"
+  "libhyperdom_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

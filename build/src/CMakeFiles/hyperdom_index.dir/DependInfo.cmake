@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/m_tree.cc" "src/CMakeFiles/hyperdom_index.dir/index/m_tree.cc.o" "gcc" "src/CMakeFiles/hyperdom_index.dir/index/m_tree.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/hyperdom_index.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/hyperdom_index.dir/index/rstar_tree.cc.o.d"
+  "/root/repo/src/index/ss_tree.cc" "src/CMakeFiles/hyperdom_index.dir/index/ss_tree.cc.o" "gcc" "src/CMakeFiles/hyperdom_index.dir/index/ss_tree.cc.o.d"
+  "/root/repo/src/index/vp_tree.cc" "src/CMakeFiles/hyperdom_index.dir/index/vp_tree.cc.o" "gcc" "src/CMakeFiles/hyperdom_index.dir/index/vp_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperdom_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_index.dir/index/m_tree.cc.o"
+  "CMakeFiles/hyperdom_index.dir/index/m_tree.cc.o.d"
+  "CMakeFiles/hyperdom_index.dir/index/rstar_tree.cc.o"
+  "CMakeFiles/hyperdom_index.dir/index/rstar_tree.cc.o.d"
+  "CMakeFiles/hyperdom_index.dir/index/ss_tree.cc.o"
+  "CMakeFiles/hyperdom_index.dir/index/ss_tree.cc.o.d"
+  "CMakeFiles/hyperdom_index.dir/index/vp_tree.cc.o"
+  "CMakeFiles/hyperdom_index.dir/index/vp_tree.cc.o.d"
+  "libhyperdom_index.a"
+  "libhyperdom_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

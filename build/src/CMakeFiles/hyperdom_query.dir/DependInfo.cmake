@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/best_known_list.cc" "src/CMakeFiles/hyperdom_query.dir/query/best_known_list.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/best_known_list.cc.o.d"
+  "/root/repo/src/query/dominating.cc" "src/CMakeFiles/hyperdom_query.dir/query/dominating.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/dominating.cc.o.d"
+  "/root/repo/src/query/index_knn.cc" "src/CMakeFiles/hyperdom_query.dir/query/index_knn.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/index_knn.cc.o.d"
+  "/root/repo/src/query/inverse_ranking.cc" "src/CMakeFiles/hyperdom_query.dir/query/inverse_ranking.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/inverse_ranking.cc.o.d"
+  "/root/repo/src/query/knn.cc" "src/CMakeFiles/hyperdom_query.dir/query/knn.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/knn.cc.o.d"
+  "/root/repo/src/query/nn_iterator.cc" "src/CMakeFiles/hyperdom_query.dir/query/nn_iterator.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/nn_iterator.cc.o.d"
+  "/root/repo/src/query/probabilistic_knn.cc" "src/CMakeFiles/hyperdom_query.dir/query/probabilistic_knn.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/probabilistic_knn.cc.o.d"
+  "/root/repo/src/query/range.cc" "src/CMakeFiles/hyperdom_query.dir/query/range.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/range.cc.o.d"
+  "/root/repo/src/query/rknn.cc" "src/CMakeFiles/hyperdom_query.dir/query/rknn.cc.o" "gcc" "src/CMakeFiles/hyperdom_query.dir/query/rknn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperdom_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_dominance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperdom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_query.dir/query/best_known_list.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/best_known_list.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/dominating.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/dominating.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/index_knn.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/index_knn.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/inverse_ranking.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/inverse_ranking.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/knn.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/knn.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/nn_iterator.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/nn_iterator.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/probabilistic_knn.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/probabilistic_knn.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/range.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/range.cc.o.d"
+  "CMakeFiles/hyperdom_query.dir/query/rknn.cc.o"
+  "CMakeFiles/hyperdom_query.dir/query/rknn.cc.o.d"
+  "libhyperdom_query.a"
+  "libhyperdom_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

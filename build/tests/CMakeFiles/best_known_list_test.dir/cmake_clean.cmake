@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_known_list_test.dir/best_known_list_test.cc.o"
+  "CMakeFiles/best_known_list_test.dir/best_known_list_test.cc.o.d"
+  "best_known_list_test"
+  "best_known_list_test.pdb"
+  "best_known_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_known_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for best_known_list_test.
+# This may be replaced when dependencies are built.

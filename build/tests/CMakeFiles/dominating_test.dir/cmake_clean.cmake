@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominating_test.dir/dominating_test.cc.o"
+  "CMakeFiles/dominating_test.dir/dominating_test.cc.o.d"
+  "dominating_test"
+  "dominating_test.pdb"
+  "dominating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

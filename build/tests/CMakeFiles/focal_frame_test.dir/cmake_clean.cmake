@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focal_frame_test.dir/focal_frame_test.cc.o"
+  "CMakeFiles/focal_frame_test.dir/focal_frame_test.cc.o.d"
+  "focal_frame_test"
+  "focal_frame_test.pdb"
+  "focal_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focal_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

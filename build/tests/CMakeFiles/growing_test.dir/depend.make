@@ -1,0 +1,2 @@
+# Empty dependencies file for growing_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbola_degenerate_test.dir/hyperbola_degenerate_test.cc.o"
+  "CMakeFiles/hyperbola_degenerate_test.dir/hyperbola_degenerate_test.cc.o.d"
+  "hyperbola_degenerate_test"
+  "hyperbola_degenerate_test.pdb"
+  "hyperbola_degenerate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbola_degenerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

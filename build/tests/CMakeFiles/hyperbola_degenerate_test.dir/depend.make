@@ -1,0 +1,2 @@
+# Empty dependencies file for hyperbola_degenerate_test.
+# This may be replaced when dependencies are built.

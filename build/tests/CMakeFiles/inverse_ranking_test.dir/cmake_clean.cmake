@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_ranking_test.dir/inverse_ranking_test.cc.o"
+  "CMakeFiles/inverse_ranking_test.dir/inverse_ranking_test.cc.o.d"
+  "inverse_ranking_test"
+  "inverse_ranking_test.pdb"
+  "inverse_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m_tree_test.dir/m_tree_test.cc.o"
+  "CMakeFiles/m_tree_test.dir/m_tree_test.cc.o.d"
+  "m_tree_test"
+  "m_tree_test.pdb"
+  "m_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_criterion_test.dir/mbr_criterion_test.cc.o"
+  "CMakeFiles/mbr_criterion_test.dir/mbr_criterion_test.cc.o.d"
+  "mbr_criterion_test"
+  "mbr_criterion_test.pdb"
+  "mbr_criterion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_criterion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

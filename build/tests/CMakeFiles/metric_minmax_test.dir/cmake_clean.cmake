@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_minmax_test.dir/metric_minmax_test.cc.o"
+  "CMakeFiles/metric_minmax_test.dir/metric_minmax_test.cc.o.d"
+  "metric_minmax_test"
+  "metric_minmax_test.pdb"
+  "metric_minmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_minmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

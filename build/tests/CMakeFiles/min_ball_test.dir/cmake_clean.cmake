@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_ball_test.dir/min_ball_test.cc.o"
+  "CMakeFiles/min_ball_test.dir/min_ball_test.cc.o.d"
+  "min_ball_test"
+  "min_ball_test.pdb"
+  "min_ball_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_ball_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

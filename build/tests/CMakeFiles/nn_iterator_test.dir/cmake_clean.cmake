@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_iterator_test.dir/nn_iterator_test.cc.o"
+  "CMakeFiles/nn_iterator_test.dir/nn_iterator_test.cc.o.d"
+  "nn_iterator_test"
+  "nn_iterator_test.pdb"
+  "nn_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

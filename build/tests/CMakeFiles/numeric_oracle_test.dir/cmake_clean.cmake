@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_oracle_test.dir/numeric_oracle_test.cc.o"
+  "CMakeFiles/numeric_oracle_test.dir/numeric_oracle_test.cc.o.d"
+  "numeric_oracle_test"
+  "numeric_oracle_test.pdb"
+  "numeric_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

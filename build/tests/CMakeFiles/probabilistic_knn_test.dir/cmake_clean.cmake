@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_knn_test.dir/probabilistic_knn_test.cc.o"
+  "CMakeFiles/probabilistic_knn_test.dir/probabilistic_knn_test.cc.o.d"
+  "probabilistic_knn_test"
+  "probabilistic_knn_test.pdb"
+  "probabilistic_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rknn_test.dir/rknn_test.cc.o"
+  "CMakeFiles/rknn_test.dir/rknn_test.cc.o.d"
+  "rknn_test"
+  "rknn_test.pdb"
+  "rknn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rknn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

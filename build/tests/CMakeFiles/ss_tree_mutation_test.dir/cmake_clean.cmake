@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_tree_mutation_test.dir/ss_tree_mutation_test.cc.o"
+  "CMakeFiles/ss_tree_mutation_test.dir/ss_tree_mutation_test.cc.o.d"
+  "ss_tree_mutation_test"
+  "ss_tree_mutation_test.pdb"
+  "ss_tree_mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_tree_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

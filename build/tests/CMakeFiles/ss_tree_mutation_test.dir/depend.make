@@ -1,0 +1,2 @@
+# Empty dependencies file for ss_tree_mutation_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigonometric_test.dir/trigonometric_test.cc.o"
+  "CMakeFiles/trigonometric_test.dir/trigonometric_test.cc.o.d"
+  "trigonometric_test"
+  "trigonometric_test.pdb"
+  "trigonometric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigonometric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/hyperdom_cli"
+  "../tools/hyperdom_cli.pdb"
+  "CMakeFiles/hyperdom_cli.dir/hyperdom_cli_main.cc.o"
+  "CMakeFiles/hyperdom_cli.dir/hyperdom_cli_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdom_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/hyperdom_cli_lib.dir/cli.cc.o.d"
+  "libhyperdom_cli_lib.a"
+  "libhyperdom_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdom_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,150 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// google-benchmark microbenchmarks for the certified verdict layer:
+// the per-call overhead of CertifiedDominance versus the plain Hyperbola
+// bool on random (far-from-boundary) workloads, the cost of each escalation
+// tier on boundary-pinned scenes, and the error-bounded kernels themselves
+// (running-error Horner, certified quartic roots, certified min-distance).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "dominance/certified.h"
+#include "dominance/criterion.h"
+#include "dominance/hyperbola.h"
+#include "eval/workload.h"
+#include "geometry/focal_frame.h"
+#include "geometry/polynomial.h"
+
+namespace hyperdom {
+namespace {
+
+std::vector<DominanceQuery> WorkloadForDim(size_t dim) {
+  SyntheticSpec spec;
+  spec.n = 2048;
+  spec.dim = dim;
+  spec.radius_mean = 10.0;
+  spec.seed = 0xBE7C4 + dim;
+  return MakeDominanceWorkload(GenerateSynthetic(spec), 1024, 0xF00D + dim);
+}
+
+// Boundary-pinned variant: rq is moved onto the certified boundary
+// (dmin in long double) so every call exercises the escalation chain.
+std::vector<DominanceQuery> BoundaryWorkloadForDim(size_t dim) {
+  auto workload = WorkloadForDim(dim);
+  std::vector<DominanceQuery> pinned;
+  for (auto& q : workload) {
+    // Recover the boundary radius from the unified long double margin at
+    // rq = 0 (see the fuzz harness); skip scenes where another margin binds.
+    const long double m0 = DominanceMarginLongDouble(
+        q.sa, q.sb, Hypersphere(q.sq.center(), 0.0));
+    if (!(m0 > 0.1L && m0 < 1.0e6L)) continue;
+    const double probe = 2.0 * static_cast<double>(m0);
+    const long double m_hi = DominanceMarginLongDouble(
+        q.sa, q.sb, Hypersphere(q.sq.center(), probe));
+    const long double dmin = m_hi + static_cast<long double>(probe);
+    // The recovery dmin = m_hi + probe is valid only when the boundary
+    // margin (dmin - probe), not a distance margin, was the binding one.
+    if (!(m_hi < m0 - 1e-9L) || !(dmin > 0.0L)) continue;
+    pinned.push_back(DominanceQuery{
+        q.sa, q.sb, Hypersphere(q.sq.center(), static_cast<double>(dmin))});
+    if (pinned.size() == 256) break;
+  }
+  return pinned;
+}
+
+void BM_CertifiedDecide(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = WorkloadForDim(dim);
+  const CertifiedDominance engine;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ & 1023];
+    benchmark::DoNotOptimize(engine.Decide(q.sa, q.sb, q.sq));
+  }
+  const CertifiedStats stats = engine.stats();
+  state.SetLabel("d=" + std::to_string(dim) + " uncertain=" +
+                 std::to_string(stats.uncertain));
+}
+
+void BM_CertifiedDecideBoundary(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = BoundaryWorkloadForDim(dim);
+  if (workload.empty()) {
+    state.SkipWithError("no boundary scenes survived pinning");
+    return;
+  }
+  const CertifiedDominance engine;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ % workload.size()];
+    benchmark::DoNotOptimize(engine.Decide(q.sa, q.sb, q.sq));
+  }
+  const CertifiedStats stats = engine.stats();
+  state.SetLabel("d=" + std::to_string(dim) +
+                 " t1=" + std::to_string(stats.resolved_quartic) +
+                 " t2=" + std::to_string(stats.resolved_parametric) +
+                 " t3=" + std::to_string(stats.resolved_long_double) +
+                 " unc=" + std::to_string(stats.uncertain));
+}
+
+void BM_HyperbolaBool(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto workload = WorkloadForDim(dim);
+  const auto criterion = MakeCriterion(CriterionKind::kHyperbola);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = workload[i++ & 1023];
+    benchmark::DoNotOptimize(criterion->Dominates(q.sa, q.sb, q.sq));
+  }
+  state.SetLabel("d=" + std::to_string(dim));
+}
+
+void BM_EvaluateWithError(benchmark::State& state) {
+  const std::vector<double> coeffs = {-3.1e9, -8.2e8, 2.4e8, 9.1e6, -4.2e4};
+  size_t i = 0;
+  for (auto _ : state) {
+    const double x = 0.001 * static_cast<double>(i++ & 255);
+    benchmark::DoNotOptimize(EvaluatePolynomialWithError(coeffs, x));
+  }
+}
+
+void BM_SolveQuarticWithBounds(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    const double jitter = static_cast<double>(i++ & 15);
+    benchmark::DoNotOptimize(SolveQuarticWithBounds(
+        -3.1e9, -8.2e8, 2.4e8 + jitter, 9.1e6, -4.2e4));
+  }
+}
+
+void BM_HyperbolaMinDistCertified(benchmark::State& state) {
+  Rng rng(0xCE2B);
+  std::vector<std::array<double, 3>> cases(256);
+  for (auto& c : cases) {
+    c = {rng.Uniform(0.1, 1.8), rng.Uniform(-8.0, 8.0),
+         rng.Uniform(0.01, 8.0)};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = cases[i++ & 255];
+    benchmark::DoNotOptimize(HyperbolaMinDistCertified(1.0, c[0], c[1], c[2]));
+  }
+}
+
+BENCHMARK(BM_HyperbolaBool)->Arg(2)->Arg(4)->Arg(10)->Arg(50);
+BENCHMARK(BM_CertifiedDecide)->Arg(2)->Arg(4)->Arg(10)->Arg(50);
+BENCHMARK(BM_CertifiedDecideBoundary)->Arg(2)->Arg(4)->Arg(10);
+BENCHMARK(BM_EvaluateWithError);
+BENCHMARK(BM_SolveQuarticWithBounds);
+BENCHMARK(BM_HyperbolaMinDistCertified);
+
+}  // namespace
+}  // namespace hyperdom
+
+BENCHMARK_MAIN();

@@ -63,9 +63,13 @@ Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path) {
     }
     const double radius = values.back();
     values.pop_back();
-    if (radius < 0.0) {
-      return Status::Corruption("line " + std::to_string(line_no) +
-                                ": negative radius");
+    // Validate before construction: the Hypersphere constructor asserts the
+    // same invariants, and corrupt rows (nan/inf coordinates, negative
+    // radius) must surface as kCorruption, not propagate NaN downstream.
+    if (const Status invalid = Hypersphere::Validate(values, radius);
+        !invalid.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                invalid.message());
     }
     if (dim == 0) {
       dim = values.size();

@@ -1,0 +1,464 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "dominance/certified.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "dominance/hyperbola.h"
+#include "dominance/hyperbola_kernel.h"
+#include "dominance/numeric_oracle.h"
+#include "geometry/focal_frame.h"
+#include "geometry/polynomial.h"
+
+namespace hyperdom {
+
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+// Error-band widths, in multiples of epsilon * scene scale. Each tier's
+// decisive verdicts must survive comparison against the next tier's more
+// precise evaluation, so every width is a generous multiple of the worst
+// rounding-error accumulation of the arithmetic it covers (a handful of
+// O(d) distance reductions, subtractions, and a sqrt each contribute a few
+// epsilon * scale).
+constexpr double kBandDistance = 64.0;    // plain distance/margin arithmetic
+constexpr double kBandParametric = 512.0; // sampled + golden-section dmin
+constexpr double kBandLongDouble = 64.0;  // tier-3 unified margin
+constexpr double kBandOracle = 4096.0;    // dense-scan oracle margin
+
+// Distance between two double-precision points, accumulated in T.
+template <typename T>
+T DistT(const Point& a, const Point& b) {
+  T acc = T(0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const T d = T(a[i]) - T(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+// Minimum snapped-candidate distance at a given quartic root lambda
+// (the per-root body of the kernel loop); +inf when the denominators
+// vanish or no snap produces a finite distance.
+double MinCandidateAtLambda(double lambda, double y1, double y2, double a4,
+                            double a5, double semi_a, double semi_b_sq,
+                            double semi_b) {
+  const double den1 = 1.0 + a5 * lambda;
+  const double den2 = 1.0 + a4 * lambda;
+  if (std::abs(den1) < 1e-300 || std::abs(den2) < 1e-300) return kInfD;
+  const double x1 = y1 / den1;
+  const double xp = std::abs(y2 / den2);
+  const double sheet = x1 >= 0.0 ? 1.0 : -1.0;
+  double best = kInfD;
+  const double snapped_x1 =
+      sheet * semi_a * std::sqrt(1.0 + xp * xp / semi_b_sq);
+  const double d1 = hyperbola_internal::CandidateDistT(y1, y2, snapped_x1, xp);
+  if (std::isfinite(d1)) best = std::min(best, d1);
+  const double ratio_sq = (x1 / semi_a) * (x1 / semi_a);
+  if (ratio_sq >= 1.0) {
+    const double d2 = hyperbola_internal::CandidateDistT(
+        y1, y2, x1, semi_b * std::sqrt(ratio_sq - 1.0));
+    if (std::isfinite(d2)) best = std::min(best, d2);
+  }
+  return best;
+}
+
+// Outcome of evaluating every margin of the predicate at one tier.
+struct TierOutcome {
+  bool negative = false;         // some margin certified negative
+  bool uncertain = false;        // some margin inside its error band
+  bool dmin_uncertain = false;   // the boundary (dmin - rq) margin is unclear
+  bool other_uncertain = false;  // an overlap / center-MDD margin is unclear
+};
+
+// Evaluates the overlap, center-MDD, and boundary margins in precision T.
+// `dmin_fn(alpha, rab, y1, y2)` returns {dmin, extra_band}: the boundary
+// margin's band is max(band_dmin_k * eps * scale, extra_band).
+template <typename T, typename DminFn>
+TierOutcome EvaluateMarginsT(const Hypersphere& sa, const Hypersphere& sb,
+                             const Hypersphere& sq, T band_dist_k,
+                             T band_dmin_k, DminFn&& dmin_fn) {
+  const T eps = std::numeric_limits<T>::epsilon();
+  const Point& ca = sa.center();
+  const Point& cb = sb.center();
+  const Point& cq = sq.center();
+  const T rab = T(sa.radius()) + T(sb.radius());
+  const T rq = T(sq.radius());
+  const T focal = DistT<T>(ca, cb);
+  const T da = DistT<T>(cq, ca);
+  const T db = DistT<T>(cq, cb);
+  const T scale = focal + da + db + rab + rq;
+  // The eps-relative model is blind to underflow: a squared coordinate
+  // difference below the smallest normal T flushes its information away,
+  // corrupting a distance by up to ~sqrt(dim * min). The additive floor
+  // covers that regime; at ~1e-153 for double it is far below every band
+  // at normal scales and only bites on denormal-scale scenes, which then
+  // escalate to a wider type instead of resolving on garbage distances.
+  const T band_floor =
+      T(4) * std::sqrt(T(sa.dim()) * std::numeric_limits<T>::min());
+  const T band_dist = band_dist_k * eps * scale + band_floor;
+
+  TierOutcome out;
+  auto add = [&](T m, T band, bool is_dmin) {
+    if (m <= -band) {
+      out.negative = true;
+    } else if (m <= band) {
+      out.uncertain = true;
+      if (is_dmin) {
+        out.dmin_uncertain = true;
+      } else {
+        out.other_uncertain = true;
+      }
+    }
+  };
+
+  const T m_overlap = focal - rab;
+  add(m_overlap, band_dist, false);
+  add((db - da) - rab, band_dist, false);
+  if (out.negative) return out;
+
+  // A point query: the margins above are the whole predicate.
+  if (rq == T(0)) return out;
+
+  if (sa.dim() == 1) {
+    // 1-d: f(t) = |t - cb| - |t - ca| over the segment [cq - rq, cq + rq]
+    // is piecewise linear; its minimum sits at a segment endpoint or at a
+    // focus inside the segment.
+    const T ca1 = T(ca[0]);
+    const T cb1 = T(cb[0]);
+    const T lo = T(cq[0]) - rq;
+    const T hi = T(cq[0]) + rq;
+    auto f = [&](T t) { return std::abs(t - cb1) - std::abs(t - ca1); };
+    T fmin = std::min(f(lo), f(hi));
+    if (ca1 > lo && ca1 < hi) fmin = std::min(fmin, f(ca1));
+    if (cb1 > lo && cb1 < hi) fmin = std::min(fmin, f(cb1));
+    add(fmin - rab, band_dist, true);
+    return out;
+  }
+
+  if (rab == T(0)) {
+    // Two points: the boundary degenerates to the perpendicular-bisector
+    // hyperplane; the margin is -y1 - rq. The factored form avoids the
+    // da^2 - db^2 cancellation, but the division by focal still amplifies
+    // the distance errors, hence the inflated band.
+    const T y1 = (da - db) * (da + db) / (T(2) * focal);
+    const T inflate = (da + db) / focal + T(1);
+    add(-y1 - rq, band_dist * inflate, true);
+    return out;
+  }
+
+  // The hyperbola machinery needs rab < 2*alpha certified; if the overlap
+  // margin is itself inside the band, leave the call uncertain and let a
+  // higher tier sharpen that margin first.
+  if (!(m_overlap > band_dist)) return out;
+
+  const FocalCoords<T> fc = ComputeFocalCoords<T>(ca, cb, cq);
+  const std::pair<T, T> dm = dmin_fn(fc.alpha, rab, fc.y1, fc.y2);
+  const T band_dmin =
+      std::max(band_dmin_k * eps * scale, dm.second) + band_floor;
+  if (!std::isfinite(dm.first) || !std::isfinite(band_dmin)) {
+    out.uncertain = true;
+    out.dmin_uncertain = true;
+    return out;
+  }
+  add(dm.first - rq, band_dmin, true);
+  return out;
+}
+
+}  // namespace
+
+CertifiedMinDist HyperbolaMinDistCertified(double alpha, double rab,
+                                           double y1, double y2) {
+  assert(alpha > 0.0 && rab > 0.0 && rab < 2.0 * alpha && y2 >= 0.0);
+  // Normalize to alpha == 1, exactly as the uncertified kernel does; the
+  // minimum distance and its error estimate both scale linearly.
+  if (alpha != 1.0) {
+    CertifiedMinDist r =
+        HyperbolaMinDistCertified(1.0, rab / alpha, y1 / alpha, y2 / alpha);
+    r.dmin *= alpha;
+    r.bound *= alpha;
+    return r;
+  }
+  const double r2 = rab * rab;
+  const double al2 = 1.0;
+  const double a1 = (16.0 * al2 - 4.0 * r2) * y1 * y1;
+  const double a2 = r2 * r2 - 4.0 * r2 * al2;
+  const double a3 = 4.0 * r2 * y2 * y2;
+  const double a4 = 4.0 * r2;
+  const double a5 = 4.0 * r2 - 16.0 * al2;
+  const double A = a2 * a4 * a4 * a5 * a5;
+  const double B = 2.0 * a2 * a4 * a4 * a5 + 2.0 * a2 * a4 * a5 * a5;
+  const double C = a1 * a4 * a4 + a2 * a4 * a4 + 4.0 * a2 * a4 * a5 +
+                   a2 * a5 * a5 - a3 * a5 * a5;
+  const double D = 2.0 * a1 * a4 + 2.0 * a2 * a4 + 2.0 * a2 * a5 -
+                   2.0 * a3 * a5;
+  const double E = a1 + a2 - a3;
+
+  const double semi_a = 0.5 * rab;
+  const double semi_b_sq = al2 - semi_a * semi_a;
+  const double semi_b = std::sqrt(semi_b_sq);
+
+  // `best` is the reported minimum (an upper bound on the true dmin: every
+  // candidate is an actual curve point). `dmin_floor` is the lowest value
+  // the true minimum could plausibly take: exact candidates (vertices,
+  // singular branches) contribute their distance as-is, quartic roots
+  // contribute theirs minus the spread observed when the root moves by its
+  // certified error. If any root's coverage cannot be established the
+  // estimate collapses to +inf and the caller escalates.
+  double best = kInfD;
+  double dmin_floor = kInfD;
+  bool coverage_lost = false;
+
+  auto exact_candidate = [&](double d) {
+    if (!std::isfinite(d)) return;
+    best = std::min(best, d);
+    dmin_floor = std::min(dmin_floor, d);
+  };
+  exact_candidate(hyperbola_internal::CandidateDistT(y1, y2, -semi_a, 0.0));
+  exact_candidate(hyperbola_internal::CandidateDistT(y1, y2, semi_a, 0.0));
+  exact_candidate(
+      hyperbola_internal::SingularBranchCandidatesT(1.0, rab, y1, y2));
+
+  if (y1 == 0.0 || y2 == 0.0) {
+    // On the focal axis (y2 == 0) or the bisector plane (y1 == 0) the
+    // closest-point problem degenerates and the Lagrange quartic carries
+    // root clusters with unbounded certified error. But there the normal
+    // equations reduce in closed form to exactly the vertex and
+    // singular-branch candidates above (e.g. for y2 == 0 the unconstrained
+    // critical point is x1 = y1 * A^2, branch 1 + a4*lambda = 0, and the
+    // vertices cover the clamped case), so the exact set provably contains
+    // the true minimizer: certify from it and skip the quartic.
+    CertifiedMinDist axis;
+    axis.dmin = best;
+    axis.bound = std::isfinite(best)
+                     ? 64.0 * std::numeric_limits<double>::epsilon() *
+                           (1.0 + std::abs(y1) + y2 + best)
+                     : kInfD;
+    return axis;
+  }
+
+  const std::vector<CertifiedRoot> roots =
+      SolveQuarticWithBounds(A, B, C, D, E);
+  // No real roots at all is indistinguishable from roots lost to rounding;
+  // generic scenes have at least one.
+  if (roots.empty()) coverage_lost = true;
+  for (const CertifiedRoot& cr : roots) {
+    const double dc = MinCandidateAtLambda(cr.root, y1, y2, a4, a5, semi_a,
+                                           semi_b_sq, semi_b);
+    if (std::isfinite(dc)) best = std::min(best, dc);
+    if (!std::isfinite(cr.error_bound) || !std::isfinite(dc)) {
+      coverage_lost = true;
+      continue;
+    }
+    double spread = 0.0;
+    bool spread_ok = true;
+    for (double probe :
+         {cr.root - cr.error_bound, cr.root + cr.error_bound}) {
+      const double dp = MinCandidateAtLambda(probe, y1, y2, a4, a5, semi_a,
+                                             semi_b_sq, semi_b);
+      if (!std::isfinite(dp)) {
+        spread_ok = false;
+        break;
+      }
+      best = std::min(best, dp);
+      spread = std::max(spread, std::abs(dp - dc));
+    }
+    if (!spread_ok) {
+      coverage_lost = true;
+      continue;
+    }
+    dmin_floor = std::min(dmin_floor, dc - spread);
+  }
+
+  CertifiedMinDist out;
+  out.dmin = best;
+  if (!std::isfinite(best) || coverage_lost) {
+    out.bound = kInfD;
+    return out;
+  }
+  // Base rounding noise of the candidate-distance arithmetic itself.
+  const double noise = 64.0 * std::numeric_limits<double>::epsilon() *
+                       (1.0 + std::abs(y1) + y2 + best);
+  out.bound = std::max(0.0, best - dmin_floor) + noise;
+  return out;
+}
+
+long double DominanceMarginLongDouble(const Hypersphere& sa,
+                                      const Hypersphere& sb,
+                                      const Hypersphere& sq) {
+  using LD = long double;
+  const Point& ca = sa.center();
+  const Point& cb = sb.center();
+  const Point& cq = sq.center();
+  const LD rab = LD(sa.radius()) + LD(sb.radius());
+  const LD rq = LD(sq.radius());
+  const LD focal = DistT<LD>(ca, cb);
+  const LD da = DistT<LD>(cq, ca);
+  const LD db = DistT<LD>(cq, cb);
+
+  LD margin = focal - rab;                          // overlap (Lemma 1)
+  margin = std::min(margin, (db - da) - rab);       // cq ∈ Ra
+  if (rq == LD(0)) return margin;
+
+  if (sa.dim() == 1) {
+    const LD ca1 = LD(ca[0]);
+    const LD cb1 = LD(cb[0]);
+    const LD lo = LD(cq[0]) - rq;
+    const LD hi = LD(cq[0]) + rq;
+    auto f = [&](LD t) { return std::abs(t - cb1) - std::abs(t - ca1); };
+    LD fmin = std::min(f(lo), f(hi));
+    if (ca1 > lo && ca1 < hi) fmin = std::min(fmin, f(ca1));
+    if (cb1 > lo && cb1 < hi) fmin = std::min(fmin, f(cb1));
+    return std::min(margin, fmin - rab);
+  }
+
+  if (rab == LD(0)) {
+    const LD y1 = (da - db) * (da + db) / (LD(2) * focal);
+    return std::min(margin, -y1 - rq);
+  }
+
+  // Margin already non-positive: the hyperbola (which needs rab < 2*alpha)
+  // cannot improve the verdict, and the value is decided by the terms above.
+  if (margin <= LD(0)) return margin;
+
+  const FocalCoords<LD> fc = ComputeFocalCoords<LD>(ca, cb, cq);
+  const LD k = hyperbola_internal::HyperbolaMinDistKernelT<LD>(
+      fc.alpha, rab, fc.y1, fc.y2);
+  const LD p = hyperbola_internal::HyperbolaMinDistParametricT<LD>(
+      fc.alpha, rab, fc.y1, fc.y2);
+  return std::min(margin, std::min(k, p) - rq);
+}
+
+Verdict CertifiedDominance::Decide(const Hypersphere& sa,
+                                   const Hypersphere& sb,
+                                   const Hypersphere& sq) const {
+  return Decide(sa, sb, sq, nullptr);
+}
+
+Verdict CertifiedDominance::Decide(const Hypersphere& sa,
+                                   const Hypersphere& sb,
+                                   const Hypersphere& sq,
+                                   CertifiedTier* tier) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  auto resolve = [&](std::atomic<uint64_t>& counter, CertifiedTier t,
+                     Verdict v) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    if (tier != nullptr) *tier = t;
+    return v;
+  };
+  auto settle = [&](const TierOutcome& o, std::atomic<uint64_t>& counter,
+                    CertifiedTier t, Verdict* v) {
+    if (o.negative) {
+      *v = resolve(counter, t, Verdict::kNotDominates);
+      return true;
+    }
+    if (!o.uncertain) {
+      *v = resolve(counter, t, Verdict::kDominates);
+      return true;
+    }
+    return false;
+  };
+  Verdict v = Verdict::kUncertain;
+
+  // Tier 1: double quartic with certified root bounds.
+  const TierOutcome t1 = EvaluateMarginsT<double>(
+      sa, sb, sq, kBandDistance, kBandDistance,
+      [](double alpha, double rab, double y1, double y2) {
+        const CertifiedMinDist c =
+            HyperbolaMinDistCertified(alpha, rab, y1, y2);
+        return std::pair<double, double>(c.dmin, c.bound);
+      });
+  if (settle(t1, resolved_quartic_, CertifiedTier::kQuartic, &v)) return v;
+
+  // Tier 2: parametric refinement. Only worth running when the boundary
+  // margin is the sole source of doubt — it cannot sharpen the distance
+  // margins, but its fixed band often beats a pessimistic quartic bound.
+  if (t1.dmin_uncertain && !t1.other_uncertain) {
+    const TierOutcome t2 = EvaluateMarginsT<double>(
+        sa, sb, sq, kBandDistance, kBandParametric,
+        [](double alpha, double rab, double y1, double y2) {
+          return std::pair<double, double>(
+              HyperbolaMinDistParametric(alpha, rab, y1, y2), 0.0);
+        });
+    if (settle(t2, resolved_parametric_, CertifiedTier::kParametric, &v)) {
+      return v;
+    }
+  }
+
+  // Tier 3: long double re-evaluation of every margin. The boundary
+  // distance takes the min of the quartic kernel and the parametric scan —
+  // both are upper bounds (every candidate is a curve point), and the
+  // parametric one is conditioning-robust, so the min is accurate within
+  // the parametric band regardless of quartic conditioning.
+  const TierOutcome t3 = EvaluateMarginsT<long double>(
+      sa, sb, sq, static_cast<long double>(kBandLongDouble),
+      static_cast<long double>(kBandLongDouble),
+      [](long double alpha, long double rab, long double y1, long double y2) {
+        const long double k = hyperbola_internal::HyperbolaMinDistKernelT<
+            long double>(alpha, rab, y1, y2);
+        const long double p = hyperbola_internal::HyperbolaMinDistParametricT<
+            long double>(alpha, rab, y1, y2);
+        return std::pair<long double, long double>(std::min(k, p), 0.0L);
+      });
+  if (settle(t3, resolved_long_double_, CertifiedTier::kLongDouble, &v)) {
+    return v;
+  }
+
+  // Tier 4: the numeric oracle, as the last resort the escalation contract
+  // promises. Its band is the widest (dense scan in double), so it only
+  // decides calls where the structured tiers disagreed with themselves,
+  // e.g. margins the tier-3 guard refused to evaluate.
+  {
+    const double rab = sa.radius() + sb.radius();
+    const double focal = Dist(sa.center(), sb.center());
+    const double da = Dist(sq.center(), sa.center());
+    const double db = Dist(sq.center(), sb.center());
+    const double scale = focal + da + db + rab + sq.radius();
+    const double band =
+        kBandOracle * std::numeric_limits<double>::epsilon() * scale +
+        4.0 * std::sqrt(static_cast<double>(sa.dim()) *
+                        std::numeric_limits<double>::min());
+    const double mdd = MinDistanceDifference(sa, sb, sq);
+    const double m = std::min(focal - rab, mdd - rab);
+    if (m <= -band) {
+      return resolve(resolved_oracle_, CertifiedTier::kOracle,
+                     Verdict::kNotDominates);
+    }
+    if (m > band) {
+      return resolve(resolved_oracle_, CertifiedTier::kOracle,
+                     Verdict::kDominates);
+    }
+  }
+
+  uncertain_.fetch_add(1, std::memory_order_relaxed);
+  if (tier != nullptr) *tier = CertifiedTier::kUnresolved;
+  return Verdict::kUncertain;
+}
+
+CertifiedStats CertifiedDominance::stats() const {
+  CertifiedStats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.resolved_quartic = resolved_quartic_.load(std::memory_order_relaxed);
+  s.resolved_parametric = resolved_parametric_.load(std::memory_order_relaxed);
+  s.resolved_long_double =
+      resolved_long_double_.load(std::memory_order_relaxed);
+  s.resolved_oracle = resolved_oracle_.load(std::memory_order_relaxed);
+  s.uncertain = uncertain_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CertifiedDominance::ResetStats() const {
+  calls_.store(0, std::memory_order_relaxed);
+  resolved_quartic_.store(0, std::memory_order_relaxed);
+  resolved_parametric_.store(0, std::memory_order_relaxed);
+  resolved_long_double_.store(0, std::memory_order_relaxed);
+  resolved_oracle_.store(0, std::memory_order_relaxed);
+  uncertain_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hyperdom

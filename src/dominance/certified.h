@@ -1,0 +1,144 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Certified dominance verdicts: an error-bounded evaluation of the
+// Hyperbola predicate that knows when double arithmetic cannot be trusted
+// and escalates instead of returning a confidently wrong bool.
+//
+// The engine evaluates every margin the predicate depends on —
+//   * the overlap margin          Dist(ca, cb) - (ra + rb)   (Lemma 1),
+//   * the center-MDD margin       (db - da) - (ra + rb)      (cq ∈ Ra),
+//   * the boundary margin         dmin - rq                  (Step 2),
+// — together with a forward error band derived from the arithmetic that
+// produced it (running-error Horner bounds for the quartic roots, rounding
+// bands for the distance arithmetic). Any margin inside its band makes the
+// verdict kUncertain at that tier, and the engine escalates through
+//
+//   tier 1: double quartic with certified root bounds (O(d), the fast path)
+//   tier 2: double parametric refinement (conditioning-robust sampling)
+//   tier 3: long double re-evaluation via the templated kernels
+//   tier 4: the numeric oracle (dense scan + golden section)
+//
+// recording which tier resolved each call. Callers that prune on dominance
+// must treat kUncertain conservatively (never prune); see docs/robustness.md
+// for the error-bound model and its caveats.
+
+#ifndef HYPERDOM_DOMINANCE_CERTIFIED_H_
+#define HYPERDOM_DOMINANCE_CERTIFIED_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "dominance/criterion.h"
+
+namespace hyperdom {
+
+/// A minimum distance together with a conservative error estimate:
+/// the true minimum is believed to lie within [dmin - bound, dmin].
+/// (dmin itself is always an upper bound: every candidate is an actual
+/// curve point.) bound is +inf when the quartic roots were too
+/// ill-conditioned to certify — callers must escalate.
+struct CertifiedMinDist {
+  double dmin = 0.0;
+  double bound = 0.0;
+};
+
+/// \brief HyperbolaMinDistQuartic plus an error estimate.
+///
+/// Computes the candidate set of the quartic method, re-evaluating each
+/// root's candidates at lambda and lambda ± root_bound; the observed spread
+/// (plus a base rounding band) estimates how far the reported minimum can
+/// sit above the true one. Preconditions match HyperbolaMinDistQuartic.
+CertifiedMinDist HyperbolaMinDistCertified(double alpha, double rab,
+                                           double y1, double y2);
+
+/// \brief The unified dominance margin evaluated entirely in long double.
+///
+/// Returns min(overlap margin, center-MDD margin, boundary margin); the
+/// scene dominates iff the result is strictly positive. Used as tier 3 of
+/// the escalation chain and as the high-precision reference of the boundary
+/// fuzz harness.
+long double DominanceMarginLongDouble(const Hypersphere& sa,
+                                      const Hypersphere& sb,
+                                      const Hypersphere& sq);
+
+/// Which escalation tier produced a decisive verdict.
+enum class CertifiedTier {
+  kQuartic = 1,     ///< tier 1: double quartic with certified bounds
+  kParametric = 2,  ///< tier 2: double parametric refinement
+  kLongDouble = 3,  ///< tier 3: long double kernels
+  kOracle = 4,      ///< tier 4: numeric oracle
+  kUnresolved = 0,  ///< no tier could certify; verdict is kUncertain
+};
+
+/// Snapshot of an engine's per-tier resolution counters.
+struct CertifiedStats {
+  uint64_t calls = 0;
+  uint64_t resolved_quartic = 0;
+  uint64_t resolved_parametric = 0;
+  uint64_t resolved_long_double = 0;
+  uint64_t resolved_oracle = 0;
+  uint64_t uncertain = 0;
+
+  /// Fraction of calls that ended kUncertain (0 when no calls were made).
+  double UncertainRate() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(uncertain) /
+                            static_cast<double>(calls);
+  }
+};
+
+/// \brief The certified verdict engine.
+///
+/// Thread-compatible for concurrent Decide() calls (the counters are
+/// relaxed atomics); stats() is a racy-but-consistent snapshot.
+class CertifiedDominance {
+ public:
+  /// Decides Dom(sa, sb, sq) with certification, escalating as needed.
+  Verdict Decide(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const;
+
+  /// Same, reporting which tier resolved the call.
+  Verdict Decide(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq, CertifiedTier* tier) const;
+
+  CertifiedStats stats() const;
+  void ResetStats() const;
+
+ private:
+  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<uint64_t> resolved_quartic_{0};
+  mutable std::atomic<uint64_t> resolved_parametric_{0};
+  mutable std::atomic<uint64_t> resolved_long_double_{0};
+  mutable std::atomic<uint64_t> resolved_oracle_{0};
+  mutable std::atomic<uint64_t> uncertain_{0};
+};
+
+/// \brief DominanceCriterion adapter over CertifiedDominance.
+///
+/// Dominates() folds kUncertain to false (the conservative direction for
+/// pruning); DecideVerdict() exposes the three-valued result. Correct and
+/// sound outside the numeric error band — see docs/robustness.md for what
+/// the band means and when callers see kUncertain.
+class CertifiedCriterion final : public DominanceCriterion {
+ public:
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const override {
+    return engine_.Decide(sa, sb, sq) == Verdict::kDominates;
+  }
+  Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
+                        const Hypersphere& sq) const override {
+    return engine_.Decide(sa, sb, sq);
+  }
+  std::string_view name() const override { return "Certified"; }
+  bool is_correct() const override { return true; }
+  bool is_sound() const override { return true; }
+
+  const CertifiedDominance& engine() const { return engine_; }
+
+ private:
+  CertifiedDominance engine_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_DOMINANCE_CERTIFIED_H_

@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "dominance/certified.h"
 #include "dominance/gp.h"
 #include "dominance/hyperbola.h"
 #include "dominance/mbr_criterion.h"
@@ -27,9 +28,23 @@ std::unique_ptr<DominanceCriterion> MakeCriterion(CriterionKind kind) {
       return std::make_unique<HyperbolaCriterion>();
     case CriterionKind::kNumericOracle:
       return std::make_unique<NumericOracleCriterion>();
+    case CriterionKind::kCertified:
+      return std::make_unique<CertifiedCriterion>();
   }
   assert(false && "unknown criterion kind");
   return std::make_unique<HyperbolaCriterion>();
+}
+
+std::string_view VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kDominates:
+      return "Dominates";
+    case Verdict::kNotDominates:
+      return "NotDominates";
+    case Verdict::kUncertain:
+      return "Uncertain";
+  }
+  return "Unknown";
 }
 
 std::string_view CriterionKindName(CriterionKind kind) {
@@ -46,6 +61,8 @@ std::string_view CriterionKindName(CriterionKind kind) {
       return "Hyperbola";
     case CriterionKind::kNumericOracle:
       return "NumericOracle";
+    case CriterionKind::kCertified:
+      return "Certified";
   }
   return "Unknown";
 }

@@ -22,6 +22,22 @@
 
 namespace hyperdom {
 
+/// \brief Three-valued dominance verdict.
+///
+/// A plain bool criterion must commit to an answer even when the scene sits
+/// so close to the decision boundary that double rounding could have flipped
+/// it. Error-aware criteria instead return kUncertain in that regime, and
+/// callers that prune on dominance must treat kUncertain conservatively
+/// (i.e. never prune).
+enum class Verdict {
+  kDominates,     ///< dominance certified to hold
+  kNotDominates,  ///< dominance certified to fail
+  kUncertain,     ///< inside the numeric error band; do not trust either way
+};
+
+/// Display name: "Dominates", "NotDominates", "Uncertain".
+std::string_view VerdictName(Verdict v);
+
 /// \brief Abstract dominance decision criterion.
 ///
 /// Implementations are stateless and thread-compatible: a single instance
@@ -33,6 +49,17 @@ class DominanceCriterion {
   /// Decides Dom(sa, sb, sq). The three spheres must share a dimensionality.
   virtual bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
                          const Hypersphere& sq) const = 0;
+
+  /// \brief Three-valued decision.
+  ///
+  /// The default folds Dominates() onto {kDominates, kNotDominates};
+  /// error-aware criteria (CertifiedCriterion) override it and may return
+  /// kUncertain when the scene lies inside their numeric error band.
+  virtual Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
+                                const Hypersphere& sq) const {
+    return Dominates(sa, sb, sq) ? Verdict::kDominates
+                                 : Verdict::kNotDominates;
+  }
 
   /// Short display name ("Hyperbola", "MinMax", ...).
   virtual std::string_view name() const = 0;
@@ -52,6 +79,7 @@ enum class CriterionKind {
   kTrigonometric,  ///< adapted trigonometric criterion [12]; sound, not correct
   kHyperbola,      ///< the paper's contribution; correct, sound, O(d)
   kNumericOracle,  ///< reference 2-plane minimizer; exact but not O(d)-cheap
+  kCertified,      ///< error-bounded Hyperbola with escalation; three-valued
 };
 
 /// Instantiates a criterion. Never returns null.

@@ -7,141 +7,16 @@
 #include <cmath>
 #include <limits>
 
+#include "dominance/hyperbola_kernel.h"
 #include "geometry/focal_frame.h"
-#include "geometry/polynomial.h"
 
 namespace hyperdom {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Distance from (y1, y2) to the candidate curve point (x1, xp).
-inline double CandidateDist(double y1, double y2, double x1, double xp) {
-  const double d1 = y1 - x1;
-  const double d2 = y2 - xp;
-  return std::sqrt(d1 * d1 + d2 * d2);
-}
-
-// Adds the candidates of the lambda-singular branches of the Lagrange
-// system. The quartic derivation divides by (1 + a5*lambda) and
-// (1 + a4*lambda); when cq sits on the focal axis (y2 == 0) or on the
-// perpendicular bisector plane (y1 == 0) the corresponding factor may be
-// zero and the nearest point is missed by the quartic roots. The singular
-// candidates are genuine points of F(x) = 0, so including them
-// unconditionally can only tighten the minimum, never break it.
-double SingularBranchCandidates(double alpha, double rab, double y1,
-                                double y2) {
-  const double r2 = rab * rab;
-  const double al2 = alpha * alpha;
-  double best = kInf;
-
-  // Branch 1 + a5*lambda = 0 (relevant when y1 == 0):
-  //   xp = y2 * (4 alpha^2 - rab^2) / (4 alpha^2),
-  //   x1^2 = (4 r^2 alpha^2 + 4 r^2 xp^2 - r^4) / (16 alpha^2 - 4 r^2).
-  {
-    const double xp = y2 * (4.0 * al2 - r2) / (4.0 * al2);
-    const double num = 4.0 * r2 * al2 + 4.0 * r2 * xp * xp - r2 * r2;
-    const double den = 16.0 * al2 - 4.0 * r2;
-    const double x1_sq = num / den;
-    if (x1_sq >= 0.0) {
-      const double x1 = std::sqrt(x1_sq);
-      best = std::min(best, CandidateDist(y1, y2, x1, xp));
-      best = std::min(best, CandidateDist(y1, y2, -x1, xp));
-    }
-  }
-
-  // Branch 1 + a4*lambda = 0 (relevant when y2 == 0):
-  //   x1 = y1 * rab^2 / (4 alpha^2),
-  //   xp^2 = ((16 alpha^2 - 4 r^2) x1^2 - (4 r^2 alpha^2 - r^4)) / (4 r^2).
-  {
-    const double x1 = y1 * r2 / (4.0 * al2);
-    const double xp_sq =
-        ((16.0 * al2 - 4.0 * r2) * x1 * x1 - (4.0 * r2 * al2 - r2 * r2)) /
-        (4.0 * r2);
-    if (xp_sq >= 0.0) {
-      const double xp = std::sqrt(xp_sq);
-      best = std::min(best, CandidateDist(y1, y2, x1, xp));
-      best = std::min(best, CandidateDist(y1, y2, x1, -xp));
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 double HyperbolaMinDistQuartic(double alpha, double rab, double y1,
                                double y2) {
   assert(alpha > 0.0 && rab > 0.0 && rab < 2.0 * alpha && y2 >= 0.0);
-  // Normalize to alpha == 1: the quartic coefficients below scale like the
-  // 12th power of the scene scale, which destroys double precision for
-  // large coordinates; the minimum distance itself scales linearly.
-  if (alpha != 1.0) {
-    return alpha *
-           HyperbolaMinDistQuartic(1.0, rab / alpha, y1 / alpha, y2 / alpha);
-  }
-  const double r2 = rab * rab;
-  const double al2 = alpha * alpha;
-
-  // Coefficients of the paper's Section 4.3.2.
-  const double a1 = (16.0 * al2 - 4.0 * r2) * y1 * y1;
-  const double a2 = r2 * r2 - 4.0 * r2 * al2;
-  const double a3 = 4.0 * r2 * y2 * y2;
-  const double a4 = 4.0 * r2;
-  const double a5 = 4.0 * r2 - 16.0 * al2;
-
-  // Quartic in the Lagrange multiplier lambda (Eq. (14)).
-  const double A = a2 * a4 * a4 * a5 * a5;
-  const double B = 2.0 * a2 * a4 * a4 * a5 + 2.0 * a2 * a4 * a5 * a5;
-  const double C = a1 * a4 * a4 + a2 * a4 * a4 + 4.0 * a2 * a4 * a5 +
-                   a2 * a5 * a5 - a3 * a5 * a5;
-  const double D = 2.0 * a1 * a4 + 2.0 * a2 * a4 + 2.0 * a2 * a5 -
-                   2.0 * a3 * a5;
-  const double E = a1 + a2 - a3;
-
-  // Clearing the denominators (1 + a4*lambda), (1 + a5*lambda) while
-  // deriving Eq. (14) can introduce roots whose candidate point does NOT
-  // satisfy F(x) = 0 (e.g. whenever cq lies on or near the focal axis or
-  // the bisector plane, where the true critical points live on the
-  // singular branches below), and an off-curve candidate can report a
-  // distance BELOW the true minimum — a soundness bug. Every candidate is
-  // therefore SNAPPED onto the hyperbola before measuring: fixing one of
-  // its coordinates, the other follows from the curve equation
-  // x1^2/A^2 - xp^2/B^2 = 1 (semi-axes A = rab/2, B = sqrt(alpha^2-A^2)),
-  // so each reported distance is realized by an actual curve point and can
-  // never undercut the minimum. In exact arithmetic the candidate set
-  // contains the global minimizer, so the minimum is not overshot either.
-  const double semi_a = 0.5 * rab;
-  const double semi_b_sq = al2 - semi_a * semi_a;
-  const double semi_b = std::sqrt(semi_b_sq);
-
-  double best = kInf;
-  auto consider = [&](double x1, double xp) {
-    const double d = CandidateDist(y1, y2, x1, xp);
-    if (std::isfinite(d)) best = std::min(best, d);
-  };
-  // The two vertices are always curve points; they also cover candidates
-  // whose snapped coordinates degenerate.
-  consider(-semi_a, 0.0);
-  consider(semi_a, 0.0);
-  for (double lambda : SolveQuartic(A, B, C, D, E)) {
-    const double den1 = 1.0 + a5 * lambda;
-    const double den2 = 1.0 + a4 * lambda;
-    if (std::abs(den1) < 1e-300 || std::abs(den2) < 1e-300) continue;
-    const double x1 = y1 / den1;        // Eq. (12)
-    const double xp = std::abs(y2 / den2);  // Eq. (13), folded to xp >= 0
-    const double sheet = x1 >= 0.0 ? 1.0 : -1.0;
-    // Snap keeping xp: x1' = sheet * A * sqrt(1 + (xp/B)^2).
-    consider(sheet * semi_a * std::sqrt(1.0 + xp * xp / semi_b_sq), xp);
-    // Snap keeping x1: xp' = B * sqrt((x1/A)^2 - 1), when |x1| >= A.
-    const double ratio_sq = (x1 / semi_a) * (x1 / semi_a);
-    if (ratio_sq >= 1.0) {
-      consider(x1, semi_b * std::sqrt(ratio_sq - 1.0));
-    }
-  }
-
-  best = std::min(best, SingularBranchCandidates(alpha, rab, y1, y2));
-
+  double best =
+      hyperbola_internal::HyperbolaMinDistKernelT<double>(alpha, rab, y1, y2);
   if (!std::isfinite(best)) {
     // Defensive: rounding produced no usable candidate (never observed in
     // the test sweeps). Fall back to the parametric reference rather than
@@ -151,75 +26,11 @@ double HyperbolaMinDistQuartic(double alpha, double rab, double y1,
   return best;
 }
 
-namespace {
-
-// Distance from (y1, y2) to one sheet of the hyperbola, parametrized as
-// x1 = sign * a * cosh(t), xp = b * sinh(t) with t >= 0 covering the
-// half-plane xp >= 0 (sufficient since y2 >= 0 and the curve is symmetric).
-double SheetMinDist(double a, double b, double sign, double y1, double y2) {
-  auto dist_at = [&](double t) {
-    const double x1 = sign * a * std::cosh(t);
-    const double xp = b * std::sinh(t);
-    return CandidateDist(y1, y2, x1, xp);
-  };
-
-  // The minimizer cannot be farther along the sheet than where the
-  // off-axis coordinate alone already exceeds the distance to the vertex.
-  const double vertex_dist = dist_at(0.0);
-  double t_max = std::asinh((y2 + vertex_dist) / b) + 1.0;
-  t_max = std::min(t_max, 700.0);  // cosh overflow guard
-
-  constexpr int kSamples = 512;
-  double best_t = 0.0;
-  double best_d = vertex_dist;
-  for (int i = 1; i <= kSamples; ++i) {
-    const double t = t_max * static_cast<double>(i) / kSamples;
-    const double d = dist_at(t);
-    if (d < best_d) {
-      best_d = d;
-      best_t = t;
-    }
-  }
-
-  // Golden-section refinement on the bracket around the best sample.
-  const double step = t_max / kSamples;
-  double lo = std::max(0.0, best_t - step);
-  double hi = std::min(t_max, best_t + step);
-  constexpr double kGolden = 0.6180339887498949;
-  double x1 = hi - kGolden * (hi - lo);
-  double x2 = lo + kGolden * (hi - lo);
-  double f1 = dist_at(x1);
-  double f2 = dist_at(x2);
-  for (int iter = 0; iter < 80; ++iter) {
-    if (f1 < f2) {
-      hi = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = hi - kGolden * (hi - lo);
-      f1 = dist_at(x1);
-    } else {
-      lo = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = lo + kGolden * (hi - lo);
-      f2 = dist_at(x2);
-    }
-  }
-  return std::min({best_d, f1, f2});
-}
-
-}  // namespace
-
 double HyperbolaMinDistParametric(double alpha, double rab, double y1,
                                   double y2) {
   assert(alpha > 0.0 && rab > 0.0 && rab < 2.0 * alpha && y2 >= 0.0);
-  const double a = 0.5 * rab;               // semi-major axis
-  const double b2 = alpha * alpha - a * a;  // semi-minor axis squared
-  const double b = std::sqrt(b2);
-  // Near sheet (around the focus at -alpha) and far sheet.
-  const double near = SheetMinDist(a, b, -1.0, y1, y2);
-  const double far = SheetMinDist(a, b, +1.0, y1, y2);
-  return std::min(near, far);
+  return hyperbola_internal::HyperbolaMinDistParametricT<double>(alpha, rab,
+                                                                 y1, y2);
 }
 
 bool HyperbolaCriterion::Dominates(const Hypersphere& sa,

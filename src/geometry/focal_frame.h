@@ -15,6 +15,8 @@
 #ifndef HYPERDOM_GEOMETRY_FOCAL_FRAME_H_
 #define HYPERDOM_GEOMETRY_FOCAL_FRAME_H_
 
+#include <cmath>
+
 #include "geometry/point.h"
 
 namespace hyperdom {
@@ -48,6 +50,47 @@ FocalFrame BuildFocalFrame(const Point& ca, const Point& cb, const Point& cq);
 /// synthesized; by rotational symmetry any choice is equivalent.
 Point LiftFromFrame(const FocalFrame& frame, const Point& cq, double t1,
                     double t2);
+
+/// Precision-generic reduction of BuildFocalFrame: just the three scalars
+/// (alpha, y1, y2) the Hyperbola predicate needs, computed entirely in T.
+/// The certified dominance engine instantiates this at long double to
+/// re-derive the frame without double rounding; at T = double it mirrors
+/// BuildFocalFrame's operation order exactly.
+template <typename T>
+struct FocalCoords {
+  T alpha = T(0);
+  T y1 = T(0);
+  T y2 = T(0);
+};
+
+template <typename T>
+FocalCoords<T> ComputeFocalCoords(const Point& ca, const Point& cb,
+                                  const Point& cq) {
+  const size_t dim = ca.size();
+  FocalCoords<T> out;
+  T focal_sq = T(0);
+  for (size_t i = 0; i < dim; ++i) {
+    const T diff = T(cb[i]) - T(ca[i]);
+    focal_sq += diff * diff;
+  }
+  const T focal = std::sqrt(focal_sq);
+  out.alpha = T(0.5) * focal;
+  if (focal == T(0)) return out;
+  const T inv = T(1) / focal;
+  T y1 = T(0);
+  T rel_sq = T(0);
+  for (size_t i = 0; i < dim; ++i) {
+    const T mid = T(0.5) * (T(ca[i]) + T(cb[i]));
+    const T rel = T(cq[i]) - mid;
+    const T axis = (T(cb[i]) - T(ca[i])) * inv;
+    y1 += rel * axis;
+    rel_sq += rel * rel;
+  }
+  out.y1 = y1;
+  const T perp_sq = rel_sq - y1 * y1;
+  out.y2 = perp_sq > T(0) ? std::sqrt(perp_sq) : T(0);
+  return out;
+}
 
 }  // namespace hyperdom
 

@@ -11,7 +11,24 @@ namespace hyperdom {
 
 Hypersphere::Hypersphere(Point center, double radius)
     : center_(std::move(center)), radius_(radius) {
-  assert(radius_ >= 0.0 && "hypersphere radius must be non-negative");
+  assert(Validate().ok() &&
+         "hypersphere needs a finite center and a finite radius >= 0");
+}
+
+Status Hypersphere::Validate(const Point& center, double radius) {
+  for (size_t i = 0; i < center.size(); ++i) {
+    if (!std::isfinite(center[i])) {
+      return Status::InvalidArgument("non-finite center coordinate " +
+                                     std::to_string(i));
+    }
+  }
+  if (!std::isfinite(radius)) {
+    return Status::InvalidArgument("non-finite radius");
+  }
+  if (radius < 0.0) {
+    return Status::InvalidArgument("negative radius");
+  }
+  return Status::OK();
 }
 
 bool Hypersphere::Contains(const Point& p) const {

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "common/status.h"
 #include "geometry/point.h"
 
 namespace hyperdom {
@@ -21,8 +22,21 @@ class Hypersphere {
  public:
   Hypersphere() = default;
 
-  /// Constructs a hypersphere. `radius` must be >= 0 (asserted).
+  /// Constructs a hypersphere. `radius` must be >= 0 and every component
+  /// (center coordinates and radius) finite; both are asserted in debug
+  /// builds. Untrusted inputs should be checked with Validate() first.
   Hypersphere(Point center, double radius);
+
+  /// \brief Checks candidate components before construction.
+  ///
+  /// Returns InvalidArgument naming the first violation: a non-finite
+  /// center coordinate, or a non-finite or negative radius. Loaders wrap
+  /// the message into kCorruption with row context (data/csv.cc).
+  static Status Validate(const Point& center, double radius);
+
+  /// Validates this sphere's invariants (trivially OK for spheres built
+  /// through the asserting constructor, useful after deserialization).
+  Status Validate() const { return Validate(center_, radius_); }
 
   /// A point treated as a radius-zero hypersphere.
   static Hypersphere FromPoint(Point p) { return Hypersphere(std::move(p), 0.0); }

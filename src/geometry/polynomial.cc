@@ -6,183 +6,113 @@
 #include <cmath>
 #include <limits>
 
+#include "geometry/polynomial_kernel.h"
+
 namespace hyperdom {
 
 namespace {
 
-// Relative tolerance used when collapsing near-identical roots. The
-// dominance predicate is decided by comparing distances derived from these
-// roots, so a duplicated root is harmless — deduplication just keeps root
-// lists tidy for callers and tests.
-constexpr double kDedupeRelTol = 1e-9;
-
-void SortAndDedupe(std::vector<double>* roots) {
-  std::sort(roots->begin(), roots->end());
-  auto nearly_equal = [](double a, double b) {
-    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
-    return std::abs(a - b) <= kDedupeRelTol * scale;
-  };
-  roots->erase(std::unique(roots->begin(), roots->end(), nearly_equal),
-               roots->end());
+// Second-derivative evaluation (descending-degree convention), used to
+// detect root clusters where the first-order error bound is invalid.
+double EvaluateSecondDerivative(const std::vector<double>& coeffs, double x) {
+  const size_t n = coeffs.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i + 2 < n; ++i) {
+    const double k = static_cast<double>(n - 1 - i);
+    acc = acc * x + coeffs[i] * k * (k - 1.0);
+  }
+  return acc;
 }
 
 }  // namespace
 
 std::vector<double> SolveLinear(double a, double b) {
-  if (a == 0.0) return {};
-  return {-b / a};
+  return polynomial_internal::SolveLinearT<double>(a, b);
 }
 
 std::vector<double> SolveQuadratic(double a, double b, double c) {
-  if (a == 0.0) return SolveLinear(b, c);
-  const double disc = b * b - 4.0 * a * c;
-  if (disc < 0.0) return {};
-  if (disc == 0.0) return {-b / (2.0 * a)};
-  // Stable form: compute the larger-magnitude root first, derive the other
-  // from the product c/a to avoid catastrophic cancellation.
-  const double sqrt_disc = std::sqrt(disc);
-  const double q = -0.5 * (b + (b >= 0.0 ? sqrt_disc : -sqrt_disc));
-  std::vector<double> roots = {q / a, c / q};
-  SortAndDedupe(&roots);
-  return roots;
+  return polynomial_internal::SolveQuadraticT<double>(a, b, c);
 }
 
 std::vector<double> SolveCubic(double a, double b, double c, double d) {
-  if (a == 0.0) return SolveQuadratic(b, c, d);
-  // Normalize to x^3 + B x^2 + C x + D.
-  const double B = b / a;
-  const double C = c / a;
-  const double D = d / a;
-  // Depress: x = t - B/3  ->  t^3 + p t + q.
-  const double shift = B / 3.0;
-  const double p = C - B * B / 3.0;
-  const double q = 2.0 * B * B * B / 27.0 - B * C / 3.0 + D;
-
-  std::vector<double> roots;
-  const double half_q = 0.5 * q;
-  const double third_p = p / 3.0;
-  const double disc = half_q * half_q + third_p * third_p * third_p;
-  if (disc > 0.0) {
-    // One real root (Cardano).
-    const double s = std::sqrt(disc);
-    const double u = std::cbrt(-half_q + s);
-    const double v = std::cbrt(-half_q - s);
-    roots.push_back(u + v - shift);
-  } else if (disc == 0.0) {
-    if (half_q == 0.0) {
-      roots.push_back(-shift);  // Triple root.
-    } else {
-      const double u = std::cbrt(-half_q);
-      roots.push_back(2.0 * u - shift);
-      roots.push_back(-u - shift);
-    }
-  } else {
-    // Three distinct real roots (trigonometric method).
-    const double r = std::sqrt(-third_p);
-    const double theta = std::acos(std::clamp(
-        -half_q / (r * r * r), -1.0, 1.0));
-    for (int k = 0; k < 3; ++k) {
-      roots.push_back(2.0 * r * std::cos((theta + 2.0 * M_PI * k) / 3.0) -
-                      shift);
-    }
-  }
-  // Polish against the original (un-normalized) coefficients.
-  const std::vector<double> coeffs = {a, b, c, d};
-  for (double& root : roots) root = PolishRoot(coeffs, root);
-  SortAndDedupe(&roots);
-  return roots;
+  return polynomial_internal::SolveCubicT<double>(a, b, c, d);
 }
 
 std::vector<double> SolveQuartic(double a, double b, double c, double d,
                                  double e) {
-  if (a == 0.0) return SolveCubic(b, c, d, e);
-  // Normalize to x^4 + B x^3 + C x^2 + D x + E.
-  const double B = b / a;
-  const double C = c / a;
-  const double D = d / a;
-  const double E = e / a;
-  // Depress: x = y - B/4  ->  y^4 + p y^2 + q y + r.
-  const double shift = B / 4.0;
-  const double B2 = B * B;
-  const double p = C - 3.0 * B2 / 8.0;
-  const double q = D - B * C / 2.0 + B2 * B / 8.0;
-  const double r =
-      E - B * D / 4.0 + B2 * C / 16.0 - 3.0 * B2 * B2 / 256.0;
-
-  std::vector<double> roots;
-  if (std::abs(q) < 1e-14 * std::max({1.0, std::abs(p), std::abs(r)})) {
-    // Biquadratic: y^4 + p y^2 + r = 0.
-    for (double z : SolveQuadratic(1.0, p, r)) {
-      if (z < 0.0) continue;
-      const double y = std::sqrt(z);
-      roots.push_back(y - shift);
-      roots.push_back(-y - shift);
-    }
-  } else {
-    // Ferrari: find m > 0 with the resolvent cubic
-    //   m^3 + p m^2 + (p^2/4 - r) m - q^2/8 = 0   (m = 2 z - p form folded).
-    // Using the standard resolvent for y^4 + p y^2 + q y + r:
-    //   8 m^3 + 8 p m^2 + (2 p^2 - 8 r) m - q^2 = 0.
-    std::vector<double> ms =
-        SolveCubic(8.0, 8.0 * p, 2.0 * p * p - 8.0 * r, -q * q);
-    double m = std::numeric_limits<double>::quiet_NaN();
-    for (double cand : ms) {
-      if (cand > 0.0 && (!std::isfinite(m) || cand > m)) m = cand;
-    }
-    if (!std::isfinite(m) || m <= 0.0) {
-      // q != 0 guarantees a positive resolvent root in exact arithmetic; if
-      // rounding produced none, take the largest root clamped positive.
-      m = 0.0;
-      for (double cand : ms) m = std::max(m, cand);
-      if (m <= 0.0) m = 1e-300;
-    }
-    // y^4 + p y^2 + q y + r = (y^2 + m' y + s1)(y^2 - m' y + s2) with
-    // m' = sqrt(2 m), s_{1,2} = p/2 + m -/+ q / (2 m').
-    const double mp = std::sqrt(2.0 * m);
-    const double s1 = p / 2.0 + m - q / (2.0 * mp);
-    const double s2 = p / 2.0 + m + q / (2.0 * mp);
-    for (double y : SolveQuadratic(1.0, mp, s1)) roots.push_back(y - shift);
-    for (double y : SolveQuadratic(1.0, -mp, s2)) roots.push_back(y - shift);
-  }
-
-  const std::vector<double> coeffs = {a, b, c, d, e};
-  for (double& root : roots) root = PolishRoot(coeffs, root);
-  SortAndDedupe(&roots);
-  return roots;
+  return polynomial_internal::SolveQuarticT<double>(a, b, c, d, e);
 }
 
 double EvaluatePolynomial(const std::vector<double>& coeffs, double x) {
-  double acc = 0.0;
-  for (double coef : coeffs) acc = acc * x + coef;
-  return acc;
+  return polynomial_internal::EvaluateT<double>(coeffs, x);
 }
 
 double EvaluatePolynomialDerivative(const std::vector<double>& coeffs,
                                     double x) {
-  const size_t n = coeffs.size();
-  if (n < 2) return 0.0;
-  double acc = 0.0;
-  for (size_t i = 0; i + 1 < n; ++i) {
-    const double power = static_cast<double>(n - 1 - i);
-    acc = acc * x + coeffs[i] * power;
-  }
-  return acc;
+  return polynomial_internal::EvaluateDerivativeT<double>(coeffs, x);
 }
 
 double PolishRoot(const std::vector<double>& coeffs, double x0) {
-  double x = x0;
-  for (int iter = 0; iter < 8; ++iter) {
-    const double f = EvaluatePolynomial(coeffs, x);
-    if (f == 0.0) break;
-    const double df = EvaluatePolynomialDerivative(coeffs, x);
-    if (df == 0.0) break;
-    const double next = x - f / df;
-    if (!std::isfinite(next)) break;
-    // Accept only improving steps so polishing can never make a root worse.
-    if (std::abs(EvaluatePolynomial(coeffs, next)) >= std::abs(f)) break;
-    x = next;
+  return polynomial_internal::PolishRootT<double>(coeffs, x0);
+}
+
+PolynomialEval EvaluatePolynomialWithError(const std::vector<double>& coeffs,
+                                           double x) {
+  PolynomialEval out;
+  if (coeffs.empty()) return out;
+  // Higham Alg. 5.1: y_k = y_{k-1}*x + c_k has rounding error bounded by
+  // u*(|y_{k-1}*x| + |y_k|) <= u*(mu_k-ish); the recurrence below
+  // accumulates mu so that the final bound u*(2*mu - |y|) dominates the sum
+  // of all per-step errors, each inflated by the factor by which later
+  // steps can amplify it.
+  const double u = 0.5 * std::numeric_limits<double>::epsilon();
+  const double ax = std::abs(x);
+  double y = coeffs[0];
+  double mu = 0.5 * std::abs(y);
+  for (size_t i = 1; i < coeffs.size(); ++i) {
+    y = y * x + coeffs[i];
+    mu = mu * ax + std::abs(y);
   }
-  return x;
+  out.value = y;
+  out.error_bound = u * (2.0 * mu - std::abs(y));
+  if (!std::isfinite(out.error_bound)) {
+    out.error_bound = std::numeric_limits<double>::infinity();
+  }
+  return out;
+}
+
+std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
+                                                  double c, double d,
+                                                  double e) {
+  const std::vector<double> coeffs = {a, b, c, d, e};
+  const std::vector<double> roots = SolveQuartic(a, b, c, d, e);
+  std::vector<CertifiedRoot> out;
+  out.reserve(roots.size());
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double r : roots) {
+    CertifiedRoot cert;
+    cert.root = r;
+    const PolynomialEval ev = EvaluatePolynomialWithError(coeffs, r);
+    // Everything we know about the residual: it lies within
+    // |p(r)| + horner_err of zero.
+    const double residual = std::abs(ev.value) + ev.error_bound;
+    const double dp = std::abs(EvaluatePolynomialDerivative(coeffs, r));
+    const double d2 = std::abs(EvaluateSecondDerivative(coeffs, r));
+    // First-order bound |r - r*| <= residual / |p'(r)| is only valid while
+    // the derivative dominates the curvature over that interval:
+    // |p'(r)| * delta > (|p''(r)|/2) * delta^2 at delta = bound, i.e.
+    // dp^2 > residual * d2 up to the safety factor 4.
+    if (dp > 0.0 && std::isfinite(residual) && dp * dp > 4.0 * residual * d2) {
+      cert.error_bound = residual / dp;
+    } else if (residual == 0.0) {
+      cert.error_bound = 0.0;
+    } else {
+      cert.error_bound = inf;
+    }
+    out.push_back(cert);
+  }
+  return out;
 }
 
 }  // namespace hyperdom

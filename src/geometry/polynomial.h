@@ -4,6 +4,14 @@
 // Newton polishing. The Hyperbola algorithm reduces the minimum-distance
 // problem (paper Section 4.3.2) to the quartic of Eq. (14); solving it in
 // O(1) is what makes the whole predicate O(d).
+//
+// Implementations live in polynomial_kernel.h as precision-generic
+// templates; this header is the stable double-precision surface. The
+// *WithError / *WithBounds entry points additionally certify their results:
+// every returned value carries a forward error bound derived from a
+// running-error Horner analysis (Higham, "Accuracy and Stability of
+// Numerical Algorithms", Alg. 5.1), which the certified dominance engine
+// uses to decide when double arithmetic cannot be trusted.
 
 #ifndef HYPERDOM_GEOMETRY_POLYNOMIAL_H_
 #define HYPERDOM_GEOMETRY_POLYNOMIAL_H_
@@ -22,14 +30,17 @@ std::vector<double> SolveLinear(double a, double b);
 std::vector<double> SolveQuadratic(double a, double b, double c);
 
 /// Real roots (ascending, deduplicated) of a*x^3 + b*x^2 + c*x + d = 0.
-/// Falls back to the quadratic solver when a == 0. Three-real-root cases use
+/// Falls back to the quadratic solver when the leading coefficient is
+/// negligible relative to the largest coefficient (see
+/// polynomial_internal::kDegenerateLeadingTol). Three-real-root cases use
 /// the trigonometric method; single-root cases use Cardano.
 std::vector<double> SolveCubic(double a, double b, double c, double d);
 
 /// Real roots (ascending, deduplicated) of
 /// a*x^4 + b*x^3 + c*x^2 + d*x + e = 0.
-/// Falls back to the cubic solver when a == 0. Uses Ferrari's method via the
-/// resolvent cubic, then Newton-polishes every root against the original
+/// Falls back to the cubic solver when the leading coefficient is
+/// negligible relative to the largest coefficient. Uses Ferrari's method via
+/// the resolvent cubic, then Newton-polishes every root against the original
 /// coefficients.
 std::vector<double> SolveQuartic(double a, double b, double c, double d,
                                  double e);
@@ -47,6 +58,45 @@ double EvaluatePolynomialDerivative(const std::vector<double>& coeffs,
 /// Returns the (possibly unimproved) final iterate; never diverges to
 /// NaN/inf — iteration stops if the step is not finite. Exposed for tests.
 double PolishRoot(const std::vector<double>& coeffs, double x0);
+
+/// A Horner evaluation together with a rigorous forward error bound:
+/// the exact value of the polynomial at x lies within
+/// [value - error_bound, value + error_bound].
+struct PolynomialEval {
+  double value = 0.0;
+  double error_bound = 0.0;
+};
+
+/// \brief Horner evaluation with a running forward error bound.
+///
+/// Implements Higham's running error analysis: alongside the Horner
+/// recurrence y <- y*x + c_i it accumulates mu <- mu*|x| + |y| and returns
+/// error_bound = u * (2*mu - |y|) with u the unit roundoff. The bound is
+/// rigorous for any coefficients and any x (barring overflow, where the
+/// bound becomes +inf).
+PolynomialEval EvaluatePolynomialWithError(const std::vector<double>& coeffs,
+                                           double x);
+
+/// A polished real root together with a conservative error bound on its
+/// distance from the nearby exact root. `error_bound` is +inf when the root
+/// is too ill-conditioned for the first-order bound to be trusted (root
+/// clusters / vanishing derivative) — callers must then escalate precision
+/// rather than trust the root.
+struct CertifiedRoot {
+  double root = 0.0;
+  double error_bound = 0.0;
+};
+
+/// \brief SolveQuartic plus a per-root forward error bound.
+///
+/// For each polished root r the bound is (|p(r)| + horner_err(r)) / |p'(r)|,
+/// the classic residual/derivative estimate made rigorous by the running
+/// error analysis of the residual. When the linear model is invalid —
+/// |p'(r)|^2 <= 4 * (|p(r)| + horner_err) * |p''(r)|, i.e. the root is part
+/// of a cluster — the bound is +inf.
+std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
+                                                  double c, double d,
+                                                  double e);
 
 }  // namespace hyperdom
 

@@ -1,0 +1,247 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Precision-generic implementations of the closed-form real-root solvers
+// behind geometry/polynomial.h. The public double-precision API delegates to
+// these templates; the certified dominance engine (dominance/certified.h)
+// instantiates them at long double as an escalation tier when a double
+// verdict lands inside its own error band.
+//
+// The templates are faithful transcriptions of the original double code:
+// instantiated at T = double they perform bit-identical operations, so the
+// extensive polynomial/hyperbola test suites pin both precisions at once.
+
+#ifndef HYPERDOM_GEOMETRY_POLYNOMIAL_KERNEL_H_
+#define HYPERDOM_GEOMETRY_POLYNOMIAL_KERNEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace hyperdom {
+namespace polynomial_internal {
+
+// Relative tolerance used when collapsing near-identical roots. The
+// dominance predicate is decided by comparing distances derived from these
+// roots, so a duplicated root is harmless — deduplication just keeps root
+// lists tidy for callers and tests.
+inline constexpr double kDedupeRelTol = 1e-9;
+
+// Tolerance for the relative degree-degeneracy test below. The exact
+// `a == 0` test misclassifies near-degenerate polynomials: normalizing by a
+// vanishing leading term produces astronomically scaled depressed
+// coefficients and spurious or lost roots, while the lower-degree solve
+// (whose roots the Newton polish then refines) is well conditioned.
+template <typename T>
+inline constexpr T kDegenerateLeadingTol =
+    T(1024) * std::numeric_limits<T>::epsilon();
+
+// True when the leading coefficient contributes nothing even at the scale
+// of the reduced polynomial's roots: |a| * M <= tol * coeff_scale with M a
+// Cauchy bound (1 + max|c_i / b|) on those roots. A bare |a| <= tol * scale
+// ratio test is NOT enough — it misfires on genuine but badly scaled
+// polynomials (Ferrari resolvent cubics carry leading coefficient 8 next
+// to a constant term q^2 that can exceed 1e15), and dropping their cubic
+// term silently corrupts the quartic factorization downstream.
+template <typename T>
+bool LeadingCoefficientNegligibleT(T a, T b, std::initializer_list<T> rest) {
+  if (a == T(0)) return true;
+  if (b == T(0)) return false;  // the reduced polynomial would degenerate too
+  T coeff_scale = std::max(std::abs(a), std::abs(b));
+  T cauchy = T(1);
+  for (T c : rest) {
+    coeff_scale = std::max(coeff_scale, std::abs(c));
+    cauchy = std::max(cauchy, T(1) + std::abs(c / b));
+  }
+  return std::abs(a) * cauchy <= kDegenerateLeadingTol<T> * coeff_scale;
+}
+
+template <typename T>
+void SortAndDedupeT(std::vector<T>* roots) {
+  std::sort(roots->begin(), roots->end());
+  auto nearly_equal = [](T a, T b) {
+    const T scale = std::max({T(1), std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= T(kDedupeRelTol) * scale;
+  };
+  roots->erase(std::unique(roots->begin(), roots->end(), nearly_equal),
+               roots->end());
+}
+
+template <typename T>
+T EvaluateT(const std::vector<T>& coeffs, T x) {
+  T acc = T(0);
+  for (T coef : coeffs) acc = acc * x + coef;
+  return acc;
+}
+
+template <typename T>
+T EvaluateDerivativeT(const std::vector<T>& coeffs, T x) {
+  const size_t n = coeffs.size();
+  if (n < 2) return T(0);
+  T acc = T(0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const T power = static_cast<T>(n - 1 - i);
+    acc = acc * x + coeffs[i] * power;
+  }
+  return acc;
+}
+
+template <typename T>
+T PolishRootT(const std::vector<T>& coeffs, T x0) {
+  T x = x0;
+  for (int iter = 0; iter < 8; ++iter) {
+    const T f = EvaluateT(coeffs, x);
+    if (f == T(0)) break;
+    const T df = EvaluateDerivativeT(coeffs, x);
+    if (df == T(0)) break;
+    const T next = x - f / df;
+    if (!std::isfinite(next)) break;
+    // Accept only improving steps so polishing can never make a root worse.
+    if (std::abs(EvaluateT(coeffs, next)) >= std::abs(f)) break;
+    x = next;
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> SolveLinearT(T a, T b) {
+  if (a == T(0)) return {};
+  return {-b / a};
+}
+
+template <typename T>
+std::vector<T> SolveQuadraticT(T a, T b, T c) {
+  if (a == T(0)) return SolveLinearT(b, c);
+  const T disc = b * b - T(4) * a * c;
+  if (disc < T(0)) return {};
+  if (disc == T(0)) return {-b / (T(2) * a)};
+  // Stable form: compute the larger-magnitude root first, derive the other
+  // from the product c/a to avoid catastrophic cancellation.
+  const T sqrt_disc = std::sqrt(disc);
+  const T q = T(-0.5) * (b + (b >= T(0) ? sqrt_disc : -sqrt_disc));
+  std::vector<T> roots = {q / a, c / q};
+  SortAndDedupeT(&roots);
+  return roots;
+}
+
+template <typename T>
+std::vector<T> SolveCubicT(T a, T b, T c, T d) {
+  // Relative degeneracy test: a leading term negligible at the scale of
+  // the quadratic's roots yields better roots from the quadratic (the
+  // third "root" lives near infinity).
+  if (LeadingCoefficientNegligibleT(a, b, {c, d})) {
+    return SolveQuadraticT(b, c, d);
+  }
+  // Normalize to x^3 + B x^2 + C x + D.
+  const T B = b / a;
+  const T C = c / a;
+  const T D = d / a;
+  // Depress: x = t - B/3  ->  t^3 + p t + q.
+  const T shift = B / T(3);
+  const T p = C - B * B / T(3);
+  const T q = T(2) * B * B * B / T(27) - B * C / T(3) + D;
+
+  std::vector<T> roots;
+  const T half_q = T(0.5) * q;
+  const T third_p = p / T(3);
+  const T disc = half_q * half_q + third_p * third_p * third_p;
+  if (disc > T(0)) {
+    // One real root (Cardano).
+    const T s = std::sqrt(disc);
+    const T u = std::cbrt(-half_q + s);
+    const T v = std::cbrt(-half_q - s);
+    roots.push_back(u + v - shift);
+  } else if (disc == T(0)) {
+    if (half_q == T(0)) {
+      roots.push_back(-shift);  // Triple root.
+    } else {
+      const T u = std::cbrt(-half_q);
+      roots.push_back(T(2) * u - shift);
+      roots.push_back(-u - shift);
+    }
+  } else {
+    // Three distinct real roots (trigonometric method).
+    const T r = std::sqrt(-third_p);
+    const T theta = std::acos(std::clamp(
+        -half_q / (r * r * r), T(-1), T(1)));
+    for (int k = 0; k < 3; ++k) {
+      roots.push_back(T(2) * r *
+                          std::cos((theta + T(2) * std::numbers::pi_v<T> *
+                                                static_cast<T>(k)) /
+                                   T(3)) -
+                      shift);
+    }
+  }
+  // Polish against the original (un-normalized) coefficients.
+  const std::vector<T> coeffs = {a, b, c, d};
+  for (T& root : roots) root = PolishRootT(coeffs, root);
+  SortAndDedupeT(&roots);
+  return roots;
+}
+
+template <typename T>
+std::vector<T> SolveQuarticT(T a, T b, T c, T d, T e) {
+  // Same relative degeneracy test as the cubic.
+  if (LeadingCoefficientNegligibleT(a, b, {c, d, e})) {
+    return SolveCubicT(b, c, d, e);
+  }
+  // Normalize to x^4 + B x^3 + C x^2 + D x + E.
+  const T B = b / a;
+  const T C = c / a;
+  const T D = d / a;
+  const T E = e / a;
+  // Depress: x = y - B/4  ->  y^4 + p y^2 + q y + r.
+  const T shift = B / T(4);
+  const T B2 = B * B;
+  const T p = C - T(3) * B2 / T(8);
+  const T q = D - B * C / T(2) + B2 * B / T(8);
+  const T r =
+      E - B * D / T(4) + B2 * C / T(16) - T(3) * B2 * B2 / T(256);
+
+  std::vector<T> roots;
+  if (std::abs(q) < T(1e-14) * std::max({T(1), std::abs(p), std::abs(r)})) {
+    // Biquadratic: y^4 + p y^2 + r = 0.
+    for (T z : SolveQuadraticT(T(1), p, r)) {
+      if (z < T(0)) continue;
+      const T y = std::sqrt(z);
+      roots.push_back(y - shift);
+      roots.push_back(-y - shift);
+    }
+  } else {
+    // Ferrari: find m > 0 with the resolvent cubic
+    //   m^3 + p m^2 + (p^2/4 - r) m - q^2/8 = 0   (m = 2 z - p form folded).
+    // Using the standard resolvent for y^4 + p y^2 + q y + r:
+    //   8 m^3 + 8 p m^2 + (2 p^2 - 8 r) m - q^2 = 0.
+    std::vector<T> ms =
+        SolveCubicT(T(8), T(8) * p, T(2) * p * p - T(8) * r, -q * q);
+    T m = std::numeric_limits<T>::quiet_NaN();
+    for (T cand : ms) {
+      if (cand > T(0) && (!std::isfinite(m) || cand > m)) m = cand;
+    }
+    if (!std::isfinite(m) || m <= T(0)) {
+      // q != 0 guarantees a positive resolvent root in exact arithmetic; if
+      // rounding produced none, take the largest root clamped positive.
+      m = T(0);
+      for (T cand : ms) m = std::max(m, cand);
+      if (m <= T(0)) m = T(1e-300);
+    }
+    // y^4 + p y^2 + q y + r = (y^2 + m' y + s1)(y^2 - m' y + s2) with
+    // m' = sqrt(2 m), s_{1,2} = p/2 + m -/+ q / (2 m').
+    const T mp = std::sqrt(T(2) * m);
+    const T s1 = p / T(2) + m - q / (T(2) * mp);
+    const T s2 = p / T(2) + m + q / (T(2) * mp);
+    for (T y : SolveQuadraticT(T(1), mp, s1)) roots.push_back(y - shift);
+    for (T y : SolveQuadraticT(T(1), -mp, s2)) roots.push_back(y - shift);
+  }
+
+  const std::vector<T> coeffs = {a, b, c, d, e};
+  for (T& root : roots) root = PolishRootT(coeffs, root);
+  SortAndDedupeT(&roots);
+  return roots;
+}
+
+}  // namespace polynomial_internal
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_GEOMETRY_POLYNOMIAL_KERNEL_H_

@@ -43,8 +43,7 @@ void BestKnownList::Access(const DataEntry& entry) {
     return;
   }
   // case 2: the dominance operator decides.
-  ++stats_->dominance_checks;
-  if (criterion_->Dominates(items_[k_ - 1].entry.sphere, entry.sphere, *sq_)) {
+  if (CertainlyDominates(items_[k_ - 1].entry.sphere, entry.sphere)) {
     ++stats_->pruned_case2;
     // The interim Sk may not be the final Sk; park the entry so the final
     // filter can resurrect it (kDeferred keeps Definition 2 exact).
@@ -60,8 +59,7 @@ std::vector<DataEntry> BestKnownList::TakeAnswers() {
     const Hypersphere& sk = items_[k_ - 1].entry.sphere;
     std::vector<DataEntry> revived;
     for (const auto& entry : deferred_) {
-      ++stats_->dominance_checks;
-      if (!criterion_->Dominates(sk, entry.sphere, *sq_)) {
+      if (!CertainlyDominates(sk, entry.sphere)) {
         revived.push_back(entry);
       }
     }
@@ -73,6 +71,19 @@ std::vector<DataEntry> BestKnownList::TakeAnswers() {
   out.reserve(items_.size());
   for (auto& item : items_) out.push_back(std::move(item.entry));
   return out;
+}
+
+bool BestKnownList::CertainlyDominates(const Hypersphere& sa,
+                                       const Hypersphere& sb) {
+  ++stats_->dominance_checks;
+  const Verdict v = criterion_->DecideVerdict(sa, sb, *sq_);
+  if (v == Verdict::kUncertain) {
+    // Conservative direction: an uncertain dominance must never prune —
+    // keeping the entry can only add work, dropping it can lose an answer.
+    ++stats_->uncertain_verdicts;
+    return false;
+  }
+  return v == Verdict::kDominates;
 }
 
 void BestKnownList::InsertSorted(const DataEntry& entry, double distmax) {
@@ -88,8 +99,7 @@ void BestKnownList::EvictDominated(bool park) {
   const Hypersphere& sk = items_[k_ - 1].entry.sphere;
   auto keep = items_.begin() + static_cast<std::ptrdiff_t>(k_);
   for (auto it = keep; it != items_.end(); ++it) {
-    ++stats_->dominance_checks;
-    if (!criterion_->Dominates(sk, it->entry.sphere, *sq_)) {
+    if (!CertainlyDominates(sk, it->entry.sphere)) {
       if (keep != it) *keep = std::move(*it);
       ++keep;
     } else {

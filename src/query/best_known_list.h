@@ -48,6 +48,12 @@ class BestKnownList {
     double maxdist;
   };
 
+  /// One counted criterion call, three-valued: true only for a certified
+  /// kDominates. kUncertain counts in stats and answers false, so an
+  /// uncertain dominance can never prune an entry (conservative direction
+  /// for error-aware criteria; plain bool criteria are unaffected).
+  bool CertainlyDominates(const Hypersphere& sa, const Hypersphere& sb);
+
   void InsertSorted(const DataEntry& entry, double distmax);
   /// Removes every entry beyond position k that the current Sk dominates;
   /// with `park` they are kept aside for the final re-check.

@@ -17,6 +17,11 @@ namespace {
 // `min_dist(node)` must lower-bound MinDist(S, Sq) for every data sphere S
 // in the node's subtree; `visit(node, emit_entry, emit_child)` must emit
 // the node's own entries and its children.
+//
+// Every dominance decision funnels through BestKnownList, which asks the
+// criterion for a three-valued verdict and never prunes on kUncertain — so
+// the searchers below stay exact under an error-aware criterion without any
+// per-index handling.
 // ---------------------------------------------------------------------------
 
 template <typename Node, typename MinDistFn, typename VisitFn>

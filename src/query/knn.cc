@@ -117,7 +117,11 @@ KnnResult KnnLinearScan(const std::vector<Hypersphere>& data,
   for (const auto& [maxdist, id] : by_maxdist) {
     ++result.stats.entries_accessed;
     ++result.stats.dominance_checks;
-    if (!criterion.Dominates(sk, data[id], sq)) {
+    // Three-valued filter: an uncertain verdict keeps the entry (only a
+    // certified kDominates may drop an answer).
+    const Verdict v = criterion.DecideVerdict(sk, data[id], sq);
+    if (v == Verdict::kUncertain) ++result.stats.uncertain_verdicts;
+    if (v != Verdict::kDominates) {
       result.answers.push_back(DataEntry{data[id], id});
     } else {
       ++result.stats.pruned_case2;

@@ -45,6 +45,7 @@ struct KnnStats {
   uint64_t pruned_case2 = 0;       ///< entries dropped by dominance (case 2)
   uint64_t pruned_case3 = 0;       ///< entries dropped by distance (case 3)
   uint64_t removed_case1 = 0;      ///< list entries evicted after insert
+  uint64_t uncertain_verdicts = 0; ///< kUncertain verdicts (never pruned on)
 };
 
 /// Result of a kNN query.

@@ -1,0 +1,254 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Boundary fuzz harness for the certified verdict engine.
+//
+// Each scene pins the query radius to the exact dominance boundary
+// (rq = dmin, recovered in long double) and then sweeps rq across ±k ULPs
+// for k from 0 to ~10^6. For every perturbed triple the harness checks the
+// core robustness contract:
+//
+//   no decisive certified verdict may disagree with the high-precision
+//   ground truth, at any distance from the boundary;
+//
+// and the usefulness contract:
+//
+//   outside a ±4-ULP band around the boundary, the engine must almost
+//   always be decisive (uncertainty rate < 5%).
+//
+// The sweep runs >= 10^5 triples with a fixed seed so failures reproduce.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dominance/certified.h"
+#include "dominance/hyperbola.h"
+#include "geometry/focal_frame.h"
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+namespace {
+
+// One scene whose dominance boundary has been located in long double:
+// for rq near dmin_hp the unified margin is exactly dmin_hp - rq (the
+// distance margins are kept > dmin_hp + 0.5 by construction, so they never
+// bind near the boundary).
+struct BoundaryScene {
+  Hypersphere sa;
+  Hypersphere sb;
+  Point cq;
+  long double dmin_hp;  // boundary radius: dominance <=> rq < dmin_hp
+};
+
+Point RandomCenter(Rng* rng, size_t dim) {
+  Point p(dim);
+  for (auto& v : p) v = rng->Uniform(-10.0, 10.0);
+  return p;
+}
+
+// Rejection-samples a scene whose boundary margin is the binding one and
+// whose boundary radius is moderate (so ULP perturbations of rq are well
+// above the long double noise floor). Returns false when the candidate
+// fails a filter.
+bool TryMakeScene(Rng* rng, size_t dim, BoundaryScene* out) {
+  const Point ca = RandomCenter(rng, dim);
+  const double ra = rng->Uniform(0.1, 3.0);
+  const Point cb = RandomCenter(rng, dim);
+  const double rb = rng->Uniform(0.1, 3.0);
+  const double rab = ra + rb;
+  const double focal = Dist(ca, cb);
+  if (focal - rab < 0.5) return false;  // overlap margin must not bind
+
+  Point cq(dim);
+  for (size_t i = 0; i < dim; ++i) cq[i] = ca[i] + rng->Gaussian(0.0, 1.0);
+  const double da = Dist(cq, ca);
+  const double db = Dist(cq, cb);
+  const double c_margin_proxy = std::min(focal - rab, (db - da) - rab);
+  if (c_margin_proxy < 4.6) return false;
+
+  // Cheap double-precision proxy of the boundary radius before paying for
+  // the long double confirmation.
+  const FocalCoords<double> fc = ComputeFocalCoords<double>(ca, cb, cq);
+  const double dmin_proxy =
+      HyperbolaMinDistQuartic(fc.alpha, rab, fc.y1, fc.y2);
+  if (!(dmin_proxy > 4.05 && dmin_proxy < 39.9)) return false;
+  if (c_margin_proxy < dmin_proxy + 0.55) return false;
+
+  const Hypersphere sa(ca, ra);
+  const Hypersphere sb(cb, rb);
+  // rq = 0 returns exactly min(overlap margin, center-MDD margin).
+  const long double c_margin =
+      DominanceMarginLongDouble(sa, sb, Hypersphere(cq, 0.0));
+  // rq = 100 is far past any boundary here, so the returned margin is
+  // dmin - 100 and the boundary radius recovers exactly (to ~1e-17).
+  const long double dmin_hp =
+      DominanceMarginLongDouble(sa, sb, Hypersphere(cq, 100.0)) + 100.0L;
+  if (!(dmin_hp > 4.0L && dmin_hp < 40.0L)) return false;
+  if (!(c_margin > dmin_hp + 0.5L)) return false;
+
+  out->sa = sa;
+  out->sb = sb;
+  out->cq = cq;
+  out->dmin_hp = dmin_hp;
+  return true;
+}
+
+// rq perturbed k ULPs away from the boundary anchor (exact nextafter chain
+// for small |k|, one fused step for large |k|).
+double PerturbUlps(double x, long long k) {
+  const double inf = std::numeric_limits<double>::infinity();
+  if (std::llabs(k) <= 64) {
+    for (long long i = 0; i < std::llabs(k); ++i) {
+      x = std::nextafter(x, k > 0 ? inf : -inf);
+    }
+    return x;
+  }
+  const double ulp = std::nextafter(x, inf) - x;
+  return x + static_cast<double>(k) * ulp;
+}
+
+TEST(CertifiedFuzzTest, BoundaryPerturbationsNeverFoolTheEngine) {
+  constexpr int kScenes = 4000;
+  constexpr long long kUlpOffsets[] = {
+      0,  1,  -1, 2,   -2,   3,    -3,   4,       -4,      5,    -5, 6, -6,
+      8, -8, 16, -16, 64, -64, 256, -256, 4096, -4096, 1 << 20, -(1 << 20)};
+
+  const CertifiedDominance engine;
+  Rng rng(0xF5A2);
+  uint64_t triples = 0;
+  uint64_t disagreements = 0;
+  uint64_t uncertain_total = 0;
+  uint64_t outside_band = 0;
+  uint64_t outside_band_uncertain = 0;
+  uint64_t exact_ties = 0;
+
+  int made = 0;
+  int attempts = 0;
+  constexpr int kMaxAttempts = 2'000'000;
+  while (made < kScenes && attempts < kMaxAttempts) {
+    ++attempts;
+    BoundaryScene scene{Hypersphere({0.0}, 0.0), Hypersphere({0.0}, 0.0),
+                        Point{}, 0.0L};
+    const size_t dim = 2 + static_cast<size_t>(rng.UniformU64(4));
+    if (!TryMakeScene(&rng, dim, &scene)) continue;
+    ++made;
+
+    // Spot-check the cached-margin identity against a full re-evaluation:
+    // near the boundary the unified margin must equal dmin_hp - rq.
+    if (made % 500 == 1) {
+      const double rq_probe = static_cast<double>(scene.dmin_hp) - 1e-7;
+      const long double full = DominanceMarginLongDouble(
+          scene.sa, scene.sb, Hypersphere(scene.cq, rq_probe));
+      const long double cached =
+          scene.dmin_hp - static_cast<long double>(rq_probe);
+      ASSERT_NEAR(static_cast<double>(full - cached), 0.0, 1e-15);
+    }
+
+    const double rq_anchor = static_cast<double>(scene.dmin_hp);
+    for (long long k : kUlpOffsets) {
+      const double rq = PerturbUlps(rq_anchor, k);
+      ASSERT_GT(rq, 0.0);
+      const long double truth_margin =
+          scene.dmin_hp - static_cast<long double>(rq);
+      const Hypersphere sq(scene.cq, rq);
+      const Verdict v = engine.Decide(scene.sa, scene.sb, sq);
+      ++triples;
+
+      if (truth_margin == 0.0L) {
+        // A dead tie: dominance is (vacuously) false, but no finite
+        // precision distinguishes it from true; only record it.
+        ++exact_ties;
+        if (v == Verdict::kDominates) ++disagreements;
+        continue;
+      }
+      const bool truth = truth_margin > 0.0L;
+      if (v == Verdict::kUncertain) {
+        ++uncertain_total;
+      } else if ((v == Verdict::kDominates) != truth) {
+        ++disagreements;
+        ADD_FAILURE() << "decisive verdict disagrees with ground truth: k="
+                      << k << " rq=" << rq << " margin="
+                      << static_cast<double>(truth_margin)
+                      << " Sa=" << scene.sa.ToString()
+                      << " Sb=" << scene.sb.ToString()
+                      << " Sq=" << sq.ToString();
+      }
+
+      const double ulp = std::nextafter(rq, std::numeric_limits<double>::infinity()) - rq;
+      if (std::fabs(static_cast<double>(truth_margin)) > 4.0 * ulp) {
+        ++outside_band;
+        if (v == Verdict::kUncertain) ++outside_band_uncertain;
+      }
+    }
+  }
+
+  ASSERT_EQ(made, kScenes) << "scene rejection rate too high ("
+                           << attempts << " attempts)";
+  EXPECT_GE(triples, 100'000u);
+  EXPECT_EQ(disagreements, 0u);
+  // Usefulness: outside the ±4-ULP band the engine must be decisive almost
+  // always (< 5% uncertainty).
+  ASSERT_GT(outside_band, 0u);
+  EXPECT_LT(static_cast<double>(outside_band_uncertain),
+            0.05 * static_cast<double>(outside_band))
+      << outside_band_uncertain << " of " << outside_band
+      << " outside-band triples were uncertain";
+
+  const CertifiedStats stats = engine.stats();
+  EXPECT_EQ(stats.calls, triples);
+  // Large perturbations must resolve in the fast tier; sub-band ones must
+  // reach the long double tier rather than stay uncertain.
+  EXPECT_GT(stats.resolved_quartic, 0u);
+  EXPECT_GT(stats.resolved_long_double, 0u);
+  std::cout << "[fuzz] triples=" << triples << " scenes=" << made
+            << " disagreements=" << disagreements
+            << " exact_ties=" << exact_ties
+            << " uncertain=" << uncertain_total << " ("
+            << 100.0 * stats.UncertainRate() << "% of calls)\n"
+            << "[fuzz] outside ±4-ULP band: " << outside_band << " triples, "
+            << outside_band_uncertain << " uncertain ("
+            << (outside_band
+                    ? 100.0 * static_cast<double>(outside_band_uncertain) /
+                          static_cast<double>(outside_band)
+                    : 0.0)
+            << "%)\n"
+            << "[fuzz] tiers: quartic=" << stats.resolved_quartic
+            << " parametric=" << stats.resolved_parametric
+            << " long-double=" << stats.resolved_long_double
+            << " oracle=" << stats.resolved_oracle << "\n";
+}
+
+// A second, cheaper sweep: random *far-from-boundary* scenes must resolve
+// decisively in the fast tier with verdicts matching the ground truth sign.
+TEST(CertifiedFuzzTest, FarScenesResolveFastAndCorrectly) {
+  const CertifiedDominance engine;
+  Rng rng(0xF5A3);
+  uint64_t checked = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const size_t dim = 2 + static_cast<size_t>(rng.UniformU64(4));
+    Point ca = RandomCenter(&rng, dim);
+    Point cb = RandomCenter(&rng, dim);
+    Point cq = RandomCenter(&rng, dim);
+    const Hypersphere sa(std::move(ca), rng.Uniform(0.0, 3.0));
+    const Hypersphere sb(std::move(cb), rng.Uniform(0.0, 3.0));
+    const Hypersphere sq(std::move(cq), rng.Uniform(0.0, 3.0));
+    const long double margin = DominanceMarginLongDouble(sa, sb, sq);
+    if (std::fabs(static_cast<double>(margin)) < 1e-9) continue;  // razor edge
+    ++checked;
+    const Verdict v = engine.Decide(sa, sb, sq);
+    if (v == Verdict::kUncertain) continue;
+    EXPECT_EQ(v == Verdict::kDominates, margin > 0.0L)
+        << "Sa=" << sa.ToString() << " Sb=" << sb.ToString()
+        << " Sq=" << sq.ToString();
+  }
+  EXPECT_GT(checked, 15000u);
+  EXPECT_LT(engine.stats().UncertainRate(), 0.01);
+}
+
+}  // namespace
+}  // namespace hyperdom

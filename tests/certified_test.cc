@@ -1,0 +1,202 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Unit tests for the certified verdict engine: decisive verdicts on clearly
+// separated scenes (every special branch), deterministic uncertainty on
+// exact ties, tier accounting, adapter conservatism, and agreement with the
+// oracle on random non-borderline scenes.
+
+#include "dominance/certified.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dominance/hyperbola.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(CertifiedTest, ClearDominanceResolvesAtTierOne) {
+  // Sa sits between Sq and Sb with lots of slack on every margin.
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({20.0, 0.0}, 1.0);
+  const Hypersphere sq({-5.0, 0.0}, 1.0);
+  const CertifiedDominance engine;
+  CertifiedTier tier = CertifiedTier::kUnresolved;
+  EXPECT_EQ(engine.Decide(sa, sb, sq, &tier), Verdict::kDominates);
+  EXPECT_EQ(tier, CertifiedTier::kQuartic);
+}
+
+TEST(CertifiedTest, OverlapResolvesNotDominates) {
+  const Hypersphere sa({0.0, 0.0}, 2.0);
+  const Hypersphere sb({3.0, 0.0}, 2.0);  // overlaps Sa
+  const Hypersphere sq({-5.0, 0.0}, 1.0);
+  const CertifiedDominance engine;
+  CertifiedTier tier = CertifiedTier::kUnresolved;
+  EXPECT_EQ(engine.Decide(sa, sb, sq, &tier), Verdict::kNotDominates);
+  EXPECT_EQ(tier, CertifiedTier::kQuartic);
+}
+
+TEST(CertifiedTest, CenterMddFailureResolvesNotDominates) {
+  // Sq's center is closer to Sb than to Sa: the cq ∈ Ra condition fails.
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({10.0, 0.0}, 1.0);
+  const Hypersphere sq({9.0, 0.0}, 0.5);
+  const CertifiedDominance engine;
+  CertifiedTier tier = CertifiedTier::kUnresolved;
+  EXPECT_EQ(engine.Decide(sa, sb, sq, &tier), Verdict::kNotDominates);
+  EXPECT_EQ(tier, CertifiedTier::kQuartic);
+}
+
+TEST(CertifiedTest, PointQueryBranch) {
+  // rq == 0: the verdict reduces to the first two margins.
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({20.0, 0.0}, 1.0);
+  const Hypersphere sq = Hypersphere::FromPoint({-3.0, 0.0});
+  const CertifiedDominance engine;
+  EXPECT_EQ(engine.Decide(sa, sb, sq), Verdict::kDominates);
+  const Hypersphere sq_far = Hypersphere::FromPoint({10.0, 30.0});
+  EXPECT_EQ(engine.Decide(sa, sb, sq_far), Verdict::kNotDominates);
+}
+
+TEST(CertifiedTest, OneDimensionalBranch) {
+  const Hypersphere sa({0.0}, 1.0);
+  const Hypersphere sb({20.0}, 1.0);
+  EXPECT_EQ(CertifiedDominance().Decide(sa, sb, Hypersphere({-3.0}, 2.0)),
+            Verdict::kDominates);
+  EXPECT_EQ(CertifiedDominance().Decide(sa, sb, Hypersphere({8.0}, 4.0)),
+            Verdict::kNotDominates);
+}
+
+TEST(CertifiedTest, PointSpheresBisectorBranch) {
+  // ra + rb == 0: dominance degenerates to the perpendicular bisector.
+  const Hypersphere sa = Hypersphere::FromPoint({0.0, 0.0});
+  const Hypersphere sb = Hypersphere::FromPoint({10.0, 0.0});
+  EXPECT_EQ(CertifiedDominance().Decide(sa, sb, Hypersphere({2.0, 3.0}, 1.0)),
+            Verdict::kDominates);
+  // Sq reaches past the bisector.
+  EXPECT_EQ(CertifiedDominance().Decide(sa, sb, Hypersphere({4.0, 0.0}, 2.0)),
+            Verdict::kNotDominates);
+}
+
+TEST(CertifiedTest, ExactTieStaysUncertain) {
+  // Identical point spheres: every margin is exactly zero, no amount of
+  // precision can break the tie, and the honest answer is kUncertain.
+  const Hypersphere p = Hypersphere::FromPoint({1.0, 1.0});
+  const Hypersphere sq({3.0, 4.0}, 0.5);
+  const CertifiedDominance engine;
+  CertifiedTier tier = CertifiedTier::kQuartic;
+  EXPECT_EQ(engine.Decide(p, p, sq, &tier), Verdict::kUncertain);
+  EXPECT_EQ(tier, CertifiedTier::kUnresolved);
+  EXPECT_EQ(engine.stats().uncertain, 1u);
+}
+
+TEST(CertifiedTest, StatsCountEveryCallExactlyOnce) {
+  const CertifiedDominance engine;
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({20.0, 0.0}, 1.0);
+  const Hypersphere sq({-5.0, 0.0}, 1.0);
+  const Hypersphere tie = Hypersphere::FromPoint({1.0, 1.0});
+  for (int i = 0; i < 5; ++i) engine.Decide(sa, sb, sq);
+  for (int i = 0; i < 3; ++i) engine.Decide(tie, tie, sq);
+  const CertifiedStats stats = engine.stats();
+  EXPECT_EQ(stats.calls, 8u);
+  EXPECT_EQ(stats.resolved_quartic + stats.resolved_parametric +
+                stats.resolved_long_double + stats.resolved_oracle +
+                stats.uncertain,
+            stats.calls);
+  EXPECT_EQ(stats.uncertain, 3u);
+  EXPECT_NEAR(stats.UncertainRate(), 3.0 / 8.0, 1e-12);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().calls, 0u);
+  EXPECT_DOUBLE_EQ(engine.stats().UncertainRate(), 0.0);
+}
+
+TEST(CertifiedTest, CriterionAdapterFoldsUncertainToFalse) {
+  const CertifiedCriterion criterion;
+  const Hypersphere tie = Hypersphere::FromPoint({1.0, 1.0});
+  const Hypersphere sq({3.0, 4.0}, 0.5);
+  EXPECT_EQ(criterion.DecideVerdict(tie, tie, sq), Verdict::kUncertain);
+  EXPECT_FALSE(criterion.Dominates(tie, tie, sq));  // conservative fold
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({20.0, 0.0}, 1.0);
+  EXPECT_TRUE(criterion.Dominates(sa, sb, sq));
+  EXPECT_EQ(criterion.DecideVerdict(sa, sb, sq), Verdict::kDominates);
+  EXPECT_EQ(criterion.name(), "Certified");
+  EXPECT_TRUE(criterion.is_correct());
+  EXPECT_TRUE(criterion.is_sound());
+}
+
+TEST(CertifiedTest, MakeCriterionBuildsCertified) {
+  const auto criterion = MakeCriterion(CriterionKind::kCertified);
+  ASSERT_NE(criterion, nullptr);
+  EXPECT_EQ(criterion->name(), "Certified");
+  EXPECT_EQ(CriterionKindName(CriterionKind::kCertified), "Certified");
+}
+
+TEST(CertifiedTest, VerdictNames) {
+  EXPECT_EQ(VerdictName(Verdict::kDominates), "Dominates");
+  EXPECT_EQ(VerdictName(Verdict::kNotDominates), "NotDominates");
+  EXPECT_EQ(VerdictName(Verdict::kUncertain), "Uncertain");
+}
+
+// Decisive verdicts must agree with the oracle on random scenes away from
+// the boundary, and the certified engine must never be decisively wrong.
+TEST(CertifiedPropertyTest, DecisiveVerdictsMatchOracle) {
+  const CertifiedDominance engine;
+  Rng rng(0xCE27);
+  uint64_t decisive = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(4);
+    const test::Scene s = test::RandomScene(&rng, dim, 10.0);
+    if (test::IsBorderline(s)) continue;
+    const bool truth = test::OracleDominates(s);
+    const Verdict v = engine.Decide(s.sa, s.sb, s.sq);
+    if (v == Verdict::kUncertain) continue;
+    ++decisive;
+    EXPECT_EQ(v == Verdict::kDominates, truth) << test::SceneToString(s);
+  }
+  // Random scenes live far from the boundary; virtually all must resolve.
+  EXPECT_GT(decisive, 19000u);
+  EXPECT_LT(engine.stats().UncertainRate(), 0.01);
+}
+
+// The certified minimum distance must bracket the (upper-bounding)
+// parametric evaluation: dmin is an actual curve distance, and the true
+// minimum lies within [dmin - bound, dmin].
+TEST(CertifiedPropertyTest, MinDistBoundBracketsParametric) {
+  Rng rng(0xCE28);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const double rab = rng.Uniform(0.1, 1.6);
+    const double y1 = rng.Uniform(-8.0, 8.0);
+    const double y2 = rng.Uniform(0.05, 8.0);
+    if (rab >= 2.0 - 1e-3) continue;  // quartic path requires rab < 2*alpha
+    const CertifiedMinDist cd = HyperbolaMinDistCertified(1.0, rab, y1, y2);
+    EXPECT_GE(cd.bound, 0.0);
+    ASSERT_TRUE(std::isfinite(cd.dmin));
+    const double reference = HyperbolaMinDistParametric(1.0, rab, y1, y2);
+    // Both are upper bounds on the true minimum; the parametric sampler may
+    // sit slightly above or below the quartic answer, but never below
+    // dmin - bound by more than its own sampling slack.
+    EXPECT_GE(reference, cd.dmin - cd.bound - 1e-6)
+        << "rab=" << rab << " y1=" << y1 << " y2=" << y2;
+  }
+}
+
+// The long double margin is the fuzz harness's ground truth; its sign must
+// agree with the oracle criterion away from the boundary.
+TEST(CertifiedPropertyTest, LongDoubleMarginMatchesOracle) {
+  Rng rng(0xCE29);
+  for (int iter = 0; iter < 10000; ++iter) {
+    const size_t dim = 2 + rng.UniformU64(4);
+    const test::Scene s = test::RandomScene(&rng, dim, 10.0);
+    if (test::IsBorderline(s)) continue;
+    const bool truth = test::OracleDominates(s);
+    const long double margin = DominanceMarginLongDouble(s.sa, s.sb, s.sq);
+    EXPECT_EQ(margin > 0.0L, truth) << test::SceneToString(s);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdom

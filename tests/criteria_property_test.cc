@@ -80,7 +80,12 @@ TEST_P(CriterionSweepTest, OverlapNeverDominatesForCorrectCriteria) {
 
 std::vector<SweepParam> MakeSweepGrid() {
   std::vector<SweepParam> grid;
-  for (CriterionKind kind : PaperCriteria()) {
+  std::vector<CriterionKind> kinds = PaperCriteria();
+  // The certified criterion is not part of the paper's Table 1 (PaperCriteria
+  // stays pinned at five entries) but must satisfy the same contracts: it
+  // claims both correct and sound, with kUncertain folded to "no".
+  kinds.push_back(CriterionKind::kCertified);
+  for (CriterionKind kind : kinds) {
     for (size_t dim : {2u, 4u, 10u}) {
       for (double mu : {5.0, 50.0}) {
         grid.push_back(SweepParam{kind, dim, mu});
@@ -128,10 +133,27 @@ TEST(CriteriaFactoryTest, MakesEveryKind) {
   for (CriterionKind kind :
        {CriterionKind::kMinMax, CriterionKind::kMbr, CriterionKind::kGp,
         CriterionKind::kTrigonometric, CriterionKind::kHyperbola,
-        CriterionKind::kNumericOracle}) {
+        CriterionKind::kNumericOracle, CriterionKind::kCertified}) {
     const auto criterion = MakeCriterion(kind);
     ASSERT_NE(criterion, nullptr);
     EXPECT_EQ(criterion->name(), CriterionKindName(kind));
+  }
+}
+
+// The default three-valued verdict is the folded bool: plain criteria are
+// never uncertain, so DecideVerdict must mirror Dominates exactly.
+TEST(CriteriaVerdictTest, DefaultVerdictMirrorsDominates) {
+  Rng rng(6300);
+  for (CriterionKind kind : PaperCriteria()) {
+    const auto criterion = MakeCriterion(kind);
+    for (int iter = 0; iter < 500; ++iter) {
+      const test::Scene s = test::RandomScene(&rng, 3, 10.0);
+      const Verdict v = criterion->DecideVerdict(s.sa, s.sb, s.sq);
+      ASSERT_NE(v, Verdict::kUncertain) << std::string(criterion->name());
+      EXPECT_EQ(v == Verdict::kDominates,
+                criterion->Dominates(s.sa, s.sb, s.sq))
+          << std::string(criterion->name()) << ": " << test::SceneToString(s);
+    }
   }
 }
 

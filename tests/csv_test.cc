@@ -103,6 +103,27 @@ TEST_F(CsvTest, NegativeRadiusIsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST_F(CsvTest, NonFiniteCenterIsCorruption) {
+  // A "nan" token parses as a double but fails sphere validation; the load
+  // must fail with the offending line, not hand out a poisoned sphere.
+  const std::string path = TempPath("nancenter.csv");
+  WriteFile(path, "1,2,0.5\nnan,2,0.5\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, InfiniteRadiusIsCorruption) {
+  const std::string path = TempPath("infradius.csv");
+  WriteFile(path, "1,2,inf\n");
+  auto loaded = LoadSpheresCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST_F(CsvTest, SingleFieldRowIsCorruption) {
   const std::string path = TempPath("short.csv");
   WriteFile(path, "42\n");

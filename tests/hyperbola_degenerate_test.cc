@@ -15,6 +15,7 @@
 
 #include <cmath>
 
+#include "dominance/certified.h"
 #include "dominance/hyperbola.h"
 #include "geometry/focal_frame.h"
 #include "test_util.h"
@@ -168,6 +169,76 @@ TEST(HyperbolaDegenerateTest, QueryCenterOnTheCurveItself) {
     const Point cq = {-a * std::cosh(t), b * std::sinh(t)};
     EXPECT_FALSE(c.Dominates(sa, sb, Hypersphere(cq, 0.5))) << "t=" << t;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs through the certified engine: the three-valued verdict
+// must stay decisive where the geometry is clear and honest (kUncertain)
+// where no finite precision can break a tie — never confidently wrong.
+// ---------------------------------------------------------------------------
+
+TEST(CertifiedDegenerateTest, CoincidentCenters) {
+  const CertifiedDominance engine;
+  // Same center, positive radii: Sa and Sb overlap, so dominance is
+  // decisively impossible.
+  const Hypersphere sa({1.0, 2.0}, 1.0);
+  const Hypersphere sb({1.0, 2.0}, 0.5);
+  const Hypersphere sq({5.0, 5.0}, 1.0);
+  EXPECT_EQ(engine.Decide(sa, sb, sq), Verdict::kNotDominates);
+  // Same center, zero radii: an exact tie no precision can resolve.
+  const Hypersphere pa = Hypersphere::FromPoint({1.0, 2.0});
+  EXPECT_EQ(engine.Decide(pa, pa, sq), Verdict::kUncertain);
+}
+
+TEST(CertifiedDegenerateTest, ZeroRadiusQuery) {
+  const CertifiedDominance engine;
+  const Hypersphere sa({0.0, 0.0}, 1.0);
+  const Hypersphere sb({20.0, 0.0}, 1.0);
+  EXPECT_EQ(engine.Decide(sa, sb, Hypersphere::FromPoint({-2.0, 0.0})),
+            Verdict::kDominates);
+  EXPECT_EQ(engine.Decide(sa, sb, Hypersphere::FromPoint({18.0, 0.0})),
+            Verdict::kNotDominates);
+}
+
+TEST(CertifiedDegenerateTest, OneDimensionalScenes) {
+  const CertifiedDominance engine;
+  Rng rng(5004);
+  const auto oracle = MakeCriterion(CriterionKind::kNumericOracle);
+  int checked = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const test::Scene s = test::RandomScene(&rng, 1, 10.0);
+    if (test::IsBorderline(s)) continue;
+    ++checked;
+    const Verdict v = engine.Decide(s.sa, s.sb, s.sq);
+    if (v == Verdict::kUncertain) continue;
+    EXPECT_EQ(v == Verdict::kDominates, test::OracleDominates(s))
+        << test::SceneToString(s);
+  }
+  EXPECT_GT(checked, 1500);
+  EXPECT_LT(engine.stats().UncertainRate(), 0.01);
+}
+
+TEST(CertifiedDegenerateTest, DenormalAndHugeCoordinates) {
+  const CertifiedDominance engine;
+  // Denormal-scale scene: all quantities around 1e-308. The engine may
+  // not be able to certify (bands collapse with the scale), but it must
+  // never be decisively wrong, and must not crash or emit NaN verdicts.
+  const double tiny = 1e-308;
+  const Hypersphere sa_tiny({0.0, 0.0}, tiny);
+  const Hypersphere sb_tiny({20.0 * tiny, 0.0}, tiny);
+  const Hypersphere sq_tiny({-5.0 * tiny, 0.0}, tiny);
+  const Verdict v_tiny = engine.Decide(sa_tiny, sb_tiny, sq_tiny);
+  EXPECT_NE(v_tiny, Verdict::kNotDominates);  // geometry clearly dominates
+  // Huge-but-finite scene: around 1e150 (squares stay finite in double
+  // only as long doubles; the distance accumulation must not overflow the
+  // verdict into nonsense).
+  const double huge = 1e150;
+  const Hypersphere sa_huge({0.0, 0.0}, huge * 0.05);
+  const Hypersphere sb_huge({20.0 * huge, 0.0}, huge * 0.05);
+  const Hypersphere sq_huge({-5.0 * huge, 0.0}, huge * 0.05);
+  EXPECT_EQ(engine.Decide(sa_huge, sb_huge, sq_huge), Verdict::kDominates);
+  const Hypersphere sq_far({30.0 * huge, 0.0}, huge * 0.05);
+  EXPECT_EQ(engine.Decide(sa_huge, sb_huge, sq_far), Verdict::kNotDominates);
 }
 
 }  // namespace

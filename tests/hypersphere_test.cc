@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 
@@ -137,6 +138,29 @@ TEST(HypersphereTest, Equality) {
   EXPECT_TRUE(a == Hypersphere({1.0, 2.0}, 3.0));
   EXPECT_FALSE(a == Hypersphere({1.0, 2.0}, 3.5));
   EXPECT_FALSE(a == Hypersphere({1.0, 2.5}, 3.0));
+}
+
+TEST(HypersphereValidateTest, AcceptsFiniteSpheres) {
+  EXPECT_TRUE(Hypersphere::Validate({1.0, 2.0}, 3.0).ok());
+  EXPECT_TRUE(Hypersphere::Validate({0.0}, 0.0).ok());  // zero radius is fine
+  const Hypersphere s({1.0, 2.0}, 3.0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(HypersphereValidateTest, RejectsNonFiniteCenter) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(Hypersphere::Validate({1.0, nan}, 3.0).code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Hypersphere::Validate({inf, 2.0}, 3.0).code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Hypersphere::Validate({-inf}, 0.0).code() == StatusCode::kInvalidArgument);
+}
+
+TEST(HypersphereValidateTest, RejectsBadRadius) {
+  EXPECT_TRUE(Hypersphere::Validate({1.0}, -0.5).code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Hypersphere::Validate({1.0}, std::nan("")).code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      Hypersphere::Validate({1.0}, std::numeric_limits<double>::infinity())
+          .code() == StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -115,6 +115,29 @@ TEST(QuarticTest, FallsBackToCubic) {
   ExpectRootsNear(SolveQuartic(0.0, 1.0, -6.0, 11.0, -6.0), {1.0, 2.0, 3.0});
 }
 
+TEST(QuarticTest, RelativelyTinyLeadingCoefficientFallsBackToCubic) {
+  // The leading coefficient is nonzero but ~1e-13 of the coefficient scale:
+  // treating the quartic as genuine would divide everything by it and
+  // manufacture a wild spurious root. The solver must degrade by relative
+  // magnitude, not by an exact a == 0 test.
+  const double tiny = 1e-13;
+  ExpectRootsNear(SolveQuartic(tiny, 1.0, -6.0, 11.0, -6.0),
+                  {1.0, 2.0, 3.0}, 1e-6);
+}
+
+TEST(CubicTest, RelativelyTinyLeadingCoefficientFallsBackToQuadratic) {
+  const double tiny = 1e-13;
+  ExpectRootsNear(SolveCubic(tiny, 1.0, -3.0, 2.0), {1.0, 2.0}, 1e-6);
+}
+
+TEST(QuarticTest, TinyButGenuineLeadingCoefficientIsKept) {
+  // A uniformly tiny quartic is NOT degenerate: all coefficients share the
+  // scale, so the relative test keeps degree 4.
+  ExpectRootsNear(
+      SolveQuartic(1e-13, -10e-13, 35e-13, -50e-13, 24e-13),
+      {1.0, 2.0, 3.0, 4.0}, 1e-6);
+}
+
 TEST(QuarticTest, LargeCoefficientScale) {
   // 1e9 * (x-1)(x-2)(x-3)(x-4): scaling must not change the roots.
   ExpectRootsNear(
@@ -221,6 +244,94 @@ TEST_P(QuarticResidualTest, ResidualsAreSmall) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuarticResidualTest,
                          ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// Error-bounded evaluation and certified roots.
+// ---------------------------------------------------------------------------
+
+// The running-error bound must dominate the true rounding error. Compare
+// the double Horner value against a long double reference evaluation.
+TEST(EvaluateWithErrorTest, BoundDominatesTrueError) {
+  Rng rng(3100);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<double> coeffs(5);
+    for (double& c : coeffs) c = rng.Uniform(-100.0, 100.0);
+    const double x = rng.Uniform(-50.0, 50.0);
+    const PolynomialEval ev = EvaluatePolynomialWithError(coeffs, x);
+    EXPECT_DOUBLE_EQ(ev.value, EvaluatePolynomial(coeffs, x));
+    long double exact = 0.0L;
+    for (double c : coeffs) exact = exact * static_cast<long double>(x) + c;
+    const long double true_err =
+        std::fabs(static_cast<long double>(ev.value) - exact);
+    EXPECT_GE(static_cast<long double>(ev.error_bound), true_err)
+        << "x=" << x;
+    EXPECT_GE(ev.error_bound, 0.0);
+  }
+}
+
+TEST(EvaluateWithErrorTest, ExactCasesHaveTinyBounds) {
+  // Small-integer arithmetic is exact, and the bound must reflect that the
+  // error is at most a few ULPs of the running magnitude.
+  const PolynomialEval ev = EvaluatePolynomialWithError({1.0, -3.0, 2.0}, 2.0);
+  EXPECT_DOUBLE_EQ(ev.value, 0.0);
+  EXPECT_LT(ev.error_bound, 1e-14);
+}
+
+TEST(CertifiedRootsTest, BoundsEncloseTrueRoots) {
+  // Well-separated constructed roots: each certified interval must contain
+  // the exact root, and the bounds must be tight (far below the root gap).
+  const auto certified = SolveQuarticWithBounds(1.0, -10.0, 35.0, -50.0, 24.0);
+  ASSERT_EQ(certified.size(), 4u);
+  const double expected[] = {1.0, 2.0, 3.0, 4.0};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(certified[i].error_bound));
+    EXPECT_LE(std::fabs(certified[i].root - expected[i]),
+              certified[i].error_bound + 1e-12);
+    EXPECT_LT(certified[i].error_bound, 1e-6);
+  }
+}
+
+TEST(CertifiedRootsTest, ClusteredRootsGetInfiniteBound) {
+  // (x-1)^4: Newton's bound is meaningless at a quadruple root, so the
+  // certificate must refuse (bound = +inf) rather than pretend precision.
+  const auto certified = SolveQuarticWithBounds(1.0, -4.0, 6.0, -4.0, 1.0);
+  ASSERT_FALSE(certified.empty());
+  bool any_refused = false;
+  for (const auto& cr : certified) {
+    if (std::isinf(cr.error_bound)) any_refused = true;
+  }
+  EXPECT_TRUE(any_refused);
+}
+
+TEST(CertifiedRootsTest, RandomRootsStayInsideBounds) {
+  Rng rng(3200);
+  for (int iter = 0; iter < 500; ++iter) {
+    double r[4];
+    for (double& v : r) v = rng.Uniform(-20.0, 20.0);
+    std::sort(r, r + 4);
+    bool distinct = true;
+    for (int i = 0; i < 3; ++i) {
+      if (r[i + 1] - r[i] < 0.1) distinct = false;
+    }
+    if (!distinct) continue;
+    const double e1 = r[0] + r[1] + r[2] + r[3];
+    const double e2 = r[0] * r[1] + r[0] * r[2] + r[0] * r[3] + r[1] * r[2] +
+                      r[1] * r[3] + r[2] * r[3];
+    const double e3 = r[0] * r[1] * r[2] + r[0] * r[1] * r[3] +
+                      r[0] * r[2] * r[3] + r[1] * r[2] * r[3];
+    const double e4 = r[0] * r[1] * r[2] * r[3];
+    const auto certified = SolveQuarticWithBounds(1.0, -e1, e2, -e3, e4);
+    ASSERT_EQ(certified.size(), 4u) << "iter " << iter;
+    for (size_t i = 0; i < 4; ++i) {
+      // The coefficients themselves are rounded, so allow the constructed
+      // root to sit a hair outside the certificate for the rounded quartic.
+      const double slack = 1e-9 * std::max(1.0, std::fabs(r[i]));
+      EXPECT_LE(std::fabs(certified[i].root - r[i]),
+                certified[i].error_bound + slack)
+          << "iter " << iter << " root " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hyperdom

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "data/csv.h"
+#include "dominance/certified.h"
 #include "dominance/numeric_oracle.h"
 #include "data/generator.h"
 #include "dominance/growing.h"
@@ -34,7 +35,7 @@ constexpr char kUsage[] =
     "  dominate    --sa=X,..;R --sb=X,..;R --sq=X,..;R [--criterion=NAME|"
     "all]\n"
     "  knn         --data=FILE --query=X,..;R [--k=10] [--criterion=NAME]\n"
-    "              [--strategy=hs|df]\n"
+    "              [--strategy=hs|df] [--certified=1]\n"
     "  rank        --data=FILE --target=ID --query=X,..;R "
     "[--criterion=NAME]\n"
     "  range       --data=FILE --query=X,..;R --range=D\n"
@@ -45,7 +46,10 @@ constexpr char kUsage[] =
     "              [--horizon=100]\n"
     "  experiment  --data=FILE [--queries=10000] [--repeats=3] [--seed=S]\n"
     "  selfcheck   [--scenes=20000] [--dim=4] [--mu=10] [--seed=S]\n"
-    "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle\n";
+    "              [--certified=1]\n"
+    "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle, certified\n"
+    "--certified=1 routes dominance through the certified engine and reports\n"
+    "uncertainty rates and escalation-tier counters.\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -127,6 +131,7 @@ Status CmdDominate(const ParsedArgs& args, std::ostream& out) {
   std::vector<CriterionKind> kinds;
   if (name == "all") {
     kinds = PaperCriteria();
+    kinds.push_back(CriterionKind::kCertified);
   } else {
     auto kind = ParseCriterion(name);
     if (!kind.ok()) return kind.status();
@@ -135,8 +140,21 @@ Status CmdDominate(const ParsedArgs& args, std::ostream& out) {
   TablePrinter table({"criterion", "Dominates(Sa,Sb,Sq)"});
   for (CriterionKind kind : kinds) {
     const auto criterion = MakeCriterion(kind);
-    table.AddRow({std::string(criterion->name()),
-                  criterion->Dominates(*sa, *sb, *sq) ? "true" : "false"});
+    std::string cell;
+    if (kind == CriterionKind::kCertified) {
+      // The certified engine answers with a three-valued verdict plus the
+      // escalation tier that resolved it.
+      const CertifiedDominance engine;
+      CertifiedTier tier = CertifiedTier::kUnresolved;
+      const Verdict verdict = engine.Decide(*sa, *sb, *sq, &tier);
+      cell = std::string(VerdictName(verdict));
+      if (verdict != Verdict::kUncertain) {
+        cell += " (tier " + std::to_string(static_cast<int>(tier)) + ")";
+      }
+    } else {
+      cell = criterion->Dominates(*sa, *sb, *sq) ? "true" : "false";
+    }
+    table.AddRow({std::string(criterion->name()), cell});
   }
   out << table.Render();
   return Status::OK();
@@ -156,8 +174,15 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
   auto k = RequireUint(args, "k", 10, /*required=*/false);
   if (!k.ok()) return k.status();
   if (*k == 0) return Status::InvalidArgument("--k must be positive");
-  auto kind = ParseCriterion(args.GetFlag("criterion", "hyperbola"));
+  const bool certified = args.GetFlag("certified", "0") != "0";
+  auto kind = ParseCriterion(
+      args.GetFlag("criterion", certified ? "certified" : "hyperbola"));
   if (!kind.ok()) return kind.status();
+  if (certified && *kind != CriterionKind::kCertified) {
+    return Status::InvalidArgument(
+        "--certified=1 conflicts with --criterion=" +
+        args.GetFlag("criterion"));
+  }
   const std::string strategy = args.GetFlag("strategy", "hs");
   if (strategy != "hs" && strategy != "df") {
     return Status::InvalidArgument("bad --strategy (hs|df)");
@@ -176,6 +201,17 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
   out << result.answers.size() << " possible top-" << *k
       << " objects (criterion " << criterion->name() << ", "
       << result.stats.dominance_checks << " dominance checks)\n";
+  if (certified) {
+    const uint64_t checks = result.stats.dominance_checks;
+    const double rate =
+        checks == 0 ? 0.0
+                    : 100.0 * static_cast<double>(
+                                  result.stats.uncertain_verdicts) /
+                          static_cast<double>(checks);
+    out << "certified: " << result.stats.uncertain_verdicts
+        << " uncertain verdicts (" << FormatDouble(rate, 4)
+        << "% of checks; uncertain entries are kept, never pruned)\n";
+  }
   size_t shown = 0;
   for (const auto& entry : result.answers) {
     out << "  #" << entry.id << "  " << entry.sphere.ToString()
@@ -337,6 +373,7 @@ Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
   if (*dim == 0 || *scenes == 0) {
     return Status::InvalidArgument("--dim and --scenes must be positive");
   }
+  const bool certified = args.GetFlag("certified", "0") != "0";
 
   const auto oracle = MakeCriterion(CriterionKind::kNumericOracle);
   struct Check {
@@ -348,6 +385,8 @@ Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
   for (CriterionKind kind : PaperCriteria()) {
     checks.push_back(Check{MakeCriterion(kind)});
   }
+  const CertifiedDominance engine;
+  uint64_t certified_wrong = 0;
 
   Rng rng(*seed);
   uint64_t borderline = 0;
@@ -373,6 +412,11 @@ Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
       if (predicted && !truth) ++check.false_positives;
       if (!predicted && truth) ++check.false_negatives;
     }
+    if (certified) {
+      const Verdict verdict = engine.Decide(sa, sb, sq);
+      if (verdict == Verdict::kDominates && !truth) ++certified_wrong;
+      if (verdict == Verdict::kNotDominates && truth) ++certified_wrong;
+    }
   }
 
   TablePrinter table({"criterion", "claims", "false pos", "false neg",
@@ -395,6 +439,22 @@ Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
   }
   out << table.Render();
   out << "(" << borderline << " borderline scenes skipped)\n";
+  if (certified) {
+    const CertifiedStats stats = engine.stats();
+    out << "certified engine: " << stats.calls << " calls, "
+        << stats.uncertain << " uncertain ("
+        << FormatDouble(100.0 * stats.UncertainRate(), 4) << "%)\n"
+        << "  resolved by tier: quartic=" << stats.resolved_quartic
+        << " parametric=" << stats.resolved_parametric
+        << " long-double=" << stats.resolved_long_double
+        << " oracle=" << stats.resolved_oracle << "\n";
+    if (certified_wrong > 0) {
+      return Status::Internal(
+          std::to_string(certified_wrong) +
+          " decisive certified verdicts disagree with the oracle");
+    }
+    out << "no decisive certified verdict disagrees with the oracle\n";
+  }
   if (!all_good) {
     return Status::Internal("criterion contract violated; see table");
   }
@@ -487,6 +547,7 @@ Result<CriterionKind> ParseCriterion(const std::string& name) {
   if (name == "trigonometric") return CriterionKind::kTrigonometric;
   if (name == "hyperbola") return CriterionKind::kHyperbola;
   if (name == "oracle") return CriterionKind::kNumericOracle;
+  if (name == "certified") return CriterionKind::kCertified;
   return Status::InvalidArgument("unknown criterion '" + name + "'");
 }
 

@@ -1,0 +1,46 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/crc32.h"
+
+#include <array>
+
+namespace hyperdom {
+
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  uint32_t c = state_;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t Crc32Of(const void* data, size_t size) {
+  Crc32 crc;
+  crc.Update(data, size);
+  return crc.value();
+}
+
+}  // namespace hyperdom

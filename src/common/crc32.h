@@ -1,0 +1,33 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for snapshot
+// integrity checks. Table-driven, streamable via the Crc32 accumulator.
+// Standard check value: Crc32Of("123456789", 9) == 0xCBF43926.
+
+#ifndef HYPERDOM_COMMON_CRC32_H_
+#define HYPERDOM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperdom {
+
+/// \brief Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Folds `size` bytes at `data` into the checksum.
+  void Update(const void* data, size_t size);
+
+  /// The checksum of everything folded in so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+uint32_t Crc32Of(const void* data, size_t size);
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_COMMON_CRC32_H_

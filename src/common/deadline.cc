@@ -1,0 +1,17 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/deadline.h"
+
+namespace hyperdom {
+
+std::string_view CompletenessName(Completeness completeness) {
+  switch (completeness) {
+    case Completeness::kExact:
+      return "exact";
+    case Completeness::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,136 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Cooperative query deadlines. A Deadline bounds a traversal by wall-clock
+// time and/or a node-visit budget; query drivers poll Expired() at each
+// node they are about to expand and, on expiry, stop descending and return
+// what they can prove so far. Results carry a Completeness tag so degraded
+// answers are flagged, never silent.
+//
+// Best-effort answers keep a hard guarantee (see docs/robustness.md §7):
+// the kNN drivers report only entries whose membership in the *exact*
+// answer set is certain. The key monotonicity fact is that
+// Dom(A, B, Sq) implies MaxDist(A, Sq) < MaxDist(B, Sq), so the exact
+// k-th dominance distance can never drop below
+//     L = min(interim DistK, min MinDist over deadline-skipped subtrees)
+// and every seen entry with MaxDist <= L is in the exact answer.
+// TraversalGuard tracks the second term (the "pending bound").
+
+#ifndef HYPERDOM_COMMON_DEADLINE_H_
+#define HYPERDOM_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace hyperdom {
+
+/// Whether a query result covers the whole search space or was cut short
+/// by a deadline/budget.
+enum class Completeness {
+  kExact,       ///< the traversal ran to completion; the answer is exact
+  kBestEffort,  ///< deadline expired; flagged partial (but certified) answer
+};
+
+/// "exact" or "best-effort".
+std::string_view CompletenessName(Completeness completeness);
+
+/// \brief A time and/or work budget for one query.
+///
+/// Value type; default-constructed it is unbounded. The node budget is an
+/// exact, deterministic cutoff ("expand at most N nodes") used by tests;
+/// the wall deadline is the production knob. Both can be set at once —
+/// whichever trips first expires the query.
+class Deadline {
+ public:
+  /// Unbounded: Expired() is always false.
+  Deadline() = default;
+
+  static Deadline Unbounded() { return Deadline(); }
+
+  /// Expires once `max_node_visits` nodes have been expanded.
+  static Deadline WithNodeBudget(uint64_t max_node_visits) {
+    Deadline d;
+    d.node_budget_ = max_node_visits;
+    return d;
+  }
+
+  /// Expires `budget` from now (steady clock).
+  static Deadline AfterDuration(std::chrono::nanoseconds budget) {
+    Deadline d;
+    d.has_wall_deadline_ = true;
+    d.wall_deadline_ = std::chrono::steady_clock::now() + budget;
+    return d;
+  }
+
+  /// Adds a node budget to an existing deadline.
+  Deadline& SetNodeBudget(uint64_t max_node_visits) {
+    node_budget_ = max_node_visits;
+    return *this;
+  }
+
+  bool unbounded() const {
+    return !has_wall_deadline_ && node_budget_ == kUnlimited;
+  }
+  uint64_t node_budget() const { return node_budget_; }
+
+  /// True when the query must stop: the node budget is spent
+  /// (`nodes_visited >= budget`) or the wall deadline has passed. The
+  /// caller polls this *before* expanding a node, passing the number of
+  /// nodes expanded so far.
+  bool Expired(uint64_t nodes_visited) const {
+    if (nodes_visited >= node_budget_) return true;
+    if (!has_wall_deadline_) return false;
+    return std::chrono::steady_clock::now() >= wall_deadline_;
+  }
+
+ private:
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  uint64_t node_budget_ = kUnlimited;
+  bool has_wall_deadline_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+};
+
+/// \brief Per-traversal deadline bookkeeping shared by the query drivers.
+///
+/// Wraps a Deadline with (a) a sticky expired flag — once a traversal
+/// sees expiry it stays expired, so one wall-clock check governs the
+/// whole wind-down — and (b) the pending bound: the minimum lower bound
+/// (MinDist) over every subtree the traversal skipped because of expiry,
+/// i.e. a floor on what the unexplored space could still contain.
+/// +infinity while nothing was skipped.
+class TraversalGuard {
+ public:
+  explicit TraversalGuard(const Deadline& deadline) : deadline_(deadline) {}
+
+  /// Polled before expanding a node; `work_done` is the driver's count of
+  /// nodes expanded so far. Sticky.
+  bool ShouldStop(uint64_t work_done) {
+    if (expired_) return true;
+    if (deadline_.unbounded()) return false;
+    expired_ = deadline_.Expired(work_done);
+    return expired_;
+  }
+
+  /// Records the lower bound of a subtree skipped due to expiry.
+  void NoteSkipped(double lower_bound) {
+    if (lower_bound < pending_bound_) pending_bound_ = lower_bound;
+  }
+
+  /// True iff the deadline fired at least once during this traversal.
+  bool expired() const { return expired_; }
+
+  /// min MinDist over skipped subtrees; +inf when nothing was skipped.
+  double pending_bound() const { return pending_bound_; }
+
+ private:
+  const Deadline& deadline_;
+  bool expired_ = false;
+  double pending_bound_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_COMMON_DEADLINE_H_

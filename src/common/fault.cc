@@ -1,0 +1,165 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "common/fault.h"
+
+#include <algorithm>
+
+namespace hyperdom {
+
+namespace {
+
+// Every HYPERDOM_FAULT_POINT / HYPERDOM_FAULT_DEGRADE site in the library.
+// Ordered by subsystem; the sweep test in tests/fault_injection_test.cc
+// arms each once and asserts clean propagation.
+constexpr std::string_view kAllSites[] = {
+    // data/ — CSV load/save.
+    "csv/open_read",
+    "csv/parse_row",
+    "csv/open_write",
+    "csv/write_row",
+    // index/ — build, split and (de)serialization.
+    "ss_tree/insert",
+    "ss_tree/split",
+    "ss_tree/str_pack",
+    "ss_tree/serialize",
+    "ss_tree/deserialize",
+    "vp_tree/build",
+    "vp_tree/build_node",
+    "vp_tree/serialize",
+    "vp_tree/deserialize",
+    "rstar_tree/insert",
+    "m_tree/insert",
+    // index/snapshot — checksummed persistence envelope.
+    "snapshot/write",
+    "snapshot/read",
+    // dominance/ — certified escalation chain (degrade sites: firing
+    // forces the tier's outcome to "uncertain", never a Status).
+    "certified/quartic",
+    "certified/parametric",
+    "certified/long_double",
+    "certified/oracle",
+};
+
+constexpr std::string_view kDegradePrefix = "certified/";
+
+// SplitMix64 — the same finalizer rng.cc uses for seeding; good avalanche
+// so (seed, site, index) map to independent-looking uniform draws.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  // FNV-1a, then one SplitMix64 round to spread the low bits.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return SplitMix64(h);
+}
+
+// Uniform [0, 1) draw that is a pure function of (seed, site, hit index).
+double DrawUnit(uint64_t seed, std::string_view site, uint64_t index) {
+  const uint64_t mixed =
+      SplitMix64(seed ^ HashSite(site) ^ (index * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& AllFaultSites() {
+  static const std::vector<std::string_view> sites(std::begin(kAllSites),
+                                                   std::end(kAllSites));
+  return sites;
+}
+
+bool IsDegradeFaultSite(std::string_view site) {
+  return site.substr(0, kDegradePrefix.size()) == kDegradePrefix;
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kDisarmed;
+  armed_site_.clear();
+  armed_nth_ = 0;
+  seed_ = 0;
+  probability_ = 0.0;
+  injected_ = 0;
+  hit_counts_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmSite(std::string_view site, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kSite;
+  armed_site_ = std::string(site);
+  armed_nth_ = nth == 0 ? 1 : nth;
+  injected_ = 0;
+  hit_counts_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmRandom(uint64_t seed, double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kRandom;
+  seed_ = seed;
+  probability_ = std::clamp(probability, 0.0, 1.0);
+  injected_ = 0;
+  hit_counts_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+uint64_t FaultRegistry::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hit_counts_.find(site);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultRegistry::HitCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hit_counts_.begin(), hit_counts_.end()};
+}
+
+bool FaultRegistry::ShouldFire(std::string_view site, uint64_t* hit_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kDisarmed) return false;
+  auto [it, inserted] = hit_counts_.try_emplace(std::string(site), 0);
+  *hit_index = ++it->second;
+  bool fire = false;
+  if (mode_ == Mode::kSite) {
+    fire = site == armed_site_ && *hit_index == armed_nth_;
+  } else {
+    fire = probability_ > 0.0 &&
+           DrawUnit(seed_, site, *hit_index) < probability_;
+  }
+  if (fire) ++injected_;
+  return fire;
+}
+
+Status FaultRegistry::Hit(std::string_view site) {
+  uint64_t index = 0;
+  if (!ShouldFire(site, &index)) return Status::OK();
+  return Status::Internal("injected fault at " + std::string(site) +
+                          " (hit " + std::to_string(index) + ")");
+}
+
+bool FaultRegistry::HitDegrade(std::string_view site) {
+  uint64_t index = 0;
+  return ShouldFire(site, &index);
+}
+
+}  // namespace hyperdom

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 
 namespace hyperdom {
@@ -19,11 +20,13 @@ Status SaveSpheresCsv(const std::string& path,
           "all spheres in a CSV file must share one dimensionality");
     }
   }
+  HYPERDOM_FAULT_POINT("csv/open_write");
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << "# hyperdom spheres: c_1,...,c_d,radius\n";
   char buf[64];
   for (const auto& s : spheres) {
+    HYPERDOM_FAULT_POINT("csv/write_row");
     std::string line;
     for (double c : s.center()) {
       std::snprintf(buf, sizeof(buf), "%.17g,", c);
@@ -39,6 +42,7 @@ Status SaveSpheresCsv(const std::string& path,
 }
 
 Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path) {
+  HYPERDOM_FAULT_POINT("csv/open_read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   std::vector<Hypersphere> spheres;
@@ -49,6 +53,7 @@ Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path) {
     ++line_no;
     const std::string_view stripped = StripAsciiWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
+    HYPERDOM_FAULT_POINT("csv/parse_row");
     const std::vector<std::string> fields = Split(stripped, ',');
     if (fields.size() < 2) {
       return Status::Corruption("line " + std::to_string(line_no) +

@@ -3,7 +3,6 @@
 #include "data/datasets.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/rng.h"
 
@@ -68,11 +67,26 @@ StandInSpec GetSpec(RealDataset dataset) {
     case RealDataset::kForest:
       return {{"Forest", 82'012, 10}, kForestRanges, 32, 4};
   }
-  assert(false && "unknown dataset");
+  // Out-of-enum values (a corrupted config, a bad cast) fall back to the
+  // NBA spec instead of aborting the process; callers that need the error
+  // reported use ValidateRealDataset()/LoadRealStandInChecked().
   return {{"NBA", 17'265, 17}, kNbaRanges, 24, 1};
 }
 
 }  // namespace
+
+Status ValidateRealDataset(RealDataset dataset) {
+  switch (dataset) {
+    case RealDataset::kNba:
+    case RealDataset::kColor:
+    case RealDataset::kTexture:
+    case RealDataset::kForest:
+      return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown RealDataset value " +
+      std::to_string(static_cast<int>(dataset)));
+}
 
 RealDatasetInfo GetRealDatasetInfo(RealDataset dataset) {
   return GetSpec(dataset).info;
@@ -138,6 +152,12 @@ std::vector<Point> LoadRealStandIn(RealDataset dataset, size_t sample_n) {
     out.push_back(std::move(p));
   }
   return out;
+}
+
+Result<std::vector<Point>> LoadRealStandInChecked(RealDataset dataset,
+                                                  size_t sample_n) {
+  HYPERDOM_RETURN_NOT_OK(ValidateRealDataset(dataset));
+  return LoadRealStandIn(dataset, sample_n);
 }
 
 }  // namespace hyperdom

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "geometry/point.h"
 
 namespace hyperdom {
@@ -34,7 +35,13 @@ struct RealDatasetInfo {
   size_t dim = 0;
 };
 
+/// Rejects values outside the RealDataset enum (a corrupted or miscast
+/// value, e.g. from a config file) with kInvalidArgument.
+Status ValidateRealDataset(RealDataset dataset);
+
 /// Name/cardinality/dimensionality (matches the paper's description).
+/// Out-of-enum values fall back to the NBA spec; use ValidateRealDataset()
+/// or LoadRealStandInChecked() where an error report is wanted.
 RealDatasetInfo GetRealDatasetInfo(RealDataset dataset);
 
 /// All four datasets in the paper's Figure 10 order.
@@ -43,8 +50,14 @@ const std::vector<RealDataset>& AllRealDatasets();
 /// \brief Materializes the stand-in point cloud for `dataset`.
 ///
 /// Pass `sample_n` > 0 to cap the number of points (keeps unit tests fast);
-/// 0 means the full paper-size cloud.
+/// 0 means the full paper-size cloud. Out-of-enum values fall back to the
+/// NBA spec (see LoadRealStandInChecked for the reporting variant).
 std::vector<Point> LoadRealStandIn(RealDataset dataset, size_t sample_n = 0);
+
+/// Status-reporting variant of LoadRealStandIn(): kInvalidArgument on an
+/// out-of-enum `dataset` value instead of the former assert/abort.
+Result<std::vector<Point>> LoadRealStandInChecked(RealDataset dataset,
+                                                  size_t sample_n = 0);
 
 }  // namespace hyperdom
 

@@ -8,6 +8,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/fault.h"
 #include "dominance/hyperbola.h"
 #include "dominance/hyperbola_kernel.h"
 #include "dominance/numeric_oracle.h"
@@ -75,6 +76,17 @@ struct TierOutcome {
   bool dmin_uncertain = false;   // the boundary (dmin - rq) margin is unclear
   bool other_uncertain = false;  // an overlap / center-MDD margin is unclear
 };
+
+// What a tier reports when fault injection knocks out its arithmetic:
+// "uncertain about dmin", the same shape as a genuinely unresolvable
+// margin, so the engine escalates through its normal path and the worst
+// end state is an honest kUncertain — never a wrong decisive verdict.
+TierOutcome DegradedOutcome() {
+  TierOutcome out;
+  out.uncertain = true;
+  out.dmin_uncertain = true;
+  return out;
+}
 
 // Evaluates the overlap, center-MDD, and boundary margins in precision T.
 // `dmin_fn(alpha, rab, y1, y2)` returns {dmin, extra_band}: the boundary
@@ -366,25 +378,31 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
   Verdict v = Verdict::kUncertain;
 
   // Tier 1: double quartic with certified root bounds.
-  const TierOutcome t1 = EvaluateMarginsT<double>(
-      sa, sb, sq, kBandDistance, kBandDistance,
-      [](double alpha, double rab, double y1, double y2) {
-        const CertifiedMinDist c =
-            HyperbolaMinDistCertified(alpha, rab, y1, y2);
-        return std::pair<double, double>(c.dmin, c.bound);
-      });
+  const TierOutcome t1 =
+      HYPERDOM_FAULT_DEGRADE("certified/quartic")
+          ? DegradedOutcome()
+          : EvaluateMarginsT<double>(
+                sa, sb, sq, kBandDistance, kBandDistance,
+                [](double alpha, double rab, double y1, double y2) {
+                  const CertifiedMinDist c =
+                      HyperbolaMinDistCertified(alpha, rab, y1, y2);
+                  return std::pair<double, double>(c.dmin, c.bound);
+                });
   if (settle(t1, resolved_quartic_, CertifiedTier::kQuartic, &v)) return v;
 
   // Tier 2: parametric refinement. Only worth running when the boundary
   // margin is the sole source of doubt — it cannot sharpen the distance
   // margins, but its fixed band often beats a pessimistic quartic bound.
   if (t1.dmin_uncertain && !t1.other_uncertain) {
-    const TierOutcome t2 = EvaluateMarginsT<double>(
-        sa, sb, sq, kBandDistance, kBandParametric,
-        [](double alpha, double rab, double y1, double y2) {
-          return std::pair<double, double>(
-              HyperbolaMinDistParametric(alpha, rab, y1, y2), 0.0);
-        });
+    const TierOutcome t2 =
+        HYPERDOM_FAULT_DEGRADE("certified/parametric")
+            ? DegradedOutcome()
+            : EvaluateMarginsT<double>(
+                  sa, sb, sq, kBandDistance, kBandParametric,
+                  [](double alpha, double rab, double y1, double y2) {
+                    return std::pair<double, double>(
+                        HyperbolaMinDistParametric(alpha, rab, y1, y2), 0.0);
+                  });
     if (settle(t2, resolved_parametric_, CertifiedTier::kParametric, &v)) {
       return v;
     }
@@ -395,16 +413,23 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
   // both are upper bounds (every candidate is a curve point), and the
   // parametric one is conditioning-robust, so the min is accurate within
   // the parametric band regardless of quartic conditioning.
-  const TierOutcome t3 = EvaluateMarginsT<long double>(
-      sa, sb, sq, static_cast<long double>(kBandLongDouble),
-      static_cast<long double>(kBandLongDouble),
-      [](long double alpha, long double rab, long double y1, long double y2) {
-        const long double k = hyperbola_internal::HyperbolaMinDistKernelT<
-            long double>(alpha, rab, y1, y2);
-        const long double p = hyperbola_internal::HyperbolaMinDistParametricT<
-            long double>(alpha, rab, y1, y2);
-        return std::pair<long double, long double>(std::min(k, p), 0.0L);
-      });
+  const TierOutcome t3 =
+      HYPERDOM_FAULT_DEGRADE("certified/long_double")
+          ? DegradedOutcome()
+          : EvaluateMarginsT<long double>(
+                sa, sb, sq, static_cast<long double>(kBandLongDouble),
+                static_cast<long double>(kBandLongDouble),
+                [](long double alpha, long double rab, long double y1,
+                   long double y2) {
+                  const long double k =
+                      hyperbola_internal::HyperbolaMinDistKernelT<long double>(
+                          alpha, rab, y1, y2);
+                  const long double p =
+                      hyperbola_internal::HyperbolaMinDistParametricT<
+                          long double>(alpha, rab, y1, y2);
+                  return std::pair<long double, long double>(std::min(k, p),
+                                                             0.0L);
+                });
   if (settle(t3, resolved_long_double_, CertifiedTier::kLongDouble, &v)) {
     return v;
   }
@@ -412,8 +437,9 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
   // Tier 4: the numeric oracle, as the last resort the escalation contract
   // promises. Its band is the widest (dense scan in double), so it only
   // decides calls where the structured tiers disagreed with themselves,
-  // e.g. margins the tier-3 guard refused to evaluate.
-  {
+  // e.g. margins the tier-3 guard refused to evaluate. A degraded oracle
+  // leaves the call honestly kUncertain.
+  if (!HYPERDOM_FAULT_DEGRADE("certified/oracle")) {
     const double rab = sa.radius() + sb.radius();
     const double focal = Dist(sa.center(), sb.center());
     const double da = Dist(sq.center(), sa.center());

@@ -6,6 +6,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/fault.h"
+
 namespace hyperdom {
 
 namespace {
@@ -42,6 +44,7 @@ Status MTree::Insert(const Hypersphere& sphere, uint64_t id) {
                                    std::to_string(dim_) + "-d, sphere is " +
                                    std::to_string(sphere.dim()) + "-d");
   }
+  HYPERDOM_FAULT_POINT("m_tree/insert");
   if (root_ == nullptr) {
     root_ = std::make_unique<MTreeNode>(/*is_leaf=*/true);
     root_->pivot_ = sphere.center();

@@ -8,6 +8,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/fault.h"
+
 namespace hyperdom {
 
 namespace {
@@ -109,6 +111,7 @@ Status RStarTree::Insert(const Hypersphere& sphere, uint64_t id) {
                                    std::to_string(dim_) + "-d, sphere is " +
                                    std::to_string(sphere.dim()) + "-d");
   }
+  HYPERDOM_FAULT_POINT("rstar_tree/insert");
   if (root_ == nullptr) {
     root_ = std::make_unique<RStarTreeNode>(/*is_leaf=*/true);
   }

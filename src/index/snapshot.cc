@@ -1,0 +1,215 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "index/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "index/ss_tree.h"
+#include "index/vp_tree.h"
+
+namespace hyperdom {
+
+namespace {
+
+constexpr char kSnapMagic[4] = {'H', 'D', 'S', 'P'};
+constexpr uint32_t kSnapVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+// Writes envelope + payload to `<path>.tmp`, then renames into place, so
+// an interrupted save never replaces a good snapshot with a torn one.
+Status WriteEnvelope(const std::string& path, SnapshotKind kind,
+                     const std::string& payload) {
+  HYPERDOM_FAULT_POINT("snapshot/write");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for writing: " + tmp);
+    out.write(kSnapMagic, sizeof(kSnapMagic));
+    WritePod(out, kSnapVersion);
+    WritePod(out, static_cast<uint32_t>(kind));
+    WritePod(out, static_cast<uint64_t>(payload.size()));
+    WritePod(out, Crc32Of(payload.data(), payload.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+// Reads and validates the envelope; fills `*info` and, when the header is
+// sound, the payload bytes. info->crc_ok reports the checksum comparison.
+Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
+                    std::string* payload) {
+  HYPERDOM_FAULT_POINT("snapshot/read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::Corruption("bad magic: not a hyperdom snapshot");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) return Status::Corruption("truncated header");
+  if (version != kSnapVersion) {
+    return Status::NotSupported("unsupported snapshot version " +
+                                std::to_string(version));
+  }
+  uint32_t kind = 0;
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  if (!ReadPod(in, &kind) || !ReadPod(in, &payload_size) ||
+      !ReadPod(in, &crc)) {
+    return Status::Corruption("truncated header");
+  }
+  if (kind != static_cast<uint32_t>(SnapshotKind::kSsTree) &&
+      kind != static_cast<uint32_t>(SnapshotKind::kVpTree)) {
+    return Status::Corruption("unknown snapshot kind " +
+                              std::to_string(kind));
+  }
+  info->kind = static_cast<SnapshotKind>(kind);
+  info->version = version;
+  info->payload_size = payload_size;
+
+  // Compare the declared size against the bytes actually present before
+  // allocating: a corrupted size field must not drive a huge allocation.
+  const std::istream::pos_type payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type file_end = in.tellg();
+  if (payload_start < 0 || file_end < payload_start ||
+      static_cast<uint64_t>(file_end - payload_start) != payload_size) {
+    return Status::Corruption("payload size mismatch: header says " +
+                              std::to_string(payload_size) + " bytes");
+  }
+  in.seekg(payload_start);
+  std::string buf(payload_size, '\0');
+  if (payload_size > 0) {
+    in.read(buf.data(), static_cast<std::streamsize>(payload_size));
+    if (!in) return Status::Corruption("truncated payload");
+  }
+  info->crc_ok = Crc32Of(buf.data(), buf.size()) == crc;
+  *payload = std::move(buf);
+  return Status::OK();
+}
+
+// Shared load path: envelope checks, then the tree's own Deserialize.
+template <typename Tree>
+Status LoadSnapshotImpl(const std::string& path, SnapshotKind expected,
+                        Tree* out) {
+  SnapshotInfo info;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(ReadEnvelope(path, &info, &payload));
+  if (info.kind != expected) {
+    return Status::InvalidArgument(
+        "snapshot holds a " + std::string(SnapshotKindName(info.kind)) +
+        ", expected a " + std::string(SnapshotKindName(expected)));
+  }
+  if (!info.crc_ok) {
+    return Status::Corruption("snapshot checksum mismatch: " + path);
+  }
+  std::istringstream in(std::move(payload), std::ios::binary);
+  return Tree::Deserialize(in, out);
+}
+
+template <typename Tree>
+Status SaveSnapshotImpl(const Tree& tree, SnapshotKind kind,
+                        const std::string& path) {
+  std::ostringstream payload(std::ios::binary);
+  HYPERDOM_RETURN_NOT_OK(tree.Serialize(payload));
+  return WriteEnvelope(path, kind, payload.str());
+}
+
+}  // namespace
+
+std::string_view SnapshotKindName(SnapshotKind kind) {
+  switch (kind) {
+    case SnapshotKind::kSsTree:
+      return "ss-tree";
+    case SnapshotKind::kVpTree:
+      return "vp-tree";
+  }
+  return "unknown";
+}
+
+Status SaveSnapshot(const SsTree& tree, const std::string& path) {
+  return SaveSnapshotImpl(tree, SnapshotKind::kSsTree, path);
+}
+
+Status SaveSnapshot(const VpTree& tree, const std::string& path) {
+  return SaveSnapshotImpl(tree, SnapshotKind::kVpTree, path);
+}
+
+Status LoadSnapshot(const std::string& path, SsTree* out) {
+  return LoadSnapshotImpl(path, SnapshotKind::kSsTree, out);
+}
+
+Status LoadSnapshot(const std::string& path, VpTree* out) {
+  return LoadSnapshotImpl(path, SnapshotKind::kVpTree, out);
+}
+
+Result<SnapshotInfo> VerifySnapshot(const std::string& path) {
+  SnapshotInfo info;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(ReadEnvelope(path, &info, &payload));
+  return info;
+}
+
+Status LoadSnapshotOrRebuild(const std::string& path,
+                             const std::vector<Hypersphere>& data,
+                             SsTree* out, SnapshotLoadOutcome* outcome,
+                             Status* load_error) {
+  const Status loaded = LoadSnapshot(path, out);
+  if (load_error != nullptr) *load_error = loaded;
+  if (loaded.ok()) {
+    *outcome = SnapshotLoadOutcome::kLoaded;
+    return Status::OK();
+  }
+  SsTree rebuilt(data.empty() ? out->dim() : data.front().dim(),
+                 out->options());
+  HYPERDOM_RETURN_NOT_OK(rebuilt.BulkLoadStr(data));
+  *out = std::move(rebuilt);
+  *outcome = SnapshotLoadOutcome::kRebuilt;
+  return Status::OK();
+}
+
+Status LoadSnapshotOrRebuild(const std::string& path,
+                             const std::vector<Hypersphere>& data,
+                             VpTree* out, SnapshotLoadOutcome* outcome,
+                             Status* load_error) {
+  const Status loaded = LoadSnapshot(path, out);
+  if (load_error != nullptr) *load_error = loaded;
+  if (loaded.ok()) {
+    *outcome = SnapshotLoadOutcome::kLoaded;
+    return Status::OK();
+  }
+  VpTree rebuilt(out->options());
+  HYPERDOM_RETURN_NOT_OK(rebuilt.Build(data));
+  *out = std::move(rebuilt);
+  *outcome = SnapshotLoadOutcome::kRebuilt;
+  return Status::OK();
+}
+
+}  // namespace hyperdom

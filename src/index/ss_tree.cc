@@ -9,6 +9,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 #include "geometry/min_ball.h"
 
@@ -47,12 +48,14 @@ Status SsTree::Insert(const Hypersphere& sphere, uint64_t id) {
                                    std::to_string(dim_) + "-d, sphere is " +
                                    std::to_string(sphere.dim()) + "-d");
   }
+  HYPERDOM_FAULT_POINT("ss_tree/insert");
   if (root_ == nullptr) {
     root_ = std::make_unique<SsTreeNode>(/*is_leaf=*/true);
     root_->center_sum_ = Point(dim_, 0.0);
   }
   std::unique_ptr<SsTreeNode> split_off;
-  InsertRecursive(root_.get(), SsTreeEntry{sphere, id}, &split_off);
+  HYPERDOM_RETURN_NOT_OK(
+      InsertRecursive(root_.get(), SsTreeEntry{sphere, id}, &split_off));
   if (split_off != nullptr) {
     // Grow a new root above the two halves.
     auto new_root = std::make_unique<SsTreeNode>(/*is_leaf=*/false);
@@ -126,6 +129,7 @@ void SsTree::StrTile(std::vector<SsTreeEntry>* entries, size_t lo, size_t hi,
 
 Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
   HYPERDOM_RETURN_NOT_OK(ValidateOptions());
+  HYPERDOM_FAULT_POINT("ss_tree/str_pack");
   root_.reset();
   size_ = 0;
   if (spheres.empty()) return Status::OK();
@@ -311,8 +315,8 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
   return Status::OK();
 }
 
-void SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
-                             std::unique_ptr<SsTreeNode>* split_off) {
+Status SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
+                               std::unique_ptr<SsTreeNode>* split_off) {
   node->center_sum_ = Add(node->center_sum_, entry.sphere.center());
   node->count_ += 1;
 
@@ -332,7 +336,7 @@ void SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
       }
     }
     std::unique_ptr<SsTreeNode> child_split;
-    InsertRecursive(best, entry, &child_split);
+    HYPERDOM_RETURN_NOT_OK(InsertRecursive(best, entry, &child_split));
     if (child_split != nullptr) {
       node->children_.push_back(std::move(child_split));
     }
@@ -341,9 +345,10 @@ void SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
   const size_t occupancy =
       node->is_leaf_ ? node->entries_.size() : node->children_.size();
   if (occupancy > options_.max_entries) {
-    *split_off = SplitNode(node);
+    HYPERDOM_RETURN_NOT_OK(SplitNode(node, split_off));
   }
   RefreshBoundingSphere(node);
+  return Status::OK();
 }
 
 void SsTree::RefreshBoundingSphere(SsTreeNode* node) {
@@ -506,7 +511,11 @@ std::vector<bool> SsTree::ChoosePartition(const std::vector<Point>& keys) const 
   return to_sibling;
 }
 
-std::unique_ptr<SsTreeNode> SsTree::SplitNode(SsTreeNode* node) {
+Status SsTree::SplitNode(SsTreeNode* node,
+                         std::unique_ptr<SsTreeNode>* out_sibling) {
+  // The split allocates a sibling node — the spot where a real allocation
+  // or I/O failure would surface in a paged implementation.
+  HYPERDOM_FAULT_POINT("ss_tree/split");
   // Split keys: entry centers for leaves, child centroids for internals.
   std::vector<Point> keys;
   const size_t n =
@@ -562,7 +571,8 @@ std::unique_ptr<SsTreeNode> SsTree::SplitNode(SsTreeNode* node) {
   }
   RefreshBoundingSphere(node);
   RefreshBoundingSphere(sibling.get());
-  return sibling;
+  *out_sibling = std::move(sibling);
+  return Status::OK();
 }
 
 size_t SsTree::Height() const {
@@ -681,9 +691,8 @@ void SaveNode(std::ostream& out, const SsTreeNode* node, size_t dim) {
 
 }  // namespace
 
-Status SsTree::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
+Status SsTree::Serialize(std::ostream& out) const {
+  HYPERDOM_FAULT_POINT("ss_tree/serialize");
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kFormatVersion);
   WritePod(out, static_cast<uint64_t>(dim_));
@@ -694,6 +703,14 @@ Status SsTree::Save(const std::string& path) const {
   WritePod(out, static_cast<uint32_t>(options_.bounding_policy));
   if (root_ != nullptr) SaveNode(out, root_.get(), dim_);
   out.flush();
+  if (!out) return Status::IOError("SS-tree serialization stream failed");
+  return Status::OK();
+}
+
+Status SsTree::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  HYPERDOM_RETURN_NOT_OK(Serialize(out));
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -755,6 +772,11 @@ Status SsTree::LoadNode(std::istream& in, size_t dim, size_t max_entries,
 Status SsTree::Load(const std::string& path, SsTree* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for reading: " + path);
+  return Deserialize(in, out);
+}
+
+Status SsTree::Deserialize(std::istream& in, SsTree* out) {
+  HYPERDOM_FAULT_POINT("ss_tree/deserialize");
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {

@@ -110,6 +110,9 @@ class SsTree {
   explicit SsTree(size_t dim, SsTreeOptions options = {});
 
   /// Inserts one hypersphere. Fails on dimension mismatch or bad options.
+  /// A mid-insert failure (only reachable via injected faults today) can
+  /// leave the tree with the partial update applied; it stays safe to
+  /// read, but callers should rebuild before trusting CheckInvariants().
   Status Insert(const Hypersphere& sphere, uint64_t id);
 
   /// Bulk-loads by repeated insertion (the paper's experiments build the
@@ -155,16 +158,23 @@ class SsTree {
   /// CheckInvariants().
   static Status Load(const std::string& path, SsTree* out);
 
+  /// Stream-level Save(): writes the binary format to `out`. Used by the
+  /// checksummed snapshot envelope (index/snapshot.h).
+  Status Serialize(std::ostream& out) const;
+
+  /// Stream-level Load(): same validation and derived-data rebuild.
+  static Status Deserialize(std::istream& in, SsTree* out);
+
  private:
   Status ValidateOptions() const;
   /// Descends to the leaf chosen by the cheapest-centroid rule, inserts, and
   /// splits overflowing nodes on the way back up.
-  void InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
-                       std::unique_ptr<SsTreeNode>* split_off);
+  Status InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
+                         std::unique_ptr<SsTreeNode>* split_off);
   /// Recomputes `node`'s bounding sphere from its centroid and children.
   void RefreshBoundingSphere(SsTreeNode* node);
-  /// Splits an overflowing node; returns the new right sibling.
-  std::unique_ptr<SsTreeNode> SplitNode(SsTreeNode* node);
+  /// Splits an overflowing node into `*sibling` (the new right half).
+  Status SplitNode(SsTreeNode* node, std::unique_ptr<SsTreeNode>* sibling);
   /// Item partition for the split, by the configured policy: returns, for
   /// each item key, whether it goes to the new sibling.
   std::vector<bool> ChoosePartition(const std::vector<Point>& keys) const;

@@ -3,8 +3,12 @@
 #include "index/vp_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/fault.h"
 
 namespace hyperdom {
 
@@ -18,6 +22,7 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
     return Status::InvalidArgument("VpTreeOptions.leaf_size must be >= 1");
   }
   if (spheres.empty()) return Status::OK();
+  HYPERDOM_FAULT_POINT("vp_tree/build");
   dim_ = spheres.front().dim();
   std::vector<DataEntry> items;
   items.reserve(spheres.size());
@@ -28,13 +33,15 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
     }
     items.push_back(DataEntry{spheres[i], static_cast<uint64_t>(i)});
   }
-  root_ = BuildRecursive(std::move(items));
+  HYPERDOM_RETURN_NOT_OK(BuildRecursive(std::move(items), &root_));
   size_ = spheres.size();
   return Status::OK();
 }
 
-std::unique_ptr<VpTreeNode> VpTree::BuildRecursive(
-    std::vector<DataEntry> items) {
+Status VpTree::BuildRecursive(std::vector<DataEntry> items,
+                              std::unique_ptr<VpTreeNode>* out) {
+  // Node allocation — where a paged build would touch storage.
+  HYPERDOM_FAULT_POINT("vp_tree/build_node");
   auto node = std::make_unique<VpTreeNode>();
   node->subtree_size_ = items.size();
   for (const auto& item : items) {
@@ -44,7 +51,8 @@ std::unique_ptr<VpTreeNode> VpTree::BuildRecursive(
   if (items.size() <= options_.leaf_size) {
     node->is_leaf_ = true;
     node->bucket_ = std::move(items);
-    return node;
+    *out = std::move(node);
+    return Status::OK();
   }
 
   // Vantage point: the last item (the vector order is caller-random; a
@@ -72,14 +80,17 @@ std::unique_ptr<VpTreeNode> VpTree::BuildRecursive(
   if (!inside_items.empty()) {
     node->inside_lo_ = dist_order.front().first;
     node->inside_hi_ = dist_order[half - 1].first;
-    node->inside_ = BuildRecursive(std::move(inside_items));
+    HYPERDOM_RETURN_NOT_OK(
+        BuildRecursive(std::move(inside_items), &node->inside_));
   }
   if (!outside_items.empty()) {
     node->outside_lo_ = dist_order[half].first;
     node->outside_hi_ = dist_order.back().first;
-    node->outside_ = BuildRecursive(std::move(outside_items));
+    HYPERDOM_RETURN_NOT_OK(
+        BuildRecursive(std::move(outside_items), &node->outside_));
   }
-  return node;
+  *out = std::move(node);
+  return Status::OK();
 }
 
 namespace {
@@ -159,6 +170,207 @@ Status VpTree::CheckInvariants() const {
   if (entry_total != size_) {
     return Status::Corruption("total entry count mismatch");
   }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence. Same conventions as the SS-tree format (ss_tree.cc): host
+// endianness, a same-machine cache format, derived data recomputed on load.
+//   magic "HDVP" + u32 version
+//   u64 dim, u64 size, u64 leaf_size
+//   recursive node records (present iff size > 0):
+//     u8 is_leaf
+//     leaf:     u64 bucket_count, then per entry: f64 center[dim],
+//               f64 radius, u64 id
+//     internal: the vantage entry, then per side (inside, outside):
+//               u8 present, and when present f64 lo, f64 hi, child record
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kVpMagic[4] = {'H', 'D', 'V', 'P'};
+constexpr uint32_t kVpFormatVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void SaveEntry(std::ostream& out, const DataEntry& e, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) WritePod(out, e.sphere.center()[i]);
+  WritePod(out, e.sphere.radius());
+  WritePod(out, e.id);
+}
+
+Status ReadEntry(std::istream& in, size_t dim, DataEntry* out) {
+  Point center(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    if (!ReadPod(in, &center[d])) return Status::Corruption("truncated entry");
+    if (!std::isfinite(center[d])) {
+      return Status::Corruption("non-finite coordinate");
+    }
+  }
+  double radius = 0.0;
+  uint64_t id = 0;
+  if (!ReadPod(in, &radius) || !ReadPod(in, &id)) {
+    return Status::Corruption("truncated entry");
+  }
+  if (!std::isfinite(radius) || radius < 0.0) {
+    return Status::Corruption("bad radius");
+  }
+  *out = DataEntry{Hypersphere(std::move(center), radius), id};
+  return Status::OK();
+}
+
+void SaveVpNode(std::ostream& out, const VpTreeNode* node, size_t dim) {
+  const uint8_t is_leaf = node->is_leaf() ? 1 : 0;
+  WritePod(out, is_leaf);
+  if (node->is_leaf()) {
+    WritePod(out, static_cast<uint64_t>(node->bucket().size()));
+    for (const auto& e : node->bucket()) SaveEntry(out, e, dim);
+    return;
+  }
+  SaveEntry(out, node->vantage(), dim);
+  const struct {
+    const VpTreeNode* child;
+    double lo;
+    double hi;
+  } sides[2] = {
+      {node->inside(), node->inside_lo(), node->inside_hi()},
+      {node->outside(), node->outside_lo(), node->outside_hi()},
+  };
+  for (const auto& side : sides) {
+    const uint8_t present = side.child != nullptr ? 1 : 0;
+    WritePod(out, present);
+    if (present) {
+      WritePod(out, side.lo);
+      WritePod(out, side.hi);
+      SaveVpNode(out, side.child, dim);
+    }
+  }
+}
+
+}  // namespace
+
+Status VpTree::Serialize(std::ostream& out) const {
+  HYPERDOM_FAULT_POINT("vp_tree/serialize");
+  out.write(kVpMagic, sizeof(kVpMagic));
+  WritePod(out, kVpFormatVersion);
+  WritePod(out, static_cast<uint64_t>(dim_));
+  WritePod(out, static_cast<uint64_t>(size_));
+  WritePod(out, static_cast<uint64_t>(options_.leaf_size));
+  if (root_ != nullptr) SaveVpNode(out, root_.get(), dim_);
+  out.flush();
+  if (!out) return Status::IOError("VP-tree serialization stream failed");
+  return Status::OK();
+}
+
+Status VpTree::LoadNode(std::istream& in, size_t dim, size_t leaf_size,
+                        size_t depth, std::unique_ptr<VpTreeNode>* out_node) {
+  // A valid build halves the item count per level, so any honest tree is
+  // far shallower than 128 levels; deeper means a corrupt file.
+  if (depth > 128) return Status::Corruption("node nesting too deep");
+  uint8_t is_leaf = 0;
+  if (!ReadPod(in, &is_leaf) || is_leaf > 1) {
+    return Status::Corruption("bad node tag");
+  }
+  auto node = std::make_unique<VpTreeNode>();
+  if (is_leaf == 1) {
+    node->is_leaf_ = true;
+    uint64_t count = 0;
+    if (!ReadPod(in, &count)) return Status::Corruption("truncated node");
+    if (count == 0 || count > leaf_size) {
+      return Status::Corruption("bucket size out of range");
+    }
+    node->bucket_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      DataEntry e;
+      HYPERDOM_RETURN_NOT_OK(ReadEntry(in, dim, &e));
+      node->max_radius_ = std::max(node->max_radius_, e.sphere.radius());
+      node->bucket_.push_back(std::move(e));
+    }
+    node->subtree_size_ = node->bucket_.size();
+    *out_node = std::move(node);
+    return Status::OK();
+  }
+
+  HYPERDOM_RETURN_NOT_OK(ReadEntry(in, dim, &node->vantage_));
+  node->max_radius_ = node->vantage_.sphere.radius();
+  node->subtree_size_ = 1;
+  struct Side {
+    std::unique_ptr<VpTreeNode>* child;
+    double* lo;
+    double* hi;
+  };
+  const Side sides[2] = {
+      {&node->inside_, &node->inside_lo_, &node->inside_hi_},
+      {&node->outside_, &node->outside_lo_, &node->outside_hi_},
+  };
+  for (const Side& side : sides) {
+    uint8_t present = 0;
+    if (!ReadPod(in, &present) || present > 1) {
+      return Status::Corruption("bad side tag");
+    }
+    if (present == 0) continue;
+    if (!ReadPod(in, side.lo) || !ReadPod(in, side.hi)) {
+      return Status::Corruption("truncated band");
+    }
+    if (!std::isfinite(*side.lo) || !std::isfinite(*side.hi) ||
+        *side.lo < 0.0 || *side.hi < *side.lo) {
+      return Status::Corruption("bad distance band");
+    }
+    HYPERDOM_RETURN_NOT_OK(
+        LoadNode(in, dim, leaf_size, depth + 1, side.child));
+    node->max_radius_ =
+        std::max(node->max_radius_, (*side.child)->max_radius_);
+    node->subtree_size_ += (*side.child)->subtree_size_;
+  }
+  if (node->inside_ == nullptr && node->outside_ == nullptr) {
+    return Status::Corruption("internal node without children");
+  }
+  *out_node = std::move(node);
+  return Status::OK();
+}
+
+Status VpTree::Deserialize(std::istream& in, VpTree* out) {
+  HYPERDOM_FAULT_POINT("vp_tree/deserialize");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kVpMagic, sizeof(kVpMagic)) != 0) {
+    return Status::Corruption("bad magic: not a VP-tree stream");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVpFormatVersion) {
+    return Status::NotSupported("unsupported VP-tree format version");
+  }
+  uint64_t dim = 0, size = 0, leaf_size = 0;
+  if (!ReadPod(in, &dim) || !ReadPod(in, &size) || !ReadPod(in, &leaf_size)) {
+    return Status::Corruption("truncated header");
+  }
+  if (leaf_size == 0 || (size > 0 && dim == 0)) {
+    return Status::Corruption("bad header fields");
+  }
+
+  VpTreeOptions options;
+  options.leaf_size = leaf_size;
+  VpTree tree(options);
+  if (size > 0) {
+    HYPERDOM_RETURN_NOT_OK(
+        LoadNode(in, dim, leaf_size, /*depth=*/0, &tree.root_));
+    if (tree.root_->subtree_size_ != size) {
+      return Status::Corruption("entry count does not match header");
+    }
+    tree.dim_ = dim;
+    tree.size_ = size;
+  }
+  HYPERDOM_RETURN_NOT_OK(tree.CheckInvariants());
+  *out = std::move(tree);
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #ifndef HYPERDOM_INDEX_VP_TREE_H_
 #define HYPERDOM_INDEX_VP_TREE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -89,8 +90,23 @@ class VpTree {
   /// subtree counts are consistent.
   Status CheckInvariants() const;
 
+  /// \brief Writes the tree to `out` in a compact binary format (host
+  /// endianness, same-machine cache format — see vp_tree.cc). Used by the
+  /// checksummed snapshot envelope (index/snapshot.h).
+  Status Serialize(std::ostream& out) const;
+
+  /// \brief Reads a tree written by Serialize() into `*out` (replacing its
+  /// contents). Derived per-node data (max radii, subtree counts) is
+  /// recomputed and CheckInvariants() re-verified, so a successful load is
+  /// structurally sound even against a corrupted stream.
+  static Status Deserialize(std::istream& in, VpTree* out);
+
  private:
-  std::unique_ptr<VpTreeNode> BuildRecursive(std::vector<DataEntry> items);
+  Status BuildRecursive(std::vector<DataEntry> items,
+                        std::unique_ptr<VpTreeNode>* out);
+  /// Reads one serialized node record (Deserialize() helper).
+  static Status LoadNode(std::istream& in, size_t dim, size_t leaf_size,
+                         size_t depth, std::unique_ptr<VpTreeNode>* out_node);
 
   VpTreeOptions options_;
   std::unique_ptr<VpTreeNode> root_;

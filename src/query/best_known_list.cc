@@ -73,6 +73,23 @@ std::vector<DataEntry> BestKnownList::TakeAnswers() {
   return out;
 }
 
+std::vector<DataEntry> BestKnownList::TakeAnswersWithin(
+    double pending_bound) {
+  // Compute the certainty bound L from the interim DistK BEFORE the final
+  // filter runs: TakeAnswers() may revive parked entries, but the exact
+  // distk is already known to be >= min(interim distk, pending_bound).
+  const double certain = std::min(DistK(), pending_bound);
+  std::vector<DataEntry> all = TakeAnswers();
+  std::vector<DataEntry> out;
+  out.reserve(all.size());
+  for (auto& entry : all) {
+    if (MaxDist(entry.sphere, *sq_) <= certain) {
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
 bool BestKnownList::CertainlyDominates(const Hypersphere& sa,
                                        const Hypersphere& sb) {
   ++stats_->dominance_checks;

@@ -42,6 +42,16 @@ class BestKnownList {
   /// ordered by ascending MaxDist to the query.
   std::vector<DataEntry> TakeAnswers();
 
+  /// Best-effort variant used when a deadline cut the traversal short.
+  /// `pending_bound` is the minimum MinDist over the subtrees the traversal
+  /// skipped (TraversalGuard::pending_bound()). Returns only entries whose
+  /// membership in the exact Definition-2 answer is certain: because
+  /// dominance implies a strictly smaller MaxDist, the exact distk can
+  /// never drop below L = min(DistK(), pending_bound), so every seen entry
+  /// with MaxDist <= L belongs to the exact answer (docs/robustness.md §7).
+  /// Consumes the list; answers ordered by ascending MaxDist.
+  std::vector<DataEntry> TakeAnswersWithin(double pending_bound);
+
  private:
   struct Item {
     DataEntry entry;

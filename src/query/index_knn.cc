@@ -25,11 +25,19 @@ namespace {
 // ---------------------------------------------------------------------------
 
 template <typename Node, typename MinDistFn, typename VisitFn>
-void GenericDepthFirst(const Node* node, const MinDistFn& min_dist,
-                       const VisitFn& visit, BestKnownList* list,
-                       KnnStats* stats) {
-  if (min_dist(node) > list->DistK()) {
+void GenericDepthFirst(const Node* node, double bound,
+                       const MinDistFn& min_dist, const VisitFn& visit,
+                       BestKnownList* list, KnnStats* stats,
+                       TraversalGuard* guard) {
+  // distk shrinks while siblings are processed, so the bound is re-checked
+  // here, at descent time, rather than where the child was enumerated.
+  if (bound > list->DistK()) {
     ++stats->nodes_pruned;
+    return;
+  }
+  if (guard->ShouldStop(stats->nodes_visited)) {
+    ++stats->nodes_deadline_skipped;
+    guard->NoteSkipped(bound);
     return;
   }
   ++stats->nodes_visited;
@@ -39,19 +47,16 @@ void GenericDepthFirst(const Node* node, const MinDistFn& min_dist,
       [&](const Node* child) { order.emplace_back(min_dist(child), child); });
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [bound, child] : order) {
-    if (bound > list->DistK()) {
-      ++stats->nodes_pruned;
-      continue;
-    }
-    GenericDepthFirst(child, min_dist, visit, list, stats);
+  for (const auto& [child_bound, child] : order) {
+    GenericDepthFirst(child, child_bound, min_dist, visit, list, stats,
+                      guard);
   }
 }
 
 template <typename Node, typename MinDistFn, typename VisitFn>
 void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
                       const VisitFn& visit, BestKnownList* list,
-                      KnnStats* stats) {
+                      KnnStats* stats, TraversalGuard* guard) {
   using QueueItem = std::pair<double, const Node*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;
@@ -64,6 +69,13 @@ void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
     heap.pop();
     if (bound > list->DistK()) {
       stats->nodes_pruned += 1 + heap.size();
+      break;
+    }
+    if (guard->ShouldStop(stats->nodes_visited)) {
+      // The popped node carries the smallest bound left in the queue, so
+      // it alone determines the pending bound for the abandoned frontier.
+      guard->NoteSkipped(bound);
+      stats->nodes_deadline_skipped += 1 + heap.size();
       break;
     }
     ++stats->nodes_visited;
@@ -82,12 +94,19 @@ KnnResult RunSearch(const Root* root, const Hypersphere& sq,
   if (root == nullptr) return result;
   BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
                      &result.stats);
+  TraversalGuard guard(options.deadline);
   if (options.strategy == SearchStrategy::kDepthFirst) {
-    GenericDepthFirst(root, min_dist, visit, &list, &result.stats);
+    GenericDepthFirst(root, min_dist(root), min_dist, visit, &list,
+                      &result.stats, &guard);
   } else {
-    GenericBestFirst(root, min_dist, visit, &list, &result.stats);
+    GenericBestFirst(root, min_dist, visit, &list, &result.stats, &guard);
   }
-  result.answers = list.TakeAnswers();
+  if (guard.expired()) {
+    result.completeness = Completeness::kBestEffort;
+    result.answers = list.TakeAnswersWithin(guard.pending_bound());
+  } else {
+    result.answers = list.TakeAnswers();
+  }
   return result;
 }
 
@@ -144,6 +163,7 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
   if (tree.root() == nullptr) return result;
   BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
                      &result.stats);
+  TraversalGuard guard(options.deadline);
   KnnStats* stats = &result.stats;
 
   auto expand = [&](const VpTreeNode* node, auto&& emit_bounded) {
@@ -187,6 +207,11 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
         stats->nodes_pruned += 1 + heap.size();
         break;
       }
+      if (guard.ShouldStop(stats->nodes_visited)) {
+        guard.NoteSkipped(top.bound);
+        stats->nodes_deadline_skipped += 1 + heap.size();
+        break;
+      }
       ++stats->nodes_visited;
       expand(top.node, [&](const BoundedNode& child) { heap.push(child); });
     }
@@ -201,6 +226,13 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
         ++stats->nodes_pruned;
         continue;
       }
+      if (guard.ShouldStop(stats->nodes_visited)) {
+        // Sticky: the rest of the stack drains through here, each frame
+        // contributing its own bound to the pending bound.
+        guard.NoteSkipped(top.bound);
+        ++stats->nodes_deadline_skipped;
+        continue;
+      }
       ++stats->nodes_visited;
       std::vector<BoundedNode> children;
       expand(top.node,
@@ -213,7 +245,12 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
       for (const auto& child : children) stack.push_back(child);
     }
   }
-  result.answers = list.TakeAnswers();
+  if (guard.expired()) {
+    result.completeness = Completeness::kBestEffort;
+    result.answers = list.TakeAnswersWithin(guard.pending_bound());
+  } else {
+    result.answers = list.TakeAnswers();
+  }
   return result;
 }
 

@@ -12,10 +12,18 @@ namespace hyperdom {
 
 namespace {
 
-void DepthFirstSearch(const SsTreeNode* node, const Hypersphere& sq,
-                      BestKnownList* list, KnnStats* stats) {
-  if (MinDist(node->bounding_sphere(), sq) > list->DistK()) {
+void DepthFirstSearch(const SsTreeNode* node, double mindist,
+                      const Hypersphere& sq, BestKnownList* list,
+                      KnnStats* stats, TraversalGuard* guard) {
+  // distk shrinks while siblings are processed, so the bound is re-checked
+  // here, at descent time, rather than where the child was enumerated.
+  if (mindist > list->DistK()) {
     ++stats->nodes_pruned;
+    return;
+  }
+  if (guard->ShouldStop(stats->nodes_visited)) {
+    ++stats->nodes_deadline_skipped;
+    guard->NoteSkipped(mindist);
     return;
   }
   ++stats->nodes_visited;
@@ -32,18 +40,14 @@ void DepthFirstSearch(const SsTreeNode* node, const Hypersphere& sq,
   }
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [mindist, child] : order) {
-    // distk shrinks while siblings are processed; re-check before descending.
-    if (mindist > list->DistK()) {
-      ++stats->nodes_pruned;
-      continue;
-    }
-    DepthFirstSearch(child, sq, list, stats);
+  for (const auto& [child_mindist, child] : order) {
+    DepthFirstSearch(child, child_mindist, sq, list, stats, guard);
   }
 }
 
 void BestFirstSearch(const SsTreeNode* root, const Hypersphere& sq,
-                     BestKnownList* list, KnnStats* stats) {
+                     BestKnownList* list, KnnStats* stats,
+                     TraversalGuard* guard) {
   using QueueItem = std::pair<double, const SsTreeNode*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;  // min-heap on MinDist
@@ -57,6 +61,13 @@ void BestFirstSearch(const SsTreeNode* root, const Hypersphere& sq,
     if (mindist > list->DistK()) {
       // The heap is ordered by MinDist: everything left is at least as far.
       stats->nodes_pruned += 1 + heap.size();
+      break;
+    }
+    if (guard->ShouldStop(stats->nodes_visited)) {
+      // The popped node carries the smallest MinDist left, so it alone
+      // determines the pending bound for everything abandoned here.
+      guard->NoteSkipped(mindist);
+      stats->nodes_deadline_skipped += 1 + heap.size();
       break;
     }
     ++stats->nodes_visited;
@@ -84,12 +95,19 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
   if (tree.root() == nullptr) return result;
   BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
                      &result.stats);
+  TraversalGuard guard(options_.deadline);
   if (options_.strategy == SearchStrategy::kDepthFirst) {
-    DepthFirstSearch(tree.root(), sq, &list, &result.stats);
+    DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
+                     sq, &list, &result.stats, &guard);
   } else {
-    BestFirstSearch(tree.root(), sq, &list, &result.stats);
+    BestFirstSearch(tree.root(), sq, &list, &result.stats, &guard);
   }
-  result.answers = list.TakeAnswers();
+  if (guard.expired()) {
+    result.completeness = Completeness::kBestEffort;
+    result.answers = list.TakeAnswersWithin(guard.pending_bound());
+  } else {
+    result.answers = list.TakeAnswers();
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "index/entry.h"
 
 namespace hyperdom {
@@ -46,12 +47,16 @@ struct KnnStats {
   uint64_t pruned_case3 = 0;       ///< entries dropped by distance (case 3)
   uint64_t removed_case1 = 0;      ///< list entries evicted after insert
   uint64_t uncertain_verdicts = 0; ///< kUncertain verdicts (never pruned on)
+  uint64_t nodes_deadline_skipped = 0;  ///< subtrees cut by deadline expiry
 };
 
 /// Result of a kNN query.
 struct KnnResult {
   /// The answer set, ordered by ascending MaxDist to the query.
+  /// When `completeness` is kBestEffort this is a certified subset of the
+  /// exact Definition-2 answer (see docs/robustness.md §7).
   std::vector<DataEntry> answers;
+  Completeness completeness = Completeness::kExact;
   KnnStats stats;
 };
 
@@ -60,6 +65,9 @@ struct KnnOptions {
   size_t k = 10;
   SearchStrategy strategy = SearchStrategy::kBestFirst;
   KnnPruningMode pruning_mode = KnnPruningMode::kDeferred;
+  /// Per-query time/work budget; unbounded by default. On expiry the
+  /// searcher stops descending and returns a flagged best-effort answer.
+  Deadline deadline;
 };
 
 }  // namespace hyperdom

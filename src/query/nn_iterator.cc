@@ -7,8 +7,12 @@
 namespace hyperdom {
 
 NearestNeighborIterator::NearestNeighborIterator(const SsTree* tree,
-                                                 Hypersphere query)
-    : tree_(tree), query_(std::move(query)) {
+                                                 Hypersphere query,
+                                                 Deadline deadline)
+    : tree_(tree),
+      query_(std::move(query)),
+      deadline_(deadline),
+      guard_(deadline_) {
   if (tree_ != nullptr && tree_->root() != nullptr) {
     heap_.push(QueueItem{MinDist(tree_->root()->bounding_sphere(), query_),
                          tree_->root(), nullptr});
@@ -16,13 +20,21 @@ NearestNeighborIterator::NearestNeighborIterator(const SsTree* tree,
 }
 
 std::optional<NearestNeighborIterator::Item> NearestNeighborIterator::Next() {
+  if (guard_.expired()) return std::nullopt;
   while (!heap_.empty()) {
     const QueueItem top = heap_.top();
+    if (top.entry == nullptr && guard_.ShouldStop(nodes_expanded_)) {
+      // Leave the node in the heap so PendingBound() keeps reporting a
+      // valid floor on everything the cut-off stream did not produce.
+      guard_.NoteSkipped(top.dist);
+      return std::nullopt;
+    }
     heap_.pop();
     if (top.entry != nullptr) {
       ++produced_;
       return Item{*top.entry, top.dist};
     }
+    ++nodes_expanded_;
     const SsTreeNode* node = top.node;
     if (node->is_leaf()) {
       for (const auto& entry : node->entries()) {

@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/deadline.h"
 #include "index/ss_tree.h"
 
 namespace hyperdom {
@@ -32,9 +33,15 @@ class NearestNeighborIterator {
     double min_dist = 0.0;
   };
 
-  NearestNeighborIterator(const SsTree* tree, Hypersphere query);
+  /// An expired `deadline` makes Next() return nullopt permanently (the
+  /// budget counts node expansions, not entries produced); expired()
+  /// distinguishes that from genuine exhaustion, and PendingBound() stays
+  /// a valid floor on everything the cut-off traversal did not stream.
+  NearestNeighborIterator(const SsTree* tree, Hypersphere query,
+                          Deadline deadline = Deadline::Unbounded());
 
-  /// The next nearest entry, or nullopt when the tree is exhausted.
+  /// The next nearest entry, or nullopt when the tree is exhausted or the
+  /// deadline expired (see expired()).
   std::optional<Item> Next();
 
   /// Lower bound on every future Next() result's min_dist (infinity once
@@ -43,6 +50,9 @@ class NearestNeighborIterator {
 
   /// Entries produced so far.
   size_t produced() const { return produced_; }
+
+  /// True once the deadline has cut the stream short.
+  bool expired() const { return guard_.expired(); }
 
  private:
   // The classical two-kind priority queue: nodes carry the MinDist of
@@ -60,8 +70,11 @@ class NearestNeighborIterator {
 
   const SsTree* tree_;
   Hypersphere query_;
+  Deadline deadline_;
+  TraversalGuard guard_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, Compare> heap_;
   size_t produced_ = 0;
+  uint64_t nodes_expanded_ = 0;
 };
 
 }  // namespace hyperdom

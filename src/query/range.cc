@@ -9,9 +9,14 @@ namespace hyperdom {
 namespace {
 
 void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
-                    double range, RangeResult* result) {
+                    double range, RangeResult* result,
+                    TraversalGuard* guard) {
   if (MinDist(node->bounding_sphere(), sq) > range) {
     ++result->stats.nodes_pruned;
+    return;
+  }
+  if (guard->ShouldStop(result->stats.nodes_visited)) {
+    ++result->stats.nodes_deadline_skipped;
     return;
   }
   ++result->stats.nodes_visited;
@@ -28,18 +33,20 @@ void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
     return;
   }
   for (const auto& child : node->children()) {
-    RangeRecursive(child.get(), sq, range, result);
+    RangeRecursive(child.get(), sq, range, result, guard);
   }
 }
 
 }  // namespace
 
 RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
-                        double range) {
+                        double range, const Deadline& deadline) {
   assert(range >= 0.0);
   RangeResult result;
   if (tree.root() == nullptr) return result;
-  RangeRecursive(tree.root(), sq, range, &result);
+  TraversalGuard guard(deadline);
+  RangeRecursive(tree.root(), sq, range, &result, &guard);
+  if (guard.expired()) result.completeness = Completeness::kBestEffort;
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "index/ss_tree.h"
 
 namespace hyperdom {
@@ -25,6 +26,7 @@ struct RangeStats {
   uint64_t nodes_visited = 0;
   uint64_t nodes_pruned = 0;
   uint64_t entries_accessed = 0;
+  uint64_t nodes_deadline_skipped = 0;
 };
 
 /// Result of a range query.
@@ -33,12 +35,18 @@ struct RangeResult {
   std::vector<DataEntry> certain;
   /// Objects that may be within range, INCLUDING the certain ones.
   std::vector<DataEntry> possible;
+  /// kBestEffort when the deadline expired; both sets are then subsets of
+  /// the exact answer (membership tests are per-entry, so every reported
+  /// entry is individually certain).
+  Completeness completeness = Completeness::kExact;
   RangeStats stats;
 };
 
-/// Runs the range query over an SS-tree. `range` must be >= 0.
+/// Runs the range query over an SS-tree. `range` must be >= 0. An expired
+/// `deadline` stops the traversal; the partial answer is flagged.
 RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
-                        double range);
+                        double range,
+                        const Deadline& deadline = Deadline::Unbounded());
 
 /// Reference evaluation by linear scan.
 RangeResult RangeLinearScan(const std::vector<Hypersphere>& data,

@@ -12,10 +12,19 @@ namespace hyperdom {
 
 RknnResult RknnFilter(const std::vector<Hypersphere>& data,
                       const Hypersphere& sq, size_t k,
-                      const DominanceCriterion& criterion) {
+                      const DominanceCriterion& criterion,
+                      const Deadline& deadline) {
   assert(k >= 1);
   RknnResult result;
+  TraversalGuard guard(deadline);
   for (size_t cand = 0; cand < data.size(); ++cand) {
+    // Cancellation is at candidate granularity: a candidate is either
+    // fully counted or not reported at all, so a partial answer set is
+    // still a subset of the exact one.
+    if (guard.ShouldStop(cand)) {
+      result.stats.candidates_deadline_skipped += data.size() - cand;
+      break;
+    }
     const Hypersphere& s = data[cand];
     // Probe the other objects nearest to the candidate first: they are the
     // likeliest dominators, so the k-count saturates early.
@@ -43,6 +52,7 @@ RknnResult RknnFilter(const std::vector<Hypersphere>& data,
       result.answers.push_back(static_cast<uint64_t>(cand));
     }
   }
+  if (guard.expired()) result.completeness = Completeness::kBestEffort;
   return result;
 }
 
@@ -102,10 +112,12 @@ size_t CountDominators(const SsTree& tree, const Hypersphere& sq,
 }  // namespace
 
 RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
-                           size_t k, const DominanceCriterion& criterion) {
+                           size_t k, const DominanceCriterion& criterion,
+                           const Deadline& deadline) {
   assert(k >= 1);
   RknnIndexResult result;
   if (tree.root() == nullptr) return result;
+  TraversalGuard guard(deadline);
 
   // Enumerate every candidate entry once.
   std::vector<const SsTreeNode*> stack = {tree.root()};
@@ -120,7 +132,15 @@ RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
     }
   }
 
+  size_t processed = 0;
   for (const DataEntry* cand : candidates) {
+    // Candidate-granular cancellation: an interrupted dominator count
+    // could undercount and wrongly admit the candidate, so the deadline
+    // is only polled between candidates (see rknn.h).
+    if (guard.ShouldStop(result.stats.nodes_visited)) {
+      result.stats.candidates_deadline_skipped = candidates.size() - processed;
+      break;
+    }
     const size_t dominators = CountDominators(
         tree, sq, cand->sphere, cand->id, k, criterion, &result.stats);
     if (dominators >= k) {
@@ -128,8 +148,10 @@ RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
     } else {
       result.answers.push_back(cand->id);
     }
+    ++processed;
   }
   std::sort(result.answers.begin(), result.answers.end());
+  if (guard.expired()) result.completeness = Completeness::kBestEffort;
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "dominance/criterion.h"
 
 namespace hyperdom {
@@ -25,11 +26,16 @@ namespace hyperdom {
 struct RknnStats {
   uint64_t dominance_checks = 0;
   uint64_t candidates_pruned = 0;
+  uint64_t candidates_deadline_skipped = 0;
 };
 
 /// Result of an RkNN query: indices into the dataset.
+/// Deadlines cancel at candidate granularity — a candidate's dominator
+/// count is never cut short — so every reported answer is individually
+/// certain and a kBestEffort answer set is a subset of the exact one.
 struct RknnResult {
   std::vector<uint64_t> answers;
+  Completeness completeness = Completeness::kExact;
   RknnStats stats;
 };
 
@@ -38,10 +44,12 @@ struct RknnResult {
 ///
 /// O(N^2) worst case but each candidate short-circuits after k dominators;
 /// candidates are tested against neighbors in ascending MaxDist order so
-/// the short-circuit triggers early.
+/// the short-circuit triggers early. The deadline's node budget counts
+/// candidates processed (this scan expands no index nodes).
 RknnResult RknnFilter(const std::vector<Hypersphere>& data,
                       const Hypersphere& sq, size_t k,
-                      const DominanceCriterion& criterion);
+                      const DominanceCriterion& criterion,
+                      const Deadline& deadline = Deadline::Unbounded());
 
 /// \brief Index-accelerated reverse-kNN over an SS-tree (the filter-refine
 /// shape of Lian & Chen [22]): per candidate S, dominator candidates are
@@ -54,17 +62,22 @@ struct RknnIndexStats {
   uint64_t dominance_checks = 0;
   uint64_t candidates_pruned = 0;
   uint64_t nodes_visited = 0;
+  uint64_t candidates_deadline_skipped = 0;
 };
 
+/// Deadline cancellation is at candidate granularity (see RknnResult);
+/// the node budget applies to the cumulative `nodes_visited` count.
 struct RknnIndexResult {
   std::vector<uint64_t> answers;
+  Completeness completeness = Completeness::kExact;
   RknnIndexStats stats;
 };
 
 class SsTree;  // from index/ss_tree.h
 
 RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
-                           size_t k, const DominanceCriterion& criterion);
+                           size_t k, const DominanceCriterion& criterion,
+                           const Deadline& deadline = Deadline::Unbounded());
 
 }  // namespace hyperdom
 

@@ -1,0 +1,295 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Fault-injection sweeps (common/fault.h). A workload touching every
+// fallible subsystem — CSV I/O, all four index builds, snapshot
+// save/load, the certified escalation chain — is run with each site armed
+// in turn: every failure must surface as a clean Status naming the site
+// (or, for the certified degrade sites, as a conservative verdict), never
+// as a crash. A seeded 1%-probability randomized run across 10k queries
+// then shakes out interactions between sites.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/generator.h"
+#include "dominance/certified.h"
+#include "dominance/criterion.h"
+#include "dominance/hyperbola.h"
+#include "eval/workload.h"
+#include "index/m_tree.h"
+#include "index/rstar_tree.h"
+#include "index/snapshot.h"
+#include "index/ss_tree.h"
+#include "index/vp_tree.h"
+#include "query/knn.h"
+
+namespace hyperdom {
+namespace {
+
+#if !defined(HYPERDOM_FAULT_INJECTION_ENABLED)
+TEST(FaultInjectionTest, CompiledOut) {
+  GTEST_SKIP() << "built with HYPERDOM_FAULT_INJECTION=OFF";
+}
+#else
+
+std::vector<Hypersphere> WorkloadData(uint64_t seed, size_t n = 300) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 3;
+  spec.radius_mean = 8.0;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+std::string WorkloadPath(const std::string& name) {
+  return ::testing::TempDir() + "hyperdom_fault_" + name;
+}
+
+// Disarms the registry when a test ends, whatever happened.
+struct RegistryGuard {
+  ~RegistryGuard() { FaultRegistry::Instance().Reset(); }
+};
+
+// Runs one pass through every fallible subsystem, stopping at the first
+// non-OK Status. Certified verdicts cannot fail; they are exercised for
+// their degrade sites and checked separately.
+Status RunFallibleWorkload(const std::vector<Hypersphere>& data,
+                           const std::string& tag) {
+  const std::string csv_path = WorkloadPath(tag + ".csv");
+  const std::string ss_path = WorkloadPath(tag + "_ss.snap");
+  const std::string vp_path = WorkloadPath(tag + "_vp.snap");
+
+  HYPERDOM_RETURN_NOT_OK(SaveSpheresCsv(csv_path, data));
+  auto reloaded = LoadSpheresCsv(csv_path);
+  HYPERDOM_RETURN_NOT_OK(reloaded.status());
+
+  // Dynamic SS-tree inserts reach insert + split; STR reaches str_pack.
+  SsTree dynamic_tree(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    HYPERDOM_RETURN_NOT_OK(dynamic_tree.Insert(data[i], i));
+  }
+  SsTree str_tree(3);
+  HYPERDOM_RETURN_NOT_OK(str_tree.BulkLoadStr(data));
+
+  HYPERDOM_RETURN_NOT_OK(SaveSnapshot(str_tree, ss_path));
+  SsTree ss_loaded(1);
+  HYPERDOM_RETURN_NOT_OK(LoadSnapshot(ss_path, &ss_loaded));
+
+  VpTree vp;
+  HYPERDOM_RETURN_NOT_OK(vp.Build(data));
+  HYPERDOM_RETURN_NOT_OK(SaveSnapshot(vp, vp_path));
+  VpTree vp_loaded;
+  HYPERDOM_RETURN_NOT_OK(LoadSnapshot(vp_path, &vp_loaded));
+
+  RStarTree rstar(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    HYPERDOM_RETURN_NOT_OK(rstar.Insert(data[i], i));
+  }
+  MTree mtree(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    HYPERDOM_RETURN_NOT_OK(mtree.Insert(data[i], i));
+  }
+
+  // Certified chain: tier 1 (certified/quartic) runs on every call.
+  const CertifiedDominance engine;
+  for (size_t i = 0; i + 2 < data.size(); i += 3) {
+    (void)engine.Decide(data[i], data[i + 1], data[i + 2]);
+  }
+
+  std::remove(csv_path.c_str());
+  std::remove(ss_path.c_str());
+  std::remove(vp_path.c_str());
+  return Status::OK();
+}
+
+TEST(FaultRegistryTest, ArmSiteFiresExactlyTheNthHit) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  registry.ArmSite("csv/open_read", 3);
+  EXPECT_TRUE(registry.Hit("csv/open_read").ok());
+  EXPECT_TRUE(registry.Hit("csv/open_read").ok());
+  const Status fired = registry.Hit("csv/open_read");
+  EXPECT_FALSE(fired.ok());
+  EXPECT_NE(fired.message().find("csv/open_read"), std::string::npos);
+  // Single-shot: later hits pass again.
+  EXPECT_TRUE(registry.Hit("csv/open_read").ok());
+  EXPECT_EQ(registry.injected(), 1u);
+  // Other sites are unaffected.
+  EXPECT_TRUE(registry.Hit("csv/parse_row").ok());
+}
+
+TEST(FaultRegistryTest, RandomModeIsDeterministicInSeed) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  auto pattern = [&](uint64_t seed) {
+    registry.ArmRandom(seed, 0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!registry.Hit("ss_tree/insert").ok());
+    }
+    return fired;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  const auto c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultRegistryTest, ResetDisarms) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  registry.ArmSite("csv/open_read", 1);
+  EXPECT_TRUE(registry.armed());
+  registry.Reset();
+  EXPECT_FALSE(registry.armed());
+  EXPECT_TRUE(registry.Hit("csv/open_read").ok());
+  EXPECT_EQ(registry.injected(), 0u);
+}
+
+// With counting enabled but no faults (p = 0), the workload must execute
+// every Status-returning site at least once — otherwise the sweep below
+// proves nothing for the unexecuted sites.
+TEST(FaultInjectionTest, WorkloadCoversEveryStatusSite) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  registry.ArmRandom(/*seed=*/1, /*probability=*/0.0);
+  const auto data = WorkloadData(7001);
+  ASSERT_TRUE(RunFallibleWorkload(data, "coverage").ok());
+  for (std::string_view site : AllFaultSites()) {
+    if (IsDegradeFaultSite(site)) continue;  // covered by the p=1 test
+    EXPECT_GT(registry.hits(site), 0u) << "site never executed: " << site;
+  }
+  EXPECT_EQ(registry.injected(), 0u);
+}
+
+// Arming each Status site in turn: the workload must fail with a Status
+// that names the site — and nothing worse.
+TEST(FaultInjectionTest, EverySiteFailsWithCleanStatus) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  const auto data = WorkloadData(7002);
+  for (std::string_view site : AllFaultSites()) {
+    if (IsDegradeFaultSite(site)) continue;
+    registry.ArmSite(site, 1);
+    const Status status = RunFallibleWorkload(data, "sweep");
+    EXPECT_FALSE(status.ok()) << "armed site did not surface: " << site;
+    EXPECT_NE(status.message().find(site), std::string::npos)
+        << "wrong failure for " << site << ": " << status.ToString();
+    EXPECT_EQ(registry.injected(), 1u) << site;
+  }
+}
+
+// Degrade sites (the certified escalation chain) must never produce a
+// Status failure — only conservative kUncertain verdicts. Forcing every
+// tier to degrade (p = 1) walks the whole chain on each call.
+TEST(FaultInjectionTest, DegradeSitesDegradeNeverFail) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  const auto data = WorkloadData(7003, 90);
+
+  registry.ArmRandom(/*seed=*/5, /*probability=*/1.0);
+  const CertifiedDominance engine;
+  for (size_t i = 0; i + 2 < data.size(); i += 3) {
+    const Verdict v = engine.Decide(data[i], data[i + 1], data[i + 2]);
+    EXPECT_EQ(v, Verdict::kUncertain)
+        << "a fully degraded chain must answer kUncertain";
+  }
+  for (std::string_view site : AllFaultSites()) {
+    if (!IsDegradeFaultSite(site)) continue;
+    EXPECT_GT(registry.hits(site), 0u) << "degrade site never hit: " << site;
+  }
+
+  // Individually armed, a degraded tier is simply skipped: the chain
+  // escalates past it and the workload stays clean end to end.
+  for (std::string_view site : AllFaultSites()) {
+    if (!IsDegradeFaultSite(site)) continue;
+    registry.ArmSite(site, 1);
+    const Status status = RunFallibleWorkload(data, "degrade");
+    EXPECT_TRUE(status.ok()) << site << ": " << status.ToString();
+  }
+}
+
+// The acceptance run: seeded 1%-probability faults across 10k certified
+// queries plus periodic snapshot/CSV cycles. No crashes; every failure is
+// a Status; query answers stay supersets of the exact Definition-2 set
+// (degraded verdicts keep entries, never drop them).
+TEST(FaultInjectionTest, RandomizedTenThousandQuerySweep) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  const auto data = WorkloadData(7004, 200);
+  SsTree tree(3);
+  ASSERT_TRUE(tree.BulkLoadStr(data).ok());
+  const auto queries = MakeKnnQueries(data, 10'000, 7005);
+
+  HyperbolaCriterion exact;
+  const auto certified = MakeCriterion(CriterionKind::kCertified);
+  KnnSearcher searcher(certified.get(), KnnOptions{});
+  KnnSearcher exact_searcher(&exact, KnnOptions{});
+
+  // Exact answers computed before arming, so they are fault-free.
+  std::vector<std::set<uint64_t>> truth;
+  truth.reserve(queries.size());
+  for (const auto& sq : queries) {
+    std::set<uint64_t> ids;
+    for (const auto& e : exact_searcher.Search(tree, sq).answers) {
+      ids.insert(e.id);
+    }
+    truth.push_back(std::move(ids));
+  }
+
+  registry.ArmRandom(/*seed=*/0xFA17, /*probability=*/0.01);
+  uint64_t status_failures = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const KnnResult result = searcher.Search(tree, queries[i]);
+    std::set<uint64_t> ids;
+    for (const auto& e : result.answers) ids.insert(e.id);
+    ASSERT_TRUE(std::includes(ids.begin(), ids.end(), truth[i].begin(),
+                              truth[i].end()))
+        << "degraded query " << i << " lost an exact answer";
+    if (i % 500 == 0) {
+      // Interleave fallible subsystems; failures must be clean Statuses.
+      const std::string path = WorkloadPath("rand.snap");
+      const Status saved = SaveSnapshot(tree, path);
+      if (!saved.ok()) {
+        ++status_failures;
+      } else {
+        SsTree loaded(1);
+        if (!LoadSnapshot(path, &loaded).ok()) ++status_failures;
+        std::remove(path.c_str());
+      }
+    }
+  }
+  // With p = 1% over tens of thousands of site executions, faults fired.
+  EXPECT_GT(registry.injected(), 0u);
+  // Same seed, same workload => identical injection count (determinism).
+  const uint64_t first_run = registry.injected();
+  registry.ArmRandom(/*seed=*/0xFA17, /*probability=*/0.01);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    (void)searcher.Search(tree, queries[i]);
+    if (i % 500 == 0) {
+      const std::string path = WorkloadPath("rand.snap");
+      if (SaveSnapshot(tree, path).ok()) {
+        SsTree loaded(1);
+        (void)LoadSnapshot(path, &loaded);
+        std::remove(path.c_str());
+      }
+    }
+  }
+  EXPECT_EQ(registry.injected(), first_run);
+}
+
+#endif  // HYPERDOM_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace hyperdom

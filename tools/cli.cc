@@ -2,10 +2,13 @@
 
 #include "tools/cli.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "data/csv.h"
@@ -15,7 +18,9 @@
 #include "dominance/growing.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
+#include "index/snapshot.h"
 #include "index/ss_tree.h"
+#include "index/vp_tree.h"
 #include "query/inverse_ranking.h"
 #include "query/knn.h"
 #include "query/probabilistic_knn.h"
@@ -35,7 +40,8 @@ constexpr char kUsage[] =
     "  dominate    --sa=X,..;R --sb=X,..;R --sq=X,..;R [--criterion=NAME|"
     "all]\n"
     "  knn         --data=FILE --query=X,..;R [--k=10] [--criterion=NAME]\n"
-    "              [--strategy=hs|df] [--certified=1]\n"
+    "              [--strategy=hs|df] [--certified=1] [--deadline-ms=T]\n"
+    "              [--node-budget=N]\n"
     "  rank        --data=FILE --target=ID --query=X,..;R "
     "[--criterion=NAME]\n"
     "  range       --data=FILE --query=X,..;R --range=D\n"
@@ -47,9 +53,15 @@ constexpr char kUsage[] =
     "  experiment  --data=FILE [--queries=10000] [--repeats=3] [--seed=S]\n"
     "  selfcheck   [--scenes=20000] [--dim=4] [--mu=10] [--seed=S]\n"
     "              [--certified=1]\n"
+    "  snapshot    --op=save|load|verify --file=SNAP [--index=ss|vp]\n"
+    "              [--data=FILE]\n"
     "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle, certified\n"
     "--certified=1 routes dominance through the certified engine and reports\n"
-    "uncertainty rates and escalation-tier counters.\n";
+    "uncertainty rates and escalation-tier counters.\n"
+    "global flags: --fault-rate=P and --fault-site=SITE arm the fault-\n"
+    "injection registry (seeded by --seed) before the command runs;\n"
+    "--deadline-ms / --node-budget bound a query, degrading gracefully to a\n"
+    "flagged best-effort answer.\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -69,6 +81,25 @@ Result<std::vector<Hypersphere>> LoadData(const ParsedArgs& args) {
   const std::string path = args.GetFlag("data");
   if (path.empty()) return Status::InvalidArgument("missing --data");
   return LoadSpheresCsv(path);
+}
+
+// Builds a query deadline from the optional --deadline-ms / --node-budget
+// flags; unbounded when neither is given.
+Result<Deadline> ParseDeadline(const ParsedArgs& args) {
+  Deadline deadline;
+  const std::string ms = args.GetFlag("deadline-ms");
+  if (!ms.empty()) {
+    double value = 0.0;
+    if (!ParseDouble(ms, &value) || value <= 0.0) {
+      return Status::InvalidArgument("bad --deadline-ms: '" + ms + "'");
+    }
+    deadline = Deadline::AfterDuration(std::chrono::nanoseconds(
+        static_cast<int64_t>(value * 1e6)));
+  }
+  auto budget = RequireUint(args, "node-budget", 0, /*required=*/false);
+  if (!budget.ok()) return budget.status();
+  if (*budget > 0) deadline.SetNodeBudget(*budget);
+  return deadline;
 }
 
 Status CmdGenerate(const ParsedArgs& args, std::ostream& out) {
@@ -187,6 +218,8 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
   if (strategy != "hs" && strategy != "df") {
     return Status::InvalidArgument("bad --strategy (hs|df)");
   }
+  auto deadline = ParseDeadline(args);
+  if (!deadline.ok()) return deadline.status();
 
   SsTree tree(data->front().dim());
   HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
@@ -195,12 +228,20 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
   options.k = *k;
   options.strategy = strategy == "hs" ? SearchStrategy::kBestFirst
                                       : SearchStrategy::kDepthFirst;
+  options.deadline = *deadline;
   KnnSearcher searcher(criterion.get(), options);
   const KnnResult result = searcher.Search(tree, *query);
 
   out << result.answers.size() << " possible top-" << *k
       << " objects (criterion " << criterion->name() << ", "
       << result.stats.dominance_checks << " dominance checks)\n";
+  if (result.completeness == Completeness::kBestEffort) {
+    out << "deadline expired: best-effort answer ("
+        << result.stats.nodes_visited << " nodes visited, "
+        << result.stats.nodes_deadline_skipped
+        << " subtrees skipped; every entry below is certainly in the exact"
+           " answer)\n";
+  }
   if (certified) {
     const uint64_t checks = result.stats.dominance_checks;
     const double rate =
@@ -462,6 +503,89 @@ Status CmdSelfCheck(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdSnapshot(const ParsedArgs& args, std::ostream& out) {
+  const std::string op = args.GetFlag("op");
+  if (op != "save" && op != "load" && op != "verify") {
+    return Status::InvalidArgument("missing or bad --op (save|load|verify)");
+  }
+  const std::string file = args.GetFlag("file");
+  if (file.empty()) return Status::InvalidArgument("missing --file");
+
+  if (op == "verify") {
+    auto info = VerifySnapshot(file);
+    if (!info.ok()) return info.status();
+    out << "snapshot " << file << ": kind=" << SnapshotKindName(info->kind)
+        << " version=" << info->version << " payload=" << info->payload_size
+        << " bytes checksum=" << (info->crc_ok ? "OK" : "MISMATCH") << "\n";
+    if (!info->crc_ok) {
+      return Status::Corruption("snapshot checksum mismatch: " + file);
+    }
+    return Status::OK();
+  }
+
+  const std::string index = args.GetFlag("index", "ss");
+  if (index != "ss" && index != "vp") {
+    return Status::InvalidArgument("bad --index (ss|vp)");
+  }
+
+  if (op == "save") {
+    auto data = LoadData(args);
+    if (!data.ok()) return data.status();
+    if (data->empty()) return Status::InvalidArgument("dataset is empty");
+    if (index == "ss") {
+      SsTree tree(data->front().dim());
+      HYPERDOM_RETURN_NOT_OK(tree.BulkLoadStr(*data));
+      HYPERDOM_RETURN_NOT_OK(SaveSnapshot(tree, file));
+    } else {
+      VpTree tree;
+      HYPERDOM_RETURN_NOT_OK(tree.Build(*data));
+      HYPERDOM_RETURN_NOT_OK(SaveSnapshot(tree, file));
+    }
+    out << "saved " << index << "-tree snapshot of " << data->size()
+        << " spheres to " << file << "\n";
+    return Status::OK();
+  }
+
+  // op == "load": with --data, fall back to a rebuild when the snapshot is
+  // missing or corrupt; without it, a clean load is the only option.
+  const bool have_data = !args.GetFlag("data").empty();
+  std::vector<Hypersphere> data;
+  if (have_data) {
+    auto loaded = LoadData(args);
+    if (!loaded.ok()) return loaded.status();
+    data = std::move(*loaded);
+  }
+  size_t size = 0;
+  SnapshotLoadOutcome outcome = SnapshotLoadOutcome::kLoaded;
+  Status load_error;
+  if (index == "ss") {
+    SsTree tree(1);
+    if (have_data) {
+      HYPERDOM_RETURN_NOT_OK(
+          LoadSnapshotOrRebuild(file, data, &tree, &outcome, &load_error));
+    } else {
+      HYPERDOM_RETURN_NOT_OK(LoadSnapshot(file, &tree));
+    }
+    size = tree.size();
+  } else {
+    VpTree tree;
+    if (have_data) {
+      HYPERDOM_RETURN_NOT_OK(
+          LoadSnapshotOrRebuild(file, data, &tree, &outcome, &load_error));
+    } else {
+      HYPERDOM_RETURN_NOT_OK(LoadSnapshot(file, &tree));
+    }
+    size = tree.size();
+  }
+  if (outcome == SnapshotLoadOutcome::kRebuilt) {
+    out << "snapshot unusable (" << load_error.ToString() << "); rebuilt "
+        << index << "-tree from --data (" << size << " spheres)\n";
+  } else {
+    out << "loaded " << index << "-tree snapshot: " << size << " spheres\n";
+  }
+  return Status::OK();
+}
+
 Status CmdExperiment(const ParsedArgs& args, std::ostream& out) {
   auto data = LoadData(args);
   if (!data.ok()) return data.status();
@@ -488,6 +612,45 @@ Status CmdExperiment(const ParsedArgs& args, std::ostream& out) {
   }
   out << table.Render();
   return Status::OK();
+}
+
+// Arms the process-wide fault registry from the global --fault-site /
+// --fault-rate flags (no-op when neither is given). The probabilistic mode
+// is seeded by the same --seed that drives workload generation, so a
+// failing run reproduces from the one seed.
+Status ArmFaultsFromFlags(const ParsedArgs& args) {
+  const std::string site = args.GetFlag("fault-site");
+  const std::string rate = args.GetFlag("fault-rate");
+  if (site.empty() && rate.empty()) return Status::OK();
+#if !defined(HYPERDOM_FAULT_INJECTION_ENABLED)
+  return Status::NotSupported(
+      "fault injection was compiled out (HYPERDOM_FAULT_INJECTION=OFF)");
+#else
+  if (!site.empty() && !rate.empty()) {
+    return Status::InvalidArgument(
+        "--fault-site and --fault-rate are mutually exclusive");
+  }
+  if (!site.empty()) {
+    const auto& sites = AllFaultSites();
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      return Status::InvalidArgument("unknown fault site '" + site + "'");
+    }
+    auto nth = RequireUint(args, "fault-nth", 1, /*required=*/false);
+    if (!nth.ok()) return nth.status();
+    if (*nth == 0) return Status::InvalidArgument("--fault-nth must be >= 1");
+    FaultRegistry::Instance().ArmSite(site, *nth);
+    return Status::OK();
+  }
+  double probability = 0.0;
+  if (!ParseDouble(rate, &probability) || probability < 0.0 ||
+      probability > 1.0) {
+    return Status::InvalidArgument("bad --fault-rate (in [0, 1])");
+  }
+  auto seed = RequireUint(args, "seed", 0, /*required=*/false);
+  if (!seed.ok()) return seed.status();
+  FaultRegistry::Instance().ArmRandom(*seed, probability);
+  return Status::OK();
+#endif  // HYPERDOM_FAULT_INJECTION_ENABLED
 }
 
 }  // namespace
@@ -558,6 +721,11 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << parsed.status().ToString() << "\n" << kUsage;
     return 2;
   }
+  const Status armed = ArmFaultsFromFlags(*parsed);
+  if (!armed.ok()) {
+    err << "error: " << armed.ToString() << "\n";
+    return 2;
+  }
   Status status;
   if (parsed->command == "generate") {
     status = CmdGenerate(*parsed, out);
@@ -575,6 +743,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     status = CmdExpiry(*parsed, out);
   } else if (parsed->command == "selfcheck") {
     status = CmdSelfCheck(*parsed, out);
+  } else if (parsed->command == "snapshot") {
+    status = CmdSnapshot(*parsed, out);
   } else if (parsed->command == "experiment") {
     status = CmdExperiment(*parsed, out);
   } else if (parsed->command == "help") {

@@ -9,12 +9,21 @@
 //   dominate    --sa=SPHERE --sb=SPHERE --sq=SPHERE [--criterion=NAME|all]
 //       decides Dom(Sa, Sb, Sq); SPHERE is "x,y,...;r"
 //   knn         --data=FILE --query=SPHERE [--k=10] [--criterion=NAME]
-//               [--strategy=hs|df]
-//       runs the Definition-2 kNN over an SS-tree built from FILE
+//               [--strategy=hs|df] [--deadline-ms=T] [--node-budget=N]
+//       runs the Definition-2 kNN over an SS-tree built from FILE; an
+//       expired deadline yields a flagged best-effort answer
 //   rank        --data=FILE --target=ID --query=SPHERE [--criterion=NAME]
 //       prints the possible-rank interval of object ID
+//   snapshot    --op=save|load|verify --file=SNAP [--index=ss|vp]
+//               [--data=FILE]
+//       saves/loads/verifies a checksummed index snapshot; load with
+//       --data rebuilds from the raw data when the snapshot is corrupt
 //   experiment  --data=FILE [--queries=10000] [--repeats=3] [--seed=S]
 //       runs the Section-7.1 dominance experiment on FILE
+//
+// Global flags: --fault-site=SITE / --fault-rate=P arm the fault-injection
+// registry (common/fault.h) before the command runs; the probabilistic
+// mode derives every decision from --seed, so failures reproduce exactly.
 //
 // Criterion names: minmax, mbr, gp, trigonometric, hyperbola, oracle.
 

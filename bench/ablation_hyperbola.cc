@@ -85,7 +85,7 @@ int main() {
         sink += frame.y2 > 0.0 ? 1 : 0;
       }
     }
-    const double t_reduction = static_cast<double>(watch.ElapsedNanos()) /
+    const double t_reduction = static_cast<double>(watch.ElapsedNs()) /
                                (3.0 * static_cast<double>(workload.size()));
     DoNotOptimizeAway(sink);
     const HyperbolaCriterion quartic;

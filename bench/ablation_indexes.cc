@@ -79,7 +79,7 @@ int main() {
         watch.Restart();
         const KnnResult result = fn();
         row->query_ms +=
-            static_cast<double>(watch.ElapsedNanos()) * 1e-6;
+            static_cast<double>(watch.ElapsedNs()) * 1e-6;
         row->accessed += result.stats.entries_accessed;
         if (result.answers.size() != truth_ids.size()) {
           row->answers_match = false;

@@ -68,7 +68,7 @@ int main() {
             if (truth[qi].count(e.id) > 0) ++correct;
           }
         }
-        const double ms = static_cast<double>(watch.ElapsedNanos()) * 1e-6 /
+        const double ms = static_cast<double>(watch.ElapsedNs()) * 1e-6 /
                           static_cast<double>(queries.size());
         char time_s[32], recall_s[32], precision_s[32];
         std::snprintf(time_s, sizeof(time_s), "%.3f ms", ms);

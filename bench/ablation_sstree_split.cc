@@ -79,7 +79,7 @@ int main() {
       for (const auto& sq : queries) {
         watch.Restart();
         const KnnResult result = searcher.Search(tree, sq);
-        query_ns += static_cast<double>(watch.ElapsedNanos());
+        query_ns += static_cast<double>(watch.ElapsedNs());
         accessed += result.stats.entries_accessed;
       }
       char build_str[32], mass_str[32], query_str[32];
@@ -143,7 +143,7 @@ int main() {
       for (const auto& sq : queries) {
         watch.Restart();
         const KnnResult result = searcher.Search(tree, sq);
-        query_ns += static_cast<double>(watch.ElapsedNanos());
+        query_ns += static_cast<double>(watch.ElapsedNs());
         accessed += result.stats.entries_accessed;
       }
       char build_str[32], query_str[32];

@@ -8,12 +8,15 @@
 #define HYPERDOM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/str_util.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
+#include "obs/metrics.h"
 
 namespace hyperdom {
 namespace bench {
@@ -56,6 +59,165 @@ inline void PrintKnnTable(const std::string& sweep_label,
   }
   table.Print();
 }
+
+namespace internal {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << body;
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+}  // namespace internal
+
+/// \brief Flag parsing plus machine-readable output for the figure
+/// binaries.
+///
+/// Accumulates the sweeps a binary prints and, when asked, emits them as a
+/// `BENCH_<name>.json` artifact so CI can diff benchmark results across
+/// commits instead of scraping stdout. Flags (all optional):
+///
+///   --smoke             shrink the workload; binaries pick the reduced
+///                       sizes via Scaled(full, smoke)
+///   --json-out=FILE     write the accumulated rows as
+///                       `hyperdom-bench-v1` JSON
+///   --metrics-out=FILE  dump the process metrics registry after the run
+///                       (`.json` extension selects the JSON export,
+///                       anything else Prometheus text)
+///
+/// Usage: construct from (argc, argv), replace Print*Table calls with
+/// KnnSweep/DominanceSweep, and `return reporter.Finish();` from main.
+class Reporter {
+ public:
+  Reporter(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--smoke") {
+        smoke_ = true;
+      } else if (StartsWith(arg, "--json-out=")) {
+        json_out_ = arg.substr(11);
+      } else if (StartsWith(arg, "--metrics-out=")) {
+        metrics_out_ = arg.substr(14);
+      } else {
+        std::fprintf(stderr,
+                     "error: unknown flag '%s'\n"
+                     "usage: %s [--smoke] [--json-out=FILE] "
+                     "[--metrics-out=FILE]\n",
+                     arg.c_str(), argv[0]);
+        bad_flags_ = true;
+      }
+    }
+  }
+
+  /// True when --smoke was given: the binary should run a shrunk workload
+  /// that exercises every code path but finishes in seconds.
+  bool smoke() const { return smoke_; }
+
+  /// Workload size selector: `full` normally, `smoke` under --smoke.
+  size_t Scaled(size_t full, size_t smoke) const {
+    return smoke_ ? smoke : full;
+  }
+
+  /// Prints and records one dominance sweep point.
+  void DominanceSweep(const std::string& label,
+                      const std::vector<DominanceExperimentRow>& rows) {
+    PrintDominanceTable(label, rows);
+    std::string sweep = SweepPrefix(label);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) sweep += ",\n";
+      sweep += "        {\"criterion\": \"" +
+               internal::JsonEscape(rows[i].criterion) +
+               "\", \"nanos_per_query\": " +
+               FormatDouble(rows[i].nanos_per_query) +
+               ", \"precision_pct\": " + FormatDouble(rows[i].precision_pct) +
+               ", \"recall_pct\": " + FormatDouble(rows[i].recall_pct) + "}";
+    }
+    sweeps_.push_back(sweep + "\n      ]\n    }");
+  }
+
+  /// Prints and records one kNN sweep point.
+  void KnnSweep(const std::string& label,
+                const std::vector<KnnExperimentRow>& rows) {
+    PrintKnnTable(label, rows);
+    std::string sweep = SweepPrefix(label);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) sweep += ",\n";
+      sweep += "        {\"algorithm\": \"" +
+               internal::JsonEscape(rows[i].algorithm) +
+               "\", \"millis_per_query\": " +
+               FormatDouble(rows[i].millis_per_query) +
+               ", \"precision_pct\": " + FormatDouble(rows[i].precision_pct) +
+               ", \"recall_pct\": " + FormatDouble(rows[i].recall_pct) + "}";
+    }
+    sweeps_.push_back(sweep + "\n      ]\n    }");
+  }
+
+  /// Writes the requested artifacts; the binary's exit code.
+  int Finish() const {
+    if (bad_flags_) return 2;
+    if (!json_out_.empty()) {
+      std::string body;
+      body += "{\n  \"schema\": \"hyperdom-bench-v1\",\n";
+      body += "  \"bench\": \"" + internal::JsonEscape(bench_name_) + "\",\n";
+      body += std::string("  \"smoke\": ") + (smoke_ ? "true" : "false") +
+              ",\n  \"sweeps\": [\n";
+      for (size_t i = 0; i < sweeps_.size(); ++i) {
+        if (i > 0) body += ",\n";
+        body += sweeps_[i];
+      }
+      body += "\n  ]\n}\n";
+      if (!internal::WriteFile(json_out_, body)) {
+        std::fprintf(stderr, "error: cannot write %s\n", json_out_.c_str());
+        return 1;
+      }
+    }
+    if (!metrics_out_.empty()) {
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+      auto& registry = obs::MetricsRegistry::Instance();
+      const std::string body = EndsWith(metrics_out_, ".json")
+                                   ? registry.RenderJson()
+                                   : registry.RenderPrometheus();
+      if (!internal::WriteFile(metrics_out_, body)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_out_.c_str());
+        return 1;
+      }
+#else
+      std::fprintf(stderr,
+                   "error: --metrics-out: observability was compiled out "
+                   "(HYPERDOM_OBSERVABILITY=OFF)\n");
+      return 1;
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
+    }
+    return 0;
+  }
+
+ private:
+  static std::string SweepPrefix(const std::string& label) {
+    return "    {\n      \"label\": \"" + internal::JsonEscape(label) +
+           "\",\n      \"rows\": [\n";
+  }
+
+  std::string bench_name_;
+  std::string json_out_;
+  std::string metrics_out_;
+  bool smoke_ = false;
+  bool bad_flags_ = false;
+  std::vector<std::string> sweeps_;
+};
 
 }  // namespace bench
 }  // namespace hyperdom

@@ -10,26 +10,29 @@
 #include "data/datasets.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 8: effect of average radius mu (NBA)",
                      "10,000 random triples x 10 runs per mu");
+  bench::Reporter reporter(argc, argv, "fig08_radius_nba");
 
   const auto points = LoadRealStandIn(RealDataset::kNba);
   for (double mu : {5.0, 10.0, 50.0, 100.0}) {
     const auto data =
         MakeUncertain(points, mu, /*sigma_ratio=*/0.25, /*seed=*/8001);
     DominanceExperimentConfig config;
+    config.workload_size = reporter.Scaled(config.workload_size, 200);
+    if (reporter.smoke()) config.repeats = 1;
     config.seed = 8801;
     const auto rows = RunDominanceExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "mu = %.0f", mu);
-    bench::PrintDominanceTable(label, rows);
+    reporter.DominanceSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 8): MinMax fastest, then GP, Hyperbola,\n"
       "MBR, Trigonometric; precision 100%% for all but Trigonometric (which\n"
       "degrades as mu grows); recall 100%% only for Hyperbola and\n"
       "Trigonometric, degrading with mu for the rest.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -8,29 +8,32 @@
 #include "bench_util.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 9: effect of dimensionality d (synthetic)",
                      "N = 100k, mu = 10; 10,000 triples x 10 runs per d");
+  bench::Reporter reporter(argc, argv, "fig09_dimensionality");
 
   for (size_t d : {2, 4, 6, 8, 10}) {
     SyntheticSpec spec;
-    spec.n = 100'000;
+    spec.n = reporter.Scaled(100'000, 5'000);
     spec.dim = d;
     spec.radius_mean = 10.0;
     spec.seed = 9000 + d;
     const auto data = GenerateSynthetic(spec);
     DominanceExperimentConfig config;
+    config.workload_size = reporter.Scaled(config.workload_size, 200);
+    if (reporter.smoke()) config.repeats = 1;
     config.seed = 9900 + d;
     const auto rows = RunDominanceExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "d = %zu", d);
-    bench::PrintDominanceTable(label, rows);
+    reporter.DominanceSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 9): every criterion's time grows mildly\n"
       "with d (all are O(d)); Hyperbola slightly slower than MinMax and GP\n"
       "but faster than MBR and Trigonometric; only Hyperbola has both\n"
       "precision and recall pinned at 100%%.\n");
-  return 0;
+  return reporter.Finish();
 }

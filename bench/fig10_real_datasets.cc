@@ -9,10 +9,11 @@
 #include "data/datasets.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 10: real datasets",
                      "mu = 10; 10,000 random triples x 10 runs per dataset");
+  bench::Reporter reporter(argc, argv, "fig10_real_datasets");
 
   for (RealDataset dataset : AllRealDatasets()) {
     const RealDatasetInfo info = GetRealDatasetInfo(dataset);
@@ -21,16 +22,18 @@ int main() {
         MakeUncertain(points, /*radius_mean=*/10.0, /*sigma_ratio=*/0.25,
                       /*seed=*/10'000 + info.dim);
     DominanceExperimentConfig config;
+    config.workload_size = reporter.Scaled(config.workload_size, 200);
+    if (reporter.smoke()) config.repeats = 1;
     config.seed = 10'100 + info.dim;
     const auto rows = RunDominanceExperiment(data, config);
     char label[96];
     std::snprintf(label, sizeof(label), "%s (N=%zu, d=%zu)",
                   info.name.c_str(), info.n, info.dim);
-    bench::PrintDominanceTable(label, rows);
+    reporter.DominanceSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 10): the synthetic-data pattern holds on\n"
       "all real datasets — MinMax fastest, then GP, Hyperbola, MBR,\n"
       "Trigonometric; Hyperbola alone has 100%% precision and recall.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -8,28 +8,31 @@
 #include "bench_util.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 11: high-dimensional execution time",
                      "N = 100k, mu = 10; d in {25, 50, 75, 100}");
+  bench::Reporter reporter(argc, argv, "fig11_high_dimensional");
 
   for (size_t d : {25, 50, 75, 100}) {
     SyntheticSpec spec;
-    spec.n = 100'000;
+    spec.n = reporter.Scaled(100'000, 5'000);
     spec.dim = d;
     spec.radius_mean = 10.0;
     spec.seed = 11'000 + d;
     const auto data = GenerateSynthetic(spec);
     DominanceExperimentConfig config;
+    config.workload_size = reporter.Scaled(config.workload_size, 200);
+    if (reporter.smoke()) config.repeats = 1;
     config.seed = 11'100 + d;
     const auto rows = RunDominanceExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "d = %zu", d);
-    bench::PrintDominanceTable(label, rows);
+    reporter.DominanceSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 11): all criteria stay usable at d=100\n"
       "with time growing roughly linearly in d (every method is O(d)); the\n"
       "relative ordering of the criteria is unchanged.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -8,10 +8,11 @@
 #include "bench_util.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 12: center/radius distribution combinations",
                      "N = 100k, d = 4, mu = 10 (Gaussian radii)");
+  bench::Reporter reporter(argc, argv, "fig12_distributions");
 
   const struct {
     const char* label;
@@ -26,7 +27,7 @@ int main() {
 
   for (const auto& combo : combos) {
     SyntheticSpec spec;
-    spec.n = 100'000;
+    spec.n = reporter.Scaled(100'000, 5'000);
     spec.dim = 4;
     spec.radius_mean = 10.0;
     spec.center_distribution = combo.centers;
@@ -34,13 +35,15 @@ int main() {
     spec.seed = 12'000;
     const auto data = GenerateSynthetic(spec);
     DominanceExperimentConfig config;
+    config.workload_size = reporter.Scaled(config.workload_size, 200);
+    if (reporter.smoke()) config.repeats = 1;
     config.seed = 12'100;
     const auto rows = RunDominanceExperiment(data, config);
-    bench::PrintDominanceTable(combo.label, rows);
+    reporter.DominanceSweep(combo.label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 12): the distribution mix barely moves\n"
       "any criterion; Hyperbola and Trigonometric mildly favor Gaussian\n"
       "data, the rest are flat.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -9,14 +9,15 @@
 #include "bench_util.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 13: kNN — effect of average radius mu",
                      "N = 100k, d = 4, k = 10, SS-tree");
+  bench::Reporter reporter(argc, argv, "fig13_knn_radius");
 
   for (double mu : {5.0, 10.0, 50.0, 100.0}) {
     SyntheticSpec spec;
-    spec.n = 100'000;
+    spec.n = reporter.Scaled(100'000, 5'000);
     spec.dim = 4;
     spec.radius_mean = mu;
     // Wider coordinate scale than the dominance benches: in the paper's
@@ -30,17 +31,17 @@ int main() {
     const auto data = GenerateSynthetic(spec);
     KnnExperimentConfig config;
     config.k = 10;
-    config.num_queries = 5;
+    config.num_queries = reporter.Scaled(5, 2);
     config.seed = 13'100;
     const auto rows = RunKnnExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "mu = %.0f", mu);
-    bench::PrintKnnTable(label, rows);
+    reporter.KnnSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 13): MinMax-based algorithms have the\n"
       "smallest query time, the rest are comparable; Hyperbola-based\n"
       "algorithms keep precision at 100%% while the others fall with mu\n"
       "(down to ~40%%).\n");
-  return 0;
+  return reporter.Finish();
 }

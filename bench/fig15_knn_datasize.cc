@@ -7,14 +7,15 @@
 #include "bench_util.h"
 #include "data/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyperdom;
   bench::PrintHeader("Figure 15: kNN — effect of data size N",
                      "d = 4, mu = 10, k = 10, SS-tree");
+  bench::Reporter reporter(argc, argv, "fig15_knn_datasize");
 
   for (size_t n : {20'000, 60'000, 100'000, 140'000, 180'000}) {
     SyntheticSpec spec;
-    spec.n = n;
+    spec.n = reporter.Scaled(n, n / 20);
     spec.dim = 4;
     spec.radius_mean = 10.0;
     // Tenfold coordinate scale; see fig13_knn_radius.cc and EXPERIMENTS.md.
@@ -24,15 +25,15 @@ int main() {
     const auto data = GenerateSynthetic(spec);
     KnnExperimentConfig config;
     config.k = 10;
-    config.num_queries = 5;
+    config.num_queries = reporter.Scaled(5, 2);
     config.seed = 15'100;
     const auto rows = RunKnnExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "N = %zuk", n / 1000);
-    bench::PrintKnnTable(label, rows);
+    reporter.KnnSweep(label, rows);
   }
   std::printf(
       "\nExpected shape (paper Fig. 15): query time grows with N; precision\n"
       "is not significantly affected by N.\n");
-  return 0;
+  return reporter.Finish();
 }

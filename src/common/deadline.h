@@ -23,6 +23,9 @@
 #include <limits>
 #include <string_view>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hyperdom {
 
 /// Whether a query result covers the whole search space or was cut short
@@ -111,6 +114,12 @@ class TraversalGuard {
     if (expired_) return true;
     if (deadline_.unbounded()) return false;
     expired_ = deadline_.Expired(work_done);
+    if (expired_) {
+      // The false->true transition happens at most once per traversal, so
+      // the expiry instrumentation stays off the per-node polling path.
+      HYPERDOM_COUNTER_INC(obs::kDeadlineExpired);
+      HYPERDOM_SPAN_EVENT_CURRENT("deadline_expired");
+    }
     return expired_;
   }
 

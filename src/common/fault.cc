@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hyperdom {
 
 namespace {
@@ -66,6 +69,19 @@ double DrawUnit(uint64_t seed, std::string_view site, uint64_t index) {
   const uint64_t mixed =
       SplitMix64(seed ^ HashSite(site) ^ (index * 0x9E3779B97F4A7C15ULL));
   return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+// A firing is rare (tests arm a single site; random mode runs at low
+// probability), so per-firing registry lookup and a span event are cheap.
+void RecordFiring(std::string_view site) {
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  obs::MetricsRegistry::Instance()
+      .GetCounter(obs::kFaultInjected, "site", site)
+      ->Add(1);
+  obs::Span::CurrentEvent("fault/" + std::string(site));
+#else
+  (void)site;
+#endif
 }
 
 }  // namespace
@@ -153,13 +169,16 @@ bool FaultRegistry::ShouldFire(std::string_view site, uint64_t* hit_index) {
 Status FaultRegistry::Hit(std::string_view site) {
   uint64_t index = 0;
   if (!ShouldFire(site, &index)) return Status::OK();
+  RecordFiring(site);
   return Status::Internal("injected fault at " + std::string(site) +
                           " (hit " + std::to_string(index) + ")");
 }
 
 bool FaultRegistry::HitDegrade(std::string_view site) {
   uint64_t index = 0;
-  return ShouldFire(site, &index);
+  if (!ShouldFire(site, &index)) return false;
+  RecordFiring(site);
+  return true;
 }
 
 }  // namespace hyperdom

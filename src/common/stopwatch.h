@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace hyperdom {
 
 /// \brief Monotonic wall-clock stopwatch with nanosecond resolution.
@@ -25,6 +27,14 @@ class Stopwatch {
         .count();
   }
 
+  /// ElapsedNanos() clamped to >= 0 and widened for histogram recording.
+  /// (steady_clock never goes backwards; the clamp guards arithmetic on
+  /// the cast, not the clock.)
+  uint64_t ElapsedNs() const {
+    const int64_t ns = ElapsedNanos();
+    return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+  }
+
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
     return static_cast<double>(ElapsedNanos()) * 1e-9;
@@ -32,8 +42,56 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Stopwatch requires a monotonic clock: timings must never "
+                "jump with wall-clock adjustments");
   Clock::time_point start_;
 };
+
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+
+/// \brief RAII timer recording its scope's duration into a registry
+/// histogram on destruction.
+///
+/// Prefer the HYPERDOM_SCOPED_TIMER / HYPERDOM_SCOPED_TIMER_L macros,
+/// which compile out with observability and cache the histogram handle.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(watch_.ElapsedNs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  obs::Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+/// Times the rest of the scope into `def`'s histogram.
+#define HYPERDOM_SCOPED_TIMER(var, def)                              \
+  static ::hyperdom::obs::Histogram* const _hyperdom_timer_##var =   \
+      ::hyperdom::obs::MetricsRegistry::Instance().GetHistogram(def); \
+  ::hyperdom::ScopedTimer var(_hyperdom_timer_##var)
+
+/// Labelled variant; `key` and `value` must be string literals.
+#define HYPERDOM_SCOPED_TIMER_L(var, def, key, value)                \
+  static ::hyperdom::obs::Histogram* const _hyperdom_timer_##var =   \
+      ::hyperdom::obs::MetricsRegistry::Instance().GetHistogram(     \
+          def, key, value);                                          \
+  ::hyperdom::ScopedTimer var(_hyperdom_timer_##var)
+
+#else
+
+#define HYPERDOM_SCOPED_TIMER(var, def) \
+  do {                                  \
+  } while (false)
+#define HYPERDOM_SCOPED_TIMER_L(var, def, key, value) \
+  do {                                                \
+  } while (false)
+
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
 
 /// Prevents the compiler from optimizing away a computed value
 /// (google-benchmark's DoNotOptimize, usable outside benchmark binaries).

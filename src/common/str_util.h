@@ -32,6 +32,9 @@ std::string FormatDuration(double nanos);
 /// True iff `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
 }  // namespace hyperdom
 
 #endif  // HYPERDOM_COMMON_STR_UTIL_H_

@@ -14,6 +14,8 @@
 #include "dominance/numeric_oracle.h"
 #include "geometry/focal_frame.h"
 #include "geometry/polynomial.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyperdom {
 
@@ -357,9 +359,26 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
                                    const Hypersphere& sq,
                                    CertifiedTier* tier) const {
   calls_.fetch_add(1, std::memory_order_relaxed);
+  HYPERDOM_COUNTER_INC(obs::kCertifiedCalls);
   auto resolve = [&](std::atomic<uint64_t>& counter, CertifiedTier t,
                      Verdict v) {
     counter.fetch_add(1, std::memory_order_relaxed);
+    switch (t) {
+      case CertifiedTier::kQuartic:
+        HYPERDOM_COUNTER_INC_L(obs::kCertifiedResolved, "tier", "quartic");
+        break;
+      case CertifiedTier::kParametric:
+        HYPERDOM_COUNTER_INC_L(obs::kCertifiedResolved, "tier", "parametric");
+        break;
+      case CertifiedTier::kLongDouble:
+        HYPERDOM_COUNTER_INC_L(obs::kCertifiedResolved, "tier", "long_double");
+        break;
+      case CertifiedTier::kOracle:
+        HYPERDOM_COUNTER_INC_L(obs::kCertifiedResolved, "tier", "oracle");
+        break;
+      case CertifiedTier::kUnresolved:
+        break;
+    }
     if (tier != nullptr) *tier = t;
     return v;
   };
@@ -390,6 +409,11 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
                 });
   if (settle(t1, resolved_quartic_, CertifiedTier::kQuartic, &v)) return v;
 
+  // Tier 1 could not settle the call: from here on we are off the fast
+  // path (rare), so a span per escalated call is affordable and shows up
+  // in traces with the tier that finally resolved it.
+  HYPERDOM_SPAN(escalation_span, "certified/escalate");
+
   // Tier 2: parametric refinement. Only worth running when the boundary
   // margin is the sole source of doubt — it cannot sharpen the distance
   // margins, but its fixed band often beats a pessimistic quartic bound.
@@ -404,6 +428,7 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
                         HyperbolaMinDistParametric(alpha, rab, y1, y2), 0.0);
                   });
     if (settle(t2, resolved_parametric_, CertifiedTier::kParametric, &v)) {
+      HYPERDOM_SPAN_ANNOTATE(escalation_span, "tier", "parametric");
       return v;
     }
   }
@@ -431,6 +456,7 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
                                                              0.0L);
                 });
   if (settle(t3, resolved_long_double_, CertifiedTier::kLongDouble, &v)) {
+    HYPERDOM_SPAN_ANNOTATE(escalation_span, "tier", "long_double");
     return v;
   }
 
@@ -452,16 +478,20 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
     const double mdd = MinDistanceDifference(sa, sb, sq);
     const double m = std::min(focal - rab, mdd - rab);
     if (m <= -band) {
+      HYPERDOM_SPAN_ANNOTATE(escalation_span, "tier", "oracle");
       return resolve(resolved_oracle_, CertifiedTier::kOracle,
                      Verdict::kNotDominates);
     }
     if (m > band) {
+      HYPERDOM_SPAN_ANNOTATE(escalation_span, "tier", "oracle");
       return resolve(resolved_oracle_, CertifiedTier::kOracle,
                      Verdict::kDominates);
     }
   }
 
+  HYPERDOM_SPAN_ANNOTATE(escalation_span, "tier", "unresolved");
   uncertain_.fetch_add(1, std::memory_order_relaxed);
+  HYPERDOM_COUNTER_INC(obs::kCertifiedUncertain);
   if (tier != nullptr) *tier = CertifiedTier::kUnresolved;
   return Verdict::kUncertain;
 }
@@ -478,7 +508,7 @@ CertifiedStats CertifiedDominance::stats() const {
   return s;
 }
 
-void CertifiedDominance::ResetStats() const {
+void CertifiedDominance::ResetStats() {
   calls_.store(0, std::memory_order_relaxed);
   resolved_quartic_.store(0, std::memory_order_relaxed);
   resolved_parametric_.store(0, std::memory_order_relaxed);

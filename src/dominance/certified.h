@@ -71,6 +71,13 @@ enum class CertifiedTier {
 };
 
 /// Snapshot of an engine's per-tier resolution counters.
+///
+/// Engine-scoped: each CertifiedDominance instance counts its own calls so
+/// tests and callers can reason about a single engine. The same resolution
+/// events also feed the process-wide metrics registry
+/// (hyperdom_certified_calls_total, hyperdom_certified_resolved_total{tier=},
+/// hyperdom_certified_uncertain_total — see docs/observability.md), which
+/// aggregates across engines and is what --metrics-out exports.
 struct CertifiedStats {
   uint64_t calls = 0;
   uint64_t resolved_quartic = 0;
@@ -102,7 +109,12 @@ class CertifiedDominance {
                  const Hypersphere& sq, CertifiedTier* tier) const;
 
   CertifiedStats stats() const;
-  void ResetStats() const;
+
+  /// Zeroes this engine's counters. Non-const on purpose: resetting is a
+  /// mutation of observable state, unlike the mutable counting that
+  /// piggybacks on const Decide() calls. Does not touch the process-wide
+  /// registry (use MetricsRegistry::ResetAll for that).
+  void ResetStats();
 
  private:
   mutable std::atomic<uint64_t> calls_{0};

@@ -14,6 +14,8 @@ namespace hyperdom {
 std::vector<DominanceExperimentRow> RunDominanceExperiment(
     const std::vector<Hypersphere>& data,
     const DominanceExperimentConfig& config) {
+  HYPERDOM_SCOPED_TIMER_L(run_timer, obs::kExperimentDuration, "phase",
+                          "dominance");
   const std::vector<DominanceQuery> workload =
       MakeDominanceWorkload(data, config.workload_size, config.seed);
 
@@ -65,6 +67,8 @@ std::string KnnAlgorithmLabel(SearchStrategy strategy, CriterionKind kind) {
 
 std::vector<KnnExperimentRow> RunKnnExperiment(
     const std::vector<Hypersphere>& data, const KnnExperimentConfig& config) {
+  HYPERDOM_SCOPED_TIMER_L(run_timer, obs::kExperimentDuration, "phase",
+                          "knn");
   SsTree tree(data.empty() ? 0 : data.front().dim(), config.tree_options);
   Status st = tree.BulkLoad(data);
   (void)st;  // generated data is well-formed; surfaced via tests otherwise
@@ -101,7 +105,7 @@ std::vector<KnnExperimentRow> RunKnnExperiment(
       for (size_t qi = 0; qi < queries.size(); ++qi) {
         watch.Restart();
         const KnnResult result = searcher.Search(tree, queries[qi]);
-        total_nanos += static_cast<double>(watch.ElapsedNanos());
+        total_nanos += static_cast<double>(watch.ElapsedNs());
         returned_total += result.answers.size();
         truth_total += truth_sets[qi].size();
         for (const auto& e : result.answers) {

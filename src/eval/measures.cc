@@ -63,7 +63,7 @@ double TimeCriterionNanos(const DominanceCriterion& criterion,
       sink += criterion.Dominates(q.sa, q.sb, q.sq) ? 1 : 0;
     }
   }
-  const double elapsed = static_cast<double>(watch.ElapsedNanos());
+  const double elapsed = static_cast<double>(watch.ElapsedNs());
   DoNotOptimizeAway(sink);
   return elapsed /
          (static_cast<double>(repeats) * static_cast<double>(workload.size()));

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "index/index_metrics.h"
 
 namespace hyperdom {
 
@@ -64,9 +65,11 @@ Status MTree::Insert(const Hypersphere& sphere, uint64_t id) {
 }
 
 Status MTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
+  IndexBuildRecorder recorder("m", "bulk_load");
   for (size_t i = 0; i < spheres.size(); ++i) {
     HYPERDOM_RETURN_NOT_OK(Insert(spheres[i], static_cast<uint64_t>(i)));
   }
+  recorder.Finish(size_);
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "common/fault.h"
+#include "index/index_metrics.h"
 
 namespace hyperdom {
 
@@ -121,9 +122,11 @@ Status RStarTree::Insert(const Hypersphere& sphere, uint64_t id) {
 }
 
 Status RStarTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
+  IndexBuildRecorder recorder("rstar", "bulk_load");
   for (size_t i = 0; i < spheres.size(); ++i) {
     HYPERDOM_RETURN_NOT_OK(Insert(spheres[i], static_cast<uint64_t>(i)));
   }
+  recorder.Finish(size_);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include "index/snapshot.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,10 +13,36 @@
 #include "common/fault.h"
 #include "index/ss_tree.h"
 #include "index/vp_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyperdom {
 
 namespace {
+
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+int64_t SnapshotNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+#endif
+
+// Publishes one snapshot operation: counts it under op=save|load and
+// result=ok|error, and records the latency. Snapshot ops are rare, so the
+// per-call registry lookup is fine.
+[[maybe_unused]] void RecordSnapshotOp([[maybe_unused]] const char* op,
+                      [[maybe_unused]] bool ok,
+                      [[maybe_unused]] uint64_t elapsed_ns) {
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  auto& reg = obs::MetricsRegistry::Instance();
+  std::string name(obs::kSnapshotOps.name);
+  name.append("{op=\"").append(op);
+  name.append("\",result=\"").append(ok ? "ok" : "error").append("\"}");
+  reg.GetCounter(std::move(name), obs::kSnapshotOps.help)->Add(1);
+  reg.GetHistogram(obs::kSnapshotDuration, "op", op)->Record(elapsed_ns);
+#endif
+}
 
 constexpr char kSnapMagic[4] = {'H', 'D', 'S', 'P'};
 constexpr uint32_t kSnapVersion = 1;
@@ -119,27 +146,50 @@ Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
 template <typename Tree>
 Status LoadSnapshotImpl(const std::string& path, SnapshotKind expected,
                         Tree* out) {
+  HYPERDOM_SPAN(span, "snapshot/load");
+  HYPERDOM_SPAN_ANNOTATE(span, "path", path);
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  const int64_t start_ns = SnapshotNowNs();
+#endif
+  auto finish = [&](Status status) {
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+    RecordSnapshotOp("load", status.ok(),
+                     static_cast<uint64_t>(SnapshotNowNs() - start_ns));
+#endif
+    return status;
+  };
   SnapshotInfo info;
   std::string payload;
-  HYPERDOM_RETURN_NOT_OK(ReadEnvelope(path, &info, &payload));
+  Status read = ReadEnvelope(path, &info, &payload);
+  if (!read.ok()) return finish(std::move(read));
   if (info.kind != expected) {
-    return Status::InvalidArgument(
+    return finish(Status::InvalidArgument(
         "snapshot holds a " + std::string(SnapshotKindName(info.kind)) +
-        ", expected a " + std::string(SnapshotKindName(expected)));
+        ", expected a " + std::string(SnapshotKindName(expected))));
   }
   if (!info.crc_ok) {
-    return Status::Corruption("snapshot checksum mismatch: " + path);
+    return finish(Status::Corruption("snapshot checksum mismatch: " + path));
   }
   std::istringstream in(std::move(payload), std::ios::binary);
-  return Tree::Deserialize(in, out);
+  return finish(Tree::Deserialize(in, out));
 }
 
 template <typename Tree>
 Status SaveSnapshotImpl(const Tree& tree, SnapshotKind kind,
                         const std::string& path) {
+  HYPERDOM_SPAN(span, "snapshot/save");
+  HYPERDOM_SPAN_ANNOTATE(span, "path", path);
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  const int64_t start_ns = SnapshotNowNs();
+#endif
   std::ostringstream payload(std::ios::binary);
-  HYPERDOM_RETURN_NOT_OK(tree.Serialize(payload));
-  return WriteEnvelope(path, kind, payload.str());
+  Status status = tree.Serialize(payload);
+  if (status.ok()) status = WriteEnvelope(path, kind, payload.str());
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  RecordSnapshotOp("save", status.ok(),
+                   static_cast<uint64_t>(SnapshotNowNs() - start_ns));
+#endif
+  return status;
 }
 
 }  // namespace

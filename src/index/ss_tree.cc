@@ -12,6 +12,7 @@
 #include "common/fault.h"
 #include "common/str_util.h"
 #include "geometry/min_ball.h"
+#include "index/index_metrics.h"
 
 namespace hyperdom {
 
@@ -71,9 +72,11 @@ Status SsTree::Insert(const Hypersphere& sphere, uint64_t id) {
 }
 
 Status SsTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
+  IndexBuildRecorder recorder("ss", "bulk_load");
   for (size_t i = 0; i < spheres.size(); ++i) {
     HYPERDOM_RETURN_NOT_OK(Insert(spheres[i], static_cast<uint64_t>(i)));
   }
+  recorder.Finish(size_);
   return Status::OK();
 }
 
@@ -128,11 +131,15 @@ void SsTree::StrTile(std::vector<SsTreeEntry>* entries, size_t lo, size_t hi,
 }
 
 Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
+  IndexBuildRecorder recorder("ss", "str_pack");
   HYPERDOM_RETURN_NOT_OK(ValidateOptions());
   HYPERDOM_FAULT_POINT("ss_tree/str_pack");
   root_.reset();
   size_ = 0;
-  if (spheres.empty()) return Status::OK();
+  if (spheres.empty()) {
+    recorder.Finish(0);
+    return Status::OK();
+  }
 
   std::vector<SsTreeEntry> entries;
   entries.reserve(spheres.size());
@@ -179,6 +186,7 @@ Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
   }
   root_ = std::move(level.front());
   size_ = spheres.size();
+  recorder.Finish(size_);
   return Status::OK();
 }
 

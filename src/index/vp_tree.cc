@@ -9,19 +9,24 @@
 #include <ostream>
 
 #include "common/fault.h"
+#include "index/index_metrics.h"
 
 namespace hyperdom {
 
 VpTree::VpTree(VpTreeOptions options) : options_(options) {}
 
 Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
+  IndexBuildRecorder recorder("vp", "build");
   root_.reset();
   size_ = 0;
   dim_ = 0;
   if (options_.leaf_size < 1) {
     return Status::InvalidArgument("VpTreeOptions.leaf_size must be >= 1");
   }
-  if (spheres.empty()) return Status::OK();
+  if (spheres.empty()) {
+    recorder.Finish(0);
+    return Status::OK();
+  }
   HYPERDOM_FAULT_POINT("vp_tree/build");
   dim_ = spheres.front().dim();
   std::vector<DataEntry> items;
@@ -35,6 +40,7 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
   }
   HYPERDOM_RETURN_NOT_OK(BuildRecursive(std::move(items), &root_));
   size_ = spheres.size();
+  recorder.Finish(size_);
   return Status::OK();
 }
 

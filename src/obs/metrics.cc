@@ -1,0 +1,346 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+namespace hyperdom {
+namespace obs {
+
+namespace {
+
+// Round-robin shard assignment: the Nth thread to touch the registry gets
+// shard N % kShards for its whole lifetime.
+size_t NextShard() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kShards;
+}
+
+void AppendFormatted(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormatted(std::string* out, const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+// "name{labels}" -> "name"; used to group HELP/TYPE lines.
+std::string_view BaseName(std::string_view full) {
+  const size_t brace = full.find('{');
+  return brace == std::string_view::npos ? full : full.substr(0, brace);
+}
+
+// "name{a=\"b\"}" -> "a=\"b\"" (empty when unlabelled).
+std::string_view Labels(std::string_view full) {
+  const size_t brace = full.find('{');
+  if (brace == std::string_view::npos) return {};
+  std::string_view rest = full.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  return rest;
+}
+
+}  // namespace
+
+std::string_view MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+size_t ThisThreadShard() {
+  thread_local const size_t shard = NextShard();
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << i) - 1;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      const uint64_t c = shard.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += c;
+      snap.count += c;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string LabeledName(std::string_view base, std::string_view label_key,
+                        std::string_view label_value) {
+  std::string out;
+  out.reserve(base.size() + label_key.size() + label_value.size() + 5);
+  out.append(base);
+  out.push_back('{');
+  out.append(label_key);
+  out.append("=\"");
+  out.append(label_value);
+  out.append("\"}");
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendFormatted(&out, "\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+    std::string name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(name, std::make_unique<T>()).first;
+    if (!help.empty()) {
+      help_.emplace(std::string(BaseName(it->first)), std::string(help));
+    }
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string name,
+                                     std::string_view help) {
+  return GetOrCreate(&counters_, std::move(name), help);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string name, std::string_view help) {
+  return GetOrCreate(&gauges_, std::move(name), help);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string name,
+                                         std::string_view help) {
+  return GetOrCreate(&histograms_, std::move(name), help);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  auto emit_header = [&](std::string_view full, const char* type,
+                         std::string_view* last_base) {
+    const std::string_view base = BaseName(full);
+    if (base == *last_base) return;
+    *last_base = base;
+    const auto help_it = help_.find(base);
+    if (help_it != help_.end()) {
+      out.append("# HELP ").append(base).append(" ").append(
+          help_it->second);
+      out.push_back('\n');
+    }
+    out.append("# TYPE ").append(base).append(" ").append(type);
+    out.push_back('\n');
+  };
+
+  std::string_view last_base;
+  for (const auto& [name, counter] : counters_) {
+    emit_header(name, "counter", &last_base);
+    AppendFormatted(&out, "%s %" PRIu64 "\n", name.c_str(),
+                    counter->Value());
+  }
+  last_base = {};
+  for (const auto& [name, gauge] : gauges_) {
+    emit_header(name, "gauge", &last_base);
+    AppendFormatted(&out, "%s %.17g\n", name.c_str(), gauge->Value());
+  }
+  last_base = {};
+  for (const auto& [name, histogram] : histograms_) {
+    emit_header(name, "histogram", &last_base);
+    const HistogramSnapshot snap = histogram->Snapshot();
+    const std::string_view base = BaseName(name);
+    const std::string_view labels = Labels(name);
+    // Sparse exposition: only non-empty finite buckets are listed (plus the
+    // mandatory +Inf bucket, which covers bucket 64 as well).
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      if (snap.buckets[i] == 0) continue;
+      out.append(base).append("_bucket{");
+      if (!labels.empty()) out.append(labels).append(",");
+      AppendFormatted(&out, "le=\"%" PRIu64 "\"",
+                      HistogramSnapshot::BucketUpperBound(i));
+      AppendFormatted(&out, "} %" PRIu64 "\n", cumulative);
+    }
+    out.append(base).append("_bucket{");
+    if (!labels.empty()) out.append(labels).append(",");
+    AppendFormatted(&out, "le=\"+Inf\"} %" PRIu64 "\n", snap.count);
+    out.append(base).append("_sum");
+    if (!labels.empty()) {
+      out.push_back('{');
+      out.append(labels);
+      out.push_back('}');
+    }
+    AppendFormatted(&out, " %" PRIu64 "\n", snap.sum);
+    out.append(base).append("_count");
+    if (!labels.empty()) {
+      out.push_back('{');
+      out.append(labels);
+      out.push_back('}');
+    }
+    AppendFormatted(&out, " %" PRIu64 "\n", snap.count);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"schema\": \"hyperdom-metrics-v1\",\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    AppendFormatted(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+                    JsonEscape(name).c_str(), counter->Value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    AppendFormatted(&out, "%s\n    \"%s\": %.17g", first ? "" : ",",
+                    JsonEscape(name).c_str(), gauge->Value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->Snapshot();
+    AppendFormatted(&out,
+                    "%s\n    \"%s\": {\"count\": %" PRIu64
+                    ", \"sum\": %" PRIu64 ", \"mean\": %.6g, \"buckets\": [",
+                    first ? "" : ",", JsonEscape(name).c_str(), snap.count,
+                    snap.sum, snap.Mean());
+    bool first_bucket = true;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      AppendFormatted(&out, "%s{\"le\": %.17g, \"count\": %" PRIu64 "}",
+                      first_bucket ? "" : ", ",
+                      static_cast<double>(
+                          HistogramSnapshot::BucketUpperBound(i)),
+                      snap.buckets[i]);
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+const std::vector<MetricDef>& MetricCatalogue() {
+  static const std::vector<MetricDef>* const catalogue =
+      new std::vector<MetricDef>{
+          kKnnQueries,          kKnnBestEffort,
+          kKnnNodesVisited,     kKnnNodesPruned,
+          kKnnEntriesAccessed,  kKnnDominanceChecks,
+          kKnnPrunedCase2,      kKnnPrunedCase3,
+          kKnnRemovedCase1,     kKnnUncertainVerdicts,
+          kKnnDeadlineSkippedNodes, kKnnQueryDuration,
+          kRangeQueries,        kCriterionVerdicts,
+          kCriterionDecideDuration, kCertifiedCalls,
+          kCertifiedResolved,   kCertifiedUncertain,
+          kIndexBuilds,         kIndexBuildDuration,
+          kIndexSize,           kDeadlineExpired,
+          kFaultInjected,       kSnapshotOps,
+          kSnapshotDuration,    kExperimentDuration,
+          kTraceDropped,
+      };
+  return *catalogue;
+}
+
+}  // namespace obs
+}  // namespace hyperdom

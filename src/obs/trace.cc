@@ -1,0 +1,242 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace hyperdom {
+namespace obs {
+
+namespace {
+
+void AppendFormatted(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormatted(std::string* out, const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Small dense thread ids (0, 1, 2, ...) in first-touch order; Chrome's
+// trace viewer groups events by tid, and raw pthread ids are unreadable.
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local Span* g_current_span = nullptr;
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  out->append(JsonEscape(s));
+  out->push_back('"');
+}
+
+void AppendArgs(std::string* out, const std::vector<TraceArg>& args) {
+  out->append(", \"args\": {");
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) out->append(", ");
+    first = false;
+    AppendJsonString(out, arg.key);
+    out->append(": ");
+    if (arg.numeric) {
+      out->append(arg.value);
+    } else {
+      AppendJsonString(out, arg.value);
+    }
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+Tracer& Tracer::Instance() {
+  static Tracer* const instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+  epoch_ns_ = MonotonicNowNs();
+  next_id_.store(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t Tracer::NextSpanId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Tracer::NowNs() const { return MonotonicNowNs() - epoch_ns_; }
+
+void Tracer::Record(TraceRecord&& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  // Full: evict the oldest record in place.
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+  HYPERDOM_COUNTER_INC(kTraceDropped);
+}
+
+std::vector<TraceRecord> Tracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::RenderChromeTrace() const {
+  const std::vector<TraceRecord> records = Records();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceRecord& r : records) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n  {\"name\": ");
+    AppendJsonString(&out, r.name);
+    AppendFormatted(&out,
+                    ", \"ph\": \"%s\", \"pid\": 1, \"tid\": %u"
+                    ", \"ts\": %.3f",
+                    r.instant ? "i" : "X", r.tid,
+                    static_cast<double>(r.start_ns) / 1000.0);
+    if (r.instant) {
+      out.append(", \"s\": \"t\"");
+    } else {
+      AppendFormatted(&out, ", \"dur\": %.3f",
+                      static_cast<double>(r.dur_ns) / 1000.0);
+    }
+    AppendFormatted(&out, ", \"id\": %llu",
+                    static_cast<unsigned long long>(r.id));
+    if (r.parent != 0) {
+      AppendFormatted(&out, ", \"parent\": %llu",
+                      static_cast<unsigned long long>(r.parent));
+    }
+    if (!r.args.empty()) AppendArgs(&out, r.args);
+    out.append("}");
+  }
+  out.append("\n], \"displayTimeUnit\": \"ns\"}\n");
+  return out;
+}
+
+Span::Span(std::string_view name) {
+  Tracer& tracer = Tracer::Instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  id_ = tracer.NextSpanId();
+  parent_ = g_current_span != nullptr ? g_current_span->id_ : 0;
+  tid_ = ThisThreadTraceId();
+  start_ns_ = tracer.NowNs();
+  name_.assign(name);
+  prev_ = g_current_span;
+  g_current_span = this;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  g_current_span = prev_;
+  Tracer& tracer = Tracer::Instance();
+  TraceRecord record;
+  record.name = std::move(name_);
+  record.id = id_;
+  record.parent = parent_;
+  record.tid = tid_;
+  record.start_ns = start_ns_;
+  record.dur_ns = tracer.NowNs() - start_ns_;
+  record.args = std::move(args_);
+  tracer.Record(std::move(record));
+}
+
+void Span::Annotate(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  args_.push_back(TraceArg{std::string(key), std::string(value), false});
+}
+
+void Span::Annotate(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  args_.push_back(
+      TraceArg{std::string(key), std::to_string(value), true});
+}
+
+void Span::Annotate(std::string_view key, int64_t value) {
+  if (!active_) return;
+  args_.push_back(
+      TraceArg{std::string(key), std::to_string(value), true});
+}
+
+void Span::Event(std::string_view name) {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Instance();
+  TraceRecord record;
+  record.name.assign(name);
+  record.parent = id_;
+  record.tid = tid_;
+  record.start_ns = tracer.NowNs();
+  record.instant = true;
+  tracer.Record(std::move(record));
+}
+
+Span* Span::Current() { return g_current_span; }
+
+void Span::CurrentEvent(std::string_view name) {
+  Tracer& tracer = Tracer::Instance();
+  if (!tracer.enabled()) return;
+  if (g_current_span != nullptr && g_current_span->active_) {
+    g_current_span->Event(name);
+    return;
+  }
+  TraceRecord record;
+  record.name.assign(name);
+  record.tid = ThisThreadTraceId();
+  record.start_ns = tracer.NowNs();
+  record.instant = true;
+  tracer.Record(std::move(record));
+}
+
+}  // namespace obs
+}  // namespace hyperdom

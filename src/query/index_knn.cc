@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "query/best_known_list.h"
+#include "query/knn_metrics.h"
 
 namespace hyperdom {
 
@@ -88,10 +89,14 @@ void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
 template <typename Root, typename MinDistFn, typename VisitFn>
 KnnResult RunSearch(const Root* root, const Hypersphere& sq,
                     const DominanceCriterion& criterion,
-                    const KnnOptions& options, const MinDistFn& min_dist,
-                    const VisitFn& visit) {
+                    const KnnOptions& options, std::string_view index_tag,
+                    const MinDistFn& min_dist, const VisitFn& visit) {
+  KnnQueryRecorder recorder(index_tag);
   KnnResult result;
-  if (root == nullptr) return result;
+  if (root == nullptr) {
+    recorder.Publish(result);
+    return result;
+  }
   BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
                      &result.stats);
   TraversalGuard guard(options.deadline);
@@ -107,6 +112,7 @@ KnnResult RunSearch(const Root* root, const Hypersphere& sq,
   } else {
     result.answers = list.TakeAnswers();
   }
+  recorder.Publish(result);
   return result;
 }
 
@@ -126,7 +132,8 @@ KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
       for (const auto& child : node->children()) emit_child(child.get());
     }
   };
-  return RunSearch(tree.root(), sq, criterion, options, min_dist, visit);
+  return RunSearch(tree.root(), sq, criterion, options, "rstar", min_dist,
+                   visit);
 }
 
 KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
@@ -145,7 +152,8 @@ KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
       for (const auto& child : node->children()) emit_child(child.get());
     }
   };
-  return RunSearch(tree.root(), sq, criterion, options, min_dist, visit);
+  return RunSearch(tree.root(), sq, criterion, options, "m", min_dist,
+                   visit);
 }
 
 KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
@@ -159,8 +167,12 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
     double bound;  // lower bound on MinDist(S, Sq) for S in the subtree
   };
 
+  KnnQueryRecorder recorder("vp");
   KnnResult result;
-  if (tree.root() == nullptr) return result;
+  if (tree.root() == nullptr) {
+    recorder.Publish(result);
+    return result;
+  }
   BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
                      &result.stats);
   TraversalGuard guard(options.deadline);
@@ -251,6 +263,7 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
   } else {
     result.answers = list.TakeAnswers();
   }
+  recorder.Publish(result);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "query/best_known_list.h"
+#include "query/knn_metrics.h"
 
 namespace hyperdom {
 
@@ -91,8 +92,12 @@ KnnSearcher::KnnSearcher(const DominanceCriterion* criterion,
 }
 
 KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
+  KnnQueryRecorder recorder("ss");
   KnnResult result;
-  if (tree.root() == nullptr) return result;
+  if (tree.root() == nullptr) {
+    recorder.Publish(result);
+    return result;
+  }
   BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
                      &result.stats);
   TraversalGuard guard(options_.deadline);
@@ -108,6 +113,7 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
   } else {
     result.answers = list.TakeAnswers();
   }
+  recorder.Publish(result);
   return result;
 }
 

@@ -4,6 +4,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hyperdom {
 
 namespace {
@@ -42,11 +45,16 @@ void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
 RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
                         double range, const Deadline& deadline) {
   assert(range >= 0.0);
+  HYPERDOM_SPAN(span, "range/query");
+  HYPERDOM_COUNTER_INC(obs::kRangeQueries);
   RangeResult result;
   if (tree.root() == nullptr) return result;
   TraversalGuard guard(deadline);
   RangeRecursive(tree.root(), sq, range, &result, &guard);
   if (guard.expired()) result.completeness = Completeness::kBestEffort;
+  HYPERDOM_SPAN_ANNOTATE(span, "nodes_visited", result.stats.nodes_visited);
+  HYPERDOM_SPAN_ANNOTATE(span, "certain",
+                         static_cast<uint64_t>(result.certain.size()));
   return result;
 }
 

@@ -93,7 +93,7 @@ TEST(CertifiedTest, ExactTieStaysUncertain) {
 }
 
 TEST(CertifiedTest, StatsCountEveryCallExactlyOnce) {
-  const CertifiedDominance engine;
+  CertifiedDominance engine;  // non-const: ResetStats() mutates
   const Hypersphere sa({0.0, 0.0}, 1.0);
   const Hypersphere sb({20.0, 0.0}, 1.0);
   const Hypersphere sq({-5.0, 0.0}, 1.0);

@@ -1,0 +1,166 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Tracer/Span tests: parent linkage, annotation, instant events, ring
+// eviction, and record consistency under concurrent spans. Run under
+// ASan/UBSan and TSan via the `obs` ctest label.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hyperdom {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Instance().Enable(); }
+  void TearDown() override { Tracer::Instance().Disable(); }
+};
+
+TEST(TraceDisabledTest, SpanIsInertWhileDisabled) {
+  Tracer::Instance().Disable();
+  Tracer::Instance().Clear();
+  {
+    Span span("should/not/record");
+    EXPECT_FALSE(span.active());
+    span.Annotate("key", "value");
+    span.Event("nope");
+  }
+  EXPECT_TRUE(Tracer::Instance().Records().empty());
+}
+
+TEST_F(TraceTest, NestedSpansLinkToParent) {
+  {
+    Span outer("outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("inner");
+      EXPECT_TRUE(inner.active());
+    }
+  }
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 2u);
+  // Inner completes (and records) first.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].parent, 0u);
+  EXPECT_EQ(records[0].parent, records[1].id);
+  EXPECT_EQ(records[0].tid, records[1].tid);
+  EXPECT_GE(records[0].start_ns, records[1].start_ns);
+  EXPECT_LE(records[0].dur_ns, records[1].dur_ns);
+}
+
+TEST_F(TraceTest, AnnotationsAreRecorded) {
+  {
+    Span span("annotated");
+    span.Annotate("index", "ss");
+    span.Annotate("nodes_visited", uint64_t{42});
+  }
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].args.size(), 2u);
+  EXPECT_EQ(records[0].args[0].key, "index");
+  EXPECT_EQ(records[0].args[0].value, "ss");
+  EXPECT_FALSE(records[0].args[0].numeric);
+  EXPECT_EQ(records[0].args[1].key, "nodes_visited");
+  EXPECT_EQ(records[0].args[1].value, "42");
+  EXPECT_TRUE(records[0].args[1].numeric);
+}
+
+TEST_F(TraceTest, EventsAttachToEnclosingSpan) {
+  {
+    Span span("with/event");
+    span.Event("deadline_expired");
+  }
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].instant);
+  EXPECT_EQ(records[0].name, "deadline_expired");
+  EXPECT_EQ(records[0].parent, records[1].id);
+}
+
+TEST_F(TraceTest, CurrentEventFindsActiveSpan) {
+  {
+    Span span("enclosing");
+    Span::CurrentEvent("fault/test_site");
+  }
+  Span::CurrentEvent("orphan_event");  // no active span: top-level instant
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "fault/test_site");
+  EXPECT_EQ(records[0].parent, records[1].id);
+  EXPECT_EQ(records[2].name, "orphan_event");
+  EXPECT_EQ(records[2].parent, 0u);
+}
+
+TEST(TraceRingTest, EvictsOldestAndCountsDropped) {
+  Tracer::Instance().Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span span("span_" + std::to_string(i));
+  }
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(Tracer::Instance().dropped(), 6u);
+  // The survivors are the newest four, still in arrival order.
+  EXPECT_EQ(records[0].name, "span_6");
+  EXPECT_EQ(records[3].name, "span_9");
+  Tracer::Instance().Disable();
+}
+
+TEST_F(TraceTest, ConcurrentSpansStayConsistent) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer("outer");
+        Span inner("inner");
+        inner.Annotate("i", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), size_t{kThreads} * kSpansPerThread * 2);
+  // Ids are unique; every inner span's parent is an outer span recorded on
+  // the same thread.
+  std::map<uint64_t, const TraceRecord*> by_id;
+  for (const auto& r : records) {
+    EXPECT_TRUE(by_id.emplace(r.id, &r).second) << "duplicate span id";
+  }
+  size_t inner_count = 0;
+  for (const auto& r : records) {
+    if (r.name != "inner") continue;
+    ++inner_count;
+    auto parent = by_id.find(r.parent);
+    ASSERT_NE(parent, by_id.end());
+    EXPECT_EQ(parent->second->name, "outer");
+    EXPECT_EQ(parent->second->tid, r.tid);
+  }
+  EXPECT_EQ(inner_count, size_t{kThreads} * kSpansPerThread);
+}
+
+TEST_F(TraceTest, ChromeTraceRenderShape) {
+  {
+    Span span("render/me");
+    span.Annotate("count", uint64_t{3});
+    span.Event("ping");
+  }
+  const std::string json = Tracer::Instance().RenderChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"render/me\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hyperdom

@@ -5,22 +5,28 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 
 #include <cmath>
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "data/csv.h"
 #include "dominance/certified.h"
+#include "dominance/instrumented.h"
 #include "dominance/numeric_oracle.h"
 #include "data/generator.h"
 #include "dominance/growing.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
+#include "eval/workload.h"
 #include "index/snapshot.h"
 #include "index/ss_tree.h"
 #include "index/vp_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/inverse_ranking.h"
 #include "query/knn.h"
 #include "query/probabilistic_knn.h"
@@ -41,7 +47,7 @@ constexpr char kUsage[] =
     "all]\n"
     "  knn         --data=FILE --query=X,..;R [--k=10] [--criterion=NAME]\n"
     "              [--strategy=hs|df] [--certified=1] [--deadline-ms=T]\n"
-    "              [--node-budget=N]\n"
+    "              [--node-budget=N] [--queries=N --seed=S]\n"
     "  rank        --data=FILE --target=ID --query=X,..;R "
     "[--criterion=NAME]\n"
     "  range       --data=FILE --query=X,..;R --range=D\n"
@@ -55,13 +61,20 @@ constexpr char kUsage[] =
     "              [--certified=1]\n"
     "  snapshot    --op=save|load|verify --file=SNAP [--index=ss|vp]\n"
     "              [--data=FILE]\n"
+    "  metrics     (prints the catalogue of process-wide metric names)\n"
     "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle, certified\n"
     "--certified=1 routes dominance through the certified engine and reports\n"
     "uncertainty rates and escalation-tier counters.\n"
     "global flags: --fault-rate=P and --fault-site=SITE arm the fault-\n"
     "injection registry (seeded by --seed) before the command runs;\n"
     "--deadline-ms / --node-budget bound a query, degrading gracefully to a\n"
-    "flagged best-effort answer.\n";
+    "flagged best-effort answer.\n"
+    "observability: --metrics-out=FILE dumps every metric after the command\n"
+    "(.json extension selects the JSON export, anything else Prometheus\n"
+    "text); --trace-out=FILE records spans and writes a Chrome trace_event\n"
+    "JSON file loadable in chrome://tracing or https://ui.perfetto.dev.\n"
+    "knn --queries=N replaces the single --query with a seeded workload of\n"
+    "N random queries drawn from the dataset, reporting aggregate stats.\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -194,14 +207,9 @@ Status CmdDominate(const ParsedArgs& args, std::ostream& out) {
 Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
   auto data = LoadData(args);
   if (!data.ok()) return data.status();
-  auto query = ParseSphere(args.GetFlag("query"));
-  if (!query.ok()) {
-    return Status::InvalidArgument("--query: " + query.status().message());
-  }
   if (data->empty()) return Status::InvalidArgument("dataset is empty");
-  if (query->dim() != data->front().dim()) {
-    return Status::InvalidArgument("query dimensionality mismatch");
-  }
+  auto workload_size = RequireUint(args, "queries", 0, /*required=*/false);
+  if (!workload_size.ok()) return workload_size.status();
   auto k = RequireUint(args, "k", 10, /*required=*/false);
   if (!k.ok()) return k.status();
   if (*k == 0) return Status::InvalidArgument("--k must be positive");
@@ -223,13 +231,64 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
 
   SsTree tree(data->front().dim());
   HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
-  const auto criterion = MakeCriterion(*kind);
+  // Route dominance through the instrumented wrapper so the per-criterion
+  // verdict counters and decide latencies show up in --metrics-out.
+  const auto criterion = MakeInstrumentedCriterion(*kind);
   KnnOptions options;
   options.k = *k;
   options.strategy = strategy == "hs" ? SearchStrategy::kBestFirst
                                       : SearchStrategy::kDepthFirst;
   options.deadline = *deadline;
   KnnSearcher searcher(criterion.get(), options);
+
+  if (*workload_size > 0) {
+    // Workload mode: N seeded queries drawn from the dataset's own
+    // distribution, reported in aggregate. This is the path the
+    // observability exports are meant to summarize.
+    auto seed = RequireUint(args, "seed", 0xC8ECull, /*required=*/false);
+    if (!seed.ok()) return seed.status();
+    const std::vector<Hypersphere> queries =
+        MakeKnnQueries(*data, *workload_size, *seed);
+    KnnStats totals;
+    uint64_t best_effort = 0;
+    uint64_t answers = 0;
+    Stopwatch watch;
+    for (const Hypersphere& sq : queries) {
+      const KnnResult one = searcher.Search(tree, sq);
+      totals.nodes_visited += one.stats.nodes_visited;
+      totals.nodes_pruned += one.stats.nodes_pruned;
+      totals.entries_accessed += one.stats.entries_accessed;
+      totals.dominance_checks += one.stats.dominance_checks;
+      totals.uncertain_verdicts += one.stats.uncertain_verdicts;
+      totals.nodes_deadline_skipped += one.stats.nodes_deadline_skipped;
+      answers += one.answers.size();
+      if (one.completeness == Completeness::kBestEffort) ++best_effort;
+    }
+    const double nanos = static_cast<double>(watch.ElapsedNanos());
+    out << queries.size() << " top-" << *k << " queries (criterion "
+        << criterion->name() << "): "
+        << FormatDuration(nanos / static_cast<double>(queries.size()))
+        << "/query\n"
+        << "  " << totals.nodes_visited << " nodes visited, "
+        << totals.nodes_pruned << " pruned, " << totals.entries_accessed
+        << " entries accessed, " << totals.dominance_checks
+        << " dominance checks\n"
+        << "  " << answers << " answer entries across the workload";
+    if (best_effort > 0) {
+      out << "; " << best_effort << " best-effort answers ("
+          << totals.nodes_deadline_skipped << " subtrees deadline-skipped)";
+    }
+    out << "\n";
+    return Status::OK();
+  }
+
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  if (query->dim() != data->front().dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
   const KnnResult result = searcher.Search(tree, *query);
 
   out << result.answers.size() << " possible top-" << *k
@@ -653,6 +712,81 @@ Status ArmFaultsFromFlags(const ParsedArgs& args) {
 #endif  // HYPERDOM_FAULT_INJECTION_ENABLED
 }
 
+// Prints the catalogue of process-wide metric names so operators can see
+// what --metrics-out will export without reading source.
+Status CmdMetrics(const ParsedArgs& /*args*/, std::ostream& out) {
+#if !defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  (void)out;
+  return Status::NotSupported(
+      "observability was compiled out (HYPERDOM_OBSERVABILITY=OFF)");
+#else
+  TablePrinter table({"metric", "type", "help"});
+  for (const obs::MetricDef& def : obs::MetricCatalogue()) {
+    table.AddRow({def.name, std::string(obs::MetricTypeName(def.type)),
+                  def.help});
+  }
+  out << table.Render();
+  return Status::OK();
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
+}
+
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+Status WriteTextFile(const std::string& path, const std::string& body) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  file << body;
+  file.flush();
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
+
+// Mirrors ArmFaultsFromFlags: the observability flags always parse, and
+// fail loudly instead of silently producing nothing when the subsystem was
+// compiled out. Tracing must be switched on before the command runs so the
+// spans it opens are captured.
+Status SetupObservabilityFromFlags(const ParsedArgs& args) {
+  const std::string metrics_out = args.GetFlag("metrics-out");
+  const std::string trace_out = args.GetFlag("trace-out");
+  if (metrics_out.empty() && trace_out.empty()) return Status::OK();
+#if !defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  return Status::NotSupported(
+      "observability was compiled out (HYPERDOM_OBSERVABILITY=OFF)");
+#else
+  if (!trace_out.empty()) obs::Tracer::Instance().Enable();
+  return Status::OK();
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
+}
+
+// Dumps the metrics registry and/or the captured trace to the files named
+// by --metrics-out / --trace-out. A `.json` extension on --metrics-out
+// selects the machine-readable JSON export; anything else gets Prometheus
+// text exposition. Runs after the command so its instruments are final.
+Status WriteObservabilityOutputs([[maybe_unused]] const ParsedArgs& args,
+                                 [[maybe_unused]] std::ostream& err) {
+#if defined(HYPERDOM_OBSERVABILITY_ENABLED)
+  const std::string metrics_out = args.GetFlag("metrics-out");
+  if (!metrics_out.empty()) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    HYPERDOM_RETURN_NOT_OK(WriteTextFile(
+        metrics_out, EndsWith(metrics_out, ".json")
+                         ? registry.RenderJson()
+                         : registry.RenderPrometheus()));
+  }
+  const std::string trace_out = args.GetFlag("trace-out");
+  if (!trace_out.empty()) {
+    const obs::Tracer& tracer = obs::Tracer::Instance();
+    if (tracer.dropped() > 0) {
+      err << "note: trace ring overflowed; " << tracer.dropped()
+          << " oldest records were dropped\n";
+    }
+    HYPERDOM_RETURN_NOT_OK(
+        WriteTextFile(trace_out, tracer.RenderChromeTrace()));
+  }
+#endif  // HYPERDOM_OBSERVABILITY_ENABLED
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string ParsedArgs::GetFlag(const std::string& key,
@@ -726,6 +860,11 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << armed.ToString() << "\n";
     return 2;
   }
+  const Status observing = SetupObservabilityFromFlags(*parsed);
+  if (!observing.ok()) {
+    err << "error: " << observing.ToString() << "\n";
+    return 2;
+  }
   Status status;
   if (parsed->command == "generate") {
     status = CmdGenerate(*parsed, out);
@@ -747,12 +886,17 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     status = CmdSnapshot(*parsed, out);
   } else if (parsed->command == "experiment") {
     status = CmdExperiment(*parsed, out);
+  } else if (parsed->command == "metrics") {
+    status = CmdMetrics(*parsed, out);
   } else if (parsed->command == "help") {
     out << kUsage;
     return 0;
   } else {
     err << "error: unknown command '" << parsed->command << "'\n" << kUsage;
     return 2;
+  }
+  if (status.ok()) {
+    status = WriteObservabilityOutputs(*parsed, err);
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";

@@ -8,6 +8,7 @@
 #define HYPERDOM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -96,6 +97,8 @@ inline bool WriteFile(const std::string& path, const std::string& body) {
 ///   --metrics-out=FILE  dump the process metrics registry after the run
 ///                       (`.json` extension selects the JSON export,
 ///                       anything else Prometheus text)
+///   --threads=N         worker threads for query workloads (0 = all
+///                       cores); results are bit-identical at any value
 ///
 /// Usage: construct from (argc, argv), replace Print*Table calls with
 /// KnnSweep/DominanceSweep, and `return reporter.Finish();` from main.
@@ -111,11 +114,14 @@ class Reporter {
         json_out_ = arg.substr(11);
       } else if (StartsWith(arg, "--metrics-out=")) {
         metrics_out_ = arg.substr(14);
+      } else if (StartsWith(arg, "--threads=")) {
+        threads_ = static_cast<size_t>(
+            std::strtoull(arg.c_str() + 10, nullptr, 10));
       } else {
         std::fprintf(stderr,
                      "error: unknown flag '%s'\n"
                      "usage: %s [--smoke] [--json-out=FILE] "
-                     "[--metrics-out=FILE]\n",
+                     "[--metrics-out=FILE] [--threads=N]\n",
                      arg.c_str(), argv[0]);
         bad_flags_ = true;
       }
@@ -130,6 +136,10 @@ class Reporter {
   size_t Scaled(size_t full, size_t smoke) const {
     return smoke_ ? smoke : full;
   }
+
+  /// Worker threads for query workloads (from --threads; default 1,
+  /// 0 = hardware concurrency). Feeds KnnExperimentConfig::threads.
+  size_t threads() const { return threads_; }
 
   /// Prints and records one dominance sweep point.
   void DominanceSweep(const std::string& label,
@@ -161,6 +171,20 @@ class Reporter {
                FormatDouble(rows[i].millis_per_query) +
                ", \"precision_pct\": " + FormatDouble(rows[i].precision_pct) +
                ", \"recall_pct\": " + FormatDouble(rows[i].recall_pct) + "}";
+    }
+    sweeps_.push_back(sweep + "\n      ]\n    }");
+  }
+
+  /// Records one sweep point with caller-formatted rows (each element a
+  /// complete JSON object). For benches whose rows don't fit the
+  /// dominance/kNN shapes, e.g. the thread-scaling curve; the caller owns
+  /// the human-readable table printing.
+  void RawSweep(const std::string& label,
+                const std::vector<std::string>& rows) {
+    std::string sweep = SweepPrefix(label);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) sweep += ",\n";
+      sweep += "        " + rows[i];
     }
     sweeps_.push_back(sweep + "\n      ]\n    }");
   }
@@ -214,6 +238,7 @@ class Reporter {
   std::string bench_name_;
   std::string json_out_;
   std::string metrics_out_;
+  size_t threads_ = 1;
   bool smoke_ = false;
   bool bad_flags_ = false;
   std::vector<std::string> sweeps_;

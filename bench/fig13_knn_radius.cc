@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     config.k = 10;
     config.num_queries = reporter.Scaled(5, 2);
     config.seed = 13'100;
+    config.threads = reporter.threads();
     const auto rows = RunKnnExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "mu = %.0f", mu);

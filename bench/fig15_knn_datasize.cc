@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     config.k = 10;
     config.num_queries = reporter.Scaled(5, 2);
     config.seed = 15'100;
+    config.threads = reporter.threads();
     const auto rows = RunKnnExperiment(data, config);
     char label[64];
     std::snprintf(label, sizeof(label), "N = %zuk", n / 1000);

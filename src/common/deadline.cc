@@ -2,7 +2,25 @@
 
 #include "common/deadline.h"
 
+#include <atomic>
+
 namespace hyperdom {
+
+namespace {
+// Read-side observability for the "budget-only deadlines are clock-free"
+// guarantee; bumped on the rate-limited path only, so the relaxed add is
+// noise next to the clock read it counts.
+std::atomic<uint64_t> g_wall_clock_reads{0};
+}  // namespace
+
+std::chrono::steady_clock::time_point Deadline::ReadClock() {
+  g_wall_clock_reads.fetch_add(1, std::memory_order_relaxed);
+  return std::chrono::steady_clock::now();
+}
+
+uint64_t Deadline::WallClockReads() {
+  return g_wall_clock_reads.load(std::memory_order_relaxed);
+}
 
 std::string_view CompletenessName(Completeness completeness) {
   switch (completeness) {

@@ -62,7 +62,7 @@ class Deadline {
   static Deadline AfterDuration(std::chrono::nanoseconds budget) {
     Deadline d;
     d.has_wall_deadline_ = true;
-    d.wall_deadline_ = std::chrono::steady_clock::now() + budget;
+    d.wall_deadline_ = ReadClock() + budget;
     return d;
   }
 
@@ -76,20 +76,40 @@ class Deadline {
     return !has_wall_deadline_ && node_budget_ == kUnlimited;
   }
   uint64_t node_budget() const { return node_budget_; }
+  bool has_wall_deadline() const { return has_wall_deadline_; }
 
-  /// True when the query must stop: the node budget is spent
-  /// (`nodes_visited >= budget`) or the wall deadline has passed. The
-  /// caller polls this *before* expanding a node, passing the number of
-  /// nodes expanded so far.
-  bool Expired(uint64_t nodes_visited) const {
-    if (nodes_visited >= node_budget_) return true;
-    if (!has_wall_deadline_) return false;
-    return std::chrono::steady_clock::now() >= wall_deadline_;
+  /// Exact, clock-free half of the expiry test: the node budget is spent
+  /// (`nodes_visited >= budget`).
+  bool NodeBudgetExpired(uint64_t nodes_visited) const {
+    return nodes_visited >= node_budget_;
   }
+
+  /// Clock-reading half of the expiry test: the wall deadline has passed.
+  /// False when no wall deadline is set (and the clock is not read).
+  bool WallExpired() const {
+    if (!has_wall_deadline_) return false;
+    return ReadClock() >= wall_deadline_;
+  }
+
+  /// True when the query must stop: the node budget is spent or the wall
+  /// deadline has passed. The caller polls this *before* expanding a node,
+  /// passing the number of nodes expanded so far. Hot loops should go
+  /// through TraversalGuard::ShouldStop, which rate-limits the clock read.
+  bool Expired(uint64_t nodes_visited) const {
+    return NodeBudgetExpired(nodes_visited) || WallExpired();
+  }
+
+  /// Process-wide count of steady_clock reads made by Deadline. For the
+  /// regression test that a budget-only deadline never touches the clock;
+  /// monotonically increasing, racy-but-consistent.
+  static uint64_t WallClockReads();
 
  private:
   static constexpr uint64_t kUnlimited =
       std::numeric_limits<uint64_t>::max();
+
+  // The single funnel for steady_clock::now(), so clock usage is countable.
+  static std::chrono::steady_clock::time_point ReadClock();
 
   uint64_t node_budget_ = kUnlimited;
   bool has_wall_deadline_ = false;
@@ -104,21 +124,31 @@ class Deadline {
 /// (MinDist) over every subtree the traversal skipped because of expiry,
 /// i.e. a floor on what the unexplored space could still contain.
 /// +infinity while nothing was skipped.
+///
+/// Owns its Deadline by value (24 bytes), so a guard built from a
+/// temporary (`TraversalGuard g(Deadline::AfterDuration(ms))`) or moved
+/// into a worker-pool task never dangles.
 class TraversalGuard {
  public:
-  explicit TraversalGuard(const Deadline& deadline) : deadline_(deadline) {}
+  /// Wall-clock polls per actual steady_clock read in ShouldStop. The
+  /// node-budget half of the test stays exact on every poll; only the
+  /// clock read is rate-limited (always taken on the first poll, so a
+  /// zero wall budget still stops the query before any node expands).
+  static constexpr uint64_t kWallPollStride = 64;
+
+  explicit TraversalGuard(Deadline deadline) : deadline_(deadline) {}
 
   /// Polled before expanding a node; `work_done` is the driver's count of
   /// nodes expanded so far. Sticky.
   bool ShouldStop(uint64_t work_done) {
     if (expired_) return true;
     if (deadline_.unbounded()) return false;
-    expired_ = deadline_.Expired(work_done);
-    if (expired_) {
-      // The false->true transition happens at most once per traversal, so
-      // the expiry instrumentation stays off the per-node polling path.
-      HYPERDOM_COUNTER_INC(obs::kDeadlineExpired);
-      HYPERDOM_SPAN_EVENT_CURRENT("deadline_expired");
+    if (deadline_.NodeBudgetExpired(work_done)) {
+      MarkExpired();
+    } else if (deadline_.has_wall_deadline() &&
+               (wall_polls_++ % kWallPollStride) == 0 &&
+               deadline_.WallExpired()) {
+      MarkExpired();
     }
     return expired_;
   }
@@ -135,7 +165,16 @@ class TraversalGuard {
   double pending_bound() const { return pending_bound_; }
 
  private:
-  const Deadline& deadline_;
+  void MarkExpired() {
+    expired_ = true;
+    // The false->true transition happens at most once per traversal, so
+    // the expiry instrumentation stays off the per-node polling path.
+    HYPERDOM_COUNTER_INC(obs::kDeadlineExpired);
+    HYPERDOM_SPAN_EVENT_CURRENT("deadline_expired");
+  }
+
+  Deadline deadline_;
+  uint64_t wall_polls_ = 0;
   bool expired_ = false;
   double pending_bound_ = std::numeric_limits<double>::infinity();
 };

@@ -71,6 +71,27 @@ double DrawUnit(uint64_t seed, std::string_view site, uint64_t index) {
   return static_cast<double>(mixed >> 11) * 0x1.0p-53;
 }
 
+// Query-scoped variant: pure in (seed, site, query id, per-query index).
+// The query id is avalanched before mixing so ids 0,1,2,... (batch
+// indices) land on independent-looking streams.
+double DrawUnitForQuery(uint64_t seed, std::string_view site,
+                        uint64_t query_id, uint64_t index) {
+  return DrawUnit(seed ^ SplitMix64(query_id ^ 0xA5A5A5A5A5A5A5A5ULL), site,
+                  index);
+}
+
+// Thread-local per-query fault context; installed by FaultQueryScope.
+// Lives outside the registry so reading it never takes the registry lock.
+struct QueryFaultContext {
+  bool active = false;
+  uint64_t query_id = 0;
+  // Per-(query, site) execution counts; reset at scope entry so the hit
+  // index restarts from 1 for every query.
+  std::map<std::string, uint64_t, std::less<>> hits;
+};
+
+thread_local QueryFaultContext t_query_context;
+
 // A firing is rare (tests arm a single site; random mode runs at low
 // probability), so per-firing registry lookup and a span event are cheap.
 void RecordFiring(std::string_view site) {
@@ -151,13 +172,29 @@ std::vector<std::pair<std::string, uint64_t>> FaultRegistry::HitCounts()
 }
 
 bool FaultRegistry::ShouldFire(std::string_view site, uint64_t* hit_index) {
+  // The per-query hit index is thread-local state, claimed before the
+  // registry lock: its value cannot depend on how threads interleave.
+  const bool query_scoped = t_query_context.active;
+  uint64_t query_index = 0;
+  if (query_scoped) {
+    auto [it, inserted] = t_query_context.hits.try_emplace(std::string(site), 0);
+    query_index = ++it->second;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (mode_ == Mode::kDisarmed) return false;
   auto [it, inserted] = hit_counts_.try_emplace(std::string(site), 0);
   *hit_index = ++it->second;
   bool fire = false;
   if (mode_ == Mode::kSite) {
+    // "nth execution" is a process-wide notion; it stays on the global
+    // counter even inside a query scope (single-shot arming targets build
+    // paths, which run outside query scopes).
     fire = site == armed_site_ && *hit_index == armed_nth_;
+  } else if (query_scoped) {
+    fire = probability_ > 0.0 &&
+           DrawUnitForQuery(seed_, site, t_query_context.query_id,
+                            query_index) < probability_;
+    *hit_index = query_index;
   } else {
     fire = probability_ > 0.0 &&
            DrawUnit(seed_, site, *hit_index) < probability_;
@@ -179,6 +216,27 @@ bool FaultRegistry::HitDegrade(std::string_view site) {
   if (!ShouldFire(site, &index)) return false;
   RecordFiring(site);
   return true;
+}
+
+FaultQueryScope::FaultQueryScope(uint64_t query_id)
+    : prev_active_(t_query_context.active),
+      prev_query_id_(t_query_context.query_id),
+      prev_hits_(std::move(t_query_context.hits)) {
+  t_query_context.active = true;
+  t_query_context.query_id = query_id;
+  t_query_context.hits.clear();
+}
+
+FaultQueryScope::~FaultQueryScope() {
+  t_query_context.active = prev_active_;
+  t_query_context.query_id = prev_query_id_;
+  t_query_context.hits = std::move(prev_hits_);
+}
+
+bool FaultQueryScope::Active() { return t_query_context.active; }
+
+uint64_t FaultQueryScope::CurrentQueryId() {
+  return t_query_context.active ? t_query_context.query_id : 0;
 }
 
 }  // namespace hyperdom

@@ -20,7 +20,13 @@
 // whether a given (site, per-site hit index) fires is a pure function of
 // (seed, site, index) — independent of thread interleaving, iteration
 // order, or what other sites exist — so any failure reproduces from the
-// seed alone.
+// seed alone. Single-threaded, the index is the process-wide per-site
+// execution counter. Under concurrent queries that counter's *assignment*
+// to queries would race, so query drivers (the exec/ batch engine) install
+// a FaultQueryScope: while one is active, the stream is derived from
+// (seed, site, query id, per-query hit index), all of which are
+// thread-local facts — which query fails is then identical at any thread
+// count. ArmSite's "nth execution" stays a process-wide notion either way.
 //
 // The macros compile to nothing when HYPERDOM_FAULT_INJECTION_ENABLED is
 // not defined (CMake option HYPERDOM_FAULT_INJECTION, default ON; release
@@ -113,6 +119,37 @@ class FaultRegistry {
   double probability_ = 0.0;
   uint64_t injected_ = 0;
   std::map<std::string, uint64_t, std::less<>> hit_counts_;
+};
+
+/// \brief RAII thread-local per-query fault context.
+///
+/// While a scope is active on a thread, ArmRandom firing decisions on that
+/// thread are pure in (seed, site, query_id, per-query hit index) instead
+/// of the process-wide per-site counter, making fault placement
+/// reproducible under concurrent query execution (see the determinism
+/// contract above). The batch engine installs one per query, with the
+/// query's index in its batch as the id; single-query drivers run without
+/// a scope and keep the historical global-counter stream. Scopes nest
+/// (the outer context is restored on destruction); a scope must be
+/// destroyed on the thread that created it.
+class FaultQueryScope {
+ public:
+  explicit FaultQueryScope(uint64_t query_id);
+  ~FaultQueryScope();
+
+  FaultQueryScope(const FaultQueryScope&) = delete;
+  FaultQueryScope& operator=(const FaultQueryScope&) = delete;
+
+  /// True when a scope is active on this thread.
+  static bool Active();
+
+  /// The active scope's query id (0 when none is active).
+  static uint64_t CurrentQueryId();
+
+ private:
+  bool prev_active_;
+  uint64_t prev_query_id_;
+  std::map<std::string, uint64_t, std::less<>> prev_hits_;
 };
 
 }  // namespace hyperdom

@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "eval/measures.h"
 #include "eval/workload.h"
+#include "exec/batch.h"
 
 namespace hyperdom {
 
@@ -95,17 +96,19 @@ std::vector<KnnExperimentRow> RunKnnExperiment(
       KnnOptions options;
       options.k = config.k;
       options.strategy = strategy;
-      KnnSearcher searcher(criterion.get(), options);
+      BatchOptions exec;
+      exec.threads = config.threads;
+      exec.seed = config.seed;
+      const BatchKnnResult batch =
+          BatchKnn(tree, queries, *criterion, options, exec);
 
       uint64_t returned_total = 0;
       uint64_t correct_total = 0;
       uint64_t truth_total = 0;
-      Stopwatch watch;
-      double total_nanos = 0.0;
+      const double total_nanos =
+          static_cast<double>(batch.stats.wall_nanos);
       for (size_t qi = 0; qi < queries.size(); ++qi) {
-        watch.Restart();
-        const KnnResult result = searcher.Search(tree, queries[qi]);
-        total_nanos += static_cast<double>(watch.ElapsedNs());
+        const KnnResult& result = batch.results[qi];
         returned_total += result.answers.size();
         truth_total += truth_sets[qi].size();
         for (const auto& e : result.answers) {

@@ -53,6 +53,9 @@ struct KnnExperimentConfig {
   size_t k = 10;
   size_t num_queries = 20;
   uint64_t seed = 0x5EED0B22ULL;
+  /// Worker threads for the query workload (0 = hardware concurrency).
+  /// Results are bit-identical at any value; only wall time changes.
+  size_t threads = 1;
   SsTreeOptions tree_options;
   /// Pruning criteria (the paper omits Trigonometric here: an incorrect
   /// criterion can drop true kNN answers).

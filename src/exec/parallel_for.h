@@ -1,0 +1,59 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// ParallelFor: run `body(i)` for i in [0, n) across a ThreadPool. Work is
+// claimed with a single shared atomic cursor — a lock-free fetch_add per
+// item, no per-item task allocation, no work partitioning to balance —
+// which keeps skewed workloads (one slow query among thousands) from
+// idling workers. Exactly min(pool.size(), n) pool tasks are submitted.
+//
+// `body` must be safe to call concurrently for distinct i. The call
+// blocks until every index ran (or was abandoned after a throw) and
+// rethrows the first exception a body threw; remaining indices are then
+// skipped, never half-run.
+
+#ifndef HYPERDOM_EXEC_PARALLEL_FOR_H_
+#define HYPERDOM_EXEC_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "exec/thread_pool.h"
+
+namespace hyperdom {
+
+/// Runs `body(0) .. body(n-1)` on `pool`'s workers. With a null pool, a
+/// one-worker pool, or n <= 1 the loop runs inline on the caller's thread
+/// (same exception behavior, zero synchronization).
+template <typename Body>
+void ParallelFor(ThreadPool* pool, size_t n, const Body& body) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Shared by the claiming tasks; lives on the caller's frame, which
+  // outlives them because Wait() below joins the whole submission.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abandoned{false};
+  const size_t tasks = pool->size() < n ? pool->size() : n;
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->Submit([&next, &abandoned, n, &body] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || abandoned.load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          // Stop claiming new work; the pool records the exception and
+          // Wait() rethrows it on the calling thread.
+          abandoned.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,75 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// A fixed-size worker pool for per-query parallelism. The query layer is
+// embarrassingly parallel across queries — every single-query driver owns
+// its TraversalGuard/KnnStats and publishes to the sharded obs registry —
+// so the pool only has to hand out independent tasks; it does no work
+// partitioning itself (ParallelFor in parallel_for.h does that with a
+// lock-free claim counter).
+//
+// Semantics:
+//   * Submit() enqueues a task; workers run tasks in FIFO order.
+//   * Wait() blocks until every submitted task finished, then rethrows the
+//     first exception any task threw (later ones are dropped). The pool
+//     stays usable after Wait(), including after an exception.
+//   * The destructor drains the queue (it does not cancel queued tasks)
+//     and joins the workers; pending exceptions are swallowed there, so
+//     callers who care must Wait().
+
+#ifndef HYPERDOM_EXEC_THREAD_POOL_H_
+#define HYPERDOM_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyperdom {
+
+/// \brief Fixed-size worker pool with FIFO task queue.
+///
+/// Thread-safe for Submit/Wait from any thread, though Wait() from inside
+/// a task deadlocks (a worker cannot wait for itself).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1. The pool never grows or
+  /// shrinks.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count chosen for `requested`: the request itself, or the
+  /// hardware concurrency when `requested` is 0 (at least 1).
+  static size_t ResolveThreads(size_t requested);
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks completed; rethrows the first task
+  /// exception (clearing it, so the pool is reusable).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // workers wait here for tasks
+  std::condition_variable all_done_;     // Wait() sleeps here
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_EXEC_THREAD_POOL_H_

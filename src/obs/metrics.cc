@@ -337,7 +337,9 @@ const std::vector<MetricDef>& MetricCatalogue() {
           kIndexSize,           kDeadlineExpired,
           kFaultInjected,       kSnapshotOps,
           kSnapshotDuration,    kExperimentDuration,
-          kTraceDropped,
+          kExecPoolThreads,     kExecTasks,
+          kBatchRuns,           kBatchQueries,
+          kBatchDuration,       kTraceDropped,
       };
   return *catalogue;
 }

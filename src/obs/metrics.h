@@ -331,6 +331,25 @@ inline constexpr MetricDef kExperimentDuration{
     "hyperdom_experiment_duration_ns", "wall time of one experiment run",
     MetricType::kHistogram};
 
+// Parallel batch execution (src/exec/; see docs/performance.md).
+inline constexpr MetricDef kExecPoolThreads{
+    "hyperdom_exec_pool_threads",
+    "workers in the most recently created thread pool", MetricType::kGauge};
+inline constexpr MetricDef kExecTasks{
+    "hyperdom_exec_tasks_total", "tasks submitted to thread pools",
+    MetricType::kCounter};
+inline constexpr MetricDef kBatchRuns{
+    "hyperdom_batch_runs_total",
+    "batch query runs (label kind=knn|range)", MetricType::kCounter};
+inline constexpr MetricDef kBatchQueries{
+    "hyperdom_batch_queries_total",
+    "queries executed through the batch engine (label kind=)",
+    MetricType::kCounter};
+inline constexpr MetricDef kBatchDuration{
+    "hyperdom_batch_duration_ns",
+    "end-to-end wall time of one batch run (label kind=)",
+    MetricType::kHistogram};
+
 // The tracer's own health.
 inline constexpr MetricDef kTraceDropped{
     "hyperdom_trace_dropped_total",
@@ -387,6 +406,15 @@ inline constexpr MetricDef kTraceDropped{
     _hyperdom_histogram->Record(v);                                \
   } while (false)
 
+/// Gauges are last-write-wins; `def` must be a MetricDef with kGauge type.
+#define HYPERDOM_GAUGE_SET(def, v)                              \
+  do {                                                          \
+    static ::hyperdom::obs::Gauge* const _hyperdom_gauge =      \
+        ::hyperdom::obs::MetricsRegistry::Instance().GetGauge(  \
+            (def).name, (def).help);                            \
+    _hyperdom_gauge->Set(v);                                    \
+  } while (false)
+
 #else
 
 #define HYPERDOM_COUNTER_ADD(def, n) \
@@ -406,6 +434,9 @@ inline constexpr MetricDef kTraceDropped{
   } while (false)
 #define HYPERDOM_HISTOGRAM_RECORD_L(def, key, value, v) \
   do {                                                  \
+  } while (false)
+#define HYPERDOM_GAUGE_SET(def, v) \
+  do {                             \
   } while (false)
 
 #endif  // HYPERDOM_OBSERVABILITY_ENABLED

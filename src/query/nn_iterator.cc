@@ -9,10 +9,7 @@ namespace hyperdom {
 NearestNeighborIterator::NearestNeighborIterator(const SsTree* tree,
                                                  Hypersphere query,
                                                  Deadline deadline)
-    : tree_(tree),
-      query_(std::move(query)),
-      deadline_(deadline),
-      guard_(deadline_) {
+    : tree_(tree), query_(std::move(query)), guard_(deadline) {
   if (tree_ != nullptr && tree_->root() != nullptr) {
     heap_.push(QueueItem{MinDist(tree_->root()->bounding_sphere(), query_),
                          tree_->root(), nullptr});

@@ -70,8 +70,7 @@ class NearestNeighborIterator {
 
   const SsTree* tree_;
   Hypersphere query_;
-  Deadline deadline_;
-  TraversalGuard guard_;
+  TraversalGuard guard_;  // owns its Deadline by value
   std::priority_queue<QueueItem, std::vector<QueueItem>, Compare> heap_;
   size_t produced_ = 0;
   uint64_t nodes_expanded_ = 0;

@@ -86,6 +86,64 @@ TEST(TraversalGuardTest, StickyExpiryAndPendingBound) {
   EXPECT_EQ(guard.pending_bound(), 3.0);
 }
 
+TEST(TraversalGuardTest, GuardBuiltFromATemporaryDeadlineDoesNotDangle) {
+  // Regression: the guard once held `const Deadline&`, so binding a
+  // temporary (or moving the guard out of the frame that built it, as the
+  // batch engine's pool tasks do) dangled. It now owns the Deadline by
+  // value.
+  auto make_guard = [] {
+    return TraversalGuard(Deadline::WithNodeBudget(2));
+  };
+  TraversalGuard guard = make_guard();
+  EXPECT_FALSE(guard.ShouldStop(0));
+  EXPECT_FALSE(guard.ShouldStop(1));
+  EXPECT_TRUE(guard.ShouldStop(2));
+}
+
+TEST(TraversalGuardTest, BudgetOnlyDeadlineNeverReadsTheClock) {
+  const Deadline d = Deadline::WithNodeBudget(10'000);
+  TraversalGuard guard(d);
+  const uint64_t before = Deadline::WallClockReads();
+  for (uint64_t i = 0; i < 5'000; ++i) {
+    ASSERT_FALSE(guard.ShouldStop(i));
+  }
+  EXPECT_TRUE(guard.ShouldStop(10'000));
+  EXPECT_EQ(Deadline::WallClockReads(), before)
+      << "a budget-only deadline must stay clock-free";
+}
+
+TEST(TraversalGuardTest, UnboundedDeadlineNeverReadsTheClock) {
+  TraversalGuard guard{Deadline::Unbounded()};
+  const uint64_t before = Deadline::WallClockReads();
+  for (uint64_t i = 0; i < 1'000; ++i) {
+    ASSERT_FALSE(guard.ShouldStop(i));
+  }
+  EXPECT_EQ(Deadline::WallClockReads(), before);
+}
+
+TEST(TraversalGuardTest, WallClockPollingIsRateLimited) {
+  const Deadline far = Deadline::AfterDuration(std::chrono::hours(1));
+  const uint64_t before = Deadline::WallClockReads();
+  TraversalGuard guard(far);
+  constexpr uint64_t kPolls = 1000;
+  for (uint64_t i = 0; i < kPolls; ++i) {
+    ASSERT_FALSE(guard.ShouldStop(i));
+  }
+  const uint64_t reads = Deadline::WallClockReads() - before;
+  // One read per stride, starting at the very first poll.
+  constexpr uint64_t kStride = TraversalGuard::kWallPollStride;
+  EXPECT_EQ(reads, (kPolls + kStride - 1) / kStride);
+}
+
+TEST(TraversalGuardTest, FirstPollChecksTheClockImmediately) {
+  // An already-expired wall deadline must stop the traversal before any
+  // node expands — rate limiting must not defer the first check.
+  TraversalGuard guard(
+      Deadline::AfterDuration(std::chrono::nanoseconds(0)));
+  EXPECT_TRUE(guard.ShouldStop(0));
+  EXPECT_TRUE(guard.expired());
+}
+
 class KnnDeadlineTest
     : public ::testing::TestWithParam<SearchStrategy> {};
 

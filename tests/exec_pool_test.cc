@@ -1,0 +1,135 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// ThreadPool and ParallelFor (src/exec/). The contracts under test: every
+// submitted task runs exactly once, Wait() rethrows the first task
+// exception and leaves the pool reusable, the destructor drains pending
+// work, and ParallelFor covers [0, n) exactly once at any pool size.
+
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel_for.h"
+
+namespace hyperdom {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPicksHardwareConcurrencyForZero) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first batch fails"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  // The error is cleared: the next batch runs and waits cleanly.
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&runs] { runs.fetch_add(1); });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&runs] { runs.fetch_add(1); });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(runs.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();
+  pool.Wait();  // idempotent
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> counts(kN);
+    ParallelFor(&pool, kN, [&counts](size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> touched(64, 0);
+  ParallelFor(nullptr, touched.size(),
+              [&touched](size_t i) { touched[i] = 1; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 64);
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int runs = 0;
+  ParallelFor(&pool, 0, [&runs](size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  ParallelFor(&pool, 1, [&runs](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelForTest, BodyExceptionPropagatesAndStopsNewClaims) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, kN,
+                  [&ran](size_t i) {
+                    if (i == 5) throw std::runtime_error("body boom");
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                  }),
+      std::runtime_error);
+  // Abandonment is best-effort but must cut well short of the full range.
+  EXPECT_LT(ran.load(), kN);
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/csv.h"
@@ -287,6 +288,99 @@ TEST(FaultInjectionTest, RandomizedTenThousandQuerySweep) {
     }
   }
   EXPECT_EQ(registry.injected(), first_run);
+}
+
+// --- FaultQueryScope: per-query streams under concurrency -----------------
+
+TEST(FaultQueryScopeTest, ActiveAndCurrentQueryIdTrackTheScope) {
+  EXPECT_FALSE(FaultQueryScope::Active());
+  EXPECT_EQ(FaultQueryScope::CurrentQueryId(), 0u);
+  {
+    FaultQueryScope outer(7);
+    EXPECT_TRUE(FaultQueryScope::Active());
+    EXPECT_EQ(FaultQueryScope::CurrentQueryId(), 7u);
+    {
+      FaultQueryScope inner(9);
+      EXPECT_EQ(FaultQueryScope::CurrentQueryId(), 9u);
+    }
+    // Nesting restores the outer context.
+    EXPECT_TRUE(FaultQueryScope::Active());
+    EXPECT_EQ(FaultQueryScope::CurrentQueryId(), 7u);
+  }
+  EXPECT_FALSE(FaultQueryScope::Active());
+}
+
+// The firing pattern a query sees inside its scope must be a pure function
+// of (seed, site, query id, per-query hit index): the same whether the
+// query runs alone, after another query, or concurrently with it.
+TEST(FaultQueryScopeTest, QueryStreamIsIndependentOfExecutionOrder) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  constexpr int kHits = 200;
+
+  auto pattern_of = [&](uint64_t query_id) {
+    FaultQueryScope scope(query_id);
+    std::vector<bool> fired;
+    for (int i = 0; i < kHits; ++i) {
+      fired.push_back(!registry.Hit("ss_tree/insert").ok());
+    }
+    return fired;
+  };
+
+  registry.ArmRandom(/*seed=*/0x5C0BE, /*probability=*/0.25);
+  const auto q3_alone = pattern_of(3);
+  const auto q8_alone = pattern_of(8);
+  EXPECT_GT(std::count(q3_alone.begin(), q3_alone.end(), true), 0);
+  EXPECT_NE(q3_alone, q8_alone) << "distinct queries get distinct streams";
+
+  // Re-arm (clearing global counters) and run in the opposite order: the
+  // global per-site counter now assigns different indices, but the
+  // query-scoped streams must not care.
+  registry.ArmRandom(/*seed=*/0x5C0BE, /*probability=*/0.25);
+  EXPECT_EQ(pattern_of(8), q8_alone);
+  EXPECT_EQ(pattern_of(3), q3_alone);
+
+  // And concurrently, racing each other on two threads.
+  registry.ArmRandom(/*seed=*/0x5C0BE, /*probability=*/0.25);
+  std::vector<bool> q3_threaded, q8_threaded;
+  std::thread t3([&] { q3_threaded = pattern_of(3); });
+  std::thread t8([&] { q8_threaded = pattern_of(8); });
+  t3.join();
+  t8.join();
+  EXPECT_EQ(q3_threaded, q3_alone);
+  EXPECT_EQ(q8_threaded, q8_alone);
+}
+
+TEST(FaultQueryScopeTest, UnscopedStreamKeepsTheGlobalCounterBehavior) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  auto pattern = [&] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 100; ++i) {
+      fired.push_back(!registry.Hit("ss_tree/insert").ok());
+    }
+    return fired;
+  };
+  // A scope that opened and closed must leave the historical
+  // global-counter stream untouched for later unscoped callers.
+  registry.ArmRandom(/*seed=*/77, /*probability=*/0.3);
+  const auto reference = pattern();
+  registry.ArmRandom(/*seed=*/77, /*probability=*/0.3);
+  { FaultQueryScope scope(1); }
+  EXPECT_EQ(pattern(), reference);
+}
+
+TEST(FaultQueryScopeTest, ArmSiteNthExecutionStaysProcessWide) {
+  RegistryGuard guard;
+  auto& registry = FaultRegistry::Instance();
+  registry.ArmSite("ss_tree/insert", /*nth=*/3);
+  FaultQueryScope scope(5);
+  // Single-shot arming counts process-wide executions even inside a
+  // query scope: exactly the third hit fires.
+  EXPECT_TRUE(registry.Hit("ss_tree/insert").ok());
+  EXPECT_TRUE(registry.Hit("ss_tree/insert").ok());
+  EXPECT_FALSE(registry.Hit("ss_tree/insert").ok());
+  EXPECT_TRUE(registry.Hit("ss_tree/insert").ok());
 }
 
 #endif  // HYPERDOM_FAULT_INJECTION_ENABLED

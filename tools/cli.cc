@@ -20,6 +20,7 @@
 #include "data/generator.h"
 #include "dominance/growing.h"
 #include "eval/experiment.h"
+#include "exec/batch.h"
 #include "eval/table_printer.h"
 #include "eval/workload.h"
 #include "index/snapshot.h"
@@ -47,7 +48,7 @@ constexpr char kUsage[] =
     "all]\n"
     "  knn         --data=FILE --query=X,..;R [--k=10] [--criterion=NAME]\n"
     "              [--strategy=hs|df] [--certified=1] [--deadline-ms=T]\n"
-    "              [--node-budget=N] [--queries=N --seed=S]\n"
+    "              [--node-budget=N] [--queries=N --seed=S --threads=T]\n"
     "  rank        --data=FILE --target=ID --query=X,..;R "
     "[--criterion=NAME]\n"
     "  range       --data=FILE --query=X,..;R --range=D\n"
@@ -74,7 +75,9 @@ constexpr char kUsage[] =
     "text); --trace-out=FILE records spans and writes a Chrome trace_event\n"
     "JSON file loadable in chrome://tracing or https://ui.perfetto.dev.\n"
     "knn --queries=N replaces the single --query with a seeded workload of\n"
-    "N random queries drawn from the dataset, reporting aggregate stats.\n";
+    "N random queries drawn from the dataset, reporting aggregate stats;\n"
+    "--threads=T shards the workload across T workers (0 = all cores) with\n"
+    "bit-identical results at any thread count.\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -247,24 +250,19 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
     // observability exports are meant to summarize.
     auto seed = RequireUint(args, "seed", 0xC8ECull, /*required=*/false);
     if (!seed.ok()) return seed.status();
+    auto threads = RequireUint(args, "threads", 1, /*required=*/false);
+    if (!threads.ok()) return threads.status();
     const std::vector<Hypersphere> queries =
         MakeKnnQueries(*data, *workload_size, *seed);
-    KnnStats totals;
-    uint64_t best_effort = 0;
+    BatchOptions exec;
+    exec.threads = static_cast<size_t>(*threads);
+    exec.seed = *seed;
+    const BatchKnnResult batch =
+        BatchKnn(tree, queries, *criterion, options, exec);
+    const KnnStats& totals = batch.stats.totals;
     uint64_t answers = 0;
-    Stopwatch watch;
-    for (const Hypersphere& sq : queries) {
-      const KnnResult one = searcher.Search(tree, sq);
-      totals.nodes_visited += one.stats.nodes_visited;
-      totals.nodes_pruned += one.stats.nodes_pruned;
-      totals.entries_accessed += one.stats.entries_accessed;
-      totals.dominance_checks += one.stats.dominance_checks;
-      totals.uncertain_verdicts += one.stats.uncertain_verdicts;
-      totals.nodes_deadline_skipped += one.stats.nodes_deadline_skipped;
-      answers += one.answers.size();
-      if (one.completeness == Completeness::kBestEffort) ++best_effort;
-    }
-    const double nanos = static_cast<double>(watch.ElapsedNanos());
+    for (const KnnResult& one : batch.results) answers += one.answers.size();
+    const double nanos = static_cast<double>(batch.stats.wall_nanos);
     out << queries.size() << " top-" << *k << " queries (criterion "
         << criterion->name() << "): "
         << FormatDuration(nanos / static_cast<double>(queries.size()))
@@ -274,11 +272,15 @@ Status CmdKnn(const ParsedArgs& args, std::ostream& out) {
         << " entries accessed, " << totals.dominance_checks
         << " dominance checks\n"
         << "  " << answers << " answer entries across the workload";
-    if (best_effort > 0) {
-      out << "; " << best_effort << " best-effort answers ("
+    if (batch.stats.best_effort > 0) {
+      out << "; " << batch.stats.best_effort << " best-effort answers ("
           << totals.nodes_deadline_skipped << " subtrees deadline-skipped)";
     }
     out << "\n";
+    if (batch.stats.threads > 1) {
+      out << "  " << batch.stats.threads
+          << " worker threads (results are bit-identical to --threads=1)\n";
+    }
     return Status::OK();
   }
 

@@ -34,11 +34,11 @@ constexpr double kBandParametric = 512.0; // sampled + golden-section dmin
 constexpr double kBandLongDouble = 64.0;  // tier-3 unified margin
 constexpr double kBandOracle = 4096.0;    // dense-scan oracle margin
 
-// Distance between two double-precision points, accumulated in T.
+// Distance between two double-precision coordinate spans, accumulated in T.
 template <typename T>
-T DistT(const Point& a, const Point& b) {
+T DistT(const double* a, const double* b, size_t n) {
   T acc = T(0);
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const T d = T(a[i]) - T(b[i]);
     acc += d * d;
   }
@@ -94,18 +94,18 @@ TierOutcome DegradedOutcome() {
 // `dmin_fn(alpha, rab, y1, y2)` returns {dmin, extra_band}: the boundary
 // margin's band is max(band_dmin_k * eps * scale, extra_band).
 template <typename T, typename DminFn>
-TierOutcome EvaluateMarginsT(const Hypersphere& sa, const Hypersphere& sb,
-                             const Hypersphere& sq, T band_dist_k,
-                             T band_dmin_k, DminFn&& dmin_fn) {
+TierOutcome EvaluateMarginsT(SphereView sa, SphereView sb, SphereView sq,
+                             T band_dist_k, T band_dmin_k, DminFn&& dmin_fn) {
   const T eps = std::numeric_limits<T>::epsilon();
-  const Point& ca = sa.center();
-  const Point& cb = sb.center();
-  const Point& cq = sq.center();
-  const T rab = T(sa.radius()) + T(sb.radius());
-  const T rq = T(sq.radius());
-  const T focal = DistT<T>(ca, cb);
-  const T da = DistT<T>(cq, ca);
-  const T db = DistT<T>(cq, cb);
+  const double* ca = sa.center;
+  const double* cb = sb.center;
+  const double* cq = sq.center;
+  const size_t dim = sa.dim;
+  const T rab = T(sa.radius) + T(sb.radius);
+  const T rq = T(sq.radius);
+  const T focal = DistT<T>(ca, cb, dim);
+  const T da = DistT<T>(cq, ca, dim);
+  const T db = DistT<T>(cq, cb, dim);
   const T scale = focal + da + db + rab + rq;
   // The eps-relative model is blind to underflow: a squared coordinate
   // difference below the smallest normal T flushes its information away,
@@ -114,7 +114,7 @@ TierOutcome EvaluateMarginsT(const Hypersphere& sa, const Hypersphere& sb,
   // at normal scales and only bites on denormal-scale scenes, which then
   // escalate to a wider type instead of resolving on garbage distances.
   const T band_floor =
-      T(4) * std::sqrt(T(sa.dim()) * std::numeric_limits<T>::min());
+      T(4) * std::sqrt(T(dim) * std::numeric_limits<T>::min());
   const T band_dist = band_dist_k * eps * scale + band_floor;
 
   TierOutcome out;
@@ -139,7 +139,7 @@ TierOutcome EvaluateMarginsT(const Hypersphere& sa, const Hypersphere& sb,
   // A point query: the margins above are the whole predicate.
   if (rq == T(0)) return out;
 
-  if (sa.dim() == 1) {
+  if (dim == 1) {
     // 1-d: f(t) = |t - cb| - |t - ca| over the segment [cq - rq, cq + rq]
     // is piecewise linear; its minimum sits at a segment endpoint or at a
     // focus inside the segment.
@@ -171,7 +171,7 @@ TierOutcome EvaluateMarginsT(const Hypersphere& sa, const Hypersphere& sb,
   // higher tier sharpen that margin first.
   if (!(m_overlap > band_dist)) return out;
 
-  const FocalCoords<T> fc = ComputeFocalCoords<T>(ca, cb, cq);
+  const FocalCoords<T> fc = ComputeFocalCoords<T>(ca, cb, cq, dim);
   const std::pair<T, T> dm = dmin_fn(fc.alpha, rab, fc.y1, fc.y2);
   const T band_dmin =
       std::max(band_dmin_k * eps * scale, dm.second) + band_floor;
@@ -256,8 +256,8 @@ CertifiedMinDist HyperbolaMinDistCertified(double alpha, double rab,
     return axis;
   }
 
-  const std::vector<CertifiedRoot> roots =
-      SolveQuarticWithBounds(A, B, C, D, E);
+  CertifiedRootSet roots;
+  SolveQuarticWithBoundsInto(A, B, C, D, E, &roots);
   // No real roots at all is indistinguishable from roots lost to rounding;
   // generic scenes have at least one.
   if (roots.empty()) coverage_lost = true;
@@ -302,24 +302,24 @@ CertifiedMinDist HyperbolaMinDistCertified(double alpha, double rab,
   return out;
 }
 
-long double DominanceMarginLongDouble(const Hypersphere& sa,
-                                      const Hypersphere& sb,
-                                      const Hypersphere& sq) {
+long double DominanceMarginLongDouble(SphereView sa, SphereView sb,
+                                      SphereView sq) {
   using LD = long double;
-  const Point& ca = sa.center();
-  const Point& cb = sb.center();
-  const Point& cq = sq.center();
-  const LD rab = LD(sa.radius()) + LD(sb.radius());
-  const LD rq = LD(sq.radius());
-  const LD focal = DistT<LD>(ca, cb);
-  const LD da = DistT<LD>(cq, ca);
-  const LD db = DistT<LD>(cq, cb);
+  const double* ca = sa.center;
+  const double* cb = sb.center;
+  const double* cq = sq.center;
+  const size_t dim = sa.dim;
+  const LD rab = LD(sa.radius) + LD(sb.radius);
+  const LD rq = LD(sq.radius);
+  const LD focal = DistT<LD>(ca, cb, dim);
+  const LD da = DistT<LD>(cq, ca, dim);
+  const LD db = DistT<LD>(cq, cb, dim);
 
   LD margin = focal - rab;                          // overlap (Lemma 1)
   margin = std::min(margin, (db - da) - rab);       // cq ∈ Ra
   if (rq == LD(0)) return margin;
 
-  if (sa.dim() == 1) {
+  if (dim == 1) {
     const LD ca1 = LD(ca[0]);
     const LD cb1 = LD(cb[0]);
     const LD lo = LD(cq[0]) - rq;
@@ -340,7 +340,7 @@ long double DominanceMarginLongDouble(const Hypersphere& sa,
   // cannot improve the verdict, and the value is decided by the terms above.
   if (margin <= LD(0)) return margin;
 
-  const FocalCoords<LD> fc = ComputeFocalCoords<LD>(ca, cb, cq);
+  const FocalCoords<LD> fc = ComputeFocalCoords<LD>(ca, cb, cq, dim);
   const LD k = hyperbola_internal::HyperbolaMinDistKernelT<LD>(
       fc.alpha, rab, fc.y1, fc.y2);
   const LD p = hyperbola_internal::HyperbolaMinDistParametricT<LD>(
@@ -348,15 +348,18 @@ long double DominanceMarginLongDouble(const Hypersphere& sa,
   return std::min(margin, std::min(k, p) - rq);
 }
 
-Verdict CertifiedDominance::Decide(const Hypersphere& sa,
-                                   const Hypersphere& sb,
-                                   const Hypersphere& sq) const {
+long double DominanceMarginLongDouble(const Hypersphere& sa,
+                                      const Hypersphere& sb,
+                                      const Hypersphere& sq) {
+  return DominanceMarginLongDouble(sa.view(), sb.view(), sq.view());
+}
+
+Verdict CertifiedDominance::Decide(SphereView sa, SphereView sb,
+                                   SphereView sq) const {
   return Decide(sa, sb, sq, nullptr);
 }
 
-Verdict CertifiedDominance::Decide(const Hypersphere& sa,
-                                   const Hypersphere& sb,
-                                   const Hypersphere& sq,
+Verdict CertifiedDominance::Decide(SphereView sa, SphereView sb, SphereView sq,
                                    CertifiedTier* tier) const {
   calls_.fetch_add(1, std::memory_order_relaxed);
   HYPERDOM_COUNTER_INC(obs::kCertifiedCalls);
@@ -466,14 +469,14 @@ Verdict CertifiedDominance::Decide(const Hypersphere& sa,
   // e.g. margins the tier-3 guard refused to evaluate. A degraded oracle
   // leaves the call honestly kUncertain.
   if (!HYPERDOM_FAULT_DEGRADE("certified/oracle")) {
-    const double rab = sa.radius() + sb.radius();
-    const double focal = Dist(sa.center(), sb.center());
-    const double da = Dist(sq.center(), sa.center());
-    const double db = Dist(sq.center(), sb.center());
-    const double scale = focal + da + db + rab + sq.radius();
+    const double rab = sa.radius + sb.radius;
+    const double focal = DistSpan(sa.center, sb.center, sa.dim);
+    const double da = DistSpan(sq.center, sa.center, sq.dim);
+    const double db = DistSpan(sq.center, sb.center, sq.dim);
+    const double scale = focal + da + db + rab + sq.radius;
     const double band =
         kBandOracle * std::numeric_limits<double>::epsilon() * scale +
-        4.0 * std::sqrt(static_cast<double>(sa.dim()) *
+        4.0 * std::sqrt(static_cast<double>(sa.dim) *
                         std::numeric_limits<double>::min());
     const double mdd = MinDistanceDifference(sa, sb, sq);
     const double m = std::min(focal - rab, mdd - rab);

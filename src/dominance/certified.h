@@ -56,7 +56,10 @@ CertifiedMinDist HyperbolaMinDistCertified(double alpha, double rab,
 /// Returns min(overlap margin, center-MDD margin, boundary margin); the
 /// scene dominates iff the result is strictly positive. Used as tier 3 of
 /// the escalation chain and as the high-precision reference of the boundary
-/// fuzz harness.
+/// fuzz harness. The view overload is the core; the Hypersphere overload
+/// delegates.
+long double DominanceMarginLongDouble(SphereView sa, SphereView sb,
+                                      SphereView sq);
 long double DominanceMarginLongDouble(const Hypersphere& sa,
                                       const Hypersphere& sb,
                                       const Hypersphere& sq);
@@ -101,12 +104,23 @@ struct CertifiedStats {
 class CertifiedDominance {
  public:
   /// Decides Dom(sa, sb, sq) with certification, escalating as needed.
-  Verdict Decide(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const;
+  /// The view overloads are the allocation-free core; the Hypersphere
+  /// overloads view their arguments and delegate.
+  Verdict Decide(SphereView sa, SphereView sb, SphereView sq) const;
 
   /// Same, reporting which tier resolved the call.
+  Verdict Decide(SphereView sa, SphereView sb, SphereView sq,
+                 CertifiedTier* tier) const;
+
   Verdict Decide(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq, CertifiedTier* tier) const;
+                 const Hypersphere& sq) const {
+    return Decide(sa.view(), sb.view(), sq.view());
+  }
+
+  Verdict Decide(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq, CertifiedTier* tier) const {
+    return Decide(sa.view(), sb.view(), sq.view(), tier);
+  }
 
   CertifiedStats stats() const;
 
@@ -133,12 +147,13 @@ class CertifiedDominance {
 /// the band means and when callers see kUncertain.
 class CertifiedCriterion final : public DominanceCriterion {
  public:
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override {
+  using DominanceCriterion::Dominates;
+  using DominanceCriterion::DecideVerdict;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override {
     return engine_.Decide(sa, sb, sq) == Verdict::kDominates;
   }
-  Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
-                        const Hypersphere& sq) const override {
+  Verdict DecideVerdict(SphereView sa, SphereView sb,
+                        SphereView sq) const override {
     return engine_.Decide(sa, sb, sq);
   }
   std::string_view name() const override { return "Certified"; }

@@ -42,23 +42,41 @@ std::string_view VerdictName(Verdict v);
 ///
 /// Implementations are stateless and thread-compatible: a single instance
 /// may be shared by concurrent readers.
+///
+/// The virtual core operates on non-owning SphereView handles so that
+/// spheres resolved from the columnar SphereStore are decided without
+/// materializing Hypersphere copies; the Hypersphere overloads are thin
+/// non-virtual adapters over the same kernels, so both entry points are
+/// bit-identical by construction.
 class DominanceCriterion {
  public:
   virtual ~DominanceCriterion() = default;
 
   /// Decides Dom(sa, sb, sq). The three spheres must share a dimensionality.
-  virtual bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                         const Hypersphere& sq) const = 0;
+  virtual bool Dominates(SphereView sa, SphereView sb,
+                         SphereView sq) const = 0;
+
+  /// Adapter: decides on owning spheres by viewing them.
+  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
+                 const Hypersphere& sq) const {
+    return Dominates(sa.view(), sb.view(), sq.view());
+  }
 
   /// \brief Three-valued decision.
   ///
   /// The default folds Dominates() onto {kDominates, kNotDominates};
   /// error-aware criteria (CertifiedCriterion) override it and may return
   /// kUncertain when the scene lies inside their numeric error band.
-  virtual Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
-                                const Hypersphere& sq) const {
+  virtual Verdict DecideVerdict(SphereView sa, SphereView sb,
+                                SphereView sq) const {
     return Dominates(sa, sb, sq) ? Verdict::kDominates
                                  : Verdict::kNotDominates;
+  }
+
+  /// Adapter: three-valued decision on owning spheres.
+  Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
+                        const Hypersphere& sq) const {
+    return DecideVerdict(sa.view(), sb.view(), sq.view());
   }
 
   /// Short display name ("Hyperbola", "MinMax", ...).

@@ -12,20 +12,22 @@ namespace {
 // ( sign * ||rel[0..d-2]||, rel[d-1] ). The fold preserves ||x - origin||
 // exactly and can only shrink (sign = +1) or grow (sign = -1 vs a +1 image)
 // pairwise distances, by the triangle inequality on the collapsed block.
-Point FoldAround(const Point& x, const Point& origin, double sign) {
+void FoldAround(const double* x, const double* origin, size_t dim,
+                double sign, double out[2]) {
   double acc = 0.0;
-  for (size_t i = 0; i + 1 < x.size(); ++i) {
+  for (size_t i = 0; i + 1 < dim; ++i) {
     const double rel = x[i] - origin[i];
     acc += rel * rel;
   }
-  return {sign * std::sqrt(acc), x.back() - origin.back()};
+  out[0] = sign * std::sqrt(acc);
+  out[1] = x[dim - 1] - origin[dim - 1];
 }
 
 }  // namespace
 
-bool GpCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                            const Hypersphere& sq) const {
-  if (sa.dim() <= 2) {
+bool GpCriterion::Dominates(SphereView sa, SphereView sb,
+                            SphereView sq) const {
+  if (sa.dim <= 2) {
     // The fold would lose the sign of the first coordinate for no benefit;
     // the 2D decision is already exact (and [22] is optimal for d == 2).
     return exact_2d_.Dominates(sa, sb, sq);
@@ -38,11 +40,14 @@ bool GpCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
   // between the two foci. A positive 2D decision therefore implies true
   // dominance; the collapsed angle loses information, so soundness is lost
   // for d > 2 (paper Section 3.1).
-  const Point& cq = sq.center();
-  const Hypersphere sa2(FoldAround(sa.center(), cq, -1.0), sa.radius());
-  const Hypersphere sb2(FoldAround(sb.center(), cq, +1.0), sb.radius());
-  const Hypersphere sq2(Point{0.0, 0.0}, sq.radius());
-  return exact_2d_.Dominates(sa2, sb2, sq2);
+  const double* cq = sq.center;
+  double ca2[2], cb2[2];
+  const double cq2[2] = {0.0, 0.0};
+  FoldAround(sa.center, cq, sa.dim, -1.0, ca2);
+  FoldAround(sb.center, cq, sb.dim, +1.0, cb2);
+  return exact_2d_.Dominates(SphereView{ca2, 2, sa.radius},
+                             SphereView{cb2, 2, sb.radius},
+                             SphereView{cq2, 2, sq.radius});
 }
 
 }  // namespace hyperdom

@@ -27,8 +27,8 @@ namespace hyperdom {
 /// decide exactly in the plane.
 class GpCriterion final : public DominanceCriterion {
  public:
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
   std::string_view name() const override { return "GP"; }
   bool is_correct() const override { return true; }
   bool is_sound() const override { return false; }

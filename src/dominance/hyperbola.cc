@@ -33,34 +33,33 @@ double HyperbolaMinDistParametric(double alpha, double rab, double y1,
                                                                  y1, y2);
 }
 
-bool HyperbolaCriterion::Dominates(const Hypersphere& sa,
-                                   const Hypersphere& sb,
-                                   const Hypersphere& sq) const {
+bool HyperbolaCriterion::Dominates(SphereView sa, SphereView sb,
+                                   SphereView sq) const {
   // Step 0 (Lemma 1): overlapping spheres never dominate. This also covers
   // coincident centers, so below Dist(ca, cb) > 0.
   if (Overlaps(sa, sb)) return false;
 
-  const double rab = sa.radius() + sb.radius();
-  const double da = Dist(sq.center(), sa.center());
-  const double db = Dist(sq.center(), sb.center());
+  const double rab = sa.radius + sb.radius;
+  const double da = DistSpan(sq.center, sa.center, sq.dim);
+  const double db = DistSpan(sq.center, sb.center, sq.dim);
 
   // cq itself must satisfy the MDD margin strictly (cq inside Ra); this is
   // necessary because cq ∈ Sq, and it is the second conjunct of Step 2.
   if (!(db - da > rab)) return false;
 
   // A point query inside Ra is decided: Sq = {cq}.
-  if (sq.radius() == 0.0) return true;
+  if (sq.radius == 0.0) return true;
 
-  if (sa.dim() == 1) {
+  if (sa.dim == 1) {
     // On a line Sq is the segment [cq - rq, cq + rq] and
     // f(t) = |t - cb| - |t - ca| is piecewise linear with breakpoints at
     // the two foci, so its minimum over the segment sits at a segment
     // endpoint or at a focus inside the segment. (The 2-plane reduction
     // below would allow off-line displacements that do not exist in 1-d.)
-    const double ca = sa.center()[0];
-    const double cb = sb.center()[0];
-    const double lo = sq.center()[0] - sq.radius();
-    const double hi = sq.center()[0] + sq.radius();
+    const double ca = sa.center[0];
+    const double cb = sb.center[0];
+    const double lo = sq.center[0] - sq.radius;
+    const double hi = sq.center[0] + sq.radius;
     auto f = [&](double t) { return std::abs(t - cb) - std::abs(t - ca); };
     double fmin = std::min(f(lo), f(hi));
     if (ca > lo && ca < hi) fmin = std::min(fmin, f(ca));
@@ -73,22 +72,23 @@ bool HyperbolaCriterion::Dominates(const Hypersphere& sa,
     // hyperplane of ca and cb. The signed axial coordinate of cq is
     // y1 = (da^2 - db^2) / (4 alpha); cq is on the ca side (y1 < 0, already
     // guaranteed) and Sq avoids the plane iff |y1| > rq.
-    const double focal = Dist(sa.center(), sb.center());
+    const double focal = DistSpan(sa.center, sb.center, sa.dim);
     const double y1 = (da * da - db * db) / (2.0 * focal);
-    return -y1 > sq.radius();
+    return -y1 > sq.radius;
   }
 
   // Step 1: minimum distance from cq to the boundary P, computed in the
-  // focal 2-plane (Section 4.3).
-  const FocalFrame frame =
-      BuildFocalFrame(sa.center(), sb.center(), sq.center());
+  // focal 2-plane (Section 4.3). ComputeFocalCoords is the allocation-free
+  // reduction of BuildFocalFrame (same operation order, no mid/axis Points).
+  const FocalCoords<double> frame =
+      ComputeFocalCoords<double>(sa.center, sb.center, sq.center, sa.dim);
   const double dmin =
       method_ == HyperbolaInnerMethod::kQuartic
           ? HyperbolaMinDistQuartic(frame.alpha, rab, frame.y1, frame.y2)
           : HyperbolaMinDistParametric(frame.alpha, rab, frame.y1, frame.y2);
 
   // Step 2: Sq ⊆ Ra iff cq ∈ Ra (checked above) and dmin > rq.
-  return dmin > sq.radius();
+  return dmin > sq.radius;
 }
 
 }  // namespace hyperdom

@@ -48,8 +48,8 @@ class HyperbolaCriterion final : public DominanceCriterion {
       HyperbolaInnerMethod method = HyperbolaInnerMethod::kQuartic)
       : method_(method) {}
 
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
   std::string_view name() const override { return "Hyperbola"; }
   bool is_correct() const override { return true; }
   bool is_sound() const override { return true; }

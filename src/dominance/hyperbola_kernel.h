@@ -133,7 +133,9 @@ T HyperbolaMinDistKernelT(T alpha, T rab, T y1, T y2) {
   // whose snapped coordinates degenerate.
   consider(-semi_a, T(0));
   consider(semi_a, T(0));
-  for (T lambda : polynomial_internal::SolveQuarticT(A, B, C, D, E)) {
+  polynomial_internal::RootsT<T> lambdas;
+  polynomial_internal::SolveQuarticIntoT(A, B, C, D, E, &lambdas);
+  for (T lambda : lambdas) {
     const T den1 = T(1) + a5 * lambda;
     const T den2 = T(1) + a4 * lambda;
     if (std::abs(den1) < T(1e-300) || std::abs(den2) < T(1e-300)) continue;

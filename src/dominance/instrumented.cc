@@ -81,9 +81,8 @@ void InstrumentedCriterion::RecordOutcome(Verdict v,
 #endif
 }
 
-bool InstrumentedCriterion::Dominates(const Hypersphere& sa,
-                                      const Hypersphere& sb,
-                                      const Hypersphere& sq) const {
+bool InstrumentedCriterion::Dominates(SphereView sa, SphereView sb,
+                                      SphereView sq) const {
   const int64_t start = NowNs();
   const bool dominates = inner_->Dominates(sa, sb, sq);
   RecordOutcome(dominates ? Verdict::kDominates : Verdict::kNotDominates,
@@ -91,9 +90,8 @@ bool InstrumentedCriterion::Dominates(const Hypersphere& sa,
   return dominates;
 }
 
-Verdict InstrumentedCriterion::DecideVerdict(const Hypersphere& sa,
-                                             const Hypersphere& sb,
-                                             const Hypersphere& sq) const {
+Verdict InstrumentedCriterion::DecideVerdict(SphereView sa, SphereView sb,
+                                             SphereView sq) const {
   const int64_t start = NowNs();
   const Verdict v = inner_->DecideVerdict(sa, sb, sq);
   RecordOutcome(v, static_cast<uint64_t>(NowNs() - start));

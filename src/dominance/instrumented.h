@@ -33,10 +33,11 @@ class InstrumentedCriterion final : public DominanceCriterion {
   explicit InstrumentedCriterion(std::unique_ptr<DominanceCriterion> inner);
   ~InstrumentedCriterion() override;
 
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
-  Verdict DecideVerdict(const Hypersphere& sa, const Hypersphere& sb,
-                        const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  using DominanceCriterion::DecideVerdict;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
+  Verdict DecideVerdict(SphereView sa, SphereView sb,
+                        SphereView sq) const override;
 
   std::string_view name() const override { return inner_->name(); }
   bool is_correct() const override { return inner_->is_correct(); }

@@ -6,15 +6,13 @@
 
 namespace hyperdom {
 
-bool MbrCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                             const Hypersphere& sq) const {
+bool MbrCriterion::Dominates(SphereView sa, SphereView sb,
+                             SphereView sq) const {
   // Rectangle dominance of the bounding boxes implies sphere dominance
   // because Sa ⊆ Ra, Sb ⊆ Rb, Sq ⊆ Rq and the rectangle decision quantifies
-  // over every point of the boxes (paper Lemma 4).
-  const Mbr ra = Mbr::FromSphere(sa);
-  const Mbr rb = Mbr::FromSphere(sb);
-  const Mbr rq = Mbr::FromSphere(sq);
-  return RectDominates(ra, rb, rq);
+  // over every point of the boxes (paper Lemma 4). The sphere form computes
+  // the box bounds on the fly instead of materializing three Mbrs.
+  return RectDominatesSpheres(sa, sb, sq);
 }
 
 }  // namespace hyperdom

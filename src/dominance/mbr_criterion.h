@@ -16,8 +16,8 @@ namespace hyperdom {
 /// \brief MBR criterion: rectangle dominance on the spheres' bounding boxes.
 class MbrCriterion final : public DominanceCriterion {
  public:
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
   std::string_view name() const override { return "MBR"; }
   bool is_correct() const override { return true; }
   bool is_sound() const override { return false; }

@@ -17,19 +17,28 @@ WeightedEuclideanDominance::WeightedEuclideanDominance(
   }
 }
 
-Hypersphere WeightedEuclideanDominance::TransformSphere(
-    const Hypersphere& s) const {
-  assert(s.dim() == weights_.size());
-  Point c(s.dim());
-  for (size_t i = 0; i < s.dim(); ++i) c[i] = sqrt_weights_[i] * s.center()[i];
-  return Hypersphere(std::move(c), s.radius());
-}
-
 bool WeightedEuclideanDominance::Dominates(const Hypersphere& sa,
                                            const Hypersphere& sb,
                                            const Hypersphere& sq) const {
-  return hyperbola_.Dominates(TransformSphere(sa), TransformSphere(sb),
-                              TransformSphere(sq));
+  assert(sa.dim() == weights_.size() && sb.dim() == weights_.size() &&
+         sq.dim() == weights_.size());
+  // The axis scaling is applied into thread-local scratch (criteria are
+  // shared across batch-query workers) so the steady-state decide path does
+  // not allocate.
+  const size_t d = weights_.size();
+  thread_local std::vector<double> scratch;
+  scratch.resize(3 * d);
+  double* ta = scratch.data();
+  double* tb = ta + d;
+  double* tq = tb + d;
+  for (size_t i = 0; i < d; ++i) {
+    ta[i] = sqrt_weights_[i] * sa.center()[i];
+    tb[i] = sqrt_weights_[i] * sb.center()[i];
+    tq[i] = sqrt_weights_[i] * sq.center()[i];
+  }
+  return hyperbola_.Dominates(SphereView{ta, d, sa.radius()},
+                              SphereView{tb, d, sb.radius()},
+                              SphereView{tq, d, sq.radius()});
 }
 
 double WeightedEuclideanDominance::Distance(const Point& x,

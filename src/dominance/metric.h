@@ -36,9 +36,6 @@ class WeightedEuclideanDominance {
   const std::vector<double>& weights() const { return weights_; }
 
  private:
-  /// Maps a dist_w ball to the equivalent Euclidean ball.
-  Hypersphere TransformSphere(const Hypersphere& s) const;
-
   std::vector<double> weights_;
   std::vector<double> sqrt_weights_;
   HyperbolaCriterion hyperbola_;

@@ -4,8 +4,8 @@
 
 namespace hyperdom {
 
-bool MinMaxCriterion::Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                                const Hypersphere& sq) const {
+bool MinMaxCriterion::Dominates(SphereView sa, SphereView sb,
+                                SphereView sq) const {
   return MaxDist(sa, sq) < MinDist(sb, sq);
 }
 

@@ -21,23 +21,23 @@ inline double DistDiff(double alpha, double t1, double rho) {
 
 }  // namespace
 
-double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
-                             const Hypersphere& sq) {
-  const double focal = Dist(sa.center(), sb.center());
+double MinDistanceDifference(SphereView sa, SphereView sb, SphereView sq) {
+  const double focal = DistSpan(sa.center, sb.center, sa.dim);
   if (focal == 0.0) return 0.0;  // f is identically zero
 
-  if (sq.radius() == 0.0) {
-    return Dist(sq.center(), sb.center()) - Dist(sq.center(), sa.center());
+  if (sq.radius == 0.0) {
+    return DistSpan(sq.center, sb.center, sq.dim) -
+           DistSpan(sq.center, sa.center, sq.dim);
   }
 
-  if (sa.dim() == 1) {
+  if (sa.dim == 1) {
     // 1-d query region is a segment; f is piecewise linear with breakpoints
     // at the foci (the planar reduction below would allow displacements off
     // the line).
-    const double ca = sa.center()[0];
-    const double cb = sb.center()[0];
-    const double lo = sq.center()[0] - sq.radius();
-    const double hi = sq.center()[0] + sq.radius();
+    const double ca = sa.center[0];
+    const double cb = sb.center[0];
+    const double lo = sq.center[0] - sq.radius;
+    const double hi = sq.center[0] + sq.radius;
     auto f = [&](double t) { return std::abs(t - cb) - std::abs(t - ca); };
     double fmin = std::min(f(lo), f(hi));
     if (ca > lo && ca < hi) fmin = std::min(fmin, f(ca));
@@ -45,12 +45,12 @@ double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
     return fmin;
   }
 
-  const FocalFrame frame =
-      BuildFocalFrame(sa.center(), sb.center(), sq.center());
+  const FocalCoords<double> frame =
+      ComputeFocalCoords<double>(sa.center, sb.center, sq.center, sa.dim);
   const double alpha = frame.alpha;
   const double y1 = frame.y1;
   const double y2 = frame.y2;
-  const double rq = sq.radius();
+  const double rq = sq.radius;
 
   auto f_at_angle = [&](double theta) {
     return DistDiff(alpha, y1 + rq * std::cos(theta),
@@ -110,11 +110,15 @@ double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
   return best;
 }
 
-bool NumericOracleCriterion::Dominates(const Hypersphere& sa,
-                                       const Hypersphere& sb,
-                                       const Hypersphere& sq) const {
+double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
+                             const Hypersphere& sq) {
+  return MinDistanceDifference(sa.view(), sb.view(), sq.view());
+}
+
+bool NumericOracleCriterion::Dominates(SphereView sa, SphereView sb,
+                                       SphereView sq) const {
   if (Overlaps(sa, sb)) return false;
-  return MinDistanceDifference(sa, sb, sq) > sa.radius() + sb.radius();
+  return MinDistanceDifference(sa, sb, sq) > sa.radius + sb.radius;
 }
 
 }  // namespace hyperdom

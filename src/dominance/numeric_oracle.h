@@ -24,14 +24,17 @@ namespace hyperdom {
 ///
 /// The MDD condition (and hence dominance of non-overlapping spheres) holds
 /// iff this value strictly exceeds ra + rb. Returns 0 when ca == cb.
+/// The view overload is the allocation-free core; the Hypersphere overload
+/// delegates to it.
+double MinDistanceDifference(SphereView sa, SphereView sb, SphereView sq);
 double MinDistanceDifference(const Hypersphere& sa, const Hypersphere& sb,
                              const Hypersphere& sq);
 
 /// \brief Reference criterion: overlap check + numeric MDD minimization.
 class NumericOracleCriterion final : public DominanceCriterion {
  public:
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
   std::string_view name() const override { return "NumericOracle"; }
   bool is_correct() const override { return true; }
   bool is_sound() const override { return true; }

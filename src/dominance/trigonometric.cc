@@ -7,15 +7,14 @@
 
 namespace hyperdom {
 
-bool TrigonometricCriterion::Dominates(const Hypersphere& sa,
-                                       const Hypersphere& sb,
-                                       const Hypersphere& sq) const {
-  const Point& ca = sa.center();
-  const Point& cb = sb.center();
-  const Point& cq = sq.center();
-  const double rab = sa.radius() + sb.radius();
+bool TrigonometricCriterion::Dominates(SphereView sa, SphereView sb,
+                                       SphereView sq) const {
+  const double* ca = sa.center;
+  const double* cb = sb.center;
+  const double* cq = sq.center;
+  const double rab = sa.radius + sb.radius;
 
-  const double focal = Dist(ca, cb);
+  const double focal = DistSpan(ca, cb, sa.dim);
   if (focal == 0.0) {
     // g(q) = -rab <= 0 everywhere: reject (sound — coincident centers can
     // never dominate).
@@ -25,14 +24,14 @@ bool TrigonometricCriterion::Dominates(const Hypersphere& sa,
   // Extreme points of the affine surrogate g over Sq: cq ± rq * u with
   // u = (ca - cb) / ||ca - cb||. Per the original method the direction is
   // reconstructed through its direction angles, cos(acos(.)) per dimension.
-  const size_t d = ca.size();
+  const size_t d = sa.dim;
   double g_plus = -rab;
   double g_minus = -rab;
   for (size_t i = 0; i < d; ++i) {
     const double cosang = std::clamp((ca[i] - cb[i]) / focal, -1.0, 1.0);
     const double ui = std::cos(std::acos(cosang));
-    const double qp = cq[i] + sq.radius() * ui;
-    const double qm = cq[i] - sq.radius() * ui;
+    const double qp = cq[i] + sq.radius * ui;
+    const double qm = cq[i] - sq.radius * ui;
     const double dbp = cb[i] - qp;
     const double dap = ca[i] - qp;
     const double dbm = cb[i] - qm;

@@ -30,8 +30,8 @@ namespace hyperdom {
 /// the two extreme query points.
 class TrigonometricCriterion final : public DominanceCriterion {
  public:
-  bool Dominates(const Hypersphere& sa, const Hypersphere& sb,
-                 const Hypersphere& sq) const override;
+  using DominanceCriterion::Dominates;
+  bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
   std::string_view name() const override { return "Trigonometric"; }
   bool is_correct() const override { return false; }
   bool is_sound() const override { return true; }

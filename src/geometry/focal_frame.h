@@ -63,10 +63,12 @@ struct FocalCoords {
   T y2 = T(0);
 };
 
+/// Span core: foci and query centers given as contiguous coordinate spans.
+/// This is the zero-allocation replacement for BuildFocalFrame on the
+/// dominance hot paths; the Point overload below delegates here.
 template <typename T>
-FocalCoords<T> ComputeFocalCoords(const Point& ca, const Point& cb,
-                                  const Point& cq) {
-  const size_t dim = ca.size();
+FocalCoords<T> ComputeFocalCoords(const double* ca, const double* cb,
+                                  const double* cq, size_t dim) {
   FocalCoords<T> out;
   T focal_sq = T(0);
   for (size_t i = 0; i < dim; ++i) {
@@ -90,6 +92,12 @@ FocalCoords<T> ComputeFocalCoords(const Point& ca, const Point& cb,
   const T perp_sq = rel_sq - y1 * y1;
   out.y2 = perp_sq > T(0) ? std::sqrt(perp_sq) : T(0);
   return out;
+}
+
+template <typename T>
+FocalCoords<T> ComputeFocalCoords(const Point& ca, const Point& cb,
+                                  const Point& cq) {
+  return ComputeFocalCoords<T>(ca.data(), cb.data(), cq.data(), ca.size());
 }
 
 }  // namespace hyperdom

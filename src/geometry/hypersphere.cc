@@ -45,27 +45,27 @@ std::string Hypersphere::ToString() const {
 }
 
 double MaxDist(const Hypersphere& a, const Hypersphere& b) {
-  // Group the radii so the result is bit-symmetric in (a, b).
-  return Dist(a.center(), b.center()) + (a.radius() + b.radius());
+  return MaxDist(a.view(), b.view());
 }
 
 double MinDist(const Hypersphere& a, const Hypersphere& b) {
-  const double d = Dist(a.center(), b.center()) - (a.radius() + b.radius());
-  return d > 0.0 ? d : 0.0;
+  return MinDist(a.view(), b.view());
 }
 
 double MaxDist(const Hypersphere& a, const Point& p) {
-  return Dist(a.center(), p) + a.radius();
+  return MaxDist(a.view(), p.data());
 }
 
 double MinDist(const Hypersphere& a, const Point& p) {
-  const double d = Dist(a.center(), p) - a.radius();
-  return d > 0.0 ? d : 0.0;
+  return MinDist(a.view(), p.data());
 }
 
 bool Overlaps(const Hypersphere& a, const Hypersphere& b) {
-  const double sum = a.radius() + b.radius();
-  return SquaredDist(a.center(), b.center()) <= sum * sum;
+  return Overlaps(a.view(), b.view());
+}
+
+Hypersphere MaterializeSphere(SphereView v) {
+  return Hypersphere(Point(v.center, v.center + v.dim), v.radius);
 }
 
 }  // namespace hyperdom

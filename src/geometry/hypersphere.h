@@ -14,6 +14,21 @@
 
 namespace hyperdom {
 
+/// \brief A non-owning view of a hypersphere: a contiguous coordinate span
+/// plus a radius.
+///
+/// This is the universal argument type of the dominance kernels. It is
+/// free to construct from both an AoS `Hypersphere` (whose vector data is
+/// contiguous) and a `SphereStore` row, so both storage layouts execute
+/// the exact same span kernels in the exact same order — AoS↔SoA
+/// bit-identity holds by construction. The view does not own its
+/// coordinates; the backing object must outlive every use.
+struct SphereView {
+  const double* center = nullptr;
+  size_t dim = 0;
+  double radius = 0.0;
+};
+
 /// \brief A closed d-dimensional ball: { x : Dist(x, center) <= radius }.
 ///
 /// Used both as an uncertain-object region (uncertain databases) and as an
@@ -43,6 +58,11 @@ class Hypersphere {
 
   /// The center c.
   const Point& center() const { return center_; }
+  /// Non-owning view over this sphere's contiguous coordinates. Valid only
+  /// while this object is alive and unmodified.
+  SphereView view() const {
+    return SphereView{center_.data(), center_.size(), radius_};
+  }
   /// The radius r >= 0.
   double radius() const { return radius_; }
   /// The dimensionality d.
@@ -66,6 +86,46 @@ class Hypersphere {
   double radius_ = 0.0;
 };
 
+// -- View kernels ----------------------------------------------------------
+// The span cores of the sphere-distance arithmetic. The Hypersphere
+// overloads below delegate here; the radii grouping `(ra + rb)` is part of
+// the bit-identity contract (symmetric in the arguments). Defined inline:
+// a by-value SphereView is passed on the stack (it exceeds the two-eightbyte
+// register budget), and an opaque call re-writing the same stack slots every
+// leaf-scan iteration serializes the loop — inlining erases the ABI traffic
+// and leaves only the DistSpan register call.
+
+/// MaxDist(Sa, Sb) = Dist(ca, cb) + (ra + rb)  (paper Eq. (3)).
+inline double MaxDist(SphereView a, SphereView b) {
+  // Group the radii so the result is bit-symmetric in (a, b).
+  return DistSpan(a.center, b.center, a.dim) + (a.radius + b.radius);
+}
+
+/// MinDist(Sa, Sb) = max(0, Dist(ca, cb) - (ra + rb))  (paper Eq. (4)).
+inline double MinDist(SphereView a, SphereView b) {
+  const double d = DistSpan(a.center, b.center, a.dim) - (a.radius + b.radius);
+  return d > 0.0 ? d : 0.0;
+}
+
+/// MaxDist between a sphere view and a point span: Dist(c, p) + r.
+inline double MaxDist(SphereView a, const double* p) {
+  return DistSpan(a.center, p, a.dim) + a.radius;
+}
+
+/// MinDist between a sphere view and a point span: max(0, Dist(c, p) - r).
+inline double MinDist(SphereView a, const double* p) {
+  const double d = DistSpan(a.center, p, a.dim) - a.radius;
+  return d > 0.0 ? d : 0.0;
+}
+
+/// Overlap test: Dist(ca, cb) <= ra + rb (paper Section 2.1).
+inline bool Overlaps(SphereView a, SphereView b) {
+  const double sum = a.radius + b.radius;
+  return SquaredDistSpan(a.center, b.center, a.dim) <= sum * sum;
+}
+
+// -- Hypersphere adapters --------------------------------------------------
+
 /// MaxDist(Sa, Sb) = Dist(ca, cb) + ra + rb  (paper Eq. (3)).
 double MaxDist(const Hypersphere& a, const Hypersphere& b);
 
@@ -81,6 +141,9 @@ double MinDist(const Hypersphere& a, const Point& p);
 /// Overlap test: Dist(ca, cb) <= ra + rb (paper Section 2.1). When two
 /// spheres overlap, no dominance is possible (Lemma 1).
 bool Overlaps(const Hypersphere& a, const Hypersphere& b);
+
+/// Materializes an owning Hypersphere from a view (copies coordinates).
+Hypersphere MaterializeSphere(SphereView v);
 
 }  // namespace hyperdom
 

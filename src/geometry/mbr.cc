@@ -17,12 +17,14 @@ Mbr::Mbr(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
 #endif
 }
 
-Mbr Mbr::FromSphere(const Hypersphere& s) {
-  Point lo(s.dim());
-  Point hi(s.dim());
-  for (size_t i = 0; i < s.dim(); ++i) {
-    lo[i] = s.center()[i] - s.radius();
-    hi[i] = s.center()[i] + s.radius();
+Mbr Mbr::FromSphere(const Hypersphere& s) { return FromSphere(s.view()); }
+
+Mbr Mbr::FromSphere(SphereView s) {
+  Point lo(s.dim);
+  Point hi(s.dim);
+  for (size_t i = 0; i < s.dim; ++i) {
+    lo[i] = s.center[i] - s.radius;
+    hi[i] = s.center[i] + s.radius;
   }
   return Mbr(std::move(lo), std::move(hi));
 }
@@ -102,6 +104,17 @@ double MinDist(const Mbr& a, const Hypersphere& s) {
   return d > 0.0 ? d : 0.0;
 }
 
+double MinDist(const Mbr& a, SphereView s) {
+  assert(a.dim() == s.dim);
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double gap = MinDistComponent(a.lo()[i], a.hi()[i], s.center[i]);
+    acc += gap * gap;
+  }
+  const double d = std::sqrt(acc) - s.radius;
+  return d > 0.0 ? d : 0.0;
+}
+
 double MaxDist(const Mbr& a, const Point& p) {
   assert(a.dim() == p.size());
   double acc = 0.0;
@@ -174,6 +187,18 @@ bool RectDominates(const Mbr& a, const Mbr& b, const Mbr& q) {
                         q.hi()[i]);
   }
   // Strict: ties (a point of `q` equidistant) mean no dominance.
+  return total < 0.0;
+}
+
+bool RectDominatesSpheres(SphereView a, SphereView b, SphereView q) {
+  assert(a.dim == b.dim && a.dim == q.dim);
+  double total = 0.0;
+  for (size_t i = 0; i < a.dim; ++i) {
+    // The box bounds c[i] -/+ r, computed exactly as Mbr::FromSphere does.
+    total += MaxDimTerm(a.center[i] - a.radius, a.center[i] + a.radius,
+                        b.center[i] - b.radius, b.center[i] + b.radius,
+                        q.center[i] - q.radius, q.center[i] + q.radius);
+  }
   return total < 0.0;
 }
 

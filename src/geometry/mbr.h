@@ -26,6 +26,9 @@ class Mbr {
   /// The tightest box around a hypersphere: [c - r, c + r] per dimension.
   static Mbr FromSphere(const Hypersphere& s);
 
+  /// Same, from a non-owning sphere view (identical arithmetic).
+  static Mbr FromSphere(SphereView s);
+
   /// The degenerate box around a single point.
   static Mbr FromPoint(const Point& p) { return Mbr(p, p); }
 
@@ -101,6 +104,17 @@ double MinDistComponent(double lo, double hi, double t);
 /// pieces, so its maximum is attained at the interval endpoints or one of at
 /// most three breakpoints. Correct and sound for hyperrectangles.
 bool RectDominates(const Mbr& a, const Mbr& b, const Mbr& q);
+
+/// \brief DDC_optimal applied to the MBRs of three sphere views, without
+/// materializing the boxes.
+///
+/// Computes each box bound `c[i] ∓ r` on the fly inside the per-dimension
+/// loop — the arithmetic is exactly `RectDominates(Mbr::FromSphere(a),
+/// Mbr::FromSphere(b), Mbr::FromSphere(q))` with zero allocation.
+bool RectDominatesSpheres(SphereView a, SphereView b, SphereView q);
+
+/// Minimum distance from a box to a sphere view (0 when they intersect).
+double MinDist(const Mbr& a, SphereView s);
 
 }  // namespace hyperdom
 

@@ -9,29 +9,57 @@
 
 namespace hyperdom {
 
-double Dot(const Point& a, const Point& b) {
-  assert(a.size() == b.size());
+double DotSpan(const double* a, const double* b, size_t dim) {
   double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
   return acc;
 }
 
-double SquaredNorm(const Point& a) {
+double SquaredNormSpan(const double* a, size_t dim) {
   double acc = 0.0;
-  for (double v : a) acc += v * v;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * a[i];
   return acc;
+}
+
+double NormSpan(const double* a, size_t dim) {
+  return std::sqrt(SquaredNormSpan(a, dim));
+}
+
+double SquaredDistSpan(const double* a, const double* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double DistSpan(const double* a, const double* b, size_t dim) {
+  return std::sqrt(SquaredDistSpan(a, b, dim));
+}
+
+void AddInPlaceSpan(double* acc, const double* x, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) acc[i] += x[i];
+}
+
+void SubInPlaceSpan(double* acc, const double* x, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) acc[i] -= x[i];
+}
+
+double Dot(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  return DotSpan(a.data(), b.data(), a.size());
+}
+
+double SquaredNorm(const Point& a) {
+  return SquaredNormSpan(a.data(), a.size());
 }
 
 double Norm(const Point& a) { return std::sqrt(SquaredNorm(a)); }
 
 double SquaredDist(const Point& a, const Point& b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return SquaredDistSpan(a.data(), b.data(), a.size());
 }
 
 double Dist(const Point& a, const Point& b) {

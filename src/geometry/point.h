@@ -16,6 +16,39 @@ namespace hyperdom {
 /// A d-dimensional point with Euclidean coordinates.
 using Point = std::vector<double>;
 
+// -- Span kernels ----------------------------------------------------------
+//
+// The raw O(d) cores, operating on contiguous `const double*` coordinate
+// spans. These are the single source of truth for the arithmetic: the
+// Point overloads below and the SphereView/SphereStore layers all delegate
+// here, so an AoS `std::vector` caller and a columnar-store caller execute
+// bit-identical instruction sequences. Keep each body a single
+// plain-indexed loop — the accumulation order is part of the library's
+// bit-identity contract (see docs/performance.md, "Data layout").
+
+/// Inner product over `dim` contiguous coordinates.
+double DotSpan(const double* a, const double* b, size_t dim);
+
+/// Squared L2 norm over `dim` contiguous coordinates.
+double SquaredNormSpan(const double* a, size_t dim);
+
+/// L2 norm over `dim` contiguous coordinates.
+double NormSpan(const double* a, size_t dim);
+
+/// Squared Euclidean distance over `dim` contiguous coordinates.
+double SquaredDistSpan(const double* a, const double* b, size_t dim);
+
+/// Euclidean distance over `dim` contiguous coordinates.
+double DistSpan(const double* a, const double* b, size_t dim);
+
+/// acc[i] += x[i] over `dim` coordinates (index-node running-sum updates).
+void AddInPlaceSpan(double* acc, const double* x, size_t dim);
+
+/// acc[i] -= x[i] over `dim` coordinates.
+void SubInPlaceSpan(double* acc, const double* x, size_t dim);
+
+// -- Point adapters --------------------------------------------------------
+
 /// Inner product <a, b>. Requires a.size() == b.size().
 double Dot(const Point& a, const Point& b);
 

@@ -14,8 +14,7 @@ namespace {
 
 // Second-derivative evaluation (descending-degree convention), used to
 // detect root clusters where the first-order error bound is invalid.
-double EvaluateSecondDerivative(const std::vector<double>& coeffs, double x) {
-  const size_t n = coeffs.size();
+double EvaluateSecondDerivativeSpan(const double* coeffs, size_t n, double x) {
   if (n < 3) return 0.0;
   double acc = 0.0;
   for (size_t i = 0; i + 2 < n; ++i) {
@@ -23,6 +22,27 @@ double EvaluateSecondDerivative(const std::vector<double>& coeffs, double x) {
     acc = acc * x + coeffs[i] * k * (k - 1.0);
   }
   return acc;
+}
+
+// Running-error Horner over a span (the vector entry point below wraps it).
+PolynomialEval EvaluateWithErrorSpan(const double* coeffs, size_t n,
+                                     double x) {
+  PolynomialEval out;
+  if (n == 0) return out;
+  const double u = 0.5 * std::numeric_limits<double>::epsilon();
+  const double ax = std::abs(x);
+  double y = coeffs[0];
+  double mu = 0.5 * std::abs(y);
+  for (size_t i = 1; i < n; ++i) {
+    y = y * x + coeffs[i];
+    mu = mu * ax + std::abs(y);
+  }
+  out.value = y;
+  out.error_bound = u * (2.0 * mu - std::abs(y));
+  if (!std::isfinite(out.error_bound)) {
+    out.error_bound = std::numeric_limits<double>::infinity();
+  }
+  return out;
 }
 
 }  // namespace
@@ -59,46 +79,31 @@ double PolishRoot(const std::vector<double>& coeffs, double x0) {
 
 PolynomialEval EvaluatePolynomialWithError(const std::vector<double>& coeffs,
                                            double x) {
-  PolynomialEval out;
-  if (coeffs.empty()) return out;
   // Higham Alg. 5.1: y_k = y_{k-1}*x + c_k has rounding error bounded by
-  // u*(|y_{k-1}*x| + |y_k|) <= u*(mu_k-ish); the recurrence below
-  // accumulates mu so that the final bound u*(2*mu - |y|) dominates the sum
-  // of all per-step errors, each inflated by the factor by which later
-  // steps can amplify it.
-  const double u = 0.5 * std::numeric_limits<double>::epsilon();
-  const double ax = std::abs(x);
-  double y = coeffs[0];
-  double mu = 0.5 * std::abs(y);
-  for (size_t i = 1; i < coeffs.size(); ++i) {
-    y = y * x + coeffs[i];
-    mu = mu * ax + std::abs(y);
-  }
-  out.value = y;
-  out.error_bound = u * (2.0 * mu - std::abs(y));
-  if (!std::isfinite(out.error_bound)) {
-    out.error_bound = std::numeric_limits<double>::infinity();
-  }
-  return out;
+  // u*(|y_{k-1}*x| + |y_k|) <= u*(mu_k-ish); the recurrence accumulates mu
+  // so that the final bound u*(2*mu - |y|) dominates the sum of all
+  // per-step errors, each inflated by the factor by which later steps can
+  // amplify it.
+  return EvaluateWithErrorSpan(coeffs.data(), coeffs.size(), x);
 }
 
-std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
-                                                  double c, double d,
-                                                  double e) {
-  const std::vector<double> coeffs = {a, b, c, d, e};
-  const std::vector<double> roots = SolveQuartic(a, b, c, d, e);
-  std::vector<CertifiedRoot> out;
-  out.reserve(roots.size());
+void SolveQuarticWithBoundsInto(double a, double b, double c, double d,
+                                double e, CertifiedRootSet* out) {
+  const double coeffs[5] = {a, b, c, d, e};
+  polynomial_internal::RootsT<double> roots;
+  polynomial_internal::SolveQuarticIntoT<double>(a, b, c, d, e, &roots);
+  out->count = 0;
   const double inf = std::numeric_limits<double>::infinity();
   for (double r : roots) {
     CertifiedRoot cert;
     cert.root = r;
-    const PolynomialEval ev = EvaluatePolynomialWithError(coeffs, r);
+    const PolynomialEval ev = EvaluateWithErrorSpan(coeffs, 5, r);
     // Everything we know about the residual: it lies within
     // |p(r)| + horner_err of zero.
     const double residual = std::abs(ev.value) + ev.error_bound;
-    const double dp = std::abs(EvaluatePolynomialDerivative(coeffs, r));
-    const double d2 = std::abs(EvaluateSecondDerivative(coeffs, r));
+    const double dp = std::abs(
+        polynomial_internal::EvaluateDerivativeSpanT<double>(coeffs, 5, r));
+    const double d2 = std::abs(EvaluateSecondDerivativeSpan(coeffs, 5, r));
     // First-order bound |r - r*| <= residual / |p'(r)| is only valid while
     // the derivative dominates the curvature over that interval:
     // |p'(r)| * delta > (|p''(r)|/2) * delta^2 at delta = bound, i.e.
@@ -110,9 +115,16 @@ std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
     } else {
       cert.error_bound = inf;
     }
-    out.push_back(cert);
+    out->roots[out->count++] = cert;
   }
-  return out;
+}
+
+std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
+                                                  double c, double d,
+                                                  double e) {
+  CertifiedRootSet set;
+  SolveQuarticWithBoundsInto(a, b, c, d, e, &set);
+  return std::vector<CertifiedRoot>(set.begin(), set.end());
 }
 
 }  // namespace hyperdom

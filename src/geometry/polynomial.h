@@ -16,6 +16,7 @@
 #ifndef HYPERDOM_GEOMETRY_POLYNOMIAL_H_
 #define HYPERDOM_GEOMETRY_POLYNOMIAL_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace hyperdom {
@@ -97,6 +98,24 @@ struct CertifiedRoot {
 std::vector<CertifiedRoot> SolveQuarticWithBounds(double a, double b,
                                                   double c, double d,
                                                   double e);
+
+/// Fixed-capacity result of SolveQuarticWithBoundsInto: at most four real
+/// roots, caller-owned, no heap allocation.
+struct CertifiedRootSet {
+  CertifiedRoot roots[4];
+  size_t count = 0;
+
+  const CertifiedRoot* begin() const { return roots; }
+  const CertifiedRoot* end() const { return roots + count; }
+  bool empty() const { return count == 0; }
+};
+
+/// \brief SolveQuarticWithBounds into a caller-owned fixed-capacity set.
+///
+/// Identical arithmetic to the vector-returning overload; this is the form
+/// the certified dominance engine calls on its zero-allocation fast path.
+void SolveQuarticWithBoundsInto(double a, double b, double c, double d,
+                                double e, CertifiedRootSet* out);
 
 }  // namespace hyperdom
 

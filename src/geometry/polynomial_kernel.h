@@ -9,12 +9,22 @@
 // The templates are faithful transcriptions of the original double code:
 // instantiated at T = double they perform bit-identical operations, so the
 // extensive polynomial/hyperbola test suites pin both precisions at once.
+//
+// Two API surfaces share one implementation: the `*IntoT` solvers fill a
+// caller-owned fixed-capacity RootsT<T> (a degree-n polynomial has at most
+// n real roots, so capacity 4 covers every solver here) and never touch the
+// heap — this is what the dominance hot paths use to meet their
+// zero-allocation contract — while the historical std::vector-returning
+// wrappers copy out of a RootsT and remain for callers and tests that want
+// the convenient shape.
 
 #ifndef HYPERDOM_GEOMETRY_POLYNOMIAL_KERNEL_H_
 #define HYPERDOM_GEOMETRY_POLYNOMIAL_KERNEL_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <numbers>
 #include <vector>
@@ -27,6 +37,31 @@ namespace polynomial_internal {
 // roots, so a duplicated root is harmless — deduplication just keeps root
 // lists tidy for callers and tests.
 inline constexpr double kDedupeRelTol = 1e-9;
+
+// Fixed-capacity root container: lives entirely on the caller's stack.
+template <typename T, size_t N>
+struct SmallRootsT {
+  T data[N] = {};  // value-init keeps -Wmaybe-uninitialized quiet
+  size_t count = 0;
+
+  void push_back(T v) {
+    assert(count < N);
+    data[count++] = v;
+  }
+  void clear() { count = 0; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  T* begin() { return data; }
+  T* end() { return data + count; }
+  const T* begin() const { return data; }
+  const T* end() const { return data + count; }
+  T operator[](size_t i) const { return data[i]; }
+  T& operator[](size_t i) { return data[i]; }
+};
+
+// A quartic has at most four real roots; every solver in this header fits.
+template <typename T>
+using RootsT = SmallRootsT<T, 4>;
 
 // Tolerance for the relative degree-degeneracy test below. The exact
 // `a == 0` test misclassifies near-degenerate polynomials: normalizing by a
@@ -57,6 +92,34 @@ bool LeadingCoefficientNegligibleT(T a, T b, std::initializer_list<T> rest) {
   return std::abs(a) * cauchy <= kDegenerateLeadingTol<T> * coeff_scale;
 }
 
+// Sort + tolerance-dedupe on a fixed-capacity root set. The insertion sort
+// yields the same sorted value sequence as std::sort, and the unique pass
+// replicates std::unique's keep-first-of-group semantics, so the result is
+// identical to the historical vector-based implementation.
+template <typename T, size_t N>
+void SortAndDedupeSmallT(SmallRootsT<T, N>* roots) {
+  for (size_t i = 1; i < roots->count; ++i) {
+    T v = roots->data[i];
+    size_t j = i;
+    while (j > 0 && roots->data[j - 1] > v) {
+      roots->data[j] = roots->data[j - 1];
+      --j;
+    }
+    roots->data[j] = v;
+  }
+  auto nearly_equal = [](T a, T b) {
+    const T scale = std::max({T(1), std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= T(kDedupeRelTol) * scale;
+  };
+  size_t out = 0;
+  for (size_t i = 0; i < roots->count; ++i) {
+    if (out == 0 || !nearly_equal(roots->data[out - 1], roots->data[i])) {
+      roots->data[out++] = roots->data[i];
+    }
+  }
+  roots->count = out;
+}
+
 template <typename T>
 void SortAndDedupeT(std::vector<T>* roots) {
   std::sort(roots->begin(), roots->end());
@@ -68,16 +131,17 @@ void SortAndDedupeT(std::vector<T>* roots) {
                roots->end());
 }
 
+// Horner evaluation over a contiguous coefficient span (highest degree
+// first), shared by the vector overloads below.
 template <typename T>
-T EvaluateT(const std::vector<T>& coeffs, T x) {
+T EvaluateSpanT(const T* coeffs, size_t n, T x) {
   T acc = T(0);
-  for (T coef : coeffs) acc = acc * x + coef;
+  for (size_t i = 0; i < n; ++i) acc = acc * x + coeffs[i];
   return acc;
 }
 
 template <typename T>
-T EvaluateDerivativeT(const std::vector<T>& coeffs, T x) {
-  const size_t n = coeffs.size();
+T EvaluateDerivativeSpanT(const T* coeffs, size_t n, T x) {
   if (n < 2) return T(0);
   T acc = T(0);
   for (size_t i = 0; i + 1 < n; ++i) {
@@ -88,51 +152,76 @@ T EvaluateDerivativeT(const std::vector<T>& coeffs, T x) {
 }
 
 template <typename T>
-T PolishRootT(const std::vector<T>& coeffs, T x0) {
+T EvaluateT(const std::vector<T>& coeffs, T x) {
+  return EvaluateSpanT(coeffs.data(), coeffs.size(), x);
+}
+
+template <typename T>
+T EvaluateDerivativeT(const std::vector<T>& coeffs, T x) {
+  return EvaluateDerivativeSpanT(coeffs.data(), coeffs.size(), x);
+}
+
+template <typename T>
+T PolishRootSpanT(const T* coeffs, size_t n, T x0) {
   T x = x0;
   for (int iter = 0; iter < 8; ++iter) {
-    const T f = EvaluateT(coeffs, x);
+    const T f = EvaluateSpanT(coeffs, n, x);
     if (f == T(0)) break;
-    const T df = EvaluateDerivativeT(coeffs, x);
+    const T df = EvaluateDerivativeSpanT(coeffs, n, x);
     if (df == T(0)) break;
     const T next = x - f / df;
     if (!std::isfinite(next)) break;
     // Accept only improving steps so polishing can never make a root worse.
-    if (std::abs(EvaluateT(coeffs, next)) >= std::abs(f)) break;
+    if (std::abs(EvaluateSpanT(coeffs, n, next)) >= std::abs(f)) break;
     x = next;
   }
   return x;
 }
 
 template <typename T>
-std::vector<T> SolveLinearT(T a, T b) {
-  if (a == T(0)) return {};
-  return {-b / a};
+T PolishRootT(const std::vector<T>& coeffs, T x0) {
+  return PolishRootSpanT(coeffs.data(), coeffs.size(), x0);
 }
 
 template <typename T>
-std::vector<T> SolveQuadraticT(T a, T b, T c) {
-  if (a == T(0)) return SolveLinearT(b, c);
+void SolveLinearIntoT(T a, T b, RootsT<T>* out) {
+  out->clear();
+  if (a == T(0)) return;
+  out->push_back(-b / a);
+}
+
+template <typename T>
+void SolveQuadraticIntoT(T a, T b, T c, RootsT<T>* out) {
+  if (a == T(0)) {
+    SolveLinearIntoT(b, c, out);
+    return;
+  }
+  out->clear();
   const T disc = b * b - T(4) * a * c;
-  if (disc < T(0)) return {};
-  if (disc == T(0)) return {-b / (T(2) * a)};
+  if (disc < T(0)) return;
+  if (disc == T(0)) {
+    out->push_back(-b / (T(2) * a));
+    return;
+  }
   // Stable form: compute the larger-magnitude root first, derive the other
   // from the product c/a to avoid catastrophic cancellation.
   const T sqrt_disc = std::sqrt(disc);
   const T q = T(-0.5) * (b + (b >= T(0) ? sqrt_disc : -sqrt_disc));
-  std::vector<T> roots = {q / a, c / q};
-  SortAndDedupeT(&roots);
-  return roots;
+  out->push_back(q / a);
+  out->push_back(c / q);
+  SortAndDedupeSmallT(out);
 }
 
 template <typename T>
-std::vector<T> SolveCubicT(T a, T b, T c, T d) {
+void SolveCubicIntoT(T a, T b, T c, T d, RootsT<T>* out) {
   // Relative degeneracy test: a leading term negligible at the scale of
   // the quadratic's roots yields better roots from the quadratic (the
   // third "root" lives near infinity).
   if (LeadingCoefficientNegligibleT(a, b, {c, d})) {
-    return SolveQuadraticT(b, c, d);
+    SolveQuadraticIntoT(b, c, d, out);
+    return;
   }
+  out->clear();
   // Normalize to x^3 + B x^2 + C x + D.
   const T B = b / a;
   const T C = c / a;
@@ -142,7 +231,6 @@ std::vector<T> SolveCubicT(T a, T b, T c, T d) {
   const T p = C - B * B / T(3);
   const T q = T(2) * B * B * B / T(27) - B * C / T(3) + D;
 
-  std::vector<T> roots;
   const T half_q = T(0.5) * q;
   const T third_p = p / T(3);
   const T disc = half_q * half_q + third_p * third_p * third_p;
@@ -151,14 +239,14 @@ std::vector<T> SolveCubicT(T a, T b, T c, T d) {
     const T s = std::sqrt(disc);
     const T u = std::cbrt(-half_q + s);
     const T v = std::cbrt(-half_q - s);
-    roots.push_back(u + v - shift);
+    out->push_back(u + v - shift);
   } else if (disc == T(0)) {
     if (half_q == T(0)) {
-      roots.push_back(-shift);  // Triple root.
+      out->push_back(-shift);  // Triple root.
     } else {
       const T u = std::cbrt(-half_q);
-      roots.push_back(T(2) * u - shift);
-      roots.push_back(-u - shift);
+      out->push_back(T(2) * u - shift);
+      out->push_back(-u - shift);
     }
   } else {
     // Three distinct real roots (trigonometric method).
@@ -166,26 +254,27 @@ std::vector<T> SolveCubicT(T a, T b, T c, T d) {
     const T theta = std::acos(std::clamp(
         -half_q / (r * r * r), T(-1), T(1)));
     for (int k = 0; k < 3; ++k) {
-      roots.push_back(T(2) * r *
-                          std::cos((theta + T(2) * std::numbers::pi_v<T> *
-                                                static_cast<T>(k)) /
-                                   T(3)) -
-                      shift);
+      out->push_back(T(2) * r *
+                         std::cos((theta + T(2) * std::numbers::pi_v<T> *
+                                               static_cast<T>(k)) /
+                                  T(3)) -
+                     shift);
     }
   }
   // Polish against the original (un-normalized) coefficients.
-  const std::vector<T> coeffs = {a, b, c, d};
-  for (T& root : roots) root = PolishRootT(coeffs, root);
-  SortAndDedupeT(&roots);
-  return roots;
+  const T coeffs[4] = {a, b, c, d};
+  for (T& root : *out) root = PolishRootSpanT(coeffs, 4, root);
+  SortAndDedupeSmallT(out);
 }
 
 template <typename T>
-std::vector<T> SolveQuarticT(T a, T b, T c, T d, T e) {
+void SolveQuarticIntoT(T a, T b, T c, T d, T e, RootsT<T>* out) {
   // Same relative degeneracy test as the cubic.
   if (LeadingCoefficientNegligibleT(a, b, {c, d, e})) {
-    return SolveCubicT(b, c, d, e);
+    SolveCubicIntoT(b, c, d, e, out);
+    return;
   }
+  out->clear();
   // Normalize to x^4 + B x^3 + C x^2 + D x + E.
   const T B = b / a;
   const T C = c / a;
@@ -199,22 +288,23 @@ std::vector<T> SolveQuarticT(T a, T b, T c, T d, T e) {
   const T r =
       E - B * D / T(4) + B2 * C / T(16) - T(3) * B2 * B2 / T(256);
 
-  std::vector<T> roots;
   if (std::abs(q) < T(1e-14) * std::max({T(1), std::abs(p), std::abs(r)})) {
     // Biquadratic: y^4 + p y^2 + r = 0.
-    for (T z : SolveQuadraticT(T(1), p, r)) {
+    RootsT<T> zs;
+    SolveQuadraticIntoT(T(1), p, r, &zs);
+    for (T z : zs) {
       if (z < T(0)) continue;
       const T y = std::sqrt(z);
-      roots.push_back(y - shift);
-      roots.push_back(-y - shift);
+      out->push_back(y - shift);
+      out->push_back(-y - shift);
     }
   } else {
     // Ferrari: find m > 0 with the resolvent cubic
     //   m^3 + p m^2 + (p^2/4 - r) m - q^2/8 = 0   (m = 2 z - p form folded).
     // Using the standard resolvent for y^4 + p y^2 + q y + r:
     //   8 m^3 + 8 p m^2 + (2 p^2 - 8 r) m - q^2 = 0.
-    std::vector<T> ms =
-        SolveCubicT(T(8), T(8) * p, T(2) * p * p - T(8) * r, -q * q);
+    RootsT<T> ms;
+    SolveCubicIntoT(T(8), T(8) * p, T(2) * p * p - T(8) * r, -q * q, &ms);
     T m = std::numeric_limits<T>::quiet_NaN();
     for (T cand : ms) {
       if (cand > T(0) && (!std::isfinite(m) || cand > m)) m = cand;
@@ -231,14 +321,46 @@ std::vector<T> SolveQuarticT(T a, T b, T c, T d, T e) {
     const T mp = std::sqrt(T(2) * m);
     const T s1 = p / T(2) + m - q / (T(2) * mp);
     const T s2 = p / T(2) + m + q / (T(2) * mp);
-    for (T y : SolveQuadraticT(T(1), mp, s1)) roots.push_back(y - shift);
-    for (T y : SolveQuadraticT(T(1), -mp, s2)) roots.push_back(y - shift);
+    RootsT<T> ys;
+    SolveQuadraticIntoT(T(1), mp, s1, &ys);
+    for (T y : ys) out->push_back(y - shift);
+    SolveQuadraticIntoT(T(1), -mp, s2, &ys);
+    for (T y : ys) out->push_back(y - shift);
   }
 
-  const std::vector<T> coeffs = {a, b, c, d, e};
-  for (T& root : roots) root = PolishRootT(coeffs, root);
-  SortAndDedupeT(&roots);
-  return roots;
+  const T coeffs[5] = {a, b, c, d, e};
+  for (T& root : *out) root = PolishRootSpanT(coeffs, 5, root);
+  SortAndDedupeSmallT(out);
+}
+
+// -- Historical std::vector wrappers ---------------------------------------
+
+template <typename T>
+std::vector<T> SolveLinearT(T a, T b) {
+  RootsT<T> r;
+  SolveLinearIntoT(a, b, &r);
+  return std::vector<T>(r.begin(), r.end());
+}
+
+template <typename T>
+std::vector<T> SolveQuadraticT(T a, T b, T c) {
+  RootsT<T> r;
+  SolveQuadraticIntoT(a, b, c, &r);
+  return std::vector<T>(r.begin(), r.end());
+}
+
+template <typename T>
+std::vector<T> SolveCubicT(T a, T b, T c, T d) {
+  RootsT<T> r;
+  SolveCubicIntoT(a, b, c, d, &r);
+  return std::vector<T>(r.begin(), r.end());
+}
+
+template <typename T>
+std::vector<T> SolveQuarticT(T a, T b, T c, T d, T e) {
+  RootsT<T> r;
+  SolveQuarticIntoT(a, b, c, d, e, &r);
+  return std::vector<T>(r.begin(), r.end());
 }
 
 }  // namespace polynomial_internal

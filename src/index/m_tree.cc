@@ -16,9 +16,11 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kCoverageSlack = 1e-7;
 
-// Far-edge distance of a data sphere from a point.
-double FarEdge(const Point& pivot, const DataEntry& entry) {
-  return Dist(pivot, entry.sphere.center()) + entry.sphere.radius();
+// Far-edge distance of a stored data sphere from a point.
+double FarEdge(const Point& pivot, const SphereStore& store,
+               const MTreeEntry& entry) {
+  return DistSpan(pivot.data(), store.center(entry.slot), pivot.size()) +
+         store.radius(entry.slot);
 }
 
 // Far-edge distance of a child region from a point.
@@ -29,7 +31,8 @@ double FarEdge(const Point& pivot, const MTreeNode& child) {
 }  // namespace
 
 MTree::MTree(size_t dim, MTreeOptions options)
-    : dim_(dim), options_(options) {}
+    : dim_(dim), options_(options),
+      store_(std::make_shared<SphereStore>(dim)) {}
 
 Status MTree::ValidateOptions() const {
   if (options_.max_entries < 4) {
@@ -50,8 +53,9 @@ Status MTree::Insert(const Hypersphere& sphere, uint64_t id) {
     root_ = std::make_unique<MTreeNode>(/*is_leaf=*/true);
     root_->pivot_ = sphere.center();
   }
+  const uint32_t slot = store_->Add(sphere);
   std::unique_ptr<MTreeNode> split_off;
-  InsertRecursive(root_.get(), DataEntry{sphere, id}, &split_off);
+  InsertRecursive(root_.get(), MTreeEntry{slot, id}, &split_off);
   if (split_off != nullptr) {
     auto new_root = std::make_unique<MTreeNode>(/*is_leaf=*/false);
     new_root->pivot_ = root_->pivot_;
@@ -73,20 +77,22 @@ Status MTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
   return Status::OK();
 }
 
-void MTree::InsertRecursive(MTreeNode* node, const DataEntry& entry,
+void MTree::InsertRecursive(MTreeNode* node, const MTreeEntry& entry,
                             std::unique_ptr<MTreeNode>* split_off) {
   if (node->is_leaf_) {
     node->entries_.push_back(entry);
   } else {
     // Prefer a child already covering the new center (nearest pivot among
     // those); otherwise the child needing the least radius enlargement.
+    const double* entry_center = store_->center(entry.slot);
+    const double entry_radius = store_->radius(entry.slot);
     MTreeNode* best_covering = nullptr;
     double best_covering_dist = kInf;
     MTreeNode* best_enlarging = nullptr;
     double best_enlargement = kInf;
     for (const auto& child : node->children_) {
-      const double d = Dist(child->pivot_, entry.sphere.center());
-      const double needed = d + entry.sphere.radius();
+      const double d = DistSpan(child->pivot_.data(), entry_center, dim_);
+      const double needed = d + entry_radius;
       if (needed <= child->covering_radius_) {
         if (d < best_covering_dist) {
           best_covering_dist = d;
@@ -117,11 +123,11 @@ void MTree::InsertRecursive(MTreeNode* node, const DataEntry& entry,
   RefreshCoveringRadius(node);
 }
 
-void MTree::RefreshCoveringRadius(MTreeNode* node) {
+void MTree::RefreshCoveringRadius(MTreeNode* node) const {
   double radius = 0.0;
   if (node->is_leaf_) {
     for (const auto& e : node->entries_) {
-      radius = std::max(radius, FarEdge(node->pivot_, e));
+      radius = std::max(radius, FarEdge(node->pivot_, *store_, e));
     }
   } else {
     for (const auto& child : node->children_) {
@@ -139,7 +145,10 @@ std::unique_ptr<MTreeNode> MTree::SplitNode(MTreeNode* node) const {
       node->is_leaf_ ? node->entries_.size() : node->children_.size();
   keys.reserve(n);
   if (node->is_leaf_) {
-    for (const auto& e : node->entries_) keys.push_back(e.sphere.center());
+    for (const auto& e : node->entries_) {
+      const double* c = store_->center(e.slot);
+      keys.emplace_back(c, c + dim_);
+    }
   } else {
     for (const auto& child : node->children_) keys.push_back(child->pivot_);
   }
@@ -178,9 +187,9 @@ std::unique_ptr<MTreeNode> MTree::SplitNode(MTreeNode* node) const {
   node->pivot_ = keys[pa];
   sibling->pivot_ = keys[pb];
   if (node->is_leaf_) {
-    std::vector<DataEntry> mine, theirs;
-    for (size_t i : to_node) mine.push_back(std::move(node->entries_[i]));
-    for (size_t i : to_sibling) theirs.push_back(std::move(node->entries_[i]));
+    std::vector<MTreeEntry> mine, theirs;
+    for (size_t i : to_node) mine.push_back(node->entries_[i]);
+    for (size_t i : to_sibling) theirs.push_back(node->entries_[i]);
     node->entries_ = std::move(mine);
     sibling->entries_ = std::move(theirs);
   } else {
@@ -208,9 +217,9 @@ size_t MTree::Height() const {
 
 namespace {
 
-Status CheckNode(const MTreeNode* node, const MTreeOptions& options,
-                 bool is_root, size_t depth, size_t* leaf_depth,
-                 size_t* entry_total) {
+Status CheckNode(const MTreeNode* node, const SphereStore& store,
+                 const MTreeOptions& options, bool is_root, size_t depth,
+                 size_t* leaf_depth, size_t* entry_total) {
   const double slack =
       kCoverageSlack * (1.0 + node->covering_radius() + Norm(node->pivot()));
   const size_t occupancy =
@@ -229,7 +238,11 @@ Status CheckNode(const MTreeNode* node, const MTreeOptions& options,
       return Status::Corruption("leaves at different depths");
     }
     for (const auto& e : node->entries()) {
-      if (FarEdge(node->pivot(), e) > node->covering_radius() + slack) {
+      if (e.slot >= store.size()) {
+        return Status::Corruption("entry slot out of store range");
+      }
+      if (FarEdge(node->pivot(), store, e) >
+          node->covering_radius() + slack) {
         return Status::Corruption("leaf entry escapes covering radius");
       }
     }
@@ -243,8 +256,9 @@ Status CheckNode(const MTreeNode* node, const MTreeOptions& options,
       return Status::Corruption("child region escapes covering radius");
     }
     size_t child_entries = 0;
-    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), options, /*is_root=*/false,
-                                     depth + 1, leaf_depth, &child_entries));
+    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), store, options,
+                                     /*is_root=*/false, depth + 1, leaf_depth,
+                                     &child_entries));
     child_total += child_entries;
   }
   *entry_total += child_total;
@@ -260,7 +274,8 @@ Status MTree::CheckInvariants() const {
   }
   size_t leaf_depth = 0;
   size_t entry_total = 0;
-  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), options_, /*is_root=*/true,
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), *store_, options_,
+                                   /*is_root=*/true,
                                    /*depth=*/1, &leaf_depth, &entry_total));
   if (entry_total != size_) {
     return Status::Corruption("total entry count mismatch: tree says " +

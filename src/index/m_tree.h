@@ -19,13 +19,18 @@
 #ifndef HYPERDOM_INDEX_M_TREE_H_
 #define HYPERDOM_INDEX_M_TREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "index/entry.h"
+#include "storage/sphere_store.h"
 
 namespace hyperdom {
+
+/// M-tree leaf entries are columnar-store handles.
+using MTreeEntry = StoredEntry;
 
 /// Tuning options for MTree.
 struct MTreeOptions {
@@ -48,8 +53,9 @@ class MTreeNode {
   Hypersphere bounding_sphere() const {
     return Hypersphere(pivot_, covering_radius_);
   }
-  /// Leaf payload; valid only when is_leaf().
-  const std::vector<DataEntry>& entries() const { return entries_; }
+  /// Leaf payload: store handles, resolved via MTree::store(). Valid only
+  /// when is_leaf().
+  const std::vector<MTreeEntry>& entries() const { return entries_; }
   /// Children; valid only when !is_leaf().
   const std::vector<std::unique_ptr<MTreeNode>>& children() const {
     return children_;
@@ -61,7 +67,7 @@ class MTreeNode {
   bool is_leaf_;
   Point pivot_;
   double covering_radius_ = 0.0;
-  std::vector<DataEntry> entries_;
+  std::vector<MTreeEntry> entries_;
   std::vector<std::unique_ptr<MTreeNode>> children_;
 };
 
@@ -77,6 +83,10 @@ class MTree {
   Status BulkLoad(const std::vector<Hypersphere>& spheres);
 
   const MTreeNode* root() const { return root_.get(); }
+
+  /// The columnar sphere storage backing every leaf entry.
+  const SphereStore& store() const { return *store_; }
+
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }
   const MTreeOptions& options() const { return options_; }
@@ -91,16 +101,18 @@ class MTree {
 
  private:
   Status ValidateOptions() const;
-  void InsertRecursive(MTreeNode* node, const DataEntry& entry,
+  void InsertRecursive(MTreeNode* node, const MTreeEntry& entry,
                        std::unique_ptr<MTreeNode>* split_off);
   /// Recomputes the node's covering radius (pivot unchanged).
-  static void RefreshCoveringRadius(MTreeNode* node);
+  void RefreshCoveringRadius(MTreeNode* node) const;
   /// Splits an overflowing node; may change the node's pivot. Returns the
   /// new sibling.
   std::unique_ptr<MTreeNode> SplitNode(MTreeNode* node) const;
 
   size_t dim_;
   MTreeOptions options_;
+  /// Columnar coordinate arena for every data sphere in the tree.
+  std::shared_ptr<SphereStore> store_;
   std::unique_ptr<MTreeNode> root_;
   size_t size_ = 0;
 };

@@ -88,7 +88,8 @@ SplitChoice ChooseSplit(const std::vector<Mbr>& boxes, size_t min_fill) {
 }  // namespace
 
 RStarTree::RStarTree(size_t dim, RStarTreeOptions options)
-    : dim_(dim), options_(options) {}
+    : dim_(dim), options_(options),
+      store_(std::make_shared<SphereStore>(dim)) {}
 
 Status RStarTree::ValidateOptions() const {
   if (options_.max_entries < 4) {
@@ -116,7 +117,8 @@ Status RStarTree::Insert(const Hypersphere& sphere, uint64_t id) {
   if (root_ == nullptr) {
     root_ = std::make_unique<RStarTreeNode>(/*is_leaf=*/true);
   }
-  InsertEntry(DataEntry{sphere, id}, /*allow_reinsert=*/true);
+  const uint32_t slot = store_->Add(sphere);
+  InsertStored(RStarTreeEntry{slot, id}, /*allow_reinsert=*/true);
   ++size_;
   return Status::OK();
 }
@@ -130,8 +132,9 @@ Status RStarTree::BulkLoad(const std::vector<Hypersphere>& spheres) {
   return Status::OK();
 }
 
-void RStarTree::InsertEntry(const DataEntry& entry, bool allow_reinsert) {
-  const Mbr box = Mbr::FromSphere(entry.sphere);
+void RStarTree::InsertStored(const RStarTreeEntry& entry,
+                             bool allow_reinsert) {
+  const Mbr box = Mbr::FromSphere(store_->view(entry.slot));
   std::vector<RStarTreeNode*> path;
   RStarTreeNode* node = root_.get();
   while (!node->is_leaf()) {
@@ -141,7 +144,7 @@ void RStarTree::InsertEntry(const DataEntry& entry, bool allow_reinsert) {
   path.push_back(node);
   node->entries_.push_back(entry);
 
-  std::vector<DataEntry> orphans;
+  std::vector<RStarTreeEntry> orphans;
   if (node->entries_.size() > options_.max_entries) {
     HandleOverflow(&path, allow_reinsert, &orphans);
   }
@@ -150,7 +153,7 @@ void RStarTree::InsertEntry(const DataEntry& entry, bool allow_reinsert) {
   RefreshMbr(root_.get());
 
   for (const auto& orphan : orphans) {
-    InsertEntry(orphan, /*allow_reinsert=*/false);
+    InsertStored(orphan, /*allow_reinsert=*/false);
   }
 }
 
@@ -193,12 +196,12 @@ RStarTreeNode* RStarTree::ChooseSubtree(RStarTreeNode* node,
   return best;
 }
 
-void RStarTree::RefreshMbr(RStarTreeNode* node) {
+void RStarTree::RefreshMbr(RStarTreeNode* node) const {
   if (node->is_leaf_) {
     if (node->entries_.empty()) return;
-    Mbr box = Mbr::FromSphere(node->entries_.front().sphere);
+    Mbr box = Mbr::FromSphere(store_->view(node->entries_.front().slot));
     for (size_t i = 1; i < node->entries_.size(); ++i) {
-      box.ExtendToCover(Mbr::FromSphere(node->entries_[i].sphere));
+      box.ExtendToCover(Mbr::FromSphere(store_->view(node->entries_[i].slot)));
     }
     node->mbr_ = box;
   } else {
@@ -219,7 +222,7 @@ std::unique_ptr<RStarTreeNode> RStarTree::SplitNode(
   boxes.reserve(n);
   if (node->is_leaf_) {
     for (const auto& e : node->entries_) {
-      boxes.push_back(Mbr::FromSphere(e.sphere));
+      boxes.push_back(Mbr::FromSphere(store_->view(e.slot)));
     }
   } else {
     for (const auto& child : node->children_) boxes.push_back(child->mbr_);
@@ -231,10 +234,10 @@ std::unique_ptr<RStarTreeNode> RStarTree::SplitNode(
 
   auto sibling = std::make_unique<RStarTreeNode>(node->is_leaf_);
   if (node->is_leaf_) {
-    std::vector<DataEntry> left, right;
+    std::vector<RStarTreeEntry> left, right;
     for (size_t i = 0; i < n; ++i) {
       (i < choice.cut ? left : right)
-          .push_back(std::move(node->entries_[choice.order[i]]));
+          .push_back(node->entries_[choice.order[i]]);
     }
     node->entries_ = std::move(left);
     sibling->entries_ = std::move(right);
@@ -254,7 +257,7 @@ std::unique_ptr<RStarTreeNode> RStarTree::SplitNode(
 
 void RStarTree::HandleOverflow(std::vector<RStarTreeNode*>* path,
                                bool allow_reinsert,
-                               std::vector<DataEntry>* orphans) {
+                               std::vector<RStarTreeEntry>* orphans) {
   RStarTreeNode* leaf = path->back();
   if (allow_reinsert && leaf != root_.get() &&
       options_.reinsert_fraction > 0.0) {
@@ -268,18 +271,20 @@ void RStarTree::HandleOverflow(std::vector<RStarTreeNode*>* path,
     std::vector<size_t> order(leaf->entries_.size());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return SquaredDist(leaf->entries_[a].sphere.center(), center) >
-             SquaredDist(leaf->entries_[b].sphere.center(), center);
+      return SquaredDistSpan(store_->center(leaf->entries_[a].slot),
+                             center.data(), dim_) >
+             SquaredDistSpan(store_->center(leaf->entries_[b].slot),
+                             center.data(), dim_);
     });
     std::vector<bool> removed(leaf->entries_.size(), false);
     for (size_t i = 0; i < p; ++i) {
       orphans->push_back(leaf->entries_[order[i]]);
       removed[order[i]] = true;
     }
-    std::vector<DataEntry> kept;
+    std::vector<RStarTreeEntry> kept;
     kept.reserve(leaf->entries_.size() - p);
     for (size_t i = 0; i < leaf->entries_.size(); ++i) {
-      if (!removed[i]) kept.push_back(std::move(leaf->entries_[i]));
+      if (!removed[i]) kept.push_back(leaf->entries_[i]);
     }
     leaf->entries_ = std::move(kept);
     RefreshMbr(leaf);
@@ -320,9 +325,9 @@ size_t RStarTree::Height() const {
 
 namespace {
 
-Status CheckNode(const RStarTreeNode* node, const RStarTreeOptions& options,
-                 bool is_root, size_t depth, size_t* leaf_depth,
-                 size_t* entry_total) {
+Status CheckNode(const RStarTreeNode* node, const SphereStore& store,
+                 const RStarTreeOptions& options, bool is_root, size_t depth,
+                 size_t* leaf_depth, size_t* entry_total) {
   const size_t occupancy =
       node->is_leaf() ? node->entries().size() : node->children().size();
   if (occupancy > options.max_entries) {
@@ -353,7 +358,10 @@ Status CheckNode(const RStarTreeNode* node, const RStarTreeOptions& options,
       return Status::Corruption("leaves at different depths");
     }
     for (const auto& e : node->entries()) {
-      if (!covered(Mbr::FromSphere(e.sphere))) {
+      if (e.slot >= store.size()) {
+        return Status::Corruption("entry slot out of store range");
+      }
+      if (!covered(Mbr::FromSphere(store.view(e.slot)))) {
         return Status::Corruption("leaf entry escapes node box");
       }
     }
@@ -365,8 +373,9 @@ Status CheckNode(const RStarTreeNode* node, const RStarTreeOptions& options,
     if (!covered(child->mbr())) {
       return Status::Corruption("child box escapes parent box");
     }
-    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), options, /*is_root=*/false,
-                                     depth + 1, leaf_depth, entry_total));
+    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), store, options,
+                                     /*is_root=*/false, depth + 1, leaf_depth,
+                                     entry_total));
   }
   return Status::OK();
 }
@@ -380,7 +389,8 @@ Status RStarTree::CheckInvariants() const {
   }
   size_t leaf_depth = 0;
   size_t entry_total = 0;
-  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), options_, /*is_root=*/true,
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), *store_, options_,
+                                   /*is_root=*/true,
                                    /*depth=*/1, &leaf_depth, &entry_total));
   if (entry_total != size_) {
     return Status::Corruption("total entry count mismatch: tree says " +

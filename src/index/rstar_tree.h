@@ -26,14 +26,19 @@
 #ifndef HYPERDOM_INDEX_RSTAR_TREE_H_
 #define HYPERDOM_INDEX_RSTAR_TREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "geometry/mbr.h"
 #include "index/entry.h"
+#include "storage/sphere_store.h"
 
 namespace hyperdom {
+
+/// R*-tree leaf entries are columnar-store handles.
+using RStarTreeEntry = StoredEntry;
 
 /// Tuning options for RStarTree.
 struct RStarTreeOptions {
@@ -54,8 +59,9 @@ class RStarTreeNode {
   bool is_leaf() const { return is_leaf_; }
   /// The node's bounding box (covers every data sphere beneath it).
   const Mbr& mbr() const { return mbr_; }
-  /// Leaf payload; valid only when is_leaf().
-  const std::vector<DataEntry>& entries() const { return entries_; }
+  /// Leaf payload: store handles, resolved via RStarTree::store(). Valid
+  /// only when is_leaf().
+  const std::vector<RStarTreeEntry>& entries() const { return entries_; }
   /// Children; valid only when !is_leaf().
   const std::vector<std::unique_ptr<RStarTreeNode>>& children() const {
     return children_;
@@ -66,7 +72,7 @@ class RStarTreeNode {
 
   bool is_leaf_;
   Mbr mbr_;
-  std::vector<DataEntry> entries_;
+  std::vector<RStarTreeEntry> entries_;
   std::vector<std::unique_ptr<RStarTreeNode>> children_;
 };
 
@@ -84,6 +90,9 @@ class RStarTree {
   /// Root node; null while the tree is empty.
   const RStarTreeNode* root() const { return root_.get(); }
 
+  /// The columnar sphere storage backing every leaf entry.
+  const SphereStore& store() const { return *store_; }
+
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }
   const RStarTreeOptions& options() const { return options_; }
@@ -98,22 +107,26 @@ class RStarTree {
 
  private:
   Status ValidateOptions() const;
-  /// Core insertion; `allow_reinsert` is false while draining orphans.
-  void InsertEntry(const DataEntry& entry, bool allow_reinsert);
+  /// Core insertion of an already-stored entry; `allow_reinsert` is false
+  /// while draining forced-reinsert orphans (whose spheres already live in
+  /// the store and must not be re-added).
+  void InsertStored(const RStarTreeEntry& entry, bool allow_reinsert);
   /// Chooses the child of `node` for a new box (R*-tree rules).
   RStarTreeNode* ChooseSubtree(RStarTreeNode* node, const Mbr& box) const;
   /// Recomputes `node`'s box from its payload.
-  static void RefreshMbr(RStarTreeNode* node);
+  void RefreshMbr(RStarTreeNode* node) const;
   /// Splits an overflowing node; returns the new right sibling.
   std::unique_ptr<RStarTreeNode> SplitNode(RStarTreeNode* node) const;
   /// Handles an overflowing leaf at the end of `path` (reinsert or split),
   /// propagating internal splits upward. Appends reinsert orphans to
   /// `orphans`.
   void HandleOverflow(std::vector<RStarTreeNode*>* path, bool allow_reinsert,
-                      std::vector<DataEntry>* orphans);
+                      std::vector<RStarTreeEntry>* orphans);
 
   size_t dim_;
   RStarTreeOptions options_;
+  /// Columnar coordinate arena for every data sphere in the tree.
+  std::shared_ptr<SphereStore> store_;
   std::unique_ptr<RStarTreeNode> root_;
   size_t size_ = 0;
 };

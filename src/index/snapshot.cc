@@ -45,7 +45,12 @@ int64_t SnapshotNowNs() {
 }
 
 constexpr char kSnapMagic[4] = {'H', 'D', 'S', 'P'};
-constexpr uint32_t kSnapVersion = 1;
+// v1 wrapped AoS tree payloads (inline per-entry spheres); v2 wraps
+// store-backed payloads (HDSS v3 / HDVP v2). Both are readable: the inner
+// tree deserializers are version-gated and migrate v1-era payloads into a
+// SphereStore on load.
+constexpr uint32_t kSnapVersion = 2;
+constexpr uint32_t kSnapLegacyVersion = 1;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -101,7 +106,7 @@ Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
   }
   uint32_t version = 0;
   if (!ReadPod(in, &version)) return Status::Corruption("truncated header");
-  if (version != kSnapVersion) {
+  if (version != kSnapVersion && version != kSnapLegacyVersion) {
     return Status::NotSupported("unsupported snapshot version " +
                                 std::to_string(version));
   }

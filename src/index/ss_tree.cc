@@ -26,10 +26,25 @@ Point Centroid(const Point& center_sum, size_t count) {
   return Scale(center_sum, 1.0 / static_cast<double>(count));
 }
 
+// Exact (bitwise ==) match of a stored row against a caller sphere; the
+// Delete() contract is "this exact id and sphere".
+bool EntryMatches(const SphereStore& store, const StoredEntry& e,
+                  const Hypersphere& sphere, uint64_t id) {
+  if (e.id != id) return false;
+  const SphereView v = store.view(e.slot);
+  if (v.radius != sphere.radius()) return false;
+  const double* c = sphere.center().data();
+  for (size_t i = 0; i < v.dim; ++i) {
+    if (v.center[i] != c[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SsTree::SsTree(size_t dim, SsTreeOptions options)
-    : dim_(dim), options_(options) {}
+    : dim_(dim), options_(options),
+      store_(std::make_shared<SphereStore>(dim)) {}
 
 Status SsTree::ValidateOptions() const {
   if (options_.max_entries < 4) {
@@ -49,14 +64,18 @@ Status SsTree::Insert(const Hypersphere& sphere, uint64_t id) {
                                    std::to_string(dim_) + "-d, sphere is " +
                                    std::to_string(sphere.dim()) + "-d");
   }
+  const uint32_t slot = store_->Add(sphere);
+  return InsertStored(SsTreeEntry{slot, id});
+}
+
+Status SsTree::InsertStored(const SsTreeEntry& entry) {
   HYPERDOM_FAULT_POINT("ss_tree/insert");
   if (root_ == nullptr) {
     root_ = std::make_unique<SsTreeNode>(/*is_leaf=*/true);
     root_->center_sum_ = Point(dim_, 0.0);
   }
   std::unique_ptr<SsTreeNode> split_off;
-  HYPERDOM_RETURN_NOT_OK(
-      InsertRecursive(root_.get(), SsTreeEntry{sphere, id}, &split_off));
+  HYPERDOM_RETURN_NOT_OK(InsertRecursive(root_.get(), entry, &split_off));
   if (split_off != nullptr) {
     // Grow a new root above the two halves.
     auto new_root = std::make_unique<SsTreeNode>(/*is_leaf=*/false);
@@ -85,7 +104,7 @@ void SsTree::RebuildNodeStats(SsTreeNode* node) {
   node->count_ = 0;
   if (node->is_leaf_) {
     for (const auto& e : node->entries_) {
-      node->center_sum_ = Add(node->center_sum_, e.sphere.center());
+      AddInPlaceSpan(node->center_sum_.data(), store_->center(e.slot), dim_);
     }
     node->count_ = node->entries_.size();
   } else {
@@ -103,16 +122,16 @@ void SsTree::StrTile(std::vector<SsTreeEntry>* entries, size_t lo, size_t hi,
   const size_t n = hi - lo;
   if (n <= leaf_capacity) {
     auto leaf = std::make_unique<SsTreeNode>(/*is_leaf=*/true);
-    leaf->entries_.assign(std::make_move_iterator(entries->begin() + lo),
-                          std::make_move_iterator(entries->begin() + hi));
+    leaf->entries_.assign(entries->begin() + lo, entries->begin() + hi);
     RebuildNodeStats(leaf.get());
     leaves->push_back(std::move(leaf));
     return;
   }
+  const SphereStore& store = *store_;
   std::sort(entries->begin() + lo, entries->begin() + hi,
-            [dim_index](const SsTreeEntry& a, const SsTreeEntry& b) {
-              return a.sphere.center()[dim_index] <
-                     b.sphere.center()[dim_index];
+            [dim_index, &store](const SsTreeEntry& a, const SsTreeEntry& b) {
+              return store.center(a.slot)[dim_index] <
+                     store.center(b.slot)[dim_index];
             });
   const size_t remaining_dims = dim_ - std::min(dim_index, dim_ - 1);
   const double pages = static_cast<double>(n) / leaf_capacity;
@@ -136,6 +155,7 @@ Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
   HYPERDOM_FAULT_POINT("ss_tree/str_pack");
   root_.reset();
   size_ = 0;
+  store_ = std::make_shared<SphereStore>(dim_);
   if (spheres.empty()) {
     recorder.Finish(0);
     return Status::OK();
@@ -143,12 +163,14 @@ Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
 
   std::vector<SsTreeEntry> entries;
   entries.reserve(spheres.size());
+  store_->Reserve(spheres.size());
   for (size_t i = 0; i < spheres.size(); ++i) {
     if (spheres[i].dim() != dim_) {
       return Status::InvalidArgument(
           "all spheres must share the tree's dimensionality");
     }
-    entries.push_back(SsTreeEntry{spheres[i], static_cast<uint64_t>(i)});
+    const uint32_t slot = store_->Add(spheres[i]);
+    entries.push_back(SsTreeEntry{slot, static_cast<uint64_t>(i)});
   }
 
   // Pack at ~85% occupancy: full packing turns every subsequent insert
@@ -221,8 +243,7 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
       }
       if (node->is_leaf_) {
         for (size_t i = 0; i < node->entries_.size(); ++i) {
-          if (node->entries_[i].id == id &&
-              node->entries_[i].sphere == sphere) {
+          if (EntryMatches(*store_, node->entries_[i], sphere, id)) {
             entry_index = i;
             found = true;
             break;
@@ -248,13 +269,15 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
     if (path.empty()) return Status::NotFound("no such entry");
   }
 
-  // Remove the entry and update the bookkeeping along the path.
+  // Remove the entry and update the bookkeeping along the path. The store
+  // slot is abandoned (the arena is append-only); only the handle goes.
   SsTreeNode* leaf = path.back();
-  const Point removed_center = leaf->entries_[entry_index].sphere.center();
+  const uint32_t removed_slot = leaf->entries_[entry_index].slot;
   leaf->entries_.erase(leaf->entries_.begin() +
                        static_cast<std::ptrdiff_t>(entry_index));
   for (SsTreeNode* node : path) {
-    node->center_sum_ = Sub(node->center_sum_, removed_center);
+    SubInPlaceSpan(node->center_sum_.data(), store_->center(removed_slot),
+                   dim_);
     node->count_ -= 1;
   }
   --size_;
@@ -274,7 +297,7 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
       SsTreeNode* cur = walk.back();
       walk.pop_back();
       if (cur->is_leaf_) {
-        for (auto& e : cur->entries_) residents.push_back(std::move(e));
+        for (const auto& e : cur->entries_) residents.push_back(e);
       } else {
         for (auto& child : cur->children_) walk.push_back(child.get());
       }
@@ -291,12 +314,13 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
     }
     for (size_t a = 0; a < level_i; ++a) {
       for (const auto& e : residents) {
-        path[a]->center_sum_ = Sub(path[a]->center_sum_, e.sphere.center());
+        SubInPlaceSpan(path[a]->center_sum_.data(), store_->center(e.slot),
+                       dim_);
         path[a]->count_ -= 1;
       }
     }
     path.resize(level_i);  // the dissolved node is gone
-    for (auto& e : residents) orphans.push_back(std::move(e));
+    for (const auto& e : residents) orphans.push_back(e);
   }
 
   // Refresh bounds bottom-up along the surviving path.
@@ -314,18 +338,21 @@ Status SsTree::Delete(const Hypersphere& sphere, uint64_t id) {
     root_.reset();
   }
 
-  // Reinsert the dissolved residents (each Insert() increments size_, but
-  // the residents were never subtracted from it).
+  // Reinsert the dissolved residents through the stored-entry path (their
+  // spheres already live in the store; re-adding would duplicate slots).
+  // Each InsertStored() increments size_, but the residents were never
+  // subtracted from it.
   for (const auto& orphan : orphans) {
     --size_;
-    HYPERDOM_RETURN_NOT_OK(Insert(orphan.sphere, orphan.id));
+    HYPERDOM_RETURN_NOT_OK(InsertStored(orphan));
   }
   return Status::OK();
 }
 
 Status SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
                                std::unique_ptr<SsTreeNode>* split_off) {
-  node->center_sum_ = Add(node->center_sum_, entry.sphere.center());
+  const double* entry_center = store_->center(entry.slot);
+  AddInPlaceSpan(node->center_sum_.data(), entry_center, dim_);
   node->count_ += 1;
 
   if (node->is_leaf_) {
@@ -336,8 +363,8 @@ Status SsTree::InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
     SsTreeNode* best = nullptr;
     double best_dist = std::numeric_limits<double>::infinity();
     for (const auto& child : node->children_) {
-      const double d = SquaredDist(Centroid(child->center_sum_, child->count_),
-                                   entry.sphere.center());
+      const Point centroid = Centroid(child->center_sum_, child->count_);
+      const double d = SquaredDistSpan(centroid.data(), entry_center, dim_);
       if (d < best_dist) {
         best_dist = d;
         best = child.get();
@@ -367,7 +394,9 @@ void SsTree::RefreshBoundingSphere(SsTreeNode* node) {
     std::vector<Hypersphere> regions;
     if (node->is_leaf_) {
       regions.reserve(node->entries_.size());
-      for (const auto& e : node->entries_) regions.push_back(e.sphere);
+      for (const auto& e : node->entries_) {
+        regions.push_back(store_->Materialize(e.slot));
+      }
     } else {
       regions.reserve(node->children_.size());
       for (const auto& child : node->children_) {
@@ -382,8 +411,9 @@ void SsTree::RefreshBoundingSphere(SsTreeNode* node) {
   double radius = 0.0;
   if (node->is_leaf_) {
     for (const auto& e : node->entries_) {
-      radius = std::max(radius, Dist(center, e.sphere.center()) +
-                                    e.sphere.radius());
+      radius = std::max(radius,
+                        DistSpan(center.data(), store_->center(e.slot), dim_) +
+                            store_->radius(e.slot));
     }
   } else {
     for (const auto& child : node->children_) {
@@ -530,7 +560,10 @@ Status SsTree::SplitNode(SsTreeNode* node,
       node->is_leaf_ ? node->entries_.size() : node->children_.size();
   keys.reserve(n);
   if (node->is_leaf_) {
-    for (const auto& e : node->entries_) keys.push_back(e.sphere.center());
+    for (const auto& e : node->entries_) {
+      const double* c = store_->center(e.slot);
+      keys.emplace_back(c, c + dim_);
+    }
   } else {
     for (const auto& child : node->children_) {
       keys.push_back(Centroid(child->center_sum_, child->count_));
@@ -544,18 +577,19 @@ Status SsTree::SplitNode(SsTreeNode* node,
   if (node->is_leaf_) {
     std::vector<SsTreeEntry> left, right;
     for (size_t i = 0; i < n; ++i) {
-      (to_sibling[i] ? right : left).push_back(std::move(node->entries_[i]));
+      (to_sibling[i] ? right : left).push_back(node->entries_[i]);
     }
     node->entries_ = std::move(left);
     sibling->entries_ = std::move(right);
     node->center_sum_ = Point(dim_, 0.0);
     node->count_ = node->entries_.size();
     for (const auto& e : node->entries_) {
-      node->center_sum_ = Add(node->center_sum_, e.sphere.center());
+      AddInPlaceSpan(node->center_sum_.data(), store_->center(e.slot), dim_);
     }
     sibling->count_ = sibling->entries_.size();
     for (const auto& e : sibling->entries_) {
-      sibling->center_sum_ = Add(sibling->center_sum_, e.sphere.center());
+      AddInPlaceSpan(sibling->center_sum_.data(), store_->center(e.slot),
+                     dim_);
     }
   } else {
     std::vector<std::unique_ptr<SsTreeNode>> left, right;
@@ -594,9 +628,9 @@ size_t SsTree::Height() const {
 
 namespace {
 
-Status CheckNode(const SsTreeNode* node, const SsTreeOptions& options,
-                 bool is_root, size_t depth, size_t* leaf_depth,
-                 size_t* entry_total) {
+Status CheckNode(const SsTreeNode* node, const SphereStore& store,
+                 const SsTreeOptions& options, bool is_root, size_t depth,
+                 size_t* leaf_depth, size_t* entry_total) {
   const Hypersphere& bound = node->bounding_sphere();
   const double slack =
       kCoverageSlack * (1.0 + bound.radius() + Norm(bound.center()));
@@ -618,7 +652,11 @@ Status CheckNode(const SsTreeNode* node, const SsTreeOptions& options,
     }
     size_t count = 0;
     for (const auto& e : node->entries()) {
-      if (Dist(bound.center(), e.sphere.center()) + e.sphere.radius() >
+      if (e.slot >= store.size()) {
+        return Status::Corruption("entry slot out of store range");
+      }
+      if (DistSpan(bound.center().data(), store.center(e.slot), store.dim()) +
+              store.radius(e.slot) >
           bound.radius() + slack) {
         return Status::Corruption("leaf entry escapes bounding sphere");
       }
@@ -638,8 +676,9 @@ Status CheckNode(const SsTreeNode* node, const SsTreeOptions& options,
         bound.radius() + slack) {
       return Status::Corruption("child sphere escapes parent sphere");
     }
-    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), options, /*is_root=*/false,
-                                     depth + 1, leaf_depth, entry_total));
+    HYPERDOM_RETURN_NOT_OK(CheckNode(child.get(), store, options,
+                                     /*is_root=*/false, depth + 1, leaf_depth,
+                                     entry_total));
     child_total += child->subtree_size();
   }
   if (child_total != node->subtree_size()) {
@@ -654,19 +693,25 @@ Status CheckNode(const SsTreeNode* node, const SsTreeOptions& options,
 // Persistence. Binary layout (all integers little-endian host-width types,
 // doubles in IEEE host representation — a same-machine cache format):
 //   magic "HDSS" + u32 version
-//   u64 dim, u64 size, u64 max_entries, f64 min_fill_ratio, u32 split_policy
-//   recursive node records:
-//     u8 is_leaf
-//     leaf:     u64 entry_count, then per entry: f64 center[dim], f64 radius,
-//               u64 id
-//     internal: u64 child_count, then the child records
-// Centroids and bounding spheres are recomputed on load.
+//   u64 dim, u64 size, u64 max_entries, f64 min_fill_ratio, u32 split_policy,
+//   u32 bounding_policy
+//   v3 (current): the SphereStore blob (storage/sphere_store.cc), then
+//     recursive node records:
+//       u8 is_leaf
+//       leaf:     u64 entry_count, then per entry: u32 slot, u64 id
+//       internal: u64 child_count, then the child records
+//   v2 (legacy, load-only): recursive node records with inline entries
+//     (per entry: f64 center[dim], f64 radius, u64 id); migrated into a
+//     fresh SphereStore on load.
+// Centroids and bounding spheres are recomputed on load. Abandoned store
+// slots (from Delete) are serialized too: slots must stay stable.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 constexpr char kMagic[4] = {'H', 'D', 'S', 'S'};
-constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kFormatVersion = 3;
+constexpr uint32_t kLegacyFormatVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -679,20 +724,19 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-void SaveNode(std::ostream& out, const SsTreeNode* node, size_t dim) {
+void SaveNode(std::ostream& out, const SsTreeNode* node) {
   const uint8_t is_leaf = node->is_leaf() ? 1 : 0;
   WritePod(out, is_leaf);
   if (node->is_leaf()) {
     WritePod(out, static_cast<uint64_t>(node->entries().size()));
     for (const auto& e : node->entries()) {
-      for (size_t i = 0; i < dim; ++i) WritePod(out, e.sphere.center()[i]);
-      WritePod(out, e.sphere.radius());
+      WritePod(out, e.slot);
       WritePod(out, e.id);
     }
   } else {
     WritePod(out, static_cast<uint64_t>(node->children().size()));
     for (const auto& child : node->children()) {
-      SaveNode(out, child.get(), dim);
+      SaveNode(out, child.get());
     }
   }
 }
@@ -709,7 +753,8 @@ Status SsTree::Serialize(std::ostream& out) const {
   WritePod(out, options_.min_fill_ratio);
   WritePod(out, static_cast<uint32_t>(options_.split_policy));
   WritePod(out, static_cast<uint32_t>(options_.bounding_policy));
-  if (root_ != nullptr) SaveNode(out, root_.get(), dim_);
+  HYPERDOM_RETURN_NOT_OK(store_->SerializeTo(out));
+  if (root_ != nullptr) SaveNode(out, root_.get());
   out.flush();
   if (!out) return Status::IOError("SS-tree serialization stream failed");
   return Status::OK();
@@ -723,11 +768,12 @@ Status SsTree::Save(const std::string& path) const {
   return Status::OK();
 }
 
-// Loads one node record; derived per-node data (centroids, bounds) is
-// recomputed by the caller (SsTree::Load).
-Status SsTree::LoadNode(std::istream& in, size_t dim, size_t max_entries,
-                        size_t depth,
-                        std::unique_ptr<SsTreeNode>* out_node) {
+// Loads one legacy (v2) node record with inline entries, migrating each
+// sphere into `store`; derived per-node data (centroids, bounds) is
+// recomputed by the caller (SsTree::Deserialize).
+Status SsTree::LoadNodeV2(std::istream& in, size_t dim, size_t max_entries,
+                          size_t depth, SphereStore* store,
+                          std::unique_ptr<SsTreeNode>* out_node) {
   // Depth bound: a valid tree over 2^64 entries is far shallower than 64
   // levels at fanout >= 2; deeper means a corrupt or adversarial file.
   if (depth > 64) return Status::Corruption("node nesting too deep");
@@ -761,15 +807,57 @@ Status SsTree::LoadNode(std::istream& in, size_t dim, size_t max_entries,
       if (!std::isfinite(radius) || radius < 0.0) {
         return Status::Corruption("bad radius");
       }
-      node->entries_.push_back(
-          SsTreeEntry{Hypersphere(std::move(center), radius), id});
+      const uint32_t slot = store->Add(center.data(), dim, radius);
+      node->entries_.push_back(SsTreeEntry{slot, id});
     }
   } else {
     node->children_.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       std::unique_ptr<SsTreeNode> child;
       HYPERDOM_RETURN_NOT_OK(
-          LoadNode(in, dim, max_entries, depth + 1, &child));
+          LoadNodeV2(in, dim, max_entries, depth + 1, store, &child));
+      node->children_.push_back(std::move(child));
+    }
+  }
+  *out_node = std::move(node);
+  return Status::OK();
+}
+
+// Loads one v3 node record of slot references against the already-loaded
+// store.
+Status SsTree::LoadNodeV3(std::istream& in, const SphereStore& store,
+                          size_t max_entries, size_t depth,
+                          std::unique_ptr<SsTreeNode>* out_node) {
+  if (depth > 64) return Status::Corruption("node nesting too deep");
+  uint8_t is_leaf = 0;
+  if (!ReadPod(in, &is_leaf) || is_leaf > 1) {
+    return Status::Corruption("bad node tag");
+  }
+  auto node = std::make_unique<SsTreeNode>(is_leaf == 1);
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::Corruption("truncated node");
+  if (count == 0 || count > max_entries) {
+    return Status::Corruption("node occupancy out of range");
+  }
+  if (is_leaf == 1) {
+    node->entries_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t slot = 0;
+      uint64_t id = 0;
+      if (!ReadPod(in, &slot) || !ReadPod(in, &id)) {
+        return Status::Corruption("truncated entry");
+      }
+      if (slot >= store.size()) {
+        return Status::Corruption("entry slot out of store range");
+      }
+      node->entries_.push_back(SsTreeEntry{slot, id});
+    }
+  } else {
+    node->children_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::unique_ptr<SsTreeNode> child;
+      HYPERDOM_RETURN_NOT_OK(
+          LoadNodeV3(in, store, max_entries, depth + 1, &child));
       node->children_.push_back(std::move(child));
     }
   }
@@ -791,7 +879,8 @@ Status SsTree::Deserialize(std::istream& in, SsTree* out) {
     return Status::Corruption("bad magic: not an SS-tree file");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kFormatVersion) {
+  if (!ReadPod(in, &version) ||
+      (version != kFormatVersion && version != kLegacyFormatVersion)) {
     return Status::NotSupported("unsupported SS-tree format version");
   }
   uint64_t dim = 0, size = 0, max_entries = 0;
@@ -813,9 +902,22 @@ Status SsTree::Deserialize(std::istream& in, SsTree* out) {
   options.split_policy = static_cast<SsTreeSplitPolicy>(split_policy);
   options.bounding_policy = static_cast<SsTreeBoundingPolicy>(bounding_policy);
   SsTree tree(dim, options);
+  if (version == kFormatVersion) {
+    SphereStore store;
+    HYPERDOM_RETURN_NOT_OK(SphereStore::DeserializeFrom(in, &store));
+    if (store.size() > 0 && store.dim() != dim) {
+      return Status::Corruption("store dimensionality mismatch");
+    }
+    *tree.store_ = std::move(store);
+  }
   if (size > 0) {
-    HYPERDOM_RETURN_NOT_OK(
-        LoadNode(in, dim, max_entries, /*depth=*/0, &tree.root_));
+    if (version == kFormatVersion) {
+      HYPERDOM_RETURN_NOT_OK(LoadNodeV3(in, *tree.store_, max_entries,
+                                        /*depth=*/0, &tree.root_));
+    } else {
+      HYPERDOM_RETURN_NOT_OK(LoadNodeV2(in, dim, max_entries, /*depth=*/0,
+                                        tree.store_.get(), &tree.root_));
+    }
     // Recompute derived per-node data bottom-up.
     struct Rebuilder {
       SsTree* tree;
@@ -825,7 +927,8 @@ Status SsTree::Deserialize(std::istream& in, SsTree* out) {
         node->count_ = 0;
         if (node->is_leaf_) {
           for (const auto& e : node->entries_) {
-            node->center_sum_ = Add(node->center_sum_, e.sphere.center());
+            AddInPlaceSpan(node->center_sum_.data(),
+                           tree->store_->center(e.slot), dim);
           }
           node->count_ = node->entries_.size();
         } else {
@@ -858,7 +961,8 @@ Status SsTree::CheckInvariants() const {
   }
   size_t leaf_depth = 0;
   size_t entry_total = 0;
-  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), options_, /*is_root=*/true,
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), *store_, options_,
+                                   /*is_root=*/true,
                                    /*depth=*/1, &leaf_depth, &entry_total));
   if (entry_total != size_) {
     return Status::Corruption("total entry count mismatch: tree says " +

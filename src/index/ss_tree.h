@@ -6,8 +6,10 @@
 // datasets for kNN queries.
 //
 // Implementation summary:
-//   * Leaf nodes hold data entries (hypersphere + caller-supplied id);
-//     internal nodes hold child nodes.
+//   * Data spheres live in a tree-owned columnar SphereStore; leaf nodes
+//     hold lightweight StoredEntry handles (slot + caller-supplied id),
+//     internal nodes hold child nodes. Traversals resolve handles to
+//     SphereView spans over the store's contiguous arena.
 //   * Every node maintains the centroid of the data centers beneath it
 //     (incrementally, via a coordinate sum and a count) and a bounding
 //     radius covering all of its data spheres — the SS-tree's defining
@@ -31,11 +33,12 @@
 #include "common/status.h"
 #include "geometry/hypersphere.h"
 #include "index/entry.h"
+#include "storage/sphere_store.h"
 
 namespace hyperdom {
 
-/// SS-tree leaf entries are plain data entries.
-using SsTreeEntry = DataEntry;
+/// SS-tree leaf entries are columnar-store handles.
+using SsTreeEntry = StoredEntry;
 
 /// How an overflowing SS-tree node is split.
 enum class SsTreeSplitPolicy {
@@ -80,7 +83,8 @@ class SsTreeNode {
   bool is_leaf() const { return is_leaf_; }
   /// The node's bounding hypersphere (covers every data sphere beneath it).
   const Hypersphere& bounding_sphere() const { return bounding_; }
-  /// Leaf payload; valid only when is_leaf().
+  /// Leaf payload: store handles, resolved via SsTree::store(). Valid only
+  /// when is_leaf().
   const std::vector<SsTreeEntry>& entries() const { return entries_; }
   /// Children; valid only when !is_leaf().
   const std::vector<std::unique_ptr<SsTreeNode>>& children() const {
@@ -128,11 +132,17 @@ class SsTree {
 
   /// \brief Removes the entry with this exact id and sphere. Underflowing
   /// nodes (fewer than 2 items) are dissolved and their residents
-  /// re-inserted, so invariants keep holding. NotFound if absent.
+  /// re-inserted, so invariants keep holding. NotFound if absent. The
+  /// deleted sphere's store slot is abandoned, not reclaimed (the store is
+  /// append-only; see storage/sphere_store.h).
   Status Delete(const Hypersphere& sphere, uint64_t id);
 
   /// Root node; null while the tree is empty.
   const SsTreeNode* root() const { return root_.get(); }
+
+  /// The columnar sphere storage backing every leaf entry. Stable for the
+  /// tree's lifetime; grows only under Insert/BulkLoad.
+  const SphereStore& store() const { return *store_; }
 
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }
@@ -155,7 +165,9 @@ class SsTree {
   /// \brief Loads a tree previously written by Save() into `*out`
   /// (replacing its contents). Derived per-node data (centroids, bounding
   /// spheres) is recomputed, so a successful load always satisfies
-  /// CheckInvariants().
+  /// CheckInvariants(). Reads both the current columnar format (v3) and
+  /// the legacy inline-entry format (v2), migrating the latter into a
+  /// fresh SphereStore.
   static Status Load(const std::string& path, SsTree* out);
 
   /// Stream-level Save(): writes the binary format to `out`. Used by the
@@ -167,6 +179,10 @@ class SsTree {
 
  private:
   Status ValidateOptions() const;
+  /// Inserts an already-stored entry (splits, root growth); shared by
+  /// Insert() and the orphan-reinsertion path of Delete(), which must not
+  /// re-add the sphere to the store.
+  Status InsertStored(const SsTreeEntry& entry);
   /// Descends to the leaf chosen by the cheapest-centroid rule, inserts, and
   /// splits overflowing nodes on the way back up.
   Status InsertRecursive(SsTreeNode* node, const SsTreeEntry& entry,
@@ -178,9 +194,15 @@ class SsTree {
   /// Item partition for the split, by the configured policy: returns, for
   /// each item key, whether it goes to the new sibling.
   std::vector<bool> ChoosePartition(const std::vector<Point>& keys) const;
-  /// Reads one serialized node record (Load() helper).
-  static Status LoadNode(std::istream& in, size_t dim, size_t max_entries,
-                         size_t depth, std::unique_ptr<SsTreeNode>* out_node);
+  /// Reads one legacy (v2) inline-entry node record, migrating its spheres
+  /// into `store`.
+  static Status LoadNodeV2(std::istream& in, size_t dim, size_t max_entries,
+                           size_t depth, SphereStore* store,
+                           std::unique_ptr<SsTreeNode>* out_node);
+  /// Reads one v3 slot-reference node record against a loaded store.
+  static Status LoadNodeV3(std::istream& in, const SphereStore& store,
+                           size_t max_entries, size_t depth,
+                           std::unique_ptr<SsTreeNode>* out_node);
   /// Recursive STR tiler: packs entries[lo, hi) into leaves.
   void StrTile(std::vector<SsTreeEntry>* entries, size_t lo, size_t hi,
                size_t dim_index, size_t leaf_capacity,
@@ -191,6 +213,9 @@ class SsTree {
 
   size_t dim_;
   SsTreeOptions options_;
+  /// Columnar coordinate arena for every data sphere in the tree. Shared
+  /// ownership so query-side result sets can pin it if they ever need to.
+  std::shared_ptr<SphereStore> store_;
   std::unique_ptr<SsTreeNode> root_;
   size_t size_ = 0;
 };

@@ -13,13 +13,15 @@
 
 namespace hyperdom {
 
-VpTree::VpTree(VpTreeOptions options) : options_(options) {}
+VpTree::VpTree(VpTreeOptions options)
+    : options_(options), store_(std::make_shared<SphereStore>()) {}
 
 Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
   IndexBuildRecorder recorder("vp", "build");
   root_.reset();
   size_ = 0;
   dim_ = 0;
+  store_ = std::make_shared<SphereStore>();
   if (options_.leaf_size < 1) {
     return Status::InvalidArgument("VpTreeOptions.leaf_size must be >= 1");
   }
@@ -29,14 +31,17 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
   }
   HYPERDOM_FAULT_POINT("vp_tree/build");
   dim_ = spheres.front().dim();
-  std::vector<DataEntry> items;
+  store_ = std::make_shared<SphereStore>(dim_);
+  store_->Reserve(spheres.size());
+  std::vector<VpTreeEntry> items;
   items.reserve(spheres.size());
   for (size_t i = 0; i < spheres.size(); ++i) {
     if (spheres[i].dim() != dim_) {
       return Status::InvalidArgument(
           "all spheres must share one dimensionality");
     }
-    items.push_back(DataEntry{spheres[i], static_cast<uint64_t>(i)});
+    const uint32_t slot = store_->Add(spheres[i]);
+    items.push_back(VpTreeEntry{slot, static_cast<uint64_t>(i)});
   }
   HYPERDOM_RETURN_NOT_OK(BuildRecursive(std::move(items), &root_));
   size_ = spheres.size();
@@ -44,14 +49,14 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
   return Status::OK();
 }
 
-Status VpTree::BuildRecursive(std::vector<DataEntry> items,
+Status VpTree::BuildRecursive(std::vector<VpTreeEntry> items,
                               std::unique_ptr<VpTreeNode>* out) {
   // Node allocation — where a paged build would touch storage.
   HYPERDOM_FAULT_POINT("vp_tree/build_node");
   auto node = std::make_unique<VpTreeNode>();
   node->subtree_size_ = items.size();
   for (const auto& item : items) {
-    node->max_radius_ = std::max(node->max_radius_, item.sphere.radius());
+    node->max_radius_ = std::max(node->max_radius_, store_->radius(item.slot));
   }
 
   if (items.size() <= options_.leaf_size) {
@@ -63,24 +68,25 @@ Status VpTree::BuildRecursive(std::vector<DataEntry> items,
 
   // Vantage point: the last item (the vector order is caller-random; a
   // deterministic choice keeps builds reproducible).
-  node->vantage_ = std::move(items.back());
+  node->vantage_ = items.back();
   items.pop_back();
 
   // Distances of the remaining centers to the vantage center.
+  const double* vantage_center = store_->center(node->vantage_.slot);
   std::vector<std::pair<double, size_t>> dist_order(items.size());
   for (size_t i = 0; i < items.size(); ++i) {
     dist_order[i] = {
-        Dist(items[i].sphere.center(), node->vantage_.sphere.center()), i};
+        DistSpan(store_->center(items[i].slot), vantage_center, dim_), i};
   }
   std::sort(dist_order.begin(), dist_order.end());
 
   const size_t half = items.size() / 2;
-  std::vector<DataEntry> inside_items, outside_items;
+  std::vector<VpTreeEntry> inside_items, outside_items;
   inside_items.reserve(half);
   outside_items.reserve(items.size() - half);
   for (size_t i = 0; i < dist_order.size(); ++i) {
     auto& target = i < half ? inside_items : outside_items;
-    target.push_back(std::move(items[dist_order[i].second]));
+    target.push_back(items[dist_order[i].second]);
   }
 
   if (!inside_items.empty()) {
@@ -101,10 +107,14 @@ Status VpTree::BuildRecursive(std::vector<DataEntry> items,
 
 namespace {
 
-Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
+Status CheckNode(const VpTreeNode* node, const SphereStore& store,
+                 size_t* entry_total) {
   if (node->is_leaf()) {
     for (const auto& e : node->bucket()) {
-      if (e.sphere.radius() > node->max_radius() + 1e-12) {
+      if (e.slot >= store.size()) {
+        return Status::Corruption("bucket slot out of store range");
+      }
+      if (store.radius(e.slot) > node->max_radius() + 1e-12) {
         return Status::Corruption("bucket radius exceeds max_radius");
       }
     }
@@ -112,7 +122,10 @@ Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
     return Status::OK();
   }
 
-  if (node->vantage().sphere.radius() > node->max_radius() + 1e-12) {
+  if (node->vantage().slot >= store.size()) {
+    return Status::Corruption("vantage slot out of store range");
+  }
+  if (store.radius(node->vantage().slot) > node->max_radius() + 1e-12) {
     return Status::Corruption("vantage radius exceeds max_radius");
   }
   size_t children_total = 1;  // the vantage entry itself
@@ -126,6 +139,7 @@ Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
       {node->inside(), node->inside_lo(), node->inside_hi()},
       {node->outside(), node->outside_lo(), node->outside_hi()},
   };
+  const double* vantage_center = store.center(node->vantage().slot);
   for (const Side& side : sides) {
     if (side.child == nullptr) continue;
     if (side.child->max_radius() > node->max_radius() + 1e-12) {
@@ -136,9 +150,12 @@ Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
     while (!stack.empty()) {
       const VpTreeNode* cur = stack.back();
       stack.pop_back();
-      auto check_entry = [&](const DataEntry& e) {
+      auto check_entry = [&](const VpTreeEntry& e) {
+        if (e.slot >= store.size()) {
+          return Status::Corruption("entry slot out of store range");
+        }
         const double d =
-            Dist(e.sphere.center(), node->vantage().sphere.center());
+            DistSpan(store.center(e.slot), vantage_center, store.dim());
         const double slack = 1e-9 * (1.0 + d);
         if (d < side.lo - slack || d > side.hi + slack) {
           return Status::Corruption("entry violates distance band");
@@ -155,7 +172,7 @@ Status CheckNode(const VpTreeNode* node, size_t* entry_total) {
         if (cur->outside() != nullptr) stack.push_back(cur->outside());
       }
     }
-    HYPERDOM_RETURN_NOT_OK(CheckNode(side.child, &children_total));
+    HYPERDOM_RETURN_NOT_OK(CheckNode(side.child, store, &children_total));
   }
   if (children_total != node->subtree_size()) {
     return Status::Corruption("subtree count mismatch");
@@ -172,7 +189,7 @@ Status VpTree::CheckInvariants() const {
                       : Status::Corruption("empty root but nonzero size");
   }
   size_t entry_total = 0;
-  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), &entry_total));
+  HYPERDOM_RETURN_NOT_OK(CheckNode(root_.get(), *store_, &entry_total));
   if (entry_total != size_) {
     return Status::Corruption("total entry count mismatch");
   }
@@ -184,18 +201,23 @@ Status VpTree::CheckInvariants() const {
 // endianness, a same-machine cache format, derived data recomputed on load.
 //   magic "HDVP" + u32 version
 //   u64 dim, u64 size, u64 leaf_size
-//   recursive node records (present iff size > 0):
-//     u8 is_leaf
-//     leaf:     u64 bucket_count, then per entry: f64 center[dim],
-//               f64 radius, u64 id
-//     internal: the vantage entry, then per side (inside, outside):
-//               u8 present, and when present f64 lo, f64 hi, child record
+//   v2 (current): the SphereStore blob (storage/sphere_store.cc), then
+//     recursive node records (present iff size > 0):
+//       u8 is_leaf
+//       leaf:     u64 bucket_count, then per entry: u32 slot, u64 id
+//       internal: the vantage entry (u32 slot, u64 id), then per side
+//                 (inside, outside): u8 present, and when present f64 lo,
+//                 f64 hi, child record
+//   v1 (legacy, load-only): node records with inline entries (f64
+//     center[dim], f64 radius, u64 id); migrated into a fresh SphereStore
+//     on load.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 constexpr char kVpMagic[4] = {'H', 'D', 'V', 'P'};
-constexpr uint32_t kVpFormatVersion = 1;
+constexpr uint32_t kVpFormatVersion = 2;
+constexpr uint32_t kVpLegacyFormatVersion = 1;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -208,13 +230,28 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-void SaveEntry(std::ostream& out, const DataEntry& e, size_t dim) {
-  for (size_t i = 0; i < dim; ++i) WritePod(out, e.sphere.center()[i]);
-  WritePod(out, e.sphere.radius());
+void SaveEntry(std::ostream& out, const VpTreeEntry& e) {
+  WritePod(out, e.slot);
   WritePod(out, e.id);
 }
 
-Status ReadEntry(std::istream& in, size_t dim, DataEntry* out) {
+Status ReadEntryV2(std::istream& in, const SphereStore& store,
+                   VpTreeEntry* out) {
+  uint32_t slot = 0;
+  uint64_t id = 0;
+  if (!ReadPod(in, &slot) || !ReadPod(in, &id)) {
+    return Status::Corruption("truncated entry");
+  }
+  if (slot >= store.size()) {
+    return Status::Corruption("entry slot out of store range");
+  }
+  *out = VpTreeEntry{slot, id};
+  return Status::OK();
+}
+
+// Reads one legacy inline entry, migrating the sphere into `store`.
+Status ReadEntryV1(std::istream& in, size_t dim, SphereStore* store,
+                   VpTreeEntry* out) {
   Point center(dim);
   for (size_t d = 0; d < dim; ++d) {
     if (!ReadPod(in, &center[d])) return Status::Corruption("truncated entry");
@@ -230,19 +267,20 @@ Status ReadEntry(std::istream& in, size_t dim, DataEntry* out) {
   if (!std::isfinite(radius) || radius < 0.0) {
     return Status::Corruption("bad radius");
   }
-  *out = DataEntry{Hypersphere(std::move(center), radius), id};
+  const uint32_t slot = store->Add(center.data(), dim, radius);
+  *out = VpTreeEntry{slot, id};
   return Status::OK();
 }
 
-void SaveVpNode(std::ostream& out, const VpTreeNode* node, size_t dim) {
+void SaveVpNode(std::ostream& out, const VpTreeNode* node) {
   const uint8_t is_leaf = node->is_leaf() ? 1 : 0;
   WritePod(out, is_leaf);
   if (node->is_leaf()) {
     WritePod(out, static_cast<uint64_t>(node->bucket().size()));
-    for (const auto& e : node->bucket()) SaveEntry(out, e, dim);
+    for (const auto& e : node->bucket()) SaveEntry(out, e);
     return;
   }
-  SaveEntry(out, node->vantage(), dim);
+  SaveEntry(out, node->vantage());
   const struct {
     const VpTreeNode* child;
     double lo;
@@ -257,7 +295,7 @@ void SaveVpNode(std::ostream& out, const VpTreeNode* node, size_t dim) {
     if (present) {
       WritePod(out, side.lo);
       WritePod(out, side.hi);
-      SaveVpNode(out, side.child, dim);
+      SaveVpNode(out, side.child);
     }
   }
 }
@@ -271,14 +309,16 @@ Status VpTree::Serialize(std::ostream& out) const {
   WritePod(out, static_cast<uint64_t>(dim_));
   WritePod(out, static_cast<uint64_t>(size_));
   WritePod(out, static_cast<uint64_t>(options_.leaf_size));
-  if (root_ != nullptr) SaveVpNode(out, root_.get(), dim_);
+  HYPERDOM_RETURN_NOT_OK(store_->SerializeTo(out));
+  if (root_ != nullptr) SaveVpNode(out, root_.get());
   out.flush();
   if (!out) return Status::IOError("VP-tree serialization stream failed");
   return Status::OK();
 }
 
-Status VpTree::LoadNode(std::istream& in, size_t dim, size_t leaf_size,
-                        size_t depth, std::unique_ptr<VpTreeNode>* out_node) {
+Status VpTree::LoadNodeV1(std::istream& in, size_t dim, size_t leaf_size,
+                          size_t depth, SphereStore* store,
+                          std::unique_ptr<VpTreeNode>* out_node) {
   // A valid build halves the item count per level, so any honest tree is
   // far shallower than 128 levels; deeper means a corrupt file.
   if (depth > 128) return Status::Corruption("node nesting too deep");
@@ -296,18 +336,18 @@ Status VpTree::LoadNode(std::istream& in, size_t dim, size_t leaf_size,
     }
     node->bucket_.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
-      DataEntry e;
-      HYPERDOM_RETURN_NOT_OK(ReadEntry(in, dim, &e));
-      node->max_radius_ = std::max(node->max_radius_, e.sphere.radius());
-      node->bucket_.push_back(std::move(e));
+      VpTreeEntry e;
+      HYPERDOM_RETURN_NOT_OK(ReadEntryV1(in, dim, store, &e));
+      node->max_radius_ = std::max(node->max_radius_, store->radius(e.slot));
+      node->bucket_.push_back(e);
     }
     node->subtree_size_ = node->bucket_.size();
     *out_node = std::move(node);
     return Status::OK();
   }
 
-  HYPERDOM_RETURN_NOT_OK(ReadEntry(in, dim, &node->vantage_));
-  node->max_radius_ = node->vantage_.sphere.radius();
+  HYPERDOM_RETURN_NOT_OK(ReadEntryV1(in, dim, store, &node->vantage_));
+  node->max_radius_ = store->radius(node->vantage_.slot);
   node->subtree_size_ = 1;
   struct Side {
     std::unique_ptr<VpTreeNode>* child;
@@ -332,7 +372,73 @@ Status VpTree::LoadNode(std::istream& in, size_t dim, size_t leaf_size,
       return Status::Corruption("bad distance band");
     }
     HYPERDOM_RETURN_NOT_OK(
-        LoadNode(in, dim, leaf_size, depth + 1, side.child));
+        LoadNodeV1(in, dim, leaf_size, depth + 1, store, side.child));
+    node->max_radius_ =
+        std::max(node->max_radius_, (*side.child)->max_radius_);
+    node->subtree_size_ += (*side.child)->subtree_size_;
+  }
+  if (node->inside_ == nullptr && node->outside_ == nullptr) {
+    return Status::Corruption("internal node without children");
+  }
+  *out_node = std::move(node);
+  return Status::OK();
+}
+
+Status VpTree::LoadNodeV2(std::istream& in, const SphereStore& store,
+                          size_t leaf_size, size_t depth,
+                          std::unique_ptr<VpTreeNode>* out_node) {
+  if (depth > 128) return Status::Corruption("node nesting too deep");
+  uint8_t is_leaf = 0;
+  if (!ReadPod(in, &is_leaf) || is_leaf > 1) {
+    return Status::Corruption("bad node tag");
+  }
+  auto node = std::make_unique<VpTreeNode>();
+  if (is_leaf == 1) {
+    node->is_leaf_ = true;
+    uint64_t count = 0;
+    if (!ReadPod(in, &count)) return Status::Corruption("truncated node");
+    if (count == 0 || count > leaf_size) {
+      return Status::Corruption("bucket size out of range");
+    }
+    node->bucket_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      VpTreeEntry e;
+      HYPERDOM_RETURN_NOT_OK(ReadEntryV2(in, store, &e));
+      node->max_radius_ = std::max(node->max_radius_, store.radius(e.slot));
+      node->bucket_.push_back(e);
+    }
+    node->subtree_size_ = node->bucket_.size();
+    *out_node = std::move(node);
+    return Status::OK();
+  }
+
+  HYPERDOM_RETURN_NOT_OK(ReadEntryV2(in, store, &node->vantage_));
+  node->max_radius_ = store.radius(node->vantage_.slot);
+  node->subtree_size_ = 1;
+  struct Side {
+    std::unique_ptr<VpTreeNode>* child;
+    double* lo;
+    double* hi;
+  };
+  const Side sides[2] = {
+      {&node->inside_, &node->inside_lo_, &node->inside_hi_},
+      {&node->outside_, &node->outside_lo_, &node->outside_hi_},
+  };
+  for (const Side& side : sides) {
+    uint8_t present = 0;
+    if (!ReadPod(in, &present) || present > 1) {
+      return Status::Corruption("bad side tag");
+    }
+    if (present == 0) continue;
+    if (!ReadPod(in, side.lo) || !ReadPod(in, side.hi)) {
+      return Status::Corruption("truncated band");
+    }
+    if (!std::isfinite(*side.lo) || !std::isfinite(*side.hi) ||
+        *side.lo < 0.0 || *side.hi < *side.lo) {
+      return Status::Corruption("bad distance band");
+    }
+    HYPERDOM_RETURN_NOT_OK(
+        LoadNodeV2(in, store, leaf_size, depth + 1, side.child));
     node->max_radius_ =
         std::max(node->max_radius_, (*side.child)->max_radius_);
     node->subtree_size_ += (*side.child)->subtree_size_;
@@ -352,7 +458,8 @@ Status VpTree::Deserialize(std::istream& in, VpTree* out) {
     return Status::Corruption("bad magic: not a VP-tree stream");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVpFormatVersion) {
+  if (!ReadPod(in, &version) ||
+      (version != kVpFormatVersion && version != kVpLegacyFormatVersion)) {
     return Status::NotSupported("unsupported VP-tree format version");
   }
   uint64_t dim = 0, size = 0, leaf_size = 0;
@@ -366,9 +473,24 @@ Status VpTree::Deserialize(std::istream& in, VpTree* out) {
   VpTreeOptions options;
   options.leaf_size = leaf_size;
   VpTree tree(options);
+  if (version == kVpFormatVersion) {
+    SphereStore store;
+    HYPERDOM_RETURN_NOT_OK(SphereStore::DeserializeFrom(in, &store));
+    if (store.size() > 0 && store.dim() != dim) {
+      return Status::Corruption("store dimensionality mismatch");
+    }
+    *tree.store_ = std::move(store);
+  } else if (size > 0) {
+    *tree.store_ = SphereStore(dim);
+  }
   if (size > 0) {
-    HYPERDOM_RETURN_NOT_OK(
-        LoadNode(in, dim, leaf_size, /*depth=*/0, &tree.root_));
+    if (version == kVpFormatVersion) {
+      HYPERDOM_RETURN_NOT_OK(
+          LoadNodeV2(in, *tree.store_, leaf_size, /*depth=*/0, &tree.root_));
+    } else {
+      HYPERDOM_RETURN_NOT_OK(LoadNodeV1(in, dim, leaf_size, /*depth=*/0,
+                                        tree.store_.get(), &tree.root_));
+    }
     if (tree.root_->subtree_size_ != size) {
       return Status::Corruption("entry count does not match header");
     }

@@ -17,14 +17,19 @@
 #ifndef HYPERDOM_INDEX_VP_TREE_H_
 #define HYPERDOM_INDEX_VP_TREE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "index/entry.h"
+#include "storage/sphere_store.h"
 
 namespace hyperdom {
+
+/// VP-tree payloads are columnar-store handles.
+using VpTreeEntry = StoredEntry;
 
 /// Tuning options for VpTree.
 struct VpTreeOptions {
@@ -35,11 +40,12 @@ struct VpTreeOptions {
 /// \brief VP-tree node; public for traversal by searchers and tests.
 class VpTreeNode {
  public:
-  /// The vantage entry stored at this node (unset for leaf buckets).
-  const DataEntry& vantage() const { return vantage_; }
+  /// The vantage entry stored at this node (unset for leaf buckets);
+  /// resolved via VpTree::store().
+  const VpTreeEntry& vantage() const { return vantage_; }
   bool is_leaf() const { return is_leaf_; }
-  /// Bucket payload; valid only when is_leaf().
-  const std::vector<DataEntry>& bucket() const { return bucket_; }
+  /// Bucket payload: store handles; valid only when is_leaf().
+  const std::vector<VpTreeEntry>& bucket() const { return bucket_; }
 
   const VpTreeNode* inside() const { return inside_.get(); }
   const VpTreeNode* outside() const { return outside_.get(); }
@@ -61,8 +67,8 @@ class VpTreeNode {
   friend class VpTree;
 
   bool is_leaf_ = false;
-  DataEntry vantage_;
-  std::vector<DataEntry> bucket_;
+  VpTreeEntry vantage_;
+  std::vector<VpTreeEntry> bucket_;
   std::unique_ptr<VpTreeNode> inside_;
   std::unique_ptr<VpTreeNode> outside_;
   double inside_lo_ = 0.0, inside_hi_ = 0.0;
@@ -81,6 +87,10 @@ class VpTree {
   Status Build(const std::vector<Hypersphere>& spheres);
 
   const VpTreeNode* root() const { return root_.get(); }
+
+  /// The columnar sphere storage backing every entry; rebuilt by Build().
+  const SphereStore& store() const { return *store_; }
+
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }
   const VpTreeOptions& options() const { return options_; }
@@ -98,17 +108,27 @@ class VpTree {
   /// \brief Reads a tree written by Serialize() into `*out` (replacing its
   /// contents). Derived per-node data (max radii, subtree counts) is
   /// recomputed and CheckInvariants() re-verified, so a successful load is
-  /// structurally sound even against a corrupted stream.
+  /// structurally sound even against a corrupted stream. Reads both the
+  /// current columnar format (v2) and the legacy inline-entry format (v1),
+  /// migrating the latter into a fresh SphereStore.
   static Status Deserialize(std::istream& in, VpTree* out);
 
  private:
-  Status BuildRecursive(std::vector<DataEntry> items,
+  Status BuildRecursive(std::vector<VpTreeEntry> items,
                         std::unique_ptr<VpTreeNode>* out);
-  /// Reads one serialized node record (Deserialize() helper).
-  static Status LoadNode(std::istream& in, size_t dim, size_t leaf_size,
-                         size_t depth, std::unique_ptr<VpTreeNode>* out_node);
+  /// Reads one legacy (v1) inline-entry node record, migrating its spheres
+  /// into `store`.
+  static Status LoadNodeV1(std::istream& in, size_t dim, size_t leaf_size,
+                           size_t depth, SphereStore* store,
+                           std::unique_ptr<VpTreeNode>* out_node);
+  /// Reads one v2 slot-reference node record against a loaded store.
+  static Status LoadNodeV2(std::istream& in, const SphereStore& store,
+                           size_t leaf_size, size_t depth,
+                           std::unique_ptr<VpTreeNode>* out_node);
 
   VpTreeOptions options_;
+  /// Columnar coordinate arena for every entry in the tree.
+  std::shared_ptr<SphereStore> store_;
   std::unique_ptr<VpTreeNode> root_;
   size_t size_ = 0;
   size_t dim_ = 0;

@@ -15,7 +15,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 BestKnownList::BestKnownList(const DominanceCriterion* criterion,
                              const Hypersphere* sq, size_t k,
                              KnnPruningMode mode, KnnStats* stats)
-    : criterion_(criterion), sq_(sq), k_(k), mode_(mode), stats_(stats) {
+    : criterion_(criterion), sq_(sq), sq_view_(sq->view()), k_(k),
+      mode_(mode), stats_(stats) {
   assert(criterion_ != nullptr && sq_ != nullptr && stats_ != nullptr);
   assert(k_ >= 1);
 }
@@ -24,15 +25,15 @@ double BestKnownList::DistK() const {
   return items_.size() < k_ ? kInf : items_[k_ - 1].maxdist;
 }
 
-void BestKnownList::Access(const DataEntry& entry) {
+void BestKnownList::Access(const EntryView& entry) {
   ++stats_->entries_accessed;
-  const double distmax = MaxDist(entry.sphere, *sq_);
+  const double distmax = MaxDist(entry.sphere, sq_view_);
   if (items_.size() < k_) {
     InsertSorted(entry, distmax);
     return;
   }
   const double distk = items_[k_ - 1].maxdist;
-  const double distmin = MinDist(entry.sphere, *sq_);
+  const double distmin = MinDist(entry.sphere, sq_view_);
   if (distmin > distk) {  // case 3: cheap distance prune (Lemma 9)
     ++stats_->pruned_case3;
     return;
@@ -56,20 +57,23 @@ void BestKnownList::Access(const DataEntry& entry) {
 std::vector<DataEntry> BestKnownList::TakeAnswers() {
   if (items_.size() > k_) EvictDominated(/*park=*/false);
   if (items_.size() >= k_ && !deferred_.empty()) {
-    const Hypersphere& sk = items_[k_ - 1].entry.sphere;
-    std::vector<DataEntry> revived;
+    const SphereView sk = items_[k_ - 1].entry.sphere;
+    std::vector<EntryView> revived;
     for (const auto& entry : deferred_) {
       if (!CertainlyDominates(sk, entry.sphere)) {
         revived.push_back(entry);
       }
     }
     for (const auto& entry : revived) {
-      InsertSorted(entry, MaxDist(entry.sphere, *sq_));
+      InsertSorted(entry, MaxDist(entry.sphere, sq_view_));
     }
   }
   std::vector<DataEntry> out;
   out.reserve(items_.size());
-  for (auto& item : items_) out.push_back(std::move(item.entry));
+  for (const auto& item : items_) {
+    out.push_back(DataEntry{MaterializeSphere(item.entry.sphere),
+                            item.entry.id});
+  }
   return out;
 }
 
@@ -90,10 +94,10 @@ std::vector<DataEntry> BestKnownList::TakeAnswersWithin(
   return out;
 }
 
-bool BestKnownList::CertainlyDominates(const Hypersphere& sa,
-                                       const Hypersphere& sb) {
+bool BestKnownList::CertainlyDominates(const SphereView& sa,
+                                       const SphereView& sb) {
   ++stats_->dominance_checks;
-  const Verdict v = criterion_->DecideVerdict(sa, sb, *sq_);
+  const Verdict v = criterion_->DecideVerdict(sa, sb, sq_view_);
   if (v == Verdict::kUncertain) {
     // Conservative direction: an uncertain dominance must never prune —
     // keeping the entry can only add work, dropping it can lose an answer.
@@ -103,21 +107,21 @@ bool BestKnownList::CertainlyDominates(const Hypersphere& sa,
   return v == Verdict::kDominates;
 }
 
-void BestKnownList::InsertSorted(const DataEntry& entry, double distmax) {
+void BestKnownList::InsertSorted(const EntryView& entry, double distmax) {
   Item item{entry, distmax};
   auto pos = std::upper_bound(
       items_.begin(), items_.end(), distmax,
       [](double v, const Item& it) { return v < it.maxdist; });
-  items_.insert(pos, std::move(item));
+  items_.insert(pos, item);
 }
 
 void BestKnownList::EvictDominated(bool park) {
   if (items_.size() <= k_) return;
-  const Hypersphere& sk = items_[k_ - 1].entry.sphere;
+  const SphereView sk = items_[k_ - 1].entry.sphere;
   auto keep = items_.begin() + static_cast<std::ptrdiff_t>(k_);
   for (auto it = keep; it != items_.end(); ++it) {
     if (!CertainlyDominates(sk, it->entry.sphere)) {
-      if (keep != it) *keep = std::move(*it);
+      if (keep != it) *keep = *it;
       ++keep;
     } else {
       ++stats_->removed_case1;

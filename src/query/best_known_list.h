@@ -13,6 +13,7 @@
 
 #include "dominance/criterion.h"
 #include "query/knn_types.h"
+#include "storage/sphere_store.h"
 
 namespace hyperdom {
 
@@ -25,6 +26,12 @@ namespace hyperdom {
 /// re-checked against the FINAL Sk by TakeAnswers(), which makes the
 /// surviving set exactly the Definition-2 answer when the criterion is
 /// correct and sound.
+///
+/// The list works on non-owning EntryView handles: a traversal resolves its
+/// index payloads (StoredEntry) against the tree's SphereStore and hands the
+/// views in. Every view must stay valid until the list is consumed — store
+/// rows qualify (the store only moves on insert, and queries never insert);
+/// answers are materialized into owning DataEntry values only at the end.
 class BestKnownList {
  public:
   /// Neither pointer is owned; both must outlive the list.
@@ -35,8 +42,9 @@ class BestKnownList {
   /// Non-increasing over the lifetime of the list.
   double DistK() const;
 
-  /// Applies the maintenance rules to a newly accessed entry.
-  void Access(const DataEntry& entry);
+  /// Applies the maintenance rules to a newly accessed entry. The view must
+  /// outlive the list (see class comment).
+  void Access(const EntryView& entry);
 
   /// Final filter against the final Sk; consumes the list. Answers are
   /// ordered by ascending MaxDist to the query.
@@ -54,7 +62,7 @@ class BestKnownList {
 
  private:
   struct Item {
-    DataEntry entry;
+    EntryView entry;
     double maxdist;
   };
 
@@ -62,20 +70,21 @@ class BestKnownList {
   /// kDominates. kUncertain counts in stats and answers false, so an
   /// uncertain dominance can never prune an entry (conservative direction
   /// for error-aware criteria; plain bool criteria are unaffected).
-  bool CertainlyDominates(const Hypersphere& sa, const Hypersphere& sb);
+  bool CertainlyDominates(const SphereView& sa, const SphereView& sb);
 
-  void InsertSorted(const DataEntry& entry, double distmax);
+  void InsertSorted(const EntryView& entry, double distmax);
   /// Removes every entry beyond position k that the current Sk dominates;
   /// with `park` they are kept aside for the final re-check.
   void EvictDominated(bool park);
 
   const DominanceCriterion* criterion_;
   const Hypersphere* sq_;
+  SphereView sq_view_;
   size_t k_;
   KnnPruningMode mode_;
   KnnStats* stats_;
   std::vector<Item> items_;
-  std::vector<DataEntry> deferred_;
+  std::vector<EntryView> deferred_;
 };
 
 }  // namespace hyperdom

@@ -44,7 +44,7 @@ void GenericDepthFirst(const Node* node, double bound,
   ++stats->nodes_visited;
   std::vector<std::pair<double, const Node*>> order;
   visit(
-      node, [&](const DataEntry& entry) { list->Access(entry); },
+      node, [&](const EntryView& entry) { list->Access(entry); },
       [&](const Node* child) { order.emplace_back(min_dist(child), child); });
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -81,7 +81,7 @@ void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
     }
     ++stats->nodes_visited;
     visit(
-        node, [&](const DataEntry& entry) { list->Access(entry); },
+        node, [&](const EntryView& entry) { list->Access(entry); },
         [&](const Node* child) { heap.emplace(min_dist(child), child); });
   }
 }
@@ -124,10 +124,13 @@ KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
   auto min_dist = [&](const RStarTreeNode* node) {
     return MinDist(node->mbr(), sq);
   };
-  auto visit = [](const RStarTreeNode* node, auto&& emit_entry,
-                  auto&& emit_child) {
+  const SphereStore& store = tree.store();
+  auto visit = [&store](const RStarTreeNode* node, auto&& emit_entry,
+                        auto&& emit_child) {
     if (node->is_leaf()) {
-      for (const auto& entry : node->entries()) emit_entry(entry);
+      for (const auto& entry : node->entries()) {
+        emit_entry(store.Resolve(entry));
+      }
     } else {
       for (const auto& child : node->children()) emit_child(child.get());
     }
@@ -144,10 +147,13 @@ KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
                      node->covering_radius() - sq.radius();
     return d > 0.0 ? d : 0.0;
   };
-  auto visit = [](const MTreeNode* node, auto&& emit_entry,
-                  auto&& emit_child) {
+  const SphereStore& store = tree.store();
+  auto visit = [&store](const MTreeNode* node, auto&& emit_entry,
+                        auto&& emit_child) {
     if (node->is_leaf()) {
-      for (const auto& entry : node->entries()) emit_entry(entry);
+      for (const auto& entry : node->entries()) {
+        emit_entry(store.Resolve(entry));
+      }
     } else {
       for (const auto& child : node->children()) emit_child(child.get());
     }
@@ -178,13 +184,18 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
   TraversalGuard guard(options.deadline);
   KnnStats* stats = &result.stats;
 
+  const SphereStore& store = tree.store();
   auto expand = [&](const VpTreeNode* node, auto&& emit_bounded) {
     if (node->is_leaf()) {
-      for (const auto& entry : node->bucket()) list.Access(entry);
+      for (const auto& entry : node->bucket()) {
+        list.Access(store.Resolve(entry));
+      }
       return;
     }
-    list.Access(node->vantage());
-    const double dvp = Dist(sq.center(), node->vantage().sphere.center());
+    list.Access(store.Resolve(node->vantage()));
+    const double dvp = DistSpan(sq.center().data(),
+                                store.center(node->vantage().slot),
+                                store.dim());
     auto child_bound = [&](const VpTreeNode* child, double lo, double hi) {
       // Triangle inequality: any subtree center c has
       // Dist(c, cq) >= max(0, dvp - hi, lo - dvp); subtract the subtree's

@@ -14,8 +14,9 @@ namespace hyperdom {
 namespace {
 
 void DepthFirstSearch(const SsTreeNode* node, double mindist,
-                      const Hypersphere& sq, BestKnownList* list,
-                      KnnStats* stats, TraversalGuard* guard) {
+                      const SphereStore& store, const Hypersphere& sq,
+                      BestKnownList* list, KnnStats* stats,
+                      TraversalGuard* guard) {
   // distk shrinks while siblings are processed, so the bound is re-checked
   // here, at descent time, rather than where the child was enumerated.
   if (mindist > list->DistK()) {
@@ -29,7 +30,9 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
   }
   ++stats->nodes_visited;
   if (node->is_leaf()) {
-    for (const auto& entry : node->entries()) list->Access(entry);
+    for (const auto& entry : node->entries()) {
+      list->Access(store.Resolve(entry));
+    }
     return;
   }
   // Visit children in ascending MinDist order so distk tightens early
@@ -42,13 +45,13 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [child_mindist, child] : order) {
-    DepthFirstSearch(child, child_mindist, sq, list, stats, guard);
+    DepthFirstSearch(child, child_mindist, store, sq, list, stats, guard);
   }
 }
 
-void BestFirstSearch(const SsTreeNode* root, const Hypersphere& sq,
-                     BestKnownList* list, KnnStats* stats,
-                     TraversalGuard* guard) {
+void BestFirstSearch(const SsTreeNode* root, const SphereStore& store,
+                     const Hypersphere& sq, BestKnownList* list,
+                     KnnStats* stats, TraversalGuard* guard) {
   using QueueItem = std::pair<double, const SsTreeNode*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;  // min-heap on MinDist
@@ -73,7 +76,9 @@ void BestFirstSearch(const SsTreeNode* root, const Hypersphere& sq,
     }
     ++stats->nodes_visited;
     if (node->is_leaf()) {
-      for (const auto& entry : node->entries()) list->Access(entry);
+      for (const auto& entry : node->entries()) {
+        list->Access(store.Resolve(entry));
+      }
     } else {
       for (const auto& child : node->children()) {
         heap.emplace(MinDist(child->bounding_sphere(), sq), child.get());
@@ -103,9 +108,10 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
   TraversalGuard guard(options_.deadline);
   if (options_.strategy == SearchStrategy::kDepthFirst) {
     DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
-                     sq, &list, &result.stats, &guard);
+                     tree.store(), sq, &list, &result.stats, &guard);
   } else {
-    BestFirstSearch(tree.root(), sq, &list, &result.stats, &guard);
+    BestFirstSearch(tree.root(), tree.store(), sq, &list, &result.stats,
+                    &guard);
   }
   if (guard.expired()) {
     result.completeness = Completeness::kBestEffort;

@@ -12,35 +12,38 @@ NearestNeighborIterator::NearestNeighborIterator(const SsTree* tree,
     : tree_(tree), query_(std::move(query)), guard_(deadline) {
   if (tree_ != nullptr && tree_->root() != nullptr) {
     heap_.push(QueueItem{MinDist(tree_->root()->bounding_sphere(), query_),
-                         tree_->root(), nullptr});
+                         tree_->root(), false, SsTreeEntry{}});
   }
 }
 
 std::optional<NearestNeighborIterator::Item> NearestNeighborIterator::Next() {
   if (guard_.expired()) return std::nullopt;
+  const SphereStore& store = tree_->store();
   while (!heap_.empty()) {
     const QueueItem top = heap_.top();
-    if (top.entry == nullptr && guard_.ShouldStop(nodes_expanded_)) {
+    if (!top.is_entry && guard_.ShouldStop(nodes_expanded_)) {
       // Leave the node in the heap so PendingBound() keeps reporting a
       // valid floor on everything the cut-off stream did not produce.
       guard_.NoteSkipped(top.dist);
       return std::nullopt;
     }
     heap_.pop();
-    if (top.entry != nullptr) {
+    if (top.is_entry) {
       ++produced_;
-      return Item{*top.entry, top.dist};
+      return Item{DataEntry{store.Materialize(top.entry.slot), top.entry.id},
+                  top.dist};
     }
     ++nodes_expanded_;
     const SsTreeNode* node = top.node;
     if (node->is_leaf()) {
       for (const auto& entry : node->entries()) {
-        heap_.push(QueueItem{MinDist(entry.sphere, query_), nullptr, &entry});
+        heap_.push(QueueItem{MinDist(store.view(entry.slot), query_.view()),
+                             nullptr, true, entry});
       }
     } else {
       for (const auto& child : node->children()) {
         heap_.push(QueueItem{MinDist(child->bounding_sphere(), query_),
-                             child.get(), nullptr});
+                             child.get(), false, SsTreeEntry{}});
       }
     }
   }

@@ -56,11 +56,13 @@ class NearestNeighborIterator {
 
  private:
   // The classical two-kind priority queue: nodes carry the MinDist of
-  // their region, entries their own MinDist.
+  // their region, entries their own MinDist. Entry items hold the store
+  // handle by value and are materialized only when streamed out.
   struct QueueItem {
     double dist;
-    const SsTreeNode* node;    // null for entry items
-    const DataEntry* entry;    // null for node items
+    const SsTreeNode* node;  // null for entry items
+    bool is_entry;
+    SsTreeEntry entry;  // valid only when is_entry
   };
   struct Compare {
     bool operator()(const QueueItem& a, const QueueItem& b) const {

@@ -11,8 +11,8 @@ namespace hyperdom {
 
 namespace {
 
-void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
-                    double range, RangeResult* result,
+void RangeRecursive(const SsTreeNode* node, const SphereStore& store,
+                    const Hypersphere& sq, double range, RangeResult* result,
                     TraversalGuard* guard) {
   if (MinDist(node->bounding_sphere(), sq) > range) {
     ++result->stats.nodes_pruned;
@@ -26,17 +26,19 @@ void RangeRecursive(const SsTreeNode* node, const Hypersphere& sq,
   if (node->is_leaf()) {
     for (const auto& entry : node->entries()) {
       ++result->stats.entries_accessed;
-      if (MinDist(entry.sphere, sq) <= range) {
-        result->possible.push_back(entry);
-        if (MaxDist(entry.sphere, sq) <= range) {
-          result->certain.push_back(entry);
+      const SphereView view = store.view(entry.slot);
+      if (MinDist(view, sq.view()) <= range) {
+        result->possible.push_back(
+            DataEntry{MaterializeSphere(view), entry.id});
+        if (MaxDist(view, sq.view()) <= range) {
+          result->certain.push_back(result->possible.back());
         }
       }
     }
     return;
   }
   for (const auto& child : node->children()) {
-    RangeRecursive(child.get(), sq, range, result, guard);
+    RangeRecursive(child.get(), store, sq, range, result, guard);
   }
 }
 
@@ -50,7 +52,7 @@ RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
   RangeResult result;
   if (tree.root() == nullptr) return result;
   TraversalGuard guard(deadline);
-  RangeRecursive(tree.root(), sq, range, &result, &guard);
+  RangeRecursive(tree.root(), tree.store(), sq, range, &result, &guard);
   if (guard.expired()) result.completeness = Completeness::kBestEffort;
   HYPERDOM_SPAN_ANNOTATE(span, "nodes_visited", result.stats.nodes_visited);
   HYPERDOM_SPAN_ANNOTATE(span, "certain",

@@ -61,18 +61,20 @@ namespace {
 // Lower bound, over entries T inside `region`, of MaxDist(T, s): the
 // closest any T's center can be is MinDist(region-ball, s-center) and its
 // radius can be 0, so  lb = max(0, Dist(c_region, c_s) - r_region) + r_s.
-double CheapestMaxDist(const Hypersphere& region, const Hypersphere& s) {
-  const double center_gap = Dist(region.center(), s.center()) - region.radius();
-  return (center_gap > 0.0 ? center_gap : 0.0) + s.radius();
+double CheapestMaxDist(const Hypersphere& region, const SphereView& s) {
+  const double center_gap =
+      DistSpan(region.center().data(), s.center, s.dim) - region.radius();
+  return (center_gap > 0.0 ? center_gap : 0.0) + s.radius;
 }
 
 // Counts dominators of (sq w.r.t. candidate) via a best-first traversal,
 // stopping at k. `self_id` is excluded from the count.
 size_t CountDominators(const SsTree& tree, const Hypersphere& sq,
-                       const Hypersphere& candidate, uint64_t self_id,
+                       const SphereView& candidate, uint64_t self_id,
                        size_t k, const DominanceCriterion& criterion,
                        RknnIndexStats* stats) {
-  const double bound = MaxDist(sq, candidate);
+  const double bound = MaxDist(sq.view(), candidate);
+  const SphereStore& store = tree.store();
   using QueueItem = std::pair<double, const SsTreeNode*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;
@@ -92,9 +94,10 @@ size_t CountDominators(const SsTree& tree, const Hypersphere& sq,
     if (node->is_leaf()) {
       for (const auto& entry : node->entries()) {
         if (entry.id == self_id) continue;
-        if (MaxDist(entry.sphere, candidate) >= bound) continue;
+        const SphereView view = store.view(entry.slot);
+        if (MaxDist(view, candidate) >= bound) continue;
         ++stats->dominance_checks;
-        if (criterion.Dominates(entry.sphere, sq, candidate)) {
+        if (criterion.Dominates(view, sq.view(), candidate)) {
           if (++dominators >= k) break;
         }
       }
@@ -119,21 +122,23 @@ RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
   if (tree.root() == nullptr) return result;
   TraversalGuard guard(deadline);
 
-  // Enumerate every candidate entry once.
+  // Enumerate every candidate entry once (handles by value — they stay
+  // valid independent of node storage).
   std::vector<const SsTreeNode*> stack = {tree.root()};
-  std::vector<const DataEntry*> candidates;
+  std::vector<SsTreeEntry> candidates;
   while (!stack.empty()) {
     const SsTreeNode* node = stack.back();
     stack.pop_back();
     if (node->is_leaf()) {
-      for (const auto& entry : node->entries()) candidates.push_back(&entry);
+      for (const auto& entry : node->entries()) candidates.push_back(entry);
     } else {
       for (const auto& child : node->children()) stack.push_back(child.get());
     }
   }
 
+  const SphereStore& store = tree.store();
   size_t processed = 0;
-  for (const DataEntry* cand : candidates) {
+  for (const SsTreeEntry& cand : candidates) {
     // Candidate-granular cancellation: an interrupted dominator count
     // could undercount and wrongly admit the candidate, so the deadline
     // is only polled between candidates (see rknn.h).
@@ -141,12 +146,13 @@ RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
       result.stats.candidates_deadline_skipped = candidates.size() - processed;
       break;
     }
-    const size_t dominators = CountDominators(
-        tree, sq, cand->sphere, cand->id, k, criterion, &result.stats);
+    const size_t dominators =
+        CountDominators(tree, sq, store.view(cand.slot), cand.id, k,
+                        criterion, &result.stats);
     if (dominators >= k) {
       ++result.stats.candidates_pruned;
     } else {
-      result.answers.push_back(cand->id);
+      result.answers.push_back(cand.id);
     }
     ++processed;
   }

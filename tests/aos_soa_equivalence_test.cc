@@ -1,0 +1,111 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// AoS <-> SoA equivalence: the interchangeability contract of the columnar
+// refactor. Every dominance criterion and the certified engine must return
+// BIT-IDENTICAL verdicts whether a triple is evaluated through the owned
+// Hypersphere adapters or through SphereViews resolved from a SphereStore.
+// The store is a layout change, not an arithmetic change; any divergence
+// here means a kernel computed something different on contiguous rows.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dominance/certified.h"
+#include "dominance/criterion.h"
+#include "storage/sphere_store.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+// The full criterion roster: the paper's five (Table 1), the numeric
+// oracle, the certified adapter — every kind the factory can produce.
+const CriterionKind kAllKinds[] = {
+    CriterionKind::kMinMax,         CriterionKind::kMbr,
+    CriterionKind::kGp,             CriterionKind::kTrigonometric,
+    CriterionKind::kHyperbola,      CriterionKind::kNumericOracle,
+    CriterionKind::kCertified,
+};
+
+struct Workload {
+  std::vector<Hypersphere> spheres;  // 3 * n_triples, AoS side
+  SphereStore store;                 // same spheres, SoA side
+};
+
+// Seeded workload of `n` (Sa, Sb, Sq) triples at dimension `dim`, with a
+// mix of scales so every verdict path (overlap, MDD fail, hyperbola) is
+// exercised.
+Workload MakeWorkload(uint64_t seed, size_t n, size_t dim) {
+  Workload w;
+  w.store = SphereStore(dim);
+  w.store.Reserve(3 * n);
+  Rng rng(seed);
+  for (size_t i = 0; i < 3 * n; ++i) {
+    const double scale = (i % 5 == 0) ? 0.1 : 4.0;
+    w.spheres.push_back(test::RandomSphere(&rng, dim, scale));
+    w.store.Add(w.spheres.back());
+  }
+  return w;
+}
+
+class AosSoaEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AosSoaEquivalenceTest, AllCriteriaBitIdenticalOn10kTriples) {
+  const size_t dim = GetParam();
+  // 10k triples total across the criteria sweep keeps runtime sane while
+  // still hammering every verdict branch (the oracle is ~1ms/call).
+  const size_t n = 10'000 / (sizeof(kAllKinds) / sizeof(kAllKinds[0]));
+  const Workload w = MakeWorkload(3000 + dim, n, dim);
+
+  for (CriterionKind kind : kAllKinds) {
+    const auto criterion = MakeCriterion(kind);
+    for (size_t t = 0; t < n; ++t) {
+      const Hypersphere& sa = w.spheres[3 * t];
+      const Hypersphere& sb = w.spheres[3 * t + 1];
+      const Hypersphere& sq = w.spheres[3 * t + 2];
+      const uint32_t base = static_cast<uint32_t>(3 * t);
+      const SphereView va = w.store.view(base);
+      const SphereView vb = w.store.view(base + 1);
+      const SphereView vq = w.store.view(base + 2);
+
+      EXPECT_EQ(criterion->Dominates(sa, sb, sq),
+                criterion->Dominates(va, vb, vq))
+          << criterion->name() << " triple " << t << " dim " << dim;
+      EXPECT_EQ(criterion->DecideVerdict(sa, sb, sq),
+                criterion->DecideVerdict(va, vb, vq))
+          << criterion->name() << " verdict, triple " << t;
+    }
+  }
+}
+
+TEST_P(AosSoaEquivalenceTest, CertifiedEngineBitIdenticalWithTiers) {
+  const size_t dim = GetParam();
+  const size_t n = 1500;
+  const Workload w = MakeWorkload(3100 + dim, n, dim);
+  CertifiedDominance engine;
+
+  for (size_t t = 0; t < n; ++t) {
+    const uint32_t base = static_cast<uint32_t>(3 * t);
+    CertifiedTier tier_aos = CertifiedTier::kUnresolved;
+    CertifiedTier tier_soa = CertifiedTier::kUnresolved;
+    const Verdict aos =
+        engine.Decide(w.spheres[3 * t], w.spheres[3 * t + 1],
+                      w.spheres[3 * t + 2], &tier_aos);
+    const Verdict soa =
+        engine.Decide(w.store.view(base), w.store.view(base + 1),
+                      w.store.view(base + 2), &tier_soa);
+    EXPECT_EQ(aos, soa) << "triple " << t << " dim " << dim;
+    // Not just the verdict: the same tier must resolve both, or the two
+    // layouts took different escalation paths.
+    EXPECT_EQ(tier_aos, tier_soa) << "triple " << t << " dim " << dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, AosSoaEquivalenceTest,
+                         ::testing::Values(2, 3, 10));
+
+}  // namespace
+}  // namespace hyperdom

@@ -15,12 +15,18 @@
 namespace hyperdom {
 namespace {
 
-DataEntry Entry(double x, double r, uint64_t id) {
-  return DataEntry{Hypersphere({x, 0.0}, r), id};
-}
-
 class BestKnownListTest : public ::testing::Test {
  protected:
+  // Access() retains views into the store, so the store is pre-reserved:
+  // no Add below ever reallocates the arena while a list holds views.
+  BestKnownListTest() { store_.Reserve(64); }
+
+  EntryView Entry(double x, double r, uint64_t id) {
+    const uint32_t slot = store_.Add(Hypersphere({x, 0.0}, r));
+    return store_.Resolve(StoredEntry{slot, id});
+  }
+
+  SphereStore store_{2};
   HyperbolaCriterion criterion_;
   Hypersphere sq_{{0.0, 0.0}, 0.5};
   KnnStats stats_;
@@ -91,6 +97,11 @@ TEST_F(BestKnownListTest, DeferredModeIsAccessOrderIndependent) {
     std::set<uint64_t> expected_ids;
     for (const auto& e : expected.answers) expected_ids.insert(e.id);
 
+    SphereStore store(2);
+    store.Reserve(data.size());
+    std::vector<uint32_t> slots;
+    for (const auto& s : data) slots.push_back(store.Add(s));
+
     for (int perm = 0; perm < 3; ++perm) {
       std::vector<size_t> order(data.size());
       std::iota(order.begin(), order.end(), 0);
@@ -101,7 +112,8 @@ TEST_F(BestKnownListTest, DeferredModeIsAccessOrderIndependent) {
       BestKnownList list(&criterion_, &sq_, k, KnnPruningMode::kDeferred,
                          &stats);
       for (size_t idx : order) {
-        list.Access(DataEntry{data[idx], static_cast<uint64_t>(idx)});
+        list.Access(store.Resolve(
+            StoredEntry{slots[idx], static_cast<uint64_t>(idx)}));
       }
       std::set<uint64_t> got;
       for (const auto& e : list.TakeAnswers()) got.insert(e.id);

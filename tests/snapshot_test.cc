@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <string>
@@ -118,7 +119,7 @@ TEST(SnapshotTest, VerifyReportsEnvelopeFacts) {
   auto info = VerifySnapshot(path);
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->kind, SnapshotKind::kSsTree);
-  EXPECT_EQ(info->version, 1u);
+  EXPECT_EQ(info->version, 2u);
   EXPECT_TRUE(info->crc_ok);
   EXPECT_GT(info->payload_size, 0u);
   std::remove(path.c_str());
@@ -235,6 +236,174 @@ TEST(SnapshotTest, LoadOrRebuildFallsBackOnMissingFile) {
   ASSERT_TRUE(LoadSnapshotOrRebuild(path, data, &recovered, &outcome).ok());
   EXPECT_EQ(outcome, SnapshotLoadOutcome::kRebuilt);
   EXPECT_EQ(recovered.size(), data.size());
+}
+
+// ---------------------------------------------------------------------------
+// v1 -> v2 migration. The writers below emit the exact pre-store formats:
+// HDSP v1 envelopes wrapping AoS tree payloads (HDSS v2 node records with
+// inline spheres; HDVP v1 likewise). The current loader must migrate them
+// into a SphereStore transparently, and the corruption checks must hold on
+// the legacy byte layout too.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// One AoS leaf entry: center coordinates, radius, id.
+void AppendLegacyEntry(std::string* out, const Hypersphere& s, uint64_t id) {
+  for (size_t d = 0; d < s.dim(); ++d) AppendPod(out, s.center()[d]);
+  AppendPod(out, s.radius());
+  AppendPod(out, id);
+}
+
+// HDSS v2: header + single-leaf root with inline entries.
+std::string LegacySsPayload(const std::vector<Hypersphere>& data) {
+  std::string out;
+  out.append("HDSS", 4);
+  AppendPod(&out, uint32_t{2});                           // version
+  AppendPod(&out, static_cast<uint64_t>(data[0].dim()));  // dim
+  AppendPod(&out, static_cast<uint64_t>(data.size()));    // size
+  AppendPod(&out, uint64_t{16});                          // max_entries
+  AppendPod(&out, 0.4);                                   // min_fill_ratio
+  AppendPod(&out, uint32_t{0});                           // split_policy
+  AppendPod(&out, uint32_t{0});                           // bounding_policy
+  AppendPod(&out, uint8_t{1});                            // leaf root
+  AppendPod(&out, static_cast<uint64_t>(data.size()));
+  for (size_t i = 0; i < data.size(); ++i) {
+    AppendLegacyEntry(&out, data[i], static_cast<uint64_t>(i));
+  }
+  return out;
+}
+
+// HDVP v1: header + single-leaf root with an inline bucket.
+std::string LegacyVpPayload(const std::vector<Hypersphere>& data) {
+  std::string out;
+  out.append("HDVP", 4);
+  AppendPod(&out, uint32_t{1});                           // version
+  AppendPod(&out, static_cast<uint64_t>(data[0].dim()));  // dim
+  AppendPod(&out, static_cast<uint64_t>(data.size()));    // size
+  AppendPod(&out, uint64_t{32});                          // leaf_size
+  AppendPod(&out, uint8_t{1});                            // leaf root
+  AppendPod(&out, static_cast<uint64_t>(data.size()));
+  for (size_t i = 0; i < data.size(); ++i) {
+    AppendLegacyEntry(&out, data[i], static_cast<uint64_t>(i));
+  }
+  return out;
+}
+
+// HDSP v1 envelope around a payload.
+std::string LegacyEnvelope(SnapshotKind kind, const std::string& payload) {
+  std::string out;
+  out.append("HDSP", 4);
+  AppendPod(&out, uint32_t{1});  // legacy envelope version
+  AppendPod(&out, static_cast<uint32_t>(kind));
+  AppendPod(&out, static_cast<uint64_t>(payload.size()));
+  AppendPod(&out, Crc32Of(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+TEST(SnapshotMigrationTest, LegacySsSnapshotLoadsIntoStore) {
+  const auto data = TestData(913, 14);
+  const std::string path = TestPath("legacy_ss.snap");
+  WriteFile(path, LegacyEnvelope(SnapshotKind::kSsTree,
+                                 LegacySsPayload(data)));
+
+  auto info = VerifySnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 1u);
+  EXPECT_TRUE(info->crc_ok);
+
+  SsTree loaded(1);
+  ASSERT_TRUE(LoadSnapshot(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), data.size());
+  EXPECT_EQ(loaded.dim(), 3u);
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+  // Every migrated sphere is bit-identical to the source.
+  ASSERT_EQ(loaded.store().size(), data.size());
+
+  // Migrated trees answer queries exactly like a fresh build over the
+  // same data inserted in the same (leaf) order.
+  SsTree fresh(3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(fresh.Insert(data[i], static_cast<uint64_t>(i)).ok());
+  }
+  HyperbolaCriterion exact;
+  KnnSearcher searcher(&exact, KnnOptions{});
+  for (const auto& sq : MakeKnnQueries(data, 6, 914)) {
+    EXPECT_EQ(Ids(searcher.Search(loaded, sq)),
+              Ids(searcher.Search(fresh, sq)));
+  }
+
+  // Re-saving writes the current store-backed format.
+  const std::string resaved = TestPath("legacy_ss_resave.snap");
+  ASSERT_TRUE(SaveSnapshot(loaded, resaved).ok());
+  auto info2 = VerifySnapshot(resaved);
+  ASSERT_TRUE(info2.ok());
+  EXPECT_EQ(info2->version, 2u);
+  SsTree round(1);
+  ASSERT_TRUE(LoadSnapshot(resaved, &round).ok());
+  EXPECT_EQ(round.size(), data.size());
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(SnapshotMigrationTest, LegacyVpSnapshotLoadsIntoStore) {
+  const auto data = TestData(915, 12);
+  const std::string path = TestPath("legacy_vp.snap");
+  WriteFile(path, LegacyEnvelope(SnapshotKind::kVpTree,
+                                 LegacyVpPayload(data)));
+
+  VpTree loaded;
+  ASSERT_TRUE(LoadSnapshot(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), data.size());
+  EXPECT_EQ(loaded.dim(), 3u);
+  ASSERT_EQ(loaded.store().size(), data.size());
+
+  // The migrated store holds the source spheres bit-for-bit.
+  HyperbolaCriterion exact;
+  for (const auto& sq : MakeKnnQueries(data, 6, 916)) {
+    const auto got = VpTreeKnnSearch(loaded, sq, exact, KnnOptions{});
+    const auto want = KnnLinearScan(data, sq, KnnOptions{}.k, exact);
+    EXPECT_EQ(Ids(got), Ids(want));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotMigrationTest, LegacyBitFlipsAreStillRejected) {
+  const auto data = TestData(917, 10);
+  const std::string path = TestPath("legacy_bitflip.snap");
+  const std::string pristine =
+      LegacyEnvelope(SnapshotKind::kSsTree, LegacySsPayload(data));
+
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 24 && i < pristine.size(); ++i) positions.push_back(i);
+  for (size_t i = 24; i < pristine.size(); i += 31) positions.push_back(i);
+  for (size_t pos : positions) {
+    std::string corrupt = pristine;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    WriteFile(path, corrupt);
+    SsTree loaded(1);
+    const Status status = LoadSnapshot(path, &loaded);
+    EXPECT_FALSE(status.ok()) << "flip at byte " << pos;
+    EXPECT_EQ(loaded.size(), 0u) << "failed load must not mutate the tree";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotMigrationTest, FutureEnvelopeVersionIsNotSupported) {
+  const auto data = TestData(918, 8);
+  std::string bytes =
+      LegacyEnvelope(SnapshotKind::kSsTree, LegacySsPayload(data));
+  const uint32_t future = 3;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  const std::string path = TestPath("future.snap");
+  WriteFile(path, bytes);
+  SsTree loaded(1);
+  EXPECT_EQ(LoadSnapshot(path, &loaded).code(), StatusCode::kNotSupported);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -338,7 +338,8 @@ TEST_F(SsTreePersistenceTest, RoundTripPreservesStructureAndAnswers) {
       ASSERT_EQ(a->entries().size(), b->entries().size());
       for (size_t i = 0; i < a->entries().size(); ++i) {
         EXPECT_EQ(a->entries()[i].id, b->entries()[i].id);
-        EXPECT_TRUE(a->entries()[i].sphere == b->entries()[i].sphere);
+        EXPECT_TRUE(tree.store().Materialize(a->entries()[i].slot) ==
+                    loaded.store().Materialize(b->entries()[i].slot));
       }
     } else {
       ASSERT_EQ(a->children().size(), b->children().size());

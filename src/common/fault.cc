@@ -41,6 +41,13 @@ constexpr std::string_view kAllSites[] = {
     "certified/parametric",
     "certified/long_double",
     "certified/oracle",
+    // server/ — network front-end request path. Covered by the armed
+    // sweep in tests/server_e2e_test.cc (ctest label `server`), not the
+    // generic workload sweep in fault_injection_test.cc.
+    "server/accept",
+    "server/read",
+    "server/write",
+    "server/enqueue",
 };
 
 constexpr std::string_view kDegradePrefix = "certified/";

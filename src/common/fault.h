@@ -171,12 +171,22 @@ class FaultQueryScope {
   (::hyperdom::FaultRegistry::Instance().armed() &&    \
    ::hyperdom::FaultRegistry::Instance().HitDegrade(site))
 
+/// Expression form of HYPERDOM_FAULT_POINT: evaluates to the injected
+/// Status (OK unless `site` fires), for call sites that handle the
+/// failure locally — e.g. the server's connection loop, which must close
+/// the connection rather than return.
+#define HYPERDOM_FAULT_POINT_STATUS(site)                  \
+  (::hyperdom::FaultRegistry::Instance().armed()           \
+       ? ::hyperdom::FaultRegistry::Instance().Hit(site)   \
+       : ::hyperdom::Status::OK())
+
 #else
 
 #define HYPERDOM_FAULT_POINT(site) \
   do {                             \
   } while (false)
 #define HYPERDOM_FAULT_DEGRADE(site) (false)
+#define HYPERDOM_FAULT_POINT_STATUS(site) (::hyperdom::Status::OK())
 
 #endif  // HYPERDOM_FAULT_INJECTION_ENABLED
 

@@ -24,6 +24,12 @@ const char* CodeName(StatusCode code) {
       return "Not supported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kProtocolError:
+      return "Protocol error";
   }
   return "Unknown";
 }

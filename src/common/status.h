@@ -23,6 +23,12 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  // Wire-protocol categories (src/server/): the server sheds load, a
+  // deadline expired before any answer could be certified, or a frame
+  // failed structural validation (bad magic/CRC/size).
+  kOverloaded,
+  kDeadlineExceeded,
+  kProtocolError,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -57,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
   /// @}
 

@@ -3,10 +3,10 @@
 #include "data/csv.h"
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <string_view>
 
 #include "common/fault.h"
+#include "common/io.h"
 #include "common/str_util.h"
 
 namespace hyperdom {
@@ -21,35 +21,37 @@ Status SaveSpheresCsv(const std::string& path,
     }
   }
   HYPERDOM_FAULT_POINT("csv/open_write");
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << "# hyperdom spheres: c_1,...,c_d,radius\n";
+  // Assemble the whole file in memory, then hand it to the hardened
+  // EINTR/partial-write loop in common/io: one syscall path to audit, and
+  // an errno-mapped Status ("write '<path>': No space left on device")
+  // instead of a generic stream failure.
+  std::string body = "# hyperdom spheres: c_1,...,c_d,radius\n";
   char buf[64];
   for (const auto& s : spheres) {
     HYPERDOM_FAULT_POINT("csv/write_row");
-    std::string line;
     for (double c : s.center()) {
       std::snprintf(buf, sizeof(buf), "%.17g,", c);
-      line += buf;
+      body += buf;
     }
     std::snprintf(buf, sizeof(buf), "%.17g\n", s.radius());
-    line += buf;
-    out << line;
+    body += buf;
   }
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteStringToFile(path, body);
 }
 
 Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path) {
   HYPERDOM_FAULT_POINT("csv/open_read");
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
   std::vector<Hypersphere> spheres;
-  std::string line;
   size_t dim = 0;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  std::string_view rest(*file);
+  while (!rest.empty()) {
+    const size_t eol = rest.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
     ++line_no;
     const std::string_view stripped = StripAsciiWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;

@@ -15,14 +15,15 @@
 
 namespace hyperdom {
 
-/// Writes `spheres` to `path`, overwriting. Fails with IOError if the file
-/// cannot be created or InvalidArgument on mixed dimensionalities.
+/// Writes `spheres` to `path`, overwriting. Fails with an errno-mapped
+/// IOError if the file cannot be created or written (EINTR and partial
+/// writes are retried) or InvalidArgument on mixed dimensionalities.
 Status SaveSpheresCsv(const std::string& path,
                       const std::vector<Hypersphere>& spheres);
 
-/// Reads spheres from `path`. Fails with IOError on a missing file,
-/// Corruption on malformed rows (bad number, inconsistent dimensionality,
-/// negative radius).
+/// Reads spheres from `path`. Fails with NotFound on a missing file, an
+/// errno-mapped IOError on other read failures, Corruption on malformed
+/// rows (bad number, inconsistent dimensionality, negative radius).
 Result<std::vector<Hypersphere>> LoadSpheresCsv(const std::string& path);
 
 }  // namespace hyperdom

@@ -3,14 +3,13 @@
 #include "index/snapshot.h"
 
 #include <chrono>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/io.h"
 #include "index/ss_tree.h"
 #include "index/vp_tree.h"
 #include "obs/metrics.h"
@@ -53,59 +52,65 @@ constexpr uint32_t kSnapVersion = 2;
 constexpr uint32_t kSnapLegacyVersion = 1;
 
 template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
+bool ConsumePod(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
 }
 
-// Writes envelope + payload to `<path>.tmp`, then renames into place, so
-// an interrupted save never replaces a good snapshot with a torn one.
+// Assembles envelope + payload in memory, writes it to `<path>.tmp` via the
+// hardened EINTR/partial-write loop in common/io, then renames into place,
+// so an interrupted save never replaces a good snapshot with a torn one.
 Status WriteEnvelope(const std::string& path, SnapshotKind kind,
                      const std::string& payload) {
   HYPERDOM_FAULT_POINT("snapshot/write");
+  std::string body;
+  body.reserve(sizeof(kSnapMagic) + 3 * sizeof(uint32_t) + sizeof(uint64_t) +
+               payload.size());
+  body.append(kSnapMagic, sizeof(kSnapMagic));
+  AppendPod(&body, kSnapVersion);
+  AppendPod(&body, static_cast<uint32_t>(kind));
+  AppendPod(&body, static_cast<uint64_t>(payload.size()));
+  AppendPod(&body, Crc32Of(payload.data(), payload.size()));
+  body += payload;
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for writing: " + tmp);
-    out.write(kSnapMagic, sizeof(kSnapMagic));
-    WritePod(out, kSnapVersion);
-    WritePod(out, static_cast<uint32_t>(kind));
-    WritePod(out, static_cast<uint64_t>(payload.size()));
-    WritePod(out, Crc32Of(payload.data(), payload.size()));
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::IOError("write failed: " + tmp);
-    }
+  Status written = WriteStringToFile(tmp, body);
+  if (!written.ok()) {
+    (void)RemoveFile(tmp);  // best-effort cleanup; report the write error
+    return written;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
+  Status renamed = RenameFile(tmp, path);
+  if (!renamed.ok()) {
+    (void)RemoveFile(tmp);
+    return renamed;
   }
   return Status::OK();
 }
 
 // Reads and validates the envelope; fills `*info` and, when the header is
 // sound, the payload bytes. info->crc_ok reports the checksum comparison.
+// The whole file is read first (bounded by the actual file size, so a
+// corrupted size field still cannot drive a huge allocation), then the
+// declared payload size is checked against the bytes actually present.
 Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
                     std::string* payload) {
   HYPERDOM_FAULT_POINT("snapshot/read");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  std::string_view in(*file);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) != 0) {
+  if (!ConsumePod(&in, &magic) ||
+      std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) != 0) {
     return Status::Corruption("bad magic: not a hyperdom snapshot");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version)) return Status::Corruption("truncated header");
+  if (!ConsumePod(&in, &version)) return Status::Corruption("truncated header");
   if (version != kSnapVersion && version != kSnapLegacyVersion) {
     return Status::NotSupported("unsupported snapshot version " +
                                 std::to_string(version));
@@ -113,8 +118,8 @@ Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
   uint32_t kind = 0;
   uint64_t payload_size = 0;
   uint32_t crc = 0;
-  if (!ReadPod(in, &kind) || !ReadPod(in, &payload_size) ||
-      !ReadPod(in, &crc)) {
+  if (!ConsumePod(&in, &kind) || !ConsumePod(&in, &payload_size) ||
+      !ConsumePod(&in, &crc)) {
     return Status::Corruption("truncated header");
   }
   if (kind != static_cast<uint32_t>(SnapshotKind::kSsTree) &&
@@ -125,25 +130,12 @@ Status ReadEnvelope(const std::string& path, SnapshotInfo* info,
   info->kind = static_cast<SnapshotKind>(kind);
   info->version = version;
   info->payload_size = payload_size;
-
-  // Compare the declared size against the bytes actually present before
-  // allocating: a corrupted size field must not drive a huge allocation.
-  const std::istream::pos_type payload_start = in.tellg();
-  in.seekg(0, std::ios::end);
-  const std::istream::pos_type file_end = in.tellg();
-  if (payload_start < 0 || file_end < payload_start ||
-      static_cast<uint64_t>(file_end - payload_start) != payload_size) {
+  if (in.size() != payload_size) {
     return Status::Corruption("payload size mismatch: header says " +
                               std::to_string(payload_size) + " bytes");
   }
-  in.seekg(payload_start);
-  std::string buf(payload_size, '\0');
-  if (payload_size > 0) {
-    in.read(buf.data(), static_cast<std::streamsize>(payload_size));
-    if (!in) return Status::Corruption("truncated payload");
-  }
-  info->crc_ok = Crc32Of(buf.data(), buf.size()) == crc;
-  *payload = std::move(buf);
+  info->crc_ok = Crc32Of(in.data(), in.size()) == crc;
+  payload->assign(in.data(), in.size());
   return Status::OK();
 }
 

@@ -5,11 +5,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "common/fault.h"
+#include "common/io.h"
 #include "common/str_util.h"
 #include "geometry/min_ball.h"
 #include "index/index_metrics.h"
@@ -761,11 +762,11 @@ Status SsTree::Serialize(std::ostream& out) const {
 }
 
 Status SsTree::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
+  // Serialize to memory, then write through the hardened EINTR/partial-
+  // write loop in common/io so failures carry errno-mapped messages.
+  std::ostringstream out(std::ios::binary);
   HYPERDOM_RETURN_NOT_OK(Serialize(out));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteStringToFile(path, out.str());
 }
 
 // Loads one legacy (v2) node record with inline entries, migrating each
@@ -866,8 +867,9 @@ Status SsTree::LoadNodeV3(std::istream& in, const SphereStore& store,
 }
 
 Status SsTree::Load(const std::string& path, SsTree* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  std::istringstream in(file.TakeValue(), std::ios::binary);
   return Deserialize(in, out);
 }
 

@@ -340,6 +340,10 @@ const std::vector<MetricDef>& MetricCatalogue() {
           kExecPoolThreads,     kExecTasks,
           kBatchRuns,           kBatchQueries,
           kBatchDuration,       kTraceDropped,
+          kServerConnections,   kServerActiveConnections,
+          kServerRequests,      kServerQueueDepth,
+          kServerShed,          kServerProtocolErrors,
+          kServerBestEffort,    kServerRequestDuration,
       };
   return *catalogue;
 }

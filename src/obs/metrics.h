@@ -355,6 +355,36 @@ inline constexpr MetricDef kTraceDropped{
     "hyperdom_trace_dropped_total",
     "trace records evicted from the ring buffer", MetricType::kCounter};
 
+// Network front-end (src/server/; see docs/robustness.md §9).
+inline constexpr MetricDef kServerConnections{
+    "hyperdom_server_connections_total", "client connections accepted",
+    MetricType::kCounter};
+inline constexpr MetricDef kServerActiveConnections{
+    "hyperdom_server_active_connections", "currently open client connections",
+    MetricType::kGauge};
+inline constexpr MetricDef kServerRequests{
+    "hyperdom_server_requests_total",
+    "requests admitted to the work queue (label kind=knn|ping)",
+    MetricType::kCounter};
+inline constexpr MetricDef kServerQueueDepth{
+    "hyperdom_server_queue_depth", "requests waiting in the admission queue",
+    MetricType::kGauge};
+inline constexpr MetricDef kServerShed{
+    "hyperdom_server_shed_total",
+    "requests rejected with kOverloaded (queue full or draining)",
+    MetricType::kCounter};
+inline constexpr MetricDef kServerProtocolErrors{
+    "hyperdom_server_protocol_errors_total",
+    "frames rejected by validation (bad magic/CRC/size/kind)",
+    MetricType::kCounter};
+inline constexpr MetricDef kServerBestEffort{
+    "hyperdom_server_best_effort_total",
+    "responses flagged kBestEffort after a deadline expired",
+    MetricType::kCounter};
+inline constexpr MetricDef kServerRequestDuration{
+    "hyperdom_server_request_duration_ns",
+    "admission-to-response latency per request", MetricType::kHistogram};
+
 }  // namespace obs
 }  // namespace hyperdom
 

@@ -1,0 +1,152 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "server/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "server/net.h"
+
+namespace hyperdom {
+namespace server {
+
+namespace {
+
+// Transport failures worth a reconnect-and-retry: the TCP connection died
+// or never came up. Timeouts are excluded — the caller's budget is spent.
+bool IsRetryableTransport(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    CloseSocket(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  Result<int> fd = ConnectWithTimeout(options_.host, options_.port,
+                                      options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return Status::OK();
+}
+
+Status Client::Exchange(const std::string& frame, FrameKind* kind_out,
+                        std::string* payload_out) {
+  HYPERDOM_RETURN_NOT_OK(
+      WriteFull(fd_, frame.data(), frame.size(), options_.io_timeout_ms));
+  char header_bytes[kFrameHeaderSize];
+  HYPERDOM_RETURN_NOT_OK(ReadFull(fd_, header_bytes, sizeof(header_bytes),
+                                  options_.io_timeout_ms));
+  Result<FrameHeader> header = DecodeFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)),
+      options_.max_payload_bytes);
+  if (!header.ok()) return header.status();
+  payload_out->assign(header->payload_size, '\0');
+  if (header->payload_size > 0) {
+    HYPERDOM_RETURN_NOT_OK(ReadFull(fd_, payload_out->data(),
+                                    payload_out->size(),
+                                    options_.io_timeout_ms));
+  }
+  HYPERDOM_RETURN_NOT_OK(VerifyPayloadCrc(*header, *payload_out));
+  *kind_out = header->kind;
+  return Status::OK();
+}
+
+void Client::Backoff(int attempt) {
+  const int64_t base = options_.backoff_base_ms;
+  const int64_t cap = std::max<int64_t>(1, options_.backoff_max_ms);
+  // min(base << attempt, cap), shift guarded against overflow.
+  int64_t full = cap;
+  if (attempt < 31 && base > 0 && (base << attempt) < cap) {
+    full = base << attempt;
+  }
+  // Jitter: uniform in [full/2, full], deterministic in the seed, so a
+  // retry storm from many clients spreads out instead of synchronizing.
+  const int64_t wait = full <= 1
+                           ? full
+                           : full / 2 + static_cast<int64_t>(jitter_.UniformU64(
+                                            static_cast<uint64_t>(
+                                                full - full / 2 + 1)));
+  if (wait > 0) std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+}
+
+Status Client::Call(const std::string& frame, FrameKind* kind_out,
+                    std::string* payload_out) {
+  const int attempts = std::max(1, options_.max_attempts);
+  Status last = Status::Internal("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    last_attempts_ = attempt + 1;
+    if (attempt > 0) Backoff(attempt - 1);
+    Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      last = std::move(connected);
+      if (!IsRetryableTransport(last) &&
+          last.code() != StatusCode::kDeadlineExceeded) {
+        return last;  // e.g. InvalidArgument host — retrying cannot help
+      }
+      // Connect timeouts ARE retried: no request was in flight, so the
+      // no-retry-on-timeout rule (which protects the caller's IO budget)
+      // does not apply yet.
+      continue;
+    }
+    Status exchanged = Exchange(frame, kind_out, payload_out);
+    if (exchanged.ok()) {
+      // A shed response is an application-level "try again later".
+      if (*kind_out == FrameKind::kErrorResponse) {
+        Status remote;
+        HYPERDOM_RETURN_NOT_OK(DecodeErrorResponse(*payload_out, &remote));
+        if (remote.code() == StatusCode::kOverloaded) {
+          last = std::move(remote);
+          continue;  // connection stays up; back off and re-send
+        }
+        return remote;  // a definitive remote failure
+      }
+      return Status::OK();
+    }
+    last = std::move(exchanged);
+    Close();  // the stream may be desynchronized; always reconnect
+    if (last.code() == StatusCode::kProtocolError) return last;
+    if (last.code() == StatusCode::kDeadlineExceeded) return last;
+    if (!IsRetryableTransport(last)) return last;
+  }
+  return last;
+}
+
+Status Client::Ping() {
+  const std::string frame = EncodeFrame(FrameKind::kPingRequest, {});
+  FrameKind kind = FrameKind::kPingRequest;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  if (kind != FrameKind::kPongResponse) {
+    return Status::ProtocolError("unexpected response to ping");
+  }
+  return Status::OK();
+}
+
+Result<KnnResponse> Client::Knn(const KnnRequest& request) {
+  const std::string frame =
+      EncodeFrame(FrameKind::kKnnRequest, EncodeKnnRequest(request));
+  FrameKind kind = FrameKind::kKnnRequest;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  if (kind != FrameKind::kKnnResponse) {
+    return Status::ProtocolError("unexpected response kind to knn request");
+  }
+  return DecodeKnnResponse(payload);
+}
+
+}  // namespace server
+}  // namespace hyperdom

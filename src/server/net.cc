@@ -1,0 +1,186 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "server/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/io.h"
+
+namespace hyperdom {
+namespace server {
+
+namespace {
+
+// Bounded wait for one poll event. Returns OK when the event (or an
+// error/hangup, which the subsequent read/write will surface) is ready.
+Status PollOne(int fd, short events, int timeout_ms, const char* op) {
+  for (;;) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return Status::OK();
+    if (n == 0) {
+      return Status::DeadlineExceeded(std::string(op) + " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoToStatus(errno, "poll", op);
+  }
+}
+
+Status ParseHost(const std::string& host, struct sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host +
+                                   "' (the server binds numeric addresses; "
+                                   "use 127.0.0.1 for loopback)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& host, uint16_t port, int backlog) {
+  struct sockaddr_in addr {};
+  HYPERDOM_RETURN_NOT_OK(ParseHost(host, &addr));
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoToStatus(errno, "socket", host);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    CloseSocket(fd);
+    return ErrnoToStatus(err, "bind", host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    CloseSocket(fd);
+    return ErrnoToStatus(err, "listen", host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  struct sockaddr_in addr {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return ErrnoToStatus(errno, "getsockname", "listener");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return ErrnoToStatus(errno, "accept", "listener");
+  }
+}
+
+Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
+                               int timeout_ms) {
+  struct sockaddr_in addr {};
+  HYPERDOM_RETURN_NOT_OK(ParseHost(host, &addr));
+  addr.sin_port = htons(port);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoToStatus(errno, "socket", host);
+  const std::string target = host + ":" + std::to_string(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    CloseSocket(fd);
+    return ErrnoToStatus(err, "connect", target);
+  }
+  if (rc != 0) {
+    // Handshake in flight: wait for writability, then read the outcome.
+    Status ready = PollOne(fd, POLLOUT, timeout_ms, "connect");
+    if (!ready.ok()) {
+      CloseSocket(fd);
+      return ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      const int err = so_error != 0 ? so_error : errno;
+      CloseSocket(fd);
+      return ErrnoToStatus(err, "connect", target);
+    }
+  }
+  // Back to blocking mode: all subsequent IO is bounded by poll() in
+  // ReadFull/WriteFull, not by O_NONBLOCK.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  return fd;
+}
+
+Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
+                bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLIN, timeout_ms, "read"));
+    const ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::IOError(done == 0
+                                 ? "connection closed by peer"
+                                 : "connection closed mid-frame (" +
+                                       std::to_string(done) + " of " +
+                                       std::to_string(size) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoToStatus(errno, "read", "socket");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLOUT, timeout_ms, "write"));
+    const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoToStatus(errno, "write", "socket");
+  }
+  return Status::OK();
+}
+
+void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+void ShutdownSocket(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void CloseSocket(int fd) { ::close(fd); }
+
+}  // namespace server
+}  // namespace hyperdom

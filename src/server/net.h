@@ -1,0 +1,66 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Thin hardened POSIX socket layer under the server and client. The same
+// discipline as common/io, applied to sockets: every primitive retries
+// EINTR, finishes partial transfers in a loop, bounds each wait with
+// poll(2) so a slow or stalled peer cannot park a thread forever, and
+// maps errno into Status. Writes use MSG_NOSIGNAL, so a peer that closed
+// mid-write surfaces as EPIPE -> Status, never a process-killing SIGPIPE.
+
+#ifndef HYPERDOM_SERVER_NET_H_
+#define HYPERDOM_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hyperdom {
+namespace server {
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port; read it back with LocalPort). Returns the fd.
+Result<int> ListenOn(const std::string& host, uint16_t port, int backlog);
+
+/// The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking accept, EINTR retried. Fails with an errno-mapped Status once
+/// the listener is closed (the server's shutdown signal).
+Result<int> AcceptConnection(int listen_fd);
+
+/// Connects to host:port, bounding the TCP handshake by `timeout_ms`
+/// (non-blocking connect + poll). kDeadlineExceeded on timeout.
+Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
+                               int timeout_ms);
+
+/// Reads exactly `size` bytes. Each wait for readability is bounded by
+/// `timeout_ms` (kDeadlineExceeded on expiry); EINTR and short reads are
+/// retried. EOF before any byte arrives sets `*clean_eof` (when non-null)
+/// and returns kIOError "connection closed by peer"; EOF mid-buffer is a
+/// truncation and leaves the flag clear.
+Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
+                bool* clean_eof = nullptr);
+
+/// Writes exactly `size` bytes with MSG_NOSIGNAL; waits bounded by
+/// `timeout_ms`, EINTR and partial writes retried.
+Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms);
+
+/// Half-closes the read side (wakes a peer thread blocked in ReadFull on
+/// this fd with EOF). Used by graceful drain.
+void ShutdownRead(int fd);
+
+/// Full shutdown(SHUT_RDWR). On Linux this is the reliable way to wake a
+/// thread blocked in accept(2) on a listening socket — close(2) alone
+/// does not — so the server's drain path calls this before closing the
+/// listener.
+void ShutdownSocket(int fd);
+
+/// close(2); EINTR not retried (Linux releases the fd either way).
+void CloseSocket(int fd);
+
+}  // namespace server
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_SERVER_NET_H_

@@ -1,0 +1,302 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "server/protocol.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace hyperdom {
+namespace server {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Bounds-checked sequential reader over a payload. Every Consume* checks
+// the remaining size first, so a truncated payload fails cleanly instead
+// of reading past the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : rest_(bytes) {}
+
+  template <typename T>
+  bool Consume(T* value) {
+    if (rest_.size() < sizeof(T)) return false;
+    std::memcpy(value, rest_.data(), sizeof(T));
+    rest_.remove_prefix(sizeof(T));
+    return true;
+  }
+
+  bool ConsumeDoubles(size_t count, std::vector<double>* out) {
+    if (rest_.size() < count * sizeof(double)) return false;
+    out->resize(count);
+    std::memcpy(out->data(), rest_.data(), count * sizeof(double));
+    rest_.remove_prefix(count * sizeof(double));
+    return true;
+  }
+
+  bool ConsumeBytes(size_t count, std::string* out) {
+    if (rest_.size() < count) return false;
+    out->assign(rest_.data(), count);
+    rest_.remove_prefix(count);
+    return true;
+  }
+
+  bool empty() const { return rest_.empty(); }
+
+ private:
+  std::string_view rest_;
+};
+
+Status Malformed(const char* what) {
+  return Status::ProtocolError(std::string("malformed payload: ") + what);
+}
+
+bool KnownKind(uint32_t kind) {
+  return kind >= static_cast<uint32_t>(FrameKind::kKnnRequest) &&
+         kind <= static_cast<uint32_t>(FrameKind::kPongResponse);
+}
+
+// The wire form of a StatusCode. The enum's numeric values are not part of
+// any stability contract, so the mapping is explicit in both directions.
+uint32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint32_t>(code);
+}
+
+bool WireToStatusCode(uint32_t wire, StatusCode* out) {
+  if (wire > static_cast<uint32_t>(StatusCode::kProtocolError)) return false;
+  *out = static_cast<StatusCode>(wire);
+  return *out != StatusCode::kOk;
+}
+
+Status MakeStatus(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kOverloaded:
+      return Status::Overloaded(std::move(msg));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kProtocolError:
+      return Status::ProtocolError(std::move(msg));
+    case StatusCode::kOk:
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(std::move(msg));
+}
+
+}  // namespace
+
+Deadline DeadlineFromRequest(const KnnRequest& request) {
+  Deadline deadline;
+  if (request.budget_micros > 0) {
+    deadline = Deadline::AfterDuration(
+        std::chrono::microseconds(request.budget_micros));
+  }
+  if (request.node_budget > 0) deadline.SetNodeBudget(request.node_budget);
+  return deadline;
+}
+
+std::string EncodeFrame(FrameKind kind, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendPod(&frame, kProtocolVersion);
+  AppendPod(&frame, static_cast<uint32_t>(kind));
+  AppendPod(&frame, static_cast<uint64_t>(payload.size()));
+  AppendPod(&frame, Crc32Of(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
+                                      uint64_t max_payload_bytes) {
+  if (bytes.size() != kFrameHeaderSize) {
+    return Status::ProtocolError("truncated frame header: " +
+                                 std::to_string(bytes.size()) + " of " +
+                                 std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  ByteReader in(bytes);
+  char magic[4];
+  in.Consume(&magic);
+  if (std::memcmp(magic, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::ProtocolError("bad magic: not a hyperdom frame");
+  }
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  FrameHeader header;
+  in.Consume(&version);
+  in.Consume(&kind);
+  in.Consume(&header.payload_size);
+  in.Consume(&header.payload_crc);
+  if (version != kProtocolVersion) {
+    return Status::ProtocolError("unsupported protocol version " +
+                                 std::to_string(version));
+  }
+  if (!KnownKind(kind)) {
+    return Status::ProtocolError("unknown frame kind " + std::to_string(kind));
+  }
+  header.kind = static_cast<FrameKind>(kind);
+  if (header.payload_size > max_payload_bytes) {
+    return Status::ProtocolError(
+        "payload size " + std::to_string(header.payload_size) +
+        " exceeds limit " + std::to_string(max_payload_bytes));
+  }
+  return header;
+}
+
+Status VerifyPayloadCrc(const FrameHeader& header, std::string_view payload) {
+  if (Crc32Of(payload.data(), payload.size()) != header.payload_crc) {
+    return Status::ProtocolError("payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+std::string EncodeKnnRequest(const KnnRequest& request) {
+  std::string payload;
+  const size_t dim = request.query.dim();
+  payload.reserve(3 * sizeof(uint64_t) + 2 * sizeof(uint32_t) +
+                  (dim + 1) * sizeof(double));
+  AppendPod(&payload, request.budget_micros);
+  AppendPod(&payload, request.node_budget);
+  AppendPod(&payload, request.k);
+  AppendPod(&payload, static_cast<uint32_t>(request.strategy));
+  AppendPod(&payload, static_cast<uint64_t>(dim));
+  for (double c : request.query.center()) AppendPod(&payload, c);
+  AppendPod(&payload, request.query.radius());
+  return payload;
+}
+
+Result<KnnRequest> DecodeKnnRequest(std::string_view payload) {
+  ByteReader in(payload);
+  KnnRequest request;
+  uint32_t strategy = 0;
+  uint64_t dim = 0;
+  if (!in.Consume(&request.budget_micros) ||
+      !in.Consume(&request.node_budget) || !in.Consume(&request.k) ||
+      !in.Consume(&strategy) || !in.Consume(&dim)) {
+    return Malformed("truncated knn request header");
+  }
+  if (strategy > static_cast<uint32_t>(SearchStrategy::kBestFirst)) {
+    return Malformed("unknown search strategy");
+  }
+  request.strategy = static_cast<SearchStrategy>(strategy);
+  if (request.k == 0) return Malformed("k must be positive");
+  if (dim == 0) return Malformed("query dimensionality must be positive");
+  // dim is bounded by the payload size (already capped by the header
+  // check), so this resize cannot over-allocate.
+  std::vector<double> center;
+  double radius = 0.0;
+  if (!in.ConsumeDoubles(dim, &center) || !in.Consume(&radius)) {
+    return Malformed("truncated query sphere");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after knn request");
+  if (const Status invalid = Hypersphere::Validate(center, radius);
+      !invalid.ok()) {
+    return Status::ProtocolError("invalid query sphere: " + invalid.message());
+  }
+  request.query = Hypersphere(std::move(center), radius);
+  return request;
+}
+
+std::string EncodeKnnResponse(const KnnResponse& response) {
+  std::string payload;
+  const size_t dim =
+      response.answers.empty() ? 0 : response.answers.front().sphere.dim();
+  payload.reserve(sizeof(uint32_t) + 2 * sizeof(uint64_t) +
+                  response.answers.size() *
+                      (sizeof(uint64_t) + (dim + 1) * sizeof(double)));
+  AppendPod(&payload, static_cast<uint32_t>(response.completeness));
+  AppendPod(&payload, static_cast<uint64_t>(dim));
+  AppendPod(&payload, static_cast<uint64_t>(response.answers.size()));
+  for (const DataEntry& entry : response.answers) {
+    AppendPod(&payload, entry.id);
+    for (double c : entry.sphere.center()) AppendPod(&payload, c);
+    AppendPod(&payload, entry.sphere.radius());
+  }
+  return payload;
+}
+
+Result<KnnResponse> DecodeKnnResponse(std::string_view payload) {
+  ByteReader in(payload);
+  KnnResponse response;
+  uint32_t completeness = 0;
+  uint64_t dim = 0;
+  uint64_t count = 0;
+  if (!in.Consume(&completeness) || !in.Consume(&dim) || !in.Consume(&count)) {
+    return Malformed("truncated knn response header");
+  }
+  if (completeness > static_cast<uint32_t>(Completeness::kBestEffort)) {
+    return Malformed("unknown completeness tag");
+  }
+  response.completeness = static_cast<Completeness>(completeness);
+  // Entries are parsed one at a time, so `count` never drives an
+  // allocation larger than the bytes actually present.
+  for (uint64_t i = 0; i < count; ++i) {
+    DataEntry entry;
+    std::vector<double> center;
+    double radius = 0.0;
+    if (!in.Consume(&entry.id) || !in.ConsumeDoubles(dim, &center) ||
+        !in.Consume(&radius)) {
+      return Malformed("truncated knn response entry");
+    }
+    if (const Status invalid = Hypersphere::Validate(center, radius);
+        !invalid.ok()) {
+      return Status::ProtocolError("invalid answer sphere: " +
+                                   invalid.message());
+    }
+    entry.sphere = Hypersphere(std::move(center), radius);
+    response.answers.push_back(std::move(entry));
+  }
+  if (!in.empty()) return Malformed("trailing bytes after knn response");
+  return response;
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  assert(!status.ok() && "error frames carry failures only");
+  std::string payload;
+  payload.reserve(2 * sizeof(uint32_t) + status.message().size());
+  AppendPod(&payload, StatusCodeToWire(status.code()));
+  AppendPod(&payload, static_cast<uint32_t>(status.message().size()));
+  payload.append(status.message());
+  return payload;
+}
+
+Status DecodeErrorResponse(std::string_view payload, Status* decoded) {
+  ByteReader in(payload);
+  uint32_t wire_code = 0;
+  uint32_t msg_len = 0;
+  if (!in.Consume(&wire_code) || !in.Consume(&msg_len)) {
+    return Malformed("truncated error response");
+  }
+  StatusCode code = StatusCode::kInternal;
+  if (!WireToStatusCode(wire_code, &code)) {
+    return Malformed("unknown status code in error response");
+  }
+  std::string message;
+  if (!in.ConsumeBytes(msg_len, &message)) {
+    return Malformed("truncated error message");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after error response");
+  *decoded = MakeStatus(code, std::move(message));
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace hyperdom

@@ -1,0 +1,341 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "server/server.h"
+
+#include <utility>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/knn.h"
+#include "server/net.h"
+
+namespace hyperdom {
+namespace server {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Server::Server(const SsTree* tree, const DominanceCriterion* criterion,
+               ServerOptions options)
+    : tree_(tree), criterion_(criterion), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.load()) return Status::Internal("server already started");
+  Result<int> listener =
+      ListenOn(options_.host, options_.port, /*backlog=*/128);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = *listener;
+  Result<uint16_t> port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    CloseSocket(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  started_.store(true);
+  draining_.store(false);
+  const size_t workers = ThreadPool::ResolveThreads(options_.worker_threads);
+  workers_ = std::make_unique<ThreadPool>(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_->Submit([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_.exchange(false)) return;
+  // Drain sequence. Order matters:
+  // 1. Refuse new work: requests racing the drain are shed (kOverloaded).
+  draining_.store(true);
+  // 2. Wake the accept loop (shutdown, not close: on Linux only shutdown
+  //    reliably interrupts a blocked accept), join it, then release the fd.
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  // 3. Wake every connection blocked on a read: they see EOF, finish
+  //    writing any in-flight response (the write side stays open), and
+  //    wind down.
+  ShutdownConnections();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  // 4. Let the workers drain what was already admitted, then exit. Every
+  //    queued Work still gets processed and its promise fulfilled —
+  //    in-flight queries finish, nothing is dropped after admission.
+  CloseQueue();
+  if (workers_) {
+    workers_->Wait();
+    workers_.reset();
+  }
+}
+
+bool Server::TryEnqueue(std::unique_ptr<Work> work) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_closed_ || draining_.load() ||
+        queue_.size() >= options_.queue_capacity) {
+      return false;
+    }
+    queue_.push_back(std::move(work));
+    HYPERDOM_GAUGE_SET(obs::kServerQueueDepth,
+                       static_cast<double>(queue_.size()));
+  }
+  queue_ready_.notify_one();
+  return true;
+}
+
+std::unique_ptr<Server::Work> Server::Dequeue() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_ready_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // closed and drained
+  std::unique_ptr<Work> work = std::move(queue_.front());
+  queue_.pop_front();
+  HYPERDOM_GAUGE_SET(obs::kServerQueueDepth,
+                     static_cast<double>(queue_.size()));
+  return work;
+}
+
+void Server::CloseQueue() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_ready_.notify_all();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<int> accepted = AcceptConnection(listen_fd_);
+    if (!accepted.ok()) return;  // listener closed: drain in progress
+    const int fd = *accepted;
+    if (const Status fault = HYPERDOM_FAULT_POINT_STATUS("server/accept");
+        !fault.ok()) {
+      // An injected accept-path failure: the connection is dropped before
+      // any protocol exchange, exactly like a transient accept error.
+      CloseSocket(fd);
+      continue;
+    }
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    HYPERDOM_COUNTER_INC(obs::kServerConnections);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Reap finished connection threads so a long-lived server does not
+    // accumulate one zombie thread per past client.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->finished.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // Best-effort shed notice; a stalled peer cannot block accept for
+      // longer than one io timeout.
+      counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      HYPERDOM_COUNTER_INC(obs::kServerShed);
+      const std::string frame =
+          EncodeFrame(FrameKind::kErrorResponse,
+                      EncodeErrorResponse(Status::Overloaded(
+                          "connection limit reached, try again later")));
+      WriteFull(fd, frame.data(), frame.size(), options_.io_timeout_ms);
+      CloseSocket(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] {
+      ConnectionLoop(raw->fd);
+      raw->finished.store(true);
+    });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ConnectionLoop(int fd) {
+  const int64_t active =
+      counters_.active_connections.fetch_add(1, std::memory_order_relaxed) + 1;
+  HYPERDOM_GAUGE_SET(obs::kServerActiveConnections,
+                     static_cast<double>(active));
+  // One frame per iteration. Any condition that could desynchronize the
+  // byte stream (bad header, CRC mismatch, malformed payload) is answered
+  // with a best-effort error frame and the connection is closed; transient
+  // per-request conditions (overload) keep the connection open.
+  auto fail_connection = [&](const Status& error) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
+    const std::string frame = EncodeFrame(FrameKind::kErrorResponse,
+                                          EncodeErrorResponse(error));
+    WriteFull(fd, frame.data(), frame.size(), options_.io_timeout_ms);
+  };
+  for (;;) {
+    char header_bytes[kFrameHeaderSize];
+    bool clean_eof = false;
+    Status read = ReadFull(fd, header_bytes, sizeof(header_bytes),
+                           options_.io_timeout_ms, &clean_eof);
+    if (read.ok()) read = HYPERDOM_FAULT_POINT_STATUS("server/read");
+    if (!read.ok()) {
+      // Clean EOF: the client is done. A timeout (slow client) or a
+      // truncated header: drop the connection — a half-frame cannot be
+      // resynced. Either way the thread exits and resources are reclaimed.
+      if (!clean_eof) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
+      }
+      break;
+    }
+    Result<FrameHeader> header = DecodeFrameHeader(
+        std::string_view(header_bytes, sizeof(header_bytes)),
+        options_.max_payload_bytes);
+    if (!header.ok()) {
+      fail_connection(header.status());
+      break;
+    }
+    // payload_size is already capped by DecodeFrameHeader, so this
+    // allocation is bounded.
+    std::string payload(header->payload_size, '\0');
+    if (header->payload_size > 0) {
+      Status body = ReadFull(fd, payload.data(), payload.size(),
+                             options_.io_timeout_ms);
+      if (body.ok()) body = HYPERDOM_FAULT_POINT_STATUS("server/read");
+      if (!body.ok()) {
+        fail_connection(Status::ProtocolError("truncated frame payload: " +
+                                              body.message()));
+        break;
+      }
+    }
+    if (Status crc = VerifyPayloadCrc(*header, payload); !crc.ok()) {
+      fail_connection(crc);
+      break;
+    }
+
+    std::string response_frame;
+    bool close_after_reply = false;
+    switch (header->kind) {
+      case FrameKind::kPingRequest:
+        response_frame = EncodeFrame(FrameKind::kPongResponse, {});
+        HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", "ping");
+        break;
+      case FrameKind::kKnnRequest: {
+        Result<KnnRequest> request = DecodeKnnRequest(payload);
+        if (!request.ok()) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
+          response_frame = EncodeFrame(FrameKind::kErrorResponse,
+                                       EncodeErrorResponse(request.status()));
+          close_after_reply = true;
+          break;
+        }
+        auto work = std::make_unique<Work>();
+        work->request = request.TakeValue();
+        // Deadline starts at admission: time spent queued burns budget,
+        // so an overloaded server degrades to best-effort answers instead
+        // of returning exact answers arbitrarily late.
+        work->deadline = DeadlineFromRequest(work->request);
+        work->admitted = std::chrono::steady_clock::now();
+        std::future<std::string> response = work->response.get_future();
+        const bool admitted =
+            HYPERDOM_FAULT_POINT_STATUS("server/enqueue").ok() &&
+            TryEnqueue(std::move(work));
+        if (!admitted) {
+          // Load shedding is per-request, not per-connection: answer
+          // kOverloaded immediately and keep reading.
+          counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+          HYPERDOM_COUNTER_INC(obs::kServerShed);
+          response_frame =
+              EncodeFrame(FrameKind::kErrorResponse,
+                          EncodeErrorResponse(Status::Overloaded(
+                              "request queue full, try again later")));
+        } else {
+          // The worker always fulfills the promise (even during drain the
+          // queue is processed to empty), so this wait cannot hang.
+          response_frame = response.get();
+        }
+        break;
+      }
+      default:
+        // Structurally valid but not something clients may send.
+        response_frame =
+            EncodeFrame(FrameKind::kErrorResponse,
+                        EncodeErrorResponse(Status::ProtocolError(
+                            "unexpected frame kind on a server connection")));
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
+        close_after_reply = true;
+        break;
+    }
+
+    Status written = HYPERDOM_FAULT_POINT_STATUS("server/write");
+    if (written.ok()) {
+      written = WriteFull(fd, response_frame.data(), response_frame.size(),
+                          options_.io_timeout_ms);
+    }
+    if (!written.ok() || close_after_reply) break;
+  }
+  CloseSocket(fd);
+  const int64_t remaining =
+      counters_.active_connections.fetch_sub(1, std::memory_order_relaxed) - 1;
+  HYPERDOM_GAUGE_SET(obs::kServerActiveConnections,
+                     static_cast<double>(remaining));
+}
+
+void Server::WorkerLoop() {
+  if (options_.worker_start_hook) options_.worker_start_hook();
+  while (std::unique_ptr<Work> work = Dequeue()) {
+    work->response.set_value(ProcessRequest(*work));
+  }
+}
+
+std::string Server::ProcessRequest(Work& work) {
+  HYPERDOM_SPAN(span, "server/request");
+  HYPERDOM_SPAN_ANNOTATE(span, "k", std::to_string(work.request.k));
+  KnnOptions options;
+  options.k = work.request.k;
+  options.strategy = work.request.strategy;
+  options.deadline = work.deadline;
+  const KnnSearcher searcher(criterion_, options);
+  const KnnResult result = searcher.Search(*tree_, work.request.query);
+  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", "knn");
+  if (result.completeness == Completeness::kBestEffort) {
+    counters_.best_effort_responses.fetch_add(1, std::memory_order_relaxed);
+    HYPERDOM_COUNTER_INC(obs::kServerBestEffort);
+    HYPERDOM_SPAN_EVENT_CURRENT("best_effort");
+  }
+  const uint64_t elapsed_ns =
+      NowNs() -
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              work.admitted.time_since_epoch())
+              .count());
+  HYPERDOM_HISTOGRAM_RECORD(obs::kServerRequestDuration, elapsed_ns);
+  KnnResponse response;
+  response.completeness = result.completeness;
+  response.answers = result.answers;
+  return EncodeFrame(FrameKind::kKnnResponse, EncodeKnnResponse(response));
+}
+
+void Server::ShutdownConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) ShutdownRead(conn->fd);
+}
+
+}  // namespace server
+}  // namespace hyperdom

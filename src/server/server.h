@@ -1,0 +1,159 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// The hyperdom query server: a blocking-accept loop feeding the exec
+// ThreadPool through a bounded admission queue, speaking HDNP frames
+// (server/protocol.h) over TCP.
+//
+// Robustness contract — every request either completes exactly, degrades
+// to a certified-subset kBestEffort answer, or is shed with an explicit
+// error frame; the server never hangs on a request and a misbehaving
+// client never takes it down:
+//
+//   * Deadline propagation. A client budget becomes a Deadline at
+//     ADMISSION time, so time spent queued counts against it; the query
+//     drivers return flagged best-effort subsets on expiry (robustness.md
+//     §7), which flow back as normal responses, not errors.
+//   * Admission control. The request queue is bounded; when it is full
+//     (or the server is draining) the request is answered immediately
+//     with kOverloaded — the connection stays open, memory stays bounded.
+//   * Hardened connection loop. Truncated frames, CRC mismatches,
+//     oversized or malformed payloads get a kProtocolError frame and the
+//     connection is closed (a byte stream cannot be resynced); slow
+//     clients are bounded by poll timeouts; EINTR/partial transfers are
+//     retried; writes cannot raise SIGPIPE (net.h).
+//   * Graceful drain. Stop() closes the listener, wakes every connection
+//     with a read-side shutdown, lets in-flight queries finish and their
+//     responses flush, then joins all threads. Requests that race the
+//     drain are shed with kOverloaded.
+//
+// Fault sites server/accept, server/read, server/write, server/enqueue
+// make each failure edge deterministically testable.
+
+#ifndef HYPERDOM_SERVER_SERVER_H_
+#define HYPERDOM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "dominance/criterion.h"
+#include "exec/thread_pool.h"
+#include "index/ss_tree.h"
+#include "server/protocol.h"
+
+namespace hyperdom {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = pick an ephemeral port (read back via port())
+  /// Query workers; 0 = hardware concurrency.
+  size_t worker_threads = 0;
+  /// Admission-queue bound: requests beyond this are shed (kOverloaded).
+  size_t queue_capacity = 128;
+  /// Connections beyond this are told kOverloaded and closed at accept.
+  size_t max_connections = 256;
+  /// Per-frame payload cap, enforced before allocation.
+  uint64_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Bound on each socket read/write wait (slow-client defense).
+  int io_timeout_ms = 5000;
+  /// Test-only: runs at the start of every worker drain loop (lets tests
+  /// park workers to fill the queue deterministically).
+  std::function<void()> worker_start_hook;
+};
+
+/// \brief Counters mirrored into obs metrics, readable directly in tests
+/// (and when observability is compiled out).
+struct ServerCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<int64_t> active_connections{0};
+  std::atomic<uint64_t> requests_served{0};
+  std::atomic<uint64_t> requests_shed{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> best_effort_responses{0};
+};
+
+/// \brief The query server. Borrows the tree and criterion (not owned);
+/// both must outlive it. Start() returns once the listener is live;
+/// Stop() (or the destructor) drains gracefully.
+class Server {
+ public:
+  Server(const SsTree* tree, const DominanceCriterion* criterion,
+         ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spins up the accept loop + workers.
+  Status Start();
+
+  /// Graceful drain: stop accepting, finish in-flight queries, flush
+  /// their responses, join everything. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start(); resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+  const ServerCounters& counters() const { return counters_; }
+
+ private:
+  struct Work {
+    KnnRequest request;
+    Deadline deadline;  // built at admission: queue wait burns budget
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<std::string> response;  // an encoded HDNP frame
+  };
+
+  // Bounded MPMC admission queue.
+  bool TryEnqueue(std::unique_ptr<Work> work);
+  std::unique_ptr<Work> Dequeue();  // null once closed and empty
+  void CloseQueue();
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void WorkerLoop();
+  std::string ProcessRequest(Work& work);
+  // Severs every live connection's read side so their threads wind down.
+  void ShutdownConnections();
+
+  const SsTree* tree_;
+  const DominanceCriterion* criterion_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_ready_;
+  std::deque<std::unique_ptr<Work>> queue_;
+  bool queue_closed_ = false;
+
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+
+  ServerCounters counters_;
+};
+
+}  // namespace server
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_SERVER_SERVER_H_

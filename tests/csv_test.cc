@@ -58,10 +58,13 @@ TEST_F(CsvTest, MixedDimensionalityRejectedOnSave) {
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(CsvTest, MissingFileIsIOError) {
+TEST_F(CsvTest, MissingFileIsNotFound) {
   auto loaded = LoadSpheresCsv("/nonexistent/dir/file.csv");
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  // common/io maps ENOENT to kNotFound and names the syscall and path.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("/nonexistent/dir/file.csv"),
+            std::string::npos);
 }
 
 TEST_F(CsvTest, CommentsAndBlankLinesSkipped) {

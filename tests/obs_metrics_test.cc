@@ -22,6 +22,13 @@ namespace {
 std::atomic<uint64_t> g_allocation_count{0};
 }  // namespace
 
+// GCC pairs the inlined free() below with callers' `new` expressions and
+// warns -Wmismatched-new-delete, not seeing that operator new is replaced
+// with malloc in this same TU; the pairing is in fact consistent.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -36,6 +43,9 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace hyperdom {
 namespace obs {

@@ -362,10 +362,11 @@ TEST_F(SsTreePersistenceTest, EmptyTreeRoundTrips) {
   EXPECT_EQ(loaded.root(), nullptr);
 }
 
-TEST_F(SsTreePersistenceTest, MissingFileIsIOError) {
+TEST_F(SsTreePersistenceTest, MissingFileIsNotFound) {
   SsTree loaded(0);
+  // common/io maps ENOENT to kNotFound.
   EXPECT_EQ(SsTree::Load("/no/such/file.bin", &loaded).code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 TEST_F(SsTreePersistenceTest, GarbageFileIsRejected) {

@@ -35,6 +35,11 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::NotSupported("nope"), StatusCode::kNotSupported,
        "Not supported"},
       {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+      {Status::Overloaded("shed"), StatusCode::kOverloaded, "Overloaded"},
+      {Status::DeadlineExceeded("late"), StatusCode::kDeadlineExceeded,
+       "Deadline exceeded"},
+      {Status::ProtocolError("junk"), StatusCode::kProtocolError,
+       "Protocol error"},
   };
   for (const auto& c : cases) {
     EXPECT_FALSE(c.status.ok());

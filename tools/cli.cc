@@ -3,13 +3,16 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
-#include <fstream>
+#include <thread>
 
 #include <cmath>
 
 #include "common/fault.h"
+#include "common/io.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
@@ -32,6 +35,8 @@
 #include "query/knn.h"
 #include "query/probabilistic_knn.h"
 #include "query/range.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace hyperdom {
 namespace cli {
@@ -62,6 +67,12 @@ constexpr char kUsage[] =
     "              [--certified=1]\n"
     "  snapshot    --op=save|load|verify --file=SNAP [--index=ss|vp]\n"
     "              [--data=FILE]\n"
+    "  serve       --data=FILE [--port=0] [--host=127.0.0.1] [--threads=0]\n"
+    "              [--queue-capacity=128] [--max-connections=256]\n"
+    "              [--io-timeout-ms=5000] [--criterion=NAME]\n"
+    "  query       --server=HOST:PORT --query=X,..;R [--k=10]\n"
+    "              [--strategy=hs|df] [--budget-ms=T] [--node-budget=N]\n"
+    "              [--timeout-ms=10000] [--attempts=4]\n"
     "  metrics     (prints the catalogue of process-wide metric names)\n"
     "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle, certified\n"
     "--certified=1 routes dominance through the certified engine and reports\n"
@@ -77,7 +88,9 @@ constexpr char kUsage[] =
     "knn --queries=N replaces the single --query with a seeded workload of\n"
     "N random queries drawn from the dataset, reporting aggregate stats;\n"
     "--threads=T shards the workload across T workers (0 = all cores) with\n"
-    "bit-identical results at any thread count.\n";
+    "bit-identical results at any thread count.\n"
+    "exit codes: 0 success, 1 command error, 2 usage error, 3 server\n"
+    "overloaded, 4 deadline exceeded, 5 protocol error.\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -675,6 +688,145 @@ Status CmdExperiment(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+// SIGTERM/SIGINT land here while `serve` runs; the main thread polls the
+// flag and drains gracefully. Async-signal-safe: one relaxed store.
+std::atomic<bool> g_serve_shutdown{false};
+
+extern "C" void HandleServeSignal(int /*signum*/) {
+  g_serve_shutdown.store(true, std::memory_order_relaxed);
+}
+
+Status CmdServe(const ParsedArgs& args, std::ostream& out) {
+  auto data = LoadData(args);
+  if (!data.ok()) return data.status();
+  if (data->empty()) return Status::InvalidArgument("dataset is empty");
+  auto kind = ParseCriterion(args.GetFlag("criterion", "hyperbola"));
+  if (!kind.ok()) return kind.status();
+  auto port = RequireUint(args, "port", 0, /*required=*/false);
+  if (!port.ok()) return port.status();
+  if (*port > 65535) return Status::InvalidArgument("bad --port");
+  auto threads = RequireUint(args, "threads", 0, /*required=*/false);
+  if (!threads.ok()) return threads.status();
+  auto queue_capacity =
+      RequireUint(args, "queue-capacity", 128, /*required=*/false);
+  if (!queue_capacity.ok()) return queue_capacity.status();
+  if (*queue_capacity == 0) {
+    return Status::InvalidArgument("--queue-capacity must be positive");
+  }
+  auto max_conns = RequireUint(args, "max-connections", 256,
+                               /*required=*/false);
+  if (!max_conns.ok()) return max_conns.status();
+  auto io_timeout = RequireUint(args, "io-timeout-ms", 5000,
+                                /*required=*/false);
+  if (!io_timeout.ok()) return io_timeout.status();
+
+  SsTree tree(data->front().dim());
+  HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
+  const auto criterion = MakeInstrumentedCriterion(*kind);
+
+  server::ServerOptions options;
+  options.host = args.GetFlag("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(*port);
+  options.worker_threads = static_cast<size_t>(*threads);
+  options.queue_capacity = static_cast<size_t>(*queue_capacity);
+  options.max_connections = static_cast<size_t>(*max_conns);
+  options.io_timeout_ms = static_cast<int>(*io_timeout);
+  server::Server server(&tree, criterion.get(), options);
+  HYPERDOM_RETURN_NOT_OK(server.Start());
+  out << "hyperdom_server listening on " << options.host << ":"
+      << server.port() << " (" << data->size() << " spheres, criterion "
+      << criterion->name() << ")\n"
+      << "SIGTERM/SIGINT drains in-flight queries and exits.\n";
+  out.flush();
+
+  g_serve_shutdown.store(false, std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  while (!g_serve_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  out << "draining...\n";
+  out.flush();
+  server.Stop();
+  const server::ServerCounters& counters = server.counters();
+  out << "served " << counters.requests_served.load() << " requests ("
+      << counters.requests_shed.load() << " shed, "
+      << counters.best_effort_responses.load() << " best-effort, "
+      << counters.protocol_errors.load() << " protocol errors) across "
+      << counters.connections_accepted.load() << " connections\n";
+  return Status::OK();
+}
+
+Status CmdQuery(const ParsedArgs& args, std::ostream& out) {
+  const std::string target = args.GetFlag("server");
+  if (target.empty()) return Status::InvalidArgument("missing --server");
+  const std::vector<std::string> parts = Split(target, ':');
+  uint64_t port = 0;
+  if (parts.size() != 2 || !ParseUint64(parts[1], &port) || port == 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("bad --server (want HOST:PORT): '" +
+                                   target + "'");
+  }
+  auto query = ParseSphere(args.GetFlag("query"));
+  if (!query.ok()) {
+    return Status::InvalidArgument("--query: " + query.status().message());
+  }
+  auto k = RequireUint(args, "k", 10, /*required=*/false);
+  if (!k.ok()) return k.status();
+  if (*k == 0) return Status::InvalidArgument("--k must be positive");
+  const std::string strategy = args.GetFlag("strategy", "hs");
+  if (strategy != "hs" && strategy != "df") {
+    return Status::InvalidArgument("bad --strategy (hs|df)");
+  }
+  auto budget_ms = RequireUint(args, "budget-ms", 0, /*required=*/false);
+  if (!budget_ms.ok()) return budget_ms.status();
+  auto node_budget = RequireUint(args, "node-budget", 0, /*required=*/false);
+  if (!node_budget.ok()) return node_budget.status();
+  auto timeout_ms = RequireUint(args, "timeout-ms", 10000,
+                                /*required=*/false);
+  if (!timeout_ms.ok()) return timeout_ms.status();
+  auto attempts = RequireUint(args, "attempts", 4, /*required=*/false);
+  if (!attempts.ok()) return attempts.status();
+
+  server::ClientOptions options;
+  options.host = parts[0];
+  options.port = static_cast<uint16_t>(port);
+  options.io_timeout_ms = static_cast<int>(*timeout_ms);
+  options.max_attempts = static_cast<int>(std::max<uint64_t>(1, *attempts));
+  server::Client client(options);
+
+  server::KnnRequest request;
+  request.query = *query;
+  request.k = static_cast<uint32_t>(*k);
+  request.strategy = strategy == "hs" ? SearchStrategy::kBestFirst
+                                      : SearchStrategy::kDepthFirst;
+  request.budget_micros = *budget_ms * 1000;
+  request.node_budget = *node_budget;
+  Result<server::KnnResponse> response = client.Knn(request);
+  if (!response.ok()) return response.status();
+
+  out << response->answers.size() << " possible top-" << *k << " objects ("
+      << CompletenessName(response->completeness) << ", "
+      << client.last_attempts() << " attempt"
+      << (client.last_attempts() == 1 ? "" : "s") << ")\n";
+  if (response->completeness == Completeness::kBestEffort) {
+    out << "deadline expired server-side: every entry below is certainly in"
+           " the exact answer\n";
+  }
+  size_t shown = 0;
+  for (const auto& entry : response->answers) {
+    out << "  #" << entry.id << "  " << entry.sphere.ToString()
+        << "  maxdist=" << FormatDouble(MaxDist(entry.sphere, *query)) << "\n";
+    if (++shown >= 20 && response->answers.size() > 20) {
+      out << "  ... (" << response->answers.size() - shown << " more)\n";
+      break;
+    }
+  }
+  return Status::OK();
+}
+
 // Arms the process-wide fault registry from the global --fault-site /
 // --fault-rate flags (no-op when neither is given). The probabilistic mode
 // is seeded by the same --seed that drives workload generation, so a
@@ -734,12 +886,7 @@ Status CmdMetrics(const ParsedArgs& /*args*/, std::ostream& out) {
 
 #if defined(HYPERDOM_OBSERVABILITY_ENABLED)
 Status WriteTextFile(const std::string& path, const std::string& body) {
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) return Status::IOError("cannot open for writing: " + path);
-  file << body;
-  file.flush();
-  if (!file) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteStringToFile(path, body);
 }
 #endif  // HYPERDOM_OBSERVABILITY_ENABLED
 
@@ -888,6 +1035,10 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     status = CmdSnapshot(*parsed, out);
   } else if (parsed->command == "experiment") {
     status = CmdExperiment(*parsed, out);
+  } else if (parsed->command == "serve") {
+    status = CmdServe(*parsed, out);
+  } else if (parsed->command == "query") {
+    status = CmdQuery(*parsed, out);
   } else if (parsed->command == "metrics") {
     status = CmdMetrics(*parsed, out);
   } else if (parsed->command == "help") {
@@ -902,7 +1053,18 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";
-    return 1;
+    // Scripted callers (and the load generator) distinguish the wire-
+    // protocol failure classes without parsing stderr.
+    switch (status.code()) {
+      case StatusCode::kOverloaded:
+        return 3;
+      case StatusCode::kDeadlineExceeded:
+        return 4;
+      case StatusCode::kProtocolError:
+        return 5;
+      default:
+        return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,19 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// hyperdom_client: one kNN query against a running hyperdom_server.
+// Equivalent to `hyperdom_cli query ...`; exit codes distinguish
+// overload (3), deadline expiry (4) and protocol failures (5).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc));
+  args.emplace_back("query");
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return hyperdom::cli::Run(args, std::cout, std::cerr);
+}

@@ -1,0 +1,19 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// hyperdom_server: the single-binary query server. Equivalent to
+// `hyperdom_cli serve ...` — this entry point exists so deployments ship
+// one obvious binary.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc));
+  args.emplace_back("serve");
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return hyperdom::cli::Run(args, std::cout, std::cerr);
+}

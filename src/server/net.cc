@@ -2,7 +2,10 @@
 
 #include "server/net.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -36,6 +39,27 @@ Status PollOne(int fd, short events, int timeout_ms, const char* op) {
     if (errno == EINTR) continue;
     return ErrnoToStatus(errno, "poll", op);
   }
+}
+
+// The deadline `timeout_ms` from now. ReadFull/WriteFull budget their
+// timeout across the WHOLE transfer, not per poll wait — otherwise a peer
+// dripping one byte per window holds the thread (and a connection slot)
+// indefinitely mid-frame.
+std::chrono::steady_clock::time_point TransferDeadline(int timeout_ms) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(timeout_ms);
+}
+
+// Milliseconds left until `deadline`, clamped at zero (poll(fd, 0) still
+// reports already-ready events, so data that raced the deadline is
+// consumed; only an actual wait is refused).
+int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  const long long left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now())
+          .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, INT_MAX));
 }
 
 Status ParseHost(const std::string& host, struct sockaddr_in* addr) {
@@ -137,10 +161,11 @@ Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
 Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
                 bool* clean_eof) {
   if (clean_eof != nullptr) *clean_eof = false;
+  const auto deadline = TransferDeadline(timeout_ms);
   char* out = static_cast<char*>(buf);
   size_t done = 0;
   while (done < size) {
-    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLIN, timeout_ms, "read"));
+    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLIN, RemainingMs(deadline), "read"));
     const ssize_t n = ::recv(fd, out + done, size - done, 0);
     if (n > 0) {
       done += static_cast<size_t>(n);
@@ -161,10 +186,12 @@ Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
 }
 
 Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms) {
+  const auto deadline = TransferDeadline(timeout_ms);
   const char* in = static_cast<const char*>(buf);
   size_t done = 0;
   while (done < size) {
-    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLOUT, timeout_ms, "write"));
+    HYPERDOM_RETURN_NOT_OK(
+        PollOne(fd, POLLOUT, RemainingMs(deadline), "write"));
     const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
     if (n >= 0) {
       done += static_cast<size_t>(n);

@@ -2,10 +2,11 @@
 //
 // Thin hardened POSIX socket layer under the server and client. The same
 // discipline as common/io, applied to sockets: every primitive retries
-// EINTR, finishes partial transfers in a loop, bounds each wait with
-// poll(2) so a slow or stalled peer cannot park a thread forever, and
-// maps errno into Status. Writes use MSG_NOSIGNAL, so a peer that closed
-// mid-write surfaces as EPIPE -> Status, never a process-killing SIGPIPE.
+// EINTR, finishes partial transfers in a loop, bounds the WHOLE transfer
+// with a poll(2)-enforced deadline so a slow, stalled, or byte-dripping
+// peer cannot park a thread forever, and maps errno into Status. Writes
+// use MSG_NOSIGNAL, so a peer that closed mid-write surfaces as
+// EPIPE -> Status, never a process-killing SIGPIPE.
 
 #ifndef HYPERDOM_SERVER_NET_H_
 #define HYPERDOM_SERVER_NET_H_
@@ -35,16 +36,17 @@ Result<int> AcceptConnection(int listen_fd);
 Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
                                int timeout_ms);
 
-/// Reads exactly `size` bytes. Each wait for readability is bounded by
-/// `timeout_ms` (kDeadlineExceeded on expiry); EINTR and short reads are
-/// retried. EOF before any byte arrives sets `*clean_eof` (when non-null)
-/// and returns kIOError "connection closed by peer"; EOF mid-buffer is a
-/// truncation and leaves the flag clear.
+/// Reads exactly `size` bytes or fails with kDeadlineExceeded once
+/// `timeout_ms` has elapsed across the whole call (a peer dripping bytes
+/// cannot stretch the budget); EINTR and short reads are retried. EOF
+/// before any byte arrives sets `*clean_eof` (when non-null) and returns
+/// kIOError "connection closed by peer"; EOF mid-buffer is a truncation
+/// and leaves the flag clear.
 Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
                 bool* clean_eof = nullptr);
 
-/// Writes exactly `size` bytes with MSG_NOSIGNAL; waits bounded by
-/// `timeout_ms`, EINTR and partial writes retried.
+/// Writes exactly `size` bytes with MSG_NOSIGNAL; the whole call is
+/// bounded by `timeout_ms`, EINTR and partial writes retried.
 Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms);
 
 /// Half-closes the read side (wakes a peer thread blocked in ReadFull on

@@ -33,7 +33,10 @@ class ByteReader {
   }
 
   bool ConsumeDoubles(size_t count, std::vector<double>* out) {
-    if (rest_.size() < count * sizeof(double)) return false;
+    // Compare by division: `count` comes straight off the wire, and
+    // count * sizeof(double) can wrap for count >= 2^61, which would let
+    // the size check pass and resize() throw past vector::max_size.
+    if (count > rest_.size() / sizeof(double)) return false;
     out->resize(count);
     std::memcpy(out->data(), rest_.data(), count * sizeof(double));
     rest_.remove_prefix(count * sizeof(double));
@@ -199,8 +202,9 @@ Result<KnnRequest> DecodeKnnRequest(std::string_view payload) {
   request.strategy = static_cast<SearchStrategy>(strategy);
   if (request.k == 0) return Malformed("k must be positive");
   if (dim == 0) return Malformed("query dimensionality must be positive");
-  // dim is bounded by the payload size (already capped by the header
-  // check), so this resize cannot over-allocate.
+  // dim is a raw wire value (it can lie — even overflow count*8):
+  // ConsumeDoubles checks it against the bytes actually present before
+  // allocating, so a lying dim fails cleanly here.
   std::vector<double> center;
   double radius = 0.0;
   if (!in.ConsumeDoubles(dim, &center) || !in.Consume(&radius)) {

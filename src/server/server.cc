@@ -67,14 +67,17 @@ void Server::Stop() {
   listen_fd_ = -1;
   // 3. Wake every connection blocked on a read: they see EOF, finish
   //    writing any in-flight response (the write side stays open), and
-  //    wind down.
+  //    wind down. Join WITHOUT holding conns_mu_ — each winding-down
+  //    thread takes the lock to retire its fd, and would deadlock against
+  //    a join that held it.
   ShutdownConnections();
+  std::list<std::unique_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    conns_.clear();
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
   // 4. Let the workers drain what was already admitted, then exit. Every
   //    queued Work still gets processed and its promise fulfilled —
@@ -134,20 +137,32 @@ void Server::AcceptLoop() {
     }
     counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     HYPERDOM_COUNTER_INC(obs::kServerConnections);
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    // Reap finished connection threads so a long-lived server does not
-    // accumulate one zombie thread per past client.
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->finished.load()) {
-        if ((*it)->thread.joinable()) (*it)->thread.join();
-        it = conns_.erase(it);
-      } else {
-        ++it;
+    bool over_limit = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap finished connection threads so a long-lived server does not
+      // accumulate one zombie thread per past client.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->finished.load()) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      over_limit = conns_.size() >= options_.max_connections;
+      if (!over_limit) {
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        conn->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+        conns_.push_back(std::move(conn));
       }
     }
-    if (conns_.size() >= options_.max_connections) {
-      // Best-effort shed notice; a stalled peer cannot block accept for
-      // longer than one io timeout.
+    if (over_limit) {
+      // Best-effort shed notice, written OUTSIDE conns_mu_: the write can
+      // block for up to one io timeout on a stalled peer, and must not
+      // stall other accepts or Stop() for that long.
       counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
       HYPERDOM_COUNTER_INC(obs::kServerShed);
       const std::string frame =
@@ -156,20 +171,12 @@ void Server::AcceptLoop() {
                           "connection limit reached, try again later")));
       WriteFull(fd, frame.data(), frame.size(), options_.io_timeout_ms);
       CloseSocket(fd);
-      continue;
     }
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    conn->thread = std::thread([this, raw] {
-      ConnectionLoop(raw->fd);
-      raw->finished.store(true);
-    });
-    conns_.push_back(std::move(conn));
   }
 }
 
-void Server::ConnectionLoop(int fd) {
+void Server::ConnectionLoop(Connection* conn) {
+  const int fd = conn->fd;
   const int64_t active =
       counters_.active_connections.fetch_add(1, std::memory_order_relaxed) + 1;
   HYPERDOM_GAUGE_SET(obs::kServerActiveConnections,
@@ -185,7 +192,11 @@ void Server::ConnectionLoop(int fd) {
                                           EncodeErrorResponse(error));
     WriteFull(fd, frame.data(), frame.size(), options_.io_timeout_ms);
   };
-  for (;;) {
+  // The loop body is a try block: no decode or encode path is expected to
+  // throw, but if one ever does (e.g. bad_alloc building a response frame)
+  // it must cost this one connection, not the process — the exception
+  // would otherwise escape the connection thread and terminate.
+  for (;;) try {
     char header_bytes[kFrameHeaderSize];
     bool clean_eof = false;
     Status read = ReadFull(fd, header_bytes, sizeof(header_bytes),
@@ -288,8 +299,24 @@ void Server::ConnectionLoop(int fd) {
                           options_.io_timeout_ms);
     }
     if (!written.ok() || close_after_reply) break;
+  } catch (const std::exception& e) {
+    fail_connection(
+        Status::Internal(std::string("request handling failed: ") + e.what()));
+    break;
+  } catch (...) {
+    fail_connection(Status::Internal("request handling failed"));
+    break;
   }
-  CloseSocket(fd);
+  // Retire the fd under conns_mu_, publishing fd = -1 BEFORE the close:
+  // Stop()'s ShutdownConnections skips retired entries, so it can never
+  // shutdown(2) a closed descriptor the kernel may have recycled for an
+  // unrelated socket.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn->fd = -1;
+    CloseSocket(fd);
+  }
+  conn->finished.store(true);
   const int64_t remaining =
       counters_.active_connections.fetch_sub(1, std::memory_order_relaxed) - 1;
   HYPERDOM_GAUGE_SET(obs::kServerActiveConnections,
@@ -299,7 +326,24 @@ void Server::ConnectionLoop(int fd) {
 void Server::WorkerLoop() {
   if (options_.worker_start_hook) options_.worker_start_hook();
   while (std::unique_ptr<Work> work = Dequeue()) {
-    work->response.set_value(ProcessRequest(*work));
+    // Exception boundary: a throw out of ProcessRequest (e.g. bad_alloc
+    // encoding a large response) must fail this one request with a
+    // kInternal frame, not escape the worker thread and terminate the
+    // process. The promise is always fulfilled, so no connection hangs.
+    std::string frame;
+    try {
+      frame = ProcessRequest(*work);
+    } catch (const std::exception& e) {
+      frame = EncodeFrame(
+          FrameKind::kErrorResponse,
+          EncodeErrorResponse(Status::Internal(
+              std::string("request processing failed: ") + e.what())));
+    } catch (...) {
+      frame = EncodeFrame(
+          FrameKind::kErrorResponse,
+          EncodeErrorResponse(Status::Internal("request processing failed")));
+    }
+    work->response.set_value(std::move(frame));
   }
 }
 
@@ -334,7 +378,12 @@ std::string Server::ProcessRequest(Work& work) {
 
 void Server::ShutdownConnections() {
   std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto& conn : conns_) ShutdownRead(conn->fd);
+  for (auto& conn : conns_) {
+    // Skip retired entries (fd already closed by the connection thread):
+    // a shutdown(2) on a closed fd number could hit an unrelated socket
+    // the kernel recycled it for.
+    if (conn->fd >= 0) ShutdownRead(conn->fd);
+  }
 }
 
 }  // namespace server

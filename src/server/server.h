@@ -107,6 +107,8 @@ class Server {
   const ServerCounters& counters() const { return counters_; }
 
  private:
+  struct Connection;
+
   struct Work {
     KnnRequest request;
     Deadline deadline;  // built at admission: queue wait burns budget
@@ -120,10 +122,11 @@ class Server {
   void CloseQueue();
 
   void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void ConnectionLoop(Connection* conn);
   void WorkerLoop();
   std::string ProcessRequest(Work& work);
-  // Severs every live connection's read side so their threads wind down.
+  // Severs every live (non-retired) connection's read side so their
+  // threads wind down.
   void ShutdownConnections();
 
   const SsTree* tree_;
@@ -143,6 +146,10 @@ class Server {
   std::unique_ptr<ThreadPool> workers_;
 
   struct Connection {
+    // Guarded by conns_mu_ after the thread starts. The connection thread
+    // owns the close: it retires the entry (fd = -1, then close) under
+    // conns_mu_ before setting `finished`, so ShutdownConnections never
+    // touches a descriptor the kernel may have recycled.
     int fd = -1;
     std::thread thread;
     std::atomic<bool> finished{false};

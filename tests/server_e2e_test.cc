@@ -340,6 +340,41 @@ TEST_F(ServerE2eTest, SlowClientIsDisconnectedNotWaitedOnForever) {
   EXPECT_GE(server->counters().protocol_errors.load(), 1u);
 }
 
+TEST_F(ServerE2eTest, ByteDrippingClientCannotHoldAConnectionSlot) {
+  ServerOptions options;
+  options.io_timeout_ms = 200;
+  auto server = StartServer(options);
+  Result<int> fd = ConnectWithTimeout("127.0.0.1", server->port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  // One byte per 100 ms: every inter-byte gap fits comfortably inside the
+  // io timeout, so a per-wait bound would read the whole frame and never
+  // give up. The timeout budgets the WHOLE transfer, so the server must
+  // cut the connection after ~io_timeout_ms, long before the 24-byte
+  // header completes at this drip rate (slow-loris defense).
+  const std::string frame = EncodeFrame(FrameKind::kPingRequest, {});
+  bool dropped = false;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    if (!WriteFull(*fd, frame.data() + i, 1, 2'000).ok()) {
+      dropped = true;  // RST from the server's close
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!dropped) {
+    // Writes can land in the socket buffer after the server gave up; the
+    // drop then surfaces as EOF (had the server read the whole frame, a
+    // pong frame would arrive here instead).
+    char byte = 0;
+    dropped = !ReadFull(*fd, &byte, 1, 2'000).ok();
+  }
+  EXPECT_TRUE(dropped);
+  CloseSocket(*fd);
+  EXPECT_GE(server->counters().protocol_errors.load(), 1u);
+  // The freed slot serves the next client normally.
+  Client client = MakeClient(server->port());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
 TEST_F(ServerE2eTest, ConnectionLimitShedsAtAccept) {
   ServerOptions options;
   options.max_connections = 1;

@@ -173,6 +173,22 @@ TEST(KnnRequestCodecTest, RejectsEveryTruncation) {
   }
 }
 
+TEST(KnnRequestCodecTest, OverflowingDimCannotDefeatBoundsCheck) {
+  // For dim >= 2^61, dim * sizeof(double) wraps to a tiny value. If the
+  // decoder compared the product against the remaining bytes, the check
+  // would pass and resize(dim) would throw length_error — on the server a
+  // remote crash from one valid-CRC frame. The decoder must compare by
+  // division and reject cleanly.
+  std::string payload = EncodeKnnRequest(SampleRequest());
+  for (uint64_t dim : {1ull << 61, (1ull << 61) + 1, (1ull << 62) + 3,
+                       0xFFFFFFFFFFFFFFFFull}) {
+    std::memcpy(payload.data() + 24, &dim, sizeof(dim));
+    auto decoded = DecodeKnnRequest(payload);
+    ASSERT_FALSE(decoded.ok()) << "accepted dim " << dim;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  }
+}
+
 TEST(KnnRequestCodecTest, RejectsTrailingBytes) {
   std::string payload = EncodeKnnRequest(SampleRequest());
   payload.push_back('\0');
@@ -239,6 +255,17 @@ TEST(KnnResponseCodecTest, LyingCountCannotDriveAllocation) {
   std::string payload = EncodeKnnResponse(KnnResponse{});
   const uint64_t lie = 1ull << 60;
   std::memcpy(payload.data() + 12, &lie, sizeof(lie));
+  auto decoded = DecodeKnnResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(KnnResponseCodecTest, OverflowingDimCannotDefeatBoundsCheck) {
+  // Same wrap-around as the request side, through the response decoder's
+  // per-entry ConsumeDoubles path.
+  std::string payload = EncodeKnnResponse(SampleResponse());
+  const uint64_t dim = (1ull << 61) + 1;
+  std::memcpy(payload.data() + 4, &dim, sizeof(dim));
   auto decoded = DecodeKnnResponse(payload);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);

@@ -35,6 +35,14 @@ constexpr std::string_view kAllSites[] = {
     // index/snapshot — checksummed persistence envelope.
     "snapshot/write",
     "snapshot/read",
+    // index/rotation — generation rotation: fires between the generation
+    // write and the CURRENT manifest update, the crash window the
+    // last-good fallback exists for.
+    "snapshot/rotate",
+    // index/mutable_ss_tree — live write paths. Both fire BEFORE any
+    // state is published, so a failure never leaves a torn store.
+    "store/insert",
+    "store/compact",
     // dominance/ — certified escalation chain (degrade sites: firing
     // forces the tier's outcome to "uncertain", never a Status).
     "certified/quartic",

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -111,6 +112,25 @@ Status RemoveFile(const std::string& path) {
     return ErrnoToStatus(errno, "unlink", path);
   }
   return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return ErrnoToStatus(errno, "opendir", dir);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    const struct dirent* entry = ::readdir(handle);
+    if (entry == nullptr) {
+      const int err = errno;
+      ::closedir(handle);
+      if (err != 0) return ErrnoToStatus(err, "readdir", dir);
+      return names;
+    }
+    const std::string_view name(entry->d_name);
+    if (name == "." || name == "..") continue;
+    names.emplace_back(name);
+  }
 }
 
 }  // namespace hyperdom

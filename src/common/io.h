@@ -12,6 +12,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -36,6 +37,10 @@ Status RenameFile(const std::string& from, const std::string& to);
 
 /// unlink(2); ENOENT is not an error (the file is gone either way).
 Status RemoveFile(const std::string& path);
+
+/// Lists the entry names in `dir` (no "."/".."), unsorted; errno-mapped
+/// Status on failure. Used by the snapshot rotation fallback walk.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
 
 }  // namespace hyperdom
 

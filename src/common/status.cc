@@ -30,6 +30,8 @@ const char* CodeName(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kProtocolError:
       return "Protocol error";
+    case StatusCode::kConflict:
+      return "Conflict";
   }
   return "Unknown";
 }

@@ -29,6 +29,10 @@ enum class StatusCode {
   kOverloaded,
   kDeadlineExceeded,
   kProtocolError,
+  // Mutability (src/index/mutable_ss_tree.h): a mutation was rejected
+  // because the store is compacting or frozen for drain. Retryable once
+  // the maintenance window closes; the store is unchanged.
+  kConflict,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -72,6 +76,9 @@ class Status {
   }
   static Status ProtocolError(std::string msg) {
     return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
   /// @}
 

@@ -1,0 +1,76 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Crash-safe snapshot rotation: a directory of numbered snapshot
+// generations plus a CURRENT manifest naming the newest good one.
+//
+//   <dir>/<base>.<seq>.hdsp   checksummed snapshot envelope (index/snapshot.h)
+//   <dir>/CURRENT             one line: the generation filename
+//
+// Persist(N+1) while generation N serves:
+//
+//   1. write <base>.<N+1>.hdsp     (tmp+rename inside SaveSnapshot)
+//   2.   -- crash window: "snapshot/rotate" fault site --
+//   3. write CURRENT               (tmp+rename)
+//   4. prune generations older than N
+//
+// A failure at any step leaves CURRENT pointing at generation N, which is
+// still on disk and still serving — the new generation is removed on a
+// step-2 failure so no orphan accumulates. LoadLatest() follows CURRENT;
+// if the manifest or the generation it names is missing or corrupt, it
+// falls back to scanning the directory for the newest generation that
+// verifies, so a torn rotation never takes the service down.
+
+#ifndef HYPERDOM_INDEX_ROTATION_H_
+#define HYPERDOM_INDEX_ROTATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hyperdom {
+
+class SsTree;
+
+/// \brief Manages the numbered snapshot generations of one SS-tree in one
+/// directory. Not thread-safe; callers serialize Persist (the server's
+/// snapshot loop is single-threaded).
+class SnapshotRotator {
+ public:
+  /// Generations live in `dir` as `<base_name>.<seq>.hdsp`. The directory
+  /// must exist.
+  explicit SnapshotRotator(std::string dir, std::string base_name = "store");
+
+  /// \brief Writes the next generation and swings CURRENT to it, pruning
+  /// generations older than the previous one (the last two are kept so a
+  /// torn CURRENT can still fall back). On failure the previous
+  /// generation keeps serving and no partial files are left behind.
+  Status Persist(const SsTree& tree, uint64_t* published_seq = nullptr);
+
+  /// \brief Loads the newest loadable generation into `*out`: the one
+  /// CURRENT names, or — when the manifest is missing/corrupt or its
+  /// generation fails verification — the newest generation on disk that
+  /// loads cleanly (counted under op=rotate_fallback).
+  Status LoadLatest(SsTree* out, uint64_t* seq = nullptr) const;
+
+  /// The sequence CURRENT names; 0 when there is no manifest yet.
+  uint64_t CurrentSeq() const;
+
+  std::string GenerationPath(uint64_t seq) const;
+  std::string CurrentPath() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  /// Parses `<base>.<seq>.hdsp`; false when `name` is not a generation.
+  bool ParseGeneration(const std::string& name, uint64_t* seq) const;
+  /// Best-effort unlink of generations <= `keep_before` minus the last
+  /// two.
+  void Prune(uint64_t newest) const;
+
+  std::string dir_;
+  std::string base_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_INDEX_ROTATION_H_

@@ -228,12 +228,17 @@ Status LoadSnapshotOrRebuild(const std::string& path,
                              const std::vector<Hypersphere>& data,
                              SsTree* out, SnapshotLoadOutcome* outcome,
                              Status* load_error) {
+  HYPERDOM_SPAN(span, "snapshot/load_or_rebuild");
   const Status loaded = LoadSnapshot(path, out);
   if (load_error != nullptr) *load_error = loaded;
   if (loaded.ok()) {
     *outcome = SnapshotLoadOutcome::kLoaded;
     return Status::OK();
   }
+  // Falling back to an O(n log n) rebuild: count it (an operator alert —
+  // the snapshot on disk is missing or corrupt) and record why.
+  HYPERDOM_COUNTER_INC(obs::kSnapshotRebuildFallback);
+  HYPERDOM_SPAN_ANNOTATE(span, "rebuild_fallback", loaded.message());
   SsTree rebuilt(data.empty() ? out->dim() : data.front().dim(),
                  out->options());
   HYPERDOM_RETURN_NOT_OK(rebuilt.BulkLoadStr(data));
@@ -246,12 +251,15 @@ Status LoadSnapshotOrRebuild(const std::string& path,
                              const std::vector<Hypersphere>& data,
                              VpTree* out, SnapshotLoadOutcome* outcome,
                              Status* load_error) {
+  HYPERDOM_SPAN(span, "snapshot/load_or_rebuild");
   const Status loaded = LoadSnapshot(path, out);
   if (load_error != nullptr) *load_error = loaded;
   if (loaded.ok()) {
     *outcome = SnapshotLoadOutcome::kLoaded;
     return Status::OK();
   }
+  HYPERDOM_COUNTER_INC(obs::kSnapshotRebuildFallback);
+  HYPERDOM_SPAN_ANNOTATE(span, "rebuild_fallback", loaded.message());
   VpTree rebuilt(out->options());
   HYPERDOM_RETURN_NOT_OK(rebuilt.Build(data));
   *out = std::move(rebuilt);

@@ -151,8 +151,16 @@ void SsTree::StrTile(std::vector<SsTreeEntry>* entries, size_t lo, size_t hi,
 }
 
 Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
+  return BulkLoadStrWithIds(spheres, {});
+}
+
+Status SsTree::BulkLoadStrWithIds(const std::vector<Hypersphere>& spheres,
+                                  const std::vector<uint64_t>& ids) {
   IndexBuildRecorder recorder("ss", "str_pack");
   HYPERDOM_RETURN_NOT_OK(ValidateOptions());
+  if (!ids.empty() && ids.size() != spheres.size()) {
+    return Status::InvalidArgument("ids and spheres must have equal sizes");
+  }
   HYPERDOM_FAULT_POINT("ss_tree/str_pack");
   root_.reset();
   size_ = 0;
@@ -171,7 +179,8 @@ Status SsTree::BulkLoadStr(const std::vector<Hypersphere>& spheres) {
           "all spheres must share the tree's dimensionality");
     }
     const uint32_t slot = store_->Add(spheres[i]);
-    entries.push_back(SsTreeEntry{slot, static_cast<uint64_t>(i)});
+    entries.push_back(SsTreeEntry{
+        slot, ids.empty() ? static_cast<uint64_t>(i) : ids[i]});
   }
 
   // Pack at ~85% occupancy: full packing turns every subsequent insert

@@ -130,6 +130,13 @@ class SsTree {
   /// are positions in `spheres`.
   Status BulkLoadStr(const std::vector<Hypersphere>& spheres);
 
+  /// BulkLoadStr with caller-supplied ids (`ids[i]` tags `spheres[i]`;
+  /// sizes must match). The compaction path of the mutable store uses
+  /// this to rebuild a fresh tree while preserving the external ids the
+  /// rows were inserted under.
+  Status BulkLoadStrWithIds(const std::vector<Hypersphere>& spheres,
+                            const std::vector<uint64_t>& ids);
+
   /// \brief Removes the entry with this exact id and sphere. Underflowing
   /// nodes (fewer than 2 items) are dissolved and their residents
   /// re-inserted, so invariants keep holding. NotFound if absent. The

@@ -336,7 +336,11 @@ const std::vector<MetricDef>& MetricCatalogue() {
           kIndexBuilds,         kIndexBuildDuration,
           kIndexSize,           kDeadlineExpired,
           kFaultInjected,       kSnapshotOps,
-          kSnapshotDuration,    kExperimentDuration,
+          kSnapshotDuration,    kStoreMutations,
+          kStoreLive,           kStoreTombstones,
+          kStoreEpochLag,       kStoreCompactions,
+          kStoreCompactionDuration, kSnapshotRebuildFallback,
+          kExperimentDuration,
           kExecPoolThreads,     kExecTasks,
           kBatchRuns,           kBatchQueries,
           kBatchDuration,       kTraceDropped,

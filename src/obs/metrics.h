@@ -325,6 +325,39 @@ inline constexpr MetricDef kSnapshotDuration{
     "hyperdom_snapshot_duration_ns", "snapshot save/load latency (label op=)",
     MetricType::kHistogram};
 
+// Live mutability (src/index/mutable_ss_tree.h, src/storage/epoch.h;
+// docs/robustness.md §10).
+inline constexpr MetricDef kStoreMutations{
+    "hyperdom_store_mutations_total",
+    "live-store mutations (labels op=insert|remove, "
+    "result=ok|conflict|error)",
+    MetricType::kCounter};
+inline constexpr MetricDef kStoreLive{
+    "hyperdom_store_live_entries",
+    "live entries in the most recently published store version",
+    MetricType::kGauge};
+inline constexpr MetricDef kStoreTombstones{
+    "hyperdom_store_tombstone_entries",
+    "tombstoned (deleted, not yet compacted) entries in the most recently "
+    "published store version",
+    MetricType::kGauge};
+inline constexpr MetricDef kStoreEpochLag{
+    "hyperdom_store_epoch_lag",
+    "reclamation epochs the slowest active reader is behind the writer",
+    MetricType::kGauge};
+inline constexpr MetricDef kStoreCompactions{
+    "hyperdom_store_compactions_total",
+    "compaction runs (label result=ok|error)", MetricType::kCounter};
+inline constexpr MetricDef kStoreCompactionDuration{
+    "hyperdom_store_compaction_duration_ns",
+    "wall time of one compaction (gather + rebuild + publish)",
+    MetricType::kHistogram};
+inline constexpr MetricDef kSnapshotRebuildFallback{
+    "hyperdom_snapshot_rebuild_fallback_total",
+    "LoadSnapshotOrRebuild calls that fell back to an index rebuild "
+    "because the snapshot was missing or corrupt",
+    MetricType::kCounter};
+
 // Evaluation harness (label phase=dominance|knn; recorded by a
 // ScopedTimer around each experiment run).
 inline constexpr MetricDef kExperimentDuration{

@@ -8,6 +8,7 @@
 
 #include "query/best_known_list.h"
 #include "query/knn_metrics.h"
+#include "storage/epoch.h"
 
 namespace hyperdom {
 
@@ -15,8 +16,8 @@ namespace {
 
 void DepthFirstSearch(const SsTreeNode* node, double mindist,
                       const SphereStore& store, const Hypersphere& sq,
-                      BestKnownList* list, KnnStats* stats,
-                      TraversalGuard* guard) {
+                      const SearchOverlay* overlay, BestKnownList* list,
+                      KnnStats* stats, TraversalGuard* guard) {
   // distk shrinks while siblings are processed, so the bound is re-checked
   // here, at descent time, rather than where the child was enumerated.
   if (mindist > list->DistK()) {
@@ -31,6 +32,7 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
   ++stats->nodes_visited;
   if (node->is_leaf()) {
     for (const auto& entry : node->entries()) {
+      if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
       list->Access(store.Resolve(entry));
     }
     return;
@@ -45,13 +47,15 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [child_mindist, child] : order) {
-    DepthFirstSearch(child, child_mindist, store, sq, list, stats, guard);
+    DepthFirstSearch(child, child_mindist, store, sq, overlay, list, stats,
+                     guard);
   }
 }
 
 void BestFirstSearch(const SsTreeNode* root, const SphereStore& store,
-                     const Hypersphere& sq, BestKnownList* list,
-                     KnnStats* stats, TraversalGuard* guard) {
+                     const Hypersphere& sq, const SearchOverlay* overlay,
+                     BestKnownList* list, KnnStats* stats,
+                     TraversalGuard* guard) {
   using QueueItem = std::pair<double, const SsTreeNode*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;  // min-heap on MinDist
@@ -77,6 +81,7 @@ void BestFirstSearch(const SsTreeNode* root, const SphereStore& store,
     ++stats->nodes_visited;
     if (node->is_leaf()) {
       for (const auto& entry : node->entries()) {
+        if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
         list->Access(store.Resolve(entry));
       }
     } else {
@@ -97,21 +102,37 @@ KnnSearcher::KnnSearcher(const DominanceCriterion* criterion,
 }
 
 KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
+  return Search(tree, sq, nullptr);
+}
+
+KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq,
+                              const SearchOverlay* overlay) const {
+  // Pins the reclamation epoch for the whole query: any store version the
+  // overlay references stays alive until we return (storage/epoch.h).
+  // Nested guards are cheap, so this is safe under RkNN's subqueries too.
+  EpochManager::Guard epoch_guard;
   KnnQueryRecorder recorder("ss");
   KnnResult result;
-  if (tree.root() == nullptr) {
+  if (tree.root() == nullptr && overlay == nullptr) {
     recorder.Publish(result);
     return result;
   }
   BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
                      &result.stats);
+  // Delta rows live outside the tree: score them exhaustively up front,
+  // which also tightens distk before any node is descended.
+  if (overlay != nullptr) {
+    overlay->ForEachExtra([&](const EntryView& e) { list.Access(e); });
+  }
   TraversalGuard guard(options_.deadline);
-  if (options_.strategy == SearchStrategy::kDepthFirst) {
-    DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
-                     tree.store(), sq, &list, &result.stats, &guard);
-  } else {
-    BestFirstSearch(tree.root(), tree.store(), sq, &list, &result.stats,
-                    &guard);
+  if (tree.root() != nullptr) {
+    if (options_.strategy == SearchStrategy::kDepthFirst) {
+      DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
+                       tree.store(), sq, overlay, &list, &result.stats, &guard);
+    } else {
+      BestFirstSearch(tree.root(), tree.store(), sq, overlay, &list,
+                      &result.stats, &guard);
+    }
   }
   if (guard.expired()) {
     result.completeness = Completeness::kBestEffort;

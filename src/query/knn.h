@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dominance/criterion.h"
+#include "index/overlay.h"
 #include "index/ss_tree.h"
 #include "query/knn_types.h"
 
@@ -42,6 +43,15 @@ class KnnSearcher {
 
   /// Runs the query against an SS-tree.
   KnnResult Search(const SsTree& tree, const Hypersphere& sq) const;
+
+  /// \brief Runs the query against an SS-tree through a mutability
+  /// overlay (index/overlay.h): tombstoned base slots are skipped and the
+  /// overlay's delta rows are scored exhaustively before the traversal
+  /// (tightening distk early; the answer set is traversal-order
+  /// independent). Null overlay behaves exactly like the two-argument
+  /// form. The whole call runs under an epoch guard.
+  KnnResult Search(const SsTree& tree, const Hypersphere& sq,
+                   const SearchOverlay* overlay) const;
 
   const KnnOptions& options() const { return options_; }
 

@@ -1,0 +1,25 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "query/mut_query.h"
+
+namespace hyperdom {
+
+Versioned<KnnResult> MutableKnn(const MutableSsTree& tree,
+                                const DominanceCriterion& criterion,
+                                const KnnOptions& options,
+                                const Hypersphere& sq) {
+  KnnSearcher searcher(&criterion, options);
+  MutableSsTree::ReadView view = tree.Pin();
+  return Versioned<KnnResult>{searcher.Search(view.tree(), sq, &view),
+                              view.version()};
+}
+
+Versioned<RangeResult> MutableRange(const MutableSsTree& tree,
+                                    const Hypersphere& sq, double range,
+                                    const Deadline& deadline) {
+  MutableSsTree::ReadView view = tree.Pin();
+  return Versioned<RangeResult>{
+      RangeSearch(view.tree(), sq, range, deadline, &view), view.version()};
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,44 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Query entry points over the mutable SS-tree (index/mutable_ss_tree.h):
+// each call pins one consistent version of the store, runs the
+// corresponding static-tree search through the version's overlay, and
+// reports which version it answered at — the handle the torture test (and
+// any read-your-writes client) uses to compare against a serial replay of
+// the mutation log.
+
+#ifndef HYPERDOM_QUERY_MUT_QUERY_H_
+#define HYPERDOM_QUERY_MUT_QUERY_H_
+
+#include <cstdint>
+
+#include "dominance/criterion.h"
+#include "index/mutable_ss_tree.h"
+#include "query/knn.h"
+#include "query/range.h"
+
+namespace hyperdom {
+
+/// A query answer stamped with the store version it is exact at.
+template <typename ResultT>
+struct Versioned {
+  ResultT result;
+  uint64_t version = 0;
+};
+
+/// kNN against the mutable tree: pins a version, searches base + delta
+/// through the overlay. The answer is exact for the pinned version
+/// (subject to the criterion, as with the static searcher).
+Versioned<KnnResult> MutableKnn(const MutableSsTree& tree,
+                                const DominanceCriterion& criterion,
+                                const KnnOptions& options,
+                                const Hypersphere& sq);
+
+/// Range query against the mutable tree, same pinning contract.
+Versioned<RangeResult> MutableRange(
+    const MutableSsTree& tree, const Hypersphere& sq, double range,
+    const Deadline& deadline = Deadline::Unbounded());
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_QUERY_MUT_QUERY_H_

@@ -6,13 +6,15 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/epoch.h"
 
 namespace hyperdom {
 
 namespace {
 
 void RangeRecursive(const SsTreeNode* node, const SphereStore& store,
-                    const Hypersphere& sq, double range, RangeResult* result,
+                    const Hypersphere& sq, double range,
+                    const SearchOverlay* overlay, RangeResult* result,
                     TraversalGuard* guard) {
   if (MinDist(node->bounding_sphere(), sq) > range) {
     ++result->stats.nodes_pruned;
@@ -25,6 +27,7 @@ void RangeRecursive(const SsTreeNode* node, const SphereStore& store,
   ++result->stats.nodes_visited;
   if (node->is_leaf()) {
     for (const auto& entry : node->entries()) {
+      if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
       ++result->stats.entries_accessed;
       const SphereView view = store.view(entry.slot);
       if (MinDist(view, sq.view()) <= range) {
@@ -38,21 +41,38 @@ void RangeRecursive(const SsTreeNode* node, const SphereStore& store,
     return;
   }
   for (const auto& child : node->children()) {
-    RangeRecursive(child.get(), store, sq, range, result, guard);
+    RangeRecursive(child.get(), store, sq, range, overlay, result, guard);
   }
 }
 
 }  // namespace
 
 RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
-                        double range, const Deadline& deadline) {
+                        double range, const Deadline& deadline,
+                        const SearchOverlay* overlay) {
   assert(range >= 0.0);
+  // Pins the reclamation epoch: overlay-referenced store versions stay
+  // alive for the duration of the query (storage/epoch.h).
+  EpochManager::Guard epoch_guard;
   HYPERDOM_SPAN(span, "range/query");
   HYPERDOM_COUNTER_INC(obs::kRangeQueries);
   RangeResult result;
+  // Delta rows are outside the tree; membership is a direct per-row test.
+  if (overlay != nullptr) {
+    overlay->ForEachExtra([&](const EntryView& e) {
+      ++result.stats.entries_accessed;
+      if (MinDist(e.sphere, sq.view()) <= range) {
+        result.possible.push_back(DataEntry{MaterializeSphere(e.sphere), e.id});
+        if (MaxDist(e.sphere, sq.view()) <= range) {
+          result.certain.push_back(result.possible.back());
+        }
+      }
+    });
+  }
   if (tree.root() == nullptr) return result;
   TraversalGuard guard(deadline);
-  RangeRecursive(tree.root(), tree.store(), sq, range, &result, &guard);
+  RangeRecursive(tree.root(), tree.store(), sq, range, overlay, &result,
+                 &guard);
   if (guard.expired()) result.completeness = Completeness::kBestEffort;
   HYPERDOM_SPAN_ANNOTATE(span, "nodes_visited", result.stats.nodes_visited);
   HYPERDOM_SPAN_ANNOTATE(span, "certain",

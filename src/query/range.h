@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "index/overlay.h"
 #include "index/ss_tree.h"
 
 namespace hyperdom {
@@ -43,10 +44,14 @@ struct RangeResult {
 };
 
 /// Runs the range query over an SS-tree. `range` must be >= 0. An expired
-/// `deadline` stops the traversal; the partial answer is flagged.
+/// `deadline` stops the traversal; the partial answer is flagged. A
+/// non-null `overlay` (index/overlay.h) hides tombstoned base slots and
+/// contributes its delta rows, each tested directly with Min/MaxDist; the
+/// whole call runs under an epoch guard.
 RangeResult RangeSearch(const SsTree& tree, const Hypersphere& sq,
                         double range,
-                        const Deadline& deadline = Deadline::Unbounded());
+                        const Deadline& deadline = Deadline::Unbounded(),
+                        const SearchOverlay* overlay = nullptr);
 
 /// Reference evaluation by linear scan.
 RangeResult RangeLinearScan(const std::vector<Hypersphere>& data,

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "index/ss_tree.h"
+#include "storage/epoch.h"
 
 namespace hyperdom {
 
@@ -15,6 +16,7 @@ RknnResult RknnFilter(const std::vector<Hypersphere>& data,
                       const DominanceCriterion& criterion,
                       const Deadline& deadline) {
   assert(k >= 1);
+  EpochManager::Guard epoch_guard;  // one pin for the whole RkNN pipeline
   RknnResult result;
   TraversalGuard guard(deadline);
   for (size_t cand = 0; cand < data.size(); ++cand) {
@@ -118,6 +120,7 @@ RknnIndexResult RknnSearch(const SsTree& tree, const Hypersphere& sq,
                            size_t k, const DominanceCriterion& criterion,
                            const Deadline& deadline) {
   assert(k >= 1);
+  EpochManager::Guard epoch_guard;  // one pin for the whole RkNN pipeline
   RknnIndexResult result;
   if (tree.root() == nullptr) return result;
   TraversalGuard guard(deadline);

@@ -148,5 +148,29 @@ Result<KnnResponse> Client::Knn(const KnnRequest& request) {
   return DecodeKnnResponse(payload);
 }
 
+Result<MutateResponse> Client::Insert(const InsertRequest& request) {
+  const std::string frame =
+      EncodeFrame(FrameKind::kInsertRequest, EncodeInsertRequest(request));
+  FrameKind kind = FrameKind::kInsertRequest;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  if (kind != FrameKind::kMutateResponse) {
+    return Status::ProtocolError("unexpected response kind to insert request");
+  }
+  return DecodeMutateResponse(payload);
+}
+
+Result<MutateResponse> Client::Remove(const RemoveRequest& request) {
+  const std::string frame =
+      EncodeFrame(FrameKind::kRemoveRequest, EncodeRemoveRequest(request));
+  FrameKind kind = FrameKind::kRemoveRequest;
+  std::string payload;
+  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  if (kind != FrameKind::kMutateResponse) {
+    return Status::ProtocolError("unexpected response kind to remove request");
+  }
+  return DecodeMutateResponse(payload);
+}
+
 }  // namespace server
 }  // namespace hyperdom

@@ -64,6 +64,19 @@ class Client {
   /// handling; kOverloaded only after every attempt was shed.
   Result<KnnResponse> Knn(const KnnRequest& request);
 
+  /// \name Mutations. Retried on the same transport-failure/kOverloaded
+  /// policy as queries, which makes delivery AT-LEAST-ONCE: if the
+  /// connection dies after the server applied the mutation but before the
+  /// ack arrived, the retry re-sends it. Ids make this detectable — a
+  /// re-applied Insert comes back kInvalidArgument (duplicate id) and a
+  /// re-applied Remove comes back kNotFound, either of which the caller
+  /// may treat as "already applied". kConflict (store frozen or
+  /// compacting) is returned as-is, not retried.
+  /// @{
+  Result<MutateResponse> Insert(const InsertRequest& request);
+  Result<MutateResponse> Remove(const RemoveRequest& request);
+  /// @}
+
   /// Drops the connection (the next request reconnects).
   void Close();
 

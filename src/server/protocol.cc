@@ -62,7 +62,7 @@ Status Malformed(const char* what) {
 
 bool KnownKind(uint32_t kind) {
   return kind >= static_cast<uint32_t>(FrameKind::kKnnRequest) &&
-         kind <= static_cast<uint32_t>(FrameKind::kPongResponse);
+         kind <= static_cast<uint32_t>(FrameKind::kMutateResponse);
 }
 
 // The wire form of a StatusCode. The enum's numeric values are not part of
@@ -72,7 +72,7 @@ uint32_t StatusCodeToWire(StatusCode code) {
 }
 
 bool WireToStatusCode(uint32_t wire, StatusCode* out) {
-  if (wire > static_cast<uint32_t>(StatusCode::kProtocolError)) return false;
+  if (wire > static_cast<uint32_t>(StatusCode::kConflict)) return false;
   *out = static_cast<StatusCode>(wire);
   return *out != StatusCode::kOk;
 }
@@ -97,6 +97,8 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::DeadlineExceeded(std::move(msg));
     case StatusCode::kProtocolError:
       return Status::ProtocolError(std::move(msg));
+    case StatusCode::kConflict:
+      return Status::Conflict(std::move(msg));
     case StatusCode::kOk:
     case StatusCode::kInternal:
       break;
@@ -269,6 +271,80 @@ Result<KnnResponse> DecodeKnnResponse(std::string_view payload) {
     response.answers.push_back(std::move(entry));
   }
   if (!in.empty()) return Malformed("trailing bytes after knn response");
+  return response;
+}
+
+std::string EncodeInsertRequest(const InsertRequest& request) {
+  std::string payload;
+  const size_t dim = request.sphere.dim();
+  payload.reserve(3 * sizeof(uint64_t) + (dim + 1) * sizeof(double));
+  AppendPod(&payload, request.budget_micros);
+  AppendPod(&payload, request.id);
+  AppendPod(&payload, static_cast<uint64_t>(dim));
+  for (double c : request.sphere.center()) AppendPod(&payload, c);
+  AppendPod(&payload, request.sphere.radius());
+  return payload;
+}
+
+Result<InsertRequest> DecodeInsertRequest(std::string_view payload) {
+  ByteReader in(payload);
+  InsertRequest request;
+  uint64_t dim = 0;
+  if (!in.Consume(&request.budget_micros) || !in.Consume(&request.id) ||
+      !in.Consume(&dim)) {
+    return Malformed("truncated insert request header");
+  }
+  if (dim == 0) return Malformed("sphere dimensionality must be positive");
+  // As in DecodeKnnRequest: dim is untrusted; ConsumeDoubles checks it
+  // against the bytes present before allocating.
+  std::vector<double> center;
+  double radius = 0.0;
+  if (!in.ConsumeDoubles(dim, &center) || !in.Consume(&radius)) {
+    return Malformed("truncated insert sphere");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after insert request");
+  if (const Status invalid = Hypersphere::Validate(center, radius);
+      !invalid.ok()) {
+    return Status::ProtocolError("invalid insert sphere: " +
+                                 invalid.message());
+  }
+  request.sphere = Hypersphere(std::move(center), radius);
+  return request;
+}
+
+std::string EncodeRemoveRequest(const RemoveRequest& request) {
+  std::string payload;
+  payload.reserve(2 * sizeof(uint64_t));
+  AppendPod(&payload, request.budget_micros);
+  AppendPod(&payload, request.id);
+  return payload;
+}
+
+Result<RemoveRequest> DecodeRemoveRequest(std::string_view payload) {
+  ByteReader in(payload);
+  RemoveRequest request;
+  if (!in.Consume(&request.budget_micros) || !in.Consume(&request.id)) {
+    return Malformed("truncated remove request");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after remove request");
+  return request;
+}
+
+std::string EncodeMutateResponse(const MutateResponse& response) {
+  std::string payload;
+  payload.reserve(2 * sizeof(uint64_t));
+  AppendPod(&payload, response.version);
+  AppendPod(&payload, response.live);
+  return payload;
+}
+
+Result<MutateResponse> DecodeMutateResponse(std::string_view payload) {
+  ByteReader in(payload);
+  MutateResponse response;
+  if (!in.Consume(&response.version) || !in.Consume(&response.live)) {
+    return Malformed("truncated mutate response");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after mutate response");
   return response;
 }
 

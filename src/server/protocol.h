@@ -37,6 +37,11 @@ enum class FrameKind : uint32_t {
   kErrorResponse = 3,
   kPingRequest = 4,
   kPongResponse = 5,
+  // Mutability (protocol version 1 extension: old peers reject the kinds
+  // as unknown, which the client surfaces as a clean ProtocolError).
+  kInsertRequest = 6,
+  kRemoveRequest = 7,
+  kMutateResponse = 8,
 };
 
 inline constexpr char kFrameMagic[4] = {'H', 'D', 'N', 'P'};
@@ -73,6 +78,27 @@ struct KnnResponse {
   std::vector<DataEntry> answers;
 };
 
+/// Inserts one sphere under a caller-chosen id. A zero budget means
+/// unbounded; the deadline covers queue wait, like kNN requests.
+struct InsertRequest {
+  uint64_t budget_micros = 0;
+  uint64_t id = 0;
+  Hypersphere sphere;
+};
+
+/// Deletes the live row under `id`.
+struct RemoveRequest {
+  uint64_t budget_micros = 0;
+  uint64_t id = 0;
+};
+
+/// Acknowledges an applied mutation: the store version it published and
+/// the live-row count after it.
+struct MutateResponse {
+  uint64_t version = 0;
+  uint64_t live = 0;
+};
+
 /// Builds the client-side Deadline implied by a request's budgets.
 Deadline DeadlineFromRequest(const KnnRequest& request);
 
@@ -98,6 +124,15 @@ Result<KnnRequest> DecodeKnnRequest(std::string_view payload);
 
 std::string EncodeKnnResponse(const KnnResponse& response);
 Result<KnnResponse> DecodeKnnResponse(std::string_view payload);
+
+std::string EncodeInsertRequest(const InsertRequest& request);
+Result<InsertRequest> DecodeInsertRequest(std::string_view payload);
+
+std::string EncodeRemoveRequest(const RemoveRequest& request);
+Result<RemoveRequest> DecodeRemoveRequest(std::string_view payload);
+
+std::string EncodeMutateResponse(const MutateResponse& response);
+Result<MutateResponse> DecodeMutateResponse(std::string_view payload);
 
 /// Error payloads carry (status code, message). Encoding a non-error
 /// status is a caller bug (asserted).

@@ -5,9 +5,10 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "index/mutable_ss_tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "query/knn.h"
+#include "query/mut_query.h"
 #include "server/net.h"
 
 namespace hyperdom {
@@ -22,11 +23,31 @@ uint64_t NowNs() {
           .count());
 }
 
+/// The mutation deadline counterpart of DeadlineFromRequest: mutations
+/// carry only a wall-clock budget.
+Deadline DeadlineFromBudget(uint64_t budget_micros) {
+  Deadline deadline;
+  if (budget_micros > 0) {
+    deadline = Deadline::AfterDuration(std::chrono::microseconds(budget_micros));
+  }
+  return deadline;
+}
+
 }  // namespace
 
 Server::Server(const SsTree* tree, const DominanceCriterion* criterion,
                ServerOptions options)
-    : tree_(tree), criterion_(criterion), options_(std::move(options)) {}
+    : tree_(tree),
+      mutable_tree_(nullptr),
+      criterion_(criterion),
+      options_(std::move(options)) {}
+
+Server::Server(MutableSsTree* tree, const DominanceCriterion* criterion,
+               ServerOptions options)
+    : tree_(nullptr),
+      mutable_tree_(tree),
+      criterion_(criterion),
+      options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
@@ -239,6 +260,35 @@ void Server::ConnectionLoop(Connection* conn) {
 
     std::string response_frame;
     bool close_after_reply = false;
+    // Shared admission path for every queued request kind: deadline
+    // starts at admission (queue wait burns budget), shed requests get
+    // an immediate kOverloaded with the connection kept open, and an
+    // admitted request's promise is always fulfilled by a worker (even
+    // during drain the queue is processed to empty), so the wait cannot
+    // hang.
+    auto submit = [&](std::unique_ptr<Work> work) -> std::string {
+      work->admitted = std::chrono::steady_clock::now();
+      std::future<std::string> response = work->response.get_future();
+      const bool admitted = HYPERDOM_FAULT_POINT_STATUS("server/enqueue").ok() &&
+                            TryEnqueue(std::move(work));
+      if (!admitted) {
+        // Load shedding is per-request, not per-connection: answer
+        // kOverloaded immediately and keep reading.
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        HYPERDOM_COUNTER_INC(obs::kServerShed);
+        return EncodeFrame(FrameKind::kErrorResponse,
+                           EncodeErrorResponse(Status::Overloaded(
+                               "request queue full, try again later")));
+      }
+      return response.get();
+    };
+    auto reject_malformed = [&](const Status& error) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
+      response_frame =
+          EncodeFrame(FrameKind::kErrorResponse, EncodeErrorResponse(error));
+      close_after_reply = true;
+    };
     switch (header->kind) {
       case FrameKind::kPingRequest:
         response_frame = EncodeFrame(FrameKind::kPongResponse, {});
@@ -247,38 +297,40 @@ void Server::ConnectionLoop(Connection* conn) {
       case FrameKind::kKnnRequest: {
         Result<KnnRequest> request = DecodeKnnRequest(payload);
         if (!request.ok()) {
-          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-          HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
-          response_frame = EncodeFrame(FrameKind::kErrorResponse,
-                                       EncodeErrorResponse(request.status()));
-          close_after_reply = true;
+          reject_malformed(request.status());
           break;
         }
         auto work = std::make_unique<Work>();
+        work->kind = FrameKind::kKnnRequest;
         work->request = request.TakeValue();
-        // Deadline starts at admission: time spent queued burns budget,
-        // so an overloaded server degrades to best-effort answers instead
-        // of returning exact answers arbitrarily late.
         work->deadline = DeadlineFromRequest(work->request);
-        work->admitted = std::chrono::steady_clock::now();
-        std::future<std::string> response = work->response.get_future();
-        const bool admitted =
-            HYPERDOM_FAULT_POINT_STATUS("server/enqueue").ok() &&
-            TryEnqueue(std::move(work));
-        if (!admitted) {
-          // Load shedding is per-request, not per-connection: answer
-          // kOverloaded immediately and keep reading.
-          counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
-          HYPERDOM_COUNTER_INC(obs::kServerShed);
-          response_frame =
-              EncodeFrame(FrameKind::kErrorResponse,
-                          EncodeErrorResponse(Status::Overloaded(
-                              "request queue full, try again later")));
-        } else {
-          // The worker always fulfills the promise (even during drain the
-          // queue is processed to empty), so this wait cannot hang.
-          response_frame = response.get();
+        response_frame = submit(std::move(work));
+        break;
+      }
+      case FrameKind::kInsertRequest: {
+        Result<InsertRequest> request = DecodeInsertRequest(payload);
+        if (!request.ok()) {
+          reject_malformed(request.status());
+          break;
         }
+        auto work = std::make_unique<Work>();
+        work->kind = FrameKind::kInsertRequest;
+        work->insert = request.TakeValue();
+        work->deadline = DeadlineFromBudget(work->insert.budget_micros);
+        response_frame = submit(std::move(work));
+        break;
+      }
+      case FrameKind::kRemoveRequest: {
+        Result<RemoveRequest> request = DecodeRemoveRequest(payload);
+        if (!request.ok()) {
+          reject_malformed(request.status());
+          break;
+        }
+        auto work = std::make_unique<Work>();
+        work->kind = FrameKind::kRemoveRequest;
+        work->remove = request.TakeValue();
+        work->deadline = DeadlineFromBudget(work->remove.budget_micros);
+        response_frame = submit(std::move(work));
         break;
       }
       default:
@@ -348,14 +400,39 @@ void Server::WorkerLoop() {
 }
 
 std::string Server::ProcessRequest(Work& work) {
+  switch (work.kind) {
+    case FrameKind::kKnnRequest:
+      return ProcessKnn(work);
+    case FrameKind::kInsertRequest:
+    case FrameKind::kRemoveRequest:
+      return ProcessMutation(work);
+    default:
+      // ConnectionLoop only enqueues the kinds above.
+      return EncodeFrame(
+          FrameKind::kErrorResponse,
+          EncodeErrorResponse(Status::Internal("unexpected work kind")));
+  }
+}
+
+std::string Server::ProcessKnn(Work& work) {
   HYPERDOM_SPAN(span, "server/request");
   HYPERDOM_SPAN_ANNOTATE(span, "k", std::to_string(work.request.k));
   KnnOptions options;
   options.k = work.request.k;
   options.strategy = work.request.strategy;
   options.deadline = work.deadline;
-  const KnnSearcher searcher(criterion_, options);
-  const KnnResult result = searcher.Search(*tree_, work.request.query);
+  KnnResult result;
+  if (mutable_tree_ != nullptr) {
+    // Mutable mode: the searcher runs against a pinned, immutable
+    // version of the store, so concurrent inserts/removes cannot skew
+    // this answer.
+    result = MutableKnn(*mutable_tree_, *criterion_, options,
+                        work.request.query)
+                 .result;
+  } else {
+    const KnnSearcher searcher(criterion_, options);
+    result = searcher.Search(*tree_, work.request.query);
+  }
   counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
   HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", "knn");
   if (result.completeness == Completeness::kBestEffort) {
@@ -374,6 +451,50 @@ std::string Server::ProcessRequest(Work& work) {
   response.completeness = result.completeness;
   response.answers = result.answers;
   return EncodeFrame(FrameKind::kKnnResponse, EncodeKnnResponse(response));
+}
+
+std::string Server::ProcessMutation(Work& work) {
+  HYPERDOM_SPAN(span, "server/request");
+  const bool is_insert = work.kind == FrameKind::kInsertRequest;
+  const char* kind_label = is_insert ? "insert" : "remove";
+  HYPERDOM_SPAN_ANNOTATE(span, "kind", kind_label);
+  HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", kind_label);
+  if (mutable_tree_ == nullptr) {
+    return EncodeFrame(
+        FrameKind::kErrorResponse,
+        EncodeErrorResponse(Status::NotSupported(
+            "server is read-only: mutation frames are not accepted")));
+  }
+  // Unlike queries, a mutation cannot degrade to a partial answer: if the
+  // budget burned away in the queue, refuse it un-applied so the client's
+  // deadline semantics stay exact (apply-or-error, never late-apply).
+  if (work.deadline.WallExpired()) {
+    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    HYPERDOM_COUNTER_INC(obs::kServerShed);
+    return EncodeFrame(FrameKind::kErrorResponse,
+                       EncodeErrorResponse(Status::DeadlineExceeded(
+                           "mutation budget exhausted before apply")));
+  }
+  Status applied =
+      is_insert ? mutable_tree_->Insert(work.insert.sphere, work.insert.id)
+                : mutable_tree_->Remove(work.remove.id);
+  const uint64_t elapsed_ns =
+      NowNs() -
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              work.admitted.time_since_epoch())
+              .count());
+  HYPERDOM_HISTOGRAM_RECORD(obs::kServerRequestDuration, elapsed_ns);
+  if (!applied.ok()) {
+    return EncodeFrame(FrameKind::kErrorResponse,
+                       EncodeErrorResponse(applied));
+  }
+  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  MutateResponse response;
+  response.version = mutable_tree_->version();
+  response.live = mutable_tree_->live_size();
+  return EncodeFrame(FrameKind::kMutateResponse,
+                     EncodeMutateResponse(response));
 }
 
 void Server::ShutdownConnections() {

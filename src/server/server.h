@@ -51,6 +51,9 @@
 #include "server/protocol.h"
 
 namespace hyperdom {
+
+class MutableSsTree;
+
 namespace server {
 
 struct ServerOptions {
@@ -89,6 +92,15 @@ class Server {
  public:
   Server(const SsTree* tree, const DominanceCriterion* criterion,
          ServerOptions options);
+
+  /// \brief Mutable mode: serves kNN against the mutable tree's pinned
+  /// snapshots AND accepts insert/remove frames, which flow through the
+  /// same admission queue, deadline accounting, and shed policy as
+  /// queries. Read-only servers answer mutation frames with
+  /// kNotSupported.
+  Server(MutableSsTree* tree, const DominanceCriterion* criterion,
+         ServerOptions options);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -110,7 +122,10 @@ class Server {
   struct Connection;
 
   struct Work {
-    KnnRequest request;
+    FrameKind kind = FrameKind::kKnnRequest;
+    KnnRequest request;        // valid when kind == kKnnRequest
+    InsertRequest insert;      // valid when kind == kInsertRequest
+    RemoveRequest remove;      // valid when kind == kRemoveRequest
     Deadline deadline;  // built at admission: queue wait burns budget
     std::chrono::steady_clock::time_point admitted;
     std::promise<std::string> response;  // an encoded HDNP frame
@@ -125,11 +140,14 @@ class Server {
   void ConnectionLoop(Connection* conn);
   void WorkerLoop();
   std::string ProcessRequest(Work& work);
+  std::string ProcessKnn(Work& work);
+  std::string ProcessMutation(Work& work);
   // Severs every live (non-retired) connection's read side so their
   // threads wind down.
   void ShutdownConnections();
 
-  const SsTree* tree_;
+  const SsTree* tree_;           // read-only mode; null in mutable mode
+  MutableSsTree* mutable_tree_;  // mutable mode; null in read-only mode
   const DominanceCriterion* criterion_;
   ServerOptions options_;
   uint16_t port_ = 0;

@@ -1,0 +1,132 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "storage/epoch.h"
+
+#include <cassert>
+
+namespace hyperdom {
+
+namespace {
+
+// Per-thread guard state: the outermost Guard claims a slot, nested
+// guards reuse it (depth counting). Thread-local so pin/unpin never
+// touches shared state beyond the claimed slot itself.
+struct ThreadPin {
+  size_t depth = 0;
+  size_t slot = 0;
+  uint64_t epoch = EpochManager::kIdle;
+};
+
+thread_local ThreadPin t_pin;
+
+}  // namespace
+
+EpochManager& EpochManager::Global() {
+  // A function-local static (not a leaked heap object): the destructor
+  // runs at process exit and frees retirees still waiting on a grace
+  // period, so LeakSanitizer stays clean.
+  static EpochManager manager;
+  return manager;
+}
+
+EpochManager::~EpochManager() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  for (const Retiree& r : retired_) r.deleter(r.object);
+  retired_.clear();
+}
+
+size_t EpochManager::AcquireSlot() {
+  for (;;) {
+    for (size_t i = 0; i < kMaxReaders; ++i) {
+      uint64_t expected = kIdle;
+      // Claim with the CURRENT epoch in one CAS; re-read the epoch below
+      // in case a writer bumped it between the load and the claim (the
+      // safety argument only needs pin <= the value at pointer-load time,
+      // but a fresher pin retires memory sooner).
+      const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+      if (slots_[i].pinned.compare_exchange_strong(
+              expected, now, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    // All slots taken: more than kMaxReaders concurrent queries. This is
+    // far beyond the worker counts anything in the repo spawns; treat it
+    // as a programming error rather than spinning silently forever.
+    assert(false && "EpochManager: all reader slots in use");
+  }
+}
+
+void EpochManager::ReleaseSlot(size_t index) {
+  slots_[index].pinned.store(kIdle, std::memory_order_seq_cst);
+}
+
+EpochManager::Guard::Guard() : manager_(&EpochManager::Global()) {
+  if (t_pin.depth++ == 0) {
+    t_pin.slot = manager_->AcquireSlot();
+    t_pin.epoch =
+        manager_->slots_[t_pin.slot].pinned.load(std::memory_order_seq_cst);
+  }
+}
+
+EpochManager::Guard::~Guard() {
+  if (--t_pin.depth == 0) {
+    manager_->ReleaseSlot(t_pin.slot);
+    t_pin.epoch = kIdle;
+  }
+}
+
+uint64_t EpochManager::Guard::pinned_epoch() const { return t_pin.epoch; }
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = kIdle;
+  for (const Slot& slot : slots_) {
+    const uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned < min) min = pinned;
+  }
+  return min;
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    retired_.push_back(Retiree{object, deleter, epoch});
+  }
+  ReclaimExpired();
+}
+
+size_t EpochManager::ReclaimExpired() {
+  // Collect under the lock, delete outside it: a deleter may run
+  // arbitrary destructors (tree nodes, arenas) and must not extend the
+  // critical section other retiring writers wait on.
+  std::vector<Retiree> expired;
+  const uint64_t min_active = MinActiveEpoch();
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->epoch < min_active) {
+        expired.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  for (const Retiree& r : expired) r.deleter(r.object);
+  return expired.size();
+}
+
+size_t EpochManager::pending() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+uint64_t EpochManager::EpochLag() const {
+  const uint64_t min_active = MinActiveEpoch();
+  if (min_active == kIdle) return 0;
+  const uint64_t now = current();
+  return now > min_active ? now - min_active : 0;
+}
+
+}  // namespace hyperdom

@@ -1,0 +1,147 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Epoch-based memory reclamation for the live-mutability layer: readers
+// pin the global epoch for the duration of a query, writers retire
+// superseded objects (store versions, node memory) into an epoch-stamped
+// list, and retired memory is freed only once every active reader has
+// moved past the retire epoch — so an in-flight traversal can keep
+// dereferencing a version that was unpublished underneath it.
+//
+// Protocol (all seq_cst, deliberately — the cost is irrelevant next to a
+// query, and the correctness argument below leans on the single total
+// order):
+//
+//   reader:  slot <- epoch.load()            (pin, seq_cst store)
+//            p    <- published.load()        (then read the pointer)
+//   writer:  old  <- published.exchange(new)
+//            E    <- epoch.fetch_add(1)      (bump AFTER unpublish)
+//            retire(old, E)
+//   reclaim: free r iff every pinned slot value > r.epoch
+//
+// Why this is safe: suppose a reader still holds `old`. Its pointer load
+// returned `old`, so that load precedes the writer's exchange in the
+// seq_cst total order; the reader's pin-store precedes its pointer load
+// (program order), and the writer's exchange precedes its fetch_add. The
+// pinned value was read from `epoch` before all of that, so pin <= E —
+// and a pinned slot with value <= E blocks reclamation of anything
+// retired at epoch E. A reader that pins AFTER the bump sees the new
+// pointer or a pin value > E; either way it never blocks on, nor touches,
+// the retired object.
+//
+// Guards nest (an RkNN query issues kNN subqueries): a thread's first
+// guard claims a reader slot, inner guards just bump a thread-local depth
+// counter and reuse the outer pin — so the whole outer query observes one
+// consistent epoch.
+//
+// The manager is a process-wide singleton (like FaultRegistry and
+// MetricsRegistry): retired objects from every mutable store share the
+// slot array and the retire list, and everything still unreclaimed is
+// freed when the process exits.
+
+#ifndef HYPERDOM_STORAGE_EPOCH_H_
+#define HYPERDOM_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hyperdom {
+
+class EpochManager {
+ public:
+  /// Number of concurrent reader slots. More pinned readers than slots is
+  /// a programming error (asserted); queries release their slot on exit,
+  /// so this bounds concurrent queries per process, not total threads.
+  static constexpr size_t kMaxReaders = 256;
+
+  /// Slot value meaning "not pinned".
+  static constexpr uint64_t kIdle = ~0ull;
+
+  /// The process-wide instance. Destroyed at exit, freeing any retirees
+  /// that were still waiting on a grace period.
+  static EpochManager& Global();
+
+  /// \brief RAII reader pin. The outermost guard on a thread claims a
+  /// slot and pins the current epoch; nested guards reuse it. While any
+  /// guard is live on a thread, every object retired at or after the
+  /// pinned epoch stays allocated.
+  class Guard {
+   public:
+    Guard();
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    /// The epoch this thread is pinned at (the outermost guard's pin).
+    uint64_t pinned_epoch() const;
+
+   private:
+    EpochManager* manager_;
+  };
+
+  /// Current global epoch (bumped once per retirement batch).
+  uint64_t current() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  /// The smallest epoch any active reader is pinned at; kIdle when no
+  /// reader is pinned.
+  uint64_t MinActiveEpoch() const;
+
+  /// \brief Hands `object` to the reclamation list: bumps the epoch,
+  /// stamps the object with the pre-bump value, and opportunistically
+  /// frees every retiree whose grace period has passed. `deleter` is
+  /// invoked exactly once, at reclaim or at manager destruction.
+  void Retire(void* object, void (*deleter)(void*));
+
+  /// Typed convenience: retires `object` with a `delete`-calling deleter.
+  template <typename T>
+  void Retire(const T* object) {
+    Retire(const_cast<T*>(object),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Frees every retiree whose epoch has been passed by all active
+  /// readers; returns how many were freed. Called automatically by
+  /// Retire(); exposed for tests and shutdown paths.
+  size_t ReclaimExpired();
+
+  /// Retired objects currently awaiting a grace period (test hook).
+  size_t pending() const;
+
+  /// Epochs the slowest active reader is behind the writer (0 when no
+  /// reader is pinned). Mirrored into the hyperdom_store_epoch_lag gauge
+  /// by the mutable store on every publish.
+  uint64_t EpochLag() const;
+
+ private:
+  EpochManager() = default;
+  ~EpochManager();
+
+  friend class Guard;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> pinned{kIdle};
+  };
+
+  struct Retiree {
+    void* object;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  /// Claims a free slot and pins it at the current epoch; aborts (assert)
+  /// when all kMaxReaders slots are taken.
+  size_t AcquireSlot();
+  void ReleaseSlot(size_t index);
+
+  Slot slots_[kMaxReaders];
+  std::atomic<uint64_t> epoch_{1};
+
+  mutable std::mutex retire_mu_;
+  std::vector<Retiree> retired_;
+};
+
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_STORAGE_EPOCH_H_

@@ -52,6 +52,14 @@ struct EntryView {
 /// abandons its slot — the arena does not compact. Thread-compatible: safe
 /// for concurrent reads (the batch engine's worker threads resolve views
 /// concurrently); mutation requires external exclusion.
+///
+/// Single-writer/multi-reader appends: once Reserve(n) has sized the
+/// arena, Add() never reallocates until `n` is exceeded, so rows already
+/// written stay at stable addresses. The mutability layer
+/// (index/mutable_ss_tree.h) exploits this — one writer appends into a
+/// pre-reserved store while readers resolve rows below a published-size
+/// watermark carried by the store version, never reading a row the
+/// watermark does not cover.
 class SphereStore {
  public:
   SphereStore() = default;
@@ -67,6 +75,9 @@ class SphereStore {
   size_t dim() const { return dim_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Spheres the arena can hold before the next Add() reallocates (and
+  /// invalidates row addresses). See the single-writer note above.
+  size_t capacity() const { return capacity_; }
 
   /// Appends a sphere; returns its slot. A default-constructed store
   /// adopts the first sphere's dimensionality. Dimension mismatches are

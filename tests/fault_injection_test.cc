@@ -19,6 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
+#include "common/io.h"
 #include "data/csv.h"
 #include "data/generator.h"
 #include "dominance/certified.h"
@@ -26,6 +29,8 @@
 #include "dominance/hyperbola.h"
 #include "eval/workload.h"
 #include "index/m_tree.h"
+#include "index/mutable_ss_tree.h"
+#include "index/rotation.h"
 #include "index/rstar_tree.h"
 #include "index/snapshot.h"
 #include "index/ss_tree.h"
@@ -104,6 +109,28 @@ Status RunFallibleWorkload(const std::vector<Hypersphere>& data,
   for (size_t i = 0; i + 2 < data.size(); i += 3) {
     (void)engine.Decide(data[i], data[i + 1], data[i + 2]);
   }
+
+  // Mutable store: Insert reaches store/insert, an explicit Compact
+  // reaches store/compact (auto-compaction stays off below its delta
+  // threshold).
+  MutableSsTree store(3);
+  for (size_t i = 0; i < std::min<size_t>(data.size(), 32); ++i) {
+    HYPERDOM_RETURN_NOT_OK(store.Insert(data[i], 10'000 + i));
+  }
+  HYPERDOM_RETURN_NOT_OK(store.Compact());
+
+  // Snapshot rotation reaches snapshot/rotate.
+  const std::string rot_dir = WorkloadPath(tag + "_rot");
+  ::mkdir(rot_dir.c_str(), 0755);
+  SnapshotRotator rotator(rot_dir, "store");
+  const Status rotated = rotator.Persist(str_tree);
+  if (auto entries = ListDirectory(rot_dir); entries.ok()) {
+    for (const auto& name : *entries) {
+      std::remove((rot_dir + "/" + name).c_str());
+    }
+  }
+  ::rmdir(rot_dir.c_str());
+  HYPERDOM_RETURN_NOT_OK(rotated);
 
   std::remove(csv_path.c_str());
   std::remove(ss_path.c_str());

@@ -1,0 +1,284 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// MutableSsTree unit semantics: version-valued tombstones, snapshot
+// isolation of pinned views, the kConflict protocol around Freeze and
+// compaction, and answer-set equivalence between the mutable store and a
+// serial linear scan of its visible rows.
+
+#include "index/mutable_ss_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "dominance/hyperbola.h"
+#include "query/knn.h"
+#include "query/mut_query.h"
+#include "query/range.h"
+#include "test_util.h"
+
+namespace hyperdom {
+namespace {
+
+Hypersphere S2(double x, double y, double r) {
+  return Hypersphere({x, y}, r);
+}
+
+std::set<uint64_t> Ids(const KnnResult& result) {
+  std::set<uint64_t> ids;
+  for (const auto& e : result.answers) ids.insert(e.id);
+  return ids;
+}
+
+// Materializes the view's visible rows as an id-keyed map.
+std::map<uint64_t, Hypersphere> Visible(const MutableSsTree& tree) {
+  std::vector<Hypersphere> spheres;
+  std::vector<uint64_t> ids;
+  tree.Pin().CollectLive(&spheres, &ids);
+  std::map<uint64_t, Hypersphere> rows;
+  for (size_t i = 0; i < ids.size(); ++i) rows.emplace(ids[i], spheres[i]);
+  return rows;
+}
+
+TEST(MutableSsTreeTest, FreshTreeIsEmptyAtVersionZero) {
+  MutableSsTree tree(2);
+  EXPECT_EQ(tree.version(), 0u);
+  EXPECT_EQ(tree.live_size(), 0u);
+  EXPECT_EQ(tree.delta_rows(), 0u);
+  HyperbolaCriterion c;
+  const auto answer = MutableKnn(tree, c, KnnOptions{}, S2(0, 0, 1));
+  EXPECT_TRUE(answer.result.answers.empty());
+  EXPECT_EQ(answer.version, 0u);
+}
+
+TEST(MutableSsTreeTest, InsertPublishesANewVersion) {
+  MutableSsTree tree(2);
+  ASSERT_TRUE(tree.Insert(S2(1, 1, 0.5), 7).ok());
+  EXPECT_EQ(tree.version(), 1u);
+  EXPECT_EQ(tree.live_size(), 1u);
+  const auto rows = Visible(tree);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.count(7), 1u);
+}
+
+TEST(MutableSsTreeTest, InsertRejectsDuplicateIdAndWrongDim) {
+  MutableSsTree tree(2);
+  ASSERT_TRUE(tree.Insert(S2(1, 1, 0.5), 7).ok());
+  EXPECT_EQ(tree.Insert(S2(2, 2, 0.5), 7).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Insert(Hypersphere({1.0, 2.0, 3.0}, 0.1), 8).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.live_size(), 1u);
+}
+
+TEST(MutableSsTreeTest, RemoveMissingIdIsNotFound) {
+  MutableSsTree tree(2);
+  EXPECT_EQ(tree.Remove(42).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree.Insert(S2(1, 1, 0.5), 42).ok());
+  ASSERT_TRUE(tree.Remove(42).ok());
+  // A tombstoned id is gone: removing again is NotFound, re-inserting is
+  // allowed.
+  EXPECT_EQ(tree.Remove(42).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree.Insert(S2(3, 3, 0.5), 42).ok());
+}
+
+TEST(MutableSsTreeTest, PinnedViewIsImmuneToLaterMutations) {
+  MutableSsTree tree(2);
+  ASSERT_TRUE(tree.Insert(S2(1, 1, 0.5), 1).ok());
+  ASSERT_TRUE(tree.Insert(S2(2, 2, 0.5), 2).ok());
+
+  const MutableSsTree::ReadView view = tree.Pin();
+  EXPECT_EQ(view.version(), 2u);
+  EXPECT_EQ(view.live_size(), 2u);
+
+  // Mutate underneath the pin: the view's answer set must not move.
+  ASSERT_TRUE(tree.Remove(1).ok());
+  ASSERT_TRUE(tree.Insert(S2(9, 9, 0.5), 3).ok());
+  EXPECT_EQ(view.live_size(), 2u);
+  std::vector<Hypersphere> spheres;
+  std::vector<uint64_t> ids;
+  view.CollectLive(&spheres, &ids);
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()),
+            (std::set<uint64_t>{1, 2}));
+
+  // A fresh pin sees the new state.
+  EXPECT_EQ(tree.Pin().live_size(), 2u);
+  const auto rows = Visible(tree);
+  EXPECT_EQ(rows.count(1), 0u);
+  EXPECT_EQ(rows.count(3), 1u);
+}
+
+TEST(MutableSsTreeTest, BuildSeedsABaseAndPreservesIds) {
+  Rng rng(401);
+  std::vector<Hypersphere> data;
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < 200; ++i) {
+    data.push_back(test::RandomSphere(&rng, 3, 5.0));
+    ids.push_back(1000 + i);
+  }
+  MutableSsTree tree(3);
+  ASSERT_TRUE(tree.Build(data, ids).ok());
+  EXPECT_EQ(tree.live_size(), 200u);
+  EXPECT_EQ(tree.delta_rows(), 0u);
+  const auto rows = Visible(tree);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(rows.count(1000 + i), 1u) << "lost id " << 1000 + i;
+  }
+}
+
+TEST(MutableSsTreeTest, FreezeRejectsMutationsWithConflict) {
+  MutableSsTree tree(2);
+  ASSERT_TRUE(tree.Insert(S2(1, 1, 0.5), 1).ok());
+  tree.Freeze();
+  EXPECT_TRUE(tree.frozen());
+  EXPECT_EQ(tree.Insert(S2(2, 2, 0.5), 2).code(), StatusCode::kConflict);
+  EXPECT_EQ(tree.Remove(1).code(), StatusCode::kConflict);
+  EXPECT_EQ(tree.Compact().code(), StatusCode::kConflict);
+  // Queries keep working while frozen.
+  HyperbolaCriterion c;
+  EXPECT_EQ(MutableKnn(tree, c, KnnOptions{}, S2(0, 0, 1)).version, 1u);
+  tree.Thaw();
+  EXPECT_TRUE(tree.Insert(S2(2, 2, 0.5), 2).ok());
+}
+
+TEST(MutableSsTreeTest, CompactionPreservesTheVisibleSet) {
+  Rng rng(402);
+  MutableSsTreeOptions options;
+  options.auto_compact = false;
+  MutableSsTree tree(3, options);
+  std::map<uint64_t, Hypersphere> expect;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const Hypersphere s = test::RandomSphere(&rng, 3, 5.0);
+    ASSERT_TRUE(tree.Insert(s, i).ok());
+    expect.emplace(i, s);
+  }
+  for (uint64_t i = 0; i < 300; i += 3) {
+    ASSERT_TRUE(tree.Remove(i).ok());
+    expect.erase(i);
+  }
+  const uint64_t before = tree.version();
+  ASSERT_TRUE(tree.Compact().ok());
+  EXPECT_GT(tree.version(), before);
+  EXPECT_EQ(tree.delta_rows(), 0u);
+  EXPECT_EQ(tree.tombstones(), 0u);
+  EXPECT_EQ(tree.live_size(), expect.size());
+
+  const auto rows = Visible(tree);
+  ASSERT_EQ(rows.size(), expect.size());
+  for (const auto& [id, sphere] : expect) {
+    auto it = rows.find(id);
+    ASSERT_NE(it, rows.end()) << "compaction lost id " << id;
+    EXPECT_EQ(it->second.center(), sphere.center());
+    EXPECT_EQ(it->second.radius(), sphere.radius());
+  }
+  // The store keeps mutating fine after a compaction.
+  ASSERT_TRUE(tree.Insert(test::RandomSphere(&rng, 3, 5.0), 9999).ok());
+  EXPECT_TRUE(tree.Remove(9999).ok());
+}
+
+TEST(MutableSsTreeTest, MutationsDuringCompactionBuildAreConflicts) {
+  MutableSsTreeOptions options;
+  options.auto_compact = false;
+  bool hook_ran = false;
+  MutableSsTree* self = nullptr;
+  options.compaction_hook = [&] {
+    hook_ran = true;
+    // The build phase runs with the writer mutex released but
+    // compacting_ set: concurrent mutations must observe kConflict and
+    // leave the store untouched.
+    EXPECT_EQ(self->Insert(S2(50, 50, 1), 777).code(),
+              StatusCode::kConflict);
+    EXPECT_EQ(self->Remove(0).code(), StatusCode::kConflict);
+    EXPECT_EQ(self->Compact().code(), StatusCode::kConflict);
+  };
+  MutableSsTree tree(2, options);
+  self = &tree;
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(S2(double(i), double(i % 7), 0.5), i).ok());
+  }
+  ASSERT_TRUE(tree.Compact().ok());
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(tree.live_size(), 50u);
+  EXPECT_EQ(Visible(tree).count(777), 0u);
+}
+
+TEST(MutableSsTreeTest, AutoCompactionTriggersOnTombstoneRatio) {
+  MutableSsTreeOptions options;
+  options.compact_min_delta = 1u << 30;  // only the ratio can trigger
+  options.compact_tombstone_ratio = 0.5;
+  MutableSsTree tree(2, options);
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(tree.Insert(S2(double(i), 0, 0.5), i).ok());
+  }
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(tree.Remove(i).ok());
+  }
+  // The ratio trigger bounds tombstone debt: whenever tombstones reached
+  // half the live count a compaction reset them, so they can never have
+  // accumulated anywhere near the 30 removes — and the delta log shrank.
+  EXPECT_EQ(tree.live_size(), 10u);
+  EXPECT_LT(tree.tombstones(), 6u);
+  EXPECT_LT(tree.delta_rows(), 40u);
+}
+
+// The serial-equivalence property on one thread: after every mutation the
+// mutable store's kNN answer set equals a linear scan over its visible
+// rows (the same reference the static tree is tested against).
+TEST(MutableSsTreeTest, KnnMatchesLinearScanAcrossMutations) {
+  Rng rng(403);
+  MutableSsTreeOptions options;
+  options.compact_min_delta = 64;  // force compactions mid-run
+  MutableSsTree tree(3, options);
+  HyperbolaCriterion exact;
+  KnnOptions kopt;
+  kopt.k = 5;
+
+  std::vector<Hypersphere> live;
+  std::vector<uint64_t> live_ids;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.UniformU64(4) == 0) {
+      const size_t victim = rng.UniformU64(live.size());
+      ASSERT_TRUE(tree.Remove(live_ids[victim]).ok());
+      live.erase(live.begin() + victim);
+      live_ids.erase(live_ids.begin() + victim);
+    } else {
+      const Hypersphere s = test::RandomSphere(&rng, 3, 6.0);
+      ASSERT_TRUE(tree.Insert(s, next_id).ok());
+      live.push_back(s);
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    if (step % 20 != 0 || live.empty()) continue;
+    const Hypersphere sq = test::RandomSphere(&rng, 3, 6.0);
+    const auto from_store = MutableKnn(tree, exact, kopt, sq);
+    const KnnResult from_scan = KnnLinearScan(live, sq, kopt.k, exact);
+    std::set<uint64_t> scan_ids;
+    for (const auto& e : from_scan.answers) {
+      scan_ids.insert(live_ids[e.id]);  // scan ids index into `live`
+    }
+    EXPECT_EQ(Ids(from_store.result), scan_ids) << "step " << step;
+  }
+}
+
+TEST(MutableSsTreeTest, RangeQuerySeesDeltaAndSkipsTombstones) {
+  MutableSsTree tree(2);
+  ASSERT_TRUE(tree.Insert(S2(0, 0, 1), 1).ok());
+  ASSERT_TRUE(tree.Insert(S2(3, 0, 1), 2).ok());
+  ASSERT_TRUE(tree.Insert(S2(100, 100, 1), 3).ok());
+  ASSERT_TRUE(tree.Remove(2).ok());
+  const auto result = MutableRange(tree, S2(0, 0, 0.5), 6.0);
+  std::set<uint64_t> possible;
+  for (const auto& e : result.result.possible) possible.insert(e.id);
+  EXPECT_EQ(possible.count(1), 1u);
+  EXPECT_EQ(possible.count(2), 0u) << "tombstoned row leaked into range";
+  EXPECT_EQ(possible.count(3), 0u);
+}
+
+}  // namespace
+}  // namespace hyperdom

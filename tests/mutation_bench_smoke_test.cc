@@ -1,0 +1,55 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Smoke job for the mutation benchmark: runs bench/mutation_throughput
+// in --smoke mode and validates the emitted hyperdom-bench-v1 JSON — the
+// CI guard for bench/results/BENCH_mutation.json and a subprocess-level
+// check that concurrent mutators and epoch-pinned readers coexist.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace hyperdom {
+namespace {
+
+#if !defined(HYPERDOM_MUTATION_BENCH_BINARY)
+#error "mutation_bench_smoke_test requires HYPERDOM_MUTATION_BENCH_BINARY"
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MutationBenchSmokeTest, EmitsValidBenchArtifact) {
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/BENCH_mutation_smoke.json";
+  const std::string command = std::string(HYPERDOM_MUTATION_BENCH_BINARY) +
+                              " --smoke --json-out=" + json_path +
+                              " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const std::string json = ReadFileOrDie(json_path);
+  EXPECT_NE(json.find("\"schema\": \"hyperdom-bench-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"mutation\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"pure insert\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"mixed read/write\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"insert_qps\": "), std::string::npos);
+  EXPECT_NE(json.find("\"write_ratio\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"mutation_qps\": "), std::string::npos);
+  EXPECT_NE(json.find("\"query_p50_micros\": "), std::string::npos);
+  EXPECT_NE(json.find("\"query_p99_micros\": "), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_lag_max\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperdom

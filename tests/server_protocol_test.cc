@@ -117,7 +117,7 @@ TEST(FrameTest, RejectsUnsupportedVersion) {
 }
 
 TEST(FrameTest, RejectsUnknownKind) {
-  for (uint32_t kind : {0u, 6u, 0xFFFFFFFFu}) {
+  for (uint32_t kind : {0u, 9u, 0xFFFFFFFFu}) {
     std::string frame = EncodeFrame(FrameKind::kPingRequest, {});
     std::memcpy(frame.data() + 8, &kind, sizeof(kind));
     auto header = DecodeFrameHeader(frame, kDefaultMaxPayloadBytes);

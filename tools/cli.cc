@@ -7,6 +7,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <numeric>
+#include <optional>
 #include <thread>
 
 #include <cmath>
@@ -26,6 +28,7 @@
 #include "exec/batch.h"
 #include "eval/table_printer.h"
 #include "eval/workload.h"
+#include "index/mutable_ss_tree.h"
 #include "index/snapshot.h"
 #include "index/ss_tree.h"
 #include "index/vp_tree.h"
@@ -69,9 +72,13 @@ constexpr char kUsage[] =
     "              [--data=FILE]\n"
     "  serve       --data=FILE [--port=0] [--host=127.0.0.1] [--threads=0]\n"
     "              [--queue-capacity=128] [--max-connections=256]\n"
-    "              [--io-timeout-ms=5000] [--criterion=NAME]\n"
+    "              [--io-timeout-ms=5000] [--criterion=NAME] [--mutable=1]\n"
     "  query       --server=HOST:PORT --query=X,..;R [--k=10]\n"
     "              [--strategy=hs|df] [--budget-ms=T] [--node-budget=N]\n"
+    "              [--timeout-ms=10000] [--attempts=4]\n"
+    "  insert      --server=HOST:PORT --id=N --sphere=X,..;R\n"
+    "              [--budget-ms=T] [--timeout-ms=10000] [--attempts=4]\n"
+    "  remove      --server=HOST:PORT --id=N [--budget-ms=T]\n"
     "              [--timeout-ms=10000] [--attempts=4]\n"
     "  metrics     (prints the catalogue of process-wide metric names)\n"
     "criteria: minmax, mbr, gp, trigonometric, hyperbola, oracle, certified\n"
@@ -89,8 +96,11 @@ constexpr char kUsage[] =
     "N random queries drawn from the dataset, reporting aggregate stats;\n"
     "--threads=T shards the workload across T workers (0 = all cores) with\n"
     "bit-identical results at any thread count.\n"
+    "serve --mutable=1 accepts insert/remove frames (ids seeded as row\n"
+    "numbers); read-only servers answer them with kNotSupported.\n"
     "exit codes: 0 success, 1 command error, 2 usage error, 3 server\n"
-    "overloaded, 4 deadline exceeded, 5 protocol error.\n";
+    "overloaded, 4 deadline exceeded, 5 protocol error, 6 mutation\n"
+    "conflict (store frozen or compacting — safe to retry later).\n";
 
 Result<uint64_t> RequireUint(const ParsedArgs& args, const std::string& key,
                              uint64_t fallback, bool required) {
@@ -720,8 +730,7 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
                                 /*required=*/false);
   if (!io_timeout.ok()) return io_timeout.status();
 
-  SsTree tree(data->front().dim());
-  HYPERDOM_RETURN_NOT_OK(tree.BulkLoad(*data));
+  const bool mutable_mode = args.GetFlag("mutable") == "1";
   const auto criterion = MakeInstrumentedCriterion(*kind);
 
   server::ServerOptions options;
@@ -731,11 +740,28 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   options.queue_capacity = static_cast<size_t>(*queue_capacity);
   options.max_connections = static_cast<size_t>(*max_conns);
   options.io_timeout_ms = static_cast<int>(*io_timeout);
-  server::Server server(&tree, criterion.get(), options);
-  HYPERDOM_RETURN_NOT_OK(server.Start());
+
+  // --mutable=1 serves a MutableSsTree (accepting insert/remove frames,
+  // ids seeded as the dataset's row numbers); otherwise the server is
+  // read-only and answers mutation frames with kNotSupported.
+  std::optional<SsTree> tree;
+  std::optional<MutableSsTree> mutable_tree;
+  std::optional<server::Server> server;
+  if (mutable_mode) {
+    mutable_tree.emplace(data->front().dim());
+    std::vector<uint64_t> ids(data->size());
+    std::iota(ids.begin(), ids.end(), uint64_t{0});
+    HYPERDOM_RETURN_NOT_OK(mutable_tree->Build(*data, ids));
+    server.emplace(&*mutable_tree, criterion.get(), options);
+  } else {
+    tree.emplace(data->front().dim());
+    HYPERDOM_RETURN_NOT_OK(tree->BulkLoad(*data));
+    server.emplace(&*tree, criterion.get(), options);
+  }
+  HYPERDOM_RETURN_NOT_OK(server->Start());
   out << "hyperdom_server listening on " << options.host << ":"
-      << server.port() << " (" << data->size() << " spheres, criterion "
-      << criterion->name() << ")\n"
+      << server->port() << " (" << data->size() << " spheres, criterion "
+      << criterion->name() << (mutable_mode ? ", mutable" : "") << ")\n"
       << "SIGTERM/SIGINT drains in-flight queries and exits.\n";
   out.flush();
 
@@ -749,8 +775,8 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   std::signal(SIGINT, SIG_DFL);
   out << "draining...\n";
   out.flush();
-  server.Stop();
-  const server::ServerCounters& counters = server.counters();
+  server->Stop();
+  const server::ServerCounters& counters = server->counters();
   out << "served " << counters.requests_served.load() << " requests ("
       << counters.requests_shed.load() << " shed, "
       << counters.best_effort_responses.load() << " best-effort, "
@@ -824,6 +850,76 @@ Status CmdQuery(const ParsedArgs& args, std::ostream& out) {
       break;
     }
   }
+  return Status::OK();
+}
+
+// Shared --server/--timeout-ms/--attempts parsing for the remote verbs
+// (insert/remove); mirrors CmdQuery's connection flags.
+Result<server::ClientOptions> ParseClientOptions(const ParsedArgs& args) {
+  const std::string target = args.GetFlag("server");
+  if (target.empty()) return Status::InvalidArgument("missing --server");
+  const std::vector<std::string> parts = Split(target, ':');
+  uint64_t port = 0;
+  if (parts.size() != 2 || !ParseUint64(parts[1], &port) || port == 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("bad --server (want HOST:PORT): '" +
+                                   target + "'");
+  }
+  auto timeout_ms = RequireUint(args, "timeout-ms", 10000,
+                                /*required=*/false);
+  if (!timeout_ms.ok()) return timeout_ms.status();
+  auto attempts = RequireUint(args, "attempts", 4, /*required=*/false);
+  if (!attempts.ok()) return attempts.status();
+  server::ClientOptions options;
+  options.host = parts[0];
+  options.port = static_cast<uint16_t>(port);
+  options.io_timeout_ms = static_cast<int>(*timeout_ms);
+  options.max_attempts = static_cast<int>(std::max<uint64_t>(1, *attempts));
+  return options;
+}
+
+Status CmdInsert(const ParsedArgs& args, std::ostream& out) {
+  auto options = ParseClientOptions(args);
+  if (!options.ok()) return options.status();
+  auto id = RequireUint(args, "id", 0, /*required=*/true);
+  if (!id.ok()) return id.status();
+  auto sphere = ParseSphere(args.GetFlag("sphere"));
+  if (!sphere.ok()) {
+    return Status::InvalidArgument("--sphere: " + sphere.status().message());
+  }
+  auto budget_ms = RequireUint(args, "budget-ms", 0, /*required=*/false);
+  if (!budget_ms.ok()) return budget_ms.status();
+
+  server::Client client(*options);
+  server::InsertRequest request;
+  request.id = *id;
+  request.sphere = *sphere;
+  request.budget_micros = *budget_ms * 1000;
+  Result<server::MutateResponse> response = client.Insert(request);
+  if (!response.ok()) return response.status();
+  out << "inserted #" << *id << " at store version " << response->version
+      << " (" << response->live << " live, " << client.last_attempts()
+      << " attempt" << (client.last_attempts() == 1 ? "" : "s") << ")\n";
+  return Status::OK();
+}
+
+Status CmdRemove(const ParsedArgs& args, std::ostream& out) {
+  auto options = ParseClientOptions(args);
+  if (!options.ok()) return options.status();
+  auto id = RequireUint(args, "id", 0, /*required=*/true);
+  if (!id.ok()) return id.status();
+  auto budget_ms = RequireUint(args, "budget-ms", 0, /*required=*/false);
+  if (!budget_ms.ok()) return budget_ms.status();
+
+  server::Client client(*options);
+  server::RemoveRequest request;
+  request.id = *id;
+  request.budget_micros = *budget_ms * 1000;
+  Result<server::MutateResponse> response = client.Remove(request);
+  if (!response.ok()) return response.status();
+  out << "removed #" << *id << " at store version " << response->version
+      << " (" << response->live << " live, " << client.last_attempts()
+      << " attempt" << (client.last_attempts() == 1 ? "" : "s") << ")\n";
   return Status::OK();
 }
 
@@ -1039,6 +1135,10 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     status = CmdServe(*parsed, out);
   } else if (parsed->command == "query") {
     status = CmdQuery(*parsed, out);
+  } else if (parsed->command == "insert") {
+    status = CmdInsert(*parsed, out);
+  } else if (parsed->command == "remove") {
+    status = CmdRemove(*parsed, out);
   } else if (parsed->command == "metrics") {
     status = CmdMetrics(*parsed, out);
   } else if (parsed->command == "help") {
@@ -1062,6 +1162,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
         return 4;
       case StatusCode::kProtocolError:
         return 5;
+      case StatusCode::kConflict:
+        return 6;
       default:
         return 1;
     }

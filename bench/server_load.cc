@@ -19,6 +19,7 @@
 // tier-1 smoke test runs it that way).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -31,6 +32,7 @@
 #include "eval/table_printer.h"
 #include "eval/workload.h"
 #include "index/ss_tree.h"
+#include "server/admin.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -52,6 +54,8 @@ struct SweepResult {
   double qps = 0.0;
   double p50_micros = 0.0;
   double p99_micros = 0.0;
+  double p999_micros = 0.0;
+  double max_micros = 0.0;
   double shed_rate = 0.0;
   double best_effort_rate = 0.0;
 };
@@ -135,6 +139,8 @@ SweepResult RunSweep(uint16_t port, const std::vector<Hypersphere>& queries,
   std::sort(latencies.begin(), latencies.end());
   result.p50_micros = Percentile(latencies, 0.50);
   result.p99_micros = Percentile(latencies, 0.99);
+  result.p999_micros = Percentile(latencies, 0.999);
+  result.max_micros = latencies.empty() ? 0.0 : latencies.back();
   result.qps = wall_seconds > 0.0
                    ? static_cast<double>(answered) / wall_seconds
                    : 0.0;
@@ -155,20 +161,24 @@ std::string ResultRow(const SweepResult& r) {
          ", \"qps\": " + FormatDouble(r.qps) +
          ", \"p50_micros\": " + FormatDouble(r.p50_micros) +
          ", \"p99_micros\": " + FormatDouble(r.p99_micros) +
+         ", \"p999_micros\": " + FormatDouble(r.p999_micros) +
+         ", \"max_micros\": " + FormatDouble(r.max_micros) +
          ", \"shed_rate\": " + FormatDouble(r.shed_rate, 4) +
          ", \"best_effort_rate\": " + FormatDouble(r.best_effort_rate, 4) +
          "}";
 }
 
 void AddTableRow(TablePrinter& table, const SweepResult& r) {
-  char qps[32], p50[32], p99[32], shed[32], be[32];
+  char qps[32], p50[32], p99[32], p999[32], maxl[32], shed[32], be[32];
   std::snprintf(qps, sizeof(qps), "%.0f", r.qps);
   std::snprintf(p50, sizeof(p50), "%.1f us", r.p50_micros);
   std::snprintf(p99, sizeof(p99), "%.1f us", r.p99_micros);
+  std::snprintf(p999, sizeof(p999), "%.1f us", r.p999_micros);
+  std::snprintf(maxl, sizeof(maxl), "%.1f us", r.max_micros);
   std::snprintf(shed, sizeof(shed), "%.2f%%", 100.0 * r.shed_rate);
   std::snprintf(be, sizeof(be), "%.2f%%", 100.0 * r.best_effort_rate);
   table.AddRow({std::to_string(r.concurrency), std::to_string(r.requests),
-                qps, p50, p99, shed, be});
+                qps, p50, p99, p999, maxl, shed, be});
 }
 
 }  // namespace
@@ -202,8 +212,8 @@ int main(int argc, char** argv) {
 
   // Sweep 1: throughput/latency against a generously provisioned server.
   std::vector<std::string> rows;
-  TablePrinter table({"clients", "requests", "qps", "p50", "p99", "shed",
-                      "best-effort"});
+  TablePrinter table({"clients", "requests", "qps", "p50", "p99", "p99.9",
+                      "max", "shed", "best-effort"});
   {
     server::ServerOptions options;
     options.worker_threads = 0;  // all cores
@@ -232,7 +242,7 @@ int main(int argc, char** argv) {
   // the interesting outcome is a nonzero shed rate with zero errors.
   std::vector<std::string> shed_rows;
   TablePrinter shed_table({"clients", "requests", "qps", "p50", "p99",
-                           "shed", "best-effort"});
+                           "p99.9", "max", "shed", "best-effort"});
   {
     server::ServerOptions options;
     options.worker_threads = 1;
@@ -253,6 +263,96 @@ int main(int argc, char** argv) {
   std::printf("\n-- overload shedding (1 worker, queue bound 1) --\n");
   shed_table.Print();
   reporter.RawSweep("overload shedding", shed_rows);
+
+  // Sweep 3: admin-plane cost. The top-concurrency throughput point runs
+  // twice against fresh servers — once bare, once with a live admin plane
+  // being scraped (/metrics) every 100 ms plus its 100 ms gauge tick —
+  // and the QPS delta is recorded. The claim under test: the admin plane
+  // costs at most ~1% QPS.
+  std::vector<std::string> admin_rows;
+  double baseline_qps = 0.0, admin_qps = 0.0;
+  uint64_t scrape_count = 0, scrape_bytes_total = 0;
+  {
+    const size_t top = concurrencies.back();
+    server::ServerOptions options;
+    options.worker_threads = 0;
+    options.queue_capacity = 1024;
+    {
+      server::Server server(&tree, criterion.get(), options);
+      const Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      baseline_qps = RunSweep(server.port(), queries, top,
+                              requests_per_client, /*allow_retry=*/true)
+                         .qps;
+      server.Stop();
+    }
+    {
+      server::Server server(&tree, criterion.get(), options);
+      const Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      server::AdminOptions admin_options;
+      admin_options.tick_interval_ms = 100;
+      server::AdminServer::Sources sources;
+      sources.queue_depth = [&server] { return server.QueueDepth(); };
+      sources.requests_served = [&server] {
+        return server.counters().requests_served.load();
+      };
+      server::AdminServer admin(std::move(admin_options), std::move(sources));
+      const Status admin_started = admin.Start();
+      if (!admin_started.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     admin_started.ToString().c_str());
+        return 1;
+      }
+      std::atomic<bool> stop_scraper{false};
+      std::atomic<uint64_t> scrapes{0};
+      std::atomic<uint64_t> scrape_bytes{0};
+      std::thread scraper([&] {
+        while (!stop_scraper.load()) {
+          Result<server::HttpResponse> scraped = server::AdminHttpGet(
+              "127.0.0.1", admin.port(), "/metrics", /*timeout_ms=*/2000);
+          if (scraped.ok() && scraped->status_code == 200) {
+            scrapes.fetch_add(1);
+            scrape_bytes.fetch_add(scraped->body.size());
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+      admin_qps = RunSweep(server.port(), queries, top, requests_per_client,
+                           /*allow_retry=*/true)
+                      .qps;
+      stop_scraper.store(true);
+      scraper.join();
+      scrape_count = scrapes.load();
+      scrape_bytes_total = scrape_bytes.load();
+      admin.Stop();
+      server.Stop();
+    }
+    const double overhead_pct =
+        baseline_qps > 0.0 ? 100.0 * (baseline_qps - admin_qps) / baseline_qps
+                           : 0.0;
+    admin_rows.push_back(
+        "{\"concurrency\": " + std::to_string(top) +
+        ", \"baseline_qps\": " + FormatDouble(baseline_qps) +
+        ", \"admin_qps\": " + FormatDouble(admin_qps) +
+        ", \"overhead_pct\": " + FormatDouble(overhead_pct, 3) +
+        ", \"scrapes\": " + std::to_string(scrape_count) +
+        ", \"scrape_bytes\": " + std::to_string(scrape_bytes_total) + "}");
+    std::printf(
+        "\n-- admin plane overhead (C=%zu, /metrics scraped every 100 ms) "
+        "--\nbaseline %.0f qps -> with admin %.0f qps (%.2f%% delta, %llu "
+        "scrapes, %llu bytes)\n",
+        top, baseline_qps, admin_qps, overhead_pct,
+        static_cast<unsigned long long>(scrape_count),
+        static_cast<unsigned long long>(scrape_bytes_total));
+  }
+  reporter.RawSweep("admin overhead", admin_rows);
 
   std::printf(
       "\nExpected shape: QPS grows with client count until the cores\n"

@@ -1,0 +1,198 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace hyperdom {
+namespace obs {
+
+namespace {
+
+std::string FormatToken(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string FormatToken(const char* fmt, ...) {
+  char buf[64];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return std::string(buf, n > 0 ? static_cast<size_t>(n) : 0);
+}
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void CountLine(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      HYPERDOM_COUNTER_INC_L(kLogLines, "level", "debug");
+      break;
+    case LogLevel::kInfo:
+      HYPERDOM_COUNTER_INC_L(kLogLines, "level", "info");
+      break;
+    case LogLevel::kWarn:
+      HYPERDOM_COUNTER_INC_L(kLogLines, "level", "warn");
+      break;
+    case LogLevel::kError:
+      HYPERDOM_COUNTER_INC_L(kLogLines, "level", "error");
+      break;
+    case LogLevel::kOff:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    if (text == LogLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+LogField LogField::Str(std::string_view key, std::string_view value) {
+  return LogField{std::string(key), "\"" + JsonEscape(value) + "\""};
+}
+
+LogField LogField::U64(std::string_view key, uint64_t value) {
+  return LogField{std::string(key), FormatToken("%" PRIu64, value)};
+}
+
+LogField LogField::I64(std::string_view key, int64_t value) {
+  return LogField{std::string(key), FormatToken("%" PRId64, value)};
+}
+
+LogField LogField::F64(std::string_view key, double value) {
+  return LogField{std::string(key), FormatToken("%.17g", value)};
+}
+
+LogField LogField::Bool(std::string_view key, bool value) {
+  return LogField{std::string(key), value ? "true" : "false"};
+}
+
+Logger& Logger::Instance() {
+  static Logger* const instance = new Logger();
+  return *instance;
+}
+
+Status Logger::OpenFileSink(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ae");
+  if (f == nullptr) {
+    return Status::IOError("cannot open log sink '" + path + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = f;
+  callback_ = nullptr;
+  return Status::OK();
+}
+
+void Logger::SetStderrSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+  callback_ = nullptr;
+}
+
+void Logger::SetCallbackSink(std::function<void(const std::string&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+  callback_ = std::move(fn);
+}
+
+void Logger::Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (callback_) {
+    callback_(line);
+  } else {
+    std::FILE* f =
+        file_ != nullptr ? static_cast<std::FILE*>(file_) : stderr;
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fflush(f);
+  }
+  lines_emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 uint64_t request_id, std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  std::string line;
+  line.reserve(128);
+  line.append("{\"ts_ns\":").append(FormatToken("%" PRIu64, WallNowNs()));
+  line.append(",\"level\":\"").append(LogLevelName(level)).append("\"");
+  line.append(",\"component\":\"").append(JsonEscape(component)).append("\"");
+  if (request_id != 0) {
+    line.append(",\"request_id\":")
+        .append(FormatToken("%" PRIu64, request_id));
+  }
+  line.append(",\"msg\":\"").append(JsonEscape(message)).append("\"");
+  for (const LogField& field : fields) {
+    line.append(",\"").append(JsonEscape(field.key)).append("\":");
+    line.append(field.json_value);
+  }
+  line.push_back('}');
+  CountLine(level);
+  Emit(line);
+}
+
+void LogSlowQuery(const SlowQueryRecord& record) {
+  HYPERDOM_COUNTER_INC(kSlowQueries);
+  Logger& logger = Logger::Instance();
+  if (!logger.Enabled(LogLevel::kWarn)) return;
+  logger.Log(LogLevel::kWarn, "slowlog", record.request_id, "slow query",
+             {LogField::Str("schema", "hyperdom-slowlog-v1"),
+              LogField::U64("latency_ns", record.latency_ns),
+              LogField::U64("threshold_ns", record.threshold_ns),
+              LogField::Str("index", record.index_kind),
+              LogField::U64("k", record.k),
+              LogField::U64("nodes_visited", record.nodes_visited),
+              LogField::U64("nodes_pruned", record.nodes_pruned),
+              LogField::U64("entries_accessed", record.entries_accessed),
+              LogField::U64("dominance_checks", record.dominance_checks),
+              LogField::U64("pruned_case2", record.pruned_case2),
+              LogField::U64("pruned_case3", record.pruned_case3),
+              LogField::U64("uncertain_verdicts", record.uncertain_verdicts),
+              LogField::U64("nodes_deadline_skipped",
+                            record.nodes_deadline_skipped),
+              LogField::F64("completeness", record.completeness),
+              LogField::U64("store_version", record.store_version),
+              LogField::U64("epoch_lag", record.epoch_lag)});
+}
+
+}  // namespace obs
+}  // namespace hyperdom

@@ -1,0 +1,158 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Structured JSON-lines logging plus the slow-query log.
+//
+// One process-wide leveled logger emits one JSON object per line:
+//
+//   {"ts_ns":..., "level":"warn", "component":"server",
+//    "request_id":42, "msg":"...", <kv fields>}
+//
+// Cost model mirrors the metrics registry: the level check is a single
+// relaxed atomic load, and the HYPERDOM_LOG macro evaluates its field
+// arguments only after that check passes, so a disabled call site does no
+// allocation and no formatting. Emission (rare) takes a mutex around the
+// sink write so concurrent lines never interleave.
+//
+// The slow-query log rides on the same sink: LogSlowQuery() renders one
+// "hyperdom-slowlog-v1" record (latency, index kind, traversal stats,
+// criterion tier counts, completeness, pinned store version / epoch lag,
+// request_id) at warn level and bumps hyperdom_slow_queries_total. See
+// docs/observability.md "Admin plane" for the schema.
+
+#ifndef HYPERDOM_OBS_LOG_H_
+#define HYPERDOM_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hyperdom {
+namespace obs {
+
+/// Severity levels, ordered. kOff disables everything.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug" / "info" / "warn" / "error" / "off".
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses a level name (as printed by LogLevelName). Returns false on
+/// unknown input, leaving *out untouched.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// One key/value field of a log record. The value is stored pre-rendered
+/// as a JSON token so emission is a straight append. Built via the named
+/// factories (a bare constructor would make integer literals ambiguous).
+struct LogField {
+  std::string key;
+  std::string json_value;
+
+  static LogField Str(std::string_view key, std::string_view value);
+  static LogField U64(std::string_view key, uint64_t value);
+  static LogField I64(std::string_view key, int64_t value);
+  static LogField F64(std::string_view key, double value);
+  static LogField Bool(std::string_view key, bool value);
+};
+
+/// \brief The process-wide structured logger.
+///
+/// Thread-safe. Default configuration: level kWarn, sink stderr — the
+/// replacement for the ad-hoc fprintf diagnostics the server and CLI
+/// used to write.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// The hot-path gate: one relaxed load, no locks.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed) &&
+           level != LogLevel::kOff;
+  }
+
+  /// Appends JSON lines to `path` (created if missing). Replaces the
+  /// current sink on success.
+  Status OpenFileSink(const std::string& path);
+
+  /// Routes lines to stderr (the default).
+  void SetStderrSink();
+
+  /// Routes lines to `fn` (tests). Pass nullptr to restore stderr.
+  void SetCallbackSink(std::function<void(const std::string& line)> fn);
+
+  /// Emits one record (no level check — call Enabled() first, or use the
+  /// HYPERDOM_LOG macro which does). request_id 0 means "none" and is
+  /// omitted from the line.
+  void Log(LogLevel level, std::string_view component, uint64_t request_id,
+           std::string_view message, std::initializer_list<LogField> fields);
+
+  /// Total lines emitted since process start (tests).
+  uint64_t lines_emitted() const {
+    return lines_emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Logger() = default;
+  void Emit(const std::string& line);
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<uint64_t> lines_emitted_{0};
+  std::mutex mu_;
+  void* file_ = nullptr;  // FILE*, owned; null = stderr or callback
+  std::function<void(const std::string&)> callback_;
+};
+
+/// One slow query, as observed at the server. Everything the on-call
+/// person needs to reproduce/explain the tail without re-running it.
+struct SlowQueryRecord {
+  uint64_t request_id = 0;
+  uint64_t latency_ns = 0;
+  uint64_t threshold_ns = 0;
+  std::string_view index_kind;  // "ss" | "mutable_ss"
+  uint32_t k = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t nodes_pruned = 0;
+  uint64_t entries_accessed = 0;
+  uint64_t dominance_checks = 0;
+  uint64_t pruned_case2 = 0;    // criterion tier: dominance prunes
+  uint64_t pruned_case3 = 0;    // criterion tier: distance prunes
+  uint64_t uncertain_verdicts = 0;
+  uint64_t nodes_deadline_skipped = 0;
+  double completeness = 1.0;
+  uint64_t store_version = 0;  // pinned MutableSsTree version (0 = static)
+  uint64_t epoch_lag = 0;      // EpochManager lag at emission
+};
+
+/// Emits one "hyperdom-slowlog-v1" JSON record at kWarn (subject to the
+/// logger level) and increments hyperdom_slow_queries_total.
+void LogSlowQuery(const SlowQueryRecord& record);
+
+}  // namespace obs
+}  // namespace hyperdom
+
+/// Level-gated structured log line. Field arguments are only evaluated
+/// when the level is enabled, so a disabled call site allocates nothing:
+///   HYPERDOM_LOG(LogLevel::kWarn, "server", id, "slow request",
+///                LogField::U64("latency_ns", ns));
+#define HYPERDOM_LOG(level_, component_, request_id_, msg_, ...)      \
+  do {                                                                \
+    ::hyperdom::obs::Logger& _hyperdom_logger =                       \
+        ::hyperdom::obs::Logger::Instance();                          \
+    if (_hyperdom_logger.Enabled(level_)) {                           \
+      _hyperdom_logger.Log(level_, component_, request_id_, msg_,     \
+                           {__VA_ARGS__});                            \
+    }                                                                 \
+  } while (false)
+
+#endif  // HYPERDOM_OBS_LOG_H_

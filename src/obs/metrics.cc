@@ -112,15 +112,58 @@ void Histogram::Reset() {
   }
 }
 
+std::string PromEscapeLabelValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string LabeledName(std::string_view base, std::string_view label_key,
                         std::string_view label_value) {
+  // The exposition-format escapes are baked in at registration time (the
+  // registry stores the full rendered name), so RenderPrometheus() can
+  // still emit names verbatim with no hot- or export-path escaping.
+  const std::string value = PromEscapeLabelValue(label_value);
   std::string out;
-  out.reserve(base.size() + label_key.size() + label_value.size() + 5);
+  out.reserve(base.size() + label_key.size() + value.size() + 5);
   out.append(base);
   out.push_back('{');
   out.append(label_key);
   out.append("=\"");
-  out.append(label_value);
+  out.append(value);
   out.append("\"}");
   return out;
 }
@@ -208,7 +251,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
     const auto help_it = help_.find(base);
     if (help_it != help_.end()) {
       out.append("# HELP ").append(base).append(" ").append(
-          help_it->second);
+          PromEscapeHelp(help_it->second));
       out.push_back('\n');
     }
     out.append("# TYPE ").append(base).append(" ").append(type);
@@ -348,6 +391,8 @@ const std::vector<MetricDef>& MetricCatalogue() {
           kServerRequests,      kServerQueueDepth,
           kServerShed,          kServerProtocolErrors,
           kServerBestEffort,    kServerRequestDuration,
+          kSlowQueries,         kAdminRequests,
+          kAdminHttpErrors,     kLogLines,
       };
   return *catalogue;
 }

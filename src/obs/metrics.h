@@ -149,8 +149,16 @@ class Histogram {
   Shard shards_[kShards];
 };
 
-/// Builds the registered-name form "base{key=\"value\"}". Registration-time
-/// helper, not for hot paths.
+/// Prometheus exposition-format escaping for label values (`\` `"` and
+/// newline) and HELP text (`\` and newline). Applied by LabeledName at
+/// registration and by RenderPrometheus on HELP lines, per the text
+/// exposition spec.
+std::string PromEscapeLabelValue(std::string_view s);
+std::string PromEscapeHelp(std::string_view s);
+
+/// Builds the registered-name form "base{key=\"value\"}", escaping the
+/// label value per the exposition format. Registration-time helper, not
+/// for hot paths.
 std::string LabeledName(std::string_view base, std::string_view label_key,
                         std::string_view label_value);
 
@@ -417,6 +425,25 @@ inline constexpr MetricDef kServerBestEffort{
 inline constexpr MetricDef kServerRequestDuration{
     "hyperdom_server_request_duration_ns",
     "admission-to-response latency per request", MetricType::kHistogram};
+
+// Admin plane + structured logging (src/server/admin.h, src/obs/log.h;
+// docs/observability.md "Admin plane").
+inline constexpr MetricDef kSlowQueries{
+    "hyperdom_slow_queries_total",
+    "queries above the slow-query threshold (each emits one "
+    "hyperdom-slowlog-v1 record)",
+    MetricType::kCounter};
+inline constexpr MetricDef kAdminRequests{
+    "hyperdom_admin_requests_total",
+    "admin HTTP requests answered 200 (label endpoint=)",
+    MetricType::kCounter};
+inline constexpr MetricDef kAdminHttpErrors{
+    "hyperdom_admin_http_errors_total",
+    "admin HTTP requests rejected (label code=400|404|405|431)",
+    MetricType::kCounter};
+inline constexpr MetricDef kLogLines{
+    "hyperdom_log_lines_total", "structured log lines emitted (label level=)",
+    MetricType::kCounter};
 
 }  // namespace obs
 }  // namespace hyperdom

@@ -1,0 +1,388 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+
+#include "server/admin.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/net.h"
+#include "storage/epoch.h"
+
+namespace hyperdom {
+namespace server {
+
+namespace {
+
+constexpr std::string_view kContentTypeText = "text/plain; charset=utf-8";
+constexpr std::string_view kContentTypeProm =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr std::string_view kContentTypeJson = "application/json";
+
+const char* HttpReason(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+// Best-effort response write: the scraper may be gone; nothing to do then.
+void WriteHttp(int fd, int code, std::string_view content_type,
+               std::string_view body, int timeout_ms) {
+  char head[256];
+  int n = std::snprintf(head, sizeof(head),
+                        "HTTP/1.0 %d %s\r\n"
+                        "Content-Type: %.*s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        code, HttpReason(code),
+                        static_cast<int>(content_type.size()),
+                        content_type.data(), body.size());
+  if (n <= 0) return;
+  std::string response(head, static_cast<size_t>(n));
+  response.append(body);
+  (void)WriteFull(fd, response.data(), response.size(), timeout_ms);
+}
+
+// Counter bumps go through literal-label macro instantiations, one per
+// endpoint / code (the macros cache a pointer per call site, so labels
+// must be literals).
+void CountEndpointHit(std::string_view target) {
+  if (target == "/metrics") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/metrics");
+  } else if (target == "/metrics.json") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/metrics.json");
+  } else if (target == "/healthz") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/healthz");
+  } else if (target == "/readyz") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/readyz");
+  } else if (target == "/statusz") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/statusz");
+  } else if (target == "/tracez") {
+    HYPERDOM_COUNTER_INC_L(obs::kAdminRequests, "endpoint", "/tracez");
+  }
+}
+
+void CountHttpError(int code) {
+  switch (code) {
+    case 400:
+      HYPERDOM_COUNTER_INC_L(obs::kAdminHttpErrors, "code", "400");
+      break;
+    case 404:
+      HYPERDOM_COUNTER_INC_L(obs::kAdminHttpErrors, "code", "404");
+      break;
+    case 405:
+      HYPERDOM_COUNTER_INC_L(obs::kAdminHttpErrors, "code", "405");
+      break;
+    case 431:
+      HYPERDOM_COUNTER_INC_L(obs::kAdminHttpErrors, "code", "431");
+      break;
+    default:
+      break;
+  }
+}
+
+uint64_t SampleU64(const std::function<uint64_t()>& fn) {
+  return fn ? fn() : 0;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options, Sources sources)
+    : options_(std::move(options)), sources_(std::move(sources)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (started_.load()) return Status::Internal("admin server already started");
+  Result<int> listen_fd = ListenOn(options_.host, options_.port, /*backlog=*/16);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
+  Result<uint16_t> port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    CloseSocket(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  started_.store(true);
+  started_at_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.tick_interval_ms > 0) {
+    tick_thread_ = std::thread([this] { TickLoop(); });
+  }
+  HYPERDOM_LOG(obs::LogLevel::kInfo, "admin", 0, "admin plane listening",
+               obs::LogField::U64("port", port_));
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!started_.exchange(false)) return;
+  // ShutdownSocket is what reliably wakes a thread parked in accept(2).
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    tick_stop_ = true;
+  }
+  tick_cv_.notify_all();
+  if (tick_thread_.joinable()) tick_thread_.join();
+  HYPERDOM_LOG(obs::LogLevel::kInfo, "admin", 0, "admin plane stopped",
+               obs::LogField::U64("requests",
+                                  counters_.requests.load()));
+}
+
+void AdminServer::AcceptLoop() {
+  while (started_.load()) {
+    Result<int> conn = AcceptConnection(listen_fd_);
+    if (!conn.ok()) {
+      if (!started_.load()) return;  // listener shut down: normal exit
+      continue;                      // transient accept failure
+    }
+    // Inline handling: one bounded request per connection. The admin plane
+    // serializes scrapers rather than spawning threads for them.
+    HandleConnection(*conn);
+    CloseSocket(*conn);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) {
+  std::string request;
+  request.reserve(512);
+  char chunk[1024];
+  // Accumulate until the blank line ending the header block. Tolerates
+  // bare-LF clients; rejects oversized or never-terminating requests.
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() > options_.max_request_bytes) {
+      counters_.http_errors.fetch_add(1, std::memory_order_relaxed);
+      CountHttpError(431);
+      WriteHttp(fd, 431, kContentTypeText, "request too large\n",
+                options_.io_timeout_ms);
+      // close() with unread bytes pending triggers a TCP RST that can
+      // destroy the in-flight 431 before the client reads it. Half-close
+      // and drain what the client is still sending (bounded) instead.
+      ShutdownWrite(fd);
+      for (size_t drained = 0; drained < (64u << 10);) {
+        Result<size_t> extra =
+            ReadSome(fd, chunk, sizeof(chunk), options_.io_timeout_ms);
+        if (!extra.ok() || *extra == 0) break;
+        drained += *extra;
+      }
+      return;
+    }
+    Result<size_t> got =
+        ReadSome(fd, chunk, sizeof(chunk), options_.io_timeout_ms);
+    if (!got.ok()) return;  // timeout or reset: nobody left to answer
+    if (*got == 0) {
+      // EOF before the header terminator: truncated request.
+      counters_.http_errors.fetch_add(1, std::memory_order_relaxed);
+      CountHttpError(400);
+      WriteHttp(fd, 400, kContentTypeText, "truncated request\n",
+                options_.io_timeout_ms);
+      return;
+    }
+    request.append(chunk, *got);
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = request.find_first_of("\r\n");
+  std::string_view line =
+      std::string_view(request).substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp2 == sp1 + 1) {
+    counters_.http_errors.fetch_add(1, std::memory_order_relaxed);
+    CountHttpError(400);
+    WriteHttp(fd, 400, kContentTypeText, "malformed request line\n",
+              options_.io_timeout_ms);
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    counters_.http_errors.fetch_add(1, std::memory_order_relaxed);
+    CountHttpError(405);
+    WriteHttp(fd, 405, kContentTypeText, "only GET is supported\n",
+              options_.io_timeout_ms);
+    return;
+  }
+  // Query strings are accepted and ignored.
+  if (const size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+
+  std::string body;
+  std::string_view content_type = kContentTypeText;
+  int code = 200;
+  if (target == "/metrics") {
+    body = obs::MetricsRegistry::Instance().RenderPrometheus();
+    content_type = kContentTypeProm;
+  } else if (target == "/metrics.json") {
+    body = obs::MetricsRegistry::Instance().RenderJson();
+    content_type = kContentTypeJson;
+  } else if (target == "/healthz") {
+    body = "ok\n";
+  } else if (target == "/readyz") {
+    if (ready_.load()) {
+      body = "ready\n";
+    } else {
+      code = 503;
+      body = "draining\n";
+    }
+  } else if (target == "/statusz") {
+    body = RenderStatusz();
+    content_type = kContentTypeJson;
+  } else if (target == "/tracez") {
+    body = obs::Tracer::Instance().RenderChromeTrace();
+    content_type = kContentTypeJson;
+  } else {
+    counters_.http_errors.fetch_add(1, std::memory_order_relaxed);
+    CountHttpError(404);
+    WriteHttp(fd, 404, kContentTypeText, "unknown endpoint\n",
+              options_.io_timeout_ms);
+    return;
+  }
+  // A 503 /readyz is still an answered request, not an HTTP error: the
+  // endpoint did its job (reporting drain), so it counts as a request.
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  CountEndpointHit(target);
+  WriteHttp(fd, code, content_type, body, options_.io_timeout_ms);
+}
+
+std::string AdminServer::RenderStatusz() const {
+  const double uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  const size_t queue_depth =
+      sources_.queue_depth ? sources_.queue_depth() : 0;
+  const int64_t active_connections =
+      sources_.active_connections ? sources_.active_connections() : 0;
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "\"uptime_seconds\":%.3f", uptime_seconds);
+  out += buf;
+  out += ",\"build\":\"" + obs::JsonEscape(options_.build_info) + "\"";
+  out += ready_.load() ? ",\"ready\":true" : ",\"ready\":false";
+  std::snprintf(buf, sizeof(buf),
+                ",\"store\":{\"version\":%" PRIu64 ",\"live\":%" PRIu64
+                ",\"epoch_lag\":%" PRIu64 "}",
+                SampleU64(sources_.store_version),
+                SampleU64(sources_.store_live),
+                EpochManager::Global().EpochLag());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"server\":{\"queue_depth\":%zu,"
+                "\"active_connections\":%lld,\"requests_served\":%" PRIu64 "}",
+                queue_depth, static_cast<long long>(active_connections),
+                SampleU64(sources_.requests_served));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"admin\":{\"requests\":%" PRIu64 ",\"http_errors\":%" PRIu64
+                ",\"ticks\":%" PRIu64 "}}",
+                counters_.requests.load(), counters_.http_errors.load(),
+                counters_.ticks.load());
+  out += buf;
+  out += "\n";
+  return out;
+}
+
+void AdminServer::SampleGauges() {
+  if (sources_.queue_depth) {
+    HYPERDOM_GAUGE_SET(obs::kServerQueueDepth,
+                       static_cast<double>(sources_.queue_depth()));
+  }
+  HYPERDOM_GAUGE_SET(obs::kStoreEpochLag,
+                     static_cast<double>(EpochManager::Global().EpochLag()));
+  counters_.ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdminServer::TickLoop() {
+  std::unique_lock<std::mutex> lock(tick_mu_);
+  while (!tick_stop_) {
+    tick_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.tick_interval_ms));
+    if (tick_stop_) return;
+    lock.unlock();
+    SampleGauges();
+    lock.lock();
+  }
+}
+
+Result<HttpResponse> AdminHttpGet(const std::string& host, uint16_t port,
+                                  const std::string& target, int timeout_ms) {
+  Result<int> fd = ConnectWithTimeout(host, port, timeout_ms);
+  if (!fd.ok()) return fd.status();
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nConnection: close\r\n\r\n";
+  Status wrote = WriteFull(*fd, request.data(), request.size(), timeout_ms);
+  if (!wrote.ok()) {
+    CloseSocket(*fd);
+    return wrote;
+  }
+  std::string raw;
+  char chunk[4096];
+  // HTTP/1.0 + Connection: close means the body ends at EOF.
+  for (;;) {
+    Result<size_t> got = ReadSome(*fd, chunk, sizeof(chunk), timeout_ms);
+    if (!got.ok()) {
+      CloseSocket(*fd);
+      return got.status();
+    }
+    if (*got == 0) break;
+    raw.append(chunk, *got);
+    if (raw.size() > (64u << 20)) {
+      CloseSocket(*fd);
+      return Status::ProtocolError("admin response exceeds 64 MiB");
+    }
+  }
+  CloseSocket(*fd);
+  // Parse "HTTP/1.x CODE REASON".
+  const size_t sp = raw.find(' ');
+  if (raw.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos) {
+    return Status::ProtocolError("malformed HTTP status line");
+  }
+  HttpResponse response;
+  response.status_code = std::atoi(raw.c_str() + sp + 1);
+  if (response.status_code < 100 || response.status_code > 599) {
+    return Status::ProtocolError("malformed HTTP status code");
+  }
+  size_t body_start = raw.find("\r\n\r\n");
+  size_t delim = 4;
+  if (body_start == std::string::npos) {
+    body_start = raw.find("\n\n");
+    delim = 2;
+  }
+  if (body_start == std::string::npos) {
+    return Status::ProtocolError("HTTP response missing header terminator");
+  }
+  response.body = raw.substr(body_start + delim);
+  return response;
+}
+
+}  // namespace server
+}  // namespace hyperdom

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
 #include "server/net.h"
 
 namespace hyperdom {
@@ -23,7 +24,22 @@ bool IsRetryableTransport(const Status& status) {
 }  // namespace
 
 Client::Client(ClientOptions options)
-    : options_(std::move(options)), jitter_(options_.jitter_seed) {}
+    : options_(std::move(options)),
+      jitter_(options_.jitter_seed),
+      // Spread clients across the ID space so concurrent clients' IDs stay
+      // distinct in merged traces; deterministic in the seed.
+      next_request_id_(options_.jitter_seed * 0x9E3779B97F4A7C15ull + 1) {}
+
+uint64_t Client::NextRequestId() {
+  uint64_t id = next_request_id_++;
+  if (id == 0) id = next_request_id_++;  // 0 means "no ID" on the wire
+  return id;
+}
+
+uint32_t Client::WireVersion() const {
+  if (peer_v1_only_) return kProtocolVersion;
+  return std::min(options_.max_protocol_version, kProtocolVersionMax);
+}
 
 Client::~Client() { Close(); }
 
@@ -44,7 +60,10 @@ Status Client::EnsureConnected() {
 }
 
 Status Client::Exchange(const std::string& frame, FrameKind* kind_out,
-                        std::string* payload_out) {
+                        std::string* payload_out, uint32_t* version_out,
+                        uint64_t* echoed_id_out) {
+  *version_out = kProtocolVersion;
+  *echoed_id_out = 0;
   HYPERDOM_RETURN_NOT_OK(
       WriteFull(fd_, frame.data(), frame.size(), options_.io_timeout_ms));
   char header_bytes[kFrameHeaderSize];
@@ -52,7 +71,7 @@ Status Client::Exchange(const std::string& frame, FrameKind* kind_out,
                                   options_.io_timeout_ms));
   Result<FrameHeader> header = DecodeFrameHeader(
       std::string_view(header_bytes, sizeof(header_bytes)),
-      options_.max_payload_bytes);
+      options_.max_payload_bytes, options_.max_protocol_version);
   if (!header.ok()) return header.status();
   payload_out->assign(header->payload_size, '\0');
   if (header->payload_size > 0) {
@@ -61,6 +80,12 @@ Status Client::Exchange(const std::string& frame, FrameKind* kind_out,
                                     options_.io_timeout_ms));
   }
   HYPERDOM_RETURN_NOT_OK(VerifyPayloadCrc(*header, *payload_out));
+  std::string_view body(*payload_out);
+  HYPERDOM_RETURN_NOT_OK(ExtractRequestId(*header, &body, echoed_id_out));
+  if (header->version >= kProtocolVersionV2) {
+    payload_out->erase(0, sizeof(uint64_t));
+  }
+  *version_out = header->version;
   *kind_out = header->kind;
   return Status::OK();
 }
@@ -83,9 +108,14 @@ void Client::Backoff(int attempt) {
   if (wait > 0) std::this_thread::sleep_for(std::chrono::milliseconds(wait));
 }
 
-Status Client::Call(const std::string& frame, FrameKind* kind_out,
-                    std::string* payload_out) {
+Status Client::Call(FrameKind request_kind, const std::string& request_payload,
+                    FrameKind* kind_out, std::string* payload_out) {
+  HYPERDOM_SPAN(span, "client/call");
   const int attempts = std::max(1, options_.max_attempts);
+  // One ID per logical request: retries of the same call re-send it, so
+  // both sides' spans and logs reconcile every attempt into one story.
+  const uint64_t request_id = NextRequestId();
+  bool id_annotated = false;
   Status last = Status::Internal("no attempt made");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     last_attempts_ = attempt + 1;
@@ -102,12 +132,47 @@ Status Client::Call(const std::string& frame, FrameKind* kind_out,
       // does not apply yet.
       continue;
     }
-    Status exchanged = Exchange(frame, kind_out, payload_out);
+    // Encoded per attempt: the wire version can change once, when a
+    // v1-only peer forces the downgrade below.
+    const bool sent_v2 = WireVersion() >= kProtocolVersionV2;
+    last_request_id_ = sent_v2 ? request_id : 0;
+    if (sent_v2 && !id_annotated) {
+      HYPERDOM_SPAN_ANNOTATE(span, "request_id", request_id);
+      id_annotated = true;
+    }
+    const std::string frame =
+        sent_v2 ? EncodeFrameV2(request_kind, request_id, request_payload)
+                : EncodeFrame(request_kind, request_payload);
+    uint32_t response_version = kProtocolVersion;
+    uint64_t echoed_id = 0;
+    Status exchanged = Exchange(frame, kind_out, payload_out,
+                                &response_version, &echoed_id);
     if (exchanged.ok()) {
+      if (sent_v2 && response_version >= kProtocolVersionV2) {
+        if (echoed_id != request_id) {
+          // The stream answered some other request: resync is impossible.
+          Close();
+          return Status::ProtocolError(
+              "response echoed request id " + std::to_string(echoed_id) +
+              ", expected " + std::to_string(request_id));
+        }
+        v2_confirmed_ = true;
+      }
       // A shed response is an application-level "try again later".
       if (*kind_out == FrameKind::kErrorResponse) {
         Status remote;
         HYPERDOM_RETURN_NOT_OK(DecodeErrorResponse(*payload_out, &remote));
+        if (remote.code() == StatusCode::kProtocolError && sent_v2 &&
+            !v2_confirmed_) {
+          // A v1-only peer rejected the v2 header (and closed the
+          // connection, which cannot be resynced). Downgrade for the rest
+          // of this client's life and re-send as v1; the attempt is not
+          // consumed — the server processed nothing.
+          peer_v1_only_ = true;
+          Close();
+          --attempt;
+          continue;
+        }
         if (remote.code() == StatusCode::kOverloaded) {
           last = std::move(remote);
           continue;  // connection stays up; back off and re-send
@@ -126,10 +191,9 @@ Status Client::Call(const std::string& frame, FrameKind* kind_out,
 }
 
 Status Client::Ping() {
-  const std::string frame = EncodeFrame(FrameKind::kPingRequest, {});
   FrameKind kind = FrameKind::kPingRequest;
   std::string payload;
-  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  HYPERDOM_RETURN_NOT_OK(Call(FrameKind::kPingRequest, {}, &kind, &payload));
   if (kind != FrameKind::kPongResponse) {
     return Status::ProtocolError("unexpected response to ping");
   }
@@ -137,11 +201,10 @@ Status Client::Ping() {
 }
 
 Result<KnnResponse> Client::Knn(const KnnRequest& request) {
-  const std::string frame =
-      EncodeFrame(FrameKind::kKnnRequest, EncodeKnnRequest(request));
   FrameKind kind = FrameKind::kKnnRequest;
   std::string payload;
-  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  HYPERDOM_RETURN_NOT_OK(Call(FrameKind::kKnnRequest,
+                              EncodeKnnRequest(request), &kind, &payload));
   if (kind != FrameKind::kKnnResponse) {
     return Status::ProtocolError("unexpected response kind to knn request");
   }
@@ -149,11 +212,10 @@ Result<KnnResponse> Client::Knn(const KnnRequest& request) {
 }
 
 Result<MutateResponse> Client::Insert(const InsertRequest& request) {
-  const std::string frame =
-      EncodeFrame(FrameKind::kInsertRequest, EncodeInsertRequest(request));
   FrameKind kind = FrameKind::kInsertRequest;
   std::string payload;
-  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  HYPERDOM_RETURN_NOT_OK(Call(FrameKind::kInsertRequest,
+                              EncodeInsertRequest(request), &kind, &payload));
   if (kind != FrameKind::kMutateResponse) {
     return Status::ProtocolError("unexpected response kind to insert request");
   }
@@ -161,11 +223,10 @@ Result<MutateResponse> Client::Insert(const InsertRequest& request) {
 }
 
 Result<MutateResponse> Client::Remove(const RemoveRequest& request) {
-  const std::string frame =
-      EncodeFrame(FrameKind::kRemoveRequest, EncodeRemoveRequest(request));
   FrameKind kind = FrameKind::kRemoveRequest;
   std::string payload;
-  HYPERDOM_RETURN_NOT_OK(Call(frame, &kind, &payload));
+  HYPERDOM_RETURN_NOT_OK(Call(FrameKind::kRemoveRequest,
+                              EncodeRemoveRequest(request), &kind, &payload));
   if (kind != FrameKind::kMutateResponse) {
     return Status::ProtocolError("unexpected response kind to remove request");
   }

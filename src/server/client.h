@@ -45,6 +45,12 @@ struct ClientOptions {
   uint64_t jitter_seed = 0x5EEDu;
   /// Per-frame payload cap enforced on responses, pre-allocation.
   uint64_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Highest HDNP version to speak (and accept). The default sends v2
+  /// frames carrying a request ID; against a v1-only server the first
+  /// kProtocolError rejection triggers a transparent, sticky downgrade to
+  /// v1 (no request IDs, no desync). Set to kProtocolVersion to emulate a
+  /// v1-only client.
+  uint32_t max_protocol_version = kProtocolVersionMax;
 };
 
 /// \brief One logical connection to a hyperdom server, reconnecting and
@@ -83,22 +89,42 @@ class Client {
   /// Attempts consumed by the last request (for tests and the load gen).
   int last_attempts() const { return last_attempts_; }
 
+  /// Request ID the last request was sent under (echoed by the server on
+  /// its response frame and annotated on both sides' spans). 0 when the
+  /// request went out as v1 (no IDs on that wire).
+  uint64_t last_request_id() const { return last_request_id_; }
+
  private:
   Status EnsureConnected();
   /// One send/receive exchange on the live connection. kind_out receives
-  /// the response frame kind; the payload goes to payload_out.
+  /// the response frame kind; the payload (request-ID prefix already
+  /// stripped) goes to payload_out; the response's wire version and
+  /// echoed ID go to version_out / echoed_id_out.
   Status Exchange(const std::string& frame, FrameKind* kind_out,
-                  std::string* payload_out);
-  /// Full request with retry/backoff; on success returns the response
-  /// (kind + payload) of the final attempt.
-  Status Call(const std::string& frame, FrameKind* kind_out,
-              std::string* payload_out);
+                  std::string* payload_out, uint32_t* version_out,
+                  uint64_t* echoed_id_out);
+  /// Full request with retry/backoff: encodes `payload` per attempt at the
+  /// negotiated wire version (downgrading once on a v1-only peer), checks
+  /// the echoed request ID, and on success returns the response (kind +
+  /// payload) of the final attempt.
+  Status Call(FrameKind request_kind, const std::string& request_payload,
+              FrameKind* kind_out, std::string* payload_out);
   void Backoff(int attempt);
+  uint64_t NextRequestId();
+  /// The version the next frame goes out at.
+  uint32_t WireVersion() const;
 
   ClientOptions options_;
   Rng jitter_;
   int fd_ = -1;
   int last_attempts_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint64_t last_request_id_ = 0;
+  // Version negotiation state: sticky downgrade after a v1-only peer
+  // rejects a v2 header; confirmation pins v2 so a later genuine
+  // kProtocolError can never silently drop the IDs.
+  bool peer_v1_only_ = false;
+  bool v2_confirmed_ = false;
 };
 
 }  // namespace server

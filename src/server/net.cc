@@ -185,6 +185,17 @@ Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
   return Status::OK();
 }
 
+Result<size_t> ReadSome(int fd, void* buf, size_t cap, int timeout_ms) {
+  const auto deadline = TransferDeadline(timeout_ms);
+  for (;;) {
+    HYPERDOM_RETURN_NOT_OK(PollOne(fd, POLLIN, RemainingMs(deadline), "read"));
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoToStatus(errno, "read", "socket");
+  }
+}
+
 Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms) {
   const auto deadline = TransferDeadline(timeout_ms);
   const char* in = static_cast<const char*>(buf);
@@ -204,6 +215,8 @@ Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms) {
 }
 
 void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+void ShutdownWrite(int fd) { ::shutdown(fd, SHUT_WR); }
 
 void ShutdownSocket(int fd) { ::shutdown(fd, SHUT_RDWR); }
 

@@ -45,6 +45,13 @@ Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
 Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
                 bool* clean_eof = nullptr);
 
+/// Reads whatever is available, up to `cap` bytes — at most one recv(2)
+/// after a poll-bounded wait. Returns the byte count; 0 means the peer
+/// closed cleanly. For delimiter-terminated streams (the admin HTTP
+/// plane) where the total length is unknown up front; kDeadlineExceeded
+/// once `timeout_ms` elapses with nothing readable.
+Result<size_t> ReadSome(int fd, void* buf, size_t cap, int timeout_ms);
+
 /// Writes exactly `size` bytes with MSG_NOSIGNAL; the whole call is
 /// bounded by `timeout_ms`, EINTR and partial writes retried.
 Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms);
@@ -52,6 +59,11 @@ Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms);
 /// Half-closes the read side (wakes a peer thread blocked in ReadFull on
 /// this fd with EOF). Used by graceful drain.
 void ShutdownRead(int fd);
+
+/// Half-closes the write side: the peer's reads see EOF while our reads
+/// keep working. Lets an HTTP/1.0 client signal end-of-request and still
+/// collect the response.
+void ShutdownWrite(int fd);
 
 /// Full shutdown(SHUT_RDWR). On Linux this is the reliable way to wake a
 /// thread blocked in accept(2) on a listening socket — close(2) alone

@@ -130,8 +130,26 @@ std::string EncodeFrame(FrameKind kind, std::string_view payload) {
   return frame;
 }
 
+std::string EncodeFrameV2(FrameKind kind, uint64_t request_id,
+                          std::string_view payload) {
+  std::string prefixed;
+  prefixed.reserve(sizeof(request_id) + payload.size());
+  AppendPod(&prefixed, request_id);
+  prefixed.append(payload);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + prefixed.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendPod(&frame, kProtocolVersionV2);
+  AppendPod(&frame, static_cast<uint32_t>(kind));
+  AppendPod(&frame, static_cast<uint64_t>(prefixed.size()));
+  AppendPod(&frame, Crc32Of(prefixed.data(), prefixed.size()));
+  frame.append(prefixed);
+  return frame;
+}
+
 Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
-                                      uint64_t max_payload_bytes) {
+                                      uint64_t max_payload_bytes,
+                                      uint32_t max_version) {
   if (bytes.size() != kFrameHeaderSize) {
     return Status::ProtocolError("truncated frame header: " +
                                  std::to_string(bytes.size()) + " of " +
@@ -150,10 +168,11 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
   in.Consume(&kind);
   in.Consume(&header.payload_size);
   in.Consume(&header.payload_crc);
-  if (version != kProtocolVersion) {
+  if (version < kProtocolVersion || version > max_version) {
     return Status::ProtocolError("unsupported protocol version " +
                                  std::to_string(version));
   }
+  header.version = version;
   if (!KnownKind(kind)) {
     return Status::ProtocolError("unknown frame kind " + std::to_string(kind));
   }
@@ -170,6 +189,19 @@ Status VerifyPayloadCrc(const FrameHeader& header, std::string_view payload) {
   if (Crc32Of(payload.data(), payload.size()) != header.payload_crc) {
     return Status::ProtocolError("payload checksum mismatch");
   }
+  return Status::OK();
+}
+
+Status ExtractRequestId(const FrameHeader& header, std::string_view* payload,
+                        uint64_t* request_id) {
+  *request_id = 0;
+  if (header.version < kProtocolVersionV2) return Status::OK();
+  if (payload->size() < sizeof(uint64_t)) {
+    return Status::ProtocolError(
+        "v2 payload shorter than its request-id prefix");
+  }
+  std::memcpy(request_id, payload->data(), sizeof(uint64_t));
+  payload->remove_prefix(sizeof(uint64_t));
   return Status::OK();
 }
 

@@ -6,10 +6,12 @@
 
 #include "common/fault.h"
 #include "index/mutable_ss_tree.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/mut_query.h"
 #include "server/net.h"
+#include "storage/epoch.h"
 
 namespace hyperdom {
 namespace server {
@@ -31,6 +33,17 @@ Deadline DeadlineFromBudget(uint64_t budget_micros) {
     deadline = Deadline::AfterDuration(std::chrono::microseconds(budget_micros));
   }
   return deadline;
+}
+
+// Encodes a response at the requester's wire version: v2 responses (and
+// v2 error/shed frames) echo the request ID so both sides' logs and spans
+// correlate; v1 peers get plain v1 frames.
+std::string EncodeReply(uint32_t version, uint64_t request_id, FrameKind kind,
+                        std::string_view payload) {
+  if (version >= kProtocolVersionV2) {
+    return EncodeFrameV2(kind, request_id, payload);
+  }
+  return EncodeFrame(kind, payload);
 }
 
 }  // namespace
@@ -80,6 +93,11 @@ void Server::Stop() {
   // Drain sequence. Order matters:
   // 1. Refuse new work: requests racing the drain are shed (kOverloaded).
   draining_.store(true);
+  // 1b. Tell the admin plane (readiness flips to 503) while the query
+  //     listener still accepts, so load balancers drain ahead of failure.
+  if (options_.drain_begin_hook) options_.drain_begin_hook();
+  HYPERDOM_LOG(obs::LogLevel::kInfo, "server", 0, "drain started",
+               obs::LogField::U64("port", port_));
   // 2. Wake the accept loop (shutdown, not close: on Linux only shutdown
   //    reliably interrupts a blocked accept), join it, then release the fd.
   ShutdownSocket(listen_fd_);
@@ -134,6 +152,11 @@ std::unique_ptr<Server::Work> Server::Dequeue() {
   HYPERDOM_GAUGE_SET(obs::kServerQueueDepth,
                      static_cast<double>(queue_.size()));
   return work;
+}
+
+size_t Server::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
 }
 
 void Server::CloseQueue() {
@@ -206,10 +229,20 @@ void Server::ConnectionLoop(Connection* conn) {
   // byte stream (bad header, CRC mismatch, malformed payload) is answered
   // with a best-effort error frame and the connection is closed; transient
   // per-request conditions (overload) keep the connection open.
+  // Wire context of the frame currently being served: error and shed
+  // frames are encoded at the peer's version, echoing its request ID.
+  // Reset before each header read — failures before the ID is known
+  // (bad header, truncated payload) fall back to v1 with ID 0.
+  uint32_t wire_version = kProtocolVersion;
+  uint64_t request_id = 0;
   auto fail_connection = [&](const Status& error) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
-    const std::string frame = EncodeFrame(FrameKind::kErrorResponse,
+    HYPERDOM_LOG(obs::LogLevel::kWarn, "server", request_id,
+                 "connection failed",
+                 obs::LogField::Str("error", error.message()));
+    const std::string frame = EncodeReply(wire_version, request_id,
+                                          FrameKind::kErrorResponse,
                                           EncodeErrorResponse(error));
     WriteFull(fd, frame.data(), frame.size(), options_.io_timeout_ms);
   };
@@ -218,6 +251,8 @@ void Server::ConnectionLoop(Connection* conn) {
   // it must cost this one connection, not the process — the exception
   // would otherwise escape the connection thread and terminate.
   for (;;) try {
+    wire_version = kProtocolVersion;
+    request_id = 0;
     char header_bytes[kFrameHeaderSize];
     bool clean_eof = false;
     Status read = ReadFull(fd, header_bytes, sizeof(header_bytes),
@@ -235,7 +270,7 @@ void Server::ConnectionLoop(Connection* conn) {
     }
     Result<FrameHeader> header = DecodeFrameHeader(
         std::string_view(header_bytes, sizeof(header_bytes)),
-        options_.max_payload_bytes);
+        options_.max_payload_bytes, options_.max_protocol_version);
     if (!header.ok()) {
       fail_connection(header.status());
       break;
@@ -257,6 +292,15 @@ void Server::ConnectionLoop(Connection* conn) {
       fail_connection(crc);
       break;
     }
+    // v2 payloads carry a request-ID prefix; from here on every reply on
+    // this frame (response, error, shed) echoes it at the peer's version.
+    std::string_view body(payload);
+    wire_version = header->version;
+    if (Status split = ExtractRequestId(*header, &body, &request_id);
+        !split.ok()) {
+      fail_connection(split);
+      break;
+    }
 
     std::string response_frame;
     bool close_after_reply = false;
@@ -268,6 +312,8 @@ void Server::ConnectionLoop(Connection* conn) {
     // hang.
     auto submit = [&](std::unique_ptr<Work> work) -> std::string {
       work->admitted = std::chrono::steady_clock::now();
+      work->wire_version = wire_version;
+      work->request_id = request_id;
       std::future<std::string> response = work->response.get_future();
       const bool admitted = HYPERDOM_FAULT_POINT_STATUS("server/enqueue").ok() &&
                             TryEnqueue(std::move(work));
@@ -276,7 +322,8 @@ void Server::ConnectionLoop(Connection* conn) {
         // kOverloaded immediately and keep reading.
         counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
         HYPERDOM_COUNTER_INC(obs::kServerShed);
-        return EncodeFrame(FrameKind::kErrorResponse,
+        return EncodeReply(wire_version, request_id,
+                           FrameKind::kErrorResponse,
                            EncodeErrorResponse(Status::Overloaded(
                                "request queue full, try again later")));
       }
@@ -285,17 +332,22 @@ void Server::ConnectionLoop(Connection* conn) {
     auto reject_malformed = [&](const Status& error) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
-      response_frame =
-          EncodeFrame(FrameKind::kErrorResponse, EncodeErrorResponse(error));
+      HYPERDOM_LOG(obs::LogLevel::kWarn, "server", request_id,
+                   "malformed request",
+                   obs::LogField::Str("error", error.message()));
+      response_frame = EncodeReply(wire_version, request_id,
+                                   FrameKind::kErrorResponse,
+                                   EncodeErrorResponse(error));
       close_after_reply = true;
     };
     switch (header->kind) {
       case FrameKind::kPingRequest:
-        response_frame = EncodeFrame(FrameKind::kPongResponse, {});
+        response_frame = EncodeReply(wire_version, request_id,
+                                     FrameKind::kPongResponse, {});
         HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", "ping");
         break;
       case FrameKind::kKnnRequest: {
-        Result<KnnRequest> request = DecodeKnnRequest(payload);
+        Result<KnnRequest> request = DecodeKnnRequest(body);
         if (!request.ok()) {
           reject_malformed(request.status());
           break;
@@ -308,7 +360,7 @@ void Server::ConnectionLoop(Connection* conn) {
         break;
       }
       case FrameKind::kInsertRequest: {
-        Result<InsertRequest> request = DecodeInsertRequest(payload);
+        Result<InsertRequest> request = DecodeInsertRequest(body);
         if (!request.ok()) {
           reject_malformed(request.status());
           break;
@@ -321,7 +373,7 @@ void Server::ConnectionLoop(Connection* conn) {
         break;
       }
       case FrameKind::kRemoveRequest: {
-        Result<RemoveRequest> request = DecodeRemoveRequest(payload);
+        Result<RemoveRequest> request = DecodeRemoveRequest(body);
         if (!request.ok()) {
           reject_malformed(request.status());
           break;
@@ -335,10 +387,10 @@ void Server::ConnectionLoop(Connection* conn) {
       }
       default:
         // Structurally valid but not something clients may send.
-        response_frame =
-            EncodeFrame(FrameKind::kErrorResponse,
-                        EncodeErrorResponse(Status::ProtocolError(
-                            "unexpected frame kind on a server connection")));
+        response_frame = EncodeReply(
+            wire_version, request_id, FrameKind::kErrorResponse,
+            EncodeErrorResponse(Status::ProtocolError(
+                "unexpected frame kind on a server connection")));
         counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         HYPERDOM_COUNTER_INC(obs::kServerProtocolErrors);
         close_after_reply = true;
@@ -386,13 +438,18 @@ void Server::WorkerLoop() {
     try {
       frame = ProcessRequest(*work);
     } catch (const std::exception& e) {
-      frame = EncodeFrame(
-          FrameKind::kErrorResponse,
+      HYPERDOM_LOG(obs::LogLevel::kError, "server", work->request_id,
+                   "request processing threw",
+                   obs::LogField::Str("what", e.what()));
+      frame = EncodeReply(
+          work->wire_version, work->request_id, FrameKind::kErrorResponse,
           EncodeErrorResponse(Status::Internal(
               std::string("request processing failed: ") + e.what())));
     } catch (...) {
-      frame = EncodeFrame(
-          FrameKind::kErrorResponse,
+      HYPERDOM_LOG(obs::LogLevel::kError, "server", work->request_id,
+                   "request processing threw");
+      frame = EncodeReply(
+          work->wire_version, work->request_id, FrameKind::kErrorResponse,
           EncodeErrorResponse(Status::Internal("request processing failed")));
     }
     work->response.set_value(std::move(frame));
@@ -408,8 +465,8 @@ std::string Server::ProcessRequest(Work& work) {
       return ProcessMutation(work);
     default:
       // ConnectionLoop only enqueues the kinds above.
-      return EncodeFrame(
-          FrameKind::kErrorResponse,
+      return EncodeReply(
+          work.wire_version, work.request_id, FrameKind::kErrorResponse,
           EncodeErrorResponse(Status::Internal("unexpected work kind")));
   }
 }
@@ -417,18 +474,23 @@ std::string Server::ProcessRequest(Work& work) {
 std::string Server::ProcessKnn(Work& work) {
   HYPERDOM_SPAN(span, "server/request");
   HYPERDOM_SPAN_ANNOTATE(span, "k", std::to_string(work.request.k));
+  if (work.request_id != 0) {
+    HYPERDOM_SPAN_ANNOTATE(span, "request_id", work.request_id);
+  }
   KnnOptions options;
   options.k = work.request.k;
   options.strategy = work.request.strategy;
   options.deadline = work.deadline;
   KnnResult result;
+  uint64_t pinned_version = 0;
   if (mutable_tree_ != nullptr) {
     // Mutable mode: the searcher runs against a pinned, immutable
     // version of the store, so concurrent inserts/removes cannot skew
     // this answer.
-    result = MutableKnn(*mutable_tree_, *criterion_, options,
-                        work.request.query)
-                 .result;
+    Versioned<KnnResult> versioned =
+        MutableKnn(*mutable_tree_, *criterion_, options, work.request.query);
+    pinned_version = versioned.version;
+    result = std::move(versioned.result);
   } else {
     const KnnSearcher searcher(criterion_, options);
     result = searcher.Search(*tree_, work.request.query);
@@ -447,10 +509,34 @@ std::string Server::ProcessKnn(Work& work) {
               work.admitted.time_since_epoch())
               .count());
   HYPERDOM_HISTOGRAM_RECORD(obs::kServerRequestDuration, elapsed_ns);
+  const uint64_t threshold_ns = options_.slow_query_micros * 1000;
+  if (threshold_ns != 0 && elapsed_ns >= threshold_ns) {
+    counters_.slow_queries.fetch_add(1, std::memory_order_relaxed);
+    obs::SlowQueryRecord slow;
+    slow.request_id = work.request_id;
+    slow.latency_ns = elapsed_ns;
+    slow.threshold_ns = threshold_ns;
+    slow.index_kind = mutable_tree_ != nullptr ? "mutable_ss" : "ss";
+    slow.k = work.request.k;
+    slow.nodes_visited = result.stats.nodes_visited;
+    slow.nodes_pruned = result.stats.nodes_pruned;
+    slow.entries_accessed = result.stats.entries_accessed;
+    slow.dominance_checks = result.stats.dominance_checks;
+    slow.pruned_case2 = result.stats.pruned_case2;
+    slow.pruned_case3 = result.stats.pruned_case3;
+    slow.uncertain_verdicts = result.stats.uncertain_verdicts;
+    slow.nodes_deadline_skipped = result.stats.nodes_deadline_skipped;
+    slow.completeness =
+        result.completeness == Completeness::kExact ? 1.0 : 0.0;
+    slow.store_version = pinned_version;
+    slow.epoch_lag = EpochManager::Global().EpochLag();
+    obs::LogSlowQuery(slow);
+  }
   KnnResponse response;
   response.completeness = result.completeness;
   response.answers = result.answers;
-  return EncodeFrame(FrameKind::kKnnResponse, EncodeKnnResponse(response));
+  return EncodeReply(work.wire_version, work.request_id,
+                     FrameKind::kKnnResponse, EncodeKnnResponse(response));
 }
 
 std::string Server::ProcessMutation(Work& work) {
@@ -458,10 +544,13 @@ std::string Server::ProcessMutation(Work& work) {
   const bool is_insert = work.kind == FrameKind::kInsertRequest;
   const char* kind_label = is_insert ? "insert" : "remove";
   HYPERDOM_SPAN_ANNOTATE(span, "kind", kind_label);
+  if (work.request_id != 0) {
+    HYPERDOM_SPAN_ANNOTATE(span, "request_id", work.request_id);
+  }
   HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", kind_label);
   if (mutable_tree_ == nullptr) {
-    return EncodeFrame(
-        FrameKind::kErrorResponse,
+    return EncodeReply(
+        work.wire_version, work.request_id, FrameKind::kErrorResponse,
         EncodeErrorResponse(Status::NotSupported(
             "server is read-only: mutation frames are not accepted")));
   }
@@ -471,7 +560,8 @@ std::string Server::ProcessMutation(Work& work) {
   if (work.deadline.WallExpired()) {
     counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
     HYPERDOM_COUNTER_INC(obs::kServerShed);
-    return EncodeFrame(FrameKind::kErrorResponse,
+    return EncodeReply(work.wire_version, work.request_id,
+                       FrameKind::kErrorResponse,
                        EncodeErrorResponse(Status::DeadlineExceeded(
                            "mutation budget exhausted before apply")));
   }
@@ -486,14 +576,16 @@ std::string Server::ProcessMutation(Work& work) {
               .count());
   HYPERDOM_HISTOGRAM_RECORD(obs::kServerRequestDuration, elapsed_ns);
   if (!applied.ok()) {
-    return EncodeFrame(FrameKind::kErrorResponse,
+    return EncodeReply(work.wire_version, work.request_id,
+                       FrameKind::kErrorResponse,
                        EncodeErrorResponse(applied));
   }
   counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
   MutateResponse response;
   response.version = mutable_tree_->version();
   response.live = mutable_tree_->live_size();
-  return EncodeFrame(FrameKind::kMutateResponse,
+  return EncodeReply(work.wire_version, work.request_id,
+                     FrameKind::kMutateResponse,
                      EncodeMutateResponse(response));
 }
 

@@ -69,6 +69,18 @@ struct ServerOptions {
   uint64_t max_payload_bytes = kDefaultMaxPayloadBytes;
   /// Bound on each socket read/write wait (slow-client defense).
   int io_timeout_ms = 5000;
+  /// Highest HDNP version this server accepts. Default: everything this
+  /// build understands. Set to kProtocolVersion to emulate a v1-only peer
+  /// (interop tests exercise the client's downgrade path against it).
+  uint32_t max_protocol_version = kProtocolVersionMax;
+  /// kNN latency (admission to response) at or above which one
+  /// hyperdom-slowlog-v1 record is emitted. 0 disables the slow-query log.
+  uint64_t slow_query_micros = 0;
+  /// Runs inside Stop() immediately after the server flips to draining and
+  /// BEFORE the listener closes. The admin plane hooks this to flip
+  /// /readyz to 503 while the query port still accepts, so load balancers
+  /// stop routing before connections start failing.
+  std::function<void()> drain_begin_hook;
   /// Test-only: runs at the start of every worker drain loop (lets tests
   /// park workers to fill the queue deterministically).
   std::function<void()> worker_start_hook;
@@ -83,6 +95,7 @@ struct ServerCounters {
   std::atomic<uint64_t> requests_shed{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> best_effort_responses{0};
+  std::atomic<uint64_t> slow_queries{0};
 };
 
 /// \brief The query server. Borrows the tree and criterion (not owned);
@@ -116,6 +129,14 @@ class Server {
   /// The bound port (valid after Start(); resolves port 0 requests).
   uint16_t port() const { return port_; }
 
+  /// True once Stop() has begun refusing new work.
+  bool draining() const { return draining_.load(); }
+
+  /// Current admission-queue depth (racy-but-consistent monitoring read;
+  /// the admin plane's background tick samples this into the
+  /// hyperdom_server_queue_depth gauge).
+  size_t QueueDepth() const;
+
   const ServerCounters& counters() const { return counters_; }
 
  private:
@@ -128,6 +149,10 @@ class Server {
     RemoveRequest remove;      // valid when kind == kRemoveRequest
     Deadline deadline;  // built at admission: queue wait burns budget
     std::chrono::steady_clock::time_point admitted;
+    // Wire context: the response (including errors) is encoded at the
+    // request's version, echoing its request ID (0 under v1).
+    uint32_t wire_version = kProtocolVersion;
+    uint64_t request_id = 0;
     std::promise<std::string> response;  // an encoded HDNP frame
   };
 
@@ -155,7 +180,7 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_ready_;
   std::deque<std::unique_ptr<Work>> queue_;
   bool queue_closed_ = false;

@@ -1,0 +1,125 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Golden-format guard for the Prometheus text exposition: every line
+// RenderPrometheus() emits must match the exposition grammar, counters
+// must end in _total, histograms must carry the mandatory le="+Inf"
+// bucket, and HELP text / label values with exposition-special characters
+// must come out escaped per the spec.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hyperdom {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusFormatTest, EveryLineMatchesExpositionGrammar) {
+  auto& registry = MetricsRegistry::Instance();
+  // Populate one of each instrument so all render paths are exercised.
+  registry.GetCounter("test_fmt_total", "a counter")->Add(2);
+  registry.GetGauge("test_fmt_entries", "a gauge")->Set(1.5);
+  Histogram* h = registry.GetHistogram("test_fmt_ns", "a histogram");
+  h->Record(3);
+  h->Record(1'000);
+
+  // HELP:   "# HELP <name> <anything>"   (no raw newline can appear — a
+  //         raw newline would split the line and fail the match below)
+  // TYPE:   "# TYPE <name> counter|gauge|histogram"
+  // SAMPLE: "<name>[{labels}] <number>"  with label values quoted and
+  //         containing no unescaped '"' (regex forbids raw quotes except
+  //         as value delimiters).
+  const std::regex help_re(R"(^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$)");
+  const std::regex type_re(
+      R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$)");
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9+][0-9a-zA-Z+\-.]*$)");
+
+  const std::string text = registry.RenderPrometheus();
+  ASSERT_FALSE(text.empty());
+  for (const std::string& line : Lines(text)) {
+    if (line.empty()) continue;
+    const bool ok = std::regex_match(line, help_re) ||
+                    std::regex_match(line, type_re) ||
+                    std::regex_match(line, sample_re);
+    EXPECT_TRUE(ok) << "line violates exposition format: " << line;
+  }
+}
+
+TEST(PrometheusFormatTest, CounterSamplesEndInTotal) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test_fmt_suffix_total")->Add(1);
+  const std::regex type_re(R"(^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) counter$)");
+  std::smatch m;
+  size_t counters_seen = 0;
+  for (const std::string& line : Lines(registry.RenderPrometheus())) {
+    if (std::regex_match(line, m, type_re)) {
+      ++counters_seen;
+      const std::string name = m[1];
+      EXPECT_TRUE(name.size() > 6 &&
+                  name.compare(name.size() - 6, 6, "_total") == 0)
+          << "counter without _total suffix: " << name;
+    }
+  }
+  EXPECT_GT(counters_seen, 0u);
+}
+
+TEST(PrometheusFormatTest, HistogramsCarryInfBucket) {
+  auto& registry = MetricsRegistry::Instance();
+  Histogram* h = registry.GetHistogram("test_fmt_inf_ns", "inf check");
+  h->Record(7);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("test_fmt_inf_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_fmt_inf_ns_sum 7"), std::string::npos);
+  EXPECT_NE(text.find("test_fmt_inf_ns_count 1"), std::string::npos);
+}
+
+TEST(PrometheusFormatTest, HelpTextIsEscaped) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test_fmt_help_escape_total",
+                      "line one\nline two with back\\slash");
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(
+      text.find("# HELP test_fmt_help_escape_total line one\\nline two "
+                "with back\\\\slash"),
+      std::string::npos);
+  // The raw newline must NOT have survived (it would split the HELP line).
+  EXPECT_EQ(text.find("# HELP test_fmt_help_escape_total line one\nline"),
+            std::string::npos);
+}
+
+TEST(PrometheusFormatTest, LabelValuesAreEscapedAtRegistration) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("two\nlines"), "two\\nlines");
+  // End to end: a labeled registration with every special character still
+  // renders one grammar-valid sample line.
+  auto& registry = MetricsRegistry::Instance();
+  const std::string name =
+      LabeledName("test_fmt_label_escape_total", "path", "a\\b\"c\nd");
+  registry.GetCounter(name, "nasty label")->Add(4);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(
+      text.find(
+          "test_fmt_label_escape_total{path=\"a\\\\b\\\"c\\nd\"} 4"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hyperdom

@@ -1,0 +1,309 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// HDNP v1 <-> v2 interop: frame-level accept/reject matrix, the request-ID
+// prefix roundtrip, a v2 client transparently (and stickily) downgrading
+// against a v1-only server, a v1-only client against a v2 server, and the
+// guarantee that error/shed frames echo the request ID.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "dominance/criterion.h"
+#include "eval/workload.h"
+#include "index/ss_tree.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace hyperdom {
+namespace server {
+namespace {
+
+// DecodeFrameHeader validates exactly kFrameHeaderSize bytes.
+std::string_view HeaderBytes(const std::string& frame) {
+  return std::string_view(frame.data(), kFrameHeaderSize);
+}
+
+TEST(ProtocolV2Test, HeaderVersionMatrix) {
+  // v1 frame: accepted by default and by a v1-capped decoder.
+  const std::string v1 = EncodeFrame(FrameKind::kPingRequest, {});
+  auto header = DecodeFrameHeader(HeaderBytes(v1), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_TRUE(DecodeFrameHeader(HeaderBytes(v1), kDefaultMaxPayloadBytes,
+                                kProtocolVersion)
+                  .ok());
+
+  // v2 frame: accepted by default, rejected by a v1-capped decoder (the
+  // v1-only-server emulation).
+  const std::string v2 = EncodeFrameV2(FrameKind::kPingRequest, 7, {});
+  header = DecodeFrameHeader(HeaderBytes(v2), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersionV2);
+  auto rejected = DecodeFrameHeader(HeaderBytes(v2), kDefaultMaxPayloadBytes,
+                                    kProtocolVersion);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(rejected.status().message().find("version"), std::string::npos);
+
+  // A version above everything this build knows is rejected everywhere.
+  std::string future = v2;
+  const uint32_t unknown = kProtocolVersionMax + 1;
+  std::memcpy(future.data() + 4, &unknown, sizeof(unknown));
+  EXPECT_FALSE(
+      DecodeFrameHeader(HeaderBytes(future), kDefaultMaxPayloadBytes).ok());
+}
+
+TEST(ProtocolV2Test, RequestIdRoundTrip) {
+  const std::string payload = "the payload";
+  const uint64_t id = 0xDEADBEEFCAFEF00Dull;
+  const std::string frame =
+      EncodeFrameV2(FrameKind::kKnnRequest, id, payload);
+  auto header = DecodeFrameHeader(HeaderBytes(frame), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersionV2);
+  EXPECT_EQ(header->kind, FrameKind::kKnnRequest);
+  // The wire payload is the 8-byte ID prefix plus the caller's payload,
+  // and the CRC covers both.
+  const std::string wire_payload = frame.substr(kFrameHeaderSize);
+  ASSERT_EQ(wire_payload.size(), sizeof(uint64_t) + payload.size());
+  ASSERT_TRUE(VerifyPayloadCrc(*header, wire_payload).ok());
+  std::string_view body(wire_payload);
+  uint64_t extracted = 0;
+  ASSERT_TRUE(ExtractRequestId(*header, &body, &extracted).ok());
+  EXPECT_EQ(extracted, id);
+  EXPECT_EQ(body, payload);
+
+  // v1 frames extract to "no ID" with the payload untouched.
+  const std::string v1 = EncodeFrame(FrameKind::kKnnRequest, payload);
+  auto v1_header = DecodeFrameHeader(HeaderBytes(v1), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(v1_header.ok());
+  std::string_view v1_body(v1.data() + kFrameHeaderSize,
+                           v1.size() - kFrameHeaderSize);
+  extracted = 99;
+  ASSERT_TRUE(ExtractRequestId(*v1_header, &v1_body, &extracted).ok());
+  EXPECT_EQ(extracted, 0u);
+  EXPECT_EQ(v1_body, payload);
+
+  // A v2 frame whose payload cannot hold the ID prefix is malformed.
+  FrameHeader short_header = *header;
+  short_header.payload_size = 4;
+  std::string_view short_body("abcd");
+  EXPECT_EQ(ExtractRequestId(short_header, &short_body, &extracted).code(),
+            StatusCode::kProtocolError);
+}
+
+class InteropTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.n = 2'000;
+    spec.dim = 3;
+    spec.radius_mean = 10.0;
+    spec.center_mean = 100.0;
+    spec.center_stddev = 30.0;
+    spec.seed = 9'100;
+    data_ = GenerateSynthetic(spec);
+    tree_ = std::make_unique<SsTree>(spec.dim);
+    ASSERT_TRUE(tree_->BulkLoad(data_).ok());
+    criterion_ = MakeCriterion(CriterionKind::kHyperbola);
+    queries_ = MakeKnnQueries(data_, 8, 9'200);
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+    auto server =
+        std::make_unique<Server>(tree_.get(), criterion_.get(), options);
+    const Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  KnnRequest MakeRequest(size_t i = 0) const {
+    KnnRequest request;
+    request.query = queries_[i % queries_.size()];
+    request.k = 5;
+    return request;
+  }
+
+  std::vector<Hypersphere> data_;
+  std::unique_ptr<SsTree> tree_;
+  std::unique_ptr<const DominanceCriterion> criterion_;
+  std::vector<Hypersphere> queries_;
+};
+
+TEST_F(InteropTest, V2ClientAgainstV2ServerCarriesIds) {
+  auto server = StartServer();
+  ClientOptions options;
+  options.port = server->port();
+  Client client(options);
+  ASSERT_TRUE(client.Knn(MakeRequest()).ok());
+  const uint64_t first_id = client.last_request_id();
+  EXPECT_NE(first_id, 0u) << "v2 exchange must carry a request ID";
+  ASSERT_TRUE(client.Knn(MakeRequest(1)).ok());
+  EXPECT_NE(client.last_request_id(), 0u);
+  EXPECT_NE(client.last_request_id(), first_id)
+      << "each logical call gets a fresh ID";
+}
+
+TEST_F(InteropTest, V2ClientDowngradesAgainstV1OnlyServer) {
+  ServerOptions server_options;
+  server_options.max_protocol_version = kProtocolVersion;  // v1-only peer
+  auto server = StartServer(server_options);
+  ClientOptions options;
+  options.port = server->port();
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 20;
+  Client client(options);
+  // First call triggers the rejection + transparent downgrade; the
+  // answer must still come back correct.
+  auto response = client.Knn(MakeRequest());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(client.last_request_id(), 0u)
+      << "a v1 wire carries no request IDs";
+  EXPECT_FALSE(response->answers.empty());
+  // The downgrade is sticky: later calls go straight out as v1, no
+  // desync, no extra rejection round-trips.
+  for (size_t i = 1; i < 4; ++i) {
+    auto again = client.Knn(MakeRequest(i));
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(client.last_request_id(), 0u);
+    EXPECT_EQ(client.last_attempts(), 1);
+  }
+  EXPECT_EQ(server->counters().requests_served.load(), 4u);
+}
+
+TEST_F(InteropTest, V1ClientAgainstV2Server) {
+  auto server = StartServer();  // accepts both versions
+  ClientOptions options;
+  options.port = server->port();
+  options.max_protocol_version = kProtocolVersion;  // v1-only client
+  Client client(options);
+  for (size_t i = 0; i < 3; ++i) {
+    auto response = client.Knn(MakeRequest(i));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(client.last_request_id(), 0u);
+  }
+  EXPECT_EQ(server->counters().requests_served.load(), 3u);
+  EXPECT_EQ(server->counters().protocol_errors.load(), 0u);
+}
+
+// Raw v2 exchange helper: sends one pre-encoded frame, returns the
+// response header + raw wire payload (ID prefix NOT stripped).
+Status RawExchange(uint16_t port, const std::string& frame,
+                   FrameHeader* header_out, std::string* payload_out) {
+  Result<int> fd = ConnectWithTimeout("127.0.0.1", port, 2000);
+  HYPERDOM_RETURN_NOT_OK(fd.status());
+  Status wrote = WriteFull(*fd, frame.data(), frame.size(), 2000);
+  if (!wrote.ok()) {
+    CloseSocket(*fd);
+    return wrote;
+  }
+  char header_bytes[kFrameHeaderSize];
+  Status read = ReadFull(*fd, header_bytes, sizeof(header_bytes), 2000);
+  if (!read.ok()) {
+    CloseSocket(*fd);
+    return read;
+  }
+  Result<FrameHeader> header = DecodeFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)),
+      kDefaultMaxPayloadBytes);
+  if (!header.ok()) {
+    CloseSocket(*fd);
+    return header.status();
+  }
+  payload_out->assign(header->payload_size, '\0');
+  if (header->payload_size > 0) {
+    read = ReadFull(*fd, payload_out->data(), payload_out->size(), 2000);
+    if (!read.ok()) {
+      CloseSocket(*fd);
+      return read;
+    }
+  }
+  CloseSocket(*fd);
+  HYPERDOM_RETURN_NOT_OK(VerifyPayloadCrc(*header, *payload_out));
+  *header_out = *header;
+  return Status::OK();
+}
+
+TEST_F(InteropTest, ErrorFramesEchoTheRequestId) {
+  auto server = StartServer();
+  // A malformed v2 request (undecodable payload) must come back as a v2
+  // error frame echoing the ID.
+  const uint64_t id = 0xABCDEF12345678ull;
+  const std::string bad =
+      EncodeFrameV2(FrameKind::kKnnRequest, id, "not a knn payload");
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(RawExchange(server->port(), bad, &header, &payload).ok());
+  EXPECT_EQ(header.kind, FrameKind::kErrorResponse);
+  ASSERT_EQ(header.version, kProtocolVersionV2);
+  std::string_view body(payload);
+  uint64_t echoed = 0;
+  ASSERT_TRUE(ExtractRequestId(header, &body, &echoed).ok());
+  EXPECT_EQ(echoed, id);
+  Status remote;
+  ASSERT_TRUE(DecodeErrorResponse(std::string(body), &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kProtocolError);
+}
+
+TEST_F(InteropTest, ShedFramesEchoTheRequestId) {
+  // Queue bound 1 + a parked worker: the second concurrent request is
+  // shed, and its kOverloaded frame must echo the second request's ID.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  options.worker_start_hook = [released] { released.wait(); };
+  auto server = StartServer(options);
+
+  // Fill the queue with one request (worker is parked, so it stays).
+  const std::string filler = EncodeFrameV2(
+      FrameKind::kKnnRequest, 11, EncodeKnnRequest(MakeRequest()));
+  std::thread fill_thread([&] {
+    FrameHeader header;
+    std::string payload;
+    (void)RawExchange(server->port(), filler, &header, &payload);
+  });
+  // Wait for it to be admitted.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->QueueDepth() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server->QueueDepth(), 1u);
+
+  const uint64_t shed_id = 4242;
+  const std::string overflow = EncodeFrameV2(
+      FrameKind::kKnnRequest, shed_id, EncodeKnnRequest(MakeRequest(1)));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(
+      RawExchange(server->port(), overflow, &header, &payload).ok());
+  EXPECT_EQ(header.kind, FrameKind::kErrorResponse);
+  ASSERT_EQ(header.version, kProtocolVersionV2);
+  std::string_view body(payload);
+  uint64_t echoed = 0;
+  ASSERT_TRUE(ExtractRequestId(header, &body, &echoed).ok());
+  EXPECT_EQ(echoed, shed_id);
+  Status remote;
+  ASSERT_TRUE(DecodeErrorResponse(std::string(body), &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kOverloaded);
+
+  release.set_value();
+  fill_thread.join();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace hyperdom

@@ -109,7 +109,7 @@ TEST(FrameTest, RejectsBadMagic) {
 
 TEST(FrameTest, RejectsUnsupportedVersion) {
   std::string frame = EncodeFrame(FrameKind::kPingRequest, {});
-  const uint32_t bad_version = kProtocolVersion + 1;
+  const uint32_t bad_version = kProtocolVersionMax + 1;
   std::memcpy(frame.data() + 4, &bad_version, sizeof(bad_version));
   auto header = DecodeFrameHeader(frame, kDefaultMaxPayloadBytes);
   ASSERT_FALSE(header.ok());

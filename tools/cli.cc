@@ -32,12 +32,14 @@
 #include "index/snapshot.h"
 #include "index/ss_tree.h"
 #include "index/vp_tree.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/inverse_ranking.h"
 #include "query/knn.h"
 #include "query/probabilistic_knn.h"
 #include "query/range.h"
+#include "server/admin.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -73,6 +75,7 @@ constexpr char kUsage[] =
     "  serve       --data=FILE [--port=0] [--host=127.0.0.1] [--threads=0]\n"
     "              [--queue-capacity=128] [--max-connections=256]\n"
     "              [--io-timeout-ms=5000] [--criterion=NAME] [--mutable=1]\n"
+    "              [--admin-port=P] [--slow-query-ms=T]\n"
     "  query       --server=HOST:PORT --query=X,..;R [--k=10]\n"
     "              [--strategy=hs|df] [--budget-ms=T] [--node-budget=N]\n"
     "              [--timeout-ms=10000] [--attempts=4]\n"
@@ -92,6 +95,13 @@ constexpr char kUsage[] =
     "(.json extension selects the JSON export, anything else Prometheus\n"
     "text); --trace-out=FILE records spans and writes a Chrome trace_event\n"
     "JSON file loadable in chrome://tracing or https://ui.perfetto.dev.\n"
+    "logging: --log-level=debug|info|warn|error|off sets the structured\n"
+    "JSON-lines logger threshold (default warn); --log-out=FILE appends the\n"
+    "lines to FILE instead of stderr.\n"
+    "serve --admin-port=P exposes the admin plane (GET /metrics,\n"
+    "/metrics.json, /healthz, /readyz, /statusz, /tracez) on a second\n"
+    "port (P=0 picks one, printed at startup); --slow-query-ms=T emits one\n"
+    "hyperdom-slowlog-v1 JSON record per kNN at or above T milliseconds.\n"
     "knn --queries=N replaces the single --query with a seeded workload of\n"
     "N random queries drawn from the dataset, reporting aggregate stats;\n"
     "--threads=T shards the workload across T workers (0 = all cores) with\n"
@@ -729,6 +739,15 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   auto io_timeout = RequireUint(args, "io-timeout-ms", 5000,
                                 /*required=*/false);
   if (!io_timeout.ok()) return io_timeout.status();
+  // --admin-port present (even as 0 = ephemeral) switches the admin
+  // plane on; absent leaves it off.
+  const bool admin_enabled = !args.GetFlag("admin-port").empty();
+  auto admin_port = RequireUint(args, "admin-port", 0, /*required=*/false);
+  if (!admin_port.ok()) return admin_port.status();
+  if (*admin_port > 65535) return Status::InvalidArgument("bad --admin-port");
+  auto slow_query_ms = RequireUint(args, "slow-query-ms", 0,
+                                   /*required=*/false);
+  if (!slow_query_ms.ok()) return slow_query_ms.status();
 
   const bool mutable_mode = args.GetFlag("mutable") == "1";
   const auto criterion = MakeInstrumentedCriterion(*kind);
@@ -740,13 +759,24 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   options.queue_capacity = static_cast<size_t>(*queue_capacity);
   options.max_connections = static_cast<size_t>(*max_conns);
   options.io_timeout_ms = static_cast<int>(*io_timeout);
+  options.slow_query_micros = *slow_query_ms * 1000;
 
   // --mutable=1 serves a MutableSsTree (accepting insert/remove frames,
   // ids seeded as the dataset's row numbers); otherwise the server is
   // read-only and answers mutation frames with kNotSupported.
   std::optional<SsTree> tree;
   std::optional<MutableSsTree> mutable_tree;
+  // Declared before `server` so it outlives the query server: the drain
+  // hook below runs inside server->Stop() and must find a live admin.
+  std::optional<server::AdminServer> admin;
   std::optional<server::Server> server;
+  if (admin_enabled) {
+    // Flip /readyz to 503 the moment the drain begins — before the query
+    // listener closes — so load balancers stop routing ahead of failures.
+    options.drain_begin_hook = [&admin] {
+      if (admin) admin->SetReady(false);
+    };
+  }
   if (mutable_mode) {
     mutable_tree.emplace(data->front().dim());
     std::vector<uint64_t> ids(data->size());
@@ -759,10 +789,45 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     server.emplace(&*tree, criterion.get(), options);
   }
   HYPERDOM_RETURN_NOT_OK(server->Start());
+  if (admin_enabled) {
+    server::AdminOptions admin_options;
+    admin_options.host = options.host;
+    admin_options.port = static_cast<uint16_t>(*admin_port);
+    admin_options.build_info = "hyperdom_cli serve, criterion " +
+                               std::string(criterion->name()) +
+                               (mutable_mode ? ", mutable" : ", read-only");
+    server::AdminServer::Sources sources;
+    sources.queue_depth = [&server] { return server->QueueDepth(); };
+    sources.active_connections = [&server] {
+      return server->counters().active_connections.load();
+    };
+    sources.requests_served = [&server] {
+      return server->counters().requests_served.load();
+    };
+    if (mutable_mode) {
+      sources.store_version = [&mutable_tree] {
+        return mutable_tree->version();
+      };
+      sources.store_live = [&mutable_tree] {
+        return static_cast<uint64_t>(mutable_tree->live_size());
+      };
+    } else {
+      sources.store_live = [&tree] {
+        return static_cast<uint64_t>(tree->size());
+      };
+    }
+    admin.emplace(std::move(admin_options), std::move(sources));
+    HYPERDOM_RETURN_NOT_OK(admin->Start());
+  }
   out << "hyperdom_server listening on " << options.host << ":"
       << server->port() << " (" << data->size() << " spheres, criterion "
-      << criterion->name() << (mutable_mode ? ", mutable" : "") << ")\n"
-      << "SIGTERM/SIGINT drains in-flight queries and exits.\n";
+      << criterion->name() << (mutable_mode ? ", mutable" : "") << ")\n";
+  if (admin_enabled) {
+    out << "admin plane on " << options.host << ":" << admin->port()
+        << " (GET /metrics /metrics.json /healthz /readyz /statusz"
+        << " /tracez)\n";
+  }
+  out << "SIGTERM/SIGINT drains in-flight queries and exits.\n";
   out.flush();
 
   g_serve_shutdown.store(false, std::memory_order_relaxed);
@@ -775,7 +840,11 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   std::signal(SIGINT, SIG_DFL);
   out << "draining...\n";
   out.flush();
+  // Order matters: server->Stop() fires drain_begin_hook (readyz -> 503)
+  // and finishes in-flight work; only then does the admin plane go down,
+  // so a scraper can watch the drain end-to-end.
   server->Stop();
+  if (admin) admin->Stop();
   const server::ServerCounters& counters = server->counters();
   out << "served " << counters.requests_served.load() << " requests ("
       << counters.requests_shed.load() << " shed, "
@@ -991,6 +1060,22 @@ Status WriteTextFile(const std::string& path, const std::string& body) {
 // compiled out. Tracing must be switched on before the command runs so the
 // spans it opens are captured.
 Status SetupObservabilityFromFlags(const ParsedArgs& args) {
+  // The structured logger is always compiled (its off-cost is one atomic
+  // load), so the logging flags work regardless of HYPERDOM_OBSERVABILITY.
+  const std::string log_level = args.GetFlag("log-level");
+  if (!log_level.empty()) {
+    obs::LogLevel level = obs::LogLevel::kWarn;
+    if (!obs::ParseLogLevel(log_level, &level)) {
+      return Status::InvalidArgument(
+          "bad --log-level '" + log_level +
+          "' (want debug|info|warn|error|off)");
+    }
+    obs::Logger::Instance().SetLevel(level);
+  }
+  const std::string log_out = args.GetFlag("log-out");
+  if (!log_out.empty()) {
+    HYPERDOM_RETURN_NOT_OK(obs::Logger::Instance().OpenFileSink(log_out));
+  }
   const std::string metrics_out = args.GetFlag("metrics-out");
   const std::string trace_out = args.GetFlag("trace-out");
   if (metrics_out.empty() && trace_out.empty()) return Status::OK();

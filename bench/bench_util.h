@@ -94,6 +94,9 @@ inline bool WriteFile(const std::string& path, const std::string& body) {
 ///                       sizes via Scaled(full, smoke)
 ///   --json-out=FILE     write the accumulated rows as
 ///                       `hyperdom-bench-v1` JSON
+///   --headline-out=FILE write the SAME JSON body to a second path in the
+///                       same run (the repo-root headline copy of a
+///                       results file, kept in sync by construction)
 ///   --metrics-out=FILE  dump the process metrics registry after the run
 ///                       (`.json` extension selects the JSON export,
 ///                       anything else Prometheus text)
@@ -112,6 +115,8 @@ class Reporter {
         smoke_ = true;
       } else if (StartsWith(arg, "--json-out=")) {
         json_out_ = arg.substr(11);
+      } else if (StartsWith(arg, "--headline-out=")) {
+        headline_out_ = arg.substr(15);
       } else if (StartsWith(arg, "--metrics-out=")) {
         metrics_out_ = arg.substr(14);
       } else if (StartsWith(arg, "--threads=")) {
@@ -121,7 +126,8 @@ class Reporter {
         std::fprintf(stderr,
                      "error: unknown flag '%s'\n"
                      "usage: %s [--smoke] [--json-out=FILE] "
-                     "[--metrics-out=FILE] [--threads=N]\n",
+                     "[--headline-out=FILE] [--metrics-out=FILE] "
+                     "[--threads=N]\n",
                      arg.c_str(), argv[0]);
         bad_flags_ = true;
       }
@@ -192,7 +198,7 @@ class Reporter {
   /// Writes the requested artifacts; the binary's exit code.
   int Finish() const {
     if (bad_flags_) return 2;
-    if (!json_out_.empty()) {
+    if (!json_out_.empty() || !headline_out_.empty()) {
       std::string body;
       body += "{\n  \"schema\": \"hyperdom-bench-v1\",\n";
       body += "  \"bench\": \"" + internal::JsonEscape(bench_name_) + "\",\n";
@@ -203,8 +209,17 @@ class Reporter {
         body += sweeps_[i];
       }
       body += "\n  ]\n}\n";
-      if (!internal::WriteFile(json_out_, body)) {
+      if (!json_out_.empty() && !internal::WriteFile(json_out_, body)) {
         std::fprintf(stderr, "error: cannot write %s\n", json_out_.c_str());
+        return 1;
+      }
+      // Byte-identical second copy: the headline file can never drift
+      // from the results file it mirrors, because both come from this
+      // one `body`.
+      if (!headline_out_.empty() &&
+          !internal::WriteFile(headline_out_, body)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     headline_out_.c_str());
         return 1;
       }
     }
@@ -237,6 +252,7 @@ class Reporter {
 
   std::string bench_name_;
   std::string json_out_;
+  std::string headline_out_;
   std::string metrics_out_;
   size_t threads_ = 1;
   bool smoke_ = false;

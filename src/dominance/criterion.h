@@ -79,6 +79,28 @@ class DominanceCriterion {
     return DecideVerdict(sa.view(), sb.view(), sq.view());
   }
 
+  /// \brief Batched three-valued decision: out[i] = DecideVerdict(sa,
+  /// sbs[i], sq) for i in [0, count).
+  ///
+  /// One (Sa, Sq) pair against a block of candidates — the shape of
+  /// BestKnownList eviction/revival sweeps and leaf-scan filtering. The
+  /// contract is strict element-wise equivalence: every out[i] must be
+  /// bit-identical (same enumerator, same side effects) to the serial
+  /// call, so batching is purely a scheduling change. The default is the
+  /// serial loop; criteria with per-pair work that is invariant in Sb
+  /// (Hyperbola's query-to-focus distance) override it to hoist that work
+  /// out of the loop. Wrappers that add per-call behavior
+  /// (InstrumentedCriterion counters, CertifiedCriterion escalation)
+  /// inherit the default and keep their per-call semantics via virtual
+  /// dispatch on DecideVerdict.
+  virtual void DecideVerdictBatch(SphereView sa, const SphereView* sbs,
+                                  size_t count, SphereView sq,
+                                  Verdict* out) const {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = DecideVerdict(sa, sbs[i], sq);
+    }
+  }
+
   /// Short display name ("Hyperbola", "MinMax", ...).
   virtual std::string_view name() const = 0;
 

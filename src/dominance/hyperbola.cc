@@ -33,62 +33,46 @@ double HyperbolaMinDistParametric(double alpha, double rab, double y1,
                                                                  y1, y2);
 }
 
+bool HyperbolaCriterion::DominatesNonOverlapping(SphereView sa, SphereView sb,
+                                                 SphereView sq,
+                                                 double da) const {
+  // The full Algorithm 1 pipeline after the overlap gate lives in
+  // hyperbola_internal so the serial and batched entry points share one
+  // spelling (bit-identity by construction); only the curve minimizer is
+  // bound here.
+  return hyperbola_internal::DominatesNonOverlappingT(
+      sa, sb, sq, da, [this](double alpha, double rab, double y1, double y2) {
+        return method_ == HyperbolaInnerMethod::kQuartic
+                   ? HyperbolaMinDistQuartic(alpha, rab, y1, y2)
+                   : HyperbolaMinDistParametric(alpha, rab, y1, y2);
+      });
+}
+
 bool HyperbolaCriterion::Dominates(SphereView sa, SphereView sb,
                                    SphereView sq) const {
   // Step 0 (Lemma 1): overlapping spheres never dominate. This also covers
   // coincident centers, so below Dist(ca, cb) > 0.
   if (Overlaps(sa, sb)) return false;
-
-  const double rab = sa.radius + sb.radius;
   const double da = DistSpan(sq.center, sa.center, sq.dim);
-  const double db = DistSpan(sq.center, sb.center, sq.dim);
+  return DominatesNonOverlapping(sa, sb, sq, da);
+}
 
-  // cq itself must satisfy the MDD margin strictly (cq inside Ra); this is
-  // necessary because cq ∈ Sq, and it is the second conjunct of Step 2.
-  if (!(db - da > rab)) return false;
-
-  // A point query inside Ra is decided: Sq = {cq}.
-  if (sq.radius == 0.0) return true;
-
-  if (sa.dim == 1) {
-    // On a line Sq is the segment [cq - rq, cq + rq] and
-    // f(t) = |t - cb| - |t - ca| is piecewise linear with breakpoints at
-    // the two foci, so its minimum over the segment sits at a segment
-    // endpoint or at a focus inside the segment. (The 2-plane reduction
-    // below would allow off-line displacements that do not exist in 1-d.)
-    const double ca = sa.center[0];
-    const double cb = sb.center[0];
-    const double lo = sq.center[0] - sq.radius;
-    const double hi = sq.center[0] + sq.radius;
-    auto f = [&](double t) { return std::abs(t - cb) - std::abs(t - ca); };
-    double fmin = std::min(f(lo), f(hi));
-    if (ca > lo && ca < hi) fmin = std::min(fmin, f(ca));
-    if (cb > lo && cb < hi) fmin = std::min(fmin, f(cb));
-    return fmin > rab;
+void HyperbolaCriterion::DecideVerdictBatch(SphereView sa,
+                                            const SphereView* sbs,
+                                            size_t count, SphereView sq,
+                                            Verdict* out) const {
+  if (count == 0) return;
+  // Dist(cq, ca) does not involve the candidate, so one O(d) distance
+  // serves the whole block. It is hoisted even when some candidates fall
+  // to the overlap gate: da is needed by every surviving candidate and
+  // the serial path computes the identical value, so verdicts cannot
+  // drift.
+  const double da = DistSpan(sq.center, sa.center, sq.dim);
+  for (size_t i = 0; i < count; ++i) {
+    const bool dom =
+        !Overlaps(sa, sbs[i]) && DominatesNonOverlapping(sa, sbs[i], sq, da);
+    out[i] = dom ? Verdict::kDominates : Verdict::kNotDominates;
   }
-
-  if (rab == 0.0) {
-    // Two points: the hyperbola degenerates to the perpendicular-bisector
-    // hyperplane of ca and cb. The signed axial coordinate of cq is
-    // y1 = (da^2 - db^2) / (4 alpha); cq is on the ca side (y1 < 0, already
-    // guaranteed) and Sq avoids the plane iff |y1| > rq.
-    const double focal = DistSpan(sa.center, sb.center, sa.dim);
-    const double y1 = (da * da - db * db) / (2.0 * focal);
-    return -y1 > sq.radius;
-  }
-
-  // Step 1: minimum distance from cq to the boundary P, computed in the
-  // focal 2-plane (Section 4.3). ComputeFocalCoords is the allocation-free
-  // reduction of BuildFocalFrame (same operation order, no mid/axis Points).
-  const FocalCoords<double> frame =
-      ComputeFocalCoords<double>(sa.center, sb.center, sq.center, sa.dim);
-  const double dmin =
-      method_ == HyperbolaInnerMethod::kQuartic
-          ? HyperbolaMinDistQuartic(frame.alpha, rab, frame.y1, frame.y2)
-          : HyperbolaMinDistParametric(frame.alpha, rab, frame.y1, frame.y2);
-
-  // Step 2: Sq ⊆ Ra iff cq ∈ Ra (checked above) and dmin > rq.
-  return dmin > sq.radius;
 }
 
 }  // namespace hyperdom

@@ -50,11 +50,23 @@ class HyperbolaCriterion final : public DominanceCriterion {
 
   using DominanceCriterion::Dominates;
   bool Dominates(SphereView sa, SphereView sb, SphereView sq) const override;
+
+  /// Batched tier-1: one (Sa, Sq) pair against a block of candidates. The
+  /// query-to-focus distance da = Dist(cq, ca) — the only O(d) term of
+  /// the pipeline not involving cb — is computed once and amortized
+  /// across the block; every verdict is bit-identical to the serial call.
+  void DecideVerdictBatch(SphereView sa, const SphereView* sbs, size_t count,
+                          SphereView sq, Verdict* out) const override;
+
   std::string_view name() const override { return "Hyperbola"; }
   bool is_correct() const override { return true; }
   bool is_sound() const override { return true; }
 
  private:
+  /// The pipeline after the Lemma 1 overlap gate, with da precomputed.
+  bool DominatesNonOverlapping(SphereView sa, SphereView sb, SphereView sq,
+                               double da) const;
+
   HyperbolaInnerMethod method_;
 };
 

@@ -17,6 +17,8 @@
 #include <cmath>
 #include <limits>
 
+#include "geometry/focal_frame.h"
+#include "geometry/hypersphere.h"
 #include "geometry/polynomial_kernel.h"
 
 namespace hyperdom {
@@ -222,6 +224,68 @@ T HyperbolaMinDistParametricT(T alpha, T rab, T y1, T y2) {
   const T near = SheetMinDistT(a, b, T(-1), y1, y2);
   const T far = SheetMinDistT(a, b, T(1), y1, y2);
   return std::min(near, far);
+}
+
+// Tier-1 predicate core shared by the serial and batched entry points
+// (dominance/hyperbola.cc): decides Dom(Sa, Sb, Sq) for a pair already
+// known NOT to overlap (Lemma 1 dispatched by the caller), with the
+// query-to-focus distance da = Dist(cq, ca) supplied precomputed. da is
+// the only O(d) quantity of the pipeline that does not involve cb, so
+// the batched form computes it once per (Sa, Sq) pair and amortizes it
+// across every candidate Sb; the focal frame's foci are ca and cb, so
+// the frame itself is rebuilt per candidate. `min_dist(alpha, rab, y1,
+// y2)` supplies the curve minimizer (quartic or parametric) — the
+// operations here are otherwise the exact serial-pipeline sequence, so
+// batched verdicts are bit-identical to one-at-a-time calls.
+template <typename MinDistFn>
+bool DominatesNonOverlappingT(SphereView sa, SphereView sb, SphereView sq,
+                              double da, MinDistFn&& min_dist) {
+  const double rab = sa.radius + sb.radius;
+  const double db = DistSpan(sq.center, sb.center, sq.dim);
+
+  // cq itself must satisfy the MDD margin strictly (cq inside Ra); this is
+  // necessary because cq ∈ Sq, and it is the second conjunct of Step 2.
+  if (!(db - da > rab)) return false;
+
+  // A point query inside Ra is decided: Sq = {cq}.
+  if (sq.radius == 0.0) return true;
+
+  if (sa.dim == 1) {
+    // On a line Sq is the segment [cq - rq, cq + rq] and
+    // f(t) = |t - cb| - |t - ca| is piecewise linear with breakpoints at
+    // the two foci, so its minimum over the segment sits at a segment
+    // endpoint or at a focus inside the segment. (The 2-plane reduction
+    // below would allow off-line displacements that do not exist in 1-d.)
+    const double ca = sa.center[0];
+    const double cb = sb.center[0];
+    const double lo = sq.center[0] - sq.radius;
+    const double hi = sq.center[0] + sq.radius;
+    auto f = [&](double t) { return std::abs(t - cb) - std::abs(t - ca); };
+    double fmin = std::min(f(lo), f(hi));
+    if (ca > lo && ca < hi) fmin = std::min(fmin, f(ca));
+    if (cb > lo && cb < hi) fmin = std::min(fmin, f(cb));
+    return fmin > rab;
+  }
+
+  if (rab == 0.0) {
+    // Two points: the hyperbola degenerates to the perpendicular-bisector
+    // hyperplane of ca and cb. The signed axial coordinate of cq is
+    // y1 = (da^2 - db^2) / (4 alpha); cq is on the ca side (y1 < 0, already
+    // guaranteed) and Sq avoids the plane iff |y1| > rq.
+    const double focal = DistSpan(sa.center, sb.center, sa.dim);
+    const double y1 = (da * da - db * db) / (2.0 * focal);
+    return -y1 > sq.radius;
+  }
+
+  // Step 1: minimum distance from cq to the boundary P, computed in the
+  // focal 2-plane (Section 4.3). ComputeFocalCoords is the allocation-free
+  // reduction of BuildFocalFrame (same operation order, no mid/axis Points).
+  const FocalCoords<double> frame =
+      ComputeFocalCoords<double>(sa.center, sb.center, sq.center, sa.dim);
+  const double dmin = min_dist(frame.alpha, rab, frame.y1, frame.y2);
+
+  // Step 2: Sq ⊆ Ra iff cq ∈ Ra (checked above) and dmin > rq.
+  return dmin > sq.radius;
 }
 
 }  // namespace hyperbola_internal

@@ -64,6 +64,23 @@ bool Overlaps(const Hypersphere& a, const Hypersphere& b) {
   return Overlaps(a.view(), b.view());
 }
 
+void BatchedMaxDist(const SphereView* views, size_t count, SphereView q,
+                    double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double d = DistSpan(views[i].center, q.center, q.dim);
+    out[i] = kernel_core::CombineMaxDist(d, views[i].radius, q.radius);
+  }
+}
+
+void BatchedMinMaxDist(const SphereView* views, size_t count, SphereView q,
+                       double* min_out, double* max_out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double d = DistSpan(views[i].center, q.center, q.dim);
+    min_out[i] = kernel_core::CombineMinDist(d, views[i].radius, q.radius);
+    max_out[i] = kernel_core::CombineMaxDist(d, views[i].radius, q.radius);
+  }
+}
+
 Hypersphere MaterializeSphere(SphereView v) {
   return Hypersphere(Point(v.center, v.center + v.dim), v.radius);
 }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "geometry/kernel_core.h"
 #include "geometry/point.h"
 
 namespace hyperdom {
@@ -88,41 +89,64 @@ class Hypersphere {
 
 // -- View kernels ----------------------------------------------------------
 // The span cores of the sphere-distance arithmetic. The Hypersphere
-// overloads below delegate here; the radii grouping `(ra + rb)` is part of
-// the bit-identity contract (symmetric in the arguments). Defined inline:
-// a by-value SphereView is passed on the stack (it exceeds the two-eightbyte
-// register budget), and an opaque call re-writing the same stack slots every
-// leaf-scan iteration serializes the loop — inlining erases the ABI traffic
-// and leaves only the DistSpan register call.
+// overloads below delegate here. Defined inline: a by-value SphereView is
+// passed on the stack (it exceeds the two-eightbyte register budget), and
+// an opaque call re-writing the same stack slots every leaf-scan iteration
+// serializes the loop — inlining erases the ABI traffic and leaves only
+// the DistSpan register call. The bodies contain NO local arithmetic:
+// distances come from the point.cc span kernels and the radius combines
+// from kernel_core.h, the same force-inline spellings the batched kernels
+// use, so the inline and out-of-line paths cannot diverge bit-wise
+// (pinned by tests/kernel_identity_test.cc).
 
 /// MaxDist(Sa, Sb) = Dist(ca, cb) + (ra + rb)  (paper Eq. (3)).
+/// The radii grouping makes the result bit-symmetric in (a, b).
 inline double MaxDist(SphereView a, SphereView b) {
-  // Group the radii so the result is bit-symmetric in (a, b).
-  return DistSpan(a.center, b.center, a.dim) + (a.radius + b.radius);
+  return kernel_core::CombineMaxDist(DistSpan(a.center, b.center, a.dim),
+                                     a.radius, b.radius);
 }
 
 /// MinDist(Sa, Sb) = max(0, Dist(ca, cb) - (ra + rb))  (paper Eq. (4)).
 inline double MinDist(SphereView a, SphereView b) {
-  const double d = DistSpan(a.center, b.center, a.dim) - (a.radius + b.radius);
-  return d > 0.0 ? d : 0.0;
+  return kernel_core::CombineMinDist(DistSpan(a.center, b.center, a.dim),
+                                     a.radius, b.radius);
 }
 
 /// MaxDist between a sphere view and a point span: Dist(c, p) + r.
 inline double MaxDist(SphereView a, const double* p) {
-  return DistSpan(a.center, p, a.dim) + a.radius;
+  return kernel_core::CombineMaxDist(DistSpan(a.center, p, a.dim), a.radius,
+                                     0.0);
 }
 
 /// MinDist between a sphere view and a point span: max(0, Dist(c, p) - r).
 inline double MinDist(SphereView a, const double* p) {
-  const double d = DistSpan(a.center, p, a.dim) - a.radius;
-  return d > 0.0 ? d : 0.0;
+  return kernel_core::CombineMinDist(DistSpan(a.center, p, a.dim), a.radius,
+                                     0.0);
 }
 
 /// Overlap test: Dist(ca, cb) <= ra + rb (paper Section 2.1).
 inline bool Overlaps(SphereView a, SphereView b) {
-  const double sum = a.radius + b.radius;
-  return SquaredDistSpan(a.center, b.center, a.dim) <= sum * sum;
+  return kernel_core::OverlapFromSquared(
+      SquaredDistSpan(a.center, b.center, a.dim), a.radius, b.radius);
 }
+
+// -- Batched view kernels (gather forms) -----------------------------------
+// One query against `count` views whose rows need not be contiguous (leaf
+// entries resolved from arbitrary store slots, delta-overlay rows). Each
+// result is bit-identical to the one-at-a-time view kernel on the same
+// pair; for contiguous rows the raw forms in geometry/point.h
+// (BatchedMinMaxDistSpan etc.) compute the same values from the arena
+// base pointer directly.
+
+/// out[i] = MaxDist(views[i], q).
+void BatchedMaxDist(const SphereView* views, size_t count, SphereView q,
+                    double* out);
+
+/// min_out[i] = MinDist(views[i], q), max_out[i] = MaxDist(views[i], q),
+/// with one center distance per view (fused; bit-identical to the
+/// separate calls).
+void BatchedMinMaxDist(const SphereView* views, size_t count, SphereView q,
+                       double* min_out, double* max_out);
 
 // -- Hypersphere adapters --------------------------------------------------
 

@@ -22,9 +22,11 @@ using Point = std::vector<double>;
 // spans. These are the single source of truth for the arithmetic: the
 // Point overloads below and the SphereView/SphereStore layers all delegate
 // here, so an AoS `std::vector` caller and a columnar-store caller execute
-// bit-identical instruction sequences. Keep each body a single
-// plain-indexed loop — the accumulation order is part of the library's
-// bit-identity contract (see docs/performance.md, "Data layout").
+// bit-identical instruction sequences. Every reduction follows the fixed
+// accumulation order of geometry/kernel_core.h ("v2": sequential below
+// dim 8, four strided lanes above), which is what lets the AVX2 build
+// under HYPERDOM_NATIVE return bit-identical values to the portable
+// scalar build (see docs/performance.md, "Vectorization").
 
 /// Inner product over `dim` contiguous coordinates.
 double DotSpan(const double* a, const double* b, size_t dim);
@@ -46,6 +48,73 @@ void AddInPlaceSpan(double* acc, const double* x, size_t dim);
 
 /// acc[i] -= x[i] over `dim` coordinates.
 void SubInPlaceSpan(double* acc, const double* x, size_t dim);
+
+/// The compile-time kernel dispatch of this build: "avx2" when the span
+/// kernels were compiled against AVX2 intrinsics (HYPERDOM_NATIVE on a
+/// machine with AVX2), "scalar" for the portable fallback. Either way the
+/// returned VALUES are identical; this only names the instruction path.
+const char* KernelDispatchName();
+
+// -- Batched span kernels --------------------------------------------------
+//
+// One query against a contiguous block of rows — the SphereStore arena
+// layout (geometry/sphere rows at stride `dim`, radii in a parallel
+// column). These are the leaf-scan/BestKnownList workhorses: the per-call
+// overhead is amortized over the block and each row's distance is computed
+// exactly once even when both bounds are needed. Each row's result is
+// bit-identical to the corresponding one-at-a-time kernel call — batching
+// is a scheduling change, not an arithmetic change.
+
+/// out[r] = SquaredDistSpan(rows + r*dim, q, dim) for r in [0, count).
+void BatchedSqDistSpan(const double* rows, size_t dim, size_t count,
+                       const double* q, double* out);
+
+/// out[r] = MaxDist of row r (radius radii[r]) to the query (center q,
+/// radius qr): DistSpan(row, q) + (radii[r] + qr).
+void BatchedMaxDistSpan(const double* rows, const double* radii, size_t dim,
+                        size_t count, const double* q, double qr,
+                        double* out);
+
+/// out[r] = MinDist of row r to the query: max(0, dist - (radii[r] + qr)).
+void BatchedMinDistSpan(const double* rows, const double* radii, size_t dim,
+                        size_t count, const double* q, double qr,
+                        double* out);
+
+/// Fused form: computes each row's center distance once and derives both
+/// bounds — bit-identical to separate BatchedMinDistSpan /
+/// BatchedMaxDistSpan calls at half the distance work.
+void BatchedMinMaxDistSpan(const double* rows, const double* radii,
+                           size_t dim, size_t count, const double* q,
+                           double qr, double* min_out, double* max_out);
+
+// -- Scalar reference kernels ----------------------------------------------
+//
+// The same kernels, permanently compiled WITHOUT vector instructions
+// (geometry/scalar_kernels.cc is built with -fno-tree-vectorize and
+// -ffp-contract=off even under HYPERDOM_NATIVE). Two jobs: the in-binary
+// baseline for the scalar-vs-SIMD microbenchmark rows, and the reference
+// side of the bit-identity tests — in every build, for every input,
+// scalar_ref::K(...) must equal K(...) bit-for-bit.
+namespace scalar_ref {
+
+double DotSpan(const double* a, const double* b, size_t dim);
+double SquaredNormSpan(const double* a, size_t dim);
+double NormSpan(const double* a, size_t dim);
+double SquaredDistSpan(const double* a, const double* b, size_t dim);
+double DistSpan(const double* a, const double* b, size_t dim);
+void BatchedSqDistSpan(const double* rows, size_t dim, size_t count,
+                       const double* q, double* out);
+void BatchedMaxDistSpan(const double* rows, const double* radii, size_t dim,
+                        size_t count, const double* q, double qr,
+                        double* out);
+void BatchedMinDistSpan(const double* rows, const double* radii, size_t dim,
+                        size_t count, const double* q, double qr,
+                        double* out);
+void BatchedMinMaxDistSpan(const double* rows, const double* radii,
+                           size_t dim, size_t count, const double* q,
+                           double qr, double* min_out, double* max_out);
+
+}  // namespace scalar_ref
 
 // -- Point adapters --------------------------------------------------------
 

@@ -210,6 +210,34 @@ void MutableSsTree::ReadView::ForEachExtra(
   }
 }
 
+void MutableSsTree::ReadView::ForEachExtraBlock(
+    const std::function<void(const EntryView*, size_t)>& fn) const {
+  const auto* v = static_cast<const TreeVersion*>(v_);
+  // Same rows, same order as ForEachExtra, but the slabs are walked
+  // directly: flat row numbers are consumed in order, so the per-row
+  // Locate of DeltaLog::Row() collapses into one slab-pointer load per
+  // slab. The gathered views stay valid while this view is pinned (slab
+  // rows never move), so handing one block over the whole delta is safe.
+  std::vector<EntryView> rows;
+  rows.reserve(static_cast<size_t>(v->delta_rows));
+  uint64_t row = 0;
+  for (size_t s = 0; s < DeltaLog::kMaxSlabs && row < v->delta_rows; ++s) {
+    const DeltaSlab* slab =
+        v->delta->slabs[s].load(std::memory_order_acquire);
+    const uint64_t slab_rows = uint64_t{DeltaLog::kSlabBase} << s;
+    for (uint64_t off = 0; off < slab_rows && row < v->delta_rows;
+         ++off, ++row) {
+      if (!VisibleAt(slab->deleted_at[off].load(std::memory_order_acquire),
+                     v->version)) {
+        continue;
+      }
+      rows.push_back(EntryView{slab->store.view(static_cast<uint32_t>(off)),
+                               slab->ids[off], static_cast<uint32_t>(row)});
+    }
+  }
+  fn(rows.data(), rows.size());
+}
+
 void MutableSsTree::ReadView::CollectLive(std::vector<Hypersphere>* spheres,
                                           std::vector<uint64_t>* ids) const {
   const auto* v = static_cast<const TreeVersion*>(v_);

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "storage/sphere_store.h"
 
@@ -43,6 +44,19 @@ class SearchOverlay {
   /// SphereStore views.
   virtual void ForEachExtra(
       const std::function<void(const EntryView&)>& fn) const = 0;
+
+  /// Block form of ForEachExtra for batched scoring: hands the same rows,
+  /// in the same order, as one or more contiguous EntryView blocks (the
+  /// pointer is valid only for the duration of the callback). The default
+  /// gathers everything through ForEachExtra and emits a single block;
+  /// implementations with contiguous internal storage (MutableSsTree's
+  /// delta slabs) override it to skip the per-row indirection.
+  virtual void ForEachExtraBlock(
+      const std::function<void(const EntryView*, size_t)>& fn) const {
+    std::vector<EntryView> rows;
+    ForEachExtra([&rows](const EntryView& e) { rows.push_back(e); });
+    fn(rows.data(), rows.size());
+  }
 };
 
 }  // namespace hyperdom

@@ -84,7 +84,16 @@ bool ParseLogLevel(std::string_view text, LogLevel* out) {
 }
 
 LogField LogField::Str(std::string_view key, std::string_view value) {
-  return LogField{std::string(key), "\"" + JsonEscape(value) + "\""};
+  // Built with += rather than `"\"" + JsonEscape(value) + "\""`: the
+  // operator+(const char*, string&&) form trips GCC 12's -Wrestrict
+  // false positive (PR 105329) under -O2 inlining, which -Werror turns
+  // into a clean-build failure.
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += JsonEscape(value);
+  quoted += '"';
+  return LogField{std::string(key), std::move(quoted)};
 }
 
 LogField LogField::U64(std::string_view key, uint64_t value) {

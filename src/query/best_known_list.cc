@@ -6,6 +6,8 @@
 #include <cassert>
 #include <limits>
 
+#include "geometry/kernel_core.h"
+
 namespace hyperdom {
 
 namespace {
@@ -26,14 +28,43 @@ double BestKnownList::DistK() const {
 }
 
 void BestKnownList::Access(const EntryView& entry) {
+  // One center distance serves both bounds; the combines are the same
+  // force-inline spellings MinDist/MaxDist use (geometry/kernel_core.h),
+  // so the values are bit-identical to the separate kernel calls.
+  const double d = DistSpan(entry.sphere.center, sq_view_.center,
+                            entry.sphere.dim);
+  AccessBounded(entry,
+                kernel_core::CombineMinDist(d, entry.sphere.radius,
+                                            sq_view_.radius),
+                kernel_core::CombineMaxDist(d, entry.sphere.radius,
+                                            sq_view_.radius));
+}
+
+void BestKnownList::AccessBatch(const EntryView* entries, size_t count) {
+  if (count == 0) return;
+  batch_views_.resize(count);
+  for (size_t i = 0; i < count; ++i) batch_views_[i] = entries[i].sphere;
+  batch_min_.resize(count);
+  batch_max_.resize(count);
+  BatchedMinMaxDist(batch_views_.data(), count, sq_view_, batch_min_.data(),
+                    batch_max_.data());
+  // The maintenance rules are inherently serial — each entry is judged
+  // against the distk its predecessors produced — so only the distance
+  // work above batches. Same accept/prune decisions, same stats, same
+  // final list as `count` Access() calls in the same order.
+  for (size_t i = 0; i < count; ++i) {
+    AccessBounded(entries[i], batch_min_[i], batch_max_[i]);
+  }
+}
+
+void BestKnownList::AccessBounded(const EntryView& entry, double distmin,
+                                  double distmax) {
   ++stats_->entries_accessed;
-  const double distmax = MaxDist(entry.sphere, sq_view_);
   if (items_.size() < k_) {
     InsertSorted(entry, distmax);
     return;
   }
   const double distk = items_[k_ - 1].maxdist;
-  const double distmin = MinDist(entry.sphere, sq_view_);
   if (distmin > distk) {  // case 3: cheap distance prune (Lemma 9)
     ++stats_->pruned_case3;
     return;
@@ -57,15 +88,17 @@ void BestKnownList::Access(const EntryView& entry) {
 std::vector<DataEntry> BestKnownList::TakeAnswers() {
   if (items_.size() > k_) EvictDominated(/*park=*/false);
   if (items_.size() >= k_ && !deferred_.empty()) {
+    // Every parked entry is re-checked against the same final Sk with no
+    // early exit — one DecideVerdictBatch block.
     const SphereView sk = items_[k_ - 1].entry.sphere;
-    std::vector<EntryView> revived;
-    for (const auto& entry : deferred_) {
-      if (!CertainlyDominates(sk, entry.sphere)) {
-        revived.push_back(entry);
+    const size_t n = deferred_.size();
+    batch_views_.resize(n);
+    for (size_t i = 0; i < n; ++i) batch_views_[i] = deferred_[i].sphere;
+    BatchCertainlyDominates(sk, batch_views_.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      if (batch_verdicts_[i] != Verdict::kDominates) {
+        InsertSorted(deferred_[i], MaxDist(deferred_[i].sphere, sq_view_));
       }
-    }
-    for (const auto& entry : revived) {
-      InsertSorted(entry, MaxDist(entry.sphere, sq_view_));
     }
   }
   std::vector<DataEntry> out;
@@ -84,11 +117,16 @@ std::vector<DataEntry> BestKnownList::TakeAnswersWithin(
   // distk is already known to be >= min(interim distk, pending_bound).
   const double certain = std::min(DistK(), pending_bound);
   std::vector<DataEntry> all = TakeAnswers();
+  const size_t n = all.size();
+  batch_views_.resize(n);
+  for (size_t i = 0; i < n; ++i) batch_views_[i] = all[i].sphere.view();
+  batch_max_.resize(n);
+  BatchedMaxDist(batch_views_.data(), n, sq_view_, batch_max_.data());
   std::vector<DataEntry> out;
-  out.reserve(all.size());
-  for (auto& entry : all) {
-    if (MaxDist(entry.sphere, *sq_) <= certain) {
-      out.push_back(std::move(entry));
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (batch_max_[i] <= certain) {
+      out.push_back(std::move(all[i]));
     }
   }
   return out;
@@ -107,6 +145,20 @@ bool BestKnownList::CertainlyDominates(const SphereView& sa,
   return v == Verdict::kDominates;
 }
 
+void BestKnownList::BatchCertainlyDominates(SphereView sa,
+                                            const SphereView* sbs,
+                                            size_t count) {
+  batch_verdicts_.resize(count);
+  criterion_->DecideVerdictBatch(sa, sbs, count, sq_view_,
+                                 batch_verdicts_.data());
+  stats_->dominance_checks += count;
+  for (size_t i = 0; i < count; ++i) {
+    if (batch_verdicts_[i] == Verdict::kUncertain) {
+      ++stats_->uncertain_verdicts;
+    }
+  }
+}
+
 void BestKnownList::InsertSorted(const EntryView& entry, double distmax) {
   Item item{entry, distmax};
   auto pos = std::upper_bound(
@@ -118,9 +170,16 @@ void BestKnownList::InsertSorted(const EntryView& entry, double distmax) {
 void BestKnownList::EvictDominated(bool park) {
   if (items_.size() <= k_) return;
   const SphereView sk = items_[k_ - 1].entry.sphere;
+  const size_t tail = items_.size() - k_;
+  batch_views_.resize(tail);
+  for (size_t i = 0; i < tail; ++i) {
+    batch_views_[i] = items_[k_ + i].entry.sphere;
+  }
+  BatchCertainlyDominates(sk, batch_views_.data(), tail);
   auto keep = items_.begin() + static_cast<std::ptrdiff_t>(k_);
-  for (auto it = keep; it != items_.end(); ++it) {
-    if (!CertainlyDominates(sk, it->entry.sphere)) {
+  for (size_t i = 0; i < tail; ++i) {
+    auto it = items_.begin() + static_cast<std::ptrdiff_t>(k_ + i);
+    if (batch_verdicts_[i] != Verdict::kDominates) {
       if (keep != it) *keep = *it;
       ++keep;
     } else {

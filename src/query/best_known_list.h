@@ -46,6 +46,16 @@ class BestKnownList {
   /// outlive the list (see class comment).
   void Access(const EntryView& entry);
 
+  /// Batched Access over a leaf-scan block: computes every entry's
+  /// MinDist/MaxDist bounds with one fused batched kernel call
+  /// (geometry/hypersphere.h), then applies the maintenance rules in
+  /// order. Equivalent to calling Access(entries[i]) for i in [0, count)
+  /// — same answers, same stats — because the rules themselves are
+  /// sequentially dependent (each entry is judged against the distk its
+  /// predecessors produced) and stay serial; only the O(d) distance work
+  /// batches.
+  void AccessBatch(const EntryView* entries, size_t count);
+
   /// Final filter against the final Sk; consumes the list. Answers are
   /// ordered by ascending MaxDist to the query.
   std::vector<DataEntry> TakeAnswers();
@@ -72,9 +82,21 @@ class BestKnownList {
   /// for error-aware criteria; plain bool criteria are unaffected).
   bool CertainlyDominates(const SphereView& sa, const SphereView& sb);
 
+  /// Batched counterpart: fills batch_verdicts_[i] for (sa, sbs[i], sq)
+  /// via DominanceCriterion::DecideVerdictBatch and applies the same
+  /// counting rules as `count` serial CertainlyDominates calls.
+  void BatchCertainlyDominates(SphereView sa, const SphereView* sbs,
+                               size_t count);
+
+  /// The maintenance rules with both bounds precomputed (exactly the
+  /// values MinDist/MaxDist(entry.sphere, sq) would return).
+  void AccessBounded(const EntryView& entry, double distmin, double distmax);
+
   void InsertSorted(const EntryView& entry, double distmax);
   /// Removes every entry beyond position k that the current Sk dominates;
-  /// with `park` they are kept aside for the final re-check.
+  /// with `park` they are kept aside for the final re-check. The sweep
+  /// judges every tail entry against the same Sk with no early exit, so
+  /// the verdicts are evaluated as one DecideVerdictBatch block.
   void EvictDominated(bool park);
 
   const DominanceCriterion* criterion_;
@@ -85,6 +107,12 @@ class BestKnownList {
   KnnStats* stats_;
   std::vector<Item> items_;
   std::vector<EntryView> deferred_;
+  // Scratch for the batched kernels, reused across calls to keep the
+  // query loop allocation-free in steady state.
+  std::vector<SphereView> batch_views_;
+  std::vector<double> batch_min_;
+  std::vector<double> batch_max_;
+  std::vector<Verdict> batch_verdicts_;
 };
 
 }  // namespace hyperdom

@@ -16,8 +16,10 @@ namespace {
 // ---------------------------------------------------------------------------
 // Generic DF / HS drivers over any node type given a bound and an expander.
 // `min_dist(node)` must lower-bound MinDist(S, Sq) for every data sphere S
-// in the node's subtree; `visit(node, emit_entry, emit_child)` must emit
-// the node's own entries and its children.
+// in the node's subtree; `visit(node, emit_entries, emit_child)` must emit
+// the node's own entries (as contiguous EntryView blocks, so a whole leaf
+// scores through one batched BestKnownList::AccessBatch call) and its
+// children.
 //
 // Every dominance decision funnels through BestKnownList, which asks the
 // criterion for a three-valued verdict and never prunes on kUncertain — so
@@ -44,7 +46,8 @@ void GenericDepthFirst(const Node* node, double bound,
   ++stats->nodes_visited;
   std::vector<std::pair<double, const Node*>> order;
   visit(
-      node, [&](const EntryView& entry) { list->Access(entry); },
+      node,
+      [&](const EntryView* rows, size_t n) { list->AccessBatch(rows, n); },
       [&](const Node* child) { order.emplace_back(min_dist(child), child); });
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -81,7 +84,8 @@ void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
     }
     ++stats->nodes_visited;
     visit(
-        node, [&](const EntryView& entry) { list->Access(entry); },
+        node,
+        [&](const EntryView* rows, size_t n) { list->AccessBatch(rows, n); },
         [&](const Node* child) { heap.emplace(min_dist(child), child); });
   }
 }
@@ -125,12 +129,16 @@ KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
     return MinDist(node->mbr(), sq);
   };
   const SphereStore& store = tree.store();
-  auto visit = [&store](const RStarTreeNode* node, auto&& emit_entry,
-                        auto&& emit_child) {
+  std::vector<EntryView> leaf_scratch;
+  auto visit = [&store, &leaf_scratch](const RStarTreeNode* node,
+                                       auto&& emit_entries,
+                                       auto&& emit_child) {
     if (node->is_leaf()) {
+      leaf_scratch.clear();
       for (const auto& entry : node->entries()) {
-        emit_entry(store.Resolve(entry));
+        leaf_scratch.push_back(store.Resolve(entry));
       }
+      emit_entries(leaf_scratch.data(), leaf_scratch.size());
     } else {
       for (const auto& child : node->children()) emit_child(child.get());
     }
@@ -148,12 +156,16 @@ KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
     return d > 0.0 ? d : 0.0;
   };
   const SphereStore& store = tree.store();
-  auto visit = [&store](const MTreeNode* node, auto&& emit_entry,
-                        auto&& emit_child) {
+  std::vector<EntryView> leaf_scratch;
+  auto visit = [&store, &leaf_scratch](const MTreeNode* node,
+                                       auto&& emit_entries,
+                                       auto&& emit_child) {
     if (node->is_leaf()) {
+      leaf_scratch.clear();
       for (const auto& entry : node->entries()) {
-        emit_entry(store.Resolve(entry));
+        leaf_scratch.push_back(store.Resolve(entry));
       }
+      emit_entries(leaf_scratch.data(), leaf_scratch.size());
     } else {
       for (const auto& child : node->children()) emit_child(child.get());
     }
@@ -185,13 +197,18 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
   KnnStats* stats = &result.stats;
 
   const SphereStore& store = tree.store();
+  std::vector<EntryView> leaf_scratch;
   auto expand = [&](const VpTreeNode* node, auto&& emit_bounded) {
     if (node->is_leaf()) {
+      // Whole bucket through one batched call.
+      leaf_scratch.clear();
       for (const auto& entry : node->bucket()) {
-        list.Access(store.Resolve(entry));
+        leaf_scratch.push_back(store.Resolve(entry));
       }
+      list.AccessBatch(leaf_scratch.data(), leaf_scratch.size());
       return;
     }
+    // The vantage is a single routing entry, not a block.
     list.Access(store.Resolve(node->vantage()));
     const double dvp = DistSpan(sq.center().data(),
                                 store.center(node->vantage().slot),

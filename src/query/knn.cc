@@ -14,10 +14,27 @@ namespace hyperdom {
 
 namespace {
 
+// Gathers a leaf's visible entries into `scratch` (reused across leaves;
+// no steady-state allocation) and scores them as one AccessBatch block —
+// the distance bounds of the whole leaf run through the fused batched
+// kernel instead of per-entry calls. Decisions and stats are identical to
+// per-entry Access by the AccessBatch contract.
+void ScanLeaf(const SsTreeNode* node, const SphereStore& store,
+              const SearchOverlay* overlay, BestKnownList* list,
+              std::vector<EntryView>* scratch) {
+  scratch->clear();
+  for (const auto& entry : node->entries()) {
+    if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
+    scratch->push_back(store.Resolve(entry));
+  }
+  list->AccessBatch(scratch->data(), scratch->size());
+}
+
 void DepthFirstSearch(const SsTreeNode* node, double mindist,
                       const SphereStore& store, const Hypersphere& sq,
                       const SearchOverlay* overlay, BestKnownList* list,
-                      KnnStats* stats, TraversalGuard* guard) {
+                      KnnStats* stats, TraversalGuard* guard,
+                      std::vector<EntryView>* scratch) {
   // distk shrinks while siblings are processed, so the bound is re-checked
   // here, at descent time, rather than where the child was enumerated.
   if (mindist > list->DistK()) {
@@ -31,10 +48,7 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
   }
   ++stats->nodes_visited;
   if (node->is_leaf()) {
-    for (const auto& entry : node->entries()) {
-      if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
-      list->Access(store.Resolve(entry));
-    }
+    ScanLeaf(node, store, overlay, list, scratch);
     return;
   }
   // Visit children in ascending MinDist order so distk tightens early
@@ -48,14 +62,14 @@ void DepthFirstSearch(const SsTreeNode* node, double mindist,
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [child_mindist, child] : order) {
     DepthFirstSearch(child, child_mindist, store, sq, overlay, list, stats,
-                     guard);
+                     guard, scratch);
   }
 }
 
 void BestFirstSearch(const SsTreeNode* root, const SphereStore& store,
                      const Hypersphere& sq, const SearchOverlay* overlay,
                      BestKnownList* list, KnnStats* stats,
-                     TraversalGuard* guard) {
+                     TraversalGuard* guard, std::vector<EntryView>* scratch) {
   using QueueItem = std::pair<double, const SsTreeNode*>;
   auto cmp = [](const QueueItem& a, const QueueItem& b) {
     return a.first > b.first;  // min-heap on MinDist
@@ -80,10 +94,7 @@ void BestFirstSearch(const SsTreeNode* root, const SphereStore& store,
     }
     ++stats->nodes_visited;
     if (node->is_leaf()) {
-      for (const auto& entry : node->entries()) {
-        if (overlay != nullptr && !overlay->VisibleBase(entry.slot)) continue;
-        list->Access(store.Resolve(entry));
-      }
+      ScanLeaf(node, store, overlay, list, scratch);
     } else {
       for (const auto& child : node->children()) {
         heap.emplace(MinDist(child->bounding_sphere(), sq), child.get());
@@ -120,18 +131,22 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq,
   BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
                      &result.stats);
   // Delta rows live outside the tree: score them exhaustively up front,
-  // which also tightens distk before any node is descended.
+  // which also tightens distk before any node is descended. The block
+  // form hands them over in contiguous runs for batched scoring.
   if (overlay != nullptr) {
-    overlay->ForEachExtra([&](const EntryView& e) { list.Access(e); });
+    overlay->ForEachExtraBlock(
+        [&](const EntryView* rows, size_t n) { list.AccessBatch(rows, n); });
   }
   TraversalGuard guard(options_.deadline);
+  std::vector<EntryView> leaf_scratch;
   if (tree.root() != nullptr) {
     if (options_.strategy == SearchStrategy::kDepthFirst) {
       DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
-                       tree.store(), sq, overlay, &list, &result.stats, &guard);
+                       tree.store(), sq, overlay, &list, &result.stats, &guard,
+                       &leaf_scratch);
     } else {
       BestFirstSearch(tree.root(), tree.store(), sq, overlay, &list,
-                      &result.stats, &guard);
+                      &result.stats, &guard, &leaf_scratch);
     }
   }
   if (guard.expired()) {
@@ -149,10 +164,18 @@ KnnResult KnnLinearScan(const std::vector<Hypersphere>& data,
                         const DominanceCriterion& criterion) {
   assert(k >= 1);
   KnnResult result;
+  // Both passes of the scan are batched: the MaxDist ranking sweep and the
+  // final-Sk dominance filter each evaluate every entry unconditionally,
+  // so they run through the batched kernels with bit-identical values.
+  std::vector<SphereView> views;
+  views.reserve(data.size());
+  for (const auto& s : data) views.push_back(s.view());
+  std::vector<double> maxdists(data.size());
+  BatchedMaxDist(views.data(), views.size(), sq.view(), maxdists.data());
   std::vector<std::pair<double, uint64_t>> by_maxdist;
   by_maxdist.reserve(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
-    by_maxdist.emplace_back(MaxDist(data[i], sq), static_cast<uint64_t>(i));
+    by_maxdist.emplace_back(maxdists[i], static_cast<uint64_t>(i));
   }
   std::sort(by_maxdist.begin(), by_maxdist.end());
 
@@ -165,12 +188,22 @@ KnnResult KnnLinearScan(const std::vector<Hypersphere>& data,
   }
 
   const Hypersphere& sk = data[by_maxdist[k - 1].second];
+  const size_t n = by_maxdist.size();
+  std::vector<SphereView> candidates;
+  candidates.reserve(n);
   for (const auto& [maxdist, id] : by_maxdist) {
-    ++result.stats.entries_accessed;
-    ++result.stats.dominance_checks;
+    candidates.push_back(data[id].view());
+  }
+  std::vector<Verdict> verdicts(n);
+  criterion.DecideVerdictBatch(sk.view(), candidates.data(), n, sq.view(),
+                               verdicts.data());
+  result.stats.entries_accessed += n;
+  result.stats.dominance_checks += n;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t id = by_maxdist[i].second;
     // Three-valued filter: an uncertain verdict keeps the entry (only a
     // certified kDominates may drop an answer).
-    const Verdict v = criterion.DecideVerdict(sk, data[id], sq);
+    const Verdict v = verdicts[i];
     if (v == Verdict::kUncertain) ++result.stats.uncertain_verdicts;
     if (v != Verdict::kDominates) {
       result.answers.push_back(DataEntry{data[id], id});

@@ -91,6 +91,11 @@ class SphereStore {
   const double* center(uint32_t slot) const { return coords_ + slot * dim_; }
   double radius(uint32_t slot) const { return radii_[slot]; }
 
+  /// Base of the contiguous radii column (size() doubles), parallel to the
+  /// coordinate arena — the second operand of the batched span kernels
+  /// (geometry/point.h). Invalidated by Add()/Reserve() like center().
+  const double* radii_data() const { return radii_.data(); }
+
   /// Non-owning view of the sphere in `slot`.
   SphereView view(uint32_t slot) const {
     return SphereView{coords_ + slot * dim_, dim_, radii_[slot]};

@@ -1,0 +1,67 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Smoke job for the kernel microbenchmark: runs bench/kernel_microbench
+// in --smoke mode and validates the emitted hyperdom-bench-v1 JSON — the
+// CI guard for bench/results/BENCH_kernels.json. Also pins the
+// --headline-out contract: the second copy (the repo-root headline file)
+// must be byte-identical to the primary artifact from the same run, and
+// the batched scalar-vs-SIMD sweep rows must be present even under
+// --smoke.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace hyperdom {
+namespace {
+
+#if !defined(HYPERDOM_KERNEL_BENCH_BINARY)
+#error "kernel_bench_smoke_test requires HYPERDOM_KERNEL_BENCH_BINARY"
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(KernelBenchSmokeTest, EmitsValidArtifactWithBatchedRows) {
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/BENCH_kernels_smoke.json";
+  const std::string headline_path = dir + "/BENCH_kernels_headline.json";
+  const std::string command = std::string(HYPERDOM_KERNEL_BENCH_BINARY) +
+                              " --smoke --json-out=" + json_path +
+                              " --headline-out=" + headline_path +
+                              " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const std::string json = ReadFileOrDie(json_path);
+  EXPECT_NE(json.find("\"schema\": \"hyperdom-bench-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"kernel_microbench\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
+  // Legacy layout rows.
+  EXPECT_NE(json.find("\"label\": \"d=50\""), std::string::npos);
+  EXPECT_NE(json.find("\"legacy_ns_per_op\": "), std::string::npos);
+  // Batched SIMD rows (every dim, even under --smoke).
+  EXPECT_NE(json.find("\"label\": \"batched d=50\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"batched d=100\""), std::string::npos);
+  EXPECT_NE(json.find("\"scalar_batched_ns_per_op\": "), std::string::npos);
+  EXPECT_NE(json.find("\"simd_batched_ns_per_op\": "), std::string::npos);
+  EXPECT_NE(json.find("\"simd_speedup\": "), std::string::npos);
+  EXPECT_NE(json.find("\"batch_speedup\": "), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"hyperbola_tier1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\": \""), std::string::npos);
+
+  // The headline copy is the same bytes, by construction.
+  EXPECT_EQ(json, ReadFileOrDie(headline_path));
+}
+
+}  // namespace
+}  // namespace hyperdom

@@ -1,0 +1,171 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Shard-count sweep of the scatter-gather engine (src/shard/): the same
+// seeded kNN workload (N = 100k, d = 4, k = 10, Hyperbola) run against a
+// ShardedStore at K = 1/2/4/8 hash shards, each scattered over a pool of
+// K worker threads, versus the single unsharded SS-tree it partitions.
+// Besides throughput the bench re-checks the engine's core contract on
+// every query: the merged answer must be bit-identical (ids, order,
+// coordinate bits) to the unsharded searcher's, whatever K is. The
+// sweep exits non-zero on any divergence, so CI catches a broken merge
+// even when nobody reads the numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generator.h"
+#include "eval/table_printer.h"
+#include "eval/workload.h"
+#include "exec/thread_pool.h"
+#include "query/knn.h"
+#include "shard/sharded_query.h"
+
+namespace {
+
+using namespace hyperdom;
+
+bool SameBits(const Hypersphere& a, const Hypersphere& b) {
+  if (a.dim() != b.dim()) return false;
+  const double ra = a.radius();
+  const double rb = b.radius();
+  if (std::memcmp(&ra, &rb, sizeof(double)) != 0) return false;
+  return std::memcmp(a.center().data(), b.center().data(),
+                     a.dim() * sizeof(double)) == 0;
+}
+
+bool IdenticalAnswers(const KnnResult& a, const KnnResult& b) {
+  if (a.completeness != b.completeness) return false;
+  if (a.answers.size() != b.answers.size()) return false;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    if (a.answers[i].id != b.answers[i].id) return false;
+    if (!SameBits(a.answers[i].sphere, b.answers[i].sphere)) return false;
+  }
+  return true;
+}
+
+double NowMs() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) *
+         1e-6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Sharded kNN shard-count scaling",
+      "N = 100k, d = 4, k = 10, Hyperbola, 2k queries, K hash shards of "
+      "SS-trees vs one unsharded SS-tree");
+  bench::Reporter reporter(argc, argv, "shard_knn_scaling");
+
+  SyntheticSpec spec;
+  spec.n = reporter.Scaled(100'000, 5'000);
+  spec.dim = 4;
+  spec.radius_mean = 10.0;
+  spec.center_mean = 1000.0;
+  spec.center_stddev = 250.0;
+  spec.seed = 19'000;
+  const auto data = GenerateSynthetic(spec);
+
+  SsTree tree(spec.dim);
+  const Status st = tree.BulkLoadStr(data);
+  (void)st;  // generated data is well-formed
+
+  const std::vector<Hypersphere> queries =
+      MakeKnnQueries(data, reporter.Scaled(2'000, 100), 19'100);
+  const auto criterion = MakeCriterion(CriterionKind::kHyperbola);
+  KnnOptions options;
+  options.k = 10;
+
+  // Unsharded baseline: one searcher over the whole tree.
+  const KnnSearcher searcher(criterion.get(), options);
+  std::vector<KnnResult> expected;
+  expected.reserve(queries.size());
+  const double baseline_start = NowMs();
+  for (const Hypersphere& sq : queries) {
+    expected.push_back(searcher.Search(tree, sq));
+  }
+  const double baseline_ms = NowMs() - baseline_start;
+
+  std::printf("\n-- shard-count scaling (%zu queries, %u cores) --\n",
+              queries.size(), std::thread::hardware_concurrency());
+  TablePrinter table({"shards", "build time", "total time", "time/query",
+                      "speedup vs unsharded", "identical"});
+  std::vector<std::string> rows;
+  int divergences = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    shard::ShardingOptions sharding;
+    sharding.shards = shards;
+
+    const double build_start = NowMs();
+    shard::ShardedStore store;
+    const Status build = shard::ShardedStore::Build(data, sharding, &store);
+    const double build_ms = NowMs() - build_start;
+    if (!build.ok()) {
+      std::fprintf(stderr, "error: shard build failed at K=%zu: %s\n",
+                   shards, build.ToString().c_str());
+      return 1;
+    }
+
+    ThreadPool pool(shards);
+    ThreadPool* pool_ptr = shards > 1 ? &pool : nullptr;
+    bool identical = true;
+    const double start = NowMs();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      Result<KnnResult> got =
+          shard::ShardedKnn(store, queries[q], *criterion, options, pool_ptr);
+      if (!got.ok() || !IdenticalAnswers(*got, expected[q])) {
+        identical = false;
+      }
+    }
+    const double total_ms = NowMs() - start;
+    const double per_query_ms =
+        total_ms / static_cast<double>(queries.size());
+    const double speedup = total_ms > 0.0 ? baseline_ms / total_ms : 0.0;
+    if (!identical) ++divergences;
+
+    char build_s[32], total[32], per_query[32], speedup_s[32];
+    std::snprintf(build_s, sizeof(build_s), "%.1f ms", build_ms);
+    std::snprintf(total, sizeof(total), "%.1f ms", total_ms);
+    std::snprintf(per_query, sizeof(per_query), "%.4f ms", per_query_ms);
+    std::snprintf(speedup_s, sizeof(speedup_s), "%.2fx", speedup);
+    table.AddRow({std::to_string(shards), build_s, total, per_query,
+                  speedup_s, identical ? "yes" : "NO"});
+
+    rows.push_back(
+        "{\"shards\": " + std::to_string(shards) +
+        ", \"build_ms\": " + FormatDouble(build_ms) +
+        ", \"millis_total\": " + FormatDouble(total_ms) +
+        ", \"millis_per_query\": " + FormatDouble(per_query_ms) +
+        ", \"speedup_vs_unsharded\": " + FormatDouble(speedup) +
+        ", \"identical_to_unsharded\": " + (identical ? "true" : "false") +
+        "}");
+  }
+  table.Print();
+  reporter.RawSweep("shard-count scaling", rows);
+
+  if (divergences > 0) {
+    std::fprintf(stderr,
+                 "error: %d shard count(s) diverged from the unsharded "
+                 "answers — the merge invariant is broken\n",
+                 divergences);
+    return 1;
+  }
+
+  std::printf(
+      "\nExpected shape: K = 1 tracks the unsharded baseline (one extra\n"
+      "merge per query); speedup grows with K up to the physical core\n"
+      "count (this container reports %u) as shards traverse in parallel,\n"
+      "while per-shard trees are smaller but collectively visit more\n"
+      "nodes than one global tree. The 'identical' column must read yes\n"
+      "everywhere — the scatter-gather merge contract.\n",
+      std::thread::hardware_concurrency());
+  return reporter.Finish();
+}

@@ -56,6 +56,11 @@ constexpr std::string_view kAllSites[] = {
     "server/read",
     "server/write",
     "server/enqueue",
+    // shard/ — sharded scatter-gather engine. `shard/build` fires once
+    // per shard during ShardedStore::Build; `shard/scatter` fires once
+    // per (query, shard) before the per-shard traversal starts.
+    "shard/build",
+    "shard/scatter",
 };
 
 constexpr std::string_view kDegradePrefix = "certified/";

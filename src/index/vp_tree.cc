@@ -17,6 +17,11 @@ VpTree::VpTree(VpTreeOptions options)
     : options_(options), store_(std::make_shared<SphereStore>()) {}
 
 Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
+  return BuildWithIds(spheres, {});
+}
+
+Status VpTree::BuildWithIds(const std::vector<Hypersphere>& spheres,
+                            const std::vector<uint64_t>& ids) {
   IndexBuildRecorder recorder("vp", "build");
   root_.reset();
   size_ = 0;
@@ -24,6 +29,10 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
   store_ = std::make_shared<SphereStore>();
   if (options_.leaf_size < 1) {
     return Status::InvalidArgument("VpTreeOptions.leaf_size must be >= 1");
+  }
+  // An empty id vector means "ids are positions" (the Build() behavior).
+  if (!ids.empty() && ids.size() != spheres.size()) {
+    return Status::InvalidArgument("ids must be empty or match spheres");
   }
   if (spheres.empty()) {
     recorder.Finish(0);
@@ -41,7 +50,8 @@ Status VpTree::Build(const std::vector<Hypersphere>& spheres) {
           "all spheres must share one dimensionality");
     }
     const uint32_t slot = store_->Add(spheres[i]);
-    items.push_back(VpTreeEntry{slot, static_cast<uint64_t>(i)});
+    const uint64_t id = ids.empty() ? static_cast<uint64_t>(i) : ids[i];
+    items.push_back(VpTreeEntry{slot, id});
   }
   HYPERDOM_RETURN_NOT_OK(BuildRecursive(std::move(items), &root_));
   size_ = spheres.size();

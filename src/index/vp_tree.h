@@ -86,6 +86,12 @@ class VpTree {
   /// Replaces any previous contents. Fails on inconsistent dimensions.
   Status Build(const std::vector<Hypersphere>& spheres);
 
+  /// Build() with caller-chosen entry ids (`ids[i]` labels `spheres[i]`;
+  /// sizes must match). Used by sharded builds, where each shard indexes a
+  /// subset of the dataset but answers must carry the global ids.
+  Status BuildWithIds(const std::vector<Hypersphere>& spheres,
+                      const std::vector<uint64_t>& ids);
+
   const VpTreeNode* root() const { return root_.get(); }
 
   /// The columnar sphere storage backing every entry; rebuilt by Build().

@@ -168,6 +168,25 @@ std::string LabeledName(std::string_view base, std::string_view label_key,
   return out;
 }
 
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key);
+    out.append("=\"");
+    out.append(PromEscapeLabelValue(value));
+    out.append("\"");
+  }
+  out.append("}");
+  return out;
+}
+
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -391,6 +410,8 @@ const std::vector<MetricDef>& MetricCatalogue() {
           kServerRequests,      kServerQueueDepth,
           kServerShed,          kServerProtocolErrors,
           kServerBestEffort,    kServerRequestDuration,
+          kShardCount,          kShardSizeEntries,
+          kShardQueries,        kShardMergeDuration,
           kSlowQueries,         kAdminRequests,
           kAdminHttpErrors,     kLogLines,
       };

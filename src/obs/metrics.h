@@ -32,11 +32,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hyperdom {
@@ -162,6 +164,16 @@ std::string PromEscapeHelp(std::string_view s);
 std::string LabeledName(std::string_view base, std::string_view label_key,
                         std::string_view label_value);
 
+/// Multi-label form: "base{k1=\"v1\",k2=\"v2\"}". Pairs are emitted in the
+/// order given (callers pick one canonical order so the same label set
+/// always maps to the same registered name). Used for per-shard
+/// instruments whose label values are computed at runtime, e.g.
+/// `{index="ss",shard="3"}`.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
 /// JSON string-body escaping (shared by the metric/trace/bench emitters).
 std::string JsonEscape(std::string_view s);
 
@@ -200,6 +212,28 @@ class MetricsRegistry {
   Gauge* GetGauge(const MetricDef& def, std::string_view label_key,
                   std::string_view label_value) {
     return GetGauge(LabeledName(def.name, label_key, label_value), def.help);
+  }
+  Gauge* GetGauge(const MetricDef& def) { return GetGauge(def.name, def.help); }
+
+  /// Multi-label convenience forms (runtime label values; callers cache the
+  /// returned pointer, it stays valid for the process lifetime).
+  Counter* GetCounter(
+      const MetricDef& def,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetCounter(LabeledName(def.name, labels), def.help);
+  }
+  Gauge* GetGauge(
+      const MetricDef& def,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetGauge(LabeledName(def.name, labels), def.help);
+  }
+  Histogram* GetHistogram(
+      const MetricDef& def,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetHistogram(LabeledName(def.name, labels), def.help);
   }
 
   /// Zeroes every registered instrument (registrations and cached pointers
@@ -426,6 +460,27 @@ inline constexpr MetricDef kServerRequestDuration{
     "hyperdom_server_request_duration_ns",
     "admission-to-response latency per request", MetricType::kHistogram};
 
+// Sharded scatter-gather engine (src/shard/; see docs/performance.md
+// "Sharding"). Per-shard instruments carry a shard= label whose value is
+// the shard index rendered in decimal.
+inline constexpr MetricDef kShardCount{
+    "hyperdom_shard_count", "shards in the most recently built sharded store",
+    MetricType::kGauge};
+inline constexpr MetricDef kShardSizeEntries{
+    "hyperdom_shard_size_entries",
+    "entries owned by one shard of the most recently built sharded store "
+    "(label shard=)",
+    MetricType::kGauge};
+inline constexpr MetricDef kShardQueries{
+    "hyperdom_shard_queries_total",
+    "per-shard traversals executed by the scatter-gather engine "
+    "(label shard=)",
+    MetricType::kCounter};
+inline constexpr MetricDef kShardMergeDuration{
+    "hyperdom_shard_merge_duration_ns",
+    "gather-phase latency merging per-shard best-known lists",
+    MetricType::kHistogram};
+
 // Admin plane + structured logging (src/server/admin.h, src/obs/log.h;
 // docs/observability.md "Admin plane").
 inline constexpr MetricDef kSlowQueries{
@@ -505,6 +560,18 @@ inline constexpr MetricDef kLogLines{
     _hyperdom_gauge->Set(v);                                    \
   } while (false)
 
+/// Labelled gauge variant: `key` and `value` must be string literals (the
+/// name is assembled once, in the static initializer). Runtime label
+/// values (e.g. a shard index) must instead cache a pointer from
+/// MetricsRegistry::GetGauge(def, {{key, value}}).
+#define HYPERDOM_GAUGE_SET_L(def, key, value, v)                \
+  do {                                                          \
+    static ::hyperdom::obs::Gauge* const _hyperdom_gauge =      \
+        ::hyperdom::obs::MetricsRegistry::Instance().GetGauge(  \
+            def, key, value);                                   \
+    _hyperdom_gauge->Set(v);                                    \
+  } while (false)
+
 #else
 
 #define HYPERDOM_COUNTER_ADD(def, n) \
@@ -527,6 +594,9 @@ inline constexpr MetricDef kLogLines{
   } while (false)
 #define HYPERDOM_GAUGE_SET(def, v) \
   do {                             \
+  } while (false)
+#define HYPERDOM_GAUGE_SET_L(def, key, value, v) \
+  do {                                           \
   } while (false)
 
 #endif  // HYPERDOM_OBSERVABILITY_ENABLED

@@ -85,6 +85,28 @@ void BestKnownList::AccessBounded(const EntryView& entry, double distmin,
   }
 }
 
+void BestKnownList::MergeFrom(BestKnownList&& other) {
+  assert(criterion_ == other.criterion_);
+  assert(k_ == other.k_ && mode_ == other.mode_);
+  const size_t n = other.items_.size();
+  if (n > 0) {
+    // Local scratch: AccessBounded can reach EvictDominated, which
+    // clobbers the member batch buffers mid-loop.
+    std::vector<SphereView> views(n);
+    for (size_t i = 0; i < n; ++i) views[i] = other.items_[i].entry.sphere;
+    std::vector<double> mins(n);
+    std::vector<double> maxs(n);
+    BatchedMinMaxDist(views.data(), n, sq_view_, mins.data(), maxs.data());
+    for (size_t i = 0; i < n; ++i) {
+      AccessBounded(other.items_[i].entry, mins[i], maxs[i]);
+    }
+  }
+  deferred_.insert(deferred_.end(), other.deferred_.begin(),
+                   other.deferred_.end());
+  other.items_.clear();
+  other.deferred_.clear();
+}
+
 std::vector<DataEntry> BestKnownList::TakeAnswers() {
   if (items_.size() > k_) EvictDominated(/*park=*/false);
   if (items_.size() >= k_ && !deferred_.empty()) {

@@ -56,6 +56,24 @@ class BestKnownList {
   /// batches.
   void AccessBatch(const EntryView* entries, size_t count);
 
+  /// Absorbs another list built over the same (criterion, sq, k, mode):
+  /// every surviving item of `other` is replayed through the maintenance
+  /// rules of this list (bounds recomputed with the same batched kernel, so
+  /// the values are bit-identical to the originals), and `other`'s parked
+  /// entries are spliced into this list's deferred set. `other` is left
+  /// empty.
+  ///
+  /// Merge invariant (the scatter-gather contract, pinned by
+  /// tests/bkl_merge_test.cc): in kDeferred mode, feeding a candidate
+  /// stream through any partition into per-part lists and folding them
+  /// with MergeFrom yields answers bit-identical to feeding the whole
+  /// stream through one list. Dropping an entry shard-locally is globally
+  /// safe — case 3 needs distmin > local interim distk >= global final
+  /// distk, and case 2 parks rather than drops — so the merged candidate
+  /// multiset still contains every Definition-2 answer, and the final-Sk
+  /// filter is order-independent.
+  void MergeFrom(BestKnownList&& other);
+
   /// Final filter against the final Sk; consumes the list. Answers are
   /// ordered by ascending MaxDist to the query.
   std::vector<DataEntry> TakeAnswers();

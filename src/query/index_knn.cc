@@ -91,40 +91,56 @@ void GenericBestFirst(const Node* root, const MinDistFn& min_dist,
 }
 
 template <typename Root, typename MinDistFn, typename VisitFn>
-KnnResult RunSearch(const Root* root, const Hypersphere& sq,
+void RunSearchInto(const Root* root, SearchStrategy strategy,
+                   const MinDistFn& min_dist, const VisitFn& visit,
+                   BestKnownList* list, KnnStats* stats,
+                   TraversalGuard* guard) {
+  if (root == nullptr) return;
+  if (strategy == SearchStrategy::kDepthFirst) {
+    GenericDepthFirst(root, min_dist(root), min_dist, visit, list, stats,
+                      guard);
+  } else {
+    GenericBestFirst(root, min_dist, visit, list, stats, guard);
+  }
+}
+
+// Shared finalization: the final-Sk filter, or the proven-subset filter
+// when a deadline cut the traversal short.
+void Finalize(BestKnownList* list, TraversalGuard* guard, KnnResult* result) {
+  if (guard->expired()) {
+    result->completeness = Completeness::kBestEffort;
+    result->answers = list->TakeAnswersWithin(guard->pending_bound());
+  } else {
+    result->answers = list->TakeAnswers();
+  }
+}
+
+template <typename SearchIntoFn, typename Tree>
+KnnResult RunSearch(const Tree& tree, const Hypersphere& sq,
                     const DominanceCriterion& criterion,
                     const KnnOptions& options, std::string_view index_tag,
-                    const MinDistFn& min_dist, const VisitFn& visit) {
+                    const SearchIntoFn& search_into) {
   KnnQueryRecorder recorder(index_tag);
   KnnResult result;
-  if (root == nullptr) {
+  if (tree.root() == nullptr) {
     recorder.Publish(result);
     return result;
   }
   BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
                      &result.stats);
   TraversalGuard guard(options.deadline);
-  if (options.strategy == SearchStrategy::kDepthFirst) {
-    GenericDepthFirst(root, min_dist(root), min_dist, visit, &list,
-                      &result.stats, &guard);
-  } else {
-    GenericBestFirst(root, min_dist, visit, &list, &result.stats, &guard);
-  }
-  if (guard.expired()) {
-    result.completeness = Completeness::kBestEffort;
-    result.answers = list.TakeAnswersWithin(guard.pending_bound());
-  } else {
-    result.answers = list.TakeAnswers();
-  }
+  search_into(tree, sq, options.strategy, &list, &result.stats, &guard);
+  Finalize(&list, &guard, &result);
   recorder.Publish(result);
   return result;
 }
 
 }  // namespace
 
-KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
-                         const DominanceCriterion& criterion,
-                         const KnnOptions& options) {
+void RStarKnnSearchInto(const RStarTree& tree, const Hypersphere& sq,
+                        SearchStrategy strategy, BestKnownList* list,
+                        KnnStats* stats, TraversalGuard* guard) {
+  if (tree.root() == nullptr) return;
   auto min_dist = [&](const RStarTreeNode* node) {
     return MinDist(node->mbr(), sq);
   };
@@ -143,13 +159,20 @@ KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
       for (const auto& child : node->children()) emit_child(child.get());
     }
   };
-  return RunSearch(tree.root(), sq, criterion, options, "rstar", min_dist,
-                   visit);
+  RunSearchInto(tree.root(), strategy, min_dist, visit, list, stats, guard);
 }
 
-KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
+KnnResult RStarKnnSearch(const RStarTree& tree, const Hypersphere& sq,
                          const DominanceCriterion& criterion,
                          const KnnOptions& options) {
+  return RunSearch(tree, sq, criterion, options, "rstar",
+                   RStarKnnSearchInto);
+}
+
+void MTreeKnnSearchInto(const MTree& tree, const Hypersphere& sq,
+                        SearchStrategy strategy, BestKnownList* list,
+                        KnnStats* stats, TraversalGuard* guard) {
+  if (tree.root() == nullptr) return;
   auto min_dist = [&](const MTreeNode* node) {
     const double d = Dist(node->pivot(), sq.center()) -
                      node->covering_radius() - sq.radius();
@@ -170,13 +193,18 @@ KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
       for (const auto& child : node->children()) emit_child(child.get());
     }
   };
-  return RunSearch(tree.root(), sq, criterion, options, "m", min_dist,
-                   visit);
+  RunSearchInto(tree.root(), strategy, min_dist, visit, list, stats, guard);
 }
 
-KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
-                          const DominanceCriterion& criterion,
-                          const KnnOptions& options) {
+KnnResult MTreeKnnSearch(const MTree& tree, const Hypersphere& sq,
+                         const DominanceCriterion& criterion,
+                         const KnnOptions& options) {
+  return RunSearch(tree, sq, criterion, options, "m", MTreeKnnSearchInto);
+}
+
+void VpTreeKnnSearchInto(const VpTree& tree, const Hypersphere& sq,
+                         SearchStrategy strategy, BestKnownList* list,
+                         KnnStats* stats, TraversalGuard* guard) {
   // A VP-tree child's bound depends on its distance band relative to ITS
   // PARENT's vantage point, so bounds are computed at emission time and
   // carried alongside the node.
@@ -185,16 +213,7 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
     double bound;  // lower bound on MinDist(S, Sq) for S in the subtree
   };
 
-  KnnQueryRecorder recorder("vp");
-  KnnResult result;
-  if (tree.root() == nullptr) {
-    recorder.Publish(result);
-    return result;
-  }
-  BestKnownList list(&criterion, &sq, options.k, options.pruning_mode,
-                     &result.stats);
-  TraversalGuard guard(options.deadline);
-  KnnStats* stats = &result.stats;
+  if (tree.root() == nullptr) return;
 
   const SphereStore& store = tree.store();
   std::vector<EntryView> leaf_scratch;
@@ -205,11 +224,11 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
       for (const auto& entry : node->bucket()) {
         leaf_scratch.push_back(store.Resolve(entry));
       }
-      list.AccessBatch(leaf_scratch.data(), leaf_scratch.size());
+      list->AccessBatch(leaf_scratch.data(), leaf_scratch.size());
       return;
     }
     // The vantage is a single routing entry, not a block.
-    list.Access(store.Resolve(node->vantage()));
+    list->Access(store.Resolve(node->vantage()));
     const double dvp = DistSpan(sq.center().data(),
                                 store.center(node->vantage().slot),
                                 store.dim());
@@ -233,7 +252,7 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
     }
   };
 
-  if (options.strategy == SearchStrategy::kBestFirst) {
+  if (strategy == SearchStrategy::kBestFirst) {
     auto cmp = [](const BoundedNode& a, const BoundedNode& b) {
       return a.bound > b.bound;
     };
@@ -243,12 +262,12 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
     while (!heap.empty()) {
       const BoundedNode top = heap.top();
       heap.pop();
-      if (top.bound > list.DistK()) {
+      if (top.bound > list->DistK()) {
         stats->nodes_pruned += 1 + heap.size();
         break;
       }
-      if (guard.ShouldStop(stats->nodes_visited)) {
-        guard.NoteSkipped(top.bound);
+      if (guard->ShouldStop(stats->nodes_visited)) {
+        guard->NoteSkipped(top.bound);
         stats->nodes_deadline_skipped += 1 + heap.size();
         break;
       }
@@ -262,14 +281,14 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
     while (!stack.empty()) {
       const BoundedNode top = stack.back();
       stack.pop_back();
-      if (top.bound > list.DistK()) {
+      if (top.bound > list->DistK()) {
         ++stats->nodes_pruned;
         continue;
       }
-      if (guard.ShouldStop(stats->nodes_visited)) {
+      if (guard->ShouldStop(stats->nodes_visited)) {
         // Sticky: the rest of the stack drains through here, each frame
         // contributing its own bound to the pending bound.
-        guard.NoteSkipped(top.bound);
+        guard->NoteSkipped(top.bound);
         ++stats->nodes_deadline_skipped;
         continue;
       }
@@ -285,14 +304,12 @@ KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
       for (const auto& child : children) stack.push_back(child);
     }
   }
-  if (guard.expired()) {
-    result.completeness = Completeness::kBestEffort;
-    result.answers = list.TakeAnswersWithin(guard.pending_bound());
-  } else {
-    result.answers = list.TakeAnswers();
-  }
-  recorder.Publish(result);
-  return result;
+}
+
+KnnResult VpTreeKnnSearch(const VpTree& tree, const Hypersphere& sq,
+                          const DominanceCriterion& criterion,
+                          const KnnOptions& options) {
+  return RunSearch(tree, sq, criterion, options, "vp", VpTreeKnnSearchInto);
 }
 
 }  // namespace hyperdom

@@ -116,6 +116,30 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq) const {
   return Search(tree, sq, nullptr);
 }
 
+void KnnSearchInto(const SsTree& tree, const Hypersphere& sq,
+                   SearchStrategy strategy, const SearchOverlay* overlay,
+                   BestKnownList* list, KnnStats* stats,
+                   TraversalGuard* guard) {
+  // Delta rows live outside the tree: score them exhaustively up front,
+  // which also tightens distk before any node is descended. The block
+  // form hands them over in contiguous runs for batched scoring.
+  if (overlay != nullptr) {
+    overlay->ForEachExtraBlock(
+        [&](const EntryView* rows, size_t n) { list->AccessBatch(rows, n); });
+  }
+  std::vector<EntryView> leaf_scratch;
+  if (tree.root() != nullptr) {
+    if (strategy == SearchStrategy::kDepthFirst) {
+      DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
+                       tree.store(), sq, overlay, list, stats, guard,
+                       &leaf_scratch);
+    } else {
+      BestFirstSearch(tree.root(), tree.store(), sq, overlay, list, stats,
+                      guard, &leaf_scratch);
+    }
+  }
+}
+
 KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq,
                               const SearchOverlay* overlay) const {
   // Pins the reclamation epoch for the whole query: any store version the
@@ -130,25 +154,9 @@ KnnResult KnnSearcher::Search(const SsTree& tree, const Hypersphere& sq,
   }
   BestKnownList list(criterion_, &sq, options_.k, options_.pruning_mode,
                      &result.stats);
-  // Delta rows live outside the tree: score them exhaustively up front,
-  // which also tightens distk before any node is descended. The block
-  // form hands them over in contiguous runs for batched scoring.
-  if (overlay != nullptr) {
-    overlay->ForEachExtraBlock(
-        [&](const EntryView* rows, size_t n) { list.AccessBatch(rows, n); });
-  }
   TraversalGuard guard(options_.deadline);
-  std::vector<EntryView> leaf_scratch;
-  if (tree.root() != nullptr) {
-    if (options_.strategy == SearchStrategy::kDepthFirst) {
-      DepthFirstSearch(tree.root(), MinDist(tree.root()->bounding_sphere(), sq),
-                       tree.store(), sq, overlay, &list, &result.stats, &guard,
-                       &leaf_scratch);
-    } else {
-      BestFirstSearch(tree.root(), tree.store(), sq, overlay, &list,
-                      &result.stats, &guard, &leaf_scratch);
-    }
-  }
+  KnnSearchInto(tree, sq, options_.strategy, overlay, &list, &result.stats,
+                &guard);
   if (guard.expired()) {
     result.completeness = Completeness::kBestEffort;
     result.answers = list.TakeAnswersWithin(guard.pending_bound());

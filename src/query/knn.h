@@ -25,12 +25,15 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "dominance/criterion.h"
 #include "index/overlay.h"
 #include "index/ss_tree.h"
 #include "query/knn_types.h"
 
 namespace hyperdom {
+
+class BestKnownList;
 
 /// \brief Index-based kNN search over the SS-tree with a pluggable
 /// dominance criterion.
@@ -59,6 +62,18 @@ class KnnSearcher {
   const DominanceCriterion* criterion_;
   KnnOptions options_;
 };
+
+/// \brief Traversal core without finalization: runs the SS-tree search for
+/// `sq` into an externally owned list/stats/guard (the overlay's delta rows,
+/// if any, are scored up front exactly as in KnnSearcher::Search). The
+/// caller finalizes with TakeAnswers()/TakeAnswersWithin() — or merges
+/// several per-shard lists first (BestKnownList::MergeFrom), which is what
+/// the scatter-gather engine (src/shard/) does. The list's criterion/k/mode
+/// define the pruning; `stats` must be the object the list was built with.
+void KnnSearchInto(const SsTree& tree, const Hypersphere& sq,
+                   SearchStrategy strategy, const SearchOverlay* overlay,
+                   BestKnownList* list, KnnStats* stats,
+                   TraversalGuard* guard);
 
 /// \brief Reference evaluation of Definition 2 by linear scan: find distk
 /// and Sk exactly, then keep every hypersphere not dominated by Sk.

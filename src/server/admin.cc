@@ -295,11 +295,13 @@ std::string AdminServer::RenderStatusz() const {
                 SampleU64(sources_.store_live),
                 EpochManager::Global().EpochLag());
   out += buf;
+  const size_t shards = sources_.shards ? sources_.shards() : 0;
   std::snprintf(buf, sizeof(buf),
                 ",\"server\":{\"queue_depth\":%zu,"
-                "\"active_connections\":%lld,\"requests_served\":%" PRIu64 "}",
+                "\"active_connections\":%lld,\"requests_served\":%" PRIu64
+                ",\"shards\":%zu}",
                 queue_depth, static_cast<long long>(active_connections),
-                SampleU64(sources_.requests_served));
+                SampleU64(sources_.requests_served), shards);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 ",\"admin\":{\"requests\":%" PRIu64 ",\"http_errors\":%" PRIu64

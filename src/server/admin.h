@@ -84,6 +84,7 @@ class AdminServer {
     std::function<uint64_t()> requests_served;
     std::function<uint64_t()> store_version;  ///< published store version
     std::function<uint64_t()> store_live;     ///< live rows
+    std::function<size_t()> shards;  ///< shard count; 0/absent = unsharded
   };
 
   AdminServer(AdminOptions options, Sources sources);

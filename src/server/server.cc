@@ -11,6 +11,8 @@
 #include "obs/trace.h"
 #include "query/mut_query.h"
 #include "server/net.h"
+#include "shard/sharded_query.h"
+#include "shard/sharded_store.h"
 #include "storage/epoch.h"
 
 namespace hyperdom {
@@ -59,6 +61,14 @@ Server::Server(MutableSsTree* tree, const DominanceCriterion* criterion,
                ServerOptions options)
     : tree_(nullptr),
       mutable_tree_(tree),
+      criterion_(criterion),
+      options_(std::move(options)) {}
+
+Server::Server(const shard::ShardedStore* store,
+               const DominanceCriterion* criterion, ServerOptions options)
+    : tree_(nullptr),
+      mutable_tree_(nullptr),
+      sharded_store_(store),
       criterion_(criterion),
       options_(std::move(options)) {}
 
@@ -483,7 +493,21 @@ std::string Server::ProcessKnn(Work& work) {
   options.deadline = work.deadline;
   KnnResult result;
   uint64_t pinned_version = 0;
-  if (mutable_tree_ != nullptr) {
+  if (sharded_store_ != nullptr) {
+    // Scatter serially (null pool): this worker is already a pool thread,
+    // and a worker blocking on its own pool's tasks deadlocks.
+    Result<KnnResult> sharded =
+        shard::ShardedKnn(*sharded_store_, work.request.query, *criterion_,
+                          options, /*pool=*/nullptr);
+    if (!sharded.ok()) {
+      counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+      HYPERDOM_COUNTER_INC_L(obs::kServerRequests, "kind", "knn");
+      return EncodeReply(work.wire_version, work.request_id,
+                         FrameKind::kErrorResponse,
+                         EncodeErrorResponse(sharded.status()));
+    }
+    result = sharded.TakeValue();
+  } else if (mutable_tree_ != nullptr) {
     // Mutable mode: the searcher runs against a pinned, immutable
     // version of the store, so concurrent inserts/removes cannot skew
     // this answer.
@@ -516,7 +540,9 @@ std::string Server::ProcessKnn(Work& work) {
     slow.request_id = work.request_id;
     slow.latency_ns = elapsed_ns;
     slow.threshold_ns = threshold_ns;
-    slow.index_kind = mutable_tree_ != nullptr ? "mutable_ss" : "ss";
+    slow.index_kind = sharded_store_ != nullptr
+                          ? "sharded_ss"
+                          : (mutable_tree_ != nullptr ? "mutable_ss" : "ss");
     slow.k = work.request.k;
     slow.nodes_visited = result.stats.nodes_visited;
     slow.nodes_pruned = result.stats.nodes_pruned;

@@ -54,6 +54,10 @@ namespace hyperdom {
 
 class MutableSsTree;
 
+namespace shard {
+class ShardedStore;
+}  // namespace shard
+
 namespace server {
 
 struct ServerOptions {
@@ -114,6 +118,15 @@ class Server {
   Server(MutableSsTree* tree, const DominanceCriterion* criterion,
          ServerOptions options);
 
+  /// \brief Sharded mode: kNN requests scatter across the store's shards
+  /// and gather through the merged best-known list, so answers are
+  /// bit-identical to a single unsharded index (src/shard/). The scatter
+  /// runs serially on the worker thread — workers already ARE the pool,
+  /// and a worker waiting on its own pool would deadlock. Mutation frames
+  /// get kNotSupported.
+  Server(const shard::ShardedStore* store, const DominanceCriterion* criterion,
+         ServerOptions options);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -171,8 +184,10 @@ class Server {
   // threads wind down.
   void ShutdownConnections();
 
-  const SsTree* tree_;           // read-only mode; null in mutable mode
-  MutableSsTree* mutable_tree_;  // mutable mode; null in read-only mode
+  // Exactly one of the three backends is non-null, per the ctor used.
+  const SsTree* tree_;
+  MutableSsTree* mutable_tree_;
+  const shard::ShardedStore* sharded_store_ = nullptr;
   const DominanceCriterion* criterion_;
   ServerOptions options_;
   uint16_t port_ = 0;

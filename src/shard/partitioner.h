@@ -1,0 +1,81 @@
+// Copyright (c) hyperdom authors. Licensed under the MIT license.
+//
+// Partitioning policies for the sharded store (src/shard/sharded_store.h).
+// A Partitioner deterministically maps every dataset entry to one of K
+// shards; the assignment is a pure function of the entry and the
+// partitioner's own (seeded) state, so re-partitioning the same dataset
+// with the same options always reproduces the same layout — the property
+// the sharded snapshot loader relies on (shard/shard_snapshot.h).
+//
+// Two policies:
+//   * hash    — SplitMix64 on the entry id, modulo K. Even sizes, no
+//               spatial locality; the safe default.
+//   * k-means — seeded Lloyd iterations over the sphere centers; each
+//               entry goes to its nearest centroid (ties to the lowest
+//               shard index). Spatially coherent shards, so queries often
+//               touch few shards deeply and prune the rest cheaply, at the
+//               cost of skewed shard sizes.
+
+#ifndef HYPERDOM_SHARD_PARTITIONER_H_
+#define HYPERDOM_SHARD_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/hypersphere.h"
+
+namespace hyperdom {
+namespace shard {
+
+/// \brief Deterministic entry-to-shard assignment.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Number of shards this partitioner maps into (>= 1).
+  virtual size_t shards() const = 0;
+
+  /// The shard of the entry with this sphere and (global) id; always in
+  /// [0, shards()).
+  virtual size_t Assign(const Hypersphere& sphere, uint64_t id) const = 0;
+};
+
+/// \brief Hash-on-id partitioning: SplitMix64(id) % K.
+class HashPartitioner : public Partitioner {
+ public:
+  /// `shards` must be >= 1.
+  explicit HashPartitioner(size_t shards);
+
+  size_t shards() const override { return shards_; }
+  size_t Assign(const Hypersphere& sphere, uint64_t id) const override;
+
+ private:
+  size_t shards_;
+};
+
+/// \brief K-means-on-centers partitioning (seeded, deterministic Lloyd).
+class KMeansPartitioner : public Partitioner {
+ public:
+  /// Fits `shards` centroids to the centers of `data` with `iterations`
+  /// Lloyd rounds from a seeded start. Deterministic in (data, shards,
+  /// seed, iterations). Fails on empty data or inconsistent dimensions.
+  static Status Fit(const std::vector<Hypersphere>& data, size_t shards,
+                    uint64_t seed, size_t iterations, KMeansPartitioner* out);
+
+  size_t shards() const override { return centroids_.size() / dim_; }
+  size_t Assign(const Hypersphere& sphere, uint64_t id) const override;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_ = 1;
+  /// Row-major [shards x dim] centroid coordinates.
+  std::vector<double> centroids_;
+};
+
+}  // namespace shard
+}  // namespace hyperdom
+
+#endif  // HYPERDOM_SHARD_PARTITIONER_H_

@@ -198,7 +198,10 @@ TEST(FaultInjectionTest, WorkloadCoversEveryStatusSite) {
     if (IsDegradeFaultSite(site)) continue;  // covered by the p=1 test
     // server/* sites run on the network request path, not in this
     // workload; the `server`-labelled suite has its own armed sweep.
+    // shard/* sites run in the scatter-gather engine; the `shard`-labelled
+    // suite arms them (tests/shard_query_test.cc, shard_partition_test.cc).
     if (site.substr(0, 7) == "server/") continue;
+    if (site.substr(0, 6) == "shard/") continue;
     EXPECT_GT(registry.hits(site), 0u) << "site never executed: " << site;
   }
   EXPECT_EQ(registry.injected(), 0u);
@@ -213,6 +216,7 @@ TEST(FaultInjectionTest, EverySiteFailsWithCleanStatus) {
   for (std::string_view site : AllFaultSites()) {
     if (IsDegradeFaultSite(site)) continue;
     if (site.substr(0, 7) == "server/") continue;  // server-suite sweep
+    if (site.substr(0, 6) == "shard/") continue;   // shard-suite sweep
     registry.ArmSite(site, 1);
     const Status status = RunFallibleWorkload(data, "sweep");
     EXPECT_FALSE(status.ok()) << "armed site did not surface: " << site;

@@ -120,6 +120,64 @@ TEST(PrometheusFormatTest, LabelValuesAreEscapedAtRegistration) {
       std::string::npos);
 }
 
+// The sharded engine registers one series per shard under a shared base
+// name with a shard="k" label. The exposition must carry HELP/TYPE once
+// per base name and one grammar-valid sample per shard, ordered by label
+// value — the golden block below is the contract the scrape config and
+// dashboards are written against.
+TEST(PrometheusFormatTest, PerShardSeriesRenderGolden) {
+  auto& registry = MetricsRegistry::Instance();
+  // Register in reverse shard order: the exposition must still come out
+  // sorted and grouped, independent of registration order.
+  for (int j = 3; j >= 0; --j) {
+    const std::string label = std::to_string(j);
+    registry.GetGauge(kShardSizeEntries, "shard", label)
+        ->Set(100.0 * (j + 1));
+    registry.GetCounter(kShardQueries, "shard", label)
+        ->Add(static_cast<uint64_t>(j) + 1);
+  }
+  const std::string text = registry.RenderPrometheus();
+
+  const std::string counter_golden =
+      "# TYPE hyperdom_shard_queries_total counter\n"
+      "hyperdom_shard_queries_total{shard=\"0\"} 1\n"
+      "hyperdom_shard_queries_total{shard=\"1\"} 2\n"
+      "hyperdom_shard_queries_total{shard=\"2\"} 3\n"
+      "hyperdom_shard_queries_total{shard=\"3\"} 4\n";
+  EXPECT_NE(text.find(counter_golden), std::string::npos) << text;
+
+  const std::string gauge_golden =
+      "# TYPE hyperdom_shard_size_entries gauge\n"
+      "hyperdom_shard_size_entries{shard=\"0\"} 100\n"
+      "hyperdom_shard_size_entries{shard=\"1\"} 200\n"
+      "hyperdom_shard_size_entries{shard=\"2\"} 300\n"
+      "hyperdom_shard_size_entries{shard=\"3\"} 400\n";
+  EXPECT_NE(text.find(gauge_golden), std::string::npos) << text;
+
+  // HELP appears exactly once per base name despite four series.
+  size_t help_count = 0;
+  for (size_t pos = text.find("# HELP hyperdom_shard_queries_total");
+       pos != std::string::npos;
+       pos = text.find("# HELP hyperdom_shard_queries_total", pos + 1)) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u);
+}
+
+// Multi-pair labels (the {shard=,kind=} form ShardedStore uses for
+// future per-kind breakdowns) render comma-joined in registration order
+// and survive the grammar check.
+TEST(PrometheusFormatTest, MultiLabelSeriesRenderCommaJoined) {
+  auto& registry = MetricsRegistry::Instance();
+  registry
+      .GetCounter(kShardQueries, {{"shard", "7"}, {"kind", "ss"}})
+      ->Add(9);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(
+      text.find("hyperdom_shard_queries_total{shard=\"7\",kind=\"ss\"} 9"),
+      std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace hyperdom

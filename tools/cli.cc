@@ -42,6 +42,7 @@
 #include "server/admin.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "shard/sharded_store.h"
 
 namespace hyperdom {
 namespace cli {
@@ -75,7 +76,8 @@ constexpr char kUsage[] =
     "  serve       --data=FILE [--port=0] [--host=127.0.0.1] [--threads=0]\n"
     "              [--queue-capacity=128] [--max-connections=256]\n"
     "              [--io-timeout-ms=5000] [--criterion=NAME] [--mutable=1]\n"
-    "              [--admin-port=P] [--slow-query-ms=T]\n"
+    "              [--admin-port=P] [--slow-query-ms=T] [--shards=K]\n"
+    "              [--shard-policy=hash|kmeans]\n"
     "  query       --server=HOST:PORT --query=X,..;R [--k=10]\n"
     "              [--strategy=hs|df] [--budget-ms=T] [--node-budget=N]\n"
     "              [--timeout-ms=10000] [--attempts=4]\n"
@@ -108,6 +110,9 @@ constexpr char kUsage[] =
     "bit-identical results at any thread count.\n"
     "serve --mutable=1 accepts insert/remove frames (ids seeded as row\n"
     "numbers); read-only servers answer them with kNotSupported.\n"
+    "serve --shards=K partitions the store into K shards queried scatter-\n"
+    "gather with bit-identical answers (--shard-policy picks hash or\n"
+    "kmeans placement); incompatible with --mutable=1.\n"
     "exit codes: 0 success, 1 command error, 2 usage error, 3 server\n"
     "overloaded, 4 deadline exceeded, 5 protocol error, 6 mutation\n"
     "conflict (store frozen or compacting — safe to retry later).\n";
@@ -750,6 +755,20 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   if (!slow_query_ms.ok()) return slow_query_ms.status();
 
   const bool mutable_mode = args.GetFlag("mutable") == "1";
+  auto shards = RequireUint(args, "shards", 0, /*required=*/false);
+  if (!shards.ok()) return shards.status();
+  const bool sharded_mode = *shards > 0;
+  shard::ShardPolicy shard_policy = shard::ShardPolicy::kHash;
+  const std::string policy_name = args.GetFlag("shard-policy", "hash");
+  if (!shard::ParseShardPolicy(policy_name, &shard_policy)) {
+    return Status::InvalidArgument("bad --shard-policy (want hash|kmeans): '" +
+                                   policy_name + "'");
+  }
+  if (sharded_mode && mutable_mode) {
+    return Status::InvalidArgument(
+        "--shards and --mutable=1 are mutually exclusive (sharded stores "
+        "are immutable)");
+  }
   const auto criterion = MakeInstrumentedCriterion(*kind);
 
   server::ServerOptions options;
@@ -766,6 +785,7 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   // read-only and answers mutation frames with kNotSupported.
   std::optional<SsTree> tree;
   std::optional<MutableSsTree> mutable_tree;
+  std::optional<shard::ShardedStore> sharded_store;
   // Declared before `server` so it outlives the query server: the drain
   // hook below runs inside server->Stop() and must find a live admin.
   std::optional<server::AdminServer> admin;
@@ -777,7 +797,15 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
       if (admin) admin->SetReady(false);
     };
   }
-  if (mutable_mode) {
+  if (sharded_mode) {
+    shard::ShardingOptions sharding;
+    sharding.shards = static_cast<size_t>(*shards);
+    sharding.policy = shard_policy;
+    sharded_store.emplace();
+    HYPERDOM_RETURN_NOT_OK(
+        shard::ShardedStore::Build(*data, sharding, &*sharded_store));
+    server.emplace(&*sharded_store, criterion.get(), options);
+  } else if (mutable_mode) {
     mutable_tree.emplace(data->front().dim());
     std::vector<uint64_t> ids(data->size());
     std::iota(ids.begin(), ids.end(), uint64_t{0});
@@ -793,9 +821,11 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     server::AdminOptions admin_options;
     admin_options.host = options.host;
     admin_options.port = static_cast<uint16_t>(*admin_port);
-    admin_options.build_info = "hyperdom_cli serve, criterion " +
-                               std::string(criterion->name()) +
-                               (mutable_mode ? ", mutable" : ", read-only");
+    admin_options.build_info =
+        "hyperdom_cli serve, criterion " + std::string(criterion->name()) +
+        (sharded_mode
+             ? ", sharded x" + std::to_string(sharded_store->shards())
+             : (mutable_mode ? ", mutable" : ", read-only"));
     server::AdminServer::Sources sources;
     sources.queue_depth = [&server] { return server->QueueDepth(); };
     sources.active_connections = [&server] {
@@ -804,7 +834,12 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     sources.requests_served = [&server] {
       return server->counters().requests_served.load();
     };
-    if (mutable_mode) {
+    if (sharded_mode) {
+      sources.store_live = [&sharded_store] {
+        return static_cast<uint64_t>(sharded_store->size());
+      };
+      sources.shards = [&sharded_store] { return sharded_store->shards(); };
+    } else if (mutable_mode) {
       sources.store_version = [&mutable_tree] {
         return mutable_tree->version();
       };
@@ -821,7 +856,12 @@ Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   }
   out << "hyperdom_server listening on " << options.host << ":"
       << server->port() << " (" << data->size() << " spheres, criterion "
-      << criterion->name() << (mutable_mode ? ", mutable" : "") << ")\n";
+      << criterion->name() << (mutable_mode ? ", mutable" : "");
+  if (sharded_mode) {
+    out << ", " << sharded_store->shards() << " shards ("
+        << shard::ShardPolicyName(shard_policy) << ")";
+  }
+  out << ")\n";
   if (admin_enabled) {
     out << "admin plane on " << options.host << ":" << admin->port()
         << " (GET /metrics /metrics.json /healthz /readyz /statusz"
